@@ -1,0 +1,31 @@
+//! Criterion bench for the Figure 10 scalability experiment: host cost of
+//! simulating one Table III run per scale (Co vs Un), demonstrating the
+//! simulator itself scales to the 11,264-core configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::table3;
+use workflow::runner::run;
+
+fn bench_scales(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_scaling");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for scale in 0..5usize {
+        let cores = table3(scale, WorkflowProtocol::Uncoordinated, 1).total_cores();
+        group.bench_with_input(BenchmarkId::new("Co", cores), &scale, |b, &scale| {
+            let cfg = table3(scale, WorkflowProtocol::Coordinated, 1);
+            b.iter(|| black_box(run(&cfg)));
+        });
+        group.bench_with_input(BenchmarkId::new("Un", cores), &scale, |b, &scale| {
+            let cfg = table3(scale, WorkflowProtocol::Uncoordinated, 1);
+            b.iter(|| black_box(run(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scales);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for the Figure 9(e) experiment: end-to-end simulated
+//! workflow runs under each protocol (host wall time per simulated run).
+//!
+//! Uses the laptop-sized `tiny` configuration so a Criterion sample is
+//! milliseconds; the Table II-scale rows come from `repro --exp fig9e`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::{tiny, FailureSpec};
+use workflow::runner::run;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9e_exec_time");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for proto in WorkflowProtocol::all() {
+        group.bench_with_input(
+            BenchmarkId::new("failure_free", proto.label()),
+            &proto,
+            |b, &proto| {
+                let cfg = tiny(proto).with_failures(vec![]);
+                b.iter(|| black_box(run(&cfg)));
+            },
+        );
+    }
+    for proto in [
+        WorkflowProtocol::Coordinated,
+        WorkflowProtocol::Uncoordinated,
+        WorkflowProtocol::Hybrid,
+        WorkflowProtocol::Individual,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("one_failure", proto.label()),
+            &proto,
+            |b, &proto| {
+                let cfg = tiny(proto).with_failures(vec![FailureSpec::At {
+                    at: sim_core::time::SimTime::from_millis(700),
+                    app: 0,
+                }]);
+                b.iter(|| black_box(run(&cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

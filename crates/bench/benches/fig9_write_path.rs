@@ -1,0 +1,95 @@
+//! Criterion bench for the Figure 9(a)/(b) write path: staging server put
+//! handling with and without data/event logging, across payload sizes.
+//!
+//! This measures the *host* cost of our implementation's put path (backend
+//! state transition + cost-model computation); the simulated response-time
+//! ratios themselves are produced by `repro --exp fig9a/fig9b`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use staging::geometry::BBox;
+use staging::payload::Payload;
+use staging::proto::{ObjDesc, PutRequest};
+use staging::service::{PlainBackend, ServerCosts, ServerLogic};
+use std::hint::black_box;
+use wfcr::backend::LoggingBackend;
+
+fn put_req(version: u32, bytes: u64) -> PutRequest {
+    PutRequest {
+        app: 0,
+        desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 1023) },
+        payload: Payload::virtual_from(bytes, &[version as u64]),
+        seq: version as u64,
+    }
+}
+
+fn bench_put_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_write_path");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &bytes in &[4u64 << 10, 1 << 20, 16 << 20] {
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("plain", bytes), &bytes, |b, &bytes| {
+            let mut logic = ServerLogic::new(PlainBackend::new(2), ServerCosts::default());
+            let mut v = 0u32;
+            b.iter(|| {
+                v = v.wrapping_add(1);
+                black_box(logic.handle_put(&put_req(v, bytes)))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("logging", bytes), &bytes, |b, &bytes| {
+            let mut backend = LoggingBackend::new();
+            backend.register_app(0);
+            let mut logic = ServerLogic::new(backend, ServerCosts::default());
+            let mut v = 0u32;
+            b.iter(|| {
+                v = v.wrapping_add(1);
+                // Periodic checkpoint keeps the log bounded, as in a real run.
+                if v.is_multiple_of(64) {
+                    logic.handle_ctl(staging::proto::CtlRequest::Checkpoint {
+                        app: 0,
+                        upto_version: v - 1,
+                    });
+                }
+                black_box(logic.handle_put(&put_req(v, bytes)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_get_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_read_path");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &nversions in &[8u32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("logging_get", nversions),
+            &nversions,
+            |b, &nversions| {
+                let mut backend = LoggingBackend::new();
+                backend.register_app(0);
+                backend.register_app(1);
+                let mut logic = ServerLogic::new(backend, ServerCosts::default());
+                for v in 1..=nversions {
+                    logic.handle_put(&put_req(v, 1 << 16));
+                }
+                let mut v = 0u32;
+                b.iter(|| {
+                    v = v % nversions + 1;
+                    let req = staging::proto::GetRequest {
+                        app: 1,
+                        var: 0,
+                        version: v,
+                        bbox: BBox::d1(0, 1023),
+                        seq: 0,
+                    };
+                    black_box(logic.handle_get(&req))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put_path, bench_get_path);
+criterion_main!(benches);

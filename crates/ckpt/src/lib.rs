@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # ckpt — checkpoint/restart substrate
+//!
+//! Models the paper's checkpoint storage options: "checkpoints can be stored
+//! through a centralized parallel file system, assumed to be fault-free.
+//! Other options include storing the checkpoints in the node-local storage
+//! (such as NVRAM and SSD) or burst-buffer".
+//!
+//! * [`snapshot`] — what a synthetic component's checkpoint *is*: logical
+//!   progress (step counter, RNG state, pending coupling position) plus the
+//!   size of the process state it stands for.
+//! * [`target`] — storage-target cost models: a shared-bandwidth PFS (the
+//!   coordinated baseline's bottleneck — all components restore through it
+//!   simultaneously), unshared node-local storage, and a two-level SCR-style
+//!   combination.
+//! * [`store`] — the checkpoint directory: save/restore with retention,
+//!   plus node-failure invalidation of node-local copies.
+
+pub mod snapshot;
+pub mod store;
+pub mod target;
+
+pub use snapshot::Snapshot;
+pub use store::CheckpointStore;
+pub use target::{CkptTarget, NodeLocalModel, PfsModel, TwoLevelModel};

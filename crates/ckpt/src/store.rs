@@ -1,0 +1,159 @@
+//! The checkpoint directory: save, restore, retention, and node-failure
+//! invalidation of fast copies.
+//!
+//! One [`CheckpointStore`] stands for the whole job's checkpoint state. Every
+//! snapshot saved through a two-level target has a fast node-local copy and a
+//! durable PFS copy; a node failure destroys the fast copies of the
+//! components on that node (tracked per app here), forcing their next restore
+//! down the slow path — matching SCR/FTI semantics.
+
+use crate::snapshot::Snapshot;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// In-memory checkpoint directory with bounded retention per component.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    /// app → ckpt_id → snapshot.
+    snaps: HashMap<u32, BTreeMap<u64, Snapshot>>,
+    /// Apps whose node-local copies are currently invalid.
+    local_lost: HashSet<u32>,
+    /// Keep at most this many snapshots per app.
+    retention: usize,
+    /// Total bytes ever written (for I/O accounting).
+    bytes_written: u64,
+}
+
+impl CheckpointStore {
+    /// Create a store keeping the last `retention` checkpoints per component.
+    pub fn new(retention: usize) -> Self {
+        assert!(retention >= 1, "must keep at least one checkpoint");
+        CheckpointStore {
+            snaps: HashMap::new(),
+            local_lost: HashSet::new(),
+            retention,
+            bytes_written: 0,
+        }
+    }
+
+    /// Persist a snapshot. Re-validates the app's node-local copies (the new
+    /// checkpoint writes a fresh fast copy). Returns the evicted snapshot, if
+    /// retention pushed one out.
+    pub fn save(&mut self, snap: Snapshot) -> Option<Snapshot> {
+        self.bytes_written += snap.persisted_bytes();
+        self.local_lost.remove(&snap.app);
+        let per_app = self.snaps.entry(snap.app).or_default();
+        per_app.insert(snap.ckpt_id, snap);
+        if per_app.len() > self.retention {
+            let (&oldest, _) = per_app.iter().next().expect("nonempty");
+            return per_app.remove(&oldest);
+        }
+        None
+    }
+
+    /// Latest snapshot for `app`, if any.
+    pub fn latest(&self, app: u32) -> Option<&Snapshot> {
+        self.snaps.get(&app).and_then(|m| m.values().next_back())
+    }
+
+    /// A specific snapshot.
+    pub fn get(&self, app: u32, ckpt_id: u64) -> Option<&Snapshot> {
+        self.snaps.get(&app).and_then(|m| m.get(&ckpt_id))
+    }
+
+    /// Number of retained snapshots for `app`.
+    pub fn count(&self, app: u32) -> usize {
+        self.snaps.get(&app).map(BTreeMap::len).unwrap_or(0)
+    }
+
+    /// Mark `app`'s node-local checkpoint copies destroyed (its node died).
+    pub fn invalidate_local(&mut self, app: u32) {
+        self.local_lost.insert(app);
+    }
+
+    /// Is a node-local copy available for `app`'s latest checkpoint?
+    pub fn local_available(&self, app: u32) -> bool {
+        !self.local_lost.contains(&app) && self.count(app) > 0
+    }
+
+    /// Cumulative checkpoint bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Apps with at least one snapshot.
+    pub fn apps(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.snaps.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(app: u32, id: u64, step: u32) -> Snapshot {
+        Snapshot::new(app, id, step, [id, 2, 3, 4], 1000)
+    }
+
+    #[test]
+    fn save_and_latest() {
+        let mut st = CheckpointStore::new(3);
+        st.save(snap(0, 1, 4));
+        st.save(snap(0, 2, 8));
+        assert_eq!(st.latest(0).unwrap().resume_step, 8);
+        assert_eq!(st.count(0), 2);
+        assert!(st.latest(1).is_none());
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut st = CheckpointStore::new(2);
+        assert!(st.save(snap(0, 1, 4)).is_none());
+        assert!(st.save(snap(0, 2, 8)).is_none());
+        let evicted = st.save(snap(0, 3, 12)).unwrap();
+        assert_eq!(evicted.ckpt_id, 1);
+        assert_eq!(st.count(0), 2);
+        assert!(st.get(0, 1).is_none());
+        assert!(st.get(0, 2).is_some());
+    }
+
+    #[test]
+    fn per_app_isolation() {
+        let mut st = CheckpointStore::new(1);
+        st.save(snap(0, 1, 4));
+        st.save(snap(1, 1, 5));
+        assert_eq!(st.latest(0).unwrap().resume_step, 4);
+        assert_eq!(st.latest(1).unwrap().resume_step, 5);
+        assert_eq!(st.apps(), vec![0, 1]);
+    }
+
+    #[test]
+    fn local_invalidation_cycle() {
+        let mut st = CheckpointStore::new(2);
+        st.save(snap(0, 1, 4));
+        assert!(st.local_available(0));
+        st.invalidate_local(0);
+        assert!(!st.local_available(0));
+        // A fresh checkpoint restores fast-copy availability.
+        st.save(snap(0, 2, 8));
+        assert!(st.local_available(0));
+    }
+
+    #[test]
+    fn local_unavailable_without_snapshots() {
+        let st = CheckpointStore::new(2);
+        assert!(!st.local_available(9));
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut st = CheckpointStore::new(2);
+        st.save(snap(0, 1, 4));
+        st.save(snap(0, 2, 8));
+        assert_eq!(st.bytes_written(), 2000);
+        // Eviction does not reduce the cumulative I/O counter.
+        st.save(snap(0, 3, 12));
+        assert_eq!(st.bytes_written(), 3000);
+    }
+}

@@ -1,0 +1,189 @@
+//! Storage-target cost models for checkpoint traffic.
+//!
+//! The decisive difference between the coordinated baseline and the paper's
+//! uncoordinated scheme shows up here: under coordinated C/R *every*
+//! component checkpoints (and after a failure, restores) through the shared
+//! parallel file system at the same moment, so each gets `1/writers` of the
+//! aggregate bandwidth; under uncoordinated C/R only the failed component
+//! restores, at full bandwidth, while the others keep computing.
+
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+
+/// A checkpoint storage target's timing model.
+pub trait CkptTarget {
+    /// Time for one writer to persist `bytes` while `concurrent_writers`
+    /// total writers (including this one) stream to the target.
+    fn write_time(&self, bytes: u64, concurrent_writers: usize) -> SimTime;
+
+    /// Time for one reader to restore `bytes` with `concurrent_readers`
+    /// total readers.
+    fn read_time(&self, bytes: u64, concurrent_readers: usize) -> SimTime;
+
+    /// Human-readable name for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// Centralized parallel file system with shared aggregate bandwidth.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PfsModel {
+    /// Aggregate bandwidth, bytes/second (e.g. Cori's Lustre ~700 GB/s for
+    /// the whole machine; per-job slices are far smaller).
+    pub aggregate_bw: f64,
+    /// Per-operation latency (metadata + open/close), seconds.
+    pub latency_s: f64,
+}
+
+impl Default for PfsModel {
+    fn default() -> Self {
+        // A modest per-job PFS slice: 50 GB/s aggregate, 20 ms latency.
+        PfsModel { aggregate_bw: 50e9, latency_s: 0.02 }
+    }
+}
+
+impl CkptTarget for PfsModel {
+    fn write_time(&self, bytes: u64, concurrent_writers: usize) -> SimTime {
+        let w = concurrent_writers.max(1) as f64;
+        SimTime::from_secs_f64(self.latency_s + bytes as f64 * w / self.aggregate_bw)
+    }
+
+    fn read_time(&self, bytes: u64, concurrent_readers: usize) -> SimTime {
+        self.write_time(bytes, concurrent_readers)
+    }
+
+    fn label(&self) -> &'static str {
+        "pfs"
+    }
+}
+
+/// Node-local storage (NVRAM/SSD): no cross-writer contention.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NodeLocalModel {
+    /// Per-node bandwidth, bytes/second.
+    pub bw: f64,
+    /// Per-operation latency, seconds.
+    pub latency_s: f64,
+}
+
+impl Default for NodeLocalModel {
+    fn default() -> Self {
+        // NVMe-class: 3 GB/s, 0.5 ms.
+        NodeLocalModel { bw: 3e9, latency_s: 0.0005 }
+    }
+}
+
+impl CkptTarget for NodeLocalModel {
+    fn write_time(&self, bytes: u64, _concurrent_writers: usize) -> SimTime {
+        SimTime::from_secs_f64(self.latency_s + bytes as f64 / self.bw)
+    }
+
+    fn read_time(&self, bytes: u64, concurrent_readers: usize) -> SimTime {
+        self.write_time(bytes, concurrent_readers)
+    }
+
+    fn label(&self) -> &'static str {
+        "node-local"
+    }
+}
+
+/// Two-level (SCR/FTI-style) checkpointing: blocking write to node-local,
+/// asynchronous flush to the PFS. Restores read node-local when the copy
+/// survived, PFS otherwise.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct TwoLevelModel {
+    /// Fast level.
+    pub local: NodeLocalModel,
+    /// Durable level.
+    pub pfs: PfsModel,
+}
+
+
+impl TwoLevelModel {
+    /// Restore time when the node-local copy is (or is not) available.
+    pub fn restore_time(&self, bytes: u64, local_available: bool, concurrent_readers: usize) -> SimTime {
+        if local_available {
+            self.local.read_time(bytes, concurrent_readers)
+        } else {
+            self.pfs.read_time(bytes, concurrent_readers)
+        }
+    }
+}
+
+impl CkptTarget for TwoLevelModel {
+    fn write_time(&self, bytes: u64, concurrent_writers: usize) -> SimTime {
+        // Blocking cost is the local write; the PFS flush is asynchronous.
+        self.local.write_time(bytes, concurrent_writers)
+    }
+
+    fn read_time(&self, bytes: u64, concurrent_readers: usize) -> SimTime {
+        // Conservative default: assume the local copy was lost with the node.
+        self.pfs.read_time(bytes, concurrent_readers)
+    }
+
+    fn label(&self) -> &'static str {
+        "two-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pfs_contention_scales_linearly() {
+        let pfs = PfsModel { aggregate_bw: 10e9, latency_s: 0.0 };
+        let one = pfs.write_time(1 << 30, 1);
+        let four = pfs.write_time(1 << 30, 4);
+        let ratio = four.as_secs_f64() / one.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn pfs_latency_floor() {
+        let pfs = PfsModel { aggregate_bw: 10e9, latency_s: 0.02 };
+        let t = pfs.write_time(0, 1);
+        assert_eq!(t, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn node_local_ignores_contention() {
+        let nl = NodeLocalModel::default();
+        assert_eq!(nl.write_time(1 << 20, 1), nl.write_time(1 << 20, 1000));
+    }
+
+    #[test]
+    fn node_local_faster_than_pfs_under_contention() {
+        let nl = NodeLocalModel::default();
+        let pfs = PfsModel::default();
+        let bytes = 4 << 30; // 4 GiB per writer
+        // Alone the PFS wins (50 GB/s vs 3 GB/s)...
+        assert!(pfs.write_time(bytes, 1) < nl.write_time(bytes, 1));
+        // ...but with 64 concurrent writers node-local wins.
+        assert!(nl.write_time(bytes, 64) < pfs.write_time(bytes, 64));
+    }
+
+    #[test]
+    fn two_level_blocking_cost_is_local() {
+        let tl = TwoLevelModel::default();
+        assert_eq!(tl.write_time(1 << 20, 8), tl.local.write_time(1 << 20, 8));
+    }
+
+    #[test]
+    fn two_level_restore_path_selection() {
+        let tl = TwoLevelModel::default();
+        let bytes = 1 << 30;
+        let local = tl.restore_time(bytes, true, 1);
+        let remote = tl.restore_time(bytes, false, 64);
+        assert!(remote > local);
+        assert_eq!(local, tl.local.read_time(bytes, 1));
+        assert_eq!(remote, tl.pfs.read_time(bytes, 64));
+    }
+
+    #[test]
+    fn labels_stable() {
+        assert_eq!(PfsModel::default().label(), "pfs");
+        assert_eq!(NodeLocalModel::default().label(), "node-local");
+        assert_eq!(TwoLevelModel::default().label(), "two-level");
+    }
+}

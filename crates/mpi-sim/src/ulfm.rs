@@ -1,0 +1,200 @@
+//! The ULFM-style recovery sequence and its cost model.
+//!
+//! Figure 7(b) of the paper decomposes application recovery into: failure
+//! detection → process recovery (communicator repair + spare join) → data
+//! recovery (checkpoint restore, costed by the `ckpt` crate) → staging client
+//! recovery with event notification (costed by the workflow engine). This
+//! module covers the first two steps: it drives a [`Communicator`] through
+//! revoke/repair/agree and reports how long each step took in virtual time.
+
+use crate::collective::CollectiveCosts;
+use crate::comm::Communicator;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+
+/// Cost parameters for failure handling.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UlfmCosts {
+    /// Failure detection latency (heartbeat interval + suspicion timeout), ns.
+    pub detect_ns: u64,
+    /// Revocation propagation per tree hop, ns (log2(n) hops).
+    pub revoke_hop_ns: u64,
+    /// Fixed cost to construct the shrunken/repaired communicator, ns.
+    pub reconstruct_ns: u64,
+    /// Cost for one spare process to join the communicator, ns.
+    pub spare_join_ns: u64,
+    /// Cost to spawn a brand-new process when no spare exists, ns
+    /// (scheduler round trip; much larger than spare adoption).
+    pub spawn_ns: u64,
+    /// Collective model for the agreement phase.
+    pub collectives: CollectiveCosts,
+}
+
+impl Default for UlfmCosts {
+    fn default() -> Self {
+        UlfmCosts {
+            detect_ns: 100_000_000,      // 100 ms detection
+            revoke_hop_ns: 2_000,        // 2 µs per hop
+            reconstruct_ns: 10_000_000,  // 10 ms rebuild bookkeeping
+            spare_join_ns: 50_000_000,   // 50 ms adopt + connect
+            spawn_ns: 2_000_000_000,     // 2 s scheduler spawn
+            collectives: CollectiveCosts::default(),
+        }
+    }
+}
+
+/// Per-step timing of one recovery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryBreakdown {
+    /// Time to detect the failure.
+    pub detection: SimTime,
+    /// Time to revoke the communicator everywhere.
+    pub revoke: SimTime,
+    /// Time to shrink/reconstruct the communicator.
+    pub reconstruct: SimTime,
+    /// Time for spares (or spawned processes) to join.
+    pub rejoin: SimTime,
+    /// Time for the final agreement collective.
+    pub agree: SimTime,
+}
+
+impl RecoveryBreakdown {
+    /// Total recovery time (sum of phases; they are sequential).
+    pub fn total(&self) -> SimTime {
+        self.detection + self.revoke + self.reconstruct + self.rejoin + self.agree
+    }
+}
+
+/// Drive `comm` through a full ULFM repair of `failed_ranks`, returning the
+/// cost breakdown. The communicator is valid (repaired, agreed) on return.
+///
+/// Replacement processes come from the spare pool first. If the pool runs
+/// dry: with `allow_spawn` the missing ranks are spawned fresh (slow —
+/// scheduler round trips, serialized) and the communicator returns to its
+/// original size; without it the communicator stays shrunk.
+pub fn recover(
+    comm: &mut Communicator,
+    failed_ranks: &[usize],
+    costs: &UlfmCosts,
+    allow_spawn: bool,
+) -> RecoveryBreakdown {
+    let n = comm.size().max(2);
+    for &r in failed_ranks {
+        // Already-failed or out-of-range ranks are tolerated: overlapping
+        // failure reports are normal in ULFM.
+        let _ = comm.fail(r);
+    }
+    comm.revoke();
+
+    let depth = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    let (replaced, shrunk) = comm.repair();
+    let spawned = if allow_spawn && shrunk > 0 {
+        comm.grow(shrunk);
+        shrunk
+    } else {
+        0
+    };
+    comm.agree().expect("repaired communicator agrees");
+
+    RecoveryBreakdown {
+        detection: SimTime::from_nanos(costs.detect_ns),
+        revoke: SimTime::from_nanos(depth * costs.revoke_hop_ns),
+        reconstruct: SimTime::from_nanos(costs.reconstruct_ns),
+        // Spare joins happen in parallel; spawns serialize on the scheduler.
+        rejoin: SimTime::from_nanos(if replaced > 0 { costs.spare_join_ns } else { 0 })
+            + SimTime::from_nanos(spawned as u64 * costs.spawn_ns),
+        agree: costs.collectives.agree(comm.size()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_failure_with_spares() {
+        let mut c = Communicator::new(256, 4);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[17], &costs, false);
+        assert_eq!(c.size(), 256);
+        assert_eq!(c.spares(), 3);
+        assert!(c.usable());
+        assert_eq!(b.detection, SimTime::from_nanos(costs.detect_ns));
+        assert_eq!(b.rejoin, SimTime::from_nanos(costs.spare_join_ns));
+        assert!(b.total() > b.detection);
+    }
+
+    #[test]
+    fn no_spares_no_spawn_shrinks() {
+        let mut c = Communicator::new(8, 0);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[0], &costs, false);
+        assert_eq!(c.size(), 7);
+        assert_eq!(b.rejoin, SimTime::ZERO);
+        assert!(c.usable());
+    }
+
+    #[test]
+    fn no_spares_with_spawn_regrows() {
+        let mut c = Communicator::new(8, 0);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[0, 3], &costs, true);
+        assert_eq!(c.size(), 8);
+        assert_eq!(b.rejoin, SimTime::from_nanos(2 * costs.spawn_ns));
+        assert!(c.usable());
+    }
+
+    #[test]
+    fn multiple_failures_detection_counted_once() {
+        let mut c = Communicator::new(64, 8);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[1, 2, 3], &costs, false);
+        assert_eq!(b.detection, SimTime::from_nanos(costs.detect_ns));
+        assert_eq!(c.spares(), 5);
+        assert_eq!(c.size(), 64);
+        assert!(b.total() >= b.detection + b.reconstruct);
+    }
+
+    #[test]
+    fn recovery_scales_with_size() {
+        let costs = UlfmCosts::default();
+        let mut small = Communicator::new(64, 2);
+        let mut large = Communicator::new(8192, 2);
+        let bs = recover(&mut small, &[0], &costs, false);
+        let bl = recover(&mut large, &[0], &costs, false);
+        assert!(bl.revoke > bs.revoke, "revocation grows with depth");
+        assert!(bl.agree > bs.agree, "agreement grows with size");
+    }
+
+    #[test]
+    fn duplicate_failure_reports_tolerated() {
+        let mut c = Communicator::new(16, 2);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[5, 5, 99], &costs, false);
+        assert_eq!(c.size(), 16);
+        assert_eq!(c.spares(), 1);
+        assert!(b.total() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let mut c = Communicator::new(128, 4);
+        let b = recover(&mut c, &[7], &UlfmCosts::default(), false);
+        let sum = b.detection + b.revoke + b.reconstruct + b.rejoin + b.agree;
+        assert_eq!(b.total(), sum);
+    }
+
+    #[test]
+    fn spares_then_spawn_mixed() {
+        let mut c = Communicator::new(16, 1);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &[2, 9], &costs, true);
+        assert_eq!(c.size(), 16);
+        assert_eq!(c.spares(), 0);
+        // One spare join (parallel) + one spawn.
+        assert_eq!(
+            b.rejoin,
+            SimTime::from_nanos(costs.spare_join_ns + costs.spawn_ns)
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests on the communicator/ULFM state machine: arbitrary failure
+//! and repair sequences never violate the structural invariants.
+
+use mpi_sim::comm::Communicator;
+use mpi_sim::ulfm::{recover, UlfmCosts};
+use proptest::prelude::*;
+use sim_core::time::SimTime;
+
+#[derive(Debug, Clone)]
+enum COp {
+    Fail(usize),
+    Revoke,
+    Repair,
+    AddSpares(usize),
+    Grow(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = COp> {
+    prop_oneof![
+        4 => (0usize..64).prop_map(COp::Fail),
+        1 => Just(COp::Revoke),
+        3 => Just(COp::Repair),
+        1 => (0usize..4).prop_map(COp::AddSpares),
+        1 => (0usize..4).prop_map(COp::Grow),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn invariants_hold_under_any_sequence(
+        size in 1usize..32,
+        spares in 0usize..8,
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let mut c = Communicator::new(size, spares);
+        let mut spares_budget = spares;
+        for op in ops {
+            match op {
+                COp::Fail(r) => {
+                    let _ = c.fail(r);
+                }
+                COp::Revoke => c.revoke(),
+                COp::Repair => {
+                    let failed_before = c.failed();
+                    let spares_before = c.spares();
+                    let (replaced, shrunk) = c.repair();
+                    prop_assert_eq!(replaced + shrunk, failed_before);
+                    prop_assert_eq!(c.spares(), spares_before - replaced);
+                    prop_assert_eq!(c.failed(), 0, "repair clears failures");
+                    prop_assert!(!c.is_revoked(), "repair clears revocation");
+                    prop_assert!(c.usable());
+                    prop_assert!(c.agree().is_ok());
+                }
+                COp::AddSpares(n) => {
+                    c.add_spares(n);
+                    spares_budget += n;
+                }
+                COp::Grow(n) => c.grow(n),
+            }
+            // Structural invariants after every step.
+            prop_assert_eq!(c.alive() + c.failed(), c.size());
+            prop_assert!(c.spares() <= spares_budget);
+            prop_assert!(c.size() >= 1 || c.alive() == 0);
+        }
+    }
+
+    /// `recover` always leaves a usable communicator and reports a positive,
+    /// additively-consistent breakdown.
+    #[test]
+    fn recover_always_heals(
+        size in 2usize..64,
+        spares in 0usize..8,
+        victims in prop::collection::vec(0usize..64, 1..6),
+        allow_spawn: bool,
+    ) {
+        let mut c = Communicator::new(size, spares);
+        let costs = UlfmCosts::default();
+        let b = recover(&mut c, &victims, &costs, allow_spawn);
+        prop_assert!(c.usable());
+        prop_assert_eq!(c.failed(), 0);
+        prop_assert!(b.total() > SimTime::ZERO);
+        prop_assert_eq!(
+            b.total(),
+            b.detection + b.revoke + b.reconstruct + b.rejoin + b.agree
+        );
+        if allow_spawn {
+            prop_assert_eq!(c.size(), size, "spawn restores full size");
+        } else {
+            prop_assert!(c.size() <= size);
+        }
+    }
+
+    /// Epochs are monotone across repairs.
+    #[test]
+    fn epochs_monotone(size in 2usize..16, rounds in 1usize..8) {
+        let mut c = Communicator::new(size, rounds);
+        let mut last_epoch = c.epoch();
+        for _ in 0..rounds {
+            c.fail(0).unwrap();
+            c.revoke();
+            c.repair();
+            prop_assert!(c.epoch() > last_epoch);
+            last_epoch = c.epoch();
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Discrete-event network: a single engine actor that mediates all message
+//! delivery and owns the per-endpoint NIC queuing state.
+//!
+//! Usage pattern:
+//!
+//! 1. Create the [`Network`] actor and register it with the engine.
+//! 2. Register each communicating actor as an endpoint, obtaining an
+//!    [`EndpointId`].
+//! 3. Senders schedule a [`Transmit`] to the network actor; the network
+//!    computes the arrival time from the [`CostModel`] and schedules a
+//!    [`Delivered`] to the destination actor.
+//!
+//! The network actor also counts bytes and messages into the engine metrics
+//! (`net.msgs`, `net.bytes`).
+
+use crate::cost::CostModel;
+use sim_core::engine::{Actor, ActorId, Ctx, Event};
+use sim_core::time::SimTime;
+use std::any::Any;
+
+/// Dense index of a registered endpoint.
+pub type EndpointId = usize;
+
+/// A message handed to the network for delivery.
+pub struct Transmit {
+    /// Sending endpoint.
+    pub from: EndpointId,
+    /// Destination endpoint.
+    pub to: EndpointId,
+    /// Declared wire size in bytes (drives the cost model; the payload itself
+    /// is opaque and may be a small handle to large simulated data).
+    pub size: u64,
+    /// Opaque payload, forwarded verbatim inside [`Delivered`].
+    pub payload: Box<dyn Any>,
+}
+
+/// A message delivered to an endpoint actor by the network.
+pub struct Delivered {
+    /// Originating endpoint.
+    pub from: EndpointId,
+    /// Wire size in bytes, as declared by the sender.
+    pub size: u64,
+    /// Opaque payload.
+    pub payload: Box<dyn Any>,
+}
+
+/// The network actor: routes [`Transmit`]s, models receiver NIC queuing.
+pub struct Network {
+    model: CostModel,
+    /// Destination actor for each endpoint.
+    endpoint_actor: Vec<ActorId>,
+    /// Time at which each endpoint's NIC becomes free.
+    nic_free: Vec<SimTime>,
+    /// Are endpoints currently reachable? A failed process's endpoint drops
+    /// traffic (models RDMA peer death).
+    up: Vec<bool>,
+}
+
+impl Network {
+    /// Create a network with the given cost model.
+    pub fn new(model: CostModel) -> Self {
+        Network { model, endpoint_actor: Vec::new(), nic_free: Vec::new(), up: Vec::new() }
+    }
+
+    /// Register `actor` as an endpoint; returns its [`EndpointId`].
+    pub fn register(&mut self, actor: ActorId) -> EndpointId {
+        self.endpoint_actor.push(actor);
+        self.nic_free.push(SimTime::ZERO);
+        self.up.push(true);
+        self.endpoint_actor.len() - 1
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.endpoint_actor.len()
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+}
+
+/// Control messages understood by the [`Network`] actor in addition to
+/// [`Transmit`].
+pub enum NetCtl {
+    /// Mark an endpoint down: subsequent traffic to it is dropped.
+    EndpointDown(EndpointId),
+    /// Mark an endpoint back up (e.g. a recovered process re-attaching).
+    EndpointUp(EndpointId),
+    /// Re-point an endpoint at a different actor (spare process takes over a
+    /// failed rank's endpoint identity).
+    Rebind(EndpointId, ActorId),
+}
+
+impl Actor for Network {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let ev = match ev.downcast::<Transmit>() {
+            Ok((_, t)) => {
+                let Transmit { from, to, size, payload } = t;
+                assert!(to < self.endpoint_actor.len(), "unknown endpoint {to}");
+                if !self.up[to] || !self.up.get(from).copied().unwrap_or(false) {
+                    ctx.metrics().inc("net.dropped", 1);
+                    return;
+                }
+                let (arrival, free) = self.model.arrival(ctx.now(), self.nic_free[to], size);
+                self.nic_free[to] = free;
+                let delay = arrival.saturating_sub(ctx.now());
+                let target = self.endpoint_actor[to];
+                ctx.metrics().inc("net.msgs", 1);
+                ctx.metrics().inc("net.bytes", size);
+                ctx.send_after(delay, target, Delivered { from, size, payload });
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if let Ok((_, c)) = ev.downcast::<NetCtl>() {
+            match c {
+                NetCtl::EndpointDown(ep) => self.up[ep] = false,
+                NetCtl::EndpointUp(ep) => self.up[ep] = true,
+                NetCtl::Rebind(ep, actor) => {
+                    self.endpoint_actor[ep] = actor;
+                    self.up[ep] = true;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "network"
+    }
+}
+
+/// Convenience handle wrapping the network's actor id, so endpoint code can
+/// send without holding a reference to the network actor.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkHandle {
+    /// Actor id of the [`Network`] in the engine.
+    pub actor: ActorId,
+}
+
+impl NetworkHandle {
+    /// Send `payload` of `size` bytes from `from` to `to` through the network.
+    pub fn send<T: Any>(
+        &self,
+        ctx: &mut Ctx<'_>,
+        from: EndpointId,
+        to: EndpointId,
+        size: u64,
+        payload: T,
+    ) {
+        ctx.send_now(
+            self.actor,
+            Transmit { from, to, size, payload: Box::new(payload) },
+        );
+    }
+
+    /// Mark an endpoint down (models process failure).
+    pub fn endpoint_down(&self, ctx: &mut Ctx<'_>, ep: EndpointId) {
+        ctx.send_now(self.actor, NetCtl::EndpointDown(ep));
+    }
+
+    /// Mark an endpoint up (models recovery / re-attach).
+    pub fn endpoint_up(&self, ctx: &mut Ctx<'_>, ep: EndpointId) {
+        ctx.send_now(self.actor, NetCtl::EndpointUp(ep));
+    }
+
+    /// Rebind an endpoint to a different actor (spare process adoption).
+    pub fn rebind(&self, ctx: &mut Ctx<'_>, ep: EndpointId, actor: ActorId) {
+        ctx.send_now(self.actor, NetCtl::Rebind(ep, actor));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_core::engine::Engine;
+
+    /// Records arrival times of string payloads.
+    #[derive(Default)]
+    struct Sink {
+        arrivals: Vec<(u64, String)>,
+    }
+
+    impl Actor for Sink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if let Ok((_, d)) = ev.downcast::<Delivered>() {
+                let s = d.payload.downcast::<String>().unwrap();
+                self.arrivals.push((ctx.now().as_nanos(), *s));
+            }
+        }
+    }
+
+    fn setup(model: CostModel) -> (Engine, ActorId, NetworkHandle, EndpointId, EndpointId, ActorId) {
+        let mut eng = Engine::new(7);
+        let sink_id = eng.add_actor(Box::<Sink>::default());
+        let mut net = Network::new(model);
+         // endpoint for an external sender (same sink actor reused)
+        
+        let src_ep = net.register(sink_id);
+        let dst_ep = net.register(sink_id);
+        let net_id = eng.add_actor(Box::new(net));
+        (eng, sink_id, NetworkHandle { actor: net_id }, src_ep, dst_ep, sink_id)
+    }
+
+    #[test]
+    fn delivery_at_unloaded_time() {
+        let model = CostModel { latency_ns: 100, ns_per_byte: 1.0, rx_overhead_ns: 10 };
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1; // second registered actor
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 50, payload: Box::new("a".to_string()) },
+        );
+        eng.run();
+        let s = eng.actor_as::<Sink>(sink).unwrap();
+        assert_eq!(s.arrivals, vec![(160, "a".to_string())]);
+    }
+
+    #[test]
+    fn two_messages_queue_at_receiver() {
+        let model = CostModel { latency_ns: 100, ns_per_byte: 1.0, rx_overhead_ns: 0 };
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        for name in ["a", "b"] {
+            eng.schedule_now(
+                net_actor,
+                Transmit { from: src, to: dst, size: 1_000, payload: Box::new(name.to_string()) },
+            );
+        }
+        eng.run();
+        let s = eng.actor_as::<Sink>(sink).unwrap();
+        assert_eq!(s.arrivals[0].0, 1_100);
+        assert_eq!(s.arrivals[1].0, 2_100, "second message serializes behind first");
+    }
+
+    #[test]
+    fn messages_to_different_endpoints_do_not_queue() {
+        let model = CostModel { latency_ns: 100, ns_per_byte: 1.0, rx_overhead_ns: 0 };
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 1_000, payload: Box::new("to_dst".to_string()) },
+        );
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: dst, to: src, size: 1_000, payload: Box::new("to_src".to_string()) },
+        );
+        eng.run();
+        let s = eng.actor_as::<Sink>(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 2);
+        assert!(s.arrivals.iter().all(|(t, _)| *t == 1_100));
+    }
+
+    #[test]
+    fn down_endpoint_drops_traffic() {
+        let model = CostModel::slow_test();
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        eng.schedule_now(net_actor, NetCtl::EndpointDown(dst));
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert!(eng.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
+        assert_eq!(eng.metrics().counter("net.dropped"), 1);
+    }
+
+    #[test]
+    fn up_after_down_restores_traffic() {
+        let model = CostModel::slow_test();
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        eng.schedule_now(net_actor, NetCtl::EndpointDown(dst));
+        eng.schedule_now(net_actor, NetCtl::EndpointUp(dst));
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert_eq!(eng.actor_as::<Sink>(sink).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn rebind_redirects_traffic_to_new_actor() {
+        let model = CostModel::slow_test();
+        let mut eng = Engine::new(7);
+        let old_sink = eng.add_actor(Box::<Sink>::default());
+        let new_sink = eng.add_actor(Box::<Sink>::default());
+        let mut net = Network::new(model);
+        let src = net.register(old_sink);
+        let dst = net.register(old_sink);
+        let net_id = eng.add_actor(Box::new(net));
+
+        // Spare process adopts the failed rank's endpoint identity.
+        eng.schedule_now(net_id, NetCtl::Rebind(dst, new_sink));
+        eng.schedule_now(
+            net_id,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert!(eng.actor_as::<Sink>(old_sink).unwrap().arrivals.is_empty());
+        assert_eq!(eng.actor_as::<Sink>(new_sink).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn traffic_from_down_sender_dropped() {
+        let model = CostModel::slow_test();
+        let (mut eng, sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        eng.schedule_now(net_actor, NetCtl::EndpointDown(src));
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert!(eng.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
+        assert_eq!(eng.metrics().counter("net.dropped"), 1);
+    }
+
+    #[test]
+    fn metrics_count_bytes() {
+        let model = CostModel::slow_test();
+        let (mut eng, _sink, _h, src, dst, _) = setup(model);
+        let net_actor = 1;
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 123, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert_eq!(eng.metrics().counter("net.msgs"), 1);
+        assert_eq!(eng.metrics().counter("net.bytes"), 123);
+    }
+}

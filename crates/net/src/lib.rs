@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # net — simulated HPC interconnect
+//!
+//! The paper's system runs over Cray Aries RDMA between compute nodes and
+//! staging servers. This crate substitutes two interchangeable transports:
+//!
+//! * [`des::Network`] — a discrete-event network actor with a LogGP-style
+//!   cost model ([`cost::CostModel`]): per-message latency `L`, per-byte time
+//!   `G` (inverse bandwidth), and *receiver NIC serialization* — messages
+//!   destined for the same endpoint queue behind each other, which is what
+//!   produces the contention behaviour at staging servers that Figure 9's
+//!   write-response-time curves depend on.
+//! * [`threaded::ThreadedNet`] — a real message-passing mesh over crossbeam
+//!   channels, used by the examples and concurrency tests to run the exact
+//!   same protocol logic under genuine parallelism.
+//!
+//! Both transports carry opaque payloads; serialization is not simulated
+//! (payload bytes are counted through message sizes declared by senders).
+
+pub mod cost;
+pub mod des;
+pub mod threaded;
+
+pub use cost::CostModel;
+pub use des::{Delivered, EndpointId, Network, NetworkHandle, Transmit};
+pub use threaded::{ThreadEndpoint, ThreadedNet};

@@ -1,0 +1,202 @@
+//! Real-thread transport: a fully-connected mesh of crossbeam channels.
+//!
+//! This transport runs the same staging/logging protocol code as the DES
+//! transport but with genuine OS-thread concurrency, so the examples and the
+//! race-condition tests exercise real interleavings. No time modeling is done
+//! here — wall-clock behaviour is whatever the machine provides.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message received from the mesh.
+pub struct NetMsg {
+    /// Sending endpoint index.
+    pub from: usize,
+    /// Declared size in bytes (for accounting parity with the DES transport).
+    pub size: u64,
+    /// Opaque payload.
+    pub payload: Box<dyn Any + Send>,
+}
+
+/// Shared counters for the whole mesh.
+#[derive(Debug, Default)]
+pub struct MeshStats {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl MeshStats {
+    /// Messages sent through the mesh so far.
+    pub fn msgs(&self) -> u64 {
+        self.msgs.load(Ordering::Relaxed)
+    }
+
+    /// Bytes (declared sizes) sent through the mesh so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// One endpoint of the mesh: can send to any peer and receive its own queue.
+pub struct ThreadEndpoint {
+    id: usize,
+    peers: Vec<Sender<NetMsg>>,
+    rx: Receiver<NetMsg>,
+    stats: Arc<MeshStats>,
+}
+
+impl ThreadEndpoint {
+    /// This endpoint's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of endpoints in the mesh (including this one).
+    pub fn mesh_size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Send `payload` (declared `size` bytes) to endpoint `to`.
+    ///
+    /// Returns `false` if the destination endpoint has been dropped — the
+    /// threaded analogue of a dead RDMA peer.
+    pub fn send<T: Any + Send>(&self, to: usize, size: u64, payload: T) -> bool {
+        self.stats.msgs.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(size, Ordering::Relaxed);
+        self.peers[to]
+            .send(NetMsg { from: self.id, size, payload: Box::new(payload) })
+            .is_ok()
+    }
+
+    /// Block until a message arrives.
+    ///
+    /// Returns `None` when every sender has been dropped (mesh shutdown).
+    pub fn recv(&self) -> Option<NetMsg> {
+        self.rx.recv().ok()
+    }
+
+    /// Block until a message arrives or `timeout` passes.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<NetMsg, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<NetMsg> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Shared mesh statistics.
+    pub fn stats(&self) -> &Arc<MeshStats> {
+        &self.stats
+    }
+}
+
+/// Builder for a fully-connected mesh of `n` endpoints.
+pub struct ThreadedNet;
+
+impl ThreadedNet {
+    /// Create `n` endpoints wired all-to-all (including self-loops, which are
+    /// occasionally convenient for uniform code paths).
+    pub fn mesh(n: usize) -> Vec<ThreadEndpoint> {
+        let stats = Arc::new(MeshStats::default());
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| ThreadEndpoint {
+                id,
+                peers: senders.clone(),
+                rx,
+                stats: Arc::clone(&stats),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point() {
+        let mut eps = ThreadedNet::mesh(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send(1, 8, 42u64));
+        let m = b.recv().unwrap();
+        assert_eq!(m.from, 0);
+        assert_eq!(m.size, 8);
+        assert_eq!(*m.payload.downcast::<u64>().unwrap(), 42);
+    }
+
+    #[test]
+    fn self_loop_works() {
+        let eps = ThreadedNet::mesh(1);
+        let a = &eps[0];
+        assert!(a.send(0, 1, "hi"));
+        let m = a.recv().unwrap();
+        assert_eq!(*m.payload.downcast::<&str>().unwrap(), "hi");
+    }
+
+    #[test]
+    fn cross_thread_traffic() {
+        let mut eps = ThreadedNet::mesh(3);
+        let c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t1 = thread::spawn(move || {
+            for i in 0..100u32 {
+                a.send(2, 4, i);
+            }
+        });
+        let t2 = thread::spawn(move || {
+            for i in 100..200u32 {
+                b.send(2, 4, i);
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            let m = c.recv().unwrap();
+            got.push(*m.payload.downcast::<u32>().unwrap());
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+        assert_eq!(c.stats().msgs(), 200);
+        assert_eq!(c.stats().bytes(), 800);
+    }
+
+    #[test]
+    fn dropped_endpoint_reports_send_failure() {
+        let mut eps = ThreadedNet::mesh(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b);
+        // a still holds a sender to b's (dropped) receiver.
+        assert!(!a.send(1, 1, ()));
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let eps = ThreadedNet::mesh(1);
+        assert!(eps[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let eps = ThreadedNet::mesh(1);
+        let r = eps[0].recv_timeout(Duration::from_millis(10));
+        assert!(matches!(r, Err(RecvTimeoutError::Timeout)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Arithmetic over GF(2^8) with the AES polynomial `x^8+x^4+x^3+x+1` (0x11B).
+//!
+//! Multiplication and inversion go through log/antilog tables generated at
+//! first use from the generator element 3 (a primitive root of the field
+//! under this reduction polynomial).
+
+use std::sync::OnceLock;
+
+/// The reduction polynomial, minus the x^8 term.
+const POLY: u16 = 0x11B;
+
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255u16 {
+            exp[i as usize] = x as u8;
+            log[x as usize] = i as u8;
+            // multiply x by the generator 3 = x + 1:
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        // Duplicate for overflow-free indexing exp[a+b] with a,b < 255.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Addition in GF(2^8) (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Subtraction in GF(2^8) (identical to addition).
+#[inline]
+pub fn sub(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2^8).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse; panics on zero.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division `a / b`; panics when `b == 0`.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    let d = t.log[a as usize] as usize + 255 - t.log[b as usize] as usize;
+    t.exp[d]
+}
+
+/// Exponentiation of the generator: `gen^e`.
+#[inline]
+pub fn exp(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// `dst[i] ^= c * src[i]` over a slice — the inner loop of RS coding.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let lc = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[lc + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_products() {
+        // AES-standard examples under 0x11B.
+        assert_eq!(mul(0x53, 0xCA), 0x01);
+        assert_eq!(mul(0x57, 0x13), 0xFE);
+        assert_eq!(mul(2, 0x80), 0x1B);
+        assert_eq!(mul(0, 0x7F), 0);
+        assert_eq!(mul(1, 0x7F), 0x7F);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn division_consistent() {
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(mul(div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        let _ = div(1, 0);
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        let mut seen = [false; 256];
+        for e in 0..255 {
+            let v = exp(e);
+            assert!(!seen[v as usize], "generator order < 255");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0], "generator powers never hit zero");
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar() {
+        let src: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
+        let mut dst: Vec<u8> = (0..64).map(|i| (i * 13 + 1) as u8).collect();
+        let expect: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(&d, &s)| d ^ mul(0x2A, s))
+            .collect();
+        mul_acc(&mut dst, &src, 0x2A);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_acc_identity_and_zero() {
+        let src = vec![9u8; 16];
+        let mut dst = vec![5u8; 16];
+        mul_acc(&mut dst, &src, 0);
+        assert_eq!(dst, vec![5u8; 16]);
+        mul_acc(&mut dst, &src, 1);
+        assert_eq!(dst, vec![5 ^ 9u8; 16]);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative(a: u8, b: u8) {
+            prop_assert_eq!(mul(a, b), mul(b, a));
+        }
+
+        #[test]
+        fn mul_associative(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+
+        #[test]
+        fn distributive(a: u8, b: u8, c: u8) {
+            prop_assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+        }
+
+        #[test]
+        fn add_is_involution(a: u8, b: u8) {
+            prop_assert_eq!(sub(add(a, b), b), a);
+        }
+    }
+}

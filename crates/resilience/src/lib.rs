@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # resilience — staged-data protection (the CoREC substrate)
+//!
+//! The paper's framework is implemented on CoREC (Duan et al., IPDPS'18), a
+//! DataSpaces branch that protects the *staging area itself* against staging
+//! process/node failures: hot data is replicated, colder data is erasure
+//! coded, and lost shards are rebuilt from survivors. The crash-consistency
+//! layer assumes staged/logged data survives staging failures ("to guarantee
+//! the data availability in staging, the data staging can contain data
+//! resilience mechanisms such as data replication or erasure coding").
+//!
+//! This crate rebuilds that substrate:
+//!
+//! * [`gf256`] — arithmetic over GF(2^8) with log/antilog tables.
+//! * [`rs`] — systematic Reed–Solomon `RS(k, m)` encode/decode over GF(2^8)
+//!   (Vandermonde-derived encoding matrix, Gaussian-elimination recovery).
+//! * [`placement`] — shard/replica placement across staging servers with
+//!   failure-domain separation.
+//! * [`protect`] — the policy layer: replicate small/hot objects, erasure
+//!   code large objects, verify and rebuild after failures.
+
+pub mod gf256;
+pub mod placement;
+pub mod protect;
+pub mod rs;
+
+pub use placement::PlacementMap;
+pub use protect::{ProtectConfig, ProtectedStore, Protection};
+pub use rs::ReedSolomon;

@@ -1,0 +1,152 @@
+//! Shard and replica placement across staging servers.
+//!
+//! CoREC spreads an object's shards (or replicas) over distinct staging
+//! servers — one per failure domain — so that a single process/node failure
+//! costs at most one shard per object. Placement is deterministic (rendezvous
+//! style from the object key) so every client and server computes the same
+//! layout without coordination.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic placement of `width` slots over `nservers` servers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacementMap {
+    /// Total staging servers.
+    pub nservers: usize,
+}
+
+impl PlacementMap {
+    /// Create a map over `nservers` servers.
+    pub fn new(nservers: usize) -> Self {
+        assert!(nservers > 0);
+        PlacementMap { nservers }
+    }
+
+    /// Servers for the `width` shards of object `key`: distinct servers when
+    /// `width <= nservers`, round-robin wrap otherwise.
+    ///
+    /// The first server is derived from the key (spreading primaries), and
+    /// subsequent shards stride by a key-derived coprime step so different
+    /// objects use different server subsets.
+    pub fn place(&self, key: u64, width: usize) -> Vec<usize> {
+        assert!(width > 0);
+        let n = self.nservers as u64;
+        let start = mix(key) % n;
+        // A stride coprime with n guarantees the first `min(width, n)` slots
+        // are distinct.
+        let stride = coprime_stride(mix(key.rotate_left(17) ^ 0x9E37_79B9), n);
+        (0..width as u64)
+            .map(|i| ((start + i * stride) % n) as usize)
+            .collect()
+    }
+
+    /// True if losing `failed` servers still leaves `need` of the `width`
+    /// shards of `key` reachable.
+    pub fn survives(&self, key: u64, width: usize, need: usize, failed: &[usize]) -> bool {
+        let placed = self.place(key, width);
+        let alive = placed.iter().filter(|s| !failed.contains(s)).count();
+        alive >= need
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    // SplitMix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn coprime_stride(seed: u64, n: u64) -> u64 {
+    if n == 1 {
+        return 1;
+    }
+    let mut s = 1 + seed % (n - 1); // in [1, n-1]
+    while gcd(s, n) != 1 {
+        s += 1;
+        if s >= n {
+            s = 1;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn shards_on_distinct_servers() {
+        let p = PlacementMap::new(10);
+        for key in 0..100u64 {
+            let servers = p.place(key, 10);
+            let mut sorted = servers.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "key {key} reused a server: {servers:?}");
+        }
+    }
+
+    #[test]
+    fn width_beyond_servers_wraps() {
+        let p = PlacementMap::new(3);
+        let servers = p.place(42, 7);
+        assert_eq!(servers.len(), 7);
+        assert!(servers.iter().all(|&s| s < 3));
+        // First 3 distinct.
+        let mut first: Vec<usize> = servers[..3].to_vec();
+        first.sort_unstable();
+        first.dedup();
+        assert_eq!(first.len(), 3);
+    }
+
+    #[test]
+    fn placement_deterministic() {
+        let p = PlacementMap::new(8);
+        assert_eq!(p.place(7, 5), p.place(7, 5));
+        assert_ne!(p.place(7, 5), p.place(8, 5), "different keys should differ");
+    }
+
+    #[test]
+    fn primaries_spread_over_servers() {
+        let p = PlacementMap::new(16);
+        let mut hit = [false; 16];
+        for key in 0..256u64 {
+            hit[p.place(key, 1)[0]] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some server never primary");
+    }
+
+    #[test]
+    fn survives_counts_correctly() {
+        let p = PlacementMap::new(5);
+        let key = 99;
+        let placed = p.place(key, 5); // all servers
+        // RS(3,2): need 3 of 5.
+        assert!(p.survives(key, 5, 3, &placed[..2]));
+        assert!(!p.survives(key, 5, 3, &placed[..3]));
+        assert!(p.survives(key, 5, 3, &[]));
+    }
+
+    proptest! {
+        #[test]
+        fn first_min_width_n_distinct(key: u64, n in 1usize..32, width in 1usize..32) {
+            let p = PlacementMap::new(n);
+            let servers = p.place(key, width);
+            prop_assert_eq!(servers.len(), width);
+            let distinct = width.min(n);
+            let mut head: Vec<usize> = servers[..distinct].to_vec();
+            head.sort_unstable();
+            head.dedup();
+            prop_assert_eq!(head.len(), distinct);
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Protection policy: replicate small objects, erasure-code large ones,
+//! rebuild after staging-server failures.
+//!
+//! This models CoREC's hybrid scheme at object granularity: each staged
+//! object is either N-way replicated or RS(k, m) coded, its fragments spread
+//! over distinct servers by [`PlacementMap`]. [`ProtectedStore`] simulates
+//! the fragment directory of the whole staging service, supports killing
+//! servers, answers availability queries, and rebuilds lost fragments onto
+//! surviving servers — the machinery the crash-consistency layer relies on
+//! for "data availability in staging".
+
+use crate::placement::PlacementMap;
+use crate::rs::ReedSolomon;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How one object is protected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Protection {
+    /// `n` full copies on distinct servers.
+    Replicate {
+        /// Copy count (≥ 1; 1 means unprotected).
+        n: usize,
+    },
+    /// Reed–Solomon `k + m` fragments on distinct servers.
+    ErasureCode {
+        /// Data shards.
+        k: usize,
+        /// Parity shards.
+        m: usize,
+    },
+}
+
+impl Protection {
+    /// Total fragments stored.
+    pub fn width(&self) -> usize {
+        match *self {
+            Protection::Replicate { n } => n,
+            Protection::ErasureCode { k, m } => k + m,
+        }
+    }
+
+    /// Fragments required to read the object.
+    pub fn need(&self) -> usize {
+        match *self {
+            Protection::Replicate { .. } => 1,
+            Protection::ErasureCode { k, .. } => k,
+        }
+    }
+
+    /// Maximum concurrent server losses tolerated.
+    pub fn tolerates(&self) -> usize {
+        self.width() - self.need()
+    }
+
+    /// Storage overhead factor relative to the raw object (1.0 = no
+    /// overhead). Replication of n copies costs n×; RS(k, m) costs (k+m)/k.
+    pub fn overhead(&self) -> f64 {
+        match *self {
+            Protection::Replicate { n } => n as f64,
+            Protection::ErasureCode { k, m } => (k + m) as f64 / k as f64,
+        }
+    }
+}
+
+/// Policy choosing a protection per object size.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProtectConfig {
+    /// Objects at or below this size are replicated (cheap, low latency).
+    pub replicate_below: u64,
+    /// Replica count for small objects.
+    pub replicas: usize,
+    /// RS data shards for large objects.
+    pub rs_k: usize,
+    /// RS parity shards for large objects.
+    pub rs_m: usize,
+}
+
+impl Default for ProtectConfig {
+    fn default() -> Self {
+        // CoREC-flavoured: 2-way replication for small/hot, RS(8,2) for bulk.
+        ProtectConfig { replicate_below: 64 << 10, replicas: 2, rs_k: 8, rs_m: 2 }
+    }
+}
+
+impl ProtectConfig {
+    /// Choose the protection for an object of `size` bytes.
+    pub fn choose(&self, size: u64) -> Protection {
+        if size <= self.replicate_below {
+            Protection::Replicate { n: self.replicas }
+        } else {
+            Protection::ErasureCode { k: self.rs_k, m: self.rs_m }
+        }
+    }
+}
+
+/// Directory entry for one protected object.
+#[derive(Debug, Clone)]
+struct Entry {
+    protection: Protection,
+    size: u64,
+    /// Fragment index → server currently holding it (fragments move during
+    /// rebuild).
+    fragments: BTreeMap<usize, usize>,
+}
+
+/// Simulated fragment directory for the staging service.
+#[derive(Debug)]
+pub struct ProtectedStore {
+    config: ProtectConfig,
+    placement: PlacementMap,
+    objects: BTreeMap<u64, Entry>,
+    failed: BTreeSet<usize>,
+    /// Bytes of fragment data moved by rebuilds (for cost accounting).
+    rebuilt_bytes: u64,
+}
+
+/// Result of a rebuild pass.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Objects fully healthy again after the pass.
+    pub repaired: u64,
+    /// Objects that lost more fragments than their protection tolerates.
+    pub lost: u64,
+    /// Fragment bytes re-created.
+    pub bytes_moved: u64,
+}
+
+impl ProtectedStore {
+    /// Create a store over `nservers` staging servers.
+    pub fn new(config: ProtectConfig, nservers: usize) -> Self {
+        ProtectedStore {
+            config,
+            placement: PlacementMap::new(nservers),
+            objects: BTreeMap::new(),
+            failed: BTreeSet::new(),
+            rebuilt_bytes: 0,
+        }
+    }
+
+    /// Register an object; fragments are placed immediately. Returns the
+    /// chosen protection.
+    pub fn insert(&mut self, key: u64, size: u64) -> Protection {
+        let protection = self.config.choose(size);
+        let servers = self.placement.place(key, protection.width());
+        let fragments = servers.into_iter().enumerate().collect();
+        self.objects.insert(key, Entry { protection, size, fragments });
+        protection
+    }
+
+    /// Remove an object (e.g. garbage collected).
+    pub fn remove(&mut self, key: u64) -> bool {
+        self.objects.remove(&key).is_some()
+    }
+
+    /// Mark a staging server failed; its fragments become unavailable.
+    pub fn fail_server(&mut self, server: usize) {
+        self.failed.insert(server);
+    }
+
+    /// Mark a server recovered (empty — its fragments are gone; rebuild
+    /// repopulates).
+    pub fn recover_server(&mut self, server: usize) {
+        self.failed.remove(&server);
+    }
+
+    /// Is `key` currently readable (enough fragments on live servers)?
+    pub fn available(&self, key: u64) -> bool {
+        let Some(e) = self.objects.get(&key) else { return false };
+        let alive = e.fragments.values().filter(|s| !self.failed.contains(s)).count();
+        alive >= e.protection.need()
+    }
+
+    /// Keys of objects that currently have lost fragments (but may still be
+    /// readable).
+    pub fn degraded_keys(&self) -> Vec<u64> {
+        self.objects
+            .iter()
+            .filter(|(_, e)| e.fragments.values().any(|s| self.failed.contains(s)))
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Rebuild lost fragments onto surviving servers. Objects with more
+    /// losses than their protection tolerates are dropped (data loss).
+    pub fn rebuild(&mut self) -> RebuildReport {
+        let mut report = RebuildReport::default();
+        let nservers = self.placement.nservers;
+        let live: Vec<usize> = (0..nservers).filter(|s| !self.failed.contains(s)).collect();
+        let mut dead_keys = Vec::new();
+        for (&key, e) in self.objects.iter_mut() {
+            let lost: Vec<usize> = e
+                .fragments
+                .iter()
+                .filter(|(_, s)| self.failed.contains(s))
+                .map(|(&f, _)| f)
+                .collect();
+            if lost.is_empty() {
+                continue;
+            }
+            let alive = e.fragments.len() - lost.len();
+            if alive < e.protection.need() {
+                report.lost += 1;
+                dead_keys.push(key);
+                continue;
+            }
+            // Re-create each lost fragment on a live server not already
+            // holding one of this object's fragments (fall back to any live
+            // server if the object is wider than the live set).
+            let occupied: BTreeSet<usize> = e
+                .fragments
+                .iter()
+                .filter(|(f, _)| !lost.contains(f))
+                .map(|(_, &s)| s)
+                .collect();
+            let mut candidates: Vec<usize> =
+                live.iter().copied().filter(|s| !occupied.contains(s)).collect();
+            if candidates.is_empty() {
+                // Every live server already holds a fragment of this object:
+                // place on the least-loaded (fewest fragments of this object)
+                // first so no server accumulates a tolerance-breaking pile.
+                let mut by_load: Vec<usize> = live.clone();
+                let load = |server: usize, frags: &BTreeMap<usize, usize>| {
+                    frags.values().filter(|&&s| s == server).count()
+                };
+                by_load.sort_by_key(|&s| load(s, &e.fragments));
+                candidates = by_load;
+            }
+            if candidates.is_empty() {
+                report.lost += 1;
+                dead_keys.push(key);
+                continue;
+            }
+            let frag_size = e.size.div_ceil(e.protection.need() as u64);
+            for (i, f) in lost.into_iter().enumerate() {
+                let target = candidates[i % candidates.len()];
+                e.fragments.insert(f, target);
+                report.bytes_moved += frag_size;
+            }
+            report.repaired += 1;
+        }
+        for k in dead_keys {
+            self.objects.remove(&k);
+        }
+        self.rebuilt_bytes += report.bytes_moved;
+        report
+    }
+
+    /// Total stored bytes including protection overhead.
+    pub fn protected_bytes(&self) -> u64 {
+        self.objects
+            .values()
+            .map(|e| (e.size as f64 * e.protection.overhead()).ceil() as u64)
+            .sum()
+    }
+
+    /// Raw (user) bytes stored.
+    pub fn raw_bytes(&self) -> u64 {
+        self.objects.values().map(|e| e.size).sum()
+    }
+
+    /// Number of tracked objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Cumulative bytes moved by all rebuild passes.
+    pub fn rebuilt_bytes(&self) -> u64 {
+        self.rebuilt_bytes
+    }
+
+    /// End-to-end self check: exercise RS coding at this store's configured
+    /// geometry on `sample` to prove the math behind the directory is sound.
+    pub fn verify_coding(&self, sample: &[u8]) -> bool {
+        let rs = ReedSolomon::new(self.config.rs_k, self.config.rs_m);
+        let (shards, len) = rs.shard_bytes(sample);
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        // Lose the maximum tolerable number of shards.
+        for slot in opt.iter_mut().take(self.config.rs_m) {
+            *slot = None;
+        }
+        match rs.unshard_bytes(&opt, len) {
+            Ok(out) => out == sample,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_picks_by_size() {
+        let cfg = ProtectConfig::default();
+        assert_eq!(cfg.choose(1024), Protection::Replicate { n: 2 });
+        assert_eq!(cfg.choose(1 << 20), Protection::ErasureCode { k: 8, m: 2 });
+    }
+
+    #[test]
+    fn protection_properties() {
+        let r = Protection::Replicate { n: 3 };
+        assert_eq!(r.width(), 3);
+        assert_eq!(r.need(), 1);
+        assert_eq!(r.tolerates(), 2);
+        assert!((r.overhead() - 3.0).abs() < 1e-12);
+        let e = Protection::ErasureCode { k: 8, m: 2 };
+        assert_eq!(e.width(), 10);
+        assert_eq!(e.need(), 8);
+        assert_eq!(e.tolerates(), 2);
+        assert!((e.overhead() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_through_failures() {
+        let mut store = ProtectedStore::new(ProtectConfig::default(), 12);
+        store.insert(1, 1 << 20); // RS(8,2): tolerates 2
+        assert!(store.available(1));
+        // Fail servers one by one until unavailable; must take >= 3 failures
+        // that actually hit fragments.
+        let mut hits = 0;
+        for s in 0..12 {
+            if store.available(1) {
+                store.fail_server(s);
+                if store.degraded_keys().contains(&1) {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 3, "needed at least 3 fragment losses, got {hits}");
+    }
+
+    #[test]
+    fn rebuild_restores_health() {
+        let mut store = ProtectedStore::new(ProtectConfig::default(), 12);
+        for key in 0..50 {
+            store.insert(key, 1 << 20);
+        }
+        store.fail_server(3);
+        let degraded = store.degraded_keys().len();
+        assert!(degraded > 0, "server 3 should hold fragments");
+        let report = store.rebuild();
+        assert_eq!(report.repaired as usize, degraded);
+        assert_eq!(report.lost, 0);
+        assert!(report.bytes_moved > 0);
+        assert!(store.degraded_keys().is_empty());
+        // All still available even though server 3 is still down.
+        assert!((0..50).all(|k| store.available(k)));
+    }
+
+    #[test]
+    fn too_many_failures_lose_data() {
+        let mut store = ProtectedStore::new(
+            ProtectConfig { replicate_below: 0, replicas: 2, rs_k: 2, rs_m: 1 },
+            3,
+        );
+        store.insert(7, 1 << 20); // RS(2,1) on 3 servers: tolerates 1
+        store.fail_server(0);
+        store.fail_server(1);
+        store.fail_server(2);
+        let report = store.rebuild();
+        assert_eq!(report.lost, 1);
+        assert!(!store.available(7));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn replicated_object_survives_one_loss() {
+        let mut store = ProtectedStore::new(ProtectConfig::default(), 4);
+        store.insert(9, 100); // small → 2 replicas
+        assert!(store.available(9));
+        // Kill every server but one; with 2 replicas at least one survives a
+        // single failure.
+        store.fail_server(0);
+        let _ = store.rebuild();
+        assert!(store.available(9));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut store = ProtectedStore::new(ProtectConfig::default(), 12);
+        store.insert(1, 1000); // replicated ×2
+        store.insert(2, 1 << 20); // RS(8,2) ×1.25
+        assert_eq!(store.raw_bytes(), 1000 + (1 << 20));
+        let expected = 2000 + ((1 << 20) as f64 * 1.25).ceil() as u64;
+        assert_eq!(store.protected_bytes(), expected);
+        assert_eq!(store.len(), 2);
+        store.remove(1);
+        assert_eq!(store.raw_bytes(), 1 << 20);
+        assert!(!store.remove(1));
+    }
+
+    #[test]
+    fn coding_self_check() {
+        let store = ProtectedStore::new(ProtectConfig::default(), 12);
+        let sample: Vec<u8> = (0..4096).map(|i| (i * 31 % 251) as u8).collect();
+        assert!(store.verify_coding(&sample));
+    }
+
+    #[test]
+    fn recover_server_clears_failed_mark() {
+        let mut store = ProtectedStore::new(ProtectConfig::default(), 4);
+        store.insert(1, 10);
+        store.fail_server(0);
+        store.recover_server(0);
+        assert!(store.degraded_keys().is_empty() || store.available(1));
+    }
+}

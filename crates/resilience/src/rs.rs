@@ -1,0 +1,459 @@
+//! Systematic Reed–Solomon erasure coding `RS(k, m)` over GF(2^8).
+//!
+//! `k` data shards are extended with `m` parity shards; any `k` of the
+//! `k + m` shards reconstruct all data. The encoding matrix is derived from a
+//! Vandermonde matrix by Gaussian elimination into systematic form, which
+//! preserves the any-k-rows-invertible property (Plank's construction).
+
+use crate::gf256;
+
+/// A `rows × cols` matrix over GF(2^8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    pub(crate) fn zero(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    pub(crate) fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Vandermonde matrix: `a[r][c] = (r+? ) base` — element `exp(r)^c` with
+    /// distinct evaluation points per row.
+    pub(crate) fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 255, "at most 255 shards");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            let mut v: u8 = 1;
+            // Evaluation point for row r: r (as field element, with 0 row
+            // giving [1,0,0,..] handled by convention v = r^c).
+            for c in 0..cols {
+                m.set(r, c, v);
+                v = gf256::mul(v, r as u8);
+            }
+        }
+        // Row 0 with point 0 produces [1,0,0,...]; that is fine (still
+        // Vandermonde with distinct points 0..rows).
+        m
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    pub(crate) fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Multiply `self × rhs`.
+    pub(crate) fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows);
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0u8;
+                for k in 0..self.cols {
+                    acc ^= gf256::mul(self.get(r, k), rhs.get(k, c));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Invert a square matrix via Gauss–Jordan; `None` if singular.
+    pub(crate) fn invert(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols);
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            for c in 0..n {
+                a.set(col, c, gf256::mul(a.get(col, c), pinv));
+                inv.set(col, c, gf256::mul(inv.get(col, c), pinv));
+            }
+            for r in 0..n {
+                if r != col && a.get(r, col) != 0 {
+                    let f = a.get(r, col);
+                    for c in 0..n {
+                        let av = gf256::add(a.get(r, c), gf256::mul(f, a.get(col, c)));
+                        a.set(r, c, av);
+                        let iv = gf256::add(inv.get(r, c), gf256::mul(f, inv.get(col, c)));
+                        inv.set(r, c, iv);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, t);
+        }
+    }
+
+    /// Take a subset of rows.
+    pub(crate) fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+/// A systematic Reed–Solomon code with `k` data and `m` parity shards.
+///
+/// ```
+/// use resilience::ReedSolomon;
+///
+/// let rs = ReedSolomon::new(4, 2);
+/// let bytes: Vec<u8> = (0..100u8).collect();
+/// let (shards, len) = rs.shard_bytes(&bytes);
+/// let mut stored: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+/// stored[1] = None; // lose a data shard
+/// stored[4] = None; // and a parity shard
+/// assert_eq!(rs.unshard_bytes(&stored, len).unwrap(), bytes);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    k: usize,
+    m: usize,
+    /// `(k+m) × k` encoding matrix; top `k` rows are the identity.
+    encode: Matrix,
+}
+
+/// Errors from shard reconstruction.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RsError {
+    /// Fewer than `k` shards survive.
+    NotEnoughShards {
+        /// Shards present.
+        have: usize,
+        /// Shards needed (`k`).
+        need: usize,
+    },
+    /// Input shard lengths differ.
+    LengthMismatch,
+}
+
+impl ReedSolomon {
+    /// Construct `RS(k, m)`; requires `1 <= k`, `0 <= m`, `k + m <= 255`.
+    pub fn new(k: usize, m: usize) -> Self {
+        assert!(k >= 1, "need at least one data shard");
+        assert!(k + m <= 255, "k+m must fit GF(256) points");
+        // Build Vandermonde and reduce the top k×k block to identity; the
+        // result is a systematic matrix whose every k-row subset is
+        // invertible.
+        let v = Matrix::vandermonde(k + m, k);
+        let top = v.select_rows(&(0..k).collect::<Vec<_>>());
+        let top_inv = top.invert().expect("Vandermonde top block is invertible");
+        let encode = v.mul(&top_inv);
+        ReedSolomon { k, m, encode }
+    }
+
+    /// Number of data shards.
+    pub fn data_shards(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity shards.
+    pub fn parity_shards(&self) -> usize {
+        self.m
+    }
+
+    /// Encode `data` (exactly `k` equal-length shards) into `m` parity shards.
+    pub fn encode(&self, data: &[&[u8]]) -> Result<Vec<Vec<u8>>, RsError> {
+        assert_eq!(data.len(), self.k, "need exactly k data shards");
+        let len = data[0].len();
+        if data.iter().any(|d| d.len() != len) {
+            return Err(RsError::LengthMismatch);
+        }
+        let mut parity = vec![vec![0u8; len]; self.m];
+        for (pi, p) in parity.iter_mut().enumerate() {
+            let row = self.encode.row(self.k + pi);
+            for (di, d) in data.iter().enumerate() {
+                gf256::mul_acc(p, d, row[di]);
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstruct missing shards in place. `shards` has `k + m` slots in
+    /// code order (data first, then parity); `None` marks a lost shard.
+    /// On success every slot is `Some`.
+    pub fn reconstruct(&self, shards: &mut [Option<Vec<u8>>]) -> Result<(), RsError> {
+        assert_eq!(shards.len(), self.k + self.m, "wrong shard count");
+        let present: Vec<usize> = (0..shards.len()).filter(|&i| shards[i].is_some()).collect();
+        if present.len() < self.k {
+            return Err(RsError::NotEnoughShards { have: present.len(), need: self.k });
+        }
+        let len = shards[present[0]].as_ref().expect("present").len();
+        if present.iter().any(|&i| shards[i].as_ref().expect("present").len() != len) {
+            return Err(RsError::LengthMismatch);
+        }
+        if shards.iter().all(Option::is_some) {
+            return Ok(()); // nothing missing
+        }
+
+        // Solve for the original data from any k surviving shards.
+        let use_rows: Vec<usize> = present.iter().copied().take(self.k).collect();
+        let sub = self.encode.select_rows(&use_rows);
+        let dec = sub.invert().expect("any k rows of the systematic matrix are invertible");
+
+        // data[j] = sum_i dec[j][i] * shard[use_rows[i]]
+        let mut data: Vec<Vec<u8>> = vec![vec![0u8; len]; self.k];
+        for (j, d) in data.iter_mut().enumerate() {
+            for (i, &row) in use_rows.iter().enumerate() {
+                let src = shards[row].as_ref().expect("selected row present");
+                gf256::mul_acc(d, src, dec.get(j, i));
+            }
+        }
+
+        // Fill any missing data shards.
+        for j in 0..self.k {
+            if shards[j].is_none() {
+                shards[j] = Some(data[j].clone());
+            }
+        }
+        // Recompute any missing parity shards.
+        for pi in 0..self.m {
+            if shards[self.k + pi].is_none() {
+                let row = self.encode.row(self.k + pi);
+                let mut p = vec![0u8; len];
+                for (di, d) in data.iter().enumerate() {
+                    gf256::mul_acc(&mut p, d, row[di]);
+                }
+                shards[self.k + pi] = Some(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Split a byte buffer into `k` equal shards (zero-padded) and encode;
+    /// returns all `k + m` shards plus the original length.
+    pub fn shard_bytes(&self, bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+        let shard_len = bytes.len().div_ceil(self.k).max(1);
+        let mut shards: Vec<Vec<u8>> = Vec::with_capacity(self.k + self.m);
+        for i in 0..self.k {
+            let start = (i * shard_len).min(bytes.len());
+            let end = ((i + 1) * shard_len).min(bytes.len());
+            let mut s = bytes[start..end].to_vec();
+            s.resize(shard_len, 0);
+            shards.push(s);
+        }
+        let refs: Vec<&[u8]> = shards.iter().map(|s| s.as_slice()).collect();
+        let parity = self.encode(&refs).expect("equal length by construction");
+        shards.extend(parity);
+        (shards, bytes.len())
+    }
+
+    /// Inverse of [`ReedSolomon::shard_bytes`] given all data shards present.
+    pub fn unshard_bytes(&self, shards: &[Option<Vec<u8>>], orig_len: usize) -> Result<Vec<u8>, RsError> {
+        let mut all = shards.to_vec();
+        self.reconstruct(&mut all)?;
+        let mut out = Vec::with_capacity(orig_len);
+        for s in all.iter().take(self.k) {
+            out.extend_from_slice(s.as_ref().expect("reconstructed"));
+        }
+        out.truncate(orig_len);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn data_shards(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| (seed as usize + i * 31 + j * 7) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_then_lose_parity_count_shards() {
+        let rs = ReedSolomon::new(4, 2);
+        let data = data_shards(4, 64, 1);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        assert_eq!(parity.len(), 2);
+
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.into_iter().map(Some)).collect();
+        // Lose two data shards.
+        shards[0] = None;
+        shards[2] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[0].as_ref().unwrap(), &data[0]);
+        assert_eq!(shards[2].as_ref().unwrap(), &data[2]);
+    }
+
+    #[test]
+    fn losing_more_than_m_fails() {
+        let rs = ReedSolomon::new(3, 2);
+        let data = data_shards(3, 16, 2);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.into_iter().map(Some).chain(parity.into_iter().map(Some)).collect();
+        shards[0] = None;
+        shards[1] = None;
+        shards[3] = None;
+        assert_eq!(
+            rs.reconstruct(&mut shards),
+            Err(RsError::NotEnoughShards { have: 2, need: 3 })
+        );
+    }
+
+    #[test]
+    fn parity_loss_recomputed() {
+        let rs = ReedSolomon::new(2, 2);
+        let data = data_shards(2, 8, 3);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        let mut shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .cloned()
+            .map(Some)
+            .chain(parity.iter().cloned().map(Some))
+            .collect();
+        shards[2] = None;
+        shards[3] = None;
+        rs.reconstruct(&mut shards).unwrap();
+        assert_eq!(shards[2].as_ref().unwrap(), &parity[0]);
+        assert_eq!(shards[3].as_ref().unwrap(), &parity[1]);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let rs = ReedSolomon::new(2, 1);
+        let a = vec![1u8; 8];
+        let b = vec![2u8; 9];
+        assert_eq!(rs.encode(&[&a, &b]), Err(RsError::LengthMismatch));
+    }
+
+    #[test]
+    fn m_zero_is_degenerate_but_valid() {
+        let rs = ReedSolomon::new(3, 0);
+        let data = data_shards(3, 4, 4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert!(rs.encode(&refs).unwrap().is_empty());
+    }
+
+    #[test]
+    fn shard_unshard_round_trip() {
+        let rs = ReedSolomon::new(4, 2);
+        let bytes: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let (shards, len) = rs.shard_bytes(&bytes);
+        assert_eq!(shards.len(), 6);
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        opt[1] = None;
+        opt[4] = None;
+        let out = rs.unshard_bytes(&opt, len).unwrap();
+        assert_eq!(out, bytes);
+    }
+
+    #[test]
+    fn corec_default_geometry() {
+        // CoREC's evaluation uses RS(8, 2)-class codes; sanity check at that
+        // geometry with every double-erasure pattern.
+        let rs = ReedSolomon::new(8, 2);
+        let data = data_shards(8, 32, 5);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let parity = rs.encode(&refs).unwrap();
+        for a in 0..10 {
+            for b in (a + 1)..10 {
+                let mut shards: Vec<Option<Vec<u8>>> = data
+                    .iter()
+                    .cloned()
+                    .map(Some)
+                    .chain(parity.iter().cloned().map(Some))
+                    .collect();
+                shards[a] = None;
+                shards[b] = None;
+                rs.reconstruct(&mut shards).unwrap();
+                for (i, d) in data.iter().enumerate() {
+                    assert_eq!(shards[i].as_ref().unwrap(), d, "erasure ({a},{b})");
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any k of k+m shards reconstruct the original data.
+        #[test]
+        fn any_k_subset_reconstructs(
+            k in 1usize..6,
+            m in 0usize..4,
+            len in 1usize..64,
+            seed: u8,
+            pattern in prop::collection::vec(any::<bool>(), 0..10),
+        ) {
+            let rs = ReedSolomon::new(k, m);
+            let data = data_shards(k, len, seed);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let parity = rs.encode(&refs).unwrap();
+            let mut shards: Vec<Option<Vec<u8>>> = data
+                .iter().cloned().map(Some)
+                .chain(parity.into_iter().map(Some))
+                .collect();
+            // Erase up to m shards according to the pattern.
+            let mut erased = 0;
+            for (i, &kill) in pattern.iter().enumerate() {
+                if kill && i < shards.len() && erased < m {
+                    shards[i] = None;
+                    erased += 1;
+                }
+            }
+            rs.reconstruct(&mut shards).unwrap();
+            for (i, d) in data.iter().enumerate() {
+                prop_assert_eq!(shards[i].as_ref().unwrap(), d);
+            }
+        }
+
+        #[test]
+        fn bytes_round_trip(bytes in prop::collection::vec(any::<u8>(), 1..500)) {
+            let rs = ReedSolomon::new(5, 3);
+            let (shards, len) = rs.shard_bytes(&bytes);
+            let opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+            let out = rs.unshard_bytes(&opt, len).unwrap();
+            prop_assert_eq!(out, bytes);
+        }
+    }
+}

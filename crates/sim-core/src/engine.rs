@@ -1,0 +1,500 @@
+//! The discrete-event engine: a virtual clock, an event heap, and a set of
+//! actors that exchange dynamically-typed messages.
+//!
+//! Determinism contract: with the same seed and the same sequence of
+//! `add_actor`/`schedule` calls, every run dispatches exactly the same events
+//! at the same virtual times in the same order. Ties on time are broken by a
+//! monotonically increasing sequence number (i.e. FIFO).
+
+use crate::metrics::Metrics;
+use crate::rng::Xoshiro256StarStar;
+use crate::time::SimTime;
+use crate::trace::{TraceEntry, TraceRing};
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of an actor registered with the [`Engine`].
+pub type ActorId = usize;
+
+/// A delivered event: who sent it and the payload.
+///
+/// Payloads are `Box<dyn Any>` so that every crate in the workspace can define
+/// its own message enums without the engine knowing about them; receivers
+/// downcast with [`Event::downcast`].
+pub struct Event {
+    /// Actor that scheduled the event (or `None` for engine/external events).
+    pub from: Option<ActorId>,
+    /// Type-erased payload.
+    pub payload: Box<dyn Any>,
+}
+
+impl std::fmt::Debug for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Event").field("from", &self.from).finish_non_exhaustive()
+    }
+}
+
+impl Event {
+    /// Attempt to downcast the payload to `T`, consuming the event.
+    ///
+    /// Returns `Err(self)` (unchanged) if the payload is not a `T`, so the
+    /// caller can try another type.
+    pub fn downcast<T: 'static>(self) -> Result<(Option<ActorId>, T), Event> {
+        match self.payload.downcast::<T>() {
+            Ok(b) => Ok((self.from, *b)),
+            Err(payload) => Err(Event { from: self.from, payload }),
+        }
+    }
+
+    /// True if the payload is a `T`.
+    pub fn is<T: 'static>(&self) -> bool {
+        self.payload.is::<T>()
+    }
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    target: ActorId,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Behaviour of a simulated entity (a rank, a staging server, a failure
+/// injector...). Implementations are state machines: each delivered event
+/// advances the machine and may schedule further events through [`Ctx`].
+pub trait Actor: Any {
+    /// Handle one event delivered at the current virtual time.
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event);
+
+    /// Human-readable name for traces; defaults to the type name.
+    fn name(&self) -> &str {
+        std::any::type_name::<Self>()
+    }
+}
+
+/// Mutable view of the engine handed to an actor while it processes an event.
+pub struct Ctx<'a> {
+    core: &'a mut EngineCore,
+    /// Id of the actor currently executing.
+    pub self_id: ActorId,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Schedule `payload` for `target` after `delay` (from the sending actor).
+    pub fn send_after<T: Any>(&mut self, delay: SimTime, target: ActorId, payload: T) {
+        let at = self.core.now.saturating_add(delay);
+        let from = Some(self.self_id);
+        self.core.push(at, target, Event { from, payload: Box::new(payload) });
+    }
+
+    /// Schedule `payload` for `target` at the current virtual time (FIFO after
+    /// already-queued same-time events).
+    pub fn send_now<T: Any>(&mut self, target: ActorId, payload: T) {
+        self.send_after(SimTime::ZERO, target, payload);
+    }
+
+    /// Schedule a timer event back to the current actor.
+    pub fn timer<T: Any>(&mut self, delay: SimTime, payload: T) {
+        let id = self.self_id;
+        self.send_after(delay, id, payload);
+    }
+
+    /// Engine-level PRNG (one shared stream; per-actor streams should be
+    /// `split()` off at construction time for stronger determinism).
+    #[inline]
+    pub fn rng(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.core.rng
+    }
+
+    /// Metrics registry.
+    #[inline]
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Request that the engine stop after the current event completes. Events
+    /// still in the heap are discarded by `run`.
+    pub fn stop(&mut self) {
+        self.core.stopped = true;
+    }
+
+    /// True once some actor has requested a stop.
+    pub fn stopping(&self) -> bool {
+        self.core.stopped
+    }
+}
+
+struct EngineCore {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+    rng: Xoshiro256StarStar,
+    metrics: Metrics,
+    trace: Option<TraceRing>,
+    stopped: bool,
+    dispatched: u64,
+}
+
+impl EngineCore {
+    fn push(&mut self, at: SimTime, target: ActorId, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, target, ev });
+    }
+}
+
+/// The discrete-event engine. See the crate docs for an end-to-end example.
+pub struct Engine {
+    core: EngineCore,
+    actors: Vec<Option<Box<dyn Actor>>>,
+}
+
+impl Engine {
+    /// Create an engine whose PRNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            core: EngineCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                rng: Xoshiro256StarStar::seed_from_u64(seed),
+                metrics: Metrics::new(),
+                trace: None,
+                stopped: false,
+                dispatched: 0,
+            },
+            actors: Vec::new(),
+        }
+    }
+
+    /// Enable an event trace ring buffer holding the last `capacity` dispatches.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.core.trace = Some(TraceRing::new(capacity));
+    }
+
+    /// The trace ring, if tracing was enabled.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.core.trace.as_ref()
+    }
+
+    /// Register an actor; returns its id. Ids are assigned densely from 0 in
+    /// registration order.
+    pub fn add_actor(&mut self, actor: Box<dyn Actor>) -> ActorId {
+        self.actors.push(Some(actor));
+        self.actors.len() - 1
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Schedule an external (engine-initiated) event at absolute time `at`.
+    pub fn schedule_at<T: Any>(&mut self, at: SimTime, target: ActorId, payload: T) {
+        self.core.push(at, target, Event { from: None, payload: Box::new(payload) });
+    }
+
+    /// Schedule an external event at the current virtual time.
+    pub fn schedule_now<T: Any>(&mut self, target: ActorId, payload: T) {
+        let now = self.core.now;
+        self.schedule_at(now, target, payload);
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.core.dispatched
+    }
+
+    /// Metrics registry (for post-run inspection).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
+    }
+
+    /// Mutable metrics registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+
+    /// Engine PRNG, e.g. to `split()` per-actor streams during setup.
+    pub fn rng_mut(&mut self) -> &mut Xoshiro256StarStar {
+        &mut self.core.rng
+    }
+
+    /// Borrow a registered actor for inspection after (or between) runs.
+    ///
+    /// Panics if `id` is out of range; returns `None` if the actor is
+    /// currently being dispatched (cannot happen between `run*` calls).
+    pub fn actor(&self, id: ActorId) -> Option<&dyn Actor> {
+        self.actors[id].as_deref()
+    }
+
+    /// Downcast a registered actor to its concrete type for inspection.
+    pub fn actor_as<T: Actor>(&self, id: ActorId) -> Option<&T> {
+        let a: &dyn Actor = self.actors[id].as_deref()?;
+        let any: &dyn Any = a;
+        any.downcast_ref::<T>()
+    }
+
+    /// Mutable downcast of a registered actor (e.g. to inject configuration
+    /// between phases of a scripted test).
+    pub fn actor_as_mut<T: Actor>(&mut self, id: ActorId) -> Option<&mut T> {
+        let a: &mut dyn Actor = self.actors[id].as_deref_mut()?;
+        let any: &mut dyn Any = a;
+        any.downcast_mut::<T>()
+    }
+
+    /// Run until the heap is empty, an actor calls [`Ctx::stop`], or `limit`
+    /// events have been dispatched. Returns the number of events dispatched
+    /// by this call.
+    pub fn run_limited(&mut self, limit: u64) -> u64 {
+        let mut n = 0;
+        while n < limit {
+            let Some(sch) = self.core.heap.pop() else { break };
+            debug_assert!(sch.at >= self.core.now, "time went backwards");
+            self.core.now = sch.at;
+            self.core.dispatched += 1;
+            n += 1;
+            let target = sch.target;
+            if let Some(ring) = &mut self.core.trace {
+                ring.push(TraceEntry {
+                    at: sch.at,
+                    seq: sch.seq,
+                    from: sch.ev.from,
+                    target,
+                });
+            }
+            let Some(mut actor) = self.actors.get_mut(target).and_then(Option::take) else {
+                // Actor was removed (e.g. a killed rank): drop the event.
+                continue;
+            };
+            {
+                let mut ctx = Ctx { core: &mut self.core, self_id: target };
+                actor.on_event(&mut ctx, sch.ev);
+            }
+            self.actors[target] = Some(actor);
+            if self.core.stopped {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Run to completion (empty heap or stop request).
+    pub fn run(&mut self) -> u64 {
+        self.run_limited(u64::MAX)
+    }
+
+    /// Run until the virtual clock would pass `deadline`; events at exactly
+    /// `deadline` are still dispatched. Returns events dispatched.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        loop {
+            match self.core.heap.peek() {
+                Some(s) if s.at <= deadline => {}
+                _ => break,
+            }
+            n += self.run_limited(1);
+            if self.core.stopped {
+                break;
+            }
+        }
+        n
+    }
+
+    /// Remove an actor permanently; pending events addressed to it are
+    /// silently dropped when they pop. Used to model hard process failure.
+    pub fn remove_actor(&mut self, id: ActorId) -> Option<Box<dyn Actor>> {
+        self.actors.get_mut(id).and_then(Option::take)
+    }
+
+    /// Clear a previous stop request so the engine can be driven further.
+    pub fn clear_stop(&mut self) {
+        self.core.stopped = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    enum Msg {
+        Tick(u32),
+    }
+
+    #[derive(Default)]
+    struct Counter {
+        seen: Vec<(u64, u32)>,
+    }
+
+    impl Actor for Counter {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if let Ok((_, Msg::Tick(k))) = ev.downcast::<Msg>() {
+                self.seen.push((ctx.now().as_nanos(), k));
+                if k > 0 {
+                    ctx.timer(SimTime::from_nanos(10), Msg::Tick(k - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_dispatch_in_time_order() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_at(SimTime::from_nanos(50), a, Msg::Tick(0));
+        eng.schedule_at(SimTime::from_nanos(20), a, Msg::Tick(0));
+        eng.schedule_at(SimTime::from_nanos(30), a, Msg::Tick(0));
+        assert_eq!(eng.run(), 3);
+        assert_eq!(eng.now(), SimTime::from_nanos(50));
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::<Counter>::default());
+        for k in [5u32, 6, 7] {
+            eng.schedule_at(SimTime::ZERO, a, Msg::Tick(k));
+        }
+        // Each tick re-arms with k-1 at +10ns; just check dispatch count:
+        // 3 initial chains of length 6,7,8 = 21 events.
+        assert_eq!(eng.run(), 21);
+    }
+
+    #[test]
+    fn timers_chain() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_now(a, Msg::Tick(3));
+        eng.run();
+        assert_eq!(eng.now(), SimTime::from_nanos(30));
+        assert_eq!(eng.dispatched(), 4);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_now(a, Msg::Tick(100));
+        eng.run_until(SimTime::from_nanos(55));
+        assert_eq!(eng.now(), SimTime::from_nanos(50));
+        // Remaining events still pending.
+        assert!(eng.run() > 0);
+    }
+
+    #[test]
+    fn removed_actor_drops_events() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_at(SimTime::from_nanos(5), a, Msg::Tick(0));
+        eng.remove_actor(a);
+        assert_eq!(eng.run(), 1); // popped but dropped without dispatch panic
+    }
+
+    struct Stopper;
+    impl Actor for Stopper {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut eng = Engine::new(1);
+        let s = eng.add_actor(Box::new(Stopper));
+        let c = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_at(SimTime::from_nanos(1), s, ());
+        eng.schedule_at(SimTime::from_nanos(2), c, Msg::Tick(0));
+        eng.run();
+        assert_eq!(eng.now(), SimTime::from_nanos(1));
+        eng.clear_stop();
+        eng.run();
+        assert_eq!(eng.now(), SimTime::from_nanos(2));
+    }
+
+    #[test]
+    fn trace_records_dispatches_in_order() {
+        let mut eng = Engine::new(1);
+        eng.enable_trace(8);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_now(a, Msg::Tick(3));
+        eng.run();
+        let trace = eng.trace().expect("tracing enabled");
+        assert_eq!(trace.total(), 4);
+        let entries = trace.entries();
+        assert_eq!(entries.len(), 4);
+        // Times are nondecreasing; targets all point at the counter.
+        for w in entries.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(entries.iter().all(|e| e.target == a));
+        // The first event came from the engine, the rest from the actor.
+        assert_eq!(entries[0].from, None);
+        assert!(entries[1..].iter().all(|e| e.from == Some(a)));
+    }
+
+    #[test]
+    fn trace_ring_keeps_only_last_entries() {
+        let mut eng = Engine::new(1);
+        eng.enable_trace(2);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_now(a, Msg::Tick(5));
+        eng.run();
+        let trace = eng.trace().unwrap();
+        assert_eq!(trace.total(), 6);
+        assert_eq!(trace.len(), 2, "ring bounded");
+    }
+
+    #[test]
+    fn downcast_error_returns_event() {
+        let ev = Event { from: None, payload: Box::new(42u32) };
+        let ev = ev.downcast::<String>().unwrap_err();
+        let (_, v) = ev.downcast::<u32>().unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        fn run_once() -> Vec<(u64, u32)> {
+            let mut eng = Engine::new(77);
+            let a = eng.add_actor(Box::<Counter>::default());
+            eng.schedule_now(a, Msg::Tick(10));
+            // jitter scheduling through the rng to exercise the stream
+            let d = eng.rng_mut().next_bounded(100);
+            eng.schedule_at(SimTime::from_nanos(d), a, Msg::Tick(2));
+            eng.run();
+            // Inspect by re-dispatching: instead, return dispatch count/time.
+            vec![(eng.now().as_nanos(), eng.dispatched() as u32)]
+        }
+        assert_eq!(run_once(), run_once());
+    }
+}

@@ -1,0 +1,259 @@
+//! A tiny named-metric registry used by every simulated subsystem.
+//!
+//! Three metric kinds are enough for the reproduction:
+//!
+//! * **counters** — monotonically increasing `u64` (bytes written, puts served,
+//!   rollbacks performed, ...);
+//! * **gauges** — instantaneous `i64` values with peak tracking (staging
+//!   memory in use, queue depth, ...);
+//! * **streams** — [`StreamStats`] accumulators over `f64` samples (write
+//!   response times, recovery latencies, ...).
+//!
+//! Names are plain strings; subsystems namespace themselves by convention
+//! (`"staging.put_bytes"`, `"wfcr.replayed_events"`).
+
+use crate::quantile::P2Quantile;
+use crate::stats::StreamStats;
+use std::collections::BTreeMap;
+
+/// Gauge state: current value plus high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Gauge {
+    /// Current value.
+    pub value: i64,
+    /// Maximum value ever observed.
+    pub peak: i64,
+}
+
+/// Registry of named counters, gauges and sample streams.
+///
+/// Uses `BTreeMap` so iteration (and thus any report built from it) is in
+/// deterministic name order.
+#[derive(Debug, Default, Clone)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, Gauge>,
+    streams: BTreeMap<String, StreamStats>,
+    p99s: BTreeMap<String, P2Quantile>,
+}
+
+impl Metrics {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Read a counter (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adjust a gauge by `delta`, tracking the peak.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        let g = self.gauges.entry(name.to_owned()).or_default();
+        g.value += delta;
+        if g.value > g.peak {
+            g.peak = g.value;
+        }
+    }
+
+    /// Set a gauge to an absolute value, tracking the peak.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        let g = self.gauges.entry(name.to_owned()).or_default();
+        g.value = value;
+        if g.value > g.peak {
+            g.peak = g.value;
+        }
+    }
+
+    /// Read a gauge (default zero).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges.get(name).copied().unwrap_or_default()
+    }
+
+    /// Record an `f64` sample into the stream `name`.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        self.streams.entry(name.to_owned()).or_default().push(sample);
+    }
+
+    /// Read a stream's statistics (empty stats if never written).
+    pub fn stream(&self, name: &str) -> StreamStats {
+        self.streams.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Record a sample into the stream `name` *and* its streaming p99
+    /// estimator — use for latency-style streams whose tail matters.
+    pub fn observe_tail(&mut self, name: &str, sample: f64) {
+        self.observe(name, sample);
+        self.p99s
+            .entry(name.to_owned())
+            .or_insert_with(|| P2Quantile::new(0.99))
+            .push(sample);
+    }
+
+    /// The p99 estimate for a stream recorded via
+    /// [`Metrics::observe_tail`] (`None` if never recorded that way).
+    pub fn p99(&self, name: &str) -> Option<f64> {
+        self.p99s.get(name).and_then(P2Quantile::estimate)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, Gauge)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate streams in name order.
+    pub fn streams(&self) -> impl Iterator<Item = (&str, &StreamStats)> {
+        self.streams.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merge another registry into this one (counters add, gauges add values
+    /// and take max peaks, streams merge). Used to aggregate per-thread
+    /// metrics from the threaded transport.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            self.inc(k, *v);
+        }
+        for (k, g) in &other.gauges {
+            let mine = self.gauges.entry(k.clone()).or_default();
+            mine.value += g.value;
+            mine.peak = mine.peak.max(g.peak).max(mine.value);
+        }
+        for (k, s) in &other.streams {
+            self.streams.entry(k.clone()).or_default().merge(s);
+        }
+        // P² estimators cannot be merged exactly; keep whichever side saw
+        // more samples (diagnostic fidelity, not exact statistics).
+        for (k, q) in &other.p99s {
+            match self.p99s.get(k) {
+                Some(mine) if mine.count() >= q.count() => {}
+                _ => {
+                    self.p99s.insert(k.clone(), q.clone());
+                }
+            }
+        }
+    }
+
+    /// Reset everything (between benchmark iterations).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.streams.clear();
+        self.p99s.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.inc("a", 2);
+        m.inc("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let mut m = Metrics::new();
+        m.gauge_add("mem", 10);
+        m.gauge_add("mem", 5);
+        m.gauge_add("mem", -12);
+        let g = m.gauge("mem");
+        assert_eq!(g.value, 3);
+        assert_eq!(g.peak, 15);
+    }
+
+    #[test]
+    fn gauge_set_tracks_peak() {
+        let mut m = Metrics::new();
+        m.gauge_set("q", 4);
+        m.gauge_set("q", 9);
+        m.gauge_set("q", 1);
+        assert_eq!(m.gauge("q").value, 1);
+        assert_eq!(m.gauge("q").peak, 9);
+    }
+
+    #[test]
+    fn streams_observe() {
+        let mut m = Metrics::new();
+        m.observe("lat", 1.0);
+        m.observe("lat", 3.0);
+        let s = m.stream("lat");
+        assert_eq!(s.count(), 2);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Metrics::new();
+        a.inc("c", 1);
+        a.gauge_add("g", 5);
+        a.observe("s", 1.0);
+        let mut b = Metrics::new();
+        b.inc("c", 2);
+        b.gauge_add("g", 7);
+        b.observe("s", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g").value, 12);
+        assert_eq!(a.gauge("g").peak, 12);
+        assert_eq!(a.stream("s").count(), 2);
+    }
+
+    #[test]
+    fn observe_tail_tracks_p99() {
+        let mut m = Metrics::new();
+        for i in 1..=1_000 {
+            m.observe_tail("lat", i as f64);
+        }
+        assert_eq!(m.stream("lat").count(), 1_000);
+        let p99 = m.p99("lat").unwrap();
+        assert!((900.0..=1_000.0).contains(&p99), "p99 {p99}");
+        assert_eq!(m.p99("missing"), None);
+        // Plain observe does not create an estimator.
+        m.observe("plain", 1.0);
+        assert_eq!(m.p99("plain"), None);
+    }
+
+    #[test]
+    fn merge_keeps_bigger_p99_estimator() {
+        let mut a = Metrics::new();
+        for i in 0..10 {
+            a.observe_tail("x", i as f64);
+        }
+        let mut b = Metrics::new();
+        for i in 0..100 {
+            b.observe_tail("x", (i * 2) as f64);
+        }
+        a.merge(&b);
+        // b saw more samples; its estimator wins.
+        assert!(a.p99("x").unwrap() > 100.0);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut m = Metrics::new();
+        m.inc("zeta", 1);
+        m.inc("alpha", 1);
+        let names: Vec<&str> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Bounded event trace for debugging simulation runs.
+//!
+//! When enabled on the engine, the last N dispatches are retained in a ring
+//! buffer; tests and the `repro` harness can dump them after a surprising
+//! outcome without paying for unbounded logging during long runs.
+
+use crate::engine::ActorId;
+use crate::time::SimTime;
+
+/// One dispatched event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of dispatch.
+    pub at: SimTime,
+    /// Global scheduling sequence number.
+    pub seq: u64,
+    /// Sending actor, if any.
+    pub from: Option<ActorId>,
+    /// Receiving actor.
+    pub target: ActorId,
+}
+
+/// Fixed-capacity ring of [`TraceEntry`]s.
+#[derive(Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEntry>,
+    capacity: usize,
+    head: usize,
+    total: u64,
+}
+
+impl TraceRing {
+    /// Create a ring holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing { buf: Vec::with_capacity(capacity), capacity, head: 0, total: 0 }
+    }
+
+    /// Record an entry, evicting the oldest if full.
+    pub fn push(&mut self, e: TraceEntry) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.head] = e;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// Entries from oldest to newest.
+    pub fn entries(&self) -> Vec<TraceEntry> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Total number of entries ever pushed (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if no entries were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(seq: u64) -> TraceEntry {
+        TraceEntry { at: SimTime::from_nanos(seq), seq, from: None, target: 0 }
+    }
+
+    #[test]
+    fn keeps_insertion_order_when_not_full() {
+        let mut r = TraceRing::new(4);
+        for s in 0..3 {
+            r.push(e(s));
+        }
+        let seqs: Vec<u64> = r.entries().iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut r = TraceRing::new(3);
+        for s in 0..7 {
+            r.push(e(s));
+        }
+        let seqs: Vec<u64> = r.entries().iter().map(|t| t.seq).collect();
+        assert_eq!(seqs, vec![4, 5, 6]);
+        assert_eq!(r.total(), 7);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn capacity_zero_clamped_to_one() {
+        let mut r = TraceRing::new(0);
+        r.push(e(1));
+        r.push(e(2));
+        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.entries()[0].seq, 2);
+    }
+}

@@ -1,0 +1,357 @@
+//! Axis-aligned bounding boxes over an integer grid (up to 3 dimensions).
+//!
+//! DataSpaces descriptors address data by variable name, version, and an
+//! N-dimensional rectangular region. Scientific coupling domains in the paper
+//! are 3-D volumes (e.g. 512×512×256), so we fix the maximum dimensionality
+//! at 3 and carry an explicit `ndim`; 1-D and 2-D regions simply leave the
+//! upper coordinates at zero.
+//!
+//! Bounds are **inclusive** on both ends, matching the DataSpaces convention
+//! (`lb`/`ub`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum supported dimensionality.
+pub const MAX_DIMS: usize = 3;
+
+/// An axis-aligned box with inclusive integer bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BBox {
+    /// Number of meaningful dimensions (1..=3).
+    pub ndim: u8,
+    /// Lower bounds (inclusive).
+    pub lb: [u64; MAX_DIMS],
+    /// Upper bounds (inclusive).
+    pub ub: [u64; MAX_DIMS],
+}
+
+impl BBox {
+    /// A 1-D box over `[lo, hi]`.
+    pub fn d1(lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty 1-D box");
+        BBox { ndim: 1, lb: [lo, 0, 0], ub: [hi, 0, 0] }
+    }
+
+    /// A 2-D box.
+    pub fn d2(lo: [u64; 2], hi: [u64; 2]) -> Self {
+        assert!(lo[0] <= hi[0] && lo[1] <= hi[1], "empty 2-D box");
+        BBox { ndim: 2, lb: [lo[0], lo[1], 0], ub: [hi[0], hi[1], 0] }
+    }
+
+    /// A 3-D box.
+    pub fn d3(lo: [u64; 3], hi: [u64; 3]) -> Self {
+        assert!(
+            lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2],
+            "empty 3-D box"
+        );
+        BBox { ndim: 3, lb: lo, ub: hi }
+    }
+
+    /// The whole domain `[0, dims-1]` in each axis, for a volume given by its
+    /// extents (e.g. `[512, 512, 256]`).
+    pub fn whole(dims: [u64; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "zero-extent domain");
+        BBox::d3([0, 0, 0], [dims[0] - 1, dims[1] - 1, dims[2] - 1])
+    }
+
+    /// Number of grid points contained (product of extents).
+    pub fn volume(&self) -> u64 {
+        let mut v: u64 = 1;
+        for d in 0..self.ndim as usize {
+            v = v.saturating_mul(self.ub[d] - self.lb[d] + 1);
+        }
+        v
+    }
+
+    /// Extent along axis `d` (1 for axes beyond `ndim`).
+    pub fn extent(&self, d: usize) -> u64 {
+        if d < self.ndim as usize {
+            self.ub[d] - self.lb[d] + 1
+        } else {
+            1
+        }
+    }
+
+    /// Intersection, or `None` if disjoint. Both boxes must have equal `ndim`.
+    pub fn intersect(&self, other: &BBox) -> Option<BBox> {
+        assert_eq!(self.ndim, other.ndim, "dimension mismatch");
+        let mut lb = [0u64; MAX_DIMS];
+        let mut ub = [0u64; MAX_DIMS];
+        for d in 0..self.ndim as usize {
+            let lo = self.lb[d].max(other.lb[d]);
+            let hi = self.ub[d].min(other.ub[d]);
+            if lo > hi {
+                return None;
+            }
+            lb[d] = lo;
+            ub[d] = hi;
+        }
+        Some(BBox { ndim: self.ndim, lb, ub })
+    }
+
+    /// True if the boxes share at least one grid point.
+    pub fn intersects(&self, other: &BBox) -> bool {
+        self.intersect(other).is_some()
+    }
+
+    /// True if `other` lies entirely within `self`.
+    pub fn contains(&self, other: &BBox) -> bool {
+        assert_eq!(self.ndim, other.ndim, "dimension mismatch");
+        (0..self.ndim as usize)
+            .all(|d| self.lb[d] <= other.lb[d] && other.ub[d] <= self.ub[d])
+    }
+
+    /// True if the grid point `p` lies within `self`.
+    pub fn contains_point(&self, p: [u64; MAX_DIMS]) -> bool {
+        (0..self.ndim as usize).all(|d| self.lb[d] <= p[d] && p[d] <= self.ub[d])
+    }
+
+    /// Smallest box covering both inputs.
+    pub fn hull(&self, other: &BBox) -> BBox {
+        assert_eq!(self.ndim, other.ndim, "dimension mismatch");
+        let mut lb = [0u64; MAX_DIMS];
+        let mut ub = [0u64; MAX_DIMS];
+        for d in 0..self.ndim as usize {
+            lb[d] = self.lb[d].min(other.lb[d]);
+            ub[d] = self.ub[d].max(other.ub[d]);
+        }
+        BBox { ndim: self.ndim, lb, ub }
+    }
+
+    /// Split this box along axis `axis` into chunks of at most `len` points,
+    /// appending the pieces to `out`. Used to decompose a put into block-sized
+    /// pieces.
+    pub fn split_axis(&self, axis: usize, len: u64, out: &mut Vec<BBox>) {
+        assert!(axis < self.ndim as usize && len > 0);
+        let mut lo = self.lb[axis];
+        while lo <= self.ub[axis] {
+            let hi = (lo + len - 1).min(self.ub[axis]);
+            let mut b = *self;
+            b.lb[axis] = lo;
+            b.ub[axis] = hi;
+            out.push(b);
+            if hi == u64::MAX {
+                break;
+            }
+            lo = hi + 1;
+        }
+    }
+
+    /// A sub-box covering the given fraction (in thousandths) of this box's
+    /// volume, taken as a prefix along the last axis. `frac_millis = 1000`
+    /// returns the whole box. Used by Case 1's "write X% of the domain".
+    pub fn prefix_fraction(&self, frac_millis: u64) -> Option<BBox> {
+        assert!(frac_millis <= 1000, "fraction over 100%");
+        if frac_millis == 0 {
+            return None;
+        }
+        let axis = self.ndim as usize - 1;
+        let ext = self.extent(axis);
+        let take = (ext as u128 * frac_millis as u128).div_ceil(1000) as u64;
+        let take = take.clamp(1, ext);
+        let mut b = *self;
+        b.ub[axis] = b.lb[axis] + take - 1;
+        Some(b)
+    }
+}
+
+impl fmt::Display for BBox {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for d in 0..self.ndim as usize {
+            if d > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}..{}", self.lb[d], self.ub[d])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_extent() {
+        let b = BBox::d3([0, 0, 0], [511, 511, 255]);
+        assert_eq!(b.volume(), 512 * 512 * 256);
+        assert_eq!(b.extent(0), 512);
+        assert_eq!(b.extent(2), 256);
+        assert_eq!(BBox::d1(5, 5).volume(), 1);
+    }
+
+    #[test]
+    fn whole_domain() {
+        let b = BBox::whole([10, 20, 30]);
+        assert_eq!(b.lb, [0, 0, 0]);
+        assert_eq!(b.ub, [9, 19, 29]);
+        assert_eq!(b.volume(), 6000);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = BBox::d2([0, 0], [9, 9]);
+        let b = BBox::d2([5, 5], [14, 14]);
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, BBox::d2([5, 5], [9, 9]));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn disjoint_boxes() {
+        let a = BBox::d1(0, 4);
+        let b = BBox::d1(5, 9);
+        assert!(a.intersect(&b).is_none());
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_is_intersecting() {
+        // Inclusive bounds: [0,5] and [5,9] share point 5.
+        let a = BBox::d1(0, 5);
+        let b = BBox::d1(5, 9);
+        assert_eq!(a.intersect(&b).unwrap(), BBox::d1(5, 5));
+    }
+
+    #[test]
+    fn contains_and_points() {
+        let a = BBox::d3([0, 0, 0], [9, 9, 9]);
+        let b = BBox::d3([1, 1, 1], [8, 8, 8]);
+        assert!(a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.contains(&a));
+        assert!(a.contains_point([0, 9, 5]));
+        assert!(!a.contains_point([10, 0, 0]));
+    }
+
+    #[test]
+    fn hull_covers_both() {
+        let a = BBox::d2([0, 0], [3, 3]);
+        let b = BBox::d2([10, 1], [12, 2]);
+        let h = a.hull(&b);
+        assert!(h.contains(&a) && h.contains(&b));
+        assert_eq!(h, BBox::d2([0, 0], [12, 3]));
+    }
+
+    #[test]
+    fn split_axis_covers_exactly() {
+        let b = BBox::d1(0, 9);
+        let mut out = Vec::new();
+        b.split_axis(0, 4, &mut out);
+        assert_eq!(out, vec![BBox::d1(0, 3), BBox::d1(4, 7), BBox::d1(8, 9)]);
+        let total: u64 = out.iter().map(|x| x.volume()).sum();
+        assert_eq!(total, b.volume());
+    }
+
+    #[test]
+    fn prefix_fraction_cases() {
+        let b = BBox::d3([0, 0, 0], [9, 9, 99]);
+        assert_eq!(b.prefix_fraction(1000).unwrap(), b);
+        let half = b.prefix_fraction(500).unwrap();
+        assert_eq!(half.extent(2), 50);
+        assert_eq!(half.volume(), b.volume() / 2);
+        assert!(b.prefix_fraction(0).is_none());
+        // Tiny fraction still returns at least one plane.
+        assert_eq!(b.prefix_fraction(1).unwrap().extent(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mixed_ndim_panics() {
+        let _ = BBox::d1(0, 1).intersect(&BBox::d2([0, 0], [1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty 1-D box")]
+    fn inverted_bounds_panic() {
+        let _ = BBox::d1(3, 2);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_bbox() -> impl Strategy<Value = BBox> {
+        (0u64..100, 0u64..100, 0u64..100, 1u64..40, 1u64..40, 1u64..40).prop_map(
+            |(x, y, z, dx, dy, dz)| BBox::d3([x, y, z], [x + dx - 1, y + dy - 1, z + dz - 1]),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn intersection_commutative(a in arb_bbox(), b in arb_bbox()) {
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn intersection_contained_in_both(a in arb_bbox(), b in arb_bbox()) {
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains(&i));
+                prop_assert!(b.contains(&i));
+                prop_assert!(i.volume() <= a.volume().min(b.volume()));
+            }
+        }
+
+        #[test]
+        fn intersection_idempotent(a in arb_bbox()) {
+            prop_assert_eq!(a.intersect(&a), Some(a));
+        }
+
+        #[test]
+        fn hull_contains_both_and_is_minimal_on_axes(a in arb_bbox(), b in arb_bbox()) {
+            let h = a.hull(&b);
+            prop_assert!(h.contains(&a));
+            prop_assert!(h.contains(&b));
+            for d in 0..3 {
+                prop_assert_eq!(h.lb[d], a.lb[d].min(b.lb[d]));
+                prop_assert_eq!(h.ub[d], a.ub[d].max(b.ub[d]));
+            }
+        }
+
+        #[test]
+        fn split_axis_partitions(a in arb_bbox(), axis in 0usize..3, len in 1u64..20) {
+            let mut out = Vec::new();
+            a.split_axis(axis, len, &mut out);
+            let total: u64 = out.iter().map(BBox::volume).sum();
+            prop_assert_eq!(total, a.volume(), "pieces must tile the box");
+            for (i, p) in out.iter().enumerate() {
+                prop_assert!(a.contains(p));
+                prop_assert!(p.extent(axis) <= len);
+                for q in &out[i + 1..] {
+                    prop_assert!(!p.intersects(q), "pieces must be disjoint");
+                }
+            }
+        }
+
+        #[test]
+        fn prefix_fraction_monotone(a in arb_bbox(), f1 in 1u64..=1000, f2 in 1u64..=1000) {
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            let v_lo = a.prefix_fraction(lo).unwrap().volume();
+            let v_hi = a.prefix_fraction(hi).unwrap().volume();
+            prop_assert!(v_lo <= v_hi, "larger fraction covers at least as much");
+            prop_assert!(a.contains(&a.prefix_fraction(hi).unwrap()));
+        }
+
+        #[test]
+        fn contains_transitive(a in arb_bbox(), b in arb_bbox(), c in arb_bbox()) {
+            if a.contains(&b) && b.contains(&c) {
+                prop_assert!(a.contains(&c));
+            }
+        }
+
+        #[test]
+        fn contains_point_consistent_with_intersect(a in arb_bbox(), b in arb_bbox()) {
+            // If boxes intersect, the intersection's corner is in both.
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains_point(i.lb));
+                prop_assert!(b.contains_point(i.lb));
+                prop_assert!(a.contains_point(i.ub));
+                prop_assert!(b.contains_point(i.ub));
+            }
+        }
+    }
+}

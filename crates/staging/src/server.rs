@@ -1,0 +1,768 @@
+//! Discrete-event staging server actor and client-side request planning.
+//!
+//! The server actor models a single staging process: requests arrive through
+//! the simulated network (already serialized by the destination NIC), then
+//! queue for the server CPU, which services them one at a time at the cost
+//! computed by [`crate::service::ServerCosts`]. Responses travel back through
+//! the network. This two-stage queue (NIC, then CPU) is what turns concurrent
+//! writer load into the response-time inflation measured in Figure 9.
+
+use crate::dist::{Distribution, ServerIdx};
+use crate::geometry::BBox;
+use crate::payload::Payload;
+use crate::proto::{
+    AppId, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version,
+};
+use crate::service::{ServerLogic, StoreBackend};
+use net::des::{Delivered, EndpointId, NetworkHandle};
+use sim_core::engine::{Actor, Ctx, Event};
+use sim_core::time::SimTime;
+use std::collections::VecDeque;
+
+/// Approximate wire size of a request/response header.
+pub const HEADER_BYTES: u64 = 64;
+
+/// A queued unit of server work.
+struct Pending {
+    from_ep: EndpointId,
+    req: Req,
+}
+
+enum Req {
+    Put(PutRequest),
+    Get(GetRequest),
+    Ctl(CtlRequest),
+}
+
+/// Completion marker scheduled to self when the current request's service
+/// time elapses. Carries the server incarnation so completions from before a
+/// failure are ignored.
+struct OpDone {
+    incarnation: u32,
+}
+
+/// Fail-stop failure of this staging server process (runner → server).
+///
+/// The staging area's resilience layer (replication / erasure coding à la
+/// CoREC) reconstructs the lost fragments from survivors; the server is
+/// unavailable while the rebuild runs. The rebuild duration is
+/// `fixed + bytes_resident × per_byte` — the caller derives `per_byte` from
+/// the protection geometry and rebuild bandwidth.
+pub struct ServerFail {
+    /// Fixed failover/detection cost.
+    pub fixed: SimTime,
+    /// Rebuild seconds per resident byte.
+    pub per_byte_s: f64,
+}
+
+/// Timer: rebuild finished, server resumes.
+struct RebuildDone {
+    incarnation: u32,
+}
+
+/// The staging server actor.
+pub struct StagingServerActor<B> {
+    logic: ServerLogic<B>,
+    net: NetworkHandle,
+    ep: EndpointId,
+    /// Queued requests awaiting the CPU.
+    queue: VecDeque<Pending>,
+    /// Gets whose requested version is not yet available (DataSpaces `get`
+    /// blocks); re-queued after subsequent writes.
+    waiting: Vec<Pending>,
+    /// Request currently in service, if any.
+    in_service: Option<Pending>,
+    /// Metric name for this server's resident bytes gauge.
+    mem_metric: String,
+    /// Server index (for naming).
+    index: ServerIdx,
+    /// Response computed at dequeue time, sent when the service timer fires.
+    stash_put: Option<crate::proto::PutResponse>,
+    stash_get: Option<crate::proto::GetResponse>,
+    stash_ctl: Option<crate::proto::CtlResponse>,
+    /// Is the server currently down for a resilience rebuild? Requests queue
+    /// and are served when the rebuild completes.
+    down: bool,
+    /// Guards stale rebuild timers across overlapping failures.
+    incarnation: u32,
+    /// Rebuilds survived.
+    rebuilds: u32,
+}
+
+impl<B: StoreBackend> StagingServerActor<B> {
+    /// Create a server actor. `ep` must be this actor's registered network
+    /// endpoint.
+    pub fn new(index: ServerIdx, logic: ServerLogic<B>, net: NetworkHandle, ep: EndpointId) -> Self {
+        StagingServerActor {
+            logic,
+            net,
+            ep,
+            queue: VecDeque::new(),
+            waiting: Vec::new(),
+            in_service: None,
+            mem_metric: format!("staging.server{index}.bytes"),
+            index,
+            stash_put: None,
+            stash_get: None,
+            stash_ctl: None,
+            down: false,
+            incarnation: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Rebuilds this server has survived.
+    pub fn rebuilds(&self) -> u32 {
+        self.rebuilds
+    }
+
+    /// Runner wiring: set the network handle and this server's endpoint
+    /// after actor registration (ids are only known then).
+    pub fn wire(&mut self, net: NetworkHandle, ep: EndpointId) {
+        self.net = net;
+        self.ep = ep;
+    }
+
+    /// The wrapped logic, for post-run inspection.
+    pub fn logic(&self) -> &ServerLogic<B> {
+        &self.logic
+    }
+
+    /// Mutable access to the wrapped logic.
+    pub fn logic_mut(&mut self) -> &mut ServerLogic<B> {
+        &mut self.logic
+    }
+
+    /// This server's index.
+    pub fn index(&self) -> ServerIdx {
+        self.index
+    }
+
+    /// Drop queued and parked requests from `app` (or from everyone, with
+    /// `None`) — the server-side half of a connection teardown.
+    fn purge_requests_from(&mut self, app: Option<AppId>) {
+        let stale = |req: &Req| {
+            let owner = match req {
+                Req::Put(r) => r.app,
+                Req::Get(r) => r.app,
+                Req::Ctl(_) => return false, // control traffic is never stale
+            };
+            app.map(|a| a == owner).unwrap_or(true)
+        };
+        self.queue.retain(|p| !stale(&p.req));
+        self.waiting.retain(|p| !stale(&p.req));
+    }
+
+    /// Move deferred gets whose data has since arrived back into the queue.
+    fn rescan_waiting(&mut self) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        let mut still_waiting = Vec::new();
+        for p in self.waiting.drain(..) {
+            let ready = match &p.req {
+                Req::Get(r) => self.logic.get_ready(r),
+                _ => true,
+            };
+            if ready {
+                self.queue.push_back(p);
+            } else {
+                still_waiting.push(p);
+            }
+        }
+        self.waiting = still_waiting;
+    }
+
+    fn start_next(&mut self, ctx: &mut Ctx<'_>) {
+        if self.in_service.is_some() || self.down {
+            return;
+        }
+        let (p, cost) = loop {
+            let Some(p) = self.queue.pop_front() else { return };
+            // The state transition happens at dequeue time; the service delay
+            // models the CPU cost of that transition, after which the stashed
+            // response is sent.
+            match &p.req {
+                Req::Put(r) => {
+                    let (resp, cost) = self.logic.handle_put(r);
+                    self.stash_put = Some(resp);
+                    break (p, cost);
+                }
+                Req::Get(r) => {
+                    if !self.logic.get_ready(r) {
+                        // Blocking get: park it and try the next request.
+                        self.waiting.push(p);
+                        continue;
+                    }
+                    let (resp, cost) = self.logic.handle_get(r);
+                    self.stash_get = Some(resp);
+                    break (p, cost);
+                }
+                Req::Ctl(r) => {
+                    // A recovery notification means the component's old
+                    // connection died with it: requests it sent before the
+                    // failure (queued or parked) are torn down, exactly as
+                    // broken RDMA connections drop in-flight requests. A
+                    // global reset invalidates everyone's in-flight requests.
+                    match *r {
+                        CtlRequest::Recovery { app, .. } => {
+                            self.purge_requests_from(Some(app));
+                        }
+                        CtlRequest::GlobalReset { .. } => {
+                            self.purge_requests_from(None);
+                        }
+                        CtlRequest::Checkpoint { .. } => {}
+                    }
+                    let (resp, cost) = self.logic.handle_ctl(*r);
+                    self.stash_ctl = Some(resp);
+                    break (p, cost);
+                }
+            }
+        };
+        self.in_service = Some(p);
+        let incarnation = self.incarnation;
+        ctx.timer(cost, OpDone { incarnation });
+        ctx.metrics()
+            .gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+    }
+}
+
+impl<B: StoreBackend> Actor for StagingServerActor<B> {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let ev = match ev.downcast::<Delivered>() {
+            Ok((_, d)) => {
+                let Delivered { from, payload, .. } = d;
+                let req = if payload.is::<PutRequest>() {
+                    Req::Put(*payload.downcast::<PutRequest>().unwrap())
+                } else if payload.is::<GetRequest>() {
+                    Req::Get(*payload.downcast::<GetRequest>().unwrap())
+                } else if payload.is::<CtlRequest>() {
+                    Req::Ctl(*payload.downcast::<CtlRequest>().unwrap())
+                } else {
+                    return; // unknown message: drop
+                };
+                self.queue.push_back(Pending { from_ep: from, req });
+                ctx.metrics()
+                    .gauge_set(&format!("staging.server{}.qdepth", self.index), self.queue.len() as i64);
+                self.start_next(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ServerFail>() {
+            Ok((_, f)) => {
+                // Lose the process; the resilience layer rebuilds the lost
+                // fragments from surviving replicas/shards. Queued requests —
+                // including the op in flight, whose effect already reached
+                // the (protected) log — are answered once the rebuild
+                // completes.
+                self.down = true;
+                self.incarnation += 1;
+                let rebuild = f.fixed
+                    + SimTime::from_secs_f64(
+                        self.logic.bytes_resident() as f64 * f.per_byte_s,
+                    );
+                ctx.metrics().inc("staging.server_failures", 1);
+                ctx.metrics().observe("staging.rebuild_s", rebuild.as_secs_f64());
+                let incarnation = self.incarnation;
+                ctx.timer(rebuild, RebuildDone { incarnation });
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RebuildDone>() {
+            Ok((_, r)) => {
+                if r.incarnation == self.incarnation && self.down {
+                    self.down = false;
+                    self.rebuilds += 1;
+                    if self.in_service.is_some() {
+                        // Deliver the interrupted op's (late) response.
+                        let incarnation = self.incarnation;
+                        ctx.timer(SimTime::ZERO, OpDone { incarnation });
+                    } else {
+                        self.rescan_waiting();
+                        self.start_next(ctx);
+                    }
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<OpDone>() {
+            Ok((_, o)) => {
+                if self.down || o.incarnation != self.incarnation {
+                    return; // completion from before a failure
+                }
+                self.finish_op(ctx);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let _ = ev;
+    }
+
+    fn name(&self) -> &str {
+        "staging-server"
+    }
+}
+
+impl<B: StoreBackend> StagingServerActor<B> {
+    fn finish_op(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(done) = self.in_service.take() else { return };
+        match done.req {
+            Req::Put(_) => {
+                let resp = self.stash_put.take().expect("stashed put response");
+                self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, resp);
+            }
+            Req::Get(_) => {
+                let resp = self.stash_get.take().expect("stashed get response");
+                let size: u64 = HEADER_BYTES
+                    + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+                self.net.send(ctx, self.ep, done.from_ep, size, resp);
+            }
+            Req::Ctl(_) => {
+                let resp = self.stash_ctl.take().expect("stashed ctl response");
+                self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, resp);
+            }
+        }
+        ctx.metrics()
+            .gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+        // A completed write (or control event, e.g. recovery entering replay
+        // mode) may unblock parked gets.
+        self.rescan_waiting();
+        self.start_next(ctx);
+    }
+}
+
+/// Plan the per-server requests for a `put` of `bbox` with `bytes_per_point`
+/// bytes at each grid point. Payloads are virtual with deterministic digests
+/// derived from `(app, var, version, block corner)` — the same identity the
+/// producer would deterministically regenerate on re-execution, which is what
+/// makes digest-based replay checks meaningful.
+pub fn plan_put_virtual(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    bytes_per_point: u64,
+    seq_start: u64,
+) -> Vec<(ServerIdx, PutRequest)> {
+    dist.blocks_overlapping(bbox)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_coord, clipped, server))| {
+            let len = clipped.volume() * bytes_per_point;
+            let identity = [
+                app as u64,
+                var as u64,
+                version as u64,
+                clipped.lb[0],
+                clipped.lb[1],
+                clipped.lb[2],
+            ];
+            (
+                server,
+                PutRequest {
+                    app,
+                    desc: ObjDesc { var, version, bbox: clipped },
+                    payload: Payload::virtual_from(len, &identity),
+                    seq: seq_start + i as u64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Plan a `put` with caller-provided payload content per block.
+pub fn plan_put_with(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+    mut fill: impl FnMut(&BBox) -> Payload,
+) -> Vec<(ServerIdx, PutRequest)> {
+    dist.blocks_overlapping(bbox)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_coord, clipped, server))| {
+            (
+                server,
+                PutRequest {
+                    app,
+                    desc: ObjDesc { var, version, bbox: clipped },
+                    payload: fill(&clipped),
+                    seq: seq_start + i as u64,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Plan the per-server requests for a `get` of `bbox`.
+pub fn plan_get(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+) -> Vec<(ServerIdx, GetRequest)> {
+    // One request per server covering the union of that server's clipped
+    // blocks would be tighter; per-block requests keep responses block-sized
+    // and match how DataSpaces issues queries.
+    dist.blocks_overlapping(bbox)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_coord, clipped, server))| {
+            (
+                server,
+                GetRequest { app, var, version, bbox: clipped, seq: seq_start + i as u64 },
+            )
+        })
+        .collect()
+}
+
+/// Verify that `pieces` exactly tile `bbox` (pairwise disjoint, all inside,
+/// volumes summing to the box volume).
+pub fn covers_exactly(bbox: &BBox, pieces: &[GetPiece]) -> bool {
+    let mut vol = 0u64;
+    for (i, p) in pieces.iter().enumerate() {
+        if !bbox.contains(&p.bbox) {
+            return false;
+        }
+        vol += p.bbox.volume();
+        for q in &pieces[i + 1..] {
+            if p.bbox.intersects(&q.bbox) {
+                return false;
+            }
+        }
+    }
+    vol == bbox.volume()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{PlainBackend, ServerCosts};
+    use net::cost::CostModel;
+    use net::des::Network;
+    use sim_core::engine::Engine;
+
+    /// Client actor that fires a fixed set of requests at time zero and
+    /// records response arrival times.
+    struct TestClient {
+        net: NetworkHandle,
+        ep: EndpointId,
+        to_send: Vec<(ServerIdx, EndpointId, PutRequest)>,
+        put_acks: Vec<(u64, u64)>, // (seq, arrival ns)
+        get_pieces: Vec<GetPiece>,
+    }
+
+    struct Kickoff;
+
+    impl Actor for TestClient {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if ev.is::<Kickoff>() {
+                for (_, server_ep, req) in self.to_send.drain(..) {
+                    let size = HEADER_BYTES + req.payload.accounted_len();
+                    self.net.send(ctx, self.ep, server_ep, size, req);
+                }
+                return;
+            }
+            if let Ok((_, d)) = ev.downcast::<Delivered>() {
+                if d.payload.is::<crate::proto::PutResponse>() {
+                    let r = d.payload.downcast::<crate::proto::PutResponse>().unwrap();
+                    self.put_acks.push((r.seq, ctx.now().as_nanos()));
+                } else if d.payload.is::<crate::proto::GetResponse>() {
+                    let r = d.payload.downcast::<crate::proto::GetResponse>().unwrap();
+                    self.get_pieces.extend(r.pieces);
+                }
+            }
+        }
+    }
+
+    fn dist_1server() -> Distribution {
+        Distribution::new(BBox::whole([64, 64, 64]), [32, 32, 32], 1)
+    }
+
+    #[test]
+    fn put_round_trip_via_des() {
+        let mut eng = Engine::new(3);
+        let mut net = Network::new(CostModel::slow_test());
+
+        // Placeholder registration order: client actor id 0, server id 1, net id 2.
+        let dist = dist_1server();
+        let reqs = plan_put_virtual(&dist, 0, 0, 1, &BBox::whole([64, 64, 64]), 8, 0);
+        assert_eq!(reqs.len(), 8); // 2x2x2 blocks
+
+        // Create actors; register endpoints after ids exist.
+        let client_stub = TestClient {
+            net: NetworkHandle { actor: 0 }, // patched below
+            ep: 0,
+            to_send: Vec::new(),
+            put_acks: Vec::new(),
+            get_pieces: Vec::new(),
+        };
+        let client_id = eng.add_actor(Box::new(client_stub));
+        let client_ep = net.register(client_id);
+
+        let server_logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
+        // Server actor needs the net handle; create after net actor id known.
+        let server_id = eng.add_actor(Box::new(StagingServerActor::new(
+            0,
+            server_logic,
+            NetworkHandle { actor: 0 },
+            0,
+        )));
+        let server_ep = net.register(server_id);
+        let net_id = eng.add_actor(Box::new(net));
+        let handle = NetworkHandle { actor: net_id };
+
+        // Patch handles/endpoints now that ids are known.
+        {
+            let c = eng.actor_as_mut::<TestClient>(client_id).unwrap();
+            c.net = handle;
+            c.ep = client_ep;
+            c.to_send = reqs.into_iter().map(|(s, r)| (s, server_ep, r)).collect();
+        }
+        {
+            let s = eng
+                .actor_as_mut::<StagingServerActor<PlainBackend>>(server_id)
+                .unwrap();
+            s.net = handle;
+            s.ep = server_ep;
+        }
+
+        eng.schedule_now(client_id, Kickoff);
+        eng.run();
+
+        let c = eng.actor_as::<TestClient>(client_id).unwrap();
+        assert_eq!(c.put_acks.len(), 8, "every block put must be acked");
+        // Responses arrive strictly ordered (single server CPU serializes).
+        let mut times: Vec<u64> = c.put_acks.iter().map(|&(_, t)| t).collect();
+        let sorted = {
+            let mut s = times.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(times.len(), 8);
+        times.sort_unstable();
+        assert_eq!(times, sorted);
+
+        let s = eng
+            .actor_as::<StagingServerActor<PlainBackend>>(server_id)
+            .unwrap();
+        assert_eq!(s.logic().puts_served(), 8);
+        let expected_bytes = 64u64 * 64 * 64 * 8;
+        assert_eq!(s.logic().bytes_resident(), expected_bytes);
+    }
+
+    #[test]
+    fn plan_put_partitions_exactly() {
+        let dist = Distribution::new(BBox::whole([100, 100, 100]), [32, 32, 32], 4);
+        let bbox = BBox::d3([0, 0, 0], [99, 99, 49]);
+        let reqs = plan_put_virtual(&dist, 0, 1, 7, &bbox, 8, 100);
+        let vol: u64 = reqs.iter().map(|(_, r)| r.desc.bbox.volume()).sum();
+        assert_eq!(vol, bbox.volume());
+        let bytes: u64 = reqs.iter().map(|(_, r)| r.payload.len()).sum();
+        assert_eq!(bytes, bbox.volume() * 8);
+        // Seqs are unique and consecutive from seq_start.
+        let mut seqs: Vec<u64> = reqs.iter().map(|(_, r)| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (100..100 + reqs.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn plan_get_matches_put_servers() {
+        let dist = Distribution::new(BBox::whole([64, 64, 64]), [16, 16, 16], 4);
+        let bbox = BBox::d3([0, 0, 0], [63, 63, 63]);
+        let puts = plan_put_virtual(&dist, 0, 0, 1, &bbox, 1, 0);
+        let gets = plan_get(&dist, 1, 0, 1, &bbox, 0);
+        assert_eq!(puts.len(), gets.len());
+        for ((ps, pr), (gs, gr)) in puts.iter().zip(gets.iter()) {
+            assert_eq!(ps, gs);
+            assert_eq!(pr.desc.bbox, gr.bbox);
+        }
+    }
+
+    #[test]
+    fn covers_exactly_detects_gaps_and_overlaps() {
+        let bbox = BBox::d1(0, 9);
+        let piece = |lo, hi| GetPiece {
+            bbox: BBox::d1(lo, hi),
+            version: 1,
+            payload: Payload::virtual_from(1, &[lo]),
+        };
+        assert!(covers_exactly(&bbox, &[piece(0, 4), piece(5, 9)]));
+        assert!(!covers_exactly(&bbox, &[piece(0, 4)])); // gap
+        assert!(!covers_exactly(&bbox, &[piece(0, 5), piece(5, 9)])); // overlap
+        assert!(!covers_exactly(&BBox::d1(0, 3), &[piece(0, 4)])); // outside
+    }
+
+    #[test]
+    fn plan_put_with_inline_content() {
+        let dist = Distribution::new(BBox::whole([8, 8, 8]), [4, 4, 4], 2);
+        let bbox = BBox::whole([8, 8, 8]);
+        let reqs = plan_put_with(&dist, 0, 0, 1, &bbox, 0, |b| {
+            Payload::inline(vec![b.lb[0] as u8; 4])
+        });
+        assert_eq!(reqs.len(), 8);
+        for (_, r) in &reqs {
+            assert_eq!(r.payload.bytes().unwrap()[0] as u64, r.desc.bbox.lb[0]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+    use crate::service::{PlainBackend, ServerCosts, ServerLogic};
+    use net::cost::CostModel;
+    use net::des::Network;
+    use sim_core::engine::Engine;
+
+    /// Sink recording put-ack arrival times.
+    #[derive(Default)]
+    struct AckSink {
+        acks: Vec<u64>,
+    }
+
+    impl Actor for AckSink {
+        fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+            if let Ok((_, d)) = ev.downcast::<Delivered>() {
+                if d.payload.is::<crate::proto::PutResponse>() {
+                    self.acks.push(ctx.now().as_nanos());
+                }
+            }
+        }
+    }
+
+    fn build() -> (Engine, usize, usize, usize, usize) {
+        let mut eng = Engine::new(5);
+        let sink = eng.add_actor(Box::<AckSink>::default());
+        let mut net = Network::new(CostModel::slow_test());
+        let client_ep = net.register(sink);
+        let logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
+        let server = eng.add_actor(Box::new(StagingServerActor::new(
+            0,
+            logic,
+            NetworkHandle { actor: 0 },
+            0,
+        )));
+        let server_ep = net.register(server);
+        let net_id = eng.add_actor(Box::new(net));
+        let s = eng
+            .actor_as_mut::<StagingServerActor<PlainBackend>>(server)
+            .unwrap();
+        s.wire(NetworkHandle { actor: net_id }, server_ep);
+        (eng, sink, server, net_id, client_ep)
+    }
+
+    fn put_req(version: Version) -> PutRequest {
+        PutRequest {
+            app: 0,
+            desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
+            payload: Payload::virtual_from(100, &[version as u64]),
+            seq: version as u64,
+        }
+    }
+
+    #[test]
+    fn requests_during_rebuild_are_served_after() {
+        let (mut eng, sink, server, net_id, client_ep) = build();
+        // Seed some data, then fail the server, then send a put mid-rebuild.
+        eng.schedule_at(
+            sim_core::time::SimTime::from_nanos(0),
+            net_id,
+            net::des::Transmit {
+                from: client_ep,
+                to: 1,
+                size: 164,
+                payload: Box::new(put_req(1)),
+            },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_micros(10),
+            server,
+            ServerFail { fixed: sim_core::time::SimTime::from_millis(5), per_byte_s: 0.0 },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_micros(20),
+            net_id,
+            net::des::Transmit {
+                from: client_ep,
+                to: 1,
+                size: 164,
+                payload: Box::new(put_req(2)),
+            },
+        );
+        eng.run();
+        let s = eng.actor_as::<AckSink>(sink).unwrap();
+        assert_eq!(s.acks.len(), 2, "both puts eventually acked");
+        // The second ack waits out the 5 ms rebuild.
+        assert!(s.acks[1] >= 5_000_000, "ack at {} ns", s.acks[1]);
+        let srv = eng
+            .actor_as::<StagingServerActor<PlainBackend>>(server)
+            .unwrap();
+        assert_eq!(srv.rebuilds(), 1);
+        assert_eq!(srv.logic().puts_served(), 2);
+        assert_eq!(eng.metrics().counter("staging.server_failures"), 1);
+    }
+
+    #[test]
+    fn in_flight_op_acked_after_rebuild() {
+        let (mut eng, sink, server, net_id, client_ep) = build();
+        // Put arrives at ~1.3 µs and is in service until ~3.3 µs; fail the
+        // server at 2 µs — mid-service. The ack must still arrive, after the
+        // rebuild.
+        eng.schedule_at(
+            sim_core::time::SimTime::ZERO,
+            net_id,
+            net::des::Transmit {
+                from: client_ep,
+                to: 1,
+                size: 164,
+                payload: Box::new(put_req(1)),
+            },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_micros(2),
+            server,
+            ServerFail { fixed: sim_core::time::SimTime::from_millis(2), per_byte_s: 0.0 },
+        );
+        eng.run();
+        let s = eng.actor_as::<AckSink>(sink).unwrap();
+        assert_eq!(s.acks.len(), 1, "the interrupted op is acked late, not lost");
+        assert!(s.acks[0] >= 2_000_000);
+    }
+
+    #[test]
+    fn rebuild_time_scales_with_resident_bytes() {
+        let (mut eng, _sink, server, net_id, client_ep) = build();
+        for v in 1..=4u32 {
+            eng.schedule_at(
+                sim_core::time::SimTime::from_nanos(v as u64),
+                net_id,
+                net::des::Transmit {
+                    from: client_ep,
+                    to: 1,
+                    size: 164,
+                    payload: Box::new(put_req(v)),
+                },
+            );
+        }
+        eng.run();
+        // 4 versions × 100 B resident (max_versions = 4).
+        eng.schedule_now(
+            server,
+            ServerFail { fixed: sim_core::time::SimTime::ZERO, per_byte_s: 0.001 },
+        );
+        eng.run();
+        let rebuild = eng.metrics().stream("staging.rebuild_s");
+        assert_eq!(rebuild.count(), 1);
+        assert!((rebuild.mean() - 0.4).abs() < 1e-9, "400 B × 1 ms/B = 0.4 s");
+    }
+}

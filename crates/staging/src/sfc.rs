@@ -1,0 +1,109 @@
+//! Morton (Z-order) space-filling curve over 3-D block coordinates.
+//!
+//! DataSpaces distributes the global domain across staging servers using a
+//! Hilbert space-filling curve over coarse blocks; contiguous curve ranges go
+//! to the same server, which preserves spatial locality (neighbouring blocks
+//! usually live on the same or adjacent servers). We use the Morton curve —
+//! same locality class, much simpler — and partition its index range across
+//! servers in [`crate::dist`].
+//!
+//! Encoding supports 21 bits per axis (enough for a 2M³-block grid).
+
+/// Interleave the low 21 bits of `x` so they occupy every third bit.
+#[inline]
+fn spread3(x: u64) -> u64 {
+    debug_assert!(x < (1 << 21));
+    let mut x = x & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x1F00000000FFFF;
+    x = (x | (x << 16)) & 0x1F0000FF0000FF;
+    x = (x | (x << 8)) & 0x100F00F00F00F00F;
+    x = (x | (x << 4)) & 0x10C30C30C30C30C3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread3`].
+#[inline]
+fn compact3(x: u64) -> u64 {
+    let mut x = x & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10C30C30C30C30C3;
+    x = (x | (x >> 4)) & 0x100F00F00F00F00F;
+    x = (x | (x >> 8)) & 0x1F0000FF0000FF;
+    x = (x | (x >> 16)) & 0x1F00000000FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x
+}
+
+/// Morton-encode a 3-D block coordinate (each component < 2^21).
+pub fn morton3(x: u64, y: u64, z: u64) -> u64 {
+    assert!(
+        x < (1 << 21) && y < (1 << 21) && z < (1 << 21),
+        "block coordinate out of Morton range"
+    );
+    spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
+}
+
+/// Decode a Morton index back to its 3-D block coordinate.
+pub fn demorton3(m: u64) -> (u64, u64, u64) {
+    (compact3(m), compact3(m >> 1), compact3(m >> 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unit_cases() {
+        assert_eq!(morton3(0, 0, 0), 0);
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(1, 1, 1), 0b111);
+        assert_eq!(morton3(2, 0, 0), 0b001_000);
+    }
+
+    #[test]
+    fn z_order_locality_within_octant() {
+        // The 8 cells of the unit octant enumerate indices 0..8.
+        let mut idx: Vec<u64> = Vec::new();
+        for z in 0..2 {
+            for y in 0..2 {
+                for x in 0..2 {
+                    idx.push(morton3(x, y, z));
+                }
+            }
+        }
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn max_coordinate_round_trips() {
+        let m = (1 << 21) - 1;
+        assert_eq!(demorton3(morton3(m, m, m)), (m, m, m));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of Morton range")]
+    fn oversized_coordinate_panics() {
+        let _ = morton3(1 << 21, 0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip(x in 0u64..(1<<21), y in 0u64..(1<<21), z in 0u64..(1<<21)) {
+            prop_assert_eq!(demorton3(morton3(x, y, z)), (x, y, z));
+        }
+
+        #[test]
+        fn injective_on_distinct_points(
+            a in (0u64..1024, 0u64..1024, 0u64..1024),
+            b in (0u64..1024, 0u64..1024, 0u64..1024),
+        ) {
+            prop_assume!(a != b);
+            prop_assert_ne!(morton3(a.0, a.1, a.2), morton3(b.0, b.1, b.2));
+        }
+    }
+}

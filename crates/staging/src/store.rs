@@ -1,0 +1,390 @@
+//! Versioned object store — the per-server storage of the staging area.
+//!
+//! Objects are keyed by `(variable, version)` and hold block-aligned pieces.
+//! The plain staging baseline retains a bounded number of versions per
+//! variable (the paper's baseline "only keeps the latest version of data in
+//! staging"); the crash-consistency layer builds its log on top of this store
+//! by retaining more versions and deleting them under GC control instead of
+//! simple version-count eviction.
+//!
+//! Memory accounting is byte-accurate over payload *logical* sizes so the
+//! memory-usage experiments (Figure 9(c)/(d)) read directly off the store.
+
+use crate::geometry::BBox;
+use crate::payload::Payload;
+use crate::proto::{GetPiece, ObjDesc, VarId, Version};
+use std::collections::{BTreeMap, HashMap};
+
+/// One stored piece.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct StoredObj {
+    /// Region covered by this piece.
+    pub bbox: BBox,
+    /// The data.
+    pub payload: Payload,
+}
+
+/// Per-server versioned store with bounded version retention.
+///
+/// ```
+/// use staging::geometry::BBox;
+/// use staging::payload::Payload;
+/// use staging::proto::ObjDesc;
+/// use staging::store::VersionedStore;
+///
+/// let mut store = VersionedStore::bounded(2);
+/// for v in 1..=3u32 {
+///     store.put(
+///         ObjDesc { var: 0, version: v, bbox: BBox::d1(0, 9) },
+///         Payload::virtual_from(10, &[v as u64]),
+///     );
+/// }
+/// // Retention kept only the latest two versions.
+/// assert_eq!(store.versions(0), vec![2, 3]);
+/// assert_eq!(store.query(0, 3, &BBox::d1(0, 4)).len(), 1);
+/// ```
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct VersionedStore {
+    /// var → version → pieces.
+    data: HashMap<VarId, BTreeMap<Version, Vec<StoredObj>>>,
+    /// Total resident bytes (payload logical sizes).
+    bytes: u64,
+    /// Maximum retained versions per variable (`None` = unbounded; the
+    /// logging layer manages deletion itself).
+    max_versions: Option<usize>,
+}
+
+impl VersionedStore {
+    /// Store retaining at most `max_versions` versions per variable.
+    pub fn bounded(max_versions: usize) -> Self {
+        assert!(max_versions > 0, "must retain at least one version");
+        VersionedStore { data: HashMap::new(), bytes: 0, max_versions: Some(max_versions) }
+    }
+
+    /// Store with no automatic eviction (caller controls deletion).
+    pub fn unbounded() -> Self {
+        VersionedStore { data: HashMap::new(), bytes: 0, max_versions: None }
+    }
+
+    /// Insert a piece. If a piece with the identical bbox exists at the same
+    /// `(var, version)`, it is replaced (a re-put of the same region).
+    /// Returns bytes evicted by version retention (0 if none).
+    pub fn put(&mut self, desc: ObjDesc, payload: Payload) -> u64 {
+        let versions = self.data.entry(desc.var).or_default();
+        let pieces = versions.entry(desc.version).or_default();
+        if let Some(existing) = pieces.iter_mut().find(|p| p.bbox == desc.bbox) {
+            self.bytes -= existing.payload.accounted_len();
+            self.bytes += payload.accounted_len();
+            existing.payload = payload;
+            return 0;
+        }
+        self.bytes += payload.accounted_len();
+        pieces.push(StoredObj { bbox: desc.bbox, payload });
+        // Enforce retention.
+        let mut evicted = 0;
+        if let Some(maxv) = self.max_versions {
+            while versions.len() > maxv {
+                let (&oldest, _) = versions.iter().next().expect("nonempty");
+                let removed = versions.remove(&oldest).expect("present");
+                let freed: u64 = removed.iter().map(|p| p.payload.accounted_len()).sum();
+                self.bytes -= freed;
+                evicted += freed;
+            }
+        }
+        evicted
+    }
+
+    /// True if any piece exists for `(var, version)` intersecting `bbox`.
+    pub fn covers_any(&self, var: VarId, version: Version, bbox: &BBox) -> bool {
+        self.data
+            .get(&var)
+            .and_then(|v| v.get(&version))
+            .map(|pieces| pieces.iter().any(|p| p.bbox.intersects(bbox)))
+            .unwrap_or(false)
+    }
+
+    /// Query pieces of `(var, version)` intersecting `bbox`. Piece bboxes in
+    /// the result are clipped to the query region.
+    pub fn query(&self, var: VarId, version: Version, bbox: &BBox) -> Vec<GetPiece> {
+        let Some(pieces) = self.data.get(&var).and_then(|v| v.get(&version)) else {
+            return Vec::new();
+        };
+        pieces
+            .iter()
+            .filter_map(|p| {
+                p.bbox.intersect(bbox).map(|clip| GetPiece {
+                    bbox: clip,
+                    version,
+                    payload: p.payload.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Latest version `<= at_most` stored for `var` that has at least one
+    /// piece intersecting `bbox`.
+    pub fn latest_version_at(
+        &self,
+        var: VarId,
+        at_most: Version,
+        bbox: &BBox,
+    ) -> Option<Version> {
+        let versions = self.data.get(&var)?;
+        versions
+            .range(..=at_most)
+            .rev()
+            .find(|(_, pieces)| pieces.iter().any(|p| p.bbox.intersects(bbox)))
+            .map(|(&v, _)| v)
+    }
+
+    /// All stored versions of `var`, ascending.
+    pub fn versions(&self, var: VarId) -> Vec<Version> {
+        self.data
+            .get(&var)
+            .map(|v| v.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Remove an entire version of a variable; returns bytes freed.
+    pub fn remove_version(&mut self, var: VarId, version: Version) -> u64 {
+        let Some(versions) = self.data.get_mut(&var) else { return 0 };
+        let Some(pieces) = versions.remove(&version) else { return 0 };
+        let freed: u64 = pieces.iter().map(|p| p.payload.accounted_len()).sum();
+        self.bytes -= freed;
+        if versions.is_empty() {
+            self.data.remove(&var);
+        }
+        freed
+    }
+
+    /// Remove all versions strictly older than `keep_from` for `var`;
+    /// returns bytes freed.
+    pub fn remove_older_than(&mut self, var: VarId, keep_from: Version) -> u64 {
+        let Some(versions) = self.data.get_mut(&var) else { return 0 };
+        let old: Vec<Version> = versions.range(..keep_from).map(|(&v, _)| v).collect();
+        let mut freed = 0;
+        for v in old {
+            if let Some(pieces) = versions.remove(&v) {
+                freed += pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+            }
+        }
+        self.bytes -= freed;
+        if versions.is_empty() {
+            self.data.remove(&var);
+        }
+        freed
+    }
+
+    /// Remove all versions strictly newer than `keep_upto` for every
+    /// variable (global coordinated rollback); returns bytes freed.
+    pub fn remove_newer_than(&mut self, keep_upto: Version) -> u64 {
+        let vars = self.vars();
+        let mut freed = 0;
+        for var in vars {
+            let Some(versions) = self.data.get_mut(&var) else { continue };
+            let newer: Vec<Version> =
+                versions.range(keep_upto + 1..).map(|(&v, _)| v).collect();
+            for v in newer {
+                if let Some(pieces) = versions.remove(&v) {
+                    freed += pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+                }
+            }
+            if versions.is_empty() {
+                self.data.remove(&var);
+            }
+        }
+        self.bytes -= freed;
+        freed
+    }
+
+    /// Newest stored version of `var` regardless of region.
+    pub fn newest_version(&self, var: VarId) -> Option<Version> {
+        self.data.get(&var).and_then(|v| v.keys().next_back().copied())
+    }
+
+    /// True if the stored pieces of `(var, version)` fully tile `bbox`.
+    pub fn covers_fully(&self, var: VarId, version: Version, bbox: &BBox) -> bool {
+        let Some(pieces) = self.data.get(&var).and_then(|v| v.get(&version)) else {
+            return false;
+        };
+        let mut vol = 0u64;
+        for p in pieces {
+            if let Some(clip) = p.bbox.intersect(bbox) {
+                // Stored pieces are block-aligned and disjoint, so summing
+                // clipped volumes is exact.
+                vol += clip.volume();
+            }
+        }
+        vol == bbox.volume()
+    }
+
+    /// Total resident bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Variables currently stored.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut v: Vec<VarId> = self.data.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of stored pieces across all variables/versions.
+    pub fn piece_count(&self) -> usize {
+        self.data
+            .values()
+            .flat_map(|v| v.values())
+            .map(|pieces| pieces.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(var: VarId, version: Version, lo: u64, hi: u64) -> ObjDesc {
+        ObjDesc { var, version, bbox: BBox::d1(lo, hi) }
+    }
+
+    fn pay(n: u64) -> Payload {
+        Payload::virtual_from(n, &[n])
+    }
+
+    #[test]
+    fn put_and_query() {
+        let mut s = VersionedStore::bounded(4);
+        s.put(desc(0, 1, 0, 9), pay(10));
+        s.put(desc(0, 1, 10, 19), pay(10));
+        let q = s.query(0, 1, &BBox::d1(5, 14));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].bbox, BBox::d1(5, 9));
+        assert_eq!(q[1].bbox, BBox::d1(10, 14));
+        assert_eq!(s.bytes(), 20);
+        assert_eq!(s.piece_count(), 2);
+    }
+
+    #[test]
+    fn missing_version_returns_empty() {
+        let mut s = VersionedStore::bounded(4);
+        s.put(desc(0, 1, 0, 9), pay(10));
+        assert!(s.query(0, 2, &BBox::d1(0, 9)).is_empty());
+        assert!(s.query(1, 1, &BBox::d1(0, 9)).is_empty());
+        assert!(!s.covers_any(0, 2, &BBox::d1(0, 9)));
+        assert!(s.covers_any(0, 1, &BBox::d1(5, 20)));
+    }
+
+    #[test]
+    fn same_bbox_reput_replaces() {
+        let mut s = VersionedStore::bounded(4);
+        s.put(desc(0, 1, 0, 9), pay(10));
+        s.put(desc(0, 1, 0, 9), pay(20));
+        assert_eq!(s.bytes(), 20);
+        assert_eq!(s.piece_count(), 1);
+        let q = s.query(0, 1, &BBox::d1(0, 9));
+        assert_eq!(q[0].payload.len(), 20);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut s = VersionedStore::bounded(2);
+        s.put(desc(0, 1, 0, 9), pay(10));
+        s.put(desc(0, 2, 0, 9), pay(10));
+        let evicted = s.put(desc(0, 3, 0, 9), pay(10));
+        assert_eq!(evicted, 10);
+        assert_eq!(s.versions(0), vec![2, 3]);
+        assert_eq!(s.bytes(), 20);
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut s = VersionedStore::unbounded();
+        for v in 0..100 {
+            s.put(desc(0, v, 0, 9), pay(1));
+        }
+        assert_eq!(s.versions(0).len(), 100);
+        assert_eq!(s.bytes(), 100);
+    }
+
+    #[test]
+    fn latest_version_at_respects_bound_and_bbox() {
+        let mut s = VersionedStore::unbounded();
+        s.put(desc(0, 1, 0, 9), pay(10));
+        s.put(desc(0, 5, 0, 9), pay(10));
+        s.put(desc(0, 9, 100, 109), pay(10)); // elsewhere
+        assert_eq!(s.latest_version_at(0, 9, &BBox::d1(0, 9)), Some(5));
+        assert_eq!(s.latest_version_at(0, 4, &BBox::d1(0, 9)), Some(1));
+        assert_eq!(s.latest_version_at(0, 0, &BBox::d1(0, 9)), None);
+        assert_eq!(s.latest_version_at(0, 9, &BBox::d1(100, 105)), Some(9));
+        assert_eq!(s.latest_version_at(1, 9, &BBox::d1(0, 9)), None);
+    }
+
+    #[test]
+    fn remove_version_frees_bytes() {
+        let mut s = VersionedStore::unbounded();
+        s.put(desc(0, 1, 0, 9), pay(10));
+        s.put(desc(0, 2, 0, 9), pay(15));
+        assert_eq!(s.remove_version(0, 1), 10);
+        assert_eq!(s.bytes(), 15);
+        assert_eq!(s.remove_version(0, 1), 0);
+        assert_eq!(s.remove_version(9, 9), 0);
+    }
+
+    #[test]
+    fn remove_older_than_sweeps() {
+        let mut s = VersionedStore::unbounded();
+        for v in 1..=10 {
+            s.put(desc(0, v, 0, 9), pay(1));
+        }
+        let freed = s.remove_older_than(0, 8);
+        assert_eq!(freed, 7);
+        assert_eq!(s.versions(0), vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn remove_newer_than_truncates() {
+        let mut s = VersionedStore::unbounded();
+        for v in 1..=6 {
+            s.put(desc(0, v, 0, 9), pay(10));
+            s.put(desc(1, v, 0, 9), pay(10));
+        }
+        let freed = s.remove_newer_than(4);
+        assert_eq!(freed, 40);
+        assert_eq!(s.versions(0), vec![1, 2, 3, 4]);
+        assert_eq!(s.versions(1), vec![1, 2, 3, 4]);
+        assert_eq!(s.bytes(), 80);
+        // No-op when nothing newer.
+        assert_eq!(s.remove_newer_than(10), 0);
+    }
+
+    #[test]
+    fn newest_version_tracks() {
+        let mut s = VersionedStore::unbounded();
+        assert_eq!(s.newest_version(0), None);
+        s.put(desc(0, 3, 0, 9), pay(1));
+        s.put(desc(0, 7, 0, 9), pay(1));
+        assert_eq!(s.newest_version(0), Some(7));
+    }
+
+    #[test]
+    fn covers_fully_checks_tiling() {
+        let mut s = VersionedStore::unbounded();
+        s.put(desc(0, 1, 0, 4), pay(5));
+        assert!(!s.covers_fully(0, 1, &BBox::d1(0, 9)));
+        s.put(desc(0, 1, 5, 9), pay(5));
+        assert!(s.covers_fully(0, 1, &BBox::d1(0, 9)));
+        assert!(s.covers_fully(0, 1, &BBox::d1(2, 7)));
+        assert!(!s.covers_fully(0, 2, &BBox::d1(0, 9)));
+    }
+
+    #[test]
+    fn vars_listing() {
+        let mut s = VersionedStore::unbounded();
+        s.put(desc(3, 1, 0, 9), pay(1));
+        s.put(desc(1, 1, 0, 9), pay(1));
+        assert_eq!(s.vars(), vec![1, 3]);
+        s.remove_version(1, 1);
+        assert_eq!(s.vars(), vec![3]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Real-thread staging: a server loop over `net::ThreadedNet` and a blocking
+//! client, running the same [`ServerLogic`] as the discrete-event server.
+//!
+//! This is the mode the examples use: several staging server threads, a
+//! producer thread, and a consumer thread exchanging real bytes — the
+//! protocol logic (including `wfcr`'s logging backend) is identical to the
+//! DES path, so races surfaced here are races in the real design.
+
+use crate::dist::Distribution;
+use crate::geometry::BBox;
+use crate::payload::Payload;
+use crate::proto::{
+    AppId, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest,
+    PutResponse, PutStatus, VarId, Version,
+};
+use crate::server::{covers_exactly, plan_get, plan_put_with, HEADER_BYTES};
+use crate::service::{ServerLogic, StoreBackend};
+use net::threaded::ThreadEndpoint;
+use std::thread::JoinHandle;
+
+/// Shutdown message for server threads.
+pub struct Shutdown;
+
+/// Spawn a staging server thread servicing `endpoint`.
+///
+/// The thread runs until it receives a [`Shutdown`] message or the mesh is
+/// torn down, then returns the final [`ServerLogic`] so tests can inspect
+/// the store.
+pub fn spawn_server<B: StoreBackend>(
+    endpoint: ThreadEndpoint,
+    mut logic: ServerLogic<B>,
+) -> JoinHandle<ServerLogic<B>> {
+    std::thread::spawn(move || {
+        while let Some(msg) = endpoint.recv() {
+            if msg.payload.is::<Shutdown>() {
+                break;
+            }
+            if msg.payload.is::<PutRequest>() {
+                let req = msg.payload.downcast::<PutRequest>().unwrap();
+                let (resp, _cost) = logic.handle_put(&req);
+                endpoint.send(msg.from, HEADER_BYTES, resp);
+            } else if msg.payload.is::<GetRequest>() {
+                let req = msg.payload.downcast::<GetRequest>().unwrap();
+                let (resp, _cost) = logic.handle_get(&req);
+                let size = HEADER_BYTES
+                    + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+                endpoint.send(msg.from, size, resp);
+            } else if msg.payload.is::<CtlRequest>() {
+                let req = msg.payload.downcast::<CtlRequest>().unwrap();
+                let (resp, _cost) = logic.handle_ctl(*req);
+                endpoint.send(msg.from, HEADER_BYTES, resp);
+            }
+            // Unknown messages are dropped, as in the DES server.
+        }
+        logic
+    })
+}
+
+/// Errors from the blocking client.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The mesh was torn down mid-operation.
+    Disconnected,
+    /// A get returned pieces that do not tile the requested region.
+    IncompleteCoverage,
+}
+
+/// A blocking DataSpaces-style client for one application component.
+///
+/// Mirrors the paper's user interface: [`SyncClient::put`] ≙
+/// `dspaces_put_with_log`, [`SyncClient::get`] ≙ `dspaces_get_with_log`
+/// (when the servers run the logging backend), [`SyncClient::checkpoint`] ≙
+/// `workflow_check`, and [`SyncClient::recover`] ≙ `workflow_restart`'s
+/// notification half.
+pub struct SyncClient {
+    endpoint: ThreadEndpoint,
+    dist: Distribution,
+    /// Endpoint index of each staging server in the mesh.
+    server_eps: Vec<usize>,
+    app: AppId,
+    seq: u64,
+}
+
+impl SyncClient {
+    /// Create a client. `server_eps[i]` must be the mesh endpoint of staging
+    /// server `i` in `dist`'s numbering.
+    pub fn new(
+        endpoint: ThreadEndpoint,
+        dist: Distribution,
+        server_eps: Vec<usize>,
+        app: AppId,
+    ) -> Self {
+        assert_eq!(server_eps.len(), dist.nservers, "one endpoint per server");
+        SyncClient { endpoint, dist, server_eps, app, seq: 0 }
+    }
+
+    fn next_seq(&mut self, n: usize) -> u64 {
+        let s = self.seq;
+        self.seq += n as u64;
+        s
+    }
+
+    /// Write `bbox` of `(var, version)`, generating per-block payloads with
+    /// `fill`. Blocks are scattered to their owning servers; the call returns
+    /// when every server acked. Returns the per-block statuses.
+    pub fn put(
+        &mut self,
+        var: VarId,
+        version: Version,
+        bbox: &BBox,
+        fill: impl FnMut(&BBox) -> Payload,
+    ) -> Result<Vec<PutStatus>, ClientError> {
+        let seq0 = self.seq;
+        let reqs = plan_put_with(&self.dist, self.app, var, version, bbox, seq0, fill);
+        self.next_seq(reqs.len());
+        let n = reqs.len();
+        for (server, req) in reqs {
+            let size = HEADER_BYTES + req.payload.accounted_len();
+            if !self.endpoint.send(self.server_eps[server], size, req) {
+                return Err(ClientError::Disconnected);
+            }
+        }
+        let mut statuses = Vec::with_capacity(n);
+        while statuses.len() < n {
+            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
+            if msg.payload.is::<PutResponse>() {
+                let r = msg.payload.downcast::<PutResponse>().unwrap();
+                if r.seq >= seq0 && r.seq < seq0 + n as u64 {
+                    statuses.push(r.status);
+                }
+            }
+        }
+        Ok(statuses)
+    }
+
+    /// Read `bbox` of `(var, version)`; returns the pieces (tiling `bbox`).
+    pub fn get(
+        &mut self,
+        var: VarId,
+        version: Version,
+        bbox: &BBox,
+    ) -> Result<Vec<GetPiece>, ClientError> {
+        let seq0 = self.seq;
+        let reqs = plan_get(&self.dist, self.app, var, version, bbox, seq0);
+        self.next_seq(reqs.len());
+        let n = reqs.len();
+        for (server, req) in reqs {
+            if !self.endpoint.send(self.server_eps[server], HEADER_BYTES, req) {
+                return Err(ClientError::Disconnected);
+            }
+        }
+        let mut pieces = Vec::new();
+        let mut got = 0usize;
+        while got < n {
+            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
+            if msg.payload.is::<GetResponse>() {
+                let r = msg.payload.downcast::<GetResponse>().unwrap();
+                if r.seq >= seq0 && r.seq < seq0 + n as u64 {
+                    got += 1;
+                    pieces.extend(r.pieces);
+                }
+            }
+        }
+        if !covers_exactly(bbox, &pieces) {
+            return Err(ClientError::IncompleteCoverage);
+        }
+        Ok(pieces)
+    }
+
+    /// Notify every server that this component checkpointed through
+    /// `upto_version` (the paper's `workflow_check()`).
+    pub fn checkpoint(&mut self, upto_version: Version) -> Result<Vec<CtlResponse>, ClientError> {
+        self.control(CtlRequest::Checkpoint { app: self.app, upto_version })
+    }
+
+    /// Notify every server that this component rolled back to
+    /// `resume_version` and will replay (the paper's `workflow_restart()`).
+    pub fn recover(&mut self, resume_version: Version) -> Result<Vec<CtlResponse>, ClientError> {
+        self.control(CtlRequest::Recovery { app: self.app, resume_version })
+    }
+
+    fn control(&mut self, req: CtlRequest) -> Result<Vec<CtlResponse>, ClientError> {
+        for &ep in &self.server_eps {
+            if !self.endpoint.send(ep, HEADER_BYTES, req) {
+                return Err(ClientError::Disconnected);
+            }
+        }
+        let mut resps = Vec::with_capacity(self.server_eps.len());
+        while resps.len() < self.server_eps.len() {
+            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
+            if msg.payload.is::<CtlResponse>() {
+                resps.push(*msg.payload.downcast::<CtlResponse>().unwrap());
+            }
+        }
+        Ok(resps)
+    }
+
+    /// The application id this client acts as.
+    pub fn app(&self) -> AppId {
+        self.app
+    }
+
+    /// The distribution in use.
+    pub fn dist(&self) -> &Distribution {
+        &self.dist
+    }
+
+    /// Per-server endpoints (for sending [`Shutdown`] at teardown).
+    pub fn server_eps(&self) -> &[usize] {
+        &self.server_eps
+    }
+
+    /// Send [`Shutdown`] to every server.
+    pub fn shutdown_servers(&self) {
+        for &ep in &self.server_eps {
+            let _ = self.endpoint.send(ep, HEADER_BYTES, Shutdown);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{PlainBackend, ServerCosts};
+    use net::threaded::ThreadedNet;
+
+    fn setup(
+        nservers: usize,
+        napps: usize,
+        dims: [u64; 3],
+        block: [u64; 3],
+    ) -> (Vec<JoinHandle<ServerLogic<PlainBackend>>>, Vec<SyncClient>) {
+        let dist = Distribution::new(BBox::whole(dims), block, nservers);
+        let mut eps = ThreadedNet::mesh(nservers + napps);
+        // Endpoints 0..nservers are servers; the rest are clients.
+        let client_eps: Vec<ThreadEndpoint> = eps.split_off(nservers);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                spawn_server(
+                    ep,
+                    ServerLogic::new(PlainBackend::new(8), ServerCosts::default()),
+                )
+            })
+            .collect();
+        let clients = client_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId)
+            })
+            .collect();
+        (handles, clients)
+    }
+
+    fn block_fill(var: VarId, version: Version) -> impl FnMut(&BBox) -> Payload {
+        move |b: &BBox| {
+            let mut data = Vec::with_capacity(b.volume() as usize);
+            for i in 0..b.volume() {
+                data.push((var as u64 + version as u64 * 31 + b.lb[0] + i) as u8);
+            }
+            Payload::inline(data)
+        }
+    }
+
+    #[test]
+    fn put_get_round_trip_across_threads() {
+        let (handles, mut clients) = setup(3, 2, [32, 32, 32], [16, 16, 16]);
+        let bbox = BBox::whole([32, 32, 32]);
+        let mut consumer = clients.pop().unwrap();
+        let mut producer = clients.pop().unwrap();
+
+        let statuses = producer.put(0, 1, &bbox, block_fill(0, 1)).unwrap();
+        assert_eq!(statuses.len(), 8);
+        assert!(statuses.iter().all(|s| *s == PutStatus::Stored));
+
+        let pieces = consumer.get(0, 1, &bbox).unwrap();
+        assert!(covers_exactly(&bbox, &pieces));
+        let total: u64 = pieces.iter().map(|p| p.payload.len()).sum();
+        assert_eq!(total, bbox.volume());
+
+        consumer.shutdown_servers();
+        for h in handles {
+            let logic = h.join().unwrap();
+            assert!(logic.puts_served() + logic.gets_served() > 0);
+        }
+    }
+
+    #[test]
+    fn get_missing_region_reports_incomplete() {
+        let (handles, mut clients) = setup(2, 1, [16, 16, 16], [8, 8, 8]);
+        let mut c = clients.pop().unwrap();
+        let bbox = BBox::whole([16, 16, 16]);
+        // Nothing was put; coverage check must fail.
+        assert!(matches!(c.get(0, 1, &bbox), Err(ClientError::IncompleteCoverage)));
+        c.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_disjoint_regions() {
+        let (handles, mut clients) = setup(2, 2, [32, 32, 32], [8, 8, 8]);
+        let mut c2 = clients.pop().unwrap();
+        let mut c1 = clients.pop().unwrap();
+        let left = BBox::d3([0, 0, 0], [15, 31, 31]);
+        let right = BBox::d3([16, 0, 0], [31, 31, 31]);
+        let t1 = std::thread::spawn(move || {
+            c1.put(0, 1, &left, block_fill(0, 1)).unwrap();
+            c1
+        });
+        let t2 = std::thread::spawn(move || {
+            c2.put(0, 1, &right, block_fill(0, 1)).unwrap();
+            c2
+        });
+        let mut c1 = t1.join().unwrap();
+        let _c2 = t2.join().unwrap();
+        let whole = BBox::whole([32, 32, 32]);
+        let pieces = c1.get(0, 1, &whole).unwrap();
+        assert!(covers_exactly(&whole, &pieces));
+        c1.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn control_round_trip() {
+        let (handles, mut clients) = setup(2, 1, [8, 8, 8], [8, 8, 8]);
+        let mut c = clients.pop().unwrap();
+        let resps = c.checkpoint(4).unwrap();
+        assert_eq!(resps.len(), 2);
+        for r in resps {
+            assert_eq!(r.req, CtlRequest::Checkpoint { app: 0, upto_version: 4 });
+        }
+        c.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

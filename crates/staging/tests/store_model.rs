@@ -1,0 +1,189 @@
+//! Model-based testing of the versioned store: random operation sequences
+//! are applied both to [`VersionedStore`] and to a deliberately naive
+//! reference model; observable behaviour must agree exactly.
+
+use proptest::prelude::*;
+use staging::geometry::BBox;
+use staging::payload::Payload;
+use staging::proto::{ObjDesc, VarId, Version};
+use staging::store::VersionedStore;
+use std::collections::BTreeMap;
+
+/// A stored piece in the reference model: region, payload length, digest.
+type ModelPiece = (BBox, u64, u64);
+
+/// The reference model: a plain map with brute-force queries.
+#[derive(Default)]
+struct Model {
+    /// (var, version) → pieces.
+    data: BTreeMap<(VarId, Version), Vec<ModelPiece>>,
+    max_versions: Option<usize>,
+}
+
+impl Model {
+    fn put(&mut self, desc: ObjDesc, len: u64, digest: u64) {
+        let pieces = self.data.entry((desc.var, desc.version)).or_default();
+        if let Some(p) = pieces.iter_mut().find(|(b, _, _)| *b == desc.bbox) {
+            p.1 = len;
+            p.2 = digest;
+        } else {
+            pieces.push((desc.bbox, len, digest));
+        }
+        if let Some(maxv) = self.max_versions {
+            loop {
+                let versions: Vec<Version> = self
+                    .data
+                    .keys()
+                    .filter(|(v, _)| *v == desc.var)
+                    .map(|(_, ver)| *ver)
+                    .collect();
+                if versions.len() <= maxv {
+                    break;
+                }
+                let oldest = *versions.iter().min().expect("nonempty");
+                self.data.remove(&(desc.var, oldest));
+            }
+        }
+    }
+
+    fn bytes(&self) -> u64 {
+        self.data.values().flatten().map(|(_, len, _)| *len).sum()
+    }
+
+    fn query(&self, var: VarId, version: Version, bbox: &BBox) -> Vec<(BBox, u64)> {
+        let mut out: Vec<(BBox, u64)> = self
+            .data
+            .get(&(var, version))
+            .map(|pieces| {
+                pieces
+                    .iter()
+                    .filter_map(|(b, _, digest)| b.intersect(bbox).map(|clip| (clip, *digest)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort_by_key(|(b, _)| (b.lb, b.ub));
+        out
+    }
+
+    fn versions(&self, var: VarId) -> Vec<Version> {
+        self.data.keys().filter(|(v, _)| *v == var).map(|(_, ver)| *ver).collect()
+    }
+
+    fn remove_version(&mut self, var: VarId, version: Version) {
+        self.data.remove(&(var, version));
+    }
+
+    fn remove_newer_than(&mut self, keep_upto: Version) {
+        self.data.retain(|(_, v), _| *v <= keep_upto);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put { var: VarId, version: Version, lo: u64, len: u64, payload_len: u64 },
+    Query { var: VarId, version: Version, lo: u64, len: u64 },
+    RemoveVersion { var: VarId, version: Version },
+    RemoveNewerThan { keep: Version },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..3, 1u32..12, 0u64..50, 1u64..30, 1u64..100).prop_map(
+            |(var, version, lo, len, payload_len)| Op::Put { var, version, lo, len, payload_len }
+        ),
+        3 => (0u32..3, 1u32..12, 0u64..50, 1u64..30).prop_map(
+            |(var, version, lo, len)| Op::Query { var, version, lo, len }
+        ),
+        1 => (0u32..3, 1u32..12).prop_map(|(var, version)| Op::RemoveVersion { var, version }),
+        1 => (1u32..12).prop_map(|keep| Op::RemoveNewerThan { keep }),
+    ]
+}
+
+fn check_agreement(store: &VersionedStore, model: &Model) {
+    assert_eq!(store.bytes(), model.bytes(), "byte accounting diverged");
+    for var in 0..3u32 {
+        assert_eq!(store.versions(var), model.versions(var), "versions of var {var}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unbounded_store_matches_model(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let mut store = VersionedStore::unbounded();
+        let mut model = Model::default();
+        for op in ops {
+            match op {
+                Op::Put { var, version, lo, len, payload_len } => {
+                    let bbox = BBox::d1(lo, lo + len - 1);
+                    let digest = (var as u64) << 32 | version as u64 ^ payload_len;
+                    let payload = Payload::Virtual { len: payload_len, digest };
+                    store.put(ObjDesc { var, version, bbox }, payload);
+                    model.put(ObjDesc { var, version, bbox }, payload_len, digest);
+                }
+                Op::Query { var, version, lo, len } => {
+                    let bbox = BBox::d1(lo, lo + len - 1);
+                    let mut got: Vec<(BBox, u64)> = store
+                        .query(var, version, &bbox)
+                        .into_iter()
+                        .map(|p| (p.bbox, p.payload.digest()))
+                        .collect();
+                    got.sort_by_key(|(b, _)| (b.lb, b.ub));
+                    prop_assert_eq!(got, model.query(var, version, &bbox));
+                }
+                Op::RemoveVersion { var, version } => {
+                    store.remove_version(var, version);
+                    model.remove_version(var, version);
+                }
+                Op::RemoveNewerThan { keep } => {
+                    store.remove_newer_than(keep);
+                    model.remove_newer_than(keep);
+                }
+            }
+            check_agreement(&store, &model);
+        }
+    }
+
+    #[test]
+    fn bounded_store_matches_model(
+        maxv in 1usize..4,
+        ops in prop::collection::vec(arb_op(), 1..60),
+    ) {
+        let mut store = VersionedStore::bounded(maxv);
+        let mut model = Model { max_versions: Some(maxv), ..Default::default() };
+        for op in ops {
+            match op {
+                Op::Put { var, version, lo, len, payload_len } => {
+                    let bbox = BBox::d1(lo, lo + len - 1);
+                    let digest = (var as u64) << 32 | version as u64 ^ payload_len;
+                    let payload = Payload::Virtual { len: payload_len, digest };
+                    store.put(ObjDesc { var, version, bbox }, payload);
+                    model.put(ObjDesc { var, version, bbox }, payload_len, digest);
+                }
+                Op::Query { var, version, lo, len } => {
+                    let bbox = BBox::d1(lo, lo + len - 1);
+                    let mut got: Vec<(BBox, u64)> = store
+                        .query(var, version, &bbox)
+                        .into_iter()
+                        .map(|p| (p.bbox, p.payload.digest()))
+                        .collect();
+                    got.sort_by_key(|(b, _)| (b.lb, b.ub));
+                    prop_assert_eq!(got, model.query(var, version, &bbox));
+                }
+                // Bounded stores are only driven through put/query in
+                // production (plain backend); keep the model in lockstep
+                // anyway for the removal ops.
+                Op::RemoveVersion { var, version } => {
+                    store.remove_version(var, version);
+                    model.remove_version(var, version);
+                }
+                Op::RemoveNewerThan { keep } => {
+                    store.remove_newer_than(keep);
+                    model.remove_newer_than(keep);
+                }
+            }
+            check_agreement(&store, &model);
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The logging store backend — data/event logging plugged into the staging
+//! server (the paper's "Data Logging Component" + "Garbage Collection
+//! Component" of Figure 8).
+//!
+//! [`LoggingBackend`] implements [`staging::service::StoreBackend`], so the
+//! unmodified staging server (DES actor or thread loop) becomes a *logging*
+//! staging server by construction. Differences from the plain backend:
+//!
+//! * the version store is unbounded — old versions are the data log, deleted
+//!   only by GC;
+//! * every put/get appends a [`LogEvent`] to the issuing component's queue;
+//! * `workflow_check` control events insert checkpoint markers, advance the
+//!   GC marks, and trigger a collection pass;
+//! * `workflow_restart` control events build the replay script and flip the
+//!   component into replay mode;
+//! * during replay, puts matching the script are absorbed and gets are
+//!   served the logged version, with digest verification.
+
+use crate::event::LogEvent;
+use crate::gc::GcState;
+use crate::queue::EventQueue;
+use crate::replay::{GetDecision, PutDecision, ReplayManager};
+use staging::payload::fnv1a_words;
+use staging::proto::{
+    AppId, CtlRequest, CtlResponse, GetPiece, GetRequest, PutRequest, PutStatus, Version,
+};
+use staging::service::{OpStats, StoreBackend};
+use staging::store::VersionedStore;
+use std::collections::HashMap;
+
+/// Aggregate digest for a set of get pieces: order-insensitive combination of
+/// piece digests and bbox corners, so that re-served results compare stably.
+pub fn pieces_digest(pieces: &[GetPiece]) -> u64 {
+    let mut acc = 0u64;
+    for p in pieces {
+        acc ^= fnv1a_words(
+            p.payload.digest(),
+            &[p.bbox.lb[0], p.bbox.lb[1], p.bbox.lb[2], p.payload.len()],
+        );
+    }
+    acc
+}
+
+/// Data/event-logging backend for staging servers.
+///
+/// ```
+/// use staging::geometry::BBox;
+/// use staging::payload::Payload;
+/// use staging::proto::{CtlRequest, GetRequest, ObjDesc, PutRequest, PutStatus};
+/// use staging::service::StoreBackend;
+/// use wfcr::backend::LoggingBackend;
+///
+/// let mut b = LoggingBackend::new();
+/// b.register_app(0); // simulation
+/// b.register_app(1); // analytics
+///
+/// // Three coupling cycles.
+/// let bbox = BBox::d1(0, 63);
+/// for v in 1..=3u32 {
+///     b.put(&PutRequest {
+///         app: 0,
+///         desc: ObjDesc { var: 0, version: v, bbox },
+///         payload: Payload::virtual_from(64, &[v as u64]),
+///         seq: 0,
+///     });
+///     b.get(&GetRequest { app: 1, var: 0, version: v, bbox, seq: 0 });
+/// }
+///
+/// // The simulation checkpoints through step 2, then fails and restarts:
+/// b.control(CtlRequest::Checkpoint { app: 0, upto_version: 2 });
+/// b.control(CtlRequest::Recovery { app: 0, resume_version: 2 });
+///
+/// // Its deterministic re-write of step 3 is absorbed, not duplicated.
+/// let (status, _) = b.put(&PutRequest {
+///     app: 0,
+///     desc: ObjDesc { var: 0, version: 3, bbox },
+///     payload: Payload::virtual_from(64, &[3]),
+///     seq: 0,
+/// });
+/// assert_eq!(status, PutStatus::Absorbed);
+/// assert_eq!(b.digest_mismatches(), 0);
+/// ```
+#[derive(Debug)]
+pub struct LoggingBackend {
+    store: VersionedStore,
+    queues: HashMap<AppId, EventQueue>,
+    replay: ReplayManager,
+    gc: GcState,
+    next_w_chk: u64,
+    /// Garbage collection enabled (disable only for ablation studies; the
+    /// log grows without bound otherwise).
+    gc_enabled: bool,
+    /// Redundant writes absorbed during replays.
+    absorbed_puts: u64,
+    /// Gets served from the log at a historical version.
+    replayed_gets: u64,
+}
+
+impl Default for LoggingBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LoggingBackend {
+    /// Empty backend. Components may be pre-registered with
+    /// [`LoggingBackend::register_app`] so GC is pinned until their first
+    /// checkpoint.
+    pub fn new() -> Self {
+        LoggingBackend {
+            store: VersionedStore::unbounded(),
+            queues: HashMap::new(),
+            replay: ReplayManager::new(),
+            gc: GcState::new(),
+            next_w_chk: 1,
+            gc_enabled: true,
+            absorbed_puts: 0,
+            replayed_gets: 0,
+        }
+    }
+
+    /// Enable/disable garbage collection (ablation studies only).
+    pub fn set_gc_enabled(&mut self, enabled: bool) {
+        self.gc_enabled = enabled;
+    }
+
+    /// Pre-register a component (pins GC until it checkpoints).
+    pub fn register_app(&mut self, app: AppId) {
+        self.gc.register(app);
+        self.queues.entry(app).or_default();
+    }
+
+    /// The wrapped version store (tests / inspection).
+    pub fn store(&self) -> &VersionedStore {
+        &self.store
+    }
+
+    /// The event queue of `app`, if it has issued any request.
+    pub fn queue(&self, app: AppId) -> Option<&EventQueue> {
+        self.queues.get(&app)
+    }
+
+    /// Is `app` currently replaying?
+    pub fn is_replaying(&self, app: AppId) -> bool {
+        self.replay.is_replaying(app)
+    }
+
+    /// Redundant puts absorbed so far.
+    pub fn absorbed_puts(&self) -> u64 {
+        self.absorbed_puts
+    }
+
+    /// Replayed (log-served) gets so far.
+    pub fn replayed_gets(&self) -> u64 {
+        self.replayed_gets
+    }
+
+    /// Digest mismatches observed during replays (0 for deterministic apps).
+    pub fn digest_mismatches(&self) -> u64 {
+        self.replay.mismatches()
+    }
+
+    /// Bytes currently held in event queues (log metadata).
+    pub fn queue_bytes(&self) -> u64 {
+        self.queues.values().map(EventQueue::bytes).sum()
+    }
+
+    /// Bytes reclaimed by GC over the backend's lifetime.
+    pub fn gc_reclaimed(&self) -> u64 {
+        self.gc.reclaimed()
+    }
+
+    /// Components currently in replay mode.
+    pub fn replaying_apps(&self) -> Vec<AppId> {
+        let mut v: Vec<AppId> = self
+            .queues
+            .keys()
+            .copied()
+            .filter(|&a| self.replay.is_replaying(a))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    pub(crate) fn store_clone(&self) -> VersionedStore {
+        self.store.clone()
+    }
+
+    pub(crate) fn queues_clone(&self) -> HashMap<AppId, EventQueue> {
+        self.queues.clone()
+    }
+
+    pub(crate) fn gc_clone(&self) -> crate::gc::GcState {
+        self.gc.clone()
+    }
+
+    pub(crate) fn next_w_chk(&self) -> u64 {
+        self.next_w_chk
+    }
+
+    /// Rebuild a backend from snapshotted parts (fresh replay state).
+    pub(crate) fn restore_parts(
+        store: VersionedStore,
+        queues: HashMap<AppId, EventQueue>,
+        gc: crate::gc::GcState,
+        next_w_chk: u64,
+    ) -> LoggingBackend {
+        LoggingBackend {
+            store,
+            queues,
+            replay: ReplayManager::new(),
+            gc,
+            next_w_chk,
+            gc_enabled: true,
+            absorbed_puts: 0,
+            replayed_gets: 0,
+        }
+    }
+
+    fn resolve_get_version(&self, req: &GetRequest) -> Version {
+        // Serve the exact requested version when stored; otherwise the newest
+        // stored version at or below the request (DataSpaces `get` semantics
+        // for lagging readers).
+        if self.store.covers_any(req.var, req.version, &req.bbox) {
+            req.version
+        } else {
+            self.store
+                .latest_version_at(req.var, req.version, &req.bbox)
+                .unwrap_or(req.version)
+        }
+    }
+}
+
+impl StoreBackend for LoggingBackend {
+    fn put(&mut self, req: &PutRequest) -> (PutStatus, OpStats) {
+        let digest = req.payload.digest();
+        match self.replay.on_put(req.app, &req.desc, digest) {
+            PutDecision::Absorb { digest_ok } => {
+                if !digest_ok {
+                    // Mismatch already counted by the replay manager; the
+                    // write is still absorbed (the logged original is the
+                    // authoritative copy).
+                }
+                self.absorbed_puts += 1;
+                (
+                    PutStatus::Absorbed,
+                    // Only index work: no store copy, no new log entry.
+                    OpStats { touched_bytes: 0, log_events: 0, logged_bytes: 0, freed_bytes: 0 },
+                )
+            }
+            PutDecision::Store => {
+                let bytes = req.payload.accounted_len();
+                self.store.put(req.desc, req.payload.clone());
+                self.queues.entry(req.app).or_default().push(LogEvent::Put {
+                    app: req.app,
+                    desc: req.desc,
+                    bytes,
+                    digest,
+                });
+                (
+                    PutStatus::Stored,
+                    OpStats {
+                        touched_bytes: bytes,
+                        log_events: 1,
+                        logged_bytes: bytes,
+                        freed_bytes: 0,
+                    },
+                )
+            }
+        }
+    }
+
+    fn get(&mut self, req: &GetRequest) -> (Vec<GetPiece>, OpStats) {
+        match self.replay.on_get(req.app, req.var, req.version, &req.bbox) {
+            GetDecision::Replay { version, digest } => {
+                let pieces = self.store.query(req.var, version, &req.bbox);
+                if pieces_digest(&pieces) != digest {
+                    self.replay.record_mismatch();
+                }
+                self.replayed_gets += 1;
+                let bytes: u64 = pieces.iter().map(|p| p.payload.accounted_len()).sum();
+                // Replayed reads are not re-logged.
+                (pieces, OpStats { touched_bytes: bytes, ..Default::default() })
+            }
+            GetDecision::Normal => {
+                let served = self.resolve_get_version(req);
+                let pieces = self.store.query(req.var, served, &req.bbox);
+                let bytes: u64 = pieces.iter().map(|p| p.payload.accounted_len()).sum();
+                let digest = pieces_digest(&pieces);
+                self.queues.entry(req.app).or_default().push(LogEvent::Get {
+                    app: req.app,
+                    var: req.var,
+                    requested: req.version,
+                    served,
+                    bbox: req.bbox,
+                    bytes,
+                    digest,
+                });
+                (
+                    pieces,
+                    OpStats {
+                        touched_bytes: bytes,
+                        log_events: 1,
+                        logged_bytes: 0,
+                        freed_bytes: 0,
+                    },
+                )
+            }
+        }
+    }
+
+    fn control(&mut self, req: CtlRequest) -> (CtlResponse, OpStats) {
+        match req {
+            CtlRequest::Checkpoint { app, upto_version } => {
+                let w_chk_id = self.next_w_chk;
+                self.next_w_chk += 1;
+                self.queues.entry(app).or_default().push(LogEvent::Checkpoint {
+                    app,
+                    w_chk_id,
+                    upto_version,
+                });
+                self.gc.mark_checkpoint(app, upto_version);
+                // GC pass: collect the data log, then trim event queues.
+                let (freed_data, freed_events) = if self.gc_enabled {
+                    let replay_floor = self.replay.active_floor();
+                    let freed_data = self.gc.collect(&mut self.store, replay_floor);
+                    let floor = self.gc.floor(replay_floor);
+                    let mut freed_events = 0u64;
+                    for q in self.queues.values_mut() {
+                        freed_events +=
+                            q.truncate_through(floor) as u64 * crate::event::EVENT_BYTES;
+                    }
+                    (freed_data, freed_events)
+                } else {
+                    (0, 0)
+                };
+                (
+                    CtlResponse { req, pending_replay: 0 },
+                    OpStats {
+                        touched_bytes: 0,
+                        log_events: 1,
+                        logged_bytes: 0,
+                        freed_bytes: freed_data + freed_events,
+                    },
+                )
+            }
+            CtlRequest::Recovery { app, resume_version } => {
+                let script = self
+                    .queues
+                    .get(&app)
+                    .map(|q| q.replay_script(resume_version))
+                    .unwrap_or_default();
+                let pending = self.replay.begin(app, resume_version, script) as u64;
+                self.queues.entry(app).or_default().push(LogEvent::Recovery {
+                    app,
+                    resume_version,
+                });
+                (
+                    CtlResponse { req, pending_replay: pending },
+                    OpStats { log_events: 1, ..Default::default() },
+                )
+            }
+            CtlRequest::GlobalReset { to_version } => {
+                // Coordinated rollback is foreign to the logging scheme (the
+                // whole point is to avoid it) but is honoured for
+                // completeness: discard data and events newer than the cut.
+                let freed = self.store.remove_newer_than(to_version);
+                (
+                    CtlResponse { req, pending_replay: 0 },
+                    OpStats { freed_bytes: freed, ..Default::default() },
+                )
+            }
+        }
+    }
+
+    fn get_ready(&self, req: &GetRequest) -> bool {
+        // A replaying component reads from the log, which by construction
+        // holds everything its script references.
+        if self.replay.is_replaying(req.app) {
+            return true;
+        }
+        self.store.covers_fully(req.var, req.version, &req.bbox)
+            || self
+                .store
+                .newest_version(req.var)
+                .map(|v| v > req.version)
+                .unwrap_or(false)
+    }
+
+    fn bytes_resident(&self) -> u64 {
+        self.store.bytes() + self.queue_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staging::geometry::BBox;
+    use staging::payload::Payload;
+    use staging::proto::ObjDesc;
+
+    const SIM: AppId = 0;
+    const ANA: AppId = 1;
+
+    fn put_req(app: AppId, version: Version) -> PutRequest {
+        let bbox = BBox::d1(0, 99);
+        PutRequest {
+            app,
+            desc: ObjDesc { var: 0, version, bbox },
+            payload: Payload::virtual_from(100, &[version as u64]),
+            seq: 0,
+        }
+    }
+
+    fn get_req(app: AppId, version: Version) -> GetRequest {
+        GetRequest { app, var: 0, version, bbox: BBox::d1(0, 99), seq: 0 }
+    }
+
+    /// Run the paper's write-then-read coupling for `steps`, returning the
+    /// digests the consumer observed.
+    fn run_steps(b: &mut LoggingBackend, from: Version, to: Version) -> Vec<u64> {
+        let mut seen = Vec::new();
+        for v in from..=to {
+            b.put(&put_req(SIM, v));
+            let (pieces, _) = b.get(&get_req(ANA, v));
+            seen.push(pieces_digest(&pieces));
+        }
+        seen
+    }
+
+    #[test]
+    fn normal_path_logs_events() {
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        run_steps(&mut b, 1, 3);
+        assert_eq!(b.queue(SIM).unwrap().len(), 3);
+        assert_eq!(b.queue(ANA).unwrap().len(), 3);
+        assert_eq!(b.store().versions(0), vec![1, 2, 3]);
+        assert!(b.bytes_resident() > 300, "3 payloads + 6 events");
+    }
+
+    #[test]
+    fn consumer_rollback_replays_historical_versions() {
+        // Figure 2 case 1: the analytics fails and re-reads old steps while
+        // the simulation has moved on.
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        let original = run_steps(&mut b, 1, 6);
+        // Analytics checkpointed at 4 then failed at 6 → rollback to 4,
+        // replays gets for 5 and 6.
+        b.control(CtlRequest::Checkpoint { app: ANA, upto_version: 4 });
+        let (resp, _) = b.control(CtlRequest::Recovery { app: ANA, resume_version: 4 });
+        assert_eq!(resp.pending_replay, 2);
+        assert!(b.is_replaying(ANA));
+        // Meanwhile the simulation keeps writing new steps.
+        b.put(&put_req(SIM, 7));
+        // Replayed reads observe the original data.
+        let (p5, _) = b.get(&get_req(ANA, 5));
+        let (p6, _) = b.get(&get_req(ANA, 6));
+        assert_eq!(pieces_digest(&p5), original[4]);
+        assert_eq!(pieces_digest(&p6), original[5]);
+        assert!(!b.is_replaying(ANA));
+        assert_eq!(b.replayed_gets(), 2);
+        assert_eq!(b.digest_mismatches(), 0);
+        // Post-replay reads are normal again.
+        let (p7, _) = b.get(&get_req(ANA, 7));
+        assert!(!p7.is_empty());
+    }
+
+    #[test]
+    fn producer_rollback_absorbs_redundant_puts() {
+        // Figure 2 case 2: the simulation fails and re-writes staged steps.
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        run_steps(&mut b, 1, 6);
+        b.control(CtlRequest::Checkpoint { app: SIM, upto_version: 4 });
+        b.control(CtlRequest::Recovery { app: SIM, resume_version: 4 });
+        // Deterministic re-execution re-puts 5 and 6 with identical payloads.
+        let (s5, st5) = b.put(&put_req(SIM, 5));
+        let (s6, _) = b.put(&put_req(SIM, 6));
+        assert_eq!(s5, PutStatus::Absorbed);
+        assert_eq!(s6, PutStatus::Absorbed);
+        assert_eq!(st5.touched_bytes, 0, "absorbed write copies nothing");
+        assert_eq!(b.absorbed_puts(), 2);
+        assert_eq!(b.digest_mismatches(), 0);
+        assert!(!b.is_replaying(SIM));
+        // Version 7 is new work: stored normally.
+        let (s7, _) = b.put(&put_req(SIM, 7));
+        assert_eq!(s7, PutStatus::Stored);
+        assert_eq!(b.store().versions(0).last(), Some(&7));
+    }
+
+    #[test]
+    fn tampered_reexecution_flagged() {
+        let mut b = LoggingBackend::new();
+        run_steps(&mut b, 1, 2);
+        b.control(CtlRequest::Recovery { app: SIM, resume_version: 0 });
+        // Re-put version 1 with *different* content.
+        let bad = PutRequest {
+            payload: Payload::virtual_from(100, &[999]),
+            ..put_req(SIM, 1)
+        };
+        let (status, _) = b.put(&bad);
+        assert_eq!(status, PutStatus::Absorbed, "log stays authoritative");
+        assert_eq!(b.digest_mismatches(), 1);
+    }
+
+    #[test]
+    fn checkpoints_trigger_gc() {
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        run_steps(&mut b, 1, 8);
+        let before = b.bytes_resident();
+        // Both components checkpoint through 6 → versions 1..=5 collectible
+        // (6 kept as a checkpointed-but-not-latest version? no: floor=6,
+        // versions ≤6 except latest(8): 1..=6 go).
+        b.control(CtlRequest::Checkpoint { app: SIM, upto_version: 6 });
+        let (_, stats) = b.control(CtlRequest::Checkpoint { app: ANA, upto_version: 6 });
+        assert!(stats.freed_bytes > 0);
+        assert!(b.bytes_resident() < before);
+        assert_eq!(b.store().versions(0), vec![7, 8]);
+        assert!(b.gc_reclaimed() >= 600);
+    }
+
+    #[test]
+    fn gc_pinned_while_peer_lags() {
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        run_steps(&mut b, 1, 8);
+        // Only the simulation checkpoints; analytics never does.
+        let (_, stats) = b.control(CtlRequest::Checkpoint { app: SIM, upto_version: 8 });
+        assert_eq!(stats.freed_bytes, 0, "analytics mark pins the log");
+        assert_eq!(b.store().versions(0).len(), 8);
+    }
+
+    #[test]
+    fn gc_pinned_by_active_replay() {
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        run_steps(&mut b, 1, 6);
+        // Analytics rolls back to 2 and starts replaying...
+        b.control(CtlRequest::Checkpoint { app: ANA, upto_version: 2 });
+        b.control(CtlRequest::Recovery { app: ANA, resume_version: 2 });
+        assert!(b.is_replaying(ANA));
+        // ...then both components checkpoint far ahead. GC must not eat the
+        // versions the replay still needs.
+        b.control(CtlRequest::Checkpoint { app: SIM, upto_version: 6 });
+        b.control(CtlRequest::Checkpoint { app: ANA, upto_version: 6 });
+        for v in [3, 4, 5, 6] {
+            assert!(
+                b.store().covers_any(0, v, &BBox::d1(0, 99)),
+                "version {v} must survive for the active replay"
+            );
+        }
+        // Replay completes correctly.
+        let (p3, _) = b.get(&get_req(ANA, 3));
+        assert!(!p3.is_empty());
+    }
+
+    #[test]
+    fn absorbed_put_leaves_queue_unchanged() {
+        let mut b = LoggingBackend::new();
+        run_steps(&mut b, 1, 3);
+        let qlen = b.queue(SIM).unwrap().len();
+        b.control(CtlRequest::Recovery { app: SIM, resume_version: 0 });
+        b.put(&put_req(SIM, 1));
+        // Recovery marker added one event; the absorbed put adds none.
+        assert_eq!(b.queue(SIM).unwrap().len(), qlen + 1);
+    }
+
+    #[test]
+    fn second_failure_mid_replay_restarts_replay() {
+        // The component fails again while only half-way through its replay:
+        // the fresh `workflow_restart()` rebuilds the full script (replayed
+        // requests were never re-logged, so the history is unchanged) and
+        // the complete re-execution still observes the original data.
+        let mut b = LoggingBackend::new();
+        b.register_app(SIM);
+        b.register_app(ANA);
+        let original = run_steps(&mut b, 1, 6);
+        b.control(CtlRequest::Checkpoint { app: ANA, upto_version: 2 });
+
+        // First recovery: replay only step 3 of the 4-step script...
+        let (r1, _) = b.control(CtlRequest::Recovery { app: ANA, resume_version: 2 });
+        assert_eq!(r1.pending_replay, 4);
+        let (p3, _) = b.get(&get_req(ANA, 3));
+        assert_eq!(pieces_digest(&p3), original[2]);
+        assert!(b.is_replaying(ANA));
+
+        // ...then fail again mid-replay.
+        let (r2, _) = b.control(CtlRequest::Recovery { app: ANA, resume_version: 2 });
+        assert_eq!(r2.pending_replay, 4, "script rebuilt in full");
+        for v in 3..=6u32 {
+            let (pieces, _) = b.get(&get_req(ANA, v));
+            assert_eq!(pieces_digest(&pieces), original[(v - 1) as usize], "v={v}");
+        }
+        assert!(!b.is_replaying(ANA));
+        assert_eq!(b.digest_mismatches(), 0);
+    }
+
+    #[test]
+    fn memory_grows_with_checkpoint_period() {
+        // The Figure 9(d) mechanism: longer checkpoint period ⇒ longer log.
+        let mem_at_period = |period: Version| {
+            let mut b = LoggingBackend::new();
+            b.register_app(SIM);
+            b.register_app(ANA);
+            let mut peak = 0u64;
+            for v in 1..=12 {
+                b.put(&put_req(SIM, v));
+                b.get(&get_req(ANA, v));
+                if v % period == 0 {
+                    b.control(CtlRequest::Checkpoint { app: SIM, upto_version: v });
+                    b.control(CtlRequest::Checkpoint { app: ANA, upto_version: v });
+                }
+                peak = peak.max(b.bytes_resident());
+            }
+            peak
+        };
+        let p2 = mem_at_period(2);
+        let p6 = mem_at_period(6);
+        assert!(p6 > p2, "longer period must retain more log: {p6} vs {p2}");
+    }
+}

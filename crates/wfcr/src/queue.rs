@@ -1,0 +1,268 @@
+//! Per-application event queues — the data structure at the heart of the
+//! paper's "queue based data consistency algorithm".
+//!
+//! The staging area keeps one queue per application component. Every data
+//! transport request is pushed as it is served; `workflow_check()` pushes a
+//! checkpoint marker. On failure, the events *after* the last checkpoint
+//! marker form the replay script; at checkpoint boundaries the prefix that no
+//! rollback can need anymore is discarded ("at the end of checkpoint cycle,
+//! data staging will clean the event queue").
+
+use crate::event::{LogEvent, EVENT_BYTES};
+use staging::proto::Version;
+use std::collections::VecDeque;
+
+/// Event queue for one application component.
+#[derive(Debug, Default, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EventQueue {
+    events: VecDeque<LogEvent>,
+    /// Version covered by the newest checkpoint marker seen (low-water mark
+    /// for rollback: the app can never resume from before this).
+    ckpt_version: Option<Version>,
+    /// `w_chk_id` of the newest checkpoint marker.
+    last_w_chk_id: Option<u64>,
+    /// Events ever appended (diagnostics).
+    appended: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event. Checkpoint markers update the low-water mark.
+    pub fn push(&mut self, ev: LogEvent) {
+        if let LogEvent::Checkpoint { w_chk_id, upto_version, .. } = ev {
+            self.ckpt_version = Some(match self.ckpt_version {
+                Some(v) => v.max(upto_version),
+                None => upto_version,
+            });
+            self.last_w_chk_id = Some(w_chk_id);
+        }
+        self.events.push_back(ev);
+        self.appended += 1;
+    }
+
+    /// The version of the newest checkpoint (rollback target), if any.
+    pub fn checkpoint_version(&self) -> Option<Version> {
+        self.ckpt_version
+    }
+
+    /// The most recent checkpoint marker's id.
+    pub fn last_w_chk_id(&self) -> Option<u64> {
+        self.last_w_chk_id
+    }
+
+    /// Build the replay script for a rollback to `resume_version`: all
+    /// transport events recorded *after* that version's checkpoint marker, in
+    /// original order. These are the operations the recovering component will
+    /// re-issue and that staging must reproduce.
+    pub fn replay_script(&self, resume_version: Version) -> Vec<LogEvent> {
+        // Every transport event newer than the restored version, in original
+        // order. (Versions are monotonic per run and absorbed replays are
+        // never re-logged, so each transport event appears exactly once —
+        // filtering by version is equivalent to, and more robust than,
+        // anchoring on the checkpoint marker's queue position, because
+        // `workflow_check` notifications can arrive after later data events.)
+        self.events
+            .iter()
+            .filter(|ev| ev.is_transport() && ev.version() > resume_version)
+            .copied()
+            .collect()
+    }
+
+    /// Drop every event at or before `boundary` *provided* it precedes the
+    /// newest checkpoint marker covering `boundary` (garbage collection).
+    /// Returns the number of events discarded.
+    pub fn truncate_through(&mut self, boundary: Version) -> usize {
+        let Some(ckpt) = self.ckpt_version else { return 0 };
+        let boundary = boundary.min(ckpt);
+        let before = self.events.len();
+        // Retain the newest checkpoint marker itself (so replay_script can
+        // still find its anchor) and everything newer than the boundary.
+        let last_id = self.last_w_chk_id;
+        self.events.retain(|ev| match ev {
+            LogEvent::Checkpoint { w_chk_id, .. } => Some(*w_chk_id) == last_id,
+            ev => ev.version() > boundary,
+        });
+        before - self.events.len()
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Staging memory charged to this queue.
+    pub fn bytes(&self) -> u64 {
+        self.events.len() as u64 * EVENT_BYTES
+    }
+
+    /// Total events ever appended.
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Iterate retained events oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEvent> {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staging::geometry::BBox;
+    use staging::proto::ObjDesc;
+
+    fn put(app: u32, version: Version) -> LogEvent {
+        LogEvent::Put {
+            app,
+            desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
+            bytes: 10,
+            digest: version as u64,
+        }
+    }
+
+    fn get(app: u32, version: Version) -> LogEvent {
+        LogEvent::Get {
+            app,
+            var: 0,
+            requested: version,
+            served: version,
+            bbox: BBox::d1(0, 9),
+            bytes: 10,
+            digest: version as u64,
+        }
+    }
+
+    fn ckpt(app: u32, id: u64, upto: Version) -> LogEvent {
+        LogEvent::Checkpoint { app, w_chk_id: id, upto_version: upto }
+    }
+
+    #[test]
+    fn replay_script_after_checkpoint() {
+        // Mirrors Figure 5: checkpoints at ts4; failure rolls back to ts4;
+        // replay covers ts5..=ts7.
+        let mut q = EventQueue::new();
+        for v in 1..=4 {
+            q.push(put(1, v));
+        }
+        q.push(ckpt(1, 100, 4));
+        for v in 5..=7 {
+            q.push(put(1, v));
+        }
+        let script = q.replay_script(4);
+        assert_eq!(script.len(), 3);
+        assert!(script.iter().all(|e| e.version() > 4));
+        assert_eq!(script[0].version(), 5);
+        assert_eq!(script[2].version(), 7);
+    }
+
+    #[test]
+    fn replay_script_without_checkpoint_replays_from_start() {
+        let mut q = EventQueue::new();
+        for v in 1..=3 {
+            q.push(get(1, v));
+        }
+        let script = q.replay_script(0);
+        assert_eq!(script.len(), 3);
+    }
+
+    #[test]
+    fn replay_script_empty_when_nothing_after_marker() {
+        let mut q = EventQueue::new();
+        q.push(put(0, 1));
+        q.push(ckpt(0, 7, 1));
+        assert!(q.replay_script(1).is_empty());
+    }
+
+    #[test]
+    fn multiple_checkpoints_pick_latest_applicable() {
+        let mut q = EventQueue::new();
+        q.push(put(0, 1));
+        q.push(ckpt(0, 1, 1));
+        q.push(put(0, 2));
+        q.push(ckpt(0, 2, 2));
+        q.push(put(0, 3));
+        // Rollback to 2 replays only version 3.
+        assert_eq!(q.replay_script(2).len(), 1);
+        // Rollback to 1 replays versions 2 and 3.
+        assert_eq!(q.replay_script(1).len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_version_tracks_max() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.checkpoint_version(), None);
+        q.push(ckpt(0, 1, 4));
+        q.push(ckpt(0, 2, 8));
+        assert_eq!(q.checkpoint_version(), Some(8));
+        assert_eq!(q.last_w_chk_id(), Some(2));
+    }
+
+    #[test]
+    fn truncate_respects_checkpoint_low_water() {
+        let mut q = EventQueue::new();
+        for v in 1..=4 {
+            q.push(put(0, v));
+        }
+        q.push(ckpt(0, 9, 4));
+        for v in 5..=6 {
+            q.push(put(0, v));
+        }
+        // Boundary above the checkpoint is clamped to it: events 1..=4 go,
+        // the marker stays, 5..=6 stay.
+        let dropped = q.truncate_through(10);
+        assert_eq!(dropped, 4);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.replay_script(4).len(), 2);
+    }
+
+    #[test]
+    fn truncate_without_checkpoint_is_noop() {
+        let mut q = EventQueue::new();
+        q.push(put(0, 1));
+        assert_eq!(q.truncate_through(5), 0);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn bytes_accounting() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.bytes(), 0);
+        q.push(put(0, 1));
+        q.push(put(0, 2));
+        assert_eq!(q.bytes(), 2 * EVENT_BYTES);
+        assert_eq!(q.appended(), 2);
+        q.push(ckpt(0, 1, 2));
+        q.truncate_through(2);
+        assert_eq!(q.bytes(), EVENT_BYTES); // marker retained
+        assert_eq!(q.appended(), 3);
+    }
+
+    #[test]
+    fn replay_after_truncate_still_correct() {
+        let mut q = EventQueue::new();
+        for v in 1..=4 {
+            q.push(put(0, v));
+            q.push(get(0, v));
+        }
+        q.push(ckpt(0, 1, 4));
+        for v in 5..=7 {
+            q.push(put(0, v));
+            q.push(get(0, v));
+        }
+        q.truncate_through(4);
+        let script = q.replay_script(4);
+        assert_eq!(script.len(), 6);
+        let versions: Vec<Version> = script.iter().map(|e| e.version()).collect();
+        assert_eq!(versions, vec![5, 5, 6, 6, 7, 7]);
+    }
+}

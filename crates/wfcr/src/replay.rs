@@ -1,0 +1,353 @@
+//! Replay mode: reproducing a rolled-back component's data-transport history.
+//!
+//! When `workflow_restart()` arrives for a component, staging builds its
+//! replay script (the logged transport events since its restored checkpoint)
+//! and enters replay mode for that component. Each subsequent request from
+//! the component is matched against the script:
+//!
+//! * a matching logged `Put` ⇒ the write is **absorbed** (Figure 2, case 2 —
+//!   the redundant re-write must not clobber or duplicate staged data);
+//!   the payload digest is compared with the logged digest as a safety net —
+//!   deterministic re-execution from the checkpointed RNG state must
+//!   reproduce identical bytes;
+//! * a matching logged `Get` ⇒ staging serves the **logged version** (Figure
+//!   2, case 1 — the consumer must re-observe the data the original
+//!   execution observed, not whatever is newest);
+//! * when every script entry has been consumed — or the component issues a
+//!   request for a version beyond the script — replay ends and the component
+//!   "reaches a state compatible with the other components" (paper §III-A).
+
+use crate::event::LogEvent;
+use staging::geometry::BBox;
+use staging::proto::{AppId, ObjDesc, VarId, Version};
+use std::collections::HashMap;
+
+/// Decision for an incoming put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutDecision {
+    /// Redundant re-write: do not store. `digest_ok` is the verification
+    /// outcome against the logged digest.
+    Absorb {
+        /// Did the re-executed payload match the original bytes?
+        digest_ok: bool,
+    },
+    /// Not part of a replay: store normally and log.
+    Store,
+}
+
+/// Decision for an incoming get.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GetDecision {
+    /// Replay: serve this logged version and verify against this digest.
+    Replay {
+        /// Version the original execution observed.
+        version: Version,
+        /// Digest of the originally served data.
+        digest: u64,
+    },
+    /// Not part of a replay: resolve and log normally.
+    Normal,
+}
+
+/// Per-component replay progress.
+#[derive(Debug)]
+struct ReplayState {
+    script: Vec<LogEvent>,
+    consumed: Vec<bool>,
+    resume_version: Version,
+    /// Highest version appearing in the script; requests beyond it end the
+    /// replay.
+    max_version: Version,
+}
+
+impl ReplayState {
+    fn remaining(&self) -> usize {
+        self.consumed.iter().filter(|c| !**c).count()
+    }
+}
+
+/// Tracks which components are replaying and matches their requests.
+#[derive(Debug, Default)]
+pub struct ReplayManager {
+    states: HashMap<AppId, ReplayState>,
+    /// Digest mismatches observed (should stay zero for deterministic apps).
+    mismatches: u64,
+    /// Requests that found no matching script entry while replaying.
+    unmatched: u64,
+    /// Replays completed.
+    completed: u64,
+}
+
+impl ReplayManager {
+    /// Fresh manager with no active replays.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enter replay mode for `app` with the given script. An empty script
+    /// completes immediately.
+    pub fn begin(&mut self, app: AppId, resume_version: Version, script: Vec<LogEvent>) -> usize {
+        let n = script.len();
+        if n == 0 {
+            self.completed += 1;
+            self.states.remove(&app);
+            return 0;
+        }
+        let max_version = script.iter().map(LogEvent::version).max().unwrap_or(resume_version);
+        let consumed = vec![false; n];
+        self.states.insert(app, ReplayState { script, consumed, resume_version, max_version });
+        n
+    }
+
+    /// Is `app` currently in replay mode?
+    pub fn is_replaying(&self, app: AppId) -> bool {
+        self.states.contains_key(&app)
+    }
+
+    /// Script entries not yet consumed for `app`.
+    pub fn pending(&self, app: AppId) -> usize {
+        self.states.get(&app).map(ReplayState::remaining).unwrap_or(0)
+    }
+
+    /// Classify an incoming put.
+    pub fn on_put(&mut self, app: AppId, desc: &ObjDesc, digest: u64) -> PutDecision {
+        let Some(st) = self.states.get_mut(&app) else { return PutDecision::Store };
+        if desc.version > st.max_version {
+            // The component has caught up past its logged history.
+            self.finish(app);
+            return PutDecision::Store;
+        }
+        // Find the first unconsumed logged Put matching this descriptor.
+        let found = st
+            .script
+            .iter()
+            .enumerate()
+            .find(|(i, ev)| {
+                !st.consumed[*i]
+                    && matches!(ev, LogEvent::Put { desc: d, .. } if d == desc)
+            })
+            .map(|(i, ev)| (i, *ev));
+        match found {
+            Some((i, ev)) => {
+                st.consumed[i] = true;
+                let logged_digest = match ev {
+                    LogEvent::Put { digest, .. } => digest,
+                    _ => unreachable!("matched a put"),
+                };
+                let digest_ok = logged_digest == digest;
+                if !digest_ok {
+                    self.mismatches += 1;
+                }
+                self.maybe_finish(app);
+                PutDecision::Absorb { digest_ok }
+            }
+            None => {
+                // Replaying but this exact write was never logged (e.g. the
+                // failure hit mid-step, after the checkpoint but before this
+                // put reached staging): store it normally.
+                self.unmatched += 1;
+                PutDecision::Store
+            }
+        }
+    }
+
+    /// Classify an incoming get.
+    pub fn on_get(&mut self, app: AppId, var: VarId, requested: Version, bbox: &BBox) -> GetDecision {
+        let Some(st) = self.states.get_mut(&app) else { return GetDecision::Normal };
+        if requested > st.max_version {
+            self.finish(app);
+            return GetDecision::Normal;
+        }
+        let found = st
+            .script
+            .iter()
+            .enumerate()
+            .find(|(i, ev)| {
+                !st.consumed[*i]
+                    && matches!(
+                        ev,
+                        LogEvent::Get { var: v, requested: r, bbox: b, .. }
+                            if *v == var && *r == requested && b == bbox
+                    )
+            })
+            .map(|(i, ev)| (i, *ev));
+        match found {
+            Some((i, ev)) => {
+                st.consumed[i] = true;
+                let (version, digest) = match ev {
+                    LogEvent::Get { served, digest, .. } => (served, digest),
+                    _ => unreachable!("matched a get"),
+                };
+                self.maybe_finish(app);
+                GetDecision::Replay { version, digest }
+            }
+            None => {
+                self.unmatched += 1;
+                GetDecision::Normal
+            }
+        }
+    }
+
+    /// Record a verification failure discovered downstream (served data's
+    /// digest differed from the logged digest).
+    pub fn record_mismatch(&mut self) {
+        self.mismatches += 1;
+    }
+
+    fn maybe_finish(&mut self, app: AppId) {
+        if self.states.get(&app).map(|s| s.remaining() == 0).unwrap_or(false) {
+            self.finish(app);
+        }
+    }
+
+    fn finish(&mut self, app: AppId) {
+        if self.states.remove(&app).is_some() {
+            self.completed += 1;
+        }
+    }
+
+    /// Digest mismatches seen so far.
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// Unmatched in-replay requests seen so far.
+    pub fn unmatched(&self) -> u64 {
+        self.unmatched
+    }
+
+    /// Completed replays.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Lowest resume version across active replays (GC must not collect
+    /// anything newer than this floor while a replay is active).
+    pub fn active_floor(&self) -> Option<Version> {
+        self.states.values().map(|s| s.resume_version).min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put_ev(app: u32, version: Version) -> LogEvent {
+        LogEvent::Put { app, desc: desc(version), bytes: 10, digest: 100 + version as u64 }
+    }
+
+    fn get_ev(app: u32, version: Version) -> LogEvent {
+        LogEvent::Get {
+            app,
+            var: 0,
+            requested: version,
+            served: version,
+            bbox: BBox::d1(0, 9),
+            bytes: 10,
+            digest: 200 + version as u64,
+        }
+    }
+
+    fn desc(version: Version) -> ObjDesc {
+        ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) }
+    }
+
+    #[test]
+    fn empty_script_completes_immediately() {
+        let mut rm = ReplayManager::new();
+        assert_eq!(rm.begin(0, 4, vec![]), 0);
+        assert!(!rm.is_replaying(0));
+        assert_eq!(rm.completed(), 1);
+    }
+
+    #[test]
+    fn puts_absorbed_in_order() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 4, vec![put_ev(0, 5), put_ev(0, 6), put_ev(0, 7)]);
+        for v in 5..=7 {
+            let d = rm.on_put(0, &desc(v), 100 + v as u64);
+            assert_eq!(d, PutDecision::Absorb { digest_ok: true }, "v={v}");
+        }
+        assert!(!rm.is_replaying(0), "all consumed ⇒ replay over");
+        assert_eq!(rm.completed(), 1);
+        // Next put is normal.
+        assert_eq!(rm.on_put(0, &desc(8), 0), PutDecision::Store);
+    }
+
+    #[test]
+    fn digest_mismatch_flagged_but_absorbed() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 0, vec![put_ev(0, 1)]);
+        let d = rm.on_put(0, &desc(1), 999);
+        assert_eq!(d, PutDecision::Absorb { digest_ok: false });
+        assert_eq!(rm.mismatches(), 1);
+    }
+
+    #[test]
+    fn get_served_logged_version() {
+        let mut rm = ReplayManager::new();
+        rm.begin(1, 4, vec![get_ev(1, 5), get_ev(1, 6)]);
+        let d = rm.on_get(1, 0, 5, &BBox::d1(0, 9));
+        assert_eq!(d, GetDecision::Replay { version: 5, digest: 205 });
+        assert_eq!(rm.pending(1), 1);
+        let d = rm.on_get(1, 0, 6, &BBox::d1(0, 9));
+        assert_eq!(d, GetDecision::Replay { version: 6, digest: 206 });
+        assert!(!rm.is_replaying(1));
+    }
+
+    #[test]
+    fn version_beyond_script_ends_replay() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 4, vec![put_ev(0, 5)]);
+        // Component skipped ahead (e.g. replay partially served elsewhere).
+        assert_eq!(rm.on_put(0, &desc(9), 0), PutDecision::Store);
+        assert!(!rm.is_replaying(0));
+    }
+
+    #[test]
+    fn unmatched_request_counted_and_stored() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 4, vec![put_ev(0, 5), put_ev(0, 6)]);
+        // A put for version 5 but a different region: not in the script.
+        let other = ObjDesc { var: 0, version: 5, bbox: BBox::d1(50, 59) };
+        assert_eq!(rm.on_put(0, &other, 0), PutDecision::Store);
+        assert_eq!(rm.unmatched(), 1);
+        assert!(rm.is_replaying(0), "replay continues");
+    }
+
+    #[test]
+    fn out_of_order_replay_tolerated() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 0, vec![put_ev(0, 1), put_ev(0, 2)]);
+        assert!(matches!(rm.on_put(0, &desc(2), 102), PutDecision::Absorb { .. }));
+        assert!(matches!(rm.on_put(0, &desc(1), 101), PutDecision::Absorb { .. }));
+        assert!(!rm.is_replaying(0));
+    }
+
+    #[test]
+    fn independent_apps_do_not_interfere() {
+        let mut rm = ReplayManager::new();
+        rm.begin(0, 0, vec![put_ev(0, 1)]);
+        // App 1 is not replaying.
+        assert_eq!(rm.on_put(1, &desc(1), 0), PutDecision::Store);
+        assert!(rm.is_replaying(0));
+        assert_eq!(rm.active_floor(), Some(0));
+    }
+
+    #[test]
+    fn mixed_put_get_script() {
+        let mut rm = ReplayManager::new();
+        rm.begin(2, 4, vec![put_ev(2, 5), get_ev(2, 5), put_ev(2, 6), get_ev(2, 6)]);
+        assert!(matches!(rm.on_put(2, &desc(5), 105), PutDecision::Absorb { .. }));
+        assert!(matches!(
+            rm.on_get(2, 0, 5, &BBox::d1(0, 9)),
+            GetDecision::Replay { version: 5, .. }
+        ));
+        assert!(matches!(rm.on_put(2, &desc(6), 106), PutDecision::Absorb { .. }));
+        assert!(matches!(
+            rm.on_get(2, 0, 6, &BBox::d1(0, 9)),
+            GetDecision::Replay { version: 6, .. }
+        ));
+        assert_eq!(rm.completed(), 1);
+    }
+}

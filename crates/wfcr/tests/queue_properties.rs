@@ -1,0 +1,151 @@
+//! Property tests on the event-queue invariants that the replay and GC
+//! machinery rely on.
+
+use proptest::prelude::*;
+use staging::geometry::BBox;
+use staging::proto::ObjDesc;
+use wfcr::event::LogEvent;
+use wfcr::queue::EventQueue;
+
+#[derive(Debug, Clone)]
+enum QOp {
+    Put(u32),
+    Get(u32),
+    Ckpt(u32),
+    Truncate(u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<QOp>> {
+    // Versions appended in nondecreasing order, as in a real run.
+    prop::collection::vec((0u32..3, 1u32..6), 1..60).prop_map(|steps| {
+        let mut v = 0u32;
+        let mut out = Vec::new();
+        for (kind, dv) in steps {
+            v += dv;
+            out.push(match kind {
+                0 => QOp::Put(v),
+                1 => QOp::Get(v),
+                _ => QOp::Ckpt(v),
+            });
+            if v.is_multiple_of(7) {
+                out.push(QOp::Truncate(v));
+            }
+        }
+        out
+    })
+}
+
+fn put(version: u32) -> LogEvent {
+    LogEvent::Put {
+        app: 0,
+        desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
+        bytes: 10,
+        digest: version as u64,
+    }
+}
+
+fn get(version: u32) -> LogEvent {
+    LogEvent::Get {
+        app: 0,
+        var: 0,
+        requested: version,
+        served: version,
+        bbox: BBox::d1(0, 9),
+        bytes: 10,
+        digest: version as u64,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Replay scripts only contain transport events newer than the resume
+    /// version, in append order, and never contain control markers.
+    #[test]
+    fn replay_script_invariants(ops in arb_ops(), resume in 0u32..40) {
+        let mut q = EventQueue::new();
+        let mut expected: Vec<u32> = Vec::new();
+        let mut next_chk = 1u64;
+        for op in &ops {
+            match op {
+                QOp::Put(v) => {
+                    q.push(put(*v));
+                    if *v > resume {
+                        expected.push(*v);
+                    }
+                }
+                QOp::Get(v) => {
+                    q.push(get(*v));
+                    if *v > resume {
+                        expected.push(*v);
+                    }
+                }
+                QOp::Ckpt(v) => {
+                    q.push(LogEvent::Checkpoint { app: 0, w_chk_id: next_chk, upto_version: *v });
+                    next_chk += 1;
+                }
+                QOp::Truncate(_) => {} // applied in the truncation test below
+            }
+        }
+        let script = q.replay_script(resume);
+        prop_assert!(script.iter().all(LogEvent::is_transport));
+        let versions: Vec<u32> = script.iter().map(LogEvent::version).collect();
+        prop_assert_eq!(versions, expected);
+    }
+
+    /// Truncation never removes events a future replay (from the newest
+    /// checkpoint) could need, and never increases byte usage.
+    #[test]
+    fn truncation_preserves_replayability(ops in arb_ops()) {
+        let mut q = EventQueue::new();
+        let mut next_chk = 1u64;
+        for op in &ops {
+            match op {
+                QOp::Put(v) => q.push(put(*v)),
+                QOp::Get(v) => q.push(get(*v)),
+                QOp::Ckpt(v) => {
+                    q.push(LogEvent::Checkpoint { app: 0, w_chk_id: next_chk, upto_version: *v });
+                    next_chk += 1;
+                }
+                QOp::Truncate(v) => {
+                    let Some(resume) = q.checkpoint_version() else {
+                        prop_assert_eq!(q.truncate_through(*v), 0);
+                        continue;
+                    };
+                    let script_before = q.replay_script(resume);
+                    let bytes_before = q.bytes();
+                    q.truncate_through(*v);
+                    prop_assert!(q.bytes() <= bytes_before);
+                    let script_after = q.replay_script(resume);
+                    prop_assert_eq!(
+                        format!("{script_before:?}"),
+                        format!("{script_after:?}"),
+                        "truncation changed the replay script"
+                    );
+                }
+            }
+        }
+    }
+
+    /// `appended` counts every push; `len` never exceeds it.
+    #[test]
+    fn append_accounting(ops in arb_ops()) {
+        let mut q = EventQueue::new();
+        let mut pushes = 0u64;
+        let mut next_chk = 1u64;
+        for op in &ops {
+            match op {
+                QOp::Put(v) => { q.push(put(*v)); pushes += 1; }
+                QOp::Get(v) => { q.push(get(*v)); pushes += 1; }
+                QOp::Ckpt(v) => {
+                    q.push(LogEvent::Checkpoint { app: 0, w_chk_id: next_chk, upto_version: *v });
+                    next_chk += 1;
+                    pushes += 1;
+                }
+                QOp::Truncate(v) => { q.truncate_through(*v); }
+            }
+            prop_assert_eq!(q.appended(), pushes);
+            prop_assert!(q.len() as u64 <= pushes);
+        }
+    }
+}

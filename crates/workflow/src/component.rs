@@ -1,0 +1,676 @@
+//! The application-component actor: compute → couple (put/get) → checkpoint,
+//! plus the full failure/recovery state machine.
+//!
+//! One actor models one application component (all its ranks): per-rank
+//! detail that matters for the paper's metrics — aggregate data volume,
+//! collective costs scaling with rank count, checkpoint state size — is
+//! carried in the cost models; per-rank detail that does not (individual
+//! compute jitter) is folded into one jittered compute phase per step.
+//!
+//! ## Normal cycle (per time step)
+//!
+//! 1. `Computing` — a timer models the solver/analysis kernel;
+//! 2. `IoWait` — producers scatter block puts to the staging servers,
+//!    consumers issue (blocking) gets; the actor waits for every ack;
+//! 3. checkpoint boundary? Under Un/Hy/In the component checkpoints on its
+//!    own period (PFS write, then `workflow_check` notification under
+//!    logging protocols); under Co it rendezvouses with every other
+//!    component through the [`crate::director::Director`], paying barriers
+//!    and contended PFS writes;
+//! 4. next step.
+//!
+//! ## Failure handling
+//!
+//! * C/R component under Un/Hy/In: ULFM repair → contended-free PFS restore
+//!   → `workflow_restart` notification (logging only) → re-execution from
+//!   the checkpoint, with staging absorbing re-puts / replaying gets;
+//! * replicated component under Hy: a fail-over pause, no rollback;
+//! * any component under Co: reports to the director, which orchestrates the
+//!   global rollback (see `director.rs`).
+
+use crate::config::{ComponentConfig, WorkflowConfig};
+use ckpt::target::CkptTarget;
+use mpi_sim::comm::Communicator;
+use mpi_sim::ulfm::{self, UlfmCosts};
+use net::des::{Delivered, EndpointId, NetworkHandle};
+use sim_core::engine::{Actor, ActorId, Ctx, Event};
+use sim_core::rng::Xoshiro256StarStar;
+use sim_core::time::SimTime;
+use staging::dist::Distribution;
+use staging::geometry::BBox;
+use staging::proto::{CtlRequest, CtlResponse, GetResponse, PutResponse, PutStatus};
+use staging::server::{plan_get, plan_put_virtual, HEADER_BYTES};
+use std::collections::HashMap;
+
+/// Kick-off message (runner → component at t=0).
+pub struct StartStep;
+
+/// Compute phase finished.
+struct ComputeDone {
+    step: u32,
+    incarnation: u32,
+}
+
+/// Independent checkpoint write finished.
+struct CkptWriteDone {
+    incarnation: u32,
+}
+
+/// Injected fail-stop failure (runner → component).
+pub struct Fail;
+
+/// Failure-predictor warning (runner → component): a failure is imminent;
+/// take an out-of-band checkpoint at the next step boundary (proactive
+/// checkpointing).
+pub struct FailureWarning;
+
+/// ULFM repair finished.
+struct UlfmDone {
+    incarnation: u32,
+}
+
+/// Checkpoint restore finished.
+struct RestoreDone {
+    incarnation: u32,
+}
+
+/// Director → component: coordinated checkpoint at `step` is complete.
+pub struct CkptRelease {
+    /// The checkpointed step.
+    pub step: u32,
+}
+
+/// Director → component: global rollback finished; resume from
+/// `resume_step`.
+pub struct RollbackComplete {
+    /// First step to (re-)execute.
+    pub resume_step: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    Computing,
+    IoWait,
+    CkptWrite,
+    CkptRendezvous,
+    CtlWait(AfterCtl),
+    RecUlfm,
+    RecRestore,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterCtl {
+    AdvanceStep,
+    ResumeCompute,
+}
+
+/// The component actor. Public fields would invite runner-side fiddling;
+/// everything is wired through [`ComponentActor::new`] + setters used by the
+/// runner during wiring.
+pub struct ComponentActor {
+    cfg: ComponentConfig,
+    protocol: wfcr::protocol::WorkflowProtocol,
+    total_steps: u32,
+    coordinated_period: u32,
+    dist: Distribution,
+    domain: BBox,
+    /// Variables this component writes each step.
+    write_vars: Vec<u32>,
+    /// Variables this component reads each step, with the writer's subset
+    /// fraction and pattern (readers consume what producers produce, where
+    /// they produce it).
+    read_vars: Vec<(u32, u64, crate::config::SubsetPattern)>,
+    bytes_per_point: u64,
+    net: NetworkHandle,
+    ep: EndpointId,
+    server_eps: Vec<EndpointId>,
+    director: ActorId,
+    rng: Xoshiro256StarStar,
+    comm: Communicator,
+    ulfm: UlfmCosts,
+    pfs: ckpt::PfsModel,
+    ckpt_target: crate::config::CkptTarget,
+    node_local: ckpt::NodeLocalModel,
+    failover: SimTime,
+    reconnect_per_rank: SimTime,
+
+    step: u32,
+    phase: Phase,
+    incarnation: u32,
+    pending: usize,
+    issue: HashMap<u64, SimTime>,
+    seq: u64,
+    last_ckpt_step: u32,
+    /// Extra delay folded into the next compute phase (replication
+    /// fail-over pauses).
+    pending_delay: SimTime,
+    /// A failure warning arrived: checkpoint at the next step boundary.
+    proactive_pending: bool,
+    /// Proactive checkpoints taken.
+    proactive_ckpts: u32,
+
+    /// Steps executed including re-execution.
+    steps_executed: u64,
+    /// Rollback recoveries performed.
+    recoveries: u32,
+    /// Fail-overs absorbed by replication.
+    failovers: u32,
+    /// Failures ignored because a recovery was already in progress.
+    coalesced_failures: u32,
+    /// Puts acked as absorbed (server recognized a redundant replay write).
+    absorbed_acks: u64,
+    finish_time: Option<SimTime>,
+}
+
+impl ComponentActor {
+    /// Build a component from the workflow config. Network wiring (`net`,
+    /// `ep`, `server_eps`, `director`) is patched by the runner after actor
+    /// registration.
+    pub fn new(wf: &WorkflowConfig, cfg: ComponentConfig, rng: Xoshiro256StarStar) -> Self {
+        let dist = Distribution::with_curve(wf.domain_bbox(), wf.block, wf.nservers, wf.sfc);
+        let comm = Communicator::new(cfg.ranks, cfg.spares);
+        // Variable namespace: every writing component owns the var range
+        // [app·nvars, app·nvars + nvars); readers consume the union of every
+        // *other* writer's range. A Producer+Consumer pair degenerates to
+        // the classic write-then-read coupling; Peer components exchange
+        // fields bidirectionally (the Figure 5 scenario).
+        let own_range =
+            |app: u32| (app * wf.nvars..(app + 1) * wf.nvars).collect::<Vec<u32>>();
+        let write_vars = if cfg.role.writes() { own_range(cfg.app) } else { Vec::new() };
+        let read_vars: Vec<(u32, u64, crate::config::SubsetPattern)> = if cfg.role.reads() {
+            wf.components
+                .iter()
+                .filter(|c| c.app != cfg.app && c.role.writes())
+                .flat_map(|c| {
+                    own_range(c.app)
+                        .into_iter()
+                        .map(move |v| (v, c.subset_millis, c.subset_pattern))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        ComponentActor {
+            protocol: wf.protocol,
+            total_steps: wf.total_steps,
+            coordinated_period: wf.coordinated_period,
+            dist,
+            domain: wf.domain_bbox(),
+            write_vars,
+            read_vars,
+            bytes_per_point: wf.bytes_per_point,
+            net: NetworkHandle { actor: 0 },
+            ep: 0,
+            server_eps: Vec::new(),
+            director: 0,
+            rng,
+            comm,
+            ulfm: wf.ulfm,
+            pfs: wf.pfs,
+            ckpt_target: wf.ckpt_target,
+            node_local: wf.node_local,
+            failover: wf.failover,
+            reconnect_per_rank: wf.reconnect_per_rank,
+            step: 1,
+            phase: Phase::Idle,
+            incarnation: 0,
+            pending: 0,
+            issue: HashMap::new(),
+            seq: 0,
+            last_ckpt_step: 0,
+            pending_delay: SimTime::ZERO,
+            proactive_pending: false,
+            proactive_ckpts: 0,
+            steps_executed: 0,
+            recoveries: 0,
+            failovers: 0,
+            coalesced_failures: 0,
+            absorbed_acks: 0,
+            finish_time: None,
+            cfg,
+        }
+    }
+
+    /// Runner wiring: network handle, own endpoint, server endpoints,
+    /// director actor id.
+    pub fn wire(
+        &mut self,
+        net: NetworkHandle,
+        ep: EndpointId,
+        server_eps: Vec<EndpointId>,
+        director: ActorId,
+    ) {
+        self.net = net;
+        self.ep = ep;
+        self.server_eps = server_eps;
+        self.director = director;
+    }
+
+    /// This component's app id.
+    pub fn app(&self) -> u32 {
+        self.cfg.app
+    }
+
+    /// Rollback recoveries performed.
+    pub fn recoveries(&self) -> u32 {
+        self.recoveries
+    }
+
+    /// Replication fail-overs absorbed.
+    pub fn failovers(&self) -> u32 {
+        self.failovers
+    }
+
+    /// Steps executed including re-execution.
+    pub fn steps_executed(&self) -> u64 {
+        self.steps_executed
+    }
+
+    /// Acks that reported [`PutStatus::Absorbed`].
+    pub fn absorbed_acks(&self) -> u64 {
+        self.absorbed_acks
+    }
+
+    /// Failures coalesced into an in-progress recovery.
+    pub fn coalesced_failures(&self) -> u32 {
+        self.coalesced_failures
+    }
+
+    /// Proactive (predictor-triggered) checkpoints taken.
+    pub fn proactive_ckpts(&self) -> u32 {
+        self.proactive_ckpts
+    }
+
+    /// Virtual time at which this component finished all steps.
+    pub fn finish_time(&self) -> Option<SimTime> {
+        self.finish_time
+    }
+
+    // ---- step machinery -----------------------------------------------
+
+    fn begin_step(&mut self, ctx: &mut Ctx<'_>) {
+        if self.step > self.total_steps {
+            self.finish(ctx);
+            return;
+        }
+        self.phase = Phase::Computing;
+        let jitter = 1.0 + self.cfg.jitter * (2.0 * self.rng.next_f64() - 1.0);
+        let dur = SimTime::from_secs_f64(self.cfg.compute_per_step.as_secs_f64() * jitter)
+            + self.pending_delay;
+        self.pending_delay = SimTime::ZERO;
+        let (step, incarnation) = (self.step, self.incarnation);
+        ctx.timer(dur, ComputeDone { step, incarnation });
+    }
+
+    fn issue_io(&mut self, ctx: &mut Ctx<'_>) {
+        self.steps_executed += 1;
+        let mut count = 0usize;
+        // Writes first ("write immediately followed by read"): a Peer pair
+        // exchanging fields must both have written before either read can
+        // complete, and issuing puts first makes that deadlock-free.
+        let write_regions = crate::config::coupled_regions(
+            &self.domain,
+            self.cfg.subset_millis,
+            self.cfg.subset_pattern,
+            self.step,
+        );
+        for &var in &self.write_vars {
+            for region in &write_regions {
+                let reqs = plan_put_virtual(
+                    &self.dist,
+                    self.cfg.app,
+                    var,
+                    self.step,
+                    region,
+                    self.bytes_per_point,
+                    self.seq,
+                );
+                self.seq += reqs.len() as u64;
+                count += reqs.len();
+                for (server, req) in reqs {
+                    self.issue.insert(req.seq, ctx.now());
+                    let size = HEADER_BYTES + req.payload.accounted_len();
+                    let to = self.server_eps[server];
+                    self.net.send(ctx, self.ep, to, size, req);
+                }
+            }
+        }
+        for &(var, subset_millis, pattern) in &self.read_vars {
+            for region in
+                crate::config::coupled_regions(&self.domain, subset_millis, pattern, self.step)
+            {
+                let reqs = plan_get(
+                    &self.dist,
+                    self.cfg.app,
+                    var,
+                    self.step,
+                    &region,
+                    self.seq,
+                );
+                self.seq += reqs.len() as u64;
+                count += reqs.len();
+                for (server, req) in reqs {
+                    self.issue.insert(req.seq, ctx.now());
+                    let to = self.server_eps[server];
+                    self.net.send(ctx, self.ep, to, HEADER_BYTES, req);
+                }
+            }
+        }
+        if count == 0 {
+            self.step_io_done(ctx);
+        } else {
+            self.pending = count;
+            self.phase = Phase::IoWait;
+        }
+    }
+
+    fn ckpt_due(&self) -> bool {
+        use wfcr::protocol::WorkflowProtocol as P;
+        match self.protocol {
+            P::FailureFree => false,
+            P::Coordinated => self.step.is_multiple_of(self.coordinated_period),
+            P::Uncoordinated | P::Hybrid | P::Individual => self
+                .cfg
+                .scheme
+                .period()
+                .map(|p| self.step.is_multiple_of(p))
+                .unwrap_or(false),
+        }
+    }
+
+    fn step_io_done(&mut self, ctx: &mut Ctx<'_>) {
+        // A predictor warning forces an out-of-band checkpoint under the
+        // uncoordinated-family protocols (proactive checkpointing).
+        let proactive_now = self.proactive_pending
+            && !self.protocol.coordinated_checkpoints()
+            && self.cfg.scheme.rolls_back();
+        if proactive_now {
+            self.proactive_pending = false;
+            self.proactive_ckpts += 1;
+            ctx.metrics().inc("wf.proactive_ckpts", 1);
+        }
+        if !self.ckpt_due() && !proactive_now {
+            self.advance_step(ctx);
+            return;
+        }
+        if self.protocol.coordinated_checkpoints() {
+            self.phase = Phase::CkptRendezvous;
+            let msg = crate::director::ComponentReady { app: self.cfg.app, step: self.step };
+            ctx.send_now(self.director, msg);
+        } else {
+            self.phase = Phase::CkptWrite;
+            // Independent checkpoint: sole writer on its target.
+            let cost = match self.ckpt_target {
+                crate::config::CkptTarget::Pfs => {
+                    self.pfs.write_time(self.cfg.state_bytes, 1)
+                }
+                // Two-level: blocking cost is the node-local write; the PFS
+                // flush proceeds asynchronously.
+                crate::config::CkptTarget::TwoLevel => {
+                    self.node_local.write_time(self.cfg.state_bytes, 1)
+                }
+            };
+            ctx.metrics().observe("wf.ckpt_write_s", cost.as_secs_f64());
+            let incarnation = self.incarnation;
+            ctx.timer(cost, CkptWriteDone { incarnation });
+        }
+    }
+
+    fn send_ctl_all(&mut self, ctx: &mut Ctx<'_>, req: CtlRequest, then: AfterCtl) {
+        self.pending = self.server_eps.len();
+        self.phase = Phase::CtlWait(then);
+        for &to in &self.server_eps {
+            self.net.send(ctx, self.ep, to, HEADER_BYTES, req);
+        }
+    }
+
+    fn advance_step(&mut self, ctx: &mut Ctx<'_>) {
+        self.step += 1;
+        self.begin_step(ctx);
+    }
+
+    fn finish(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase == Phase::Done {
+            return;
+        }
+        self.phase = Phase::Done;
+        self.finish_time = Some(ctx.now());
+        let msg = crate::director::Finished { app: self.cfg.app };
+        ctx.send_now(self.director, msg);
+    }
+
+    // ---- failure machinery ---------------------------------------------
+
+    fn on_fail(&mut self, ctx: &mut Ctx<'_>) {
+        if self.phase == Phase::Done {
+            return;
+        }
+        if matches!(self.phase, Phase::RecUlfm | Phase::RecRestore)
+            || matches!(self.phase, Phase::CtlWait(AfterCtl::ResumeCompute))
+        {
+            self.coalesced_failures += 1;
+            ctx.metrics().inc("wf.failures_coalesced", 1);
+            return;
+        }
+        ctx.metrics().inc("wf.failures", 1);
+
+        if !self.cfg.scheme.rolls_back()
+            && matches!(self.cfg.scheme, wfcr::protocol::FtScheme::Replication { .. })
+            && !self.protocol.coordinated_checkpoints()
+        {
+            // Replication: fail over to the replica; no rollback, no staging
+            // recovery. The pause lands on the next compute phase.
+            self.failovers += 1;
+            self.pending_delay += self.failover;
+            ctx.metrics().inc("wf.failovers", 1);
+            return;
+        }
+
+        if self.protocol.coordinated_checkpoints() {
+            // Co: the director orchestrates the global rollback.
+            self.incarnation += 1;
+            self.issue.clear();
+            self.pending = 0;
+            self.phase = Phase::Idle;
+            let msg = crate::director::CoFailure { app: self.cfg.app };
+            ctx.send_now(self.director, msg);
+            return;
+        }
+
+        // Un / Hy(C-R component) / In: local rollback recovery.
+        self.begin_rollback(ctx);
+    }
+
+    fn begin_rollback(&mut self, ctx: &mut Ctx<'_>) {
+        self.incarnation += 1;
+        self.issue.clear();
+        self.pending = 0;
+        self.recoveries += 1;
+        ctx.metrics().inc("wf.recoveries", 1);
+        ctx.metrics().inc(
+            "wf.rollback_steps",
+            u64::from(self.step.saturating_sub(self.last_ckpt_step + 1)),
+        );
+        self.phase = Phase::RecUlfm;
+        let victim = self.rng.next_bounded(self.comm.size().max(1) as u64) as usize;
+        let breakdown = ulfm::recover(&mut self.comm, &[victim], &self.ulfm, true);
+        ctx.metrics().observe("wf.ulfm_s", breakdown.total().as_secs_f64());
+        let incarnation = self.incarnation;
+        ctx.timer(breakdown.total(), UlfmDone { incarnation });
+    }
+
+    fn on_ulfm_done(&mut self, ctx: &mut Ctx<'_>) {
+        self.phase = Phase::RecRestore;
+        // Checkpoint restore + staging client re-initialization (every rank
+        // of the restarted component re-registers with staging — the
+        // `workflow_restart()` client-recovery step of Fig. 7b). The failed
+        // component's node-local checkpoint copies died with it, so even
+        // under two-level checkpointing its restore reads the PFS.
+        let cost = self.pfs.read_time(self.cfg.state_bytes, 1)
+            + self.reconnect_per_rank.scale(self.cfg.ranks as u64);
+        ctx.metrics().observe("wf.restore_s", cost.as_secs_f64());
+        let incarnation = self.incarnation;
+        ctx.timer(cost, RestoreDone { incarnation });
+    }
+
+    fn on_restore_done(&mut self, ctx: &mut Ctx<'_>) {
+        self.step = self.last_ckpt_step + 1;
+        if self.protocol.uses_logging() {
+            // workflow_restart(): notify staging; servers build the replay
+            // script before the component re-issues anything.
+            let req = CtlRequest::Recovery {
+                app: self.cfg.app,
+                resume_version: self.last_ckpt_step,
+            };
+            self.send_ctl_all(ctx, req, AfterCtl::ResumeCompute);
+        } else {
+            self.begin_step(ctx);
+        }
+    }
+}
+
+impl Actor for ComponentActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let ev = match ev.downcast::<Delivered>() {
+            Ok((_, d)) => {
+                let p = d.payload;
+                if p.is::<PutResponse>() {
+                    let r = p.downcast::<PutResponse>().unwrap();
+                    if let Some(t0) = self.issue.remove(&r.seq) {
+                        let rt = ctx.now().saturating_sub(t0);
+                        ctx.metrics().observe_tail("wf.put_response_s", rt.as_secs_f64());
+                        ctx.metrics().inc("wf.puts", 1);
+                        if r.status == PutStatus::Absorbed {
+                            self.absorbed_acks += 1;
+                            ctx.metrics().inc("wf.puts_absorbed", 1);
+                        }
+                        self.pending = self.pending.saturating_sub(1);
+                        if self.pending == 0 && self.phase == Phase::IoWait {
+                            self.step_io_done(ctx);
+                        }
+                    }
+                } else if p.is::<GetResponse>() {
+                    let r = p.downcast::<GetResponse>().unwrap();
+                    if let Some(t0) = self.issue.remove(&r.seq) {
+                        let rt = ctx.now().saturating_sub(t0);
+                        ctx.metrics().observe_tail("wf.get_response_s", rt.as_secs_f64());
+                        ctx.metrics().inc("wf.gets", 1);
+                        self.pending = self.pending.saturating_sub(1);
+                        if self.pending == 0 && self.phase == Phase::IoWait {
+                            self.step_io_done(ctx);
+                        }
+                    }
+                } else if p.is::<CtlResponse>() {
+                    if let Phase::CtlWait(then) = self.phase {
+                        self.pending = self.pending.saturating_sub(1);
+                        if self.pending == 0 {
+                            match then {
+                                AfterCtl::AdvanceStep => self.advance_step(ctx),
+                                AfterCtl::ResumeCompute => self.begin_step(ctx),
+                            }
+                        }
+                    }
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+
+        if ev.is::<StartStep>() {
+            if self.phase == Phase::Idle {
+                self.begin_step(ctx);
+            }
+            return;
+        }
+        let ev = match ev.downcast::<ComputeDone>() {
+            Ok((_, c)) => {
+                if c.incarnation == self.incarnation
+                    && c.step == self.step
+                    && self.phase == Phase::Computing
+                {
+                    self.issue_io(ctx);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<CkptWriteDone>() {
+            Ok((_, c)) => {
+                if c.incarnation == self.incarnation && self.phase == Phase::CkptWrite {
+                    self.last_ckpt_step = self.step;
+                    ctx.metrics().inc("wf.ckpts", 1);
+                    if self.protocol.uses_logging() {
+                        let req = CtlRequest::Checkpoint {
+                            app: self.cfg.app,
+                            upto_version: self.step,
+                        };
+                        self.send_ctl_all(ctx, req, AfterCtl::AdvanceStep);
+                    } else {
+                        self.advance_step(ctx);
+                    }
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<CkptRelease>() {
+            Ok((_, r)) => {
+                if self.phase == Phase::CkptRendezvous {
+                    self.last_ckpt_step = r.step;
+                    ctx.metrics().inc("wf.ckpts", 1);
+                    self.advance_step(ctx);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RollbackComplete>() {
+            Ok((_, r)) => {
+                // Global coordinated rollback (Co): everyone resumes.
+                if self.phase != Phase::Done {
+                    self.incarnation += 1;
+                    self.issue.clear();
+                    self.pending = 0;
+                    self.recoveries += 1;
+                    ctx.metrics().inc("wf.recoveries", 1);
+                    self.last_ckpt_step = r.resume_step.saturating_sub(1);
+                    self.step = r.resume_step;
+                    self.begin_step(ctx);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<UlfmDone>() {
+            Ok((_, u)) => {
+                if u.incarnation == self.incarnation && self.phase == Phase::RecUlfm {
+                    self.on_ulfm_done(ctx);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RestoreDone>() {
+            Ok((_, r)) => {
+                if r.incarnation == self.incarnation && self.phase == Phase::RecRestore {
+                    self.on_restore_done(ctx);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.is::<FailureWarning>() {
+            self.proactive_pending = true;
+            return;
+        }
+        if ev.is::<Fail>() {
+            self.on_fail(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+}

@@ -1,0 +1,699 @@
+//! Experiment configuration, including the paper's Table II and Table III
+//! setups.
+
+use net::cost::CostModel;
+use serde::{Deserialize, Serialize};
+use sim_core::time::SimTime;
+use staging::geometry::BBox;
+use staging::service::ServerCosts;
+use wfcr::protocol::{FtScheme, WorkflowProtocol};
+
+/// What a component does each coupling cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Writes the coupled data (the simulation).
+    Producer,
+    /// Reads the coupled data (the analytics/visualization).
+    Consumer,
+    /// Both writes its own fields and reads its peers' — a coupled-solver
+    /// component like the DNS/LES pair of paper §II-A, whose exchange
+    /// pattern Figure 5's queue algorithm is illustrated on.
+    Peer,
+}
+
+impl Role {
+    /// Does this component write coupled data each step?
+    pub fn writes(&self) -> bool {
+        matches!(self, Role::Producer | Role::Peer)
+    }
+
+    /// Does this component read coupled data each step?
+    pub fn reads(&self) -> bool {
+        matches!(self, Role::Consumer | Role::Peer)
+    }
+}
+
+/// How the coupled subset moves across time steps (evaluation Case 1 writes
+/// "different subsets of the entire data domain in each time step").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SubsetPattern {
+    /// The same prefix region every step.
+    #[default]
+    Fixed,
+    /// The region slides along the last axis by its own extent each step,
+    /// wrapping around the domain (so successive steps touch different
+    /// blocks).
+    Rotating,
+}
+
+/// The region(s) of `domain` coupled at `step` for a given subset fraction
+/// and pattern. Rotating subsets that wrap the domain boundary come back as
+/// two boxes.
+pub fn coupled_regions(
+    domain: &BBox,
+    subset_millis: u64,
+    pattern: SubsetPattern,
+    step: u32,
+) -> Vec<BBox> {
+    assert!((1..=1000).contains(&subset_millis));
+    let axis = domain.ndim as usize - 1;
+    let extent = domain.extent(axis);
+    let take = ((extent as u128 * subset_millis as u128).div_ceil(1000) as u64)
+        .clamp(1, extent);
+    let slice = |lo: u64, hi: u64| {
+        let mut b = *domain;
+        b.lb[axis] = domain.lb[axis] + lo;
+        b.ub[axis] = domain.lb[axis] + hi;
+        b
+    };
+    match pattern {
+        SubsetPattern::Fixed => vec![slice(0, take - 1)],
+        SubsetPattern::Rotating => {
+            let start = (step as u64 * take) % extent;
+            if start + take <= extent {
+                vec![slice(start, start + take - 1)]
+            } else {
+                let tail = start + take - extent;
+                vec![slice(start, extent - 1), slice(0, tail - 1)]
+            }
+        }
+    }
+}
+
+/// One application component of the workflow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComponentConfig {
+    /// Display name ("simulation", "analytics").
+    pub name: String,
+    /// Component id (also the staging `AppId`).
+    pub app: u32,
+    /// Producer or consumer.
+    pub role: Role,
+    /// Core/rank count (drives collective costs and state size).
+    pub ranks: usize,
+    /// Spare processes for ULFM recovery.
+    pub spares: usize,
+    /// Mean compute time per time step.
+    pub compute_per_step: SimTime,
+    /// Fractional uniform jitter on compute time (0.05 = ±5%).
+    pub jitter: f64,
+    /// Checkpointed state size, bytes (whole component).
+    pub state_bytes: u64,
+    /// Fault-tolerance scheme under Un/Hy/In protocols. (Co overrides the
+    /// period with the global coordinated period; Ds ignores it.)
+    pub scheme: FtScheme,
+    /// Fraction of the domain coupled each step, in thousandths
+    /// (1000 = 100%; Case 1 sweeps 200..=1000).
+    pub subset_millis: u64,
+    /// How the coupled subset moves across steps.
+    pub subset_pattern: SubsetPattern,
+}
+
+/// When and whom failures strike.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FailureSpec {
+    /// Deterministic failure of `app` at `at`.
+    At {
+        /// Failure time.
+        at: SimTime,
+        /// Victim component.
+        app: u32,
+    },
+    /// `count` failures with exponential inter-arrival times of mean
+    /// `mtbf_secs`, victims chosen randomly weighted by rank count.
+    Mtbf {
+        /// Mean time between failures, seconds.
+        mtbf_secs: f64,
+        /// Number of failures to inject.
+        count: usize,
+    },
+    /// Fail-stop failure of staging server `server` at `at`; the staging
+    /// resilience layer (CoREC-style replication/erasure coding) rebuilds
+    /// its contents from survivors while requests queue.
+    StagingAt {
+        /// Failure time.
+        at: SimTime,
+        /// Staging server index.
+        server: usize,
+    },
+}
+
+/// Where component checkpoints are written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CkptTarget {
+    /// Directly to the shared parallel file system (the paper's primary
+    /// option: "checkpoints can be stored through a centralized parallel
+    /// file system").
+    Pfs,
+    /// SCR/FTI-style two-level: blocking write to node-local NVRAM/SSD with
+    /// asynchronous PFS flush. Restores hit node-local when the copy
+    /// survived; a component's *own* failure destroys its local copies, so
+    /// its restore falls back to the PFS ("multi-level checkpointing" — the
+    /// future-work integration the paper names).
+    TwoLevel,
+}
+
+/// Proactive checkpointing (Bouguerra et al., the paper's reference 15): a failure
+/// predictor warns `lead` before an impending failure with probability
+/// `recall`; warned components take an immediate out-of-band checkpoint,
+/// shrinking the lost work to under one step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProactiveCfg {
+    /// Warning lead time before the failure.
+    pub lead: SimTime,
+    /// Probability the predictor catches a failure (0..=1).
+    pub recall: f64,
+}
+
+/// Parameters of the staging area's own resilience (the CoREC substrate the
+/// paper builds on: "the data staging can contain data resilience mechanisms
+/// such as data replication or erasure coding").
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StagingResilienceCfg {
+    /// Protection policy for staged objects.
+    pub protect: resilience::ProtectConfig,
+    /// Fixed failover/detection cost before the rebuild starts.
+    pub fixed: SimTime,
+}
+
+impl Default for StagingResilienceCfg {
+    fn default() -> Self {
+        StagingResilienceCfg {
+            protect: resilience::ProtectConfig::default(),
+            fixed: SimTime::from_millis(200),
+        }
+    }
+}
+
+/// Full experiment description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkflowConfig {
+    /// Human-readable label for reports.
+    pub label: String,
+    /// The coupled components (exactly one producer expected by the
+    /// synthetic workloads, but the engine supports several).
+    pub components: Vec<ComponentConfig>,
+    /// Global domain extents.
+    pub domain: [u64; 3],
+    /// Staging block extents.
+    pub block: [u64; 3],
+    /// Space-filling curve for the staging distribution.
+    pub sfc: staging::dist::Curve,
+    /// Staging server count.
+    pub nservers: usize,
+    /// Bytes per grid point per variable (8 = one double).
+    pub bytes_per_point: u64,
+    /// Coupled variables per step.
+    pub nvars: u32,
+    /// Coupling cycles to run.
+    pub total_steps: u32,
+    /// Workflow-level protocol.
+    pub protocol: WorkflowProtocol,
+    /// Global checkpoint period under the Co protocol (time steps).
+    pub coordinated_period: u32,
+    /// Version retention of the *plain* staging backend (baseline keeps the
+    /// latest couple of versions).
+    pub plain_max_versions: usize,
+    /// Interconnect cost model.
+    pub net: CostModel,
+    /// Staging server CPU cost model.
+    pub server_costs: ServerCosts,
+    /// ULFM/recovery cost model.
+    pub ulfm: mpi_sim::UlfmCosts,
+    /// PFS model for checkpoint I/O.
+    pub pfs: ckpt::PfsModel,
+    /// Failure injection plan.
+    pub failures: Vec<FailureSpec>,
+    /// Staging-area resilience parameters (drives rebuild times after
+    /// staging-server failures).
+    pub staging_resilience: StagingResilienceCfg,
+    /// Checkpoint storage target for every component.
+    pub ckpt_target: CkptTarget,
+    /// Node-local storage model (used when `ckpt_target` is two-level).
+    pub node_local: ckpt::NodeLocalModel,
+    /// Optional proactive-checkpointing predictor.
+    pub proactive: Option<ProactiveCfg>,
+    /// Log garbage collection (disable only for the GC ablation).
+    pub log_gc: bool,
+    /// Replication failover pause (Hy components with replication).
+    pub failover: SimTime,
+    /// Staging-client re-initialization cost per rank after a restart (the
+    /// paper's "tries to build RDMA connection to data staging servers" in
+    /// `workflow_restart()`; client registration serializes at the staging
+    /// master). A restarted component pays `ranks × reconnect_per_rank`;
+    /// under Co *every* component restarts, so the whole workflow's ranks
+    /// reconnect — one of the costs that grows with scale in Figure 10.
+    pub reconnect_per_rank: SimTime,
+    /// Engine RNG seed.
+    pub seed: u64,
+}
+
+impl WorkflowConfig {
+    /// The whole-domain bounding box.
+    pub fn domain_bbox(&self) -> BBox {
+        BBox::whole(self.domain)
+    }
+
+    /// Total cores: components + staging (as in Tables II/III).
+    pub fn total_cores(&self) -> usize {
+        self.components.iter().map(|c| c.ranks).sum::<usize>() + self.nservers
+    }
+
+    /// Coupled bytes moved per time step (all vars, full subset).
+    pub fn bytes_per_step(&self, subset_millis: u64) -> u64 {
+        let vol = self.domain_bbox().volume();
+        vol * subset_millis / 1000 * self.bytes_per_point * self.nvars as u64
+    }
+
+    /// Switch the protocol (and therefore the staging backend) on a copy.
+    pub fn with_protocol(&self, protocol: WorkflowProtocol) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.protocol = protocol;
+        c.label = format!("{}/{}", self.label, protocol.label());
+        c
+    }
+
+    /// Replace the failure plan on a copy.
+    pub fn with_failures(&self, failures: Vec<FailureSpec>) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.failures = failures;
+        c
+    }
+
+    /// Replace the RNG seed on a copy (varies jitter and sampled failures).
+    pub fn with_seed(&self, seed: u64) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.seed = seed;
+        c
+    }
+}
+
+/// The Table II setup: 256 simulation + 64 analytics + 32 staging cores,
+/// 512×512×256 domain, 20 GB over 40 time steps, checkpoint periods 4 (sim)
+/// and 5 (analytics), coordinated period 4.
+pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
+    let domain = [512u64, 512, 256];
+    let volume: u64 = domain.iter().product();
+    // 20 GB over 40 steps → 0.5 GB/step → 8 B per point (one double):
+    // 512·512·256 = 67,108,864 points × 8 B = 512 MiB per step.
+    let bytes_per_point = 8;
+    assert_eq!(volume * bytes_per_point, 536_870_912);
+    let sim_ranks = 256;
+    let ana_ranks = 64;
+    WorkflowConfig {
+        label: format!("table2/{}", protocol.label()),
+        components: vec![
+            ComponentConfig {
+                name: "simulation".into(),
+                app: 0,
+                role: Role::Producer,
+                ranks: sim_ranks,
+                spares: 4,
+                compute_per_step: SimTime::from_millis(12_000),
+                jitter: 0.03,
+                // ~40 MiB of solver state per rank: checkpoint volume grows
+                // with the job while the PFS does not — the classic C/R
+                // scaling pressure the paper leans on.
+                state_bytes: (sim_ranks as u64 * 40) << 20,
+                scheme: FtScheme::CheckpointRestart { period: 4 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+            ComponentConfig {
+                name: "analytics".into(),
+                app: 1,
+                role: Role::Consumer,
+                ranks: ana_ranks,
+                spares: 2,
+                compute_per_step: SimTime::from_millis(2_000),
+                jitter: 0.03,
+                state_bytes: (ana_ranks as u64 * 40) << 20,
+                scheme: FtScheme::CheckpointRestart { period: 5 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+        ],
+        domain,
+        block: [128, 128, 128],
+        sfc: staging::dist::Curve::Morton,
+        nservers: 32,
+        bytes_per_point,
+        nvars: 1,
+        total_steps: 40,
+        protocol,
+        coordinated_period: 4,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts::default(),
+        pfs: ckpt::PfsModel::default(),
+        // MTBF = 10 min with one failure inside the 40-step window.
+        failures: vec![FailureSpec::Mtbf { mtbf_secs: 600.0, count: 1 }],
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(500),
+        reconnect_per_rank: SimTime::from_millis(5),
+        seed: 42,
+    }
+}
+
+/// Table III scaling configurations. `scale` indexes the five columns:
+/// 0 → 704 cores … 4 → 11,264 cores. `mtbf_secs`/`nfailures` follow the
+/// paper's scalability scenarios (600/1, 300/2, 200/3).
+pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> WorkflowConfig {
+    assert!(scale < 5, "five scales: 704..11264 cores");
+    let sim_ranks = 512usize << scale; // 512,1024,2048,4096,8192
+    let ana_ranks = sim_ranks / 4; // 128..2048
+    let nservers = sim_ranks / 8; // 64..1024
+    // Data scales with cores: 40 GB → 640 GB per 40 steps, i.e. 1..16 GB per
+    // step. Domain doubles one axis per scale step from 512×512×512.
+    let domain = match scale {
+        0 => [512, 512, 512],
+        1 => [1024, 512, 512],
+        2 => [1024, 1024, 512],
+        3 => [1024, 1024, 1024],
+        _ => [2048, 1024, 1024],
+    };
+    let mtbf = match nfailures {
+        0 | 1 => 600.0,
+        2 => 300.0,
+        _ => 200.0,
+    };
+    WorkflowConfig {
+        label: format!(
+            "table3/{}cores/{}f/{}",
+            sim_ranks + ana_ranks + nservers,
+            nfailures,
+            protocol.label()
+        ),
+        components: vec![
+            ComponentConfig {
+                name: "simulation".into(),
+                app: 0,
+                role: Role::Producer,
+                ranks: sim_ranks,
+                spares: 8,
+                compute_per_step: SimTime::from_millis(15_000),
+                jitter: 0.03,
+                state_bytes: (sim_ranks as u64 * 40) << 20,
+                scheme: FtScheme::CheckpointRestart { period: 8 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+            ComponentConfig {
+                name: "analytics".into(),
+                app: 1,
+                role: Role::Consumer,
+                ranks: ana_ranks,
+                spares: 4,
+                compute_per_step: SimTime::from_millis(2_500),
+                jitter: 0.03,
+                state_bytes: (ana_ranks as u64 * 40) << 20,
+                scheme: FtScheme::CheckpointRestart { period: 10 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+        ],
+        domain,
+        block: [256, 256, 256],
+        sfc: staging::dist::Curve::Morton,
+        nservers,
+        bytes_per_point: 8,
+        nvars: 1,
+        total_steps: 40,
+        protocol,
+        coordinated_period: 8,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts::default(),
+        pfs: ckpt::PfsModel::default(),
+        failures: vec![FailureSpec::Mtbf { mtbf_secs: mtbf, count: nfailures }],
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(500),
+        reconnect_per_rank: SimTime::from_millis(5),
+        seed: 42 + scale as u64,
+    }
+}
+
+/// A DNS/LES-style pair of coupled solvers (paper §II-A, Figure 5): two
+/// simulations at different resolutions exchanging fields through staging
+/// every time step, each checkpointing on its own period.
+pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
+    WorkflowConfig {
+        label: format!("dns-les/{}", protocol.label()),
+        components: vec![
+            ComponentConfig {
+                name: "dns".into(),
+                app: 0,
+                role: Role::Peer,
+                ranks: 128,
+                spares: 4,
+                compute_per_step: SimTime::from_millis(10_000),
+                jitter: 0.03,
+                state_bytes: 128 * (40 << 20),
+                scheme: FtScheme::CheckpointRestart { period: 4 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+            ComponentConfig {
+                name: "les".into(),
+                app: 1,
+                role: Role::Peer,
+                ranks: 32,
+                spares: 2,
+                compute_per_step: SimTime::from_millis(9_000),
+                jitter: 0.03,
+                state_bytes: 32 * (40 << 20),
+                scheme: FtScheme::CheckpointRestart { period: 5 },
+                subset_millis: 300, // boundary/coarse exchange, not the full domain
+                subset_pattern: SubsetPattern::Fixed,
+            },
+        ],
+        domain: [256, 256, 256],
+        block: [128, 128, 128],
+        sfc: staging::dist::Curve::Morton,
+        nservers: 16,
+        bytes_per_point: 8,
+        nvars: 2,
+        total_steps: 12,
+        protocol,
+        coordinated_period: 4,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts::default(),
+        pfs: ckpt::PfsModel::default(),
+        failures: Vec::new(),
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(500),
+        reconnect_per_rank: SimTime::from_millis(5),
+        seed: 77,
+    }
+}
+
+/// The Figure 1 topology: one simulation fanned out to several coupled
+/// consumers (secondary analysis, analytics, visualization), each with its
+/// own checkpoint period.
+pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
+    assert!(nconsumers >= 1);
+    let mut components = vec![ComponentConfig {
+        name: "simulation".into(),
+        app: 0,
+        role: Role::Producer,
+        ranks: 128,
+        spares: 4,
+        compute_per_step: SimTime::from_millis(8_000),
+        jitter: 0.03,
+        state_bytes: 128 * (40 << 20),
+        scheme: FtScheme::CheckpointRestart { period: 4 },
+        subset_millis: 1000,
+        subset_pattern: SubsetPattern::Fixed,
+    }];
+    for i in 0..nconsumers {
+        components.push(ComponentConfig {
+            name: format!("consumer-{i}"),
+            app: 1 + i as u32,
+            role: Role::Consumer,
+            ranks: 32,
+            spares: 2,
+            compute_per_step: SimTime::from_millis(1_000 + 500 * i as u64),
+            jitter: 0.03,
+            state_bytes: 32 * (40 << 20),
+            scheme: FtScheme::CheckpointRestart { period: 4 + i as u32 },
+            subset_millis: 1000,
+            subset_pattern: SubsetPattern::Fixed,
+        });
+    }
+    WorkflowConfig {
+        label: format!("fanout{nconsumers}/{}", protocol.label()),
+        components,
+        domain: [256, 256, 256],
+        block: [128, 128, 128],
+        sfc: staging::dist::Curve::Morton,
+        nservers: 16,
+        bytes_per_point: 8,
+        nvars: 1,
+        total_steps: 12,
+        protocol,
+        coordinated_period: 4,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts::default(),
+        pfs: ckpt::PfsModel::default(),
+        failures: Vec::new(),
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(500),
+        reconnect_per_rank: SimTime::from_millis(5),
+        seed: 99,
+    }
+}
+
+/// A laptop-sized configuration for tests and the quickstart example: small
+/// domain, short steps, fast to simulate.
+pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
+    WorkflowConfig {
+        label: format!("tiny/{}", protocol.label()),
+        components: vec![
+            ComponentConfig {
+                name: "simulation".into(),
+                app: 0,
+                role: Role::Producer,
+                ranks: 8,
+                spares: 2,
+                compute_per_step: SimTime::from_millis(100),
+                jitter: 0.02,
+                state_bytes: 8 << 20,
+                scheme: FtScheme::CheckpointRestart { period: 4 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+            ComponentConfig {
+                name: "analytics".into(),
+                app: 1,
+                role: Role::Consumer,
+                ranks: 4,
+                spares: 1,
+                compute_per_step: SimTime::from_millis(60),
+                jitter: 0.02,
+                state_bytes: 4 << 20,
+                scheme: FtScheme::CheckpointRestart { period: 5 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+        ],
+        domain: [64, 64, 64],
+        block: [32, 32, 32],
+        sfc: staging::dist::Curve::Morton,
+        nservers: 4,
+        bytes_per_point: 8,
+        nvars: 1,
+        total_steps: 12,
+        protocol,
+        coordinated_period: 4,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts {
+            detect_ns: 10_000_000, // 10 ms: keep tiny runs snappy
+            ..mpi_sim::UlfmCosts::default()
+        },
+        pfs: ckpt::PfsModel::default(),
+        failures: Vec::new(),
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(50),
+        reconnect_per_rank: SimTime::from_micros(200),
+        seed: 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper_numbers() {
+        let c = table2(WorkflowProtocol::Uncoordinated);
+        assert_eq!(c.total_cores(), 352);
+        assert_eq!(c.components[0].ranks, 256);
+        assert_eq!(c.components[1].ranks, 64);
+        assert_eq!(c.nservers, 32);
+        assert_eq!(c.domain, [512, 512, 256]);
+        assert_eq!(c.total_steps, 40);
+        // 20 GB over 40 steps.
+        assert_eq!(c.bytes_per_step(1000) * 40, 20 * (1 << 30));
+        assert_eq!(c.components[0].scheme.period(), Some(4));
+        assert_eq!(c.components[1].scheme.period(), Some(5));
+        assert_eq!(c.coordinated_period, 4);
+    }
+
+    #[test]
+    fn table3_core_counts_match_paper() {
+        let expect = [704, 1408, 2816, 5632, 11264];
+        for (scale, &cores) in expect.iter().enumerate() {
+            let c = table3(scale, WorkflowProtocol::Uncoordinated, 1);
+            assert_eq!(c.total_cores(), cores, "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn table3_data_scales() {
+        // 40 GB at scale 0 doubling to 640 GB at scale 4 (per 40 steps).
+        for scale in 0..5 {
+            let c = table3(scale, WorkflowProtocol::Coordinated, 1);
+            let total = c.bytes_per_step(1000) * c.total_steps as u64;
+            assert_eq!(total, (40u64 << scale) * (1 << 30), "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn table3_failure_plan() {
+        for (n, mtbf) in [(1usize, 600.0), (2, 300.0), (3, 200.0)] {
+            let c = table3(0, WorkflowProtocol::Uncoordinated, n);
+            match &c.failures[0] {
+                FailureSpec::Mtbf { mtbf_secs, count } => {
+                    assert_eq!(*count, n);
+                    assert!((mtbf_secs - mtbf).abs() < 1e-9);
+                }
+                _ => panic!("expected MTBF spec"),
+            }
+        }
+    }
+
+    #[test]
+    fn with_protocol_relabels() {
+        let c = tiny(WorkflowProtocol::FailureFree);
+        let u = c.with_protocol(WorkflowProtocol::Uncoordinated);
+        assert_eq!(u.protocol, WorkflowProtocol::Uncoordinated);
+        assert!(u.label.ends_with("/Un"));
+    }
+
+    #[test]
+    fn bytes_per_step_subsets() {
+        let c = table2(WorkflowProtocol::FailureFree);
+        let full = c.bytes_per_step(1000) as f64;
+        let fifth = c.bytes_per_step(200) as f64;
+        let ratio = fifth * 5.0 / full;
+        assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,166 @@
+//! Run results: exactly the quantities the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+use wfcr::protocol::WorkflowProtocol;
+
+/// Aggregated outcome of one workflow run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration label.
+    pub label: String,
+    /// Protocol run.
+    pub protocol: WorkflowProtocol,
+    /// Total workflow execution time, seconds (time of the last component
+    /// finishing) — Figure 9(e) / Figure 10's y-axis.
+    pub total_time_s: f64,
+    /// Per-component finish times `(app, seconds)`.
+    pub finish_times_s: Vec<(u32, f64)>,
+    /// Put requests acked.
+    pub puts: u64,
+    /// Get requests answered.
+    pub gets: u64,
+    /// Sum of put response times, seconds — Figure 9(a)/(b)'s
+    /// "cumulative data write response time".
+    pub cumulative_put_response_s: f64,
+    /// Mean put response time, seconds.
+    pub mean_put_response_s: f64,
+    /// Streaming p99 of put response time, seconds (0 when no puts).
+    pub p99_put_response_s: f64,
+    /// Peak staging memory across servers (sum of per-server peaks), bytes —
+    /// Figure 9(c)/(d)'s "memory usage".
+    pub staging_peak_bytes: u64,
+    /// Staging memory at the end of the run.
+    pub staging_final_bytes: u64,
+    /// Checkpoints taken (component-level).
+    pub ckpts: u64,
+    /// Rollback recoveries performed.
+    pub recoveries: u64,
+    /// Replication fail-overs absorbed.
+    pub failovers: u64,
+    /// Time steps re-executed due to rollbacks.
+    pub rollback_steps: u64,
+    /// Redundant replay puts absorbed by the log.
+    pub absorbed_puts: u64,
+    /// Gets served from the log at a historical version.
+    pub replayed_gets: u64,
+    /// Replay digest mismatches (must be 0 for deterministic components).
+    pub digest_mismatches: u64,
+    /// Gets served a version other than the one requested (nonzero only
+    /// under non-logging protocols — quantifies In's inconsistency).
+    pub stale_gets: u64,
+    /// Bytes reclaimed by log garbage collection.
+    pub gc_reclaimed_bytes: u64,
+    /// Staging-server failures survived via resilience rebuilds.
+    pub staging_rebuilds: u64,
+    /// Proactive (predictor-triggered) checkpoints taken.
+    pub proactive_ckpts: u64,
+    /// Steps executed including re-execution (all components).
+    pub steps_executed: u64,
+    /// Total time spent in ULFM repair across recoveries, seconds.
+    pub recovery_ulfm_s: f64,
+    /// Total time spent restoring checkpoints (incl. staging-client
+    /// reconnection) across recoveries, seconds.
+    pub recovery_restore_s: f64,
+    /// Total coordinated-rollback orchestration time (Co only), seconds.
+    pub co_rollback_s: f64,
+    /// Total messages through the interconnect.
+    pub net_msgs: u64,
+    /// Total bytes through the interconnect.
+    pub net_bytes: u64,
+    /// Discrete events dispatched (simulation diagnostics).
+    pub events_dispatched: u64,
+}
+
+impl RunReport {
+    /// Percentage change of total time vs. a baseline report:
+    /// negative = this run was faster.
+    pub fn time_delta_pct(&self, base: &RunReport) -> f64 {
+        (self.total_time_s - base.total_time_s) / base.total_time_s * 100.0
+    }
+
+    /// Percentage increase of peak staging memory vs. a baseline.
+    pub fn memory_delta_pct(&self, base: &RunReport) -> f64 {
+        (self.staging_peak_bytes as f64 - base.staging_peak_bytes as f64)
+            / base.staging_peak_bytes as f64
+            * 100.0
+    }
+
+    /// Percentage increase of cumulative write response time vs. a baseline.
+    pub fn write_response_delta_pct(&self, base: &RunReport) -> f64 {
+        (self.cumulative_put_response_s - base.cumulative_put_response_s)
+            / base.cumulative_put_response_s
+            * 100.0
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={:.1}MiB ckpts={} rec={} replay(g={},p={}) mism={}",
+            self.label,
+            self.protocol.label(),
+            self.total_time_s,
+            self.puts,
+            self.cumulative_put_response_s,
+            self.staging_peak_bytes as f64 / (1 << 20) as f64,
+            self.ckpts,
+            self.recoveries,
+            self.replayed_gets,
+            self.absorbed_puts,
+            self.digest_mismatches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(total: f64, mem: u64, cum: f64) -> RunReport {
+        RunReport {
+            label: "t".into(),
+            protocol: WorkflowProtocol::Uncoordinated,
+            total_time_s: total,
+            finish_times_s: vec![],
+            puts: 0,
+            gets: 0,
+            cumulative_put_response_s: cum,
+            mean_put_response_s: 0.0,
+            p99_put_response_s: 0.0,
+            staging_peak_bytes: mem,
+            staging_final_bytes: 0,
+            ckpts: 0,
+            recoveries: 0,
+            failovers: 0,
+            rollback_steps: 0,
+            absorbed_puts: 0,
+            replayed_gets: 0,
+            digest_mismatches: 0,
+            stale_gets: 0,
+            gc_reclaimed_bytes: 0,
+            staging_rebuilds: 0,
+            proactive_ckpts: 0,
+            steps_executed: 0,
+            recovery_ulfm_s: 0.0,
+            recovery_restore_s: 0.0,
+            co_rollback_s: 0.0,
+            net_msgs: 0,
+            net_bytes: 0,
+            events_dispatched: 0,
+        }
+    }
+
+    #[test]
+    fn deltas() {
+        let base = report(100.0, 1000, 10.0);
+        let faster = report(90.0, 1840, 11.2);
+        assert!((faster.time_delta_pct(&base) + 10.0).abs() < 1e-9);
+        assert!((faster.memory_delta_pct(&base) - 84.0).abs() < 1e-9);
+        assert!((faster.write_response_delta_pct(&base) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_contains_label() {
+        let r = report(1.0, 1, 1.0);
+        assert!(r.summary().contains("Un"));
+    }
+}

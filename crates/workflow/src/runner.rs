@@ -1,0 +1,436 @@
+//! Build an engine from a [`WorkflowConfig`], run it, distill a
+//! [`RunReport`].
+
+use crate::backend::AnyBackend;
+use crate::component::{ComponentActor, Fail, StartStep};
+use crate::config::{FailureSpec, WorkflowConfig};
+use crate::director::{Director, DirectorComponent};
+use crate::report::RunReport;
+use net::des::{Network, NetworkHandle};
+use sim_core::engine::Engine;
+use sim_core::time::SimTime;
+use staging::server::StagingServerActor;
+use staging::service::ServerLogic;
+use wfcr::protocol::{FtScheme, WorkflowProtocol};
+
+/// Safety valve: a run dispatching more events than this is assumed wedged.
+const MAX_EVENTS: u64 = 200_000_000;
+
+/// Resolve every [`FailureSpec::Mtbf`] into concrete [`FailureSpec::At`]
+/// entries. Deterministic given `cfg.seed`, and independent of the protocol,
+/// so the *same* failures can be injected into Co/Un/Hy/In variants of one
+/// experiment — the apples-to-apples comparison the paper's figures assume.
+pub fn materialize_failures(cfg: &WorkflowConfig) -> Vec<FailureSpec> {
+    let mut frng = sim_core::rng::Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0xFA11);
+    // Rough run-length estimate for keeping sampled failures inside the run
+    // window (the paper injects failures "within 40 time steps").
+    let est = cfg
+        .components
+        .iter()
+        .map(|c| c.compute_per_step.as_secs_f64())
+        .fold(0.0_f64, f64::max)
+        * cfg.total_steps as f64
+        * 1.15;
+    let total_ranks: u64 = cfg.components.iter().map(|c| c.ranks as u64).sum();
+    let mut out = Vec::new();
+    for spec in &cfg.failures {
+        match spec {
+            FailureSpec::At { .. } | FailureSpec::StagingAt { .. } => out.push(spec.clone()),
+            FailureSpec::Mtbf { mtbf_secs, count } => {
+                let mut t = 0.0;
+                for _ in 0..*count {
+                    // Exponential inter-arrival, rejected back into the run
+                    // window.
+                    let mut dt = frng.next_exponential(*mtbf_secs);
+                    let mut tries = 0;
+                    while t + dt > est * 0.9 && tries < 100 {
+                        dt = frng.next_exponential(*mtbf_secs);
+                        tries += 1;
+                    }
+                    if t + dt > est * 0.9 {
+                        dt = est * 0.5 * frng.next_f64();
+                        t = 0.0;
+                    }
+                    t += dt;
+                    // Victim weighted by rank count.
+                    let pick = frng.next_bounded(total_ranks);
+                    let mut acc = 0u64;
+                    let mut victim = 0usize;
+                    for (i, c) in cfg.components.iter().enumerate() {
+                        acc += c.ranks as u64;
+                        if pick < acc {
+                            victim = i;
+                            break;
+                        }
+                    }
+                    out.push(FailureSpec::At {
+                        at: SimTime::from_secs_f64(t),
+                        app: cfg.components[victim].app,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Execute one workflow run and report.
+pub fn run(cfg: &WorkflowConfig) -> RunReport {
+    let mut cfg = cfg.clone();
+    // Under the hybrid protocol the analytics components use process
+    // replication (paper §III-B: "a simulation employs checkpoint/restart
+    // approach meanwhile the analytic uses process replication").
+    if cfg.protocol == WorkflowProtocol::Hybrid {
+        for c in cfg.components.iter_mut() {
+            if c.role == crate::config::Role::Consumer {
+                c.scheme = FtScheme::Replication { replicas: 2 };
+            }
+        }
+    }
+
+    let mut engine = Engine::new(cfg.seed);
+    let mut network = Network::new(cfg.net);
+    let apps: Vec<u32> = cfg.components.iter().map(|c| c.app).collect();
+
+    // 1. Component actors.
+    let mut comp_ids = Vec::new();
+    for c in &cfg.components {
+        let rng = engine.rng_mut().split();
+        let actor = ComponentActor::new(&cfg, c.clone(), rng);
+        comp_ids.push(engine.add_actor(Box::new(actor)));
+    }
+
+    // 2. Staging server actors.
+    let mut server_ids = Vec::new();
+    for s in 0..cfg.nservers {
+        let backend = AnyBackend::for_protocol_with_gc(
+            cfg.protocol,
+            cfg.plain_max_versions,
+            &apps,
+            cfg.log_gc,
+        );
+        let logic = ServerLogic::new(backend, cfg.server_costs);
+        let actor =
+            StagingServerActor::new(s, logic, NetworkHandle { actor: 0 }, 0);
+        server_ids.push(engine.add_actor(Box::new(actor)));
+    }
+
+    // 3. Director.
+    let dir_components: Vec<DirectorComponent> = cfg
+        .components
+        .iter()
+        .zip(&comp_ids)
+        .map(|(c, &actor)| DirectorComponent {
+            app: c.app,
+            actor,
+            ranks: c.ranks,
+            spares: c.spares,
+            state_bytes: c.state_bytes,
+        })
+        .collect();
+    let director = Director::new(
+        dir_components,
+        cfg.ulfm.collectives,
+        cfg.ulfm,
+        cfg.pfs,
+        cfg.ckpt_target,
+        cfg.node_local,
+        cfg.reconnect_per_rank,
+    );
+    let dir_id = engine.add_actor(Box::new(director));
+
+    // 4. Endpoints, then the network actor itself.
+    let comp_eps: Vec<usize> = comp_ids.iter().map(|&id| network.register(id)).collect();
+    let server_eps: Vec<usize> =
+        server_ids.iter().map(|&id| network.register(id)).collect();
+    let dir_ep = network.register(dir_id);
+    let net_id = engine.add_actor(Box::new(network));
+    let handle = NetworkHandle { actor: net_id };
+
+    // 5. Wire everyone.
+    for (i, &cid) in comp_ids.iter().enumerate() {
+        let c = engine
+            .actor_as_mut::<ComponentActor>(cid)
+            .expect("component actor");
+        c.wire(handle, comp_eps[i], server_eps.clone(), dir_id);
+    }
+    for (i, &sid) in server_ids.iter().enumerate() {
+        let s = engine
+            .actor_as_mut::<StagingServerActor<AnyBackend>>(sid)
+            .expect("server actor");
+        s.wire(handle, server_eps[i]);
+    }
+    engine
+        .actor_as_mut::<Director>(dir_id)
+        .expect("director")
+        .wire(handle, dir_ep, server_eps.clone());
+
+    // 6. Failure plan.
+    if cfg.protocol != WorkflowProtocol::FailureFree {
+        // Rebuild rate: reconstructing one byte of an RS(k, m)-coded object
+        // ingests k bytes from surviving servers through the rebuilding
+        // server's NIC.
+        let nic_bytes_per_s = 1e9 / cfg.net.ns_per_byte;
+        let rebuild_per_byte_s =
+            cfg.staging_resilience.protect.rs_k as f64 / nic_bytes_per_s;
+        let mut warn_rng =
+            sim_core::rng::Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0x9A9A);
+        for spec in materialize_failures(&cfg) {
+            match spec {
+                FailureSpec::At { at, app } => {
+                    let idx = cfg
+                        .components
+                        .iter()
+                        .position(|c| c.app == app)
+                        .expect("failure victim exists");
+                    engine.schedule_at(at, comp_ids[idx], Fail);
+                    // Proactive predictor: warn the victim ahead of time.
+                    if let Some(p) = cfg.proactive {
+                        if warn_rng.next_bool(p.recall) {
+                            let warn_at = at.saturating_sub(p.lead);
+                            engine.schedule_at(
+                                warn_at,
+                                comp_ids[idx],
+                                crate::component::FailureWarning,
+                            );
+                        }
+                    }
+                }
+                FailureSpec::StagingAt { at, server } => {
+                    assert!(server < server_ids.len(), "staging server index");
+                    engine.schedule_at(
+                        at,
+                        server_ids[server],
+                        staging::server::ServerFail {
+                            fixed: cfg.staging_resilience.fixed,
+                            per_byte_s: rebuild_per_byte_s,
+                        },
+                    );
+                }
+                FailureSpec::Mtbf { .. } => unreachable!("materialized"),
+            }
+        }
+    }
+
+    // 7. Kick off and run.
+    for &cid in &comp_ids {
+        engine.schedule_now(cid, StartStep);
+    }
+    engine.run_limited(MAX_EVENTS);
+
+    // 8. Harvest.
+    let m = engine.metrics().clone();
+    let dir = engine.actor_as::<Director>(dir_id).expect("director");
+    let mut finish_times_s: Vec<(u32, f64)> = dir
+        .finish_times()
+        .iter()
+        .map(|(&app, &t)| (app, t.as_secs_f64()))
+        .collect();
+    finish_times_s.sort_unstable_by_key(|&(app, _)| app);
+    assert_eq!(
+        finish_times_s.len(),
+        cfg.components.len(),
+        "workflow did not complete: {} of {} components finished (label {})",
+        finish_times_s.len(),
+        cfg.components.len(),
+        cfg.label
+    );
+    let total_time_s = finish_times_s.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+
+    let mut staging_peak_bytes = 0u64;
+    let mut staging_final_bytes = 0u64;
+    let mut absorbed = 0u64;
+    let mut replayed = 0u64;
+    let mut mismatches = 0u64;
+    let mut gc_reclaimed = 0u64;
+    let mut staging_rebuilds = 0u64;
+    let mut stale_gets = 0u64;
+    for (i, &sid) in server_ids.iter().enumerate() {
+        let g = m.gauge(&format!("staging.server{i}.bytes"));
+        staging_peak_bytes += g.peak.max(0) as u64;
+        let s = engine
+            .actor_as::<StagingServerActor<AnyBackend>>(sid)
+            .expect("server actor");
+        staging_final_bytes += s.logic().bytes_resident();
+        staging_rebuilds += u64::from(s.rebuilds());
+        stale_gets += s.logic().backend().stale_gets();
+        if let Some(lb) = s.logic().backend().as_logging() {
+            absorbed += lb.absorbed_puts();
+            replayed += lb.replayed_gets();
+            mismatches += lb.digest_mismatches();
+            gc_reclaimed += lb.gc_reclaimed();
+        }
+    }
+
+    let mut steps_executed = 0u64;
+    let mut failovers = 0u64;
+    let mut recoveries = 0u64;
+    let mut proactive_ckpts = 0u64;
+    for &cid in &comp_ids {
+        let c = engine.actor_as::<ComponentActor>(cid).expect("component");
+        steps_executed += c.steps_executed();
+        failovers += u64::from(c.failovers());
+        recoveries += u64::from(c.recoveries());
+        proactive_ckpts += u64::from(c.proactive_ckpts());
+    }
+
+    let put_stream = m.stream("wf.put_response_s");
+    RunReport {
+        label: cfg.label.clone(),
+        protocol: cfg.protocol,
+        total_time_s,
+        finish_times_s,
+        puts: m.counter("wf.puts"),
+        gets: m.counter("wf.gets"),
+        cumulative_put_response_s: put_stream.sum(),
+        mean_put_response_s: put_stream.mean(),
+        p99_put_response_s: m.p99("wf.put_response_s").unwrap_or(0.0),
+        staging_peak_bytes,
+        staging_final_bytes,
+        ckpts: m.counter("wf.ckpts"),
+        recoveries,
+        failovers,
+        rollback_steps: m.counter("wf.rollback_steps"),
+        absorbed_puts: absorbed,
+        replayed_gets: replayed,
+        digest_mismatches: mismatches,
+        stale_gets,
+        gc_reclaimed_bytes: gc_reclaimed,
+        staging_rebuilds,
+        proactive_ckpts,
+        steps_executed,
+        recovery_ulfm_s: m.stream("wf.ulfm_s").sum(),
+        recovery_restore_s: m.stream("wf.restore_s").sum(),
+        co_rollback_s: m.stream("wf.co_rollback_s").sum(),
+        net_msgs: m.counter("net.msgs"),
+        net_bytes: m.counter("net.bytes"),
+        events_dispatched: engine.dispatched(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::tiny;
+
+    #[test]
+    fn failure_free_tiny_run_completes() {
+        let r = run(&tiny(WorkflowProtocol::FailureFree));
+        assert_eq!(r.protocol, WorkflowProtocol::FailureFree);
+        assert!(r.total_time_s > 0.0);
+        assert_eq!(r.finish_times_s.len(), 2);
+        // 12 steps × 8 blocks of 32³ in a 64³ domain per component.
+        assert_eq!(r.puts, 12 * 8);
+        assert_eq!(r.gets, 12 * 8);
+        assert_eq!(r.ckpts, 0);
+        assert_eq!(r.recoveries, 0);
+        assert_eq!(r.digest_mismatches, 0);
+        assert_eq!(r.steps_executed, 24);
+    }
+
+    #[test]
+    fn uncoordinated_failure_free_checkpoints() {
+        let r = run(&tiny(WorkflowProtocol::Uncoordinated));
+        // sim: periods 4 → steps 4,8,12 = 3 ckpts; ana: period 5 → 5,10 = 2.
+        assert_eq!(r.ckpts, 5);
+        assert_eq!(r.recoveries, 0);
+        assert!(r.staging_peak_bytes > 0);
+    }
+
+    #[test]
+    fn coordinated_rendezvous_checkpoints() {
+        let r = run(&tiny(WorkflowProtocol::Coordinated));
+        // Global period 4 over 12 steps → 3 coordinated checkpoints; both
+        // components count each → 6 component-level ckpts.
+        assert_eq!(r.ckpts, 6);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(&tiny(WorkflowProtocol::Uncoordinated));
+        let b = run(&tiny(WorkflowProtocol::Uncoordinated));
+        assert_eq!(a.total_time_s, b.total_time_s);
+        assert_eq!(a.events_dispatched, b.events_dispatched);
+        assert_eq!(a.staging_peak_bytes, b.staging_peak_bytes);
+    }
+
+    #[test]
+    fn logging_memory_exceeds_plain() {
+        let ds = run(&tiny(WorkflowProtocol::FailureFree));
+        let un = run(&tiny(WorkflowProtocol::Uncoordinated));
+        assert!(
+            un.staging_peak_bytes > ds.staging_peak_bytes,
+            "log retention must cost memory: {} vs {}",
+            un.staging_peak_bytes,
+            ds.staging_peak_bytes
+        );
+    }
+
+    #[test]
+    fn producer_failure_recovers_with_absorption() {
+        use crate::config::FailureSpec;
+        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700), // mid-run
+            app: 0,
+        }]);
+        let r = run(&cfg);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.absorbed_puts > 0, "re-puts must be absorbed");
+        assert_eq!(r.digest_mismatches, 0);
+        assert!(r.steps_executed > 24, "re-execution happened");
+    }
+
+    #[test]
+    fn consumer_failure_recovers_with_replay() {
+        use crate::config::FailureSpec;
+        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700),
+            app: 1,
+        }]);
+        let r = run(&cfg);
+        assert_eq!(r.recoveries, 1);
+        assert!(r.replayed_gets > 0, "re-reads must come from the log");
+        assert_eq!(r.digest_mismatches, 0);
+    }
+
+    #[test]
+    fn coordinated_failure_rolls_back_everyone() {
+        use crate::config::FailureSpec;
+        let cfg = tiny(WorkflowProtocol::Coordinated).with_failures(vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700),
+            app: 0,
+        }]);
+        let r = run(&cfg);
+        // Global rollback counts one recovery per component.
+        assert_eq!(r.recoveries, 2);
+    }
+
+    #[test]
+    fn hybrid_analytics_failure_is_failover() {
+        use crate::config::FailureSpec;
+        let cfg = tiny(WorkflowProtocol::Hybrid).with_failures(vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700),
+            app: 1,
+        }]);
+        let r = run(&cfg);
+        assert_eq!(r.recoveries, 0, "replicated analytics never rolls back");
+        assert_eq!(r.failovers, 1);
+    }
+
+    #[test]
+    fn uncoordinated_beats_coordinated_under_failure() {
+        use crate::config::FailureSpec;
+        let fail = vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700),
+            app: 1,
+        }];
+        let co = run(&tiny(WorkflowProtocol::Coordinated).with_failures(fail.clone()));
+        let un = run(&tiny(WorkflowProtocol::Uncoordinated).with_failures(fail));
+        assert!(
+            un.total_time_s < co.total_time_s,
+            "Un ({}) must beat Co ({}) when the small analytics fails",
+            un.total_time_s,
+            co.total_time_s
+        );
+    }
+}

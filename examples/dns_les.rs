@@ -1,0 +1,64 @@
+//! DNS ⇄ LES coupled solvers (paper §II-A / Figure 5).
+//!
+//! Two simulations at different resolutions exchange fields through staging
+//! every time step — each one both produces and consumes. This is the
+//! workload Figure 5 illustrates the queue-based consistency algorithm on:
+//! "simulation b fails and performs rollback recovery at time step 7, then
+//! ... staging area replays the events in the queue for the simulation b
+//! which are recorded from time step 5 to 7."
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example dns_les
+//! ```
+
+use sim_core::time::SimTime;
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::{dns_les, FailureSpec};
+use workflow::runner::run;
+
+fn main() {
+    println!("DNS (128 ranks, full-domain fields) <-> LES (32 ranks, coarse exchange)");
+    println!("12 coupling cycles; DNS checkpoints every 4 steps, LES every 5.\n");
+
+    // Failure-free reference.
+    let clean = run(&dns_les(WorkflowProtocol::Uncoordinated));
+    println!(
+        "failure-free: total {:.2}s | puts {} gets {} ckpts {}",
+        clean.total_time_s, clean.puts, clean.gets, clean.ckpts
+    );
+
+    // Figure 5: the LES solver fails around step 7.
+    let fail_at = SimTime::from_secs(65);
+    let cfg = dns_les(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::At { at: fail_at, app: 1 }]);
+    let r = run(&cfg);
+    println!(
+        "LES fails @{}s: total {:.2}s | rollbacks {} replayed-gets {} absorbed-puts {} mismatches {}",
+        fail_at.as_secs_f64(),
+        r.total_time_s,
+        r.recoveries,
+        r.replayed_gets,
+        r.absorbed_puts,
+        r.digest_mismatches
+    );
+    assert_eq!(r.digest_mismatches, 0);
+    assert!(r.replayed_gets > 0 && r.absorbed_puts > 0);
+    println!(
+        "  -> during replay the LES solver's re-reads were served the logged\n\
+         \x20    versions and its re-writes were absorbed; the DNS solver kept\n\
+         \x20    running throughout.\n"
+    );
+
+    // Contrast with the coordinated baseline: everyone rolls back.
+    let co = run(&dns_les(WorkflowProtocol::Coordinated)
+        .with_failures(vec![FailureSpec::At { at: fail_at, app: 1 }]));
+    println!(
+        "coordinated baseline: total {:.2}s | rollbacks {} (both solvers redo work)",
+        co.total_time_s, co.recoveries
+    );
+    println!(
+        "\nUn {:.2}s vs Co {:.2}s -> the log confines the rollback to the failed solver.",
+        r.total_time_s, co.total_time_s
+    );
+}

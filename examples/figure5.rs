@@ -1,0 +1,127 @@
+//! A faithful walkthrough of the paper's **Figure 5**: "an illustration of
+//! queue based data consistency algorithm for a coupled applications
+//! workflow."
+//!
+//! Two coupled simulations `a` and `b` exchange data through staging every
+//! time step. Checkpoint cycles end at ts4, ts9 and ts12. Simulation `b`
+//! fails and performs rollback recovery at time step 7; during (re-executed)
+//! steps 5..=7 the staging area replays the events recorded for `b` since
+//! ts4, then `b` continues fresh work at ts8. At each phase this example
+//! dumps `b`'s event queue so the algorithm's bookkeeping is visible.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example figure5
+//! ```
+
+use staging::geometry::BBox;
+use staging::payload::Payload;
+use staging::proto::{CtlRequest, GetRequest, ObjDesc, PutRequest, PutStatus};
+use staging::service::StoreBackend;
+use wfcr::backend::LoggingBackend;
+use wfcr::event::LogEvent;
+
+const A: u32 = 0;
+const B: u32 = 1;
+const VAR_A: u32 = 0; // written by a, read by b
+const VAR_B: u32 = 1; // written by b, read by a
+
+fn bbox() -> BBox {
+    BBox::d1(0, 127)
+}
+
+fn put(app: u32, var: u32, ts: u32) -> PutRequest {
+    PutRequest {
+        app,
+        desc: ObjDesc { var, version: ts, bbox: bbox() },
+        payload: Payload::virtual_from(128, &[app as u64, var as u64, ts as u64]),
+        seq: 0,
+    }
+}
+
+fn get(app: u32, var: u32, ts: u32) -> GetRequest {
+    GetRequest { app, var, version: ts, bbox: bbox(), seq: 0 }
+}
+
+/// One coupling cycle: both sims write their field, then read the other's.
+fn exchange(staging: &mut LoggingBackend, ts: u32) {
+    staging.put(&put(A, VAR_A, ts));
+    staging.put(&put(B, VAR_B, ts));
+    staging.get(&get(A, VAR_B, ts));
+    staging.get(&get(B, VAR_A, ts));
+}
+
+fn dump_queue(staging: &LoggingBackend, app: u32, label: &str) {
+    println!("  [{label}] event queue of simulation b:");
+    let Some(q) = staging.queue(app) else {
+        println!("    (empty)");
+        return;
+    };
+    for ev in q.iter() {
+        let line = match ev {
+            LogEvent::Put { desc, bytes, .. } => {
+                format!("Put    var{} ts{} ({bytes} B)", desc.var, desc.version)
+            }
+            LogEvent::Get { var, served, .. } => format!("Get    var{var} ts{served}"),
+            LogEvent::Checkpoint { w_chk_id, upto_version, .. } => {
+                format!("W_Chk_ID {w_chk_id} (covers ts<={upto_version})")
+            }
+            LogEvent::Recovery { resume_version, .. } => {
+                format!("Recovery (resume after ts{resume_version})")
+            }
+        };
+        println!("    {line}");
+    }
+}
+
+fn main() {
+    let mut staging = LoggingBackend::new();
+    staging.register_app(A);
+    staging.register_app(B);
+
+    println!("== initial execution: ts1..=ts4, checkpoint cycle ends at ts4 ==");
+    for ts in 1..=4 {
+        exchange(&mut staging, ts);
+    }
+    staging.control(CtlRequest::Checkpoint { app: A, upto_version: 4 });
+    staging.control(CtlRequest::Checkpoint { app: B, upto_version: 4 });
+    dump_queue(&staging, B, "after ts4 checkpoint + queue cleaning");
+
+    println!("\n== initial execution continues: ts5..=ts7 ==");
+    for ts in 5..=7 {
+        exchange(&mut staging, ts);
+    }
+    dump_queue(&staging, B, "at the moment b fails (ts7)");
+
+    println!("\n== simulation b fails at ts7, rolls back to the ts4 checkpoint ==");
+    let (resp, _) = staging.control(CtlRequest::Recovery { app: B, resume_version: 4 });
+    println!("  workflow_restart(b): replay script has {} events", resp.pending_replay);
+
+    println!("\n== b re-executes ts5..=ts7 while a keeps running ts8.. ==");
+    for ts in 5..=7u32 {
+        // a has moved on; it is already producing ts+3.
+        staging.put(&put(A, VAR_A, ts + 3));
+        // b's re-executed exchange:
+        let (status, _) = staging.put(&put(B, VAR_B, ts));
+        let (pieces, _) = staging.get(&get(B, VAR_A, ts));
+        println!(
+            "  re-executed ts{ts}: b's put -> {:?}, b's get served ts{} from the log",
+            status, pieces[0].version
+        );
+        assert_eq!(status, PutStatus::Absorbed);
+        assert_eq!(pieces[0].version, ts);
+    }
+    assert!(!staging.is_replaying(B), "history entirely replayed");
+    println!("  replay complete: b \"reaches a state compatible with the other components\"");
+
+    println!("\n== b continues fresh work at ts8 ==");
+    let (status, _) = staging.put(&put(B, VAR_B, 8));
+    assert_eq!(status, PutStatus::Stored);
+    let (pieces, _) = staging.get(&get(B, VAR_A, 8));
+    assert_eq!(pieces[0].version, 8);
+    println!("  ts8: b's put stored normally, b's get served fresh ts8 data");
+
+    dump_queue(&staging, B, "after recovery");
+    assert_eq!(staging.digest_mismatches(), 0);
+    println!("\nOK: Figure 5 timeline reproduced with 0 digest mismatches.");
+}

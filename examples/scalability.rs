@@ -1,0 +1,42 @@
+//! Scalability sweep (a compact Figure 10): coordinated vs. uncoordinated
+//! checkpoint/restart at the paper's five Table III scales, one failure.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example scalability
+//! ```
+
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::table3;
+use workflow::runner::{materialize_failures, run};
+
+fn main() {
+    println!(
+        "{:>7} | {:>10} {:>10} | {:>9} | {:>12}",
+        "cores", "Co (s)", "Un (s)", "Un gain", "sim events"
+    );
+    println!("{}", "-".repeat(60));
+    for scale in 0..5usize {
+        let seed_cfg = table3(scale, WorkflowProtocol::Uncoordinated, 1);
+        let failures = materialize_failures(&seed_cfg);
+        let co = run(&table3(scale, WorkflowProtocol::Coordinated, 1)
+            .with_failures(failures.clone()));
+        let un = run(&table3(scale, WorkflowProtocol::Uncoordinated, 1)
+            .with_failures(failures));
+        assert_eq!(un.digest_mismatches, 0);
+        println!(
+            "{:>7} | {:>10.2} {:>10.2} | {:>8.2}% | {:>12}",
+            seed_cfg.total_cores(),
+            co.total_time_s,
+            un.total_time_s,
+            (co.total_time_s - un.total_time_s) / co.total_time_s * 100.0,
+            un.events_dispatched + co.events_dispatched,
+        );
+    }
+    println!(
+        "\nThe uncoordinated scheme's advantage grows with scale: global \
+         restart costs (contended PFS restores, whole-workflow client \
+         reconnection) rise with core count while the log-based recovery \
+         touches only the failed component."
+    );
+}
