@@ -25,11 +25,9 @@ fn bench_rs(c: &mut Criterion) {
             .collect();
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         group.throughput(Throughput::Bytes((shard_len * 8) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("encode_8_2", shard_len),
-            &shard_len,
-            |b, _| b.iter(|| black_box(rs.encode(&refs).unwrap())),
-        );
+        group.bench_with_input(BenchmarkId::new("encode_8_2", shard_len), &shard_len, |b, _| {
+            b.iter(|| black_box(rs.encode(&refs).unwrap()))
+        });
         let parity = rs.encode(&refs).unwrap();
         group.bench_with_input(
             BenchmarkId::new("reconstruct_2_losses", shard_len),

@@ -90,18 +90,19 @@ fn main() {
         }
     }
 
-    let run_exp = |name: &str| exp == "all" || exp == name
-        || (name.starts_with("fig9a") && exp == "fig9c")
-        || (name.starts_with("fig9b") && exp == "fig9d");
+    let run_exp = |name: &str| {
+        exp == "all"
+            || exp == name
+            || (name.starts_with("fig9a") && exp == "fig9c")
+            || (name.starts_with("fig9b") && exp == "fig9d")
+    };
 
     if exp == "table2" || exp == "all" {
         print_config_table("Table II", &[table2(WorkflowProtocol::Uncoordinated)]);
         println!();
     }
     if exp == "table3" || exp == "all" {
-        let cfgs: Vec<_> = (0..5)
-            .map(|s| table3(s, WorkflowProtocol::Uncoordinated, 1))
-            .collect();
+        let cfgs: Vec<_> = (0..5).map(|s| table3(s, WorkflowProtocol::Uncoordinated, 1)).collect();
         print_config_table("Table III", &cfgs);
         println!();
     }

@@ -8,10 +8,10 @@
 //! repository root for the paper-vs-measured record.
 
 use serde::Serialize;
+use wfcr::protocol::{FtScheme, WorkflowProtocol};
 use workflow::config::{table2, table3, WorkflowConfig};
 use workflow::runner::{materialize_failures, run};
 use workflow::RunReport;
-use wfcr::protocol::{FtScheme, WorkflowProtocol};
 
 /// Row of the logging-overhead experiments (Figure 9 a–d).
 #[derive(Debug, Clone, Serialize)]
@@ -73,10 +73,10 @@ pub fn case1_sweep() -> Vec<OverheadRow> {
     [200u64, 400, 600, 800, 1000]
         .iter()
         .map(|&subset| {
-            let base = with_subset(table2(WorkflowProtocol::FailureFree), subset)
-                .with_failures(vec![]);
-            let logged = with_subset(table2(WorkflowProtocol::Uncoordinated), subset)
-                .with_failures(vec![]);
+            let base =
+                with_subset(table2(WorkflowProtocol::FailureFree), subset).with_failures(vec![]);
+            let logged =
+                with_subset(table2(WorkflowProtocol::Uncoordinated), subset).with_failures(vec![]);
             overhead_pair(base, logged, subset / 10) // report percent
         })
         .collect()
@@ -86,10 +86,10 @@ pub fn case1_sweep() -> Vec<OverheadRow> {
 pub fn case2_sweep() -> Vec<OverheadRow> {
     (2u32..=6)
         .map(|period| {
-            let base = with_periods(table2(WorkflowProtocol::FailureFree), period)
-                .with_failures(vec![]);
-            let logged = with_periods(table2(WorkflowProtocol::Uncoordinated), period)
-                .with_failures(vec![]);
+            let base =
+                with_periods(table2(WorkflowProtocol::FailureFree), period).with_failures(vec![]);
+            let logged =
+                with_periods(table2(WorkflowProtocol::Uncoordinated), period).with_failures(vec![]);
             overhead_pair(base, logged, period as u64)
         })
         .collect()
@@ -178,7 +178,11 @@ pub struct ScaleRow {
 /// Figure 10: total execution time for Co/Un/Hy/In at five scales and 1–3
 /// failures. `scales` selects a subset (e.g. `0..5`); identical failures per
 /// cell across schemes, averaged over `seeds` failure schedules.
-pub fn fig10(scales: std::ops::Range<usize>, failure_counts: &[usize], seeds: u64) -> Vec<ScaleRow> {
+pub fn fig10(
+    scales: std::ops::Range<usize>,
+    failure_counts: &[usize],
+    seeds: u64,
+) -> Vec<ScaleRow> {
     assert!(seeds >= 1);
     let mut rows = Vec::new();
     for scale in scales {
@@ -202,12 +206,8 @@ pub fn fig10(scales: std::ops::Range<usize>, failure_counts: &[usize], seeds: u6
                 }
             }
             let n = seeds as f64;
-            let (co, un, hy, inn) = (
-                totals["Co"] / n,
-                totals["Un"] / n,
-                totals["Hy"] / n,
-                totals["In"] / n,
-            );
+            let (co, un, hy, inn) =
+                (totals["Co"] / n, totals["Un"] / n, totals["Hy"] / n, totals["In"] / n);
             rows.push(ScaleRow {
                 cores,
                 nfailures: nf,
@@ -263,18 +263,12 @@ pub fn ablation_gc() -> Vec<AblationRow> {
 pub fn ablation_proactive() -> Vec<AblationRow> {
     use workflow::config::ProactiveCfg;
     let seed_cfg = table2(WorkflowProtocol::Uncoordinated)
-        .with_failures(vec![workflow::config::FailureSpec::Mtbf {
-            mtbf_secs: 200.0,
-            count: 3,
-        }]);
+        .with_failures(vec![workflow::config::FailureSpec::Mtbf { mtbf_secs: 200.0, count: 3 }]);
     let failures = materialize_failures(&seed_cfg);
     let mut rows = Vec::new();
     for recall in [0.0, 0.5, 1.0] {
         let mut cfg = table2(WorkflowProtocol::Uncoordinated).with_failures(failures.clone());
-        cfg.proactive = Some(ProactiveCfg {
-            lead: sim_core::time::SimTime::from_secs(20),
-            recall,
-        });
+        cfg.proactive = Some(ProactiveCfg { lead: sim_core::time::SimTime::from_secs(20), recall });
         let r = run(&cfg);
         rows.push(AblationRow {
             variant: format!("recall={recall:.1}"),
@@ -382,12 +376,7 @@ pub fn period_sweep(seeds: u64) -> (Vec<PeriodRow>, f64) {
             ckpts += r.ckpts as f64;
         }
         let n = seeds as f64;
-        rows.push(PeriodRow {
-            period,
-            total_s: total / n,
-            redo_steps: redo / n,
-            ckpts: ckpts / n,
-        });
+        rows.push(PeriodRow { period, total_s: total / n, redo_steps: redo / n, ckpts: ckpts / n });
     }
     // Young/Daly: T_opt = sqrt(2·MTBF·C); in steps, divide by the step time.
     let cfg = table2(WorkflowProtocol::Uncoordinated);
@@ -403,16 +392,10 @@ pub fn period_sweep(seeds: u64) -> (Vec<PeriodRow>, f64) {
 
 /// Render the period sweep.
 pub fn print_period_sweep(rows: &[PeriodRow], young_steps: f64) {
-    println!(
-        "{:>7} | {:>10} {:>11} {:>8}",
-        "period", "total (s)", "redo steps", "ckpts"
-    );
+    println!("{:>7} | {:>10} {:>11} {:>8}", "period", "total (s)", "redo steps", "ckpts");
     println!("{}", "-".repeat(44));
     for r in rows {
-        println!(
-            "{:>7} | {:>10.2} {:>11.1} {:>8.1}",
-            r.period, r.total_s, r.redo_steps, r.ckpts
-        );
+        println!("{:>7} | {:>10.2} {:>11.1} {:>8.1}", r.period, r.total_s, r.redo_steps, r.ckpts);
     }
     let best = rows
         .iter()
@@ -423,10 +406,8 @@ pub fn print_period_sweep(rows: &[PeriodRow], young_steps: f64) {
 simulated optimum: period {} | Young/Daly estimate: {:.1} steps",
         best.period, young_steps
     );
-    let bars: Vec<(String, f64)> = rows
-        .iter()
-        .map(|r| (format!("period {}", r.period), r.total_s))
-        .collect();
+    let bars: Vec<(String, f64)> =
+        rows.iter().map(|r| (format!("period {}", r.period), r.total_s)).collect();
     print_bars("total time vs checkpoint period:", &bars, "s");
 }
 
@@ -463,10 +444,7 @@ pub fn print_bars(title: &str, rows: &[(String, f64)], unit: &str) {
     let width: usize = 46;
     for (label, v) in rows {
         let n = ((v / maxv) * width as f64).round() as usize;
-        println!(
-            "  {label:>maxlabel$} | {:<width$} {v:.2}{unit}",
-            "#".repeat(n.max(1)),
-        );
+        println!("  {label:>maxlabel$} | {:<width$} {v:.2}{unit}", "#".repeat(n.max(1)),);
     }
 }
 
@@ -498,14 +476,10 @@ pub fn print_exec(rows: &[ExecRow]) {
     println!("{:>8} | {:>12} {:>12}", "scheme", "total (s)", "vs Co");
     println!("{}", "-".repeat(40));
     for r in rows {
-        println!(
-            "{:>8} | {:>12.2} {:>+11.2}%",
-            r.scheme, r.total_s, r.gain_vs_co_pct
-        );
+        println!("{:>8} | {:>12.2} {:>+11.2}%", r.scheme, r.total_s, r.gain_vs_co_pct);
     }
     println!();
-    let bars: Vec<(String, f64)> =
-        rows.iter().map(|r| (r.scheme.clone(), r.total_s)).collect();
+    let bars: Vec<(String, f64)> = rows.iter().map(|r| (r.scheme.clone(), r.total_s)).collect();
     print_bars("total workflow execution time:", &bars, "s");
 }
 
@@ -540,10 +514,9 @@ mod tests {
     #[test]
     fn overhead_pair_positive_deltas() {
         // One cheap pair: subset 20% of Table II.
-        let base = with_subset(table2(WorkflowProtocol::FailureFree), 200)
-            .with_failures(vec![]);
-        let logged = with_subset(table2(WorkflowProtocol::Uncoordinated), 200)
-            .with_failures(vec![]);
+        let base = with_subset(table2(WorkflowProtocol::FailureFree), 200).with_failures(vec![]);
+        let logged =
+            with_subset(table2(WorkflowProtocol::Uncoordinated), 200).with_failures(vec![]);
         let row = overhead_pair(base, logged, 20);
         assert!(row.write_delta_pct > 0.0, "logging must cost write time");
         assert!(row.mem_delta_pct > 0.0, "logging must cost memory");

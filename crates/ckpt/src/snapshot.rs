@@ -31,7 +31,13 @@ pub struct Snapshot {
 
 impl Snapshot {
     /// Create a snapshot with no user payload.
-    pub fn new(app: u32, ckpt_id: u64, resume_step: u32, rng_state: [u64; 4], state_bytes: u64) -> Self {
+    pub fn new(
+        app: u32,
+        ckpt_id: u64,
+        resume_step: u32,
+        rng_state: [u64; 4],
+        state_bytes: u64,
+    ) -> Self {
         Snapshot { app, ckpt_id, resume_step, rng_state, state_bytes, user_data: Vec::new() }
     }
 

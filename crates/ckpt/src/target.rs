@@ -89,8 +89,7 @@ impl CkptTarget for NodeLocalModel {
 /// Two-level (SCR/FTI-style) checkpointing: blocking write to node-local,
 /// asynchronous flush to the PFS. Restores read node-local when the copy
 /// survived, PFS otherwise.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize, Default)]
 pub struct TwoLevelModel {
     /// Fast level.
     pub local: NodeLocalModel,
@@ -98,10 +97,14 @@ pub struct TwoLevelModel {
     pub pfs: PfsModel,
 }
 
-
 impl TwoLevelModel {
     /// Restore time when the node-local copy is (or is not) available.
-    pub fn restore_time(&self, bytes: u64, local_available: bool, concurrent_readers: usize) -> SimTime {
+    pub fn restore_time(
+        &self,
+        bytes: u64,
+        local_available: bool,
+        concurrent_readers: usize,
+    ) -> SimTime {
         if local_available {
             self.local.read_time(bytes, concurrent_readers)
         } else {
@@ -157,7 +160,7 @@ mod tests {
         let nl = NodeLocalModel::default();
         let pfs = PfsModel::default();
         let bytes = 4 << 30; // 4 GiB per writer
-        // Alone the PFS wins (50 GB/s vs 3 GB/s)...
+                             // Alone the PFS wins (50 GB/s vs 3 GB/s)...
         assert!(pfs.write_time(bytes, 1) < nl.write_time(bytes, 1));
         // ...but with 64 concurrent writers node-local wins.
         assert!(nl.write_time(bytes, 64) < pfs.write_time(bytes, 64));

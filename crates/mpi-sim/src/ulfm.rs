@@ -33,11 +33,11 @@ pub struct UlfmCosts {
 impl Default for UlfmCosts {
     fn default() -> Self {
         UlfmCosts {
-            detect_ns: 100_000_000,      // 100 ms detection
-            revoke_hop_ns: 2_000,        // 2 µs per hop
-            reconstruct_ns: 10_000_000,  // 10 ms rebuild bookkeeping
-            spare_join_ns: 50_000_000,   // 50 ms adopt + connect
-            spawn_ns: 2_000_000_000,     // 2 s scheduler spawn
+            detect_ns: 100_000_000,     // 100 ms detection
+            revoke_hop_ns: 2_000,       // 2 µs per hop
+            reconstruct_ns: 10_000_000, // 10 ms rebuild bookkeeping
+            spare_join_ns: 50_000_000,  // 50 ms adopt + connect
+            spawn_ns: 2_000_000_000,    // 2 s scheduler spawn
             collectives: CollectiveCosts::default(),
         }
     }
@@ -192,9 +192,6 @@ mod tests {
         assert_eq!(c.size(), 16);
         assert_eq!(c.spares(), 0);
         // One spare join (parallel) + one spawn.
-        assert_eq!(
-            b.rejoin,
-            SimTime::from_nanos(costs.spare_join_ns + costs.spawn_ns)
-        );
+        assert_eq!(b.rejoin, SimTime::from_nanos(costs.spare_join_ns + costs.spawn_ns));
     }
 }

@@ -50,8 +50,7 @@ impl CostModel {
 
     /// Serialization time for `size` bytes at the bottleneck NIC.
     pub fn serialization(&self, size: u64) -> SimTime {
-        SimTime::from_secs_f64(size as f64 * self.ns_per_byte / 1e9)
-            .max(SimTime::ZERO)
+        SimTime::from_secs_f64(size as f64 * self.ns_per_byte / 1e9).max(SimTime::ZERO)
     }
 
     /// Receiver-side fixed processing time.

@@ -149,10 +149,7 @@ impl NetworkHandle {
         size: u64,
         payload: T,
     ) {
-        ctx.send_now(
-            self.actor,
-            Transmit { from, to, size, payload: Box::new(payload) },
-        );
+        ctx.send_now(self.actor, Transmit { from, to, size, payload: Box::new(payload) });
     }
 
     /// Mark an endpoint down (models process failure).
@@ -191,12 +188,14 @@ mod tests {
         }
     }
 
-    fn setup(model: CostModel) -> (Engine, ActorId, NetworkHandle, EndpointId, EndpointId, ActorId) {
+    fn setup(
+        model: CostModel,
+    ) -> (Engine, ActorId, NetworkHandle, EndpointId, EndpointId, ActorId) {
         let mut eng = Engine::new(7);
         let sink_id = eng.add_actor(Box::<Sink>::default());
         let mut net = Network::new(model);
-         // endpoint for an external sender (same sink actor reused)
-        
+        // endpoint for an external sender (same sink actor reused)
+
         let src_ep = net.register(sink_id);
         let dst_ep = net.register(sink_id);
         let net_id = eng.add_actor(Box::new(net));

@@ -66,9 +66,7 @@ impl ThreadEndpoint {
     pub fn send<T: Any + Send>(&self, to: usize, size: u64, payload: T) -> bool {
         self.stats.msgs.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(size, Ordering::Relaxed);
-        self.peers[to]
-            .send(NetMsg { from: self.id, size, payload: Box::new(payload) })
-            .is_ok()
+        self.peers[to].send(NetMsg { from: self.id, size, payload: Box::new(payload) }).is_ok()
     }
 
     /// Block until a message arrives.

@@ -164,11 +164,7 @@ mod tests {
     fn mul_acc_matches_scalar() {
         let src: Vec<u8> = (0..64).map(|i| (i * 7 + 3) as u8).collect();
         let mut dst: Vec<u8> = (0..64).map(|i| (i * 13 + 1) as u8).collect();
-        let expect: Vec<u8> = dst
-            .iter()
-            .zip(&src)
-            .map(|(&d, &s)| d ^ mul(0x2A, s))
-            .collect();
+        let expect: Vec<u8> = dst.iter().zip(&src).map(|(&d, &s)| d ^ mul(0x2A, s)).collect();
         mul_acc(&mut dst, &src, 0x2A);
         assert_eq!(dst, expect);
     }

@@ -35,9 +35,7 @@ impl PlacementMap {
         // A stride coprime with n guarantees the first `min(width, n)` slots
         // are distinct.
         let stride = coprime_stride(mix(key.rotate_left(17) ^ 0x9E37_79B9), n);
-        (0..width as u64)
-            .map(|i| ((start + i * stride) % n) as usize)
-            .collect()
+        (0..width as u64).map(|i| ((start + i * stride) % n) as usize).collect()
     }
 
     /// True if losing `failed` servers still leaves `need` of the `width`
@@ -130,7 +128,7 @@ mod tests {
         let p = PlacementMap::new(5);
         let key = 99;
         let placed = p.place(key, 5); // all servers
-        // RS(3,2): need 3 of 5.
+                                      // RS(3,2): need 3 of 5.
         assert!(p.survives(key, 5, 3, &placed[..2]));
         assert!(!p.survives(key, 5, 3, &placed[..3]));
         assert!(p.survives(key, 5, 3, &[]));

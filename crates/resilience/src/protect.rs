@@ -207,12 +207,8 @@ impl ProtectedStore {
             // Re-create each lost fragment on a live server not already
             // holding one of this object's fragments (fall back to any live
             // server if the object is wider than the live set).
-            let occupied: BTreeSet<usize> = e
-                .fragments
-                .iter()
-                .filter(|(f, _)| !lost.contains(f))
-                .map(|(_, &s)| s)
-                .collect();
+            let occupied: BTreeSet<usize> =
+                e.fragments.iter().filter(|(f, _)| !lost.contains(f)).map(|(_, &s)| s).collect();
             let mut candidates: Vec<usize> =
                 live.iter().copied().filter(|s| !occupied.contains(s)).collect();
             if candidates.is_empty() {
@@ -248,10 +244,7 @@ impl ProtectedStore {
 
     /// Total stored bytes including protection overhead.
     pub fn protected_bytes(&self) -> u64 {
-        self.objects
-            .values()
-            .map(|e| (e.size as f64 * e.protection.overhead()).ceil() as u64)
-            .sum()
+        self.objects.values().map(|e| (e.size as f64 * e.protection.overhead()).ceil() as u64).sum()
     }
 
     /// Raw (user) bytes stored.

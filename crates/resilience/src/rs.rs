@@ -281,7 +281,11 @@ impl ReedSolomon {
     }
 
     /// Inverse of [`ReedSolomon::shard_bytes`] given all data shards present.
-    pub fn unshard_bytes(&self, shards: &[Option<Vec<u8>>], orig_len: usize) -> Result<Vec<u8>, RsError> {
+    pub fn unshard_bytes(
+        &self,
+        shards: &[Option<Vec<u8>>],
+        orig_len: usize,
+    ) -> Result<Vec<u8>, RsError> {
         let mut all = shards.to_vec();
         self.reconstruct(&mut all)?;
         let mut out = Vec::with_capacity(orig_len);
@@ -299,9 +303,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn data_shards(k: usize, len: usize, seed: u8) -> Vec<Vec<u8>> {
-        (0..k)
-            .map(|i| (0..len).map(|j| (seed as usize + i * 31 + j * 7) as u8).collect())
-            .collect()
+        (0..k).map(|i| (0..len).map(|j| (seed as usize + i * 31 + j * 7) as u8).collect()).collect()
     }
 
     #[test]
@@ -333,10 +335,7 @@ mod tests {
         shards[0] = None;
         shards[1] = None;
         shards[3] = None;
-        assert_eq!(
-            rs.reconstruct(&mut shards),
-            Err(RsError::NotEnoughShards { have: 2, need: 3 })
-        );
+        assert_eq!(rs.reconstruct(&mut shards), Err(RsError::NotEnoughShards { have: 2, need: 3 }));
     }
 
     #[test]
@@ -345,12 +344,8 @@ mod tests {
         let data = data_shards(2, 8, 3);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         let parity = rs.encode(&refs).unwrap();
-        let mut shards: Vec<Option<Vec<u8>>> = data
-            .iter()
-            .cloned()
-            .map(Some)
-            .chain(parity.iter().cloned().map(Some))
-            .collect();
+        let mut shards: Vec<Option<Vec<u8>>> =
+            data.iter().cloned().map(Some).chain(parity.iter().cloned().map(Some)).collect();
         shards[2] = None;
         shards[3] = None;
         rs.reconstruct(&mut shards).unwrap();

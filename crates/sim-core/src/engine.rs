@@ -286,12 +286,7 @@ impl Engine {
             n += 1;
             let target = sch.target;
             if let Some(ring) = &mut self.core.trace {
-                ring.push(TraceEntry {
-                    at: sch.at,
-                    seq: sch.seq,
-                    from: sch.ev.from,
-                    target,
-                });
+                ring.push(TraceEntry { at: sch.at, seq: sch.seq, from: sch.ev.from, target });
             }
             let Some(mut actor) = self.actors.get_mut(target).and_then(Option::take) else {
                 // Actor was removed (e.g. a killed rank): drop the event.

@@ -94,10 +94,7 @@ impl Metrics {
     /// estimator — use for latency-style streams whose tail matters.
     pub fn observe_tail(&mut self, name: &str, sample: f64) {
         self.observe(name, sample);
-        self.p99s
-            .entry(name.to_owned())
-            .or_insert_with(|| P2Quantile::new(0.99))
-            .push(sample);
+        self.p99s.entry(name.to_owned()).or_insert_with(|| P2Quantile::new(0.99)).push(sample);
     }
 
     /// The p99 estimate for a stream recorded via

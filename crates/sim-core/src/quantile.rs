@@ -97,13 +97,12 @@ impl P2Quantile {
             if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
                 let s = d.signum();
                 let candidate = self.parabolic(i, s);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, s)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, s)
+                    };
                 self.positions[i] += s;
             }
         }
@@ -120,8 +119,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, s: f64) -> f64 {
         let j = (i as f64 + s) as usize;
         self.heights[i]
-            + s * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + s * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current estimate (exact for < 5 samples; `None` when empty).
@@ -133,8 +131,7 @@ impl P2Quantile {
             // Exact small-sample quantile (nearest-rank).
             let mut v = self.initial.clone();
             v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let rank =
-                ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            let rank = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len());
             return Some(v[rank - 1]);
         }
         Some(self.heights[2])
@@ -192,11 +189,7 @@ mod tests {
             p.push(rng.next_exponential(1.0));
         }
         let est = p.estimate().unwrap();
-        assert!(
-            (est - 10f64.ln()).abs() < 0.1,
-            "p90 estimate {est} vs {}",
-            10f64.ln()
-        );
+        assert!((est - 10f64.ln()).abs() < 0.1, "p90 estimate {est} vs {}", 10f64.ln());
     }
 
     #[test]

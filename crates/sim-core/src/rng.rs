@@ -251,10 +251,7 @@ mod tests {
         let mean = 600.0;
         let sum: f64 = (0..n).map(|_| g.next_exponential(mean)).sum();
         let est = sum / n as f64;
-        assert!(
-            (est - mean).abs() / mean < 0.02,
-            "sample mean {est} too far from {mean}"
-        );
+        assert!((est - mean).abs() / mean < 0.02, "sample mean {est} too far from {mean}");
     }
 
     #[test]

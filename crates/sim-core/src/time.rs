@@ -13,7 +13,9 @@ use std::ops::{Add, AddAssign, Sub, SubAssign};
 /// `SimTime` is used both as an absolute timestamp and as a duration; the
 /// arithmetic is the same and the simulation code never mixes the two in a
 /// way that matters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

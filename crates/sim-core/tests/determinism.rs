@@ -47,10 +47,8 @@ fn run_mesh(seed: u64, n: usize, fanout: u32, kicks: usize) -> (u64, u64, Vec<Ve
         eng.schedule_at(SimTime::from_nanos(k as u64 * 7), ids[k % n], Msg);
     }
     eng.run();
-    let logs: Vec<Vec<(u64, usize)>> = ids
-        .iter()
-        .map(|&id| eng.actor_as::<Chatter>(id).unwrap().log.clone())
-        .collect();
+    let logs: Vec<Vec<(u64, usize)>> =
+        ids.iter().map(|&id| eng.actor_as::<Chatter>(id).unwrap().log.clone()).collect();
     (eng.now().as_nanos(), eng.dispatched(), logs)
 }
 

@@ -79,8 +79,7 @@ impl Distribution {
             Curve::Morton => morton3(bx, by, bz),
             Curve::Hilbert => hilbert3(order, bx, by, bz),
         };
-        let mut codes =
-            Vec::with_capacity((counts[0] * counts[1] * counts[2]) as usize);
+        let mut codes = Vec::with_capacity((counts[0] * counts[1] * counts[2]) as usize);
         for bz in 0..counts[2] {
             for by in 0..counts[1] {
                 for bx in 0..counts[0] {
@@ -137,10 +136,7 @@ impl Distribution {
             Curve::Morton => morton3(coord[0], coord[1], coord[2]),
             Curve::Hilbert => hilbert3(self.order, coord[0], coord[1], coord[2]),
         };
-        let rank = self
-            .codes
-            .binary_search(&code)
-            .expect("block coordinate outside the grid");
+        let rank = self.codes.binary_search(&code).expect("block coordinate outside the grid");
         rank * self.nservers / self.codes.len()
     }
 
@@ -148,9 +144,7 @@ impl Distribution {
     /// intersects `bbox`. The clipped bbox is the intersection of the block
     /// with both the domain and `bbox`.
     pub fn blocks_overlapping(&self, bbox: &BBox) -> Vec<([u64; MAX_DIMS], BBox, ServerIdx)> {
-        let q = bbox
-            .intersect(&self.domain)
-            .expect("query bbox outside the domain");
+        let q = bbox.intersect(&self.domain).expect("query bbox outside the domain");
         let lo = self.block_of_point(q.lb);
         let hi = self.block_of_point(q.ub);
         let mut out = Vec::new();
@@ -254,18 +248,14 @@ mod tests {
             for by in 0..8u64 {
                 for bx in 0..7u64 {
                     total += 1;
-                    if dist.server_of_block([bx, by, bz])
-                        == dist.server_of_block([bx + 1, by, bz])
+                    if dist.server_of_block([bx, by, bz]) == dist.server_of_block([bx + 1, by, bz])
                     {
                         same += 1;
                     }
                 }
             }
         }
-        assert!(
-            same * 2 > total,
-            "expected >50% x-neighbours colocated, got {same}/{total}"
-        );
+        assert!(same * 2 > total, "expected >50% x-neighbours colocated, got {same}/{total}");
     }
 
     fn neighbour_colocation(dist: &Distribution, n: u64) -> (usize, usize) {
@@ -275,8 +265,7 @@ mod tests {
             for by in 0..n {
                 for bx in 0..n.saturating_sub(1) {
                     total += 1;
-                    if dist.server_of_block([bx, by, bz])
-                        == dist.server_of_block([bx + 1, by, bz])
+                    if dist.server_of_block([bx, by, bz]) == dist.server_of_block([bx + 1, by, bz])
                     {
                         same += 1;
                     }
@@ -288,8 +277,7 @@ mod tests {
 
     #[test]
     fn hilbert_distribution_covers_all_blocks() {
-        let dist =
-            Distribution::with_curve(d3([64, 64, 64]), [16, 16, 16], 5, Curve::Hilbert);
+        let dist = Distribution::with_curve(d3([64, 64, 64]), [16, 16, 16], 5, Curve::Hilbert);
         let mut per_server = vec![0usize; 5];
         let counts = dist.counts();
         for bz in 0..counts[2] {
@@ -309,24 +297,17 @@ mod tests {
     fn hilbert_locality_at_least_morton() {
         // 8x8x8 block grid over 8 servers: the Hilbert partition keeps at
         // least as many x-neighbours colocated as Morton does.
-        let morton = Distribution::with_curve(
-            d3([128, 128, 128]), [16, 16, 16], 8, Curve::Morton,
-        );
-        let hilbert = Distribution::with_curve(
-            d3([128, 128, 128]), [16, 16, 16], 8, Curve::Hilbert,
-        );
+        let morton = Distribution::with_curve(d3([128, 128, 128]), [16, 16, 16], 8, Curve::Morton);
+        let hilbert =
+            Distribution::with_curve(d3([128, 128, 128]), [16, 16, 16], 8, Curve::Hilbert);
         let (ms, total) = neighbour_colocation(&morton, 8);
         let (hs, _) = neighbour_colocation(&hilbert, 8);
-        assert!(
-            hs >= ms,
-            "Hilbert colocation ({hs}/{total}) must be >= Morton ({ms}/{total})"
-        );
+        assert!(hs >= ms, "Hilbert colocation ({hs}/{total}) must be >= Morton ({ms}/{total})");
     }
 
     #[test]
     fn non_power_of_two_grid_works_with_hilbert() {
-        let dist =
-            Distribution::with_curve(d3([100, 80, 60]), [32, 32, 32], 3, Curve::Hilbert);
+        let dist = Distribution::with_curve(d3([100, 80, 60]), [32, 32, 32], 3, Curve::Hilbert);
         let q = BBox::d3([10, 10, 10], [70, 50, 40]);
         let blocks = dist.blocks_overlapping(&q);
         let vol: u64 = blocks.iter().map(|(_, b, _)| b.volume()).sum();

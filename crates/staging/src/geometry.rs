@@ -41,10 +41,7 @@ impl BBox {
 
     /// A 3-D box.
     pub fn d3(lo: [u64; 3], hi: [u64; 3]) -> Self {
-        assert!(
-            lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2],
-            "empty 3-D box"
-        );
+        assert!(lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2], "empty 3-D box");
         BBox { ndim: 3, lb: lo, ub: hi }
     }
 
@@ -98,8 +95,7 @@ impl BBox {
     /// True if `other` lies entirely within `self`.
     pub fn contains(&self, other: &BBox) -> bool {
         assert_eq!(self.ndim, other.ndim, "dimension mismatch");
-        (0..self.ndim as usize)
-            .all(|d| self.lb[d] <= other.lb[d] && other.ub[d] <= self.ub[d])
+        (0..self.ndim as usize).all(|d| self.lb[d] <= other.lb[d] && other.ub[d] <= self.ub[d])
     }
 
     /// True if the grid point `p` lies within `self`.

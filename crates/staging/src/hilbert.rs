@@ -17,10 +17,7 @@
 pub fn hilbert3(order: u32, x: u64, y: u64, z: u64) -> u64 {
     assert!((1..=21).contains(&order), "order must be in 1..=21");
     let bound = 1u64 << order;
-    assert!(
-        x < bound && y < bound && z < bound,
-        "coordinate out of range for order {order}"
-    );
+    assert!(x < bound && y < bound && z < bound, "coordinate out of range for order {order}");
     let mut p = [x, y, z];
     axes_to_transpose(&mut p, order);
     interleave_transposed(&p, order)

@@ -127,8 +127,7 @@ impl Serialize for Payload {
 
 impl<'de> Deserialize<'de> for Payload {
     fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
-        let (inline, len, digest, data): (bool, u64, u64, Vec<u8>) =
-            Deserialize::deserialize(d)?;
+        let (inline, len, digest, data): (bool, u64, u64, Vec<u8>) = Deserialize::deserialize(d)?;
         Ok(if inline {
             Payload::Inline(Bytes::from(data))
         } else {

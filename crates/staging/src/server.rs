@@ -10,14 +10,12 @@
 use crate::dist::{Distribution, ServerIdx};
 use crate::geometry::BBox;
 use crate::payload::Payload;
-use crate::proto::{
-    AppId, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version,
-};
+use crate::proto::{AppId, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version};
 use crate::service::{ServerLogic, StoreBackend};
 use net::des::{Delivered, EndpointId, NetworkHandle};
 use sim_core::engine::{Actor, Ctx, Event};
 use sim_core::time::SimTime;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Approximate wire size of a request/response header.
 pub const HEADER_BYTES: u64 = 64;
@@ -68,8 +66,10 @@ pub struct StagingServerActor<B> {
     /// Queued requests awaiting the CPU.
     queue: VecDeque<Pending>,
     /// Gets whose requested version is not yet available (DataSpaces `get`
-    /// blocks); re-queued after subsequent writes.
-    waiting: Vec<Pending>,
+    /// blocks), indexed by `(var, version)` so a completed write wakes only
+    /// the gets it can actually unblock instead of rescanning every parked
+    /// request.
+    waiting: HashMap<VarId, BTreeMap<Version, Vec<Pending>>>,
     /// Request currently in service, if any.
     in_service: Option<Pending>,
     /// Metric name for this server's resident bytes gauge.
@@ -92,13 +92,18 @@ pub struct StagingServerActor<B> {
 impl<B: StoreBackend> StagingServerActor<B> {
     /// Create a server actor. `ep` must be this actor's registered network
     /// endpoint.
-    pub fn new(index: ServerIdx, logic: ServerLogic<B>, net: NetworkHandle, ep: EndpointId) -> Self {
+    pub fn new(
+        index: ServerIdx,
+        logic: ServerLogic<B>,
+        net: NetworkHandle,
+        ep: EndpointId,
+    ) -> Self {
         StagingServerActor {
             logic,
             net,
             ep,
             queue: VecDeque::new(),
-            waiting: Vec::new(),
+            waiting: HashMap::new(),
             in_service: None,
             mem_metric: format!("staging.server{index}.bytes"),
             index,
@@ -150,27 +155,70 @@ impl<B: StoreBackend> StagingServerActor<B> {
             app.map(|a| a == owner).unwrap_or(true)
         };
         self.queue.retain(|p| !stale(&p.req));
-        self.waiting.retain(|p| !stale(&p.req));
+        self.waiting.retain(|_, by_version| {
+            by_version.retain(|_, pendings| {
+                pendings.retain(|p| !stale(&p.req));
+                !pendings.is_empty()
+            });
+            !by_version.is_empty()
+        });
     }
 
-    /// Move deferred gets whose data has since arrived back into the queue.
+    /// Park a blocked get under its `(var, version)` wake key.
+    fn park_get(&mut self, var: VarId, version: Version, p: Pending) {
+        self.waiting.entry(var).or_default().entry(version).or_default().push(p);
+    }
+
+    /// Requeue `p` if its get is now ready, else park it again.
+    fn requeue_or_repark(&mut self, var: VarId, version: Version, p: Pending) {
+        let ready = match &p.req {
+            Req::Get(r) => self.logic.get_ready(r),
+            _ => true,
+        };
+        if ready {
+            self.queue.push_back(p);
+        } else {
+            self.park_get(var, version, p);
+        }
+    }
+
+    /// Wake the parked gets a completed write of `(var, upto)` can unblock:
+    /// exactly those keyed at version `<= upto` (their version just landed,
+    /// or a newer one now exists). Parked gets for other variables or newer
+    /// versions are untouched.
+    fn wake_upto(&mut self, var: VarId, upto: Version) {
+        let Some(by_version) = self.waiting.get_mut(&var) else { return };
+        let woken = match upto.checked_add(1) {
+            Some(split) => {
+                let newer = by_version.split_off(&split);
+                std::mem::replace(by_version, newer)
+            }
+            None => std::mem::take(by_version),
+        };
+        if by_version.is_empty() {
+            self.waiting.remove(&var);
+        }
+        for (version, pendings) in woken {
+            for p in pendings {
+                self.requeue_or_repark(var, version, p);
+            }
+        }
+    }
+
+    /// Re-check every parked get (control transitions such as entering
+    /// replay mode can unblock gets of any variable or version).
     fn rescan_waiting(&mut self) {
         if self.waiting.is_empty() {
             return;
         }
-        let mut still_waiting = Vec::new();
-        for p in self.waiting.drain(..) {
-            let ready = match &p.req {
-                Req::Get(r) => self.logic.get_ready(r),
-                _ => true,
-            };
-            if ready {
-                self.queue.push_back(p);
-            } else {
-                still_waiting.push(p);
+        let parked = std::mem::take(&mut self.waiting);
+        for (var, by_version) in parked {
+            for (version, pendings) in by_version {
+                for p in pendings {
+                    self.requeue_or_repark(var, version, p);
+                }
             }
         }
-        self.waiting = still_waiting;
     }
 
     fn start_next(&mut self, ctx: &mut Ctx<'_>) {
@@ -190,8 +238,10 @@ impl<B: StoreBackend> StagingServerActor<B> {
                 }
                 Req::Get(r) => {
                     if !self.logic.get_ready(r) {
-                        // Blocking get: park it and try the next request.
-                        self.waiting.push(p);
+                        // Blocking get: park it under its wake key and try
+                        // the next request.
+                        let (var, version) = (r.var, r.version);
+                        self.park_get(var, version, p);
                         continue;
                     }
                     let (resp, cost) = self.logic.handle_get(r);
@@ -222,8 +272,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
         self.in_service = Some(p);
         let incarnation = self.incarnation;
         ctx.timer(cost, OpDone { incarnation });
-        ctx.metrics()
-            .gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+        ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
     }
 }
 
@@ -242,8 +291,10 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                     return; // unknown message: drop
                 };
                 self.queue.push_back(Pending { from_ep: from, req });
-                ctx.metrics()
-                    .gauge_set(&format!("staging.server{}.qdepth", self.index), self.queue.len() as i64);
+                ctx.metrics().gauge_set(
+                    &format!("staging.server{}.qdepth", self.index),
+                    self.queue.len() as i64,
+                );
                 self.start_next(ctx);
                 return;
             }
@@ -259,9 +310,7 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 self.down = true;
                 self.incarnation += 1;
                 let rebuild = f.fixed
-                    + SimTime::from_secs_f64(
-                        self.logic.bytes_resident() as f64 * f.per_byte_s,
-                    );
+                    + SimTime::from_secs_f64(self.logic.bytes_resident() as f64 * f.per_byte_s);
                 ctx.metrics().inc("staging.server_failures", 1);
                 ctx.metrics().observe("staging.rebuild_s", rebuild.as_secs_f64());
                 let incarnation = self.incarnation;
@@ -309,6 +358,15 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
 impl<B: StoreBackend> StagingServerActor<B> {
     fn finish_op(&mut self, ctx: &mut Ctx<'_>) {
         let Some(done) = self.in_service.take() else { return };
+        // Completed writes wake only the gets keyed at or below the written
+        // version; control transitions (e.g. recovery entering replay mode)
+        // can unblock anything and trigger a full rescan. Reads never change
+        // data availability.
+        let wake_key = match &done.req {
+            Req::Put(r) => Some((r.desc.var, r.desc.version)),
+            _ => None,
+        };
+        let full_rescan = matches!(&done.req, Req::Ctl(_));
         match done.req {
             Req::Put(_) => {
                 let resp = self.stash_put.take().expect("stashed put response");
@@ -325,11 +383,12 @@ impl<B: StoreBackend> StagingServerActor<B> {
                 self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, resp);
             }
         }
-        ctx.metrics()
-            .gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
-        // A completed write (or control event, e.g. recovery entering replay
-        // mode) may unblock parked gets.
-        self.rescan_waiting();
+        ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+        if let Some((var, version)) = wake_key {
+            self.wake_upto(var, version);
+        } else if full_rescan {
+            self.rescan_waiting();
+        }
         self.start_next(ctx);
     }
 }
@@ -417,10 +476,7 @@ pub fn plan_get(
         .into_iter()
         .enumerate()
         .map(|(i, (_coord, clipped, server))| {
-            (
-                server,
-                GetRequest { app, var, version, bbox: clipped, seq: seq_start + i as u64 },
-            )
+            (server, GetRequest { app, var, version, bbox: clipped, seq: seq_start + i as u64 })
         })
         .collect()
 }
@@ -529,9 +585,7 @@ mod tests {
             c.to_send = reqs.into_iter().map(|(s, r)| (s, server_ep, r)).collect();
         }
         {
-            let s = eng
-                .actor_as_mut::<StagingServerActor<PlainBackend>>(server_id)
-                .unwrap();
+            let s = eng.actor_as_mut::<StagingServerActor<PlainBackend>>(server_id).unwrap();
             s.net = handle;
             s.ep = server_ep;
         }
@@ -552,9 +606,7 @@ mod tests {
         times.sort_unstable();
         assert_eq!(times, sorted);
 
-        let s = eng
-            .actor_as::<StagingServerActor<PlainBackend>>(server_id)
-            .unwrap();
+        let s = eng.actor_as::<StagingServerActor<PlainBackend>>(server_id).unwrap();
         assert_eq!(s.logic().puts_served(), 8);
         let expected_bytes = 64u64 * 64 * 64 * 8;
         assert_eq!(s.logic().bytes_resident(), expected_bytes);
@@ -606,9 +658,8 @@ mod tests {
     fn plan_put_with_inline_content() {
         let dist = Distribution::new(BBox::whole([8, 8, 8]), [4, 4, 4], 2);
         let bbox = BBox::whole([8, 8, 8]);
-        let reqs = plan_put_with(&dist, 0, 0, 1, &bbox, 0, |b| {
-            Payload::inline(vec![b.lb[0] as u8; 4])
-        });
+        let reqs =
+            plan_put_with(&dist, 0, 0, 1, &bbox, 0, |b| Payload::inline(vec![b.lb[0] as u8; 4]));
         assert_eq!(reqs.len(), 8);
         for (_, r) in &reqs {
             assert_eq!(r.payload.bytes().unwrap()[0] as u64, r.desc.bbox.lb[0]);
@@ -654,9 +705,7 @@ mod failure_tests {
         )));
         let server_ep = net.register(server);
         let net_id = eng.add_actor(Box::new(net));
-        let s = eng
-            .actor_as_mut::<StagingServerActor<PlainBackend>>(server)
-            .unwrap();
+        let s = eng.actor_as_mut::<StagingServerActor<PlainBackend>>(server).unwrap();
         s.wire(NetworkHandle { actor: net_id }, server_ep);
         (eng, sink, server, net_id, client_ep)
     }
@@ -677,12 +726,7 @@ mod failure_tests {
         eng.schedule_at(
             sim_core::time::SimTime::from_nanos(0),
             net_id,
-            net::des::Transmit {
-                from: client_ep,
-                to: 1,
-                size: 164,
-                payload: Box::new(put_req(1)),
-            },
+            net::des::Transmit { from: client_ep, to: 1, size: 164, payload: Box::new(put_req(1)) },
         );
         eng.schedule_at(
             sim_core::time::SimTime::from_micros(10),
@@ -692,21 +736,14 @@ mod failure_tests {
         eng.schedule_at(
             sim_core::time::SimTime::from_micros(20),
             net_id,
-            net::des::Transmit {
-                from: client_ep,
-                to: 1,
-                size: 164,
-                payload: Box::new(put_req(2)),
-            },
+            net::des::Transmit { from: client_ep, to: 1, size: 164, payload: Box::new(put_req(2)) },
         );
         eng.run();
         let s = eng.actor_as::<AckSink>(sink).unwrap();
         assert_eq!(s.acks.len(), 2, "both puts eventually acked");
         // The second ack waits out the 5 ms rebuild.
         assert!(s.acks[1] >= 5_000_000, "ack at {} ns", s.acks[1]);
-        let srv = eng
-            .actor_as::<StagingServerActor<PlainBackend>>(server)
-            .unwrap();
+        let srv = eng.actor_as::<StagingServerActor<PlainBackend>>(server).unwrap();
         assert_eq!(srv.rebuilds(), 1);
         assert_eq!(srv.logic().puts_served(), 2);
         assert_eq!(eng.metrics().counter("staging.server_failures"), 1);
@@ -721,12 +758,7 @@ mod failure_tests {
         eng.schedule_at(
             sim_core::time::SimTime::ZERO,
             net_id,
-            net::des::Transmit {
-                from: client_ep,
-                to: 1,
-                size: 164,
-                payload: Box::new(put_req(1)),
-            },
+            net::des::Transmit { from: client_ep, to: 1, size: 164, payload: Box::new(put_req(1)) },
         );
         eng.schedule_at(
             sim_core::time::SimTime::from_micros(2),

@@ -9,8 +9,7 @@
 //! server code.
 
 use crate::proto::{
-    CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest, PutResponse,
-    PutStatus,
+    CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest, PutResponse, PutStatus,
 };
 use crate::store::VersionedStore;
 use serde::{Deserialize, Serialize};
@@ -156,9 +155,7 @@ impl StoreBackend for PlainBackend {
             // survives — either an older version or nothing at all. Both are
             // consistency violations the logging scheme prevents.
             self.stale_gets += 1;
-            self.store
-                .latest_version_at(req.var, req.version, &req.bbox)
-                .unwrap_or(req.version)
+            self.store.latest_version_at(req.var, req.version, &req.bbox).unwrap_or(req.version)
         };
         let pieces = self.store.query(req.var, version, &req.bbox);
         let bytes: u64 = pieces.iter().map(|p| p.payload.accounted_len()).sum();
@@ -175,11 +172,7 @@ impl StoreBackend for PlainBackend {
 
     fn get_ready(&self, req: &GetRequest) -> bool {
         self.store.covers_fully(req.var, req.version, &req.bbox)
-            || self
-                .store
-                .newest_version(req.var)
-                .map(|v| v > req.version)
-                .unwrap_or(false)
+            || self.store.newest_version(req.var).map(|v| v > req.version).unwrap_or(false)
     }
 
     fn bytes_resident(&self) -> u64 {
@@ -207,10 +200,7 @@ impl<B: StoreBackend> ServerLogic<B> {
     pub fn handle_put(&mut self, req: &PutRequest) -> (PutResponse, SimTime) {
         let (status, op) = self.backend.put(req);
         self.puts_served += 1;
-        (
-            PutResponse { desc: req.desc, seq: req.seq, status },
-            self.costs.cost(&op),
-        )
+        (PutResponse { desc: req.desc, seq: req.seq, status }, self.costs.cost(&op))
     }
 
     /// Is this get currently servable (see [`StoreBackend::get_ready`])?

@@ -10,8 +10,8 @@ use crate::dist::Distribution;
 use crate::geometry::BBox;
 use crate::payload::Payload;
 use crate::proto::{
-    AppId, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest,
-    PutResponse, PutStatus, VarId, Version,
+    AppId, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest, PutResponse,
+    PutStatus, VarId, Version,
 };
 use crate::server::{covers_exactly, plan_get, plan_put_with, HEADER_BYTES};
 use crate::service::{ServerLogic, StoreBackend};
@@ -41,10 +41,27 @@ pub fn spawn_server<B: StoreBackend>(
                 endpoint.send(msg.from, HEADER_BYTES, resp);
             } else if msg.payload.is::<GetRequest>() {
                 let req = msg.payload.downcast::<GetRequest>().unwrap();
-                let (resp, _cost) = logic.handle_get(&req);
-                let size = HEADER_BYTES
-                    + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
-                endpoint.send(msg.from, size, resp);
+                if !logic.get_ready(&req) {
+                    // DataSpaces `get` blocks until the requested version is
+                    // available; the DES server parks such requests. Over
+                    // real threads the server instead answers "not yet"
+                    // (empty, nothing logged) and the client retries, so a
+                    // racing reader can never observe a torn or stale
+                    // version — and failed polls never pollute the replay
+                    // log.
+                    let resp = GetResponse {
+                        var: req.var,
+                        version: req.version,
+                        seq: req.seq,
+                        pieces: Vec::new(),
+                    };
+                    endpoint.send(msg.from, HEADER_BYTES, resp);
+                } else {
+                    let (resp, _cost) = logic.handle_get(&req);
+                    let size = HEADER_BYTES
+                        + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+                    endpoint.send(msg.from, size, resp);
+                }
             } else if msg.payload.is::<CtlRequest>() {
                 let req = msg.payload.downcast::<CtlRequest>().unwrap();
                 let (resp, _cost) = logic.handle_ctl(*req);
@@ -63,6 +80,10 @@ pub enum ClientError {
     Disconnected,
     /// A get returned pieces that do not tile the requested region.
     IncompleteCoverage,
+    /// A get returned pieces from more than one version: the requested
+    /// version was only partially written, and lagging servers filled in
+    /// with older data. Callers should retry until the write completes.
+    TornRead,
 }
 
 /// A blocking DataSpaces-style client for one application component.
@@ -164,6 +185,12 @@ impl SyncClient {
         if !covers_exactly(bbox, &pieces) {
             return Err(ClientError::IncompleteCoverage);
         }
+        // Servers may individually fall back to an older version while a put
+        // of the requested version is still in flight; a mix of versions
+        // tiles the region but is not a consistent snapshot.
+        if pieces.windows(2).any(|w| w[0].version != w[1].version) {
+            return Err(ClientError::TornRead);
+        }
         Ok(pieces)
     }
 
@@ -237,18 +264,13 @@ mod tests {
         let handles: Vec<_> = eps
             .into_iter()
             .map(|ep| {
-                spawn_server(
-                    ep,
-                    ServerLogic::new(PlainBackend::new(8), ServerCosts::default()),
-                )
+                spawn_server(ep, ServerLogic::new(PlainBackend::new(8), ServerCosts::default()))
             })
             .collect();
         let clients = client_eps
             .into_iter()
             .enumerate()
-            .map(|(i, ep)| {
-                SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId)
-            })
+            .map(|(i, ep)| SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId))
             .collect();
         (handles, clients)
     }

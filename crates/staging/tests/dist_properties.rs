@@ -14,12 +14,7 @@ fn arb_setup() -> impl Strategy<Value = (BBox, [u64; 3], usize, Curve)> {
         prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)],
     )
         .prop_map(|(dims, block, nservers, curve)| {
-            (
-                BBox::whole([dims.0, dims.1, dims.2]),
-                [block.0, block.1, block.2],
-                nservers,
-                curve,
-            )
+            (BBox::whole([dims.0, dims.1, dims.2]), [block.0, block.1, block.2], nservers, curve)
         })
 }
 

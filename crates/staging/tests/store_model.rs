@@ -31,12 +31,8 @@ impl Model {
         }
         if let Some(maxv) = self.max_versions {
             loop {
-                let versions: Vec<Version> = self
-                    .data
-                    .keys()
-                    .filter(|(v, _)| *v == desc.var)
-                    .map(|(_, ver)| *ver)
-                    .collect();
+                let versions: Vec<Version> =
+                    self.data.keys().filter(|(v, _)| *v == desc.var).map(|(_, ver)| *ver).collect();
                 if versions.len() <= maxv {
                     break;
                 }

@@ -172,12 +172,8 @@ impl LoggingBackend {
 
     /// Components currently in replay mode.
     pub fn replaying_apps(&self) -> Vec<AppId> {
-        let mut v: Vec<AppId> = self
-            .queues
-            .keys()
-            .copied()
-            .filter(|&a| self.replay.is_replaying(a))
-            .collect();
+        let mut v: Vec<AppId> =
+            self.queues.keys().copied().filter(|&a| self.replay.is_replaying(a)).collect();
         v.sort_unstable();
         v
     }
@@ -224,9 +220,7 @@ impl LoggingBackend {
         if self.store.covers_any(req.var, req.version, &req.bbox) {
             req.version
         } else {
-            self.store
-                .latest_version_at(req.var, req.version, &req.bbox)
-                .unwrap_or(req.version)
+            self.store.latest_version_at(req.var, req.version, &req.bbox).unwrap_or(req.version)
         }
     }
 }
@@ -351,10 +345,10 @@ impl StoreBackend for LoggingBackend {
                     .map(|q| q.replay_script(resume_version))
                     .unwrap_or_default();
                 let pending = self.replay.begin(app, resume_version, script) as u64;
-                self.queues.entry(app).or_default().push(LogEvent::Recovery {
-                    app,
-                    resume_version,
-                });
+                self.queues
+                    .entry(app)
+                    .or_default()
+                    .push(LogEvent::Recovery { app, resume_version });
                 (
                     CtlResponse { req, pending_replay: pending },
                     OpStats { log_events: 1, ..Default::default() },
@@ -380,11 +374,7 @@ impl StoreBackend for LoggingBackend {
             return true;
         }
         self.store.covers_fully(req.var, req.version, &req.bbox)
-            || self
-                .store
-                .newest_version(req.var)
-                .map(|v| v > req.version)
-                .unwrap_or(false)
+            || self.store.newest_version(req.var).map(|v| v > req.version).unwrap_or(false)
     }
 
     fn bytes_resident(&self) -> u64 {
@@ -499,10 +489,7 @@ mod tests {
         run_steps(&mut b, 1, 2);
         b.control(CtlRequest::Recovery { app: SIM, resume_version: 0 });
         // Re-put version 1 with *different* content.
-        let bad = PutRequest {
-            payload: Payload::virtual_from(100, &[999]),
-            ..put_req(SIM, 1)
-        };
+        let bad = PutRequest { payload: Payload::virtual_from(100, &[999]), ..put_req(SIM, 1) };
         let (status, _) = b.put(&bad);
         assert_eq!(status, PutStatus::Absorbed, "log stays authoritative");
         assert_eq!(b.digest_mismatches(), 1);

@@ -76,13 +76,12 @@ impl GcState {
         let floor = self.floor(replay_floor);
         let mut freed = 0;
         for var in store.vars() {
-            let versions = store.versions(var);
-            let Some(&newest) = versions.last() else { continue };
-            for v in versions {
-                if v <= floor && v != newest {
-                    freed += store.remove_version(var, v);
-                }
-            }
+            let Some(newest) = store.newest_version(var) else { continue };
+            // The collectible versions — everything `<= floor` except the
+            // newest — form a contiguous prefix of the version map; drop it
+            // as one range instead of removing version by version.
+            let keep_from = newest.min(floor.saturating_add(1));
+            freed += store.remove_older_than(var, keep_from);
         }
         self.reclaimed += freed;
         self.passes += 1;

@@ -82,12 +82,8 @@ impl WorkflowClient {
     /// servers generate this component's replay script. Returns the restored
     /// snapshot.
     pub fn workflow_restart(&mut self) -> Result<Snapshot, WorkflowError> {
-        let snap = self
-            .ckpts
-            .lock()
-            .latest(self.app())
-            .cloned()
-            .ok_or(WorkflowError::NoCheckpoint)?;
+        let snap =
+            self.ckpts.lock().latest(self.app()).cloned().ok_or(WorkflowError::NoCheckpoint)?;
         // (Re-attachment is implicit for the in-process mesh; a real client
         // would rebuild its RDMA connections here.)
         let resume_version = snap.resume_step.saturating_sub(1);
@@ -169,8 +165,7 @@ mod tests {
             .into_iter()
             .enumerate()
             .map(|(i, ep)| {
-                let sync =
-                    SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId);
+                let sync = SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId);
                 WorkflowClient::new(sync, Arc::clone(&ckpts))
             })
             .collect();

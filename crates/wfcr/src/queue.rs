@@ -7,15 +7,34 @@
 //! marker form the replay script; at checkpoint boundaries the prefix that no
 //! rollback can need anymore is discarded ("at the end of checkpoint cycle,
 //! data staging will clean the event queue").
+//!
+//! # Index structure
+//!
+//! Transport events (put/get) and control markers (checkpoint/recovery) are
+//! kept in two separate streams. Transport versions are monotonic per run —
+//! a component's steps only move forward, and absorbed replays are never
+//! re-logged — so the transport stream stays sorted by [`LogEvent::version`]
+//! with O(1) appends (a stable binary insertion covers the rare out-of-order
+//! arrival, e.g. a get served from an older version). That invariant turns
+//! the two hot operations into range lookups:
+//!
+//! * [`EventQueue::replay_script`] — the replay window for a rollback to
+//!   `resume` is the suffix after `partition_point(version <= resume)`:
+//!   O(log n + k) for a k-event script instead of a full scan.
+//! * [`EventQueue::truncate_through`] — GC drops the prefix up to the
+//!   boundary as one `drain` of an index range instead of a linear `retain`.
 
 use crate::event::{LogEvent, EVENT_BYTES};
 use staging::proto::Version;
-use std::collections::VecDeque;
 
 /// Event queue for one application component.
 #[derive(Debug, Default, Clone, serde::Serialize, serde::Deserialize)]
 pub struct EventQueue {
-    events: VecDeque<LogEvent>,
+    /// Transport events in non-decreasing `version()` order (stable, so
+    /// same-version events keep their append order).
+    transport: Vec<LogEvent>,
+    /// Control markers (checkpoint/recovery) in append order.
+    markers: Vec<LogEvent>,
     /// Version covered by the newest checkpoint marker seen (low-water mark
     /// for rollback: the app can never resume from before this).
     ckpt_version: Option<Version>,
@@ -33,6 +52,7 @@ impl EventQueue {
 
     /// Append an event. Checkpoint markers update the low-water mark.
     pub fn push(&mut self, ev: LogEvent) {
+        self.appended += 1;
         if let LogEvent::Checkpoint { w_chk_id, upto_version, .. } = ev {
             self.ckpt_version = Some(match self.ckpt_version {
                 Some(v) => v.max(upto_version),
@@ -40,8 +60,19 @@ impl EventQueue {
             });
             self.last_w_chk_id = Some(w_chk_id);
         }
-        self.events.push_back(ev);
-        self.appended += 1;
+        if !ev.is_transport() {
+            self.markers.push(ev);
+            return;
+        }
+        let v = ev.version();
+        match self.transport.last() {
+            // Monotonic fast path: versions never regress in a normal run.
+            Some(last) if last.version() > v => {
+                let idx = self.transport.partition_point(|e| e.version() <= v);
+                self.transport.insert(idx, ev);
+            }
+            _ => self.transport.push(ev),
+        }
     }
 
     /// The version of the newest checkpoint (rollback target), if any.
@@ -55,21 +86,15 @@ impl EventQueue {
     }
 
     /// Build the replay script for a rollback to `resume_version`: all
-    /// transport events recorded *after* that version's checkpoint marker, in
-    /// original order. These are the operations the recovering component will
-    /// re-issue and that staging must reproduce.
+    /// transport events recorded *after* that version, in original order.
+    /// These are the operations the recovering component will re-issue and
+    /// that staging must reproduce.
+    ///
+    /// The transport stream is version-sorted, so the script is the suffix
+    /// past the binary-searched window boundary — O(log n + k).
     pub fn replay_script(&self, resume_version: Version) -> Vec<LogEvent> {
-        // Every transport event newer than the restored version, in original
-        // order. (Versions are monotonic per run and absorbed replays are
-        // never re-logged, so each transport event appears exactly once —
-        // filtering by version is equivalent to, and more robust than,
-        // anchoring on the checkpoint marker's queue position, because
-        // `workflow_check` notifications can arrive after later data events.)
-        self.events
-            .iter()
-            .filter(|ev| ev.is_transport() && ev.version() > resume_version)
-            .copied()
-            .collect()
+        let start = self.transport.partition_point(|ev| ev.version() <= resume_version);
+        self.transport[start..].to_vec()
     }
 
     /// Drop every event at or before `boundary` *provided* it precedes the
@@ -78,30 +103,33 @@ impl EventQueue {
     pub fn truncate_through(&mut self, boundary: Version) -> usize {
         let Some(ckpt) = self.ckpt_version else { return 0 };
         let boundary = boundary.min(ckpt);
-        let before = self.events.len();
+        // The collectible transport events are a contiguous sorted prefix.
+        let cut = self.transport.partition_point(|ev| ev.version() <= boundary);
+        self.transport.drain(..cut);
         // Retain the newest checkpoint marker itself (so replay_script can
-        // still find its anchor) and everything newer than the boundary.
+        // still find its anchor) and markers newer than the boundary.
         let last_id = self.last_w_chk_id;
-        self.events.retain(|ev| match ev {
+        let markers_before = self.markers.len();
+        self.markers.retain(|ev| match ev {
             LogEvent::Checkpoint { w_chk_id, .. } => Some(*w_chk_id) == last_id,
             ev => ev.version() > boundary,
         });
-        before - self.events.len()
+        cut + (markers_before - self.markers.len())
     }
 
     /// Events currently retained.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.transport.len() + self.markers.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.transport.is_empty() && self.markers.is_empty()
     }
 
     /// Staging memory charged to this queue.
     pub fn bytes(&self) -> u64 {
-        self.events.len() as u64 * EVENT_BYTES
+        self.len() as u64 * EVENT_BYTES
     }
 
     /// Total events ever appended.
@@ -109,9 +137,13 @@ impl EventQueue {
         self.appended
     }
 
-    /// Iterate retained events oldest-first.
+    /// Iterate retained events in version order (transport events before
+    /// markers of the same version), oldest-first — the shape of the paper's
+    /// Figure 5 queue printouts.
     pub fn iter(&self) -> impl Iterator<Item = &LogEvent> {
-        self.events.iter()
+        let mut merged: Vec<&LogEvent> = self.transport.iter().chain(self.markers.iter()).collect();
+        merged.sort_by_key(|ev| ev.version());
+        merged.into_iter()
     }
 }
 
@@ -264,5 +296,32 @@ mod tests {
         assert_eq!(script.len(), 6);
         let versions: Vec<Version> = script.iter().map(|e| e.version()).collect();
         assert_eq!(versions, vec![5, 5, 6, 6, 7, 7]);
+    }
+
+    #[test]
+    fn out_of_order_served_version_stays_findable() {
+        // A get served from an older version (stale fallback) arrives after
+        // newer events; the sorted insert keeps every replay window exact.
+        let mut q = EventQueue::new();
+        q.push(put(0, 2));
+        q.push(put(0, 5));
+        q.push(get(0, 3)); // served=3, logged after version 5
+        let script = q.replay_script(2);
+        let versions: Vec<Version> = script.iter().map(|e| e.version()).collect();
+        assert_eq!(versions, vec![3, 5]);
+        assert_eq!(q.replay_script(4).len(), 1);
+        assert_eq!(q.appended(), 3);
+    }
+
+    #[test]
+    fn iter_merges_markers_in_version_order() {
+        let mut q = EventQueue::new();
+        q.push(put(0, 1));
+        q.push(put(0, 2));
+        q.push(ckpt(0, 1, 2));
+        q.push(put(0, 3));
+        let kinds: Vec<Version> = q.iter().map(|e| e.version()).collect();
+        assert_eq!(kinds, vec![1, 2, 2, 3]);
+        assert!(matches!(q.iter().nth(2), Some(LogEvent::Checkpoint { .. })));
     }
 }

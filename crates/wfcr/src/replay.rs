@@ -123,8 +123,7 @@ impl ReplayManager {
             .iter()
             .enumerate()
             .find(|(i, ev)| {
-                !st.consumed[*i]
-                    && matches!(ev, LogEvent::Put { desc: d, .. } if d == desc)
+                !st.consumed[*i] && matches!(ev, LogEvent::Put { desc: d, .. } if d == desc)
             })
             .map(|(i, ev)| (i, *ev));
         match found {
@@ -152,7 +151,13 @@ impl ReplayManager {
     }
 
     /// Classify an incoming get.
-    pub fn on_get(&mut self, app: AppId, var: VarId, requested: Version, bbox: &BBox) -> GetDecision {
+    pub fn on_get(
+        &mut self,
+        app: AppId,
+        var: VarId,
+        requested: Version,
+        bbox: &BBox,
+    ) -> GetDecision {
         let Some(st) = self.states.get_mut(&app) else { return GetDecision::Normal };
         if requested > st.max_version {
             self.finish(app);

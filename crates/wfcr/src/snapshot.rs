@@ -106,8 +106,7 @@ mod tests {
         let mut restored = LoggingBackend::from_snapshot(snap2);
 
         // The restored backend still serves a consumer rollback replay.
-        let (resp, _) =
-            restored.control(CtlRequest::Recovery { app: ANA, resume_version: 3 });
+        let (resp, _) = restored.control(CtlRequest::Recovery { app: ANA, resume_version: 3 });
         assert_eq!(resp.pending_replay, 3);
         let bbox = BBox::d1(0, 63);
         for v in 4..=6u32 {
@@ -130,10 +129,7 @@ mod tests {
         populate(&mut b, 4);
         b.control(CtlRequest::Recovery { app: ANA, resume_version: 0 });
         assert!(b.is_replaying(ANA));
-        assert!(matches!(
-            b.snapshot(),
-            Err(SnapshotError::ReplayActive { app: ANA })
-        ));
+        assert!(matches!(b.snapshot(), Err(SnapshotError::ReplayActive { app: ANA })));
     }
 
     #[test]

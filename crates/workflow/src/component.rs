@@ -176,8 +176,7 @@ impl ComponentActor {
         // *other* writer's range. A Producer+Consumer pair degenerates to
         // the classic write-then-read coupling; Peer components exchange
         // fields bidirectionally (the Figure 5 scenario).
-        let own_range =
-            |app: u32| (app * wf.nvars..(app + 1) * wf.nvars).collect::<Vec<u32>>();
+        let own_range = |app: u32| (app * wf.nvars..(app + 1) * wf.nvars).collect::<Vec<u32>>();
         let write_vars = if cfg.role.writes() { own_range(cfg.app) } else { Vec::new() };
         let read_vars: Vec<(u32, u64, crate::config::SubsetPattern)> = if cfg.role.reads() {
             wf.components
@@ -341,14 +340,7 @@ impl ComponentActor {
             for region in
                 crate::config::coupled_regions(&self.domain, subset_millis, pattern, self.step)
             {
-                let reqs = plan_get(
-                    &self.dist,
-                    self.cfg.app,
-                    var,
-                    self.step,
-                    &region,
-                    self.seq,
-                );
+                let reqs = plan_get(&self.dist, self.cfg.app, var, self.step, &region, self.seq);
                 self.seq += reqs.len() as u64;
                 count += reqs.len();
                 for (server, req) in reqs {
@@ -371,12 +363,9 @@ impl ComponentActor {
         match self.protocol {
             P::FailureFree => false,
             P::Coordinated => self.step.is_multiple_of(self.coordinated_period),
-            P::Uncoordinated | P::Hybrid | P::Individual => self
-                .cfg
-                .scheme
-                .period()
-                .map(|p| self.step.is_multiple_of(p))
-                .unwrap_or(false),
+            P::Uncoordinated | P::Hybrid | P::Individual => {
+                self.cfg.scheme.period().map(|p| self.step.is_multiple_of(p)).unwrap_or(false)
+            }
         }
     }
 
@@ -403,9 +392,7 @@ impl ComponentActor {
             self.phase = Phase::CkptWrite;
             // Independent checkpoint: sole writer on its target.
             let cost = match self.ckpt_target {
-                crate::config::CkptTarget::Pfs => {
-                    self.pfs.write_time(self.cfg.state_bytes, 1)
-                }
+                crate::config::CkptTarget::Pfs => self.pfs.write_time(self.cfg.state_bytes, 1),
                 // Two-level: blocking cost is the node-local write; the PFS
                 // flush proceeds asynchronously.
                 crate::config::CkptTarget::TwoLevel => {
@@ -489,10 +476,8 @@ impl ComponentActor {
         self.pending = 0;
         self.recoveries += 1;
         ctx.metrics().inc("wf.recoveries", 1);
-        ctx.metrics().inc(
-            "wf.rollback_steps",
-            u64::from(self.step.saturating_sub(self.last_ckpt_step + 1)),
-        );
+        ctx.metrics()
+            .inc("wf.rollback_steps", u64::from(self.step.saturating_sub(self.last_ckpt_step + 1)));
         self.phase = Phase::RecUlfm;
         let victim = self.rng.next_bounded(self.comm.size().max(1) as u64) as usize;
         let breakdown = ulfm::recover(&mut self.comm, &[victim], &self.ulfm, true);
@@ -520,10 +505,8 @@ impl ComponentActor {
         if self.protocol.uses_logging() {
             // workflow_restart(): notify staging; servers build the replay
             // script before the component re-issues anything.
-            let req = CtlRequest::Recovery {
-                app: self.cfg.app,
-                resume_version: self.last_ckpt_step,
-            };
+            let req =
+                CtlRequest::Recovery { app: self.cfg.app, resume_version: self.last_ckpt_step };
             self.send_ctl_all(ctx, req, AfterCtl::ResumeCompute);
         } else {
             self.begin_step(ctx);
@@ -602,10 +585,8 @@ impl Actor for ComponentActor {
                     self.last_ckpt_step = self.step;
                     ctx.metrics().inc("wf.ckpts", 1);
                     if self.protocol.uses_logging() {
-                        let req = CtlRequest::Checkpoint {
-                            app: self.cfg.app,
-                            upto_version: self.step,
-                        };
+                        let req =
+                            CtlRequest::Checkpoint { app: self.cfg.app, upto_version: self.step };
                         self.send_ctl_all(ctx, req, AfterCtl::AdvanceStep);
                     } else {
                         self.advance_step(ctx);

@@ -58,8 +58,7 @@ pub fn coupled_regions(
     assert!((1..=1000).contains(&subset_millis));
     let axis = domain.ndim as usize - 1;
     let extent = domain.extent(axis);
-    let take = ((extent as u128 * subset_millis as u128).div_ceil(1000) as u64)
-        .clamp(1, extent);
+    let take = ((extent as u128 * subset_millis as u128).div_ceil(1000) as u64).clamp(1, extent);
     let slice = |lo: u64, hi: u64| {
         let mut b = *domain;
         b.lb[axis] = domain.lb[axis] + lo;
@@ -368,8 +367,8 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
     let sim_ranks = 512usize << scale; // 512,1024,2048,4096,8192
     let ana_ranks = sim_ranks / 4; // 128..2048
     let nservers = sim_ranks / 8; // 64..1024
-    // Data scales with cores: 40 GB → 640 GB per 40 steps, i.e. 1..16 GB per
-    // step. Domain doubles one axis per scale step from 512×512×512.
+                                  // Data scales with cores: 40 GB → 640 GB per 40 steps, i.e. 1..16 GB per
+                                  // step. Domain doubles one axis per scale step from 512×512×512.
     let domain = match scale {
         0 => [512, 512, 512],
         1 => [1024, 512, 512],

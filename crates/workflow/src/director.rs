@@ -187,9 +187,7 @@ impl Director {
             .components
             .iter()
             .map(|c| match self.ckpt_target {
-                crate::config::CkptTarget::Pfs => {
-                    self.pfs.write_time(c.state_bytes, writers)
-                }
+                crate::config::CkptTarget::Pfs => self.pfs.write_time(c.state_bytes, writers),
                 crate::config::CkptTarget::TwoLevel => {
                     self.node_local.write_time(c.state_bytes, writers)
                 }

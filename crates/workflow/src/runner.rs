@@ -24,13 +24,10 @@ pub fn materialize_failures(cfg: &WorkflowConfig) -> Vec<FailureSpec> {
     let mut frng = sim_core::rng::Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0xFA11);
     // Rough run-length estimate for keeping sampled failures inside the run
     // window (the paper injects failures "within 40 time steps").
-    let est = cfg
-        .components
-        .iter()
-        .map(|c| c.compute_per_step.as_secs_f64())
-        .fold(0.0_f64, f64::max)
-        * cfg.total_steps as f64
-        * 1.15;
+    let est =
+        cfg.components.iter().map(|c| c.compute_per_step.as_secs_f64()).fold(0.0_f64, f64::max)
+            * cfg.total_steps as f64
+            * 1.15;
     let total_ranks: u64 = cfg.components.iter().map(|c| c.ranks as u64).sum();
     let mut out = Vec::new();
     for spec in &cfg.failures {
@@ -110,8 +107,7 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
             cfg.log_gc,
         );
         let logic = ServerLogic::new(backend, cfg.server_costs);
-        let actor =
-            StagingServerActor::new(s, logic, NetworkHandle { actor: 0 }, 0);
+        let actor = StagingServerActor::new(s, logic, NetworkHandle { actor: 0 }, 0);
         server_ids.push(engine.add_actor(Box::new(actor)));
     }
 
@@ -141,29 +137,25 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
 
     // 4. Endpoints, then the network actor itself.
     let comp_eps: Vec<usize> = comp_ids.iter().map(|&id| network.register(id)).collect();
-    let server_eps: Vec<usize> =
-        server_ids.iter().map(|&id| network.register(id)).collect();
+    let server_eps: Vec<usize> = server_ids.iter().map(|&id| network.register(id)).collect();
     let dir_ep = network.register(dir_id);
     let net_id = engine.add_actor(Box::new(network));
     let handle = NetworkHandle { actor: net_id };
 
     // 5. Wire everyone.
     for (i, &cid) in comp_ids.iter().enumerate() {
-        let c = engine
-            .actor_as_mut::<ComponentActor>(cid)
-            .expect("component actor");
+        let c = engine.actor_as_mut::<ComponentActor>(cid).expect("component actor");
         c.wire(handle, comp_eps[i], server_eps.clone(), dir_id);
     }
     for (i, &sid) in server_ids.iter().enumerate() {
-        let s = engine
-            .actor_as_mut::<StagingServerActor<AnyBackend>>(sid)
-            .expect("server actor");
+        let s = engine.actor_as_mut::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
         s.wire(handle, server_eps[i]);
     }
-    engine
-        .actor_as_mut::<Director>(dir_id)
-        .expect("director")
-        .wire(handle, dir_ep, server_eps.clone());
+    engine.actor_as_mut::<Director>(dir_id).expect("director").wire(
+        handle,
+        dir_ep,
+        server_eps.clone(),
+    );
 
     // 6. Failure plan.
     if cfg.protocol != WorkflowProtocol::FailureFree {
@@ -171,10 +163,8 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         // ingests k bytes from surviving servers through the rebuilding
         // server's NIC.
         let nic_bytes_per_s = 1e9 / cfg.net.ns_per_byte;
-        let rebuild_per_byte_s =
-            cfg.staging_resilience.protect.rs_k as f64 / nic_bytes_per_s;
-        let mut warn_rng =
-            sim_core::rng::Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0x9A9A);
+        let rebuild_per_byte_s = cfg.staging_resilience.protect.rs_k as f64 / nic_bytes_per_s;
+        let mut warn_rng = sim_core::rng::Xoshiro256StarStar::seed_from_u64(cfg.seed ^ 0x9A9A);
         for spec in materialize_failures(&cfg) {
             match spec {
                 FailureSpec::At { at, app } => {
@@ -221,11 +211,8 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     // 8. Harvest.
     let m = engine.metrics().clone();
     let dir = engine.actor_as::<Director>(dir_id).expect("director");
-    let mut finish_times_s: Vec<(u32, f64)> = dir
-        .finish_times()
-        .iter()
-        .map(|(&app, &t)| (app, t.as_secs_f64()))
-        .collect();
+    let mut finish_times_s: Vec<(u32, f64)> =
+        dir.finish_times().iter().map(|(&app, &t)| (app, t.as_secs_f64())).collect();
     finish_times_s.sort_unstable_by_key(|&(app, _)| app);
     assert_eq!(
         finish_times_s.len(),
@@ -248,9 +235,7 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     for (i, &sid) in server_ids.iter().enumerate() {
         let g = m.gauge(&format!("staging.server{i}.bytes"));
         staging_peak_bytes += g.peak.max(0) as u64;
-        let s = engine
-            .actor_as::<StagingServerActor<AnyBackend>>(sid)
-            .expect("server actor");
+        let s = engine.actor_as::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
         staging_final_bytes += s.logic().bytes_resident();
         staging_rebuilds += u64::from(s.rebuilds());
         stale_gets += s.logic().backend().stale_gets();
@@ -420,10 +405,7 @@ mod tests {
     #[test]
     fn uncoordinated_beats_coordinated_under_failure() {
         use crate::config::FailureSpec;
-        let fail = vec![FailureSpec::At {
-            at: sim_core::time::SimTime::from_millis(700),
-            app: 1,
-        }];
+        let fail = vec![FailureSpec::At { at: sim_core::time::SimTime::from_millis(700), app: 1 }];
         let co = run(&tiny(WorkflowProtocol::Coordinated).with_failures(fail.clone()));
         let un = run(&tiny(WorkflowProtocol::Uncoordinated).with_failures(fail));
         assert!(

@@ -18,10 +18,8 @@ use workflow::runner::run;
 
 fn main() {
     println!("== Hybrid workflow, failure in the REPLICATED analytics ==");
-    let cfg = tiny(WorkflowProtocol::Hybrid).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_millis(700),
-        app: 1,
-    }]);
+    let cfg = tiny(WorkflowProtocol::Hybrid)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(700), app: 1 }]);
     let r = run(&cfg);
     println!(
         "total {:.3}s | rollbacks {} failovers {} replayed-gets {} absorbed-puts {}",
@@ -32,10 +30,8 @@ fn main() {
     println!("-> replica took over; nothing rolled back, staging untouched\n");
 
     println!("== Hybrid workflow, failure in the CHECKPOINTED simulation ==");
-    let cfg = tiny(WorkflowProtocol::Hybrid).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_millis(700),
-        app: 0,
-    }]);
+    let cfg = tiny(WorkflowProtocol::Hybrid)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(700), app: 0 }]);
     let r = run(&cfg);
     println!(
         "total {:.3}s | rollbacks {} failovers {} replayed-gets {} absorbed-puts {}",
@@ -49,10 +45,8 @@ fn main() {
 
     println!("== Same failures under pure uncoordinated C/R (for contrast) ==");
     for victim in [1u32, 0] {
-        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
-            at: SimTime::from_millis(700),
-            app: victim,
-        }]);
+        let cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(700), app: victim }]);
         let r = run(&cfg);
         println!(
             "victim app {}: total {:.3}s | rollbacks {} replayed-gets {} absorbed-puts {}",

@@ -64,10 +64,7 @@ fn main() {
     let restored: wfcr::snapshot::LogSnapshot =
         serde_json::from_slice(&json).expect("parse snapshot");
     let mut backend = LoggingBackend::from_snapshot(restored);
-    println!(
-        "restored staging log: {} bytes resident",
-        backend.bytes_resident()
-    );
+    println!("restored staging log: {} bytes resident", backend.bytes_resident());
 
     // Phase 4: the analytics rolls back and replays against the restored log.
     let (resp, _) = backend.control(CtlRequest::Recovery { app: ANA, resume_version: 3 });

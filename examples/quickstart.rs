@@ -74,44 +74,31 @@ fn main() {
     println!("== coupling steps 1..=6, checkpoints at step 3 ==");
     let mut observed = Vec::new();
     for step in 1..=6u32 {
-        producer
-            .put_with_log(TEMPERATURE, step, &domain, field(step))
-            .expect("put");
-        let pieces = consumer
-            .get_with_log(TEMPERATURE, step, &domain)
-            .expect("get");
+        producer.put_with_log(TEMPERATURE, step, &domain, field(step)).expect("put");
+        let pieces = consumer.get_with_log(TEMPERATURE, step, &domain).expect("get");
         let digest = pieces_digest(&pieces);
         observed.push(digest);
         println!("step {step}: consumer observed digest {digest:#018x}");
         if step == 3 {
-            let sim_chk = producer
-                .workflow_check(step + 1, [1, 2, 3, 4], 64 << 20)
-                .expect("sim checkpoint");
-            let ana_chk = consumer
-                .workflow_check(step + 1, [5, 6, 7, 8], 16 << 20)
-                .expect("ana checkpoint");
+            let sim_chk =
+                producer.workflow_check(step + 1, [1, 2, 3, 4], 64 << 20).expect("sim checkpoint");
+            let ana_chk =
+                consumer.workflow_check(step + 1, [5, 6, 7, 8], 16 << 20).expect("ana checkpoint");
             println!("  checkpointed: W_Chk_ID sim={sim_chk:#x} ana={ana_chk:#x}");
         }
     }
 
     println!("\n== consumer fails and restarts (workflow_restart) ==");
     let snap = consumer.workflow_restart().expect("restart");
-    println!(
-        "restored checkpoint {} -> resume at step {}",
-        snap.ckpt_id, snap.resume_step
-    );
+    println!("restored checkpoint {} -> resume at step {}", snap.ckpt_id, snap.resume_step);
 
     // The producer keeps computing new steps while the consumer replays.
-    producer
-        .put_with_log(TEMPERATURE, 7, &domain, field(7))
-        .expect("put step 7");
+    producer.put_with_log(TEMPERATURE, 7, &domain, field(7)).expect("put step 7");
 
     println!("== replaying steps {}..=6 ==", snap.resume_step);
     let mut all_match = true;
     for step in snap.resume_step..=6 {
-        let pieces = consumer
-            .get_with_log(TEMPERATURE, step, &domain)
-            .expect("replayed get");
+        let pieces = consumer.get_with_log(TEMPERATURE, step, &domain).expect("replayed get");
         let digest = pieces_digest(&pieces);
         let expected = observed[(step - 1) as usize];
         let ok = digest == expected;
@@ -123,13 +110,8 @@ fn main() {
     }
 
     // After the replay the consumer is consistent again and reads new data.
-    let pieces = consumer
-        .get_with_log(TEMPERATURE, 7, &domain)
-        .expect("get step 7");
-    println!(
-        "post-replay step 7: digest {:#018x} (fresh data)",
-        pieces_digest(&pieces)
-    );
+    let pieces = consumer.get_with_log(TEMPERATURE, 7, &domain).expect("get step 7");
+    println!("post-replay step 7: digest {:#018x} (fresh data)", pieces_digest(&pieces));
 
     consumer.shutdown_servers();
     let mut mismatches = 0;

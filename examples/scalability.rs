@@ -19,10 +19,9 @@ fn main() {
     for scale in 0..5usize {
         let seed_cfg = table3(scale, WorkflowProtocol::Uncoordinated, 1);
         let failures = materialize_failures(&seed_cfg);
-        let co = run(&table3(scale, WorkflowProtocol::Coordinated, 1)
-            .with_failures(failures.clone()));
-        let un = run(&table3(scale, WorkflowProtocol::Uncoordinated, 1)
-            .with_failures(failures));
+        let co =
+            run(&table3(scale, WorkflowProtocol::Coordinated, 1).with_failures(failures.clone()));
+        let un = run(&table3(scale, WorkflowProtocol::Uncoordinated, 1).with_failures(failures));
         assert_eq!(un.digest_mismatches, 0);
         println!(
             "{:>7} | {:>10.2} {:>10.2} | {:>8.2}% | {:>12}",

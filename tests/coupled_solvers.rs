@@ -34,23 +34,15 @@ fn figure5_scenario_les_rollback_replays_both_directions() {
     let r = run(&cfg);
     assert_eq!(r.finish_times_s.len(), 2);
     assert_eq!(r.recoveries, 1);
-    assert!(
-        r.absorbed_puts > 0,
-        "the rolled-back solver's re-writes must be absorbed"
-    );
-    assert!(
-        r.replayed_gets > 0,
-        "its re-reads must be served from the log"
-    );
+    assert!(r.absorbed_puts > 0, "the rolled-back solver's re-writes must be absorbed");
+    assert!(r.replayed_gets > 0, "its re-reads must be served from the log");
     assert_eq!(r.digest_mismatches, 0, "replayed data is bit-identical");
 }
 
 #[test]
 fn figure5_scenario_dns_rollback() {
-    let cfg = dns_les(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_secs(65),
-        app: 0,
-    }]);
+    let cfg = dns_les(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_secs(65), app: 0 }]);
     let r = run(&cfg);
     assert_eq!(r.recoveries, 1);
     assert!(r.absorbed_puts > 0 && r.replayed_gets > 0);

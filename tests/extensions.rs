@@ -9,10 +9,8 @@ use workflow::runner::run;
 
 #[test]
 fn staging_server_failure_is_survived() {
-    let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::StagingAt {
-        at: SimTime::from_millis(500),
-        server: 0,
-    }]);
+    let cfg = tiny(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::StagingAt { at: SimTime::from_millis(500), server: 0 }]);
     let r = run(&cfg);
     assert_eq!(r.finish_times_s.len(), 2, "workflow completes through the rebuild");
     assert_eq!(r.staging_rebuilds, 1);
@@ -122,10 +120,8 @@ fn two_level_checkpointing_cheaper_writes() {
 
 #[test]
 fn two_level_restore_still_works_after_failure() {
-    let mut cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_millis(700),
-        app: 0,
-    }]);
+    let mut cfg = tiny(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(700), app: 0 }]);
     cfg.ckpt_target = CkptTarget::TwoLevel;
     let r = run(&cfg);
     assert_eq!(r.finish_times_s.len(), 2);

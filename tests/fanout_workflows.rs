@@ -21,10 +21,8 @@ fn three_consumers_run_failure_free() {
 fn one_consumer_failure_leaves_the_rest_untouched() {
     // Fail consumer 2 (checkpoint period 5) right after it has read a step
     // beyond its last checkpoint, so the rollback has something to replay.
-    let cfg = fanout(WorkflowProtocol::Uncoordinated, 3).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_secs(55),
-        app: 2,
-    }]);
+    let cfg = fanout(WorkflowProtocol::Uncoordinated, 3)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_secs(55), app: 2 }]);
     let r = run(&cfg);
     assert_eq!(r.recoveries, 1, "only the failed consumer rolls back");
     assert!(r.replayed_gets > 0, "replayed_gets = {}", r.replayed_gets);
@@ -34,10 +32,8 @@ fn one_consumer_failure_leaves_the_rest_untouched() {
 
 #[test]
 fn producer_failure_absorbed_once_despite_many_readers() {
-    let cfg = fanout(WorkflowProtocol::Uncoordinated, 3).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_secs(50),
-        app: 0,
-    }]);
+    let cfg = fanout(WorkflowProtocol::Uncoordinated, 3)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_secs(50), app: 0 }]);
     let r = run(&cfg);
     assert_eq!(r.recoveries, 1);
     assert!(r.absorbed_puts > 0, "re-writes absorbed");
@@ -49,10 +45,8 @@ fn producer_failure_absorbed_once_despite_many_readers() {
 
 #[test]
 fn coordinated_rolls_back_all_four() {
-    let cfg = fanout(WorkflowProtocol::Coordinated, 3).with_failures(vec![FailureSpec::At {
-        at: SimTime::from_secs(50),
-        app: 3,
-    }]);
+    let cfg = fanout(WorkflowProtocol::Coordinated, 3)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_secs(50), app: 3 }]);
     let r = run(&cfg);
     assert_eq!(r.recoveries, 4, "global rollback counts every component");
     assert_eq!(r.finish_times_s.len(), 4);
@@ -96,10 +90,8 @@ fn rotating_subsets_couple_and_recover() {
     assert_eq!(clean.digest_mismatches, 0);
 
     // And recovery still replays correctly with moving regions.
-    let failed = run(&cfg.with_failures(vec![FailureSpec::At {
-        at: SimTime::from_secs(55),
-        app: 1,
-    }]));
+    let failed =
+        run(&cfg.with_failures(vec![FailureSpec::At { at: SimTime::from_secs(55), app: 1 }]));
     assert_eq!(failed.recoveries, 1);
     assert!(failed.replayed_gets > 0, "rotating-region replay must be served");
     assert_eq!(failed.digest_mismatches, 0);

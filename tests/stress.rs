@@ -69,16 +69,12 @@ fn many_random_schedules_never_wedge() {
             1 => WorkflowProtocol::Hybrid,
             _ => WorkflowProtocol::Coordinated,
         };
-        let base = tiny(proto).with_seed(500 + seed).with_failures(vec![
-            FailureSpec::Mtbf { mtbf_secs: 0.6, count: 3 },
-        ]);
+        let base = tiny(proto)
+            .with_seed(500 + seed)
+            .with_failures(vec![FailureSpec::Mtbf { mtbf_secs: 0.6, count: 3 }]);
         let failures = materialize_failures(&base);
         let r = run(&base.with_failures(failures));
-        assert_eq!(
-            r.finish_times_s.len(),
-            2,
-            "seed {seed} proto {proto:?} wedged"
-        );
+        assert_eq!(r.finish_times_s.len(), 2, "seed {seed} proto {proto:?} wedged");
         assert_eq!(r.digest_mismatches, 0, "seed {seed} proto {proto:?}");
     }
 }

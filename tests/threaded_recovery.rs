@@ -85,9 +85,7 @@ fn concurrent_producer_consumer_with_consumer_restart() {
         for v in 1..=steps {
             producer.put_with_log(0, v, &domain, field(v)).expect("put");
             if v % 4 == 0 {
-                producer
-                    .workflow_check(v + 1, [v as u64, 2, 3, 4], 1 << 20)
-                    .expect("sim ckpt");
+                producer.workflow_check(v + 1, [v as u64, 2, 3, 4], 1 << 20).expect("sim ckpt");
             }
         }
         producer
@@ -107,9 +105,7 @@ fn concurrent_producer_consumer_with_consumer_restart() {
         };
         observed.push(pieces_digest(&pieces));
         if v == 5 {
-            c.consumer
-                .workflow_check(v + 1, [9, 9, 9, v as u64], 1 << 18)
-                .expect("ana ckpt");
+            c.consumer.workflow_check(v + 1, [9, 9, 9, v as u64], 1 << 18).expect("ana ckpt");
         }
     }
 
@@ -160,9 +156,7 @@ fn producer_restart_under_concurrent_reads() {
         let pieces = c.consumer.get_with_log(0, v, &domain).expect("get");
         originals.push(pieces_digest(&pieces));
         if v == 4 {
-            c.producer
-                .workflow_check(5, [4, 4, 4, 4], 1 << 20)
-                .expect("sim ckpt");
+            c.producer.workflow_check(5, [4, 4, 4, 4], 1 << 20).expect("sim ckpt");
         }
     }
 

@@ -32,11 +32,7 @@ fn all_protocols_complete_with_failures_each_victim() {
                 app: victim,
             }]);
             let r = run(&cfg);
-            assert_eq!(
-                r.finish_times_s.len(),
-                2,
-                "{proto:?} victim {victim} did not complete"
-            );
+            assert_eq!(r.finish_times_s.len(), 2, "{proto:?} victim {victim} did not complete");
             assert_eq!(r.digest_mismatches, 0, "{proto:?} victim {victim}");
         }
     }
@@ -68,17 +64,13 @@ fn uncoordinated_never_slower_than_coordinated() {
     for seed in 0..10u64 {
         let base = tiny(WorkflowProtocol::Uncoordinated)
             .with_seed(100 + seed)
-            .with_failures(vec![workflow::config::FailureSpec::Mtbf {
-                mtbf_secs: 1.0,
-                count: 1,
-            }]);
+            .with_failures(vec![workflow::config::FailureSpec::Mtbf { mtbf_secs: 1.0, count: 1 }]);
         let failures = materialize_failures(&base);
         let un = run(&tiny(WorkflowProtocol::Uncoordinated)
             .with_seed(100 + seed)
             .with_failures(failures.clone()));
-        let co = run(&tiny(WorkflowProtocol::Coordinated)
-            .with_seed(100 + seed)
-            .with_failures(failures));
+        let co =
+            run(&tiny(WorkflowProtocol::Coordinated).with_seed(100 + seed).with_failures(failures));
         assert!(
             un.total_time_s <= co.total_time_s * 1.001,
             "seed {seed}: Un {} vs Co {}",
@@ -176,10 +168,8 @@ fn seed_changes_jitter_but_not_structure() {
 #[test]
 fn late_failure_and_early_failure_both_recover() {
     for at_ms in [120u64, 700, 1_900] {
-        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
-            at: SimTime::from_millis(at_ms),
-            app: 0,
-        }]);
+        let cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(at_ms), app: 0 }]);
         let r = run(&cfg);
         assert_eq!(r.finish_times_s.len(), 2, "failure at {at_ms}ms");
         assert_eq!(r.digest_mismatches, 0);
@@ -193,10 +183,7 @@ fn individual_serves_stale_data_after_consumer_rollback() {
     // whatever survives — quantified by the stale_gets counter.
     let failure = vec![FailureSpec::At { at: SimTime::from_millis(900), app: 1 }];
     let ind = run(&tiny(WorkflowProtocol::Individual).with_failures(failure.clone()));
-    assert!(
-        ind.stale_gets > 0,
-        "In must expose stale reads after a consumer rollback"
-    );
+    assert!(ind.stale_gets > 0, "In must expose stale reads after a consumer rollback");
     // The logging scheme serves the exact logged versions instead.
     let un = run(&tiny(WorkflowProtocol::Uncoordinated).with_failures(failure));
     assert_eq!(un.stale_gets, 0, "Un never serves unverified stale data");
@@ -212,10 +199,8 @@ fn coordinated_failure_during_rendezvous_window() {
         if at_ms % 10 != 0 {
             continue;
         }
-        let cfg = tiny(WorkflowProtocol::Coordinated).with_failures(vec![FailureSpec::At {
-            at: SimTime::from_millis(at_ms),
-            app: 0,
-        }]);
+        let cfg = tiny(WorkflowProtocol::Coordinated)
+            .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(at_ms), app: 0 }]);
         let r = run(&cfg);
         assert_eq!(r.finish_times_s.len(), 2, "stuck at failure time {at_ms}ms");
         assert_eq!(r.recoveries, 2);
@@ -227,10 +212,8 @@ fn failure_during_checkpoint_write_recovers() {
     // Un: fail the simulation while it is writing a checkpoint (steps 4/8/12
     // at ~100 ms/step; the PFS write adds ~20 ms after step end).
     for at_ms in [405u64, 410, 415] {
-        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::At {
-            at: SimTime::from_millis(at_ms),
-            app: 0,
-        }]);
+        let cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(at_ms), app: 0 }]);
         let r = run(&cfg);
         assert_eq!(r.finish_times_s.len(), 2, "stuck at {at_ms}ms");
         assert_eq!(r.recoveries, 1);

@@ -1,0 +1,266 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API subset the
+//! workspace's benches use: `Criterion::benchmark_group`, group tuning
+//! knobs (`warm_up_time`, `measurement_time`, `sample_size`, `throughput`),
+//! `bench_function` / `bench_with_input` with `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Results are printed as
+//! mean ns/iter (plus throughput when configured); there is no statistical
+//! analysis or HTML report.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group: `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { warm_up: Duration::from_millis(500), measurement: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure directly, outside any group.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) {
+        let mut b = Bencher::new(self.warm_up, self.measurement);
+        f(&mut b);
+        b.report(&name.to_string(), None);
+    }
+}
+
+/// A group of benchmarks sharing tuning and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the warm-up duration for subsequent benchmarks.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration for subsequent benchmarks.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Report throughput alongside time for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure under `group/name`.
+    pub fn bench_function<N: Display, F: FnMut(&mut Bencher)>(&mut self, name: N, mut f: F) {
+        let mut b = Bencher::new(self.warm_up, self.measurement);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name), self.throughput);
+    }
+
+    /// Benchmark a closure that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.warm_up, self.measurement);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.label), self.throughput);
+    }
+
+    /// Finish the group (flushes nothing; results print as they complete).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (iterations, measured time) accumulated by `iter`.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration) -> Self {
+        Bencher { warm_up, measurement, result: None }
+    }
+
+    /// Time `f`, called repeatedly in growing batches until the configured
+    /// measurement time elapses.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut batch = 1u64;
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+
+        let started = Instant::now();
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let dt = t0.elapsed();
+            iters += batch;
+            measured += dt;
+            if started.elapsed() >= self.measurement {
+                break;
+            }
+            if dt < Duration::from_millis(5) && batch < 1 << 24 {
+                batch *= 2;
+            }
+        }
+        self.result = Some((iters, measured));
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let Some((iters, measured)) = self.result else {
+            println!("{label:<50} (no measurement: closure never called iter)");
+            return;
+        };
+        let ns_per_iter = measured.as_nanos() as f64 / iters as f64;
+        let time = format_time(ns_per_iter);
+        match throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let mib_s = bytes as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+                println!("{label:<50} {time:>12}/iter {mib_s:>12.1} MiB/s ({iters} iters)");
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_s = n as f64 / (ns_per_iter / 1e9);
+                println!("{label:<50} {time:>12}/iter {elem_s:>12.0} elem/s ({iters} iters)");
+            }
+            None => {
+                println!("{label:<50} {time:>12}/iter ({iters} iters)");
+            }
+        }
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(10));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        let (iters, measured) = b.result.expect("result recorded");
+        assert!(iters > 0);
+        assert!(measured > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_to_completion() {
+        let mut c =
+            Criterion { warm_up: Duration::from_millis(1), measurement: Duration::from_millis(5) };
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_with_input(BenchmarkId::new("case", 1), &1u32, |b, &x| b.iter(|| x + 1));
+        group.finish();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(format_time(12.5), "12.50 ns");
+        assert_eq!(format_time(2_500.0), "2.50 µs");
+        assert_eq!(format_time(3_000_000.0), "3.00 ms");
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic property testing covering the API subset this workspace
+//! uses: the `proptest!` macro (with `#![proptest_config(..)]`), range and
+//! tuple strategies, `Just`, `prop_oneof!`, `prop::collection::vec`,
+//! `any::<T>()`, `.prop_map(..)`, and the `prop_assert*`/`prop_assume!`
+//! macros. Cases are generated from a fixed per-case seed, so failures are
+//! reproducible; there is no shrinking — the failing inputs are printed
+//! verbatim instead.
+
+pub mod test_runner {
+    use std::fmt::Display;
+
+    /// Deterministic splitmix64 generator; one instance per test case.
+    pub struct Rng {
+        state: u64,
+    }
+
+    impl Rng {
+        /// RNG for case number `case` of a test run.
+        pub fn for_case(case: u32) -> Self {
+            Rng { state: 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1) }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure with a message.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// Build a failure.
+        pub fn fail<T: Display>(msg: T) -> Self {
+            TestCaseError::Fail(msg.to_string())
+        }
+
+        /// Build a rejection.
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+
+        /// Is this a `prop_assume!` rejection?
+        pub fn is_rejection(&self) -> bool {
+            matches!(self, TestCaseError::Reject)
+        }
+    }
+
+    impl Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => f.write_str(msg),
+                TestCaseError::Reject => f.write_str("input rejected by prop_assume!"),
+            }
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of cases to generate per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut Rng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = rng.below(1 << 53) as f64 / (1u64 << 53) as f64;
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($t:ident . $n:tt),+))*) => {$(
+            impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                type Value = ($($t::Value,)+);
+                fn generate(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// A boxed `Union` arm: a weighted generator closure.
+    pub type ArmFn<V> = Box<dyn Fn(&mut Rng) -> V>;
+
+    /// Weighted union over same-valued strategies; built by `prop_oneof!`.
+    pub struct Union<V> {
+        arms: Vec<(u32, ArmFn<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Build from `(weight, generator)` arms.
+        pub fn new(arms: Vec<(u32, ArmFn<V>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total_weight > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut Rng) -> V {
+            let mut pick = rng.below(self.total_weight);
+            for (w, gen) in &self.arms {
+                if pick < *w as u64 {
+                    return gen(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Box a strategy into a `Union` arm generator.
+    pub fn arm<S: Strategy + 'static>(s: S) -> ArmFn<S::Value> {
+        Box::new(move |rng| s.generate(rng))
+    }
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for [`Arbitrary`] types.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `elem` values with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror so call sites can write `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests: optional `#![proptest_config(..)]` followed by
+/// `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_args! { (($cfg) $(#[$meta])* fn $name $body) [] $($args)* }
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+}
+
+/// Normalizes the argument list into `(pattern) (strategy)` pairs; accepts
+/// both `pat in strategy` and proptest's `ident: Type` shorthand.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_args {
+    ($ctx:tt [$($acc:tt)*] $arg:pat in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_args! { $ctx [$($acc)* ($arg) ($strat)] $($rest)* }
+    };
+    ($ctx:tt [$($acc:tt)*] $arg:pat in $strat:expr) => {
+        $crate::__proptest_emit! { $ctx [$($acc)* ($arg) ($strat)] }
+    };
+    ($ctx:tt [$($acc:tt)*] $arg:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_args! { $ctx [$($acc)* ($arg) ($crate::strategy::any::<$ty>())] $($rest)* }
+    };
+    ($ctx:tt [$($acc:tt)*] $arg:ident : $ty:ty) => {
+        $crate::__proptest_emit! { $ctx [$($acc)* ($arg) ($crate::strategy::any::<$ty>())] }
+    };
+    ($ctx:tt [$($acc:tt)*]) => {
+        $crate::__proptest_emit! { $ctx [$($acc)*] }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_emit {
+    ((($cfg:expr) $(#[$meta:meta])* fn $name:ident $body:block) [$(($arg:pat) ($strat:expr))+]) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut rng = $crate::test_runner::Rng::for_case(case);
+                let generated = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let inputs = ::std::format!("{:?}", generated);
+                let ($($arg,)+) = generated;
+                let outcome: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err(e) if e.is_rejection() => continue,
+                    ::core::result::Result::Err(e) => {
+                        panic!("property `{}` failed at case {case}: {e}\ninputs: {inputs}", stringify!($name));
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or unweighted choice between strategies that
+/// yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::arm($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::arm($strat))),+
+        ])
+    };
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($a), stringify!($b), left, right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if !(*left == *right) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)+), left, right,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($a), stringify!($b), left,
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (left, right) => {
+                if *left == *right {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        ::std::format!("{}\n  both: {:?}", ::std::format!($($fmt)+), left),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skip the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::Rng::for_case(3);
+        let mut b = crate::test_runner::Rng::for_case(3);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_strategy_stays_in_bounds() {
+        let mut rng = crate::test_runner::Rng::for_case(0);
+        for _ in 0..1000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let w = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = crate::test_runner::Rng::for_case(1);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..10, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let strat = prop_oneof![
+            1 => Just(0u8),
+            1 => Just(1u8),
+            2 => Just(2u8),
+        ];
+        let mut rng = crate::test_runner::Rng::for_case(2);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[strat.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, v in prop::collection::vec(0u8..4, 1..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            prop_assert_ne!(x, 200);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Deserialization half of the offline serde stand-in.
+
+use crate::ser::MapKey;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+
+/// Error constraint for deserializers.
+pub trait Error: Sized + Display {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Simple string-backed deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Error for DeError {
+    fn custom<T: Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A data format (or value source) that can drive [`Deserialize`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Take the underlying self-describing value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from `d`.
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>;
+}
+
+/// Shorthand bound mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Deserializer over an owned [`Value`] tree.
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap an owned value.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = DeError;
+
+    fn take_value(self) -> Result<Value, DeError> {
+        Ok(self.value)
+    }
+}
+
+/// Deserialize a type from an owned [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, DeError> {
+    T::deserialize(ValueDeserializer::new(value))
+}
+
+fn type_err<E: Error>(want: &str, got: &Value) -> E {
+    E::custom(format!("expected {want}, found {got:?}"))
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::UInt(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    Value::Int(v) => <$t>::try_from(v)
+                        .map_err(|_| D::Error::custom(concat!("integer out of range for ", stringify!($t)))),
+                    other => Err(type_err(stringify!($t), &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Float(v) => Ok(v),
+            Value::UInt(v) => Ok(v as f64),
+            Value::Int(v) => Ok(v as f64),
+            other => Err(type_err("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(v) => Ok(v),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(v) => Ok(v),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(()),
+            other => Err(type_err("null", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => from_value(v).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+fn seq_of<T: DeserializeOwned, E: Error>(v: Value, want: &str) -> Result<Vec<T>, E> {
+    match v {
+        Value::Seq(items) => {
+            items.into_iter().map(|it| from_value(it).map_err(E::custom)).collect()
+        }
+        other => Err(type_err(want, &other)),
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_of(d.take_value()?, "sequence")
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        seq_of::<T, D::Error>(d.take_value()?, "sequence").map(VecDeque::from)
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = seq_of(d.take_value()?, "array")?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+))*) => {$(
+        impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Seq(items) => {
+                        if items.len() != $len {
+                            return Err(D::Error::custom(format!(
+                                "expected tuple of length {}, found {}", $len, items.len(),
+                            )));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($({
+                            let _ = $n;
+                            from_value::<$t>(it.next().unwrap()).map_err(D::Error::custom)?
+                        },)+))
+                    }
+                    other => Err(type_err("tuple", &other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_tuple! {
+    (1; 0 TA)
+    (2; 0 TA, 1 TB)
+    (3; 0 TA, 1 TB, 2 TC)
+    (4; 0 TA, 1 TB, 2 TC, 3 TD)
+    (5; 0 TA, 1 TB, 2 TC, 3 TD, 4 TE)
+    (6; 0 TA, 1 TB, 2 TC, 3 TD, 4 TE, 5 TF)
+    (7; 0 TA, 1 TB, 2 TC, 3 TD, 4 TE, 5 TF, 6 TG)
+    (8; 0 TA, 1 TB, 2 TC, 3 TD, 4 TE, 5 TF, 6 TG, 7 TH)
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: MapKey + Eq + Hash,
+    V: DeserializeOwned,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k)
+                        .ok_or_else(|| D::Error::custom(format!("bad map key {k:?}")))?;
+                    let val = from_value(v).map_err(D::Error::custom)?;
+                    Ok((key, val))
+                })
+                .collect(),
+            other => Err(type_err("map", &other)),
+        }
+    }
+}
+
+impl<'de, K: MapKey + Ord, V: DeserializeOwned> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    let key = K::from_key(&k)
+                        .ok_or_else(|| D::Error::custom(format!("bad map key {k:?}")))?;
+                    let val = from_value(v).map_err(D::Error::custom)?;
+                    Ok((key, val))
+                })
+                .collect(),
+            other => Err(type_err("map", &other)),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde streams values through visitor traits; this workspace-local
+//! replacement routes serialization through an owned, self-describing
+//! [`value::Value`] tree instead. That keeps the API surface the workspace
+//! actually uses — `#[derive(Serialize, Deserialize)]`, manual
+//! `serialize_tuple` impls, and `serde_json` round-trips — while remaining a
+//! few hundred lines with zero external dependencies.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+// Derive macros live in a separate proc-macro crate, like real serde. The
+// macro and trait namespaces are distinct, so both re-exports coexist.
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::de::from_value;
+    use super::ser::to_value;
+    use super::value::Value;
+    use std::collections::{BTreeMap, HashMap};
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_value(&42u32), Value::UInt(42));
+        assert_eq!(from_value::<u32>(Value::UInt(42)).unwrap(), 42);
+        assert_eq!(to_value(&-3i64), Value::Int(-3));
+        assert_eq!(from_value::<i64>(Value::Int(-3)).unwrap(), -3);
+        assert_eq!(to_value(&true), Value::Bool(true));
+        assert_eq!(to_value(&1.5f64), Value::Float(1.5));
+        assert_eq!(to_value("hi"), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(to_value(&None::<u8>), Value::Null);
+        assert_eq!(from_value::<Option<u8>>(Value::Null).unwrap(), None);
+        assert_eq!(from_value::<Option<u8>>(Value::UInt(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u8, 2, 3];
+        assert_eq!(from_value::<Vec<u8>>(to_value(&v)).unwrap(), v);
+
+        let arr = [7u64, 8, 9];
+        assert_eq!(from_value::<[u64; 3]>(to_value(&arr)).unwrap(), arr);
+
+        let tup = (1u8, "x".to_string(), true);
+        assert_eq!(from_value::<(u8, String, bool)>(to_value(&tup)).unwrap(), tup);
+
+        let mut hm = HashMap::new();
+        hm.insert(3u64, "c".to_string());
+        hm.insert(1u64, "a".to_string());
+        assert_eq!(from_value::<HashMap<u64, String>>(to_value(&hm)).unwrap(), hm);
+
+        let mut bm = BTreeMap::new();
+        bm.insert("k".to_string(), 5u32);
+        assert_eq!(from_value::<BTreeMap<String, u32>>(to_value(&bm)).unwrap(), bm);
+    }
+
+    #[test]
+    fn hashmap_serializes_sorted() {
+        let mut hm = HashMap::new();
+        hm.insert(10u64, 0u8);
+        hm.insert(2u64, 0u8);
+        let Value::Map(entries) = to_value(&hm) else { panic!("expected map") };
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["2", "10"]);
+    }
+
+    #[test]
+    fn int_out_of_range_errors() {
+        assert!(from_value::<u8>(Value::UInt(300)).is_err());
+        assert!(from_value::<u64>(Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Serialization half of the offline serde stand-in.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Display;
+
+/// Error constraint for serializers.
+pub trait Error: Sized + Display {
+    /// Build an error from a message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// Uninhabited error for infallible serializers.
+#[derive(Debug)]
+pub enum Never {}
+
+impl Display for Never {
+    fn fmt(&self, _: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+
+impl Error for Never {
+    fn custom<T: Display>(_: T) -> Self {
+        unreachable!("infallible serializer cannot produce errors")
+    }
+}
+
+/// A data format (or value sink) that can consume any [`Serialize`] type.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+    /// Tuple sub-serializer.
+    type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Consume a fully built value tree.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Begin serializing a tuple of known length.
+    fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+}
+
+/// Incremental tuple serialization (`serde::ser::SerializeTuple`).
+pub trait SerializeTuple {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Append one element.
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Self::Error>;
+
+    /// Finish the tuple.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    /// Serialize `self` into `s`.
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Serializer producing an owned [`Value`]; cannot fail.
+pub struct ValueSerializer;
+
+/// Tuple builder for [`ValueSerializer`].
+pub struct ValueTupleSerializer {
+    items: Vec<Value>,
+}
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Never;
+    type SerializeTuple = ValueTupleSerializer;
+
+    fn serialize_value(self, v: Value) -> Result<Value, Never> {
+        Ok(v)
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<ValueTupleSerializer, Never> {
+        Ok(ValueTupleSerializer { items: Vec::with_capacity(len) })
+    }
+}
+
+impl SerializeTuple for ValueTupleSerializer {
+    type Ok = Value;
+    type Error = Never;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<(), Never> {
+        self.items.push(to_value(v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Value, Never> {
+        Ok(Value::Seq(self.items))
+    }
+}
+
+/// Serialize any value into an owned [`Value`] tree.
+pub fn to_value<T: ?Sized + Serialize>(v: &T) -> Value {
+    match v.serialize(ValueSerializer) {
+        Ok(value) => value,
+        Err(never) => match never {},
+    }
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                if v >= 0 {
+                    s.serialize_value(Value::UInt(v as u64))
+                } else {
+                    s.serialize_value(Value::Int(v))
+                }
+            }
+        }
+    )*};
+}
+
+impl_ser_uint!(u8, u16, u32, u64, usize);
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_owned()))
+    }
+}
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Null)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_value(Value::Null),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Seq(self.iter().map(to_value).collect()))
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Seq(vec![$(to_value(&self.$n)),+]))
+            }
+        }
+    )*};
+}
+
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+/// Map keys must render to (and parse back from) strings, as in JSON.
+pub trait MapKey {
+    /// Render the key.
+    fn to_key(&self) -> String;
+    /// Parse a key back.
+    fn from_key(s: &str) -> Option<Self>
+    where
+        Self: Sized;
+}
+
+macro_rules! impl_map_key_num {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Option<Self> {
+                s.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_map_key_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Option<Self> {
+        Some(s.to_owned())
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize, H> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort by key.
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        s.serialize_value(Value::Map(
+            entries.into_iter().map(|(k, v)| (k.to_key(), to_value(v))).collect(),
+        ))
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Map(self.iter().map(|(k, v)| (k.to_key(), to_value(v))).collect()))
+    }
+}

@@ -1,0 +1,39 @@
+//! The self-describing value tree both serialization directions pass through.
+//!
+//! The real serde streams through visitor traits; this offline stand-in
+//! routes everything through an owned [`Value`], which is dramatically
+//! simpler and plenty fast for the snapshot/report sizes this workspace
+//! moves.
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed (negative) integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples, Vec).
+    Seq(Vec<Value>),
+    /// Map with string keys (structs, maps, externally tagged enums).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Remove and return the value under `key` in a map, if present.
+    pub fn map_take(&mut self, key: &str) -> Option<Value> {
+        match self {
+            Value::Map(entries) => {
+                entries.iter().position(|(k, _)| k == key).map(|i| entries.remove(i).1)
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize`/`Deserialize` impls targeting the value-model traits in
+//! the workspace's vendored `serde`. The input is parsed with a hand-rolled
+//! token walker (no `syn`/`quote`): we only need type names, field names, and
+//! variant shapes — field *types* never appear in the generated code because
+//! `serde::de::from_value` resolves them through inference at the use site.
+//!
+//! Supported shapes: named structs (with `#[serde(default)]` on fields),
+//! tuple/newtype structs, unit structs, and enums with unit / newtype /
+//! tuple / struct variants (externally tagged, like real serde). Generics are
+//! not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// Derive `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_serialize(&name, &shape).parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    gen_deserialize(&name, &shape)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility until the `struct`/`enum` keyword.
+    let kw = loop {
+        match tts.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2, // '#' + [..]
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    i += 1;
+                    break s;
+                }
+                i += 1; // `pub` etc.
+            }
+            Some(_) => i += 1, // e.g. `(crate)` after `pub`
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+
+    let name = match tts.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tts.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the offline stub");
+        }
+    }
+
+    let shape = if kw == "struct" {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        }
+    } else {
+        match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        }
+    };
+
+    (name, shape)
+}
+
+/// Does a bracket-group attribute body read `serde(default)`?
+fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
+    let text: String = g.to_string().chars().filter(|c| !c.is_whitespace()).collect();
+    text == "serde(default)"
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tts.len() {
+        let mut default = false;
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tts.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tts.get(i + 1) {
+                if attr_is_serde_default(g) {
+                    default = true;
+                }
+            }
+            i += 2;
+        }
+        // Visibility.
+        if matches!(tts.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tts.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 2; // name + ':'
+        i = skip_type(&tts, i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Skip type tokens starting at `i`, returning the index just past the
+/// field-separating comma (or the end). Tracks `<`/`>` nesting because type
+/// arguments contain commas.
+fn skip_type(tts: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tts.len() {
+        if let TokenTree::Punct(p) = &tts[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < tts.len() {
+        // Skip attrs and visibility before each element type.
+        while let Some(TokenTree::Punct(p)) = tts.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        if matches!(tts.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(tts.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        if i >= tts.len() {
+            break; // trailing comma
+        }
+        i = skip_type(&tts, i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tts.len() {
+        // Variant attributes.
+        while let Some(TokenTree::Punct(p)) = tts.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        let name = match tts.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tts.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the variant-separating comma (covers `= disc` forms).
+        while i < tts.len() {
+            if matches!(&tts[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen (string-based; parsed back into a TokenStream at the end)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn custom_err(msg_expr: &str) -> String {
+    format!("<D::Error as ::serde::de::Error>::custom({msg_expr})")
+}
+
+/// `(String::from("f"), to_value(<expr>)),` map-entry builders.
+fn ser_map_entries(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::ser::to_value({e})),",
+                n = f.name,
+                e = access(&f.name)
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let entries = ser_map_entries(fields, |f| format!("&self.{f}"));
+            format!("s.serialize_value({VALUE}::Map(::std::vec![{entries}]))")
+        }
+        Shape::TupleStruct(1) => "s.serialize_value(::serde::ser::to_value(&self.0))".to_string(),
+        Shape::UnitStruct => format!("s.serialize_value({VALUE}::Null)"),
+        Shape::TupleStruct(n) => {
+            let items: String =
+                (0..*n).map(|i| format!("::serde::ser::to_value(&self.{i}),")).collect();
+            format!("s.serialize_value({VALUE}::Seq(::std::vec![{items}]))")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => s.serialize_value({VALUE}::Str(::std::string::String::from(\"{vn}\"))),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => s.serialize_value({VALUE}::Map(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::ser::to_value(f0))])),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: String =
+                                binds.iter().map(|b| format!("::serde::ser::to_value({b}),")).collect();
+                            format!(
+                                "{name}::{vn}({b}) => s.serialize_value({VALUE}::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {VALUE}::Seq(::std::vec![{items}]))])),",
+                                b = binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                            let entries = ser_map_entries(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {b} }} => s.serialize_value({VALUE}::Map(::std::vec![(::std::string::String::from(\"{vn}\"), {VALUE}::Map(::std::vec![{entries}]))])),",
+                                b = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::ser::Serializer>(&self, s: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Field initializers for a named-field body deserialized out of map `src`.
+fn de_field_inits(type_name: &str, fields: &[Field], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            let missing = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                let err = custom_err(&format!("\"missing field `{n}` in {type_name}\""));
+                format!("return ::core::result::Result::Err({err})")
+            };
+            let conv_err = custom_err(&format!("::std::format!(\"{type_name}.{n}: {{}}\", e)"));
+            format!(
+                "{n}: match {src}.map_take(\"{n}\") {{\n\
+                     ::core::option::Option::Some(x) => ::serde::de::from_value(x).map_err(|e| {conv_err})?,\n\
+                     ::core::option::Option::None => {missing},\n\
+                 }},\n"
+            )
+        })
+        .collect()
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct(fields) => {
+            let not_map = custom_err(&format!(
+                "::std::format!(\"expected map for {name}, found {{:?}}\", v)"
+            ));
+            let inits = de_field_inits(name, fields, "v");
+            format!(
+                "let mut v = d.take_value()?;\n\
+                 if !::core::matches!(&v, {VALUE}::Map(_)) {{\n\
+                     return ::core::result::Result::Err({not_map});\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            let conv_err = custom_err(&format!("::std::format!(\"{name}: {{}}\", e)"));
+            format!(
+                "::core::result::Result::Ok({name}(::serde::de::from_value(d.take_value()?).map_err(|e| {conv_err})?))"
+            )
+        }
+        Shape::UnitStruct => format!("d.take_value()?; ::core::result::Result::Ok({name})"),
+        Shape::TupleStruct(n) => {
+            let bad = custom_err(&format!("\"expected sequence of {n} for {name}\""));
+            let conv_err = custom_err(&format!("::std::format!(\"{name}: {{}}\", e)"));
+            let elems: String = (0..*n)
+                .map(|_| {
+                    format!("::serde::de::from_value(it.next().unwrap()).map_err(|e| {conv_err})?,")
+                })
+                .collect();
+            format!(
+                "match d.take_value()? {{\n\
+                     {VALUE}::Seq(items) if items.len() == {n} => {{\n\
+                         let mut it = items.into_iter();\n\
+                         ::core::result::Result::Ok({name}({elems}))\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err({bad}),\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::de::Deserializer<'de>>(d: D) -> ::core::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),", vn = v.name))
+        .collect();
+    let has_payload = variants.iter().any(|v| !matches!(v.kind, VariantKind::Unit));
+    let payload_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => {
+                    let conv_err = custom_err(&format!("::std::format!(\"{name}::{vn}: {{}}\", e)"));
+                    Some(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::de::from_value(inner).map_err(|e| {conv_err})?)),"
+                    ))
+                }
+                VariantKind::Tuple(n) => {
+                    let bad = custom_err(&format!("\"expected sequence of {n} for {name}::{vn}\""));
+                    let conv_err = custom_err(&format!("::std::format!(\"{name}::{vn}: {{}}\", e)"));
+                    let elems: String = (0..*n)
+                        .map(|_| {
+                            format!(
+                                "::serde::de::from_value(it.next().unwrap()).map_err(|e| {conv_err})?,"
+                            )
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => match inner {{\n\
+                             {VALUE}::Seq(items) if items.len() == {n} => {{\n\
+                                 let mut it = items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vn}({elems}))\n\
+                             }}\n\
+                             _ => ::core::result::Result::Err({bad}),\n\
+                         }},"
+                    ))
+                }
+                VariantKind::Struct(fields) => {
+                    let not_map = custom_err(&format!("\"expected map for {name}::{vn}\""));
+                    let inits = de_field_inits(&format!("{name}::{vn}"), fields, "inner");
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let mut inner = inner;\n\
+                             if !::core::matches!(&inner, {VALUE}::Map(_)) {{\n\
+                                 return ::core::result::Result::Err({not_map});\n\
+                             }}\n\
+                             ::core::result::Result::Ok({name}::{vn} {{ {inits} }})\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect();
+
+    let unknown_unit =
+        custom_err(&format!("::std::format!(\"unknown variant `{{}}` for {name}\", tag)"));
+    let unknown_payload =
+        custom_err(&format!("::std::format!(\"unknown variant `{{}}` for {name}\", tag)"));
+    let bad_shape = custom_err(&format!(
+        "::std::format!(\"expected string or single-entry map for {name}, found {{:?}}\", other)"
+    ));
+    let bad_map = custom_err(&format!("\"expected single-entry map for {name}\""));
+    let inner_bind = if has_payload { "inner" } else { "_inner" };
+
+    format!(
+        "match d.take_value()? {{\n\
+             {VALUE}::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 _ => ::core::result::Result::Err({unknown_unit}),\n\
+             }},\n\
+             {VALUE}::Map(mut entries) => {{\n\
+                 if entries.len() != 1 {{\n\
+                     return ::core::result::Result::Err({bad_map});\n\
+                 }}\n\
+                 let (tag, {inner_bind}) = entries.remove(0);\n\
+                 match tag.as_str() {{\n\
+                     {payload_arms}\n\
+                     _ => ::core::result::Result::Err({unknown_payload}),\n\
+                 }}\n\
+             }}\n\
+             other => ::core::result::Result::Err({bad_shape}),\n\
+         }}"
+    )
+}
