@@ -27,6 +27,13 @@ pub struct Snapshot {
     /// Opaque user payload (e.g. serialized solver state in examples).
     #[serde(default)]
     pub user_data: Vec<u8>,
+    /// Integrity checksum over the logical content, written last by a
+    /// completed save ([`Snapshot::seal`]). `0` means unsealed (legacy
+    /// snapshots predating checksums), which is treated as intact. A torn
+    /// write leaves a checksum that does not match the content, which
+    /// [`Snapshot::is_intact`] detects at restore time.
+    #[serde(default)]
+    pub checksum: u64,
 }
 
 impl Snapshot {
@@ -38,7 +45,50 @@ impl Snapshot {
         rng_state: [u64; 4],
         state_bytes: u64,
     ) -> Self {
-        Snapshot { app, ckpt_id, resume_step, rng_state, state_bytes, user_data: Vec::new() }
+        Snapshot {
+            app,
+            ckpt_id,
+            resume_step,
+            rng_state,
+            state_bytes,
+            user_data: Vec::new(),
+            checksum: 0,
+        }
+    }
+
+    /// FNV-1a over every content field (everything except `checksum`).
+    pub fn computed_checksum(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut word = |w: u64| {
+            for b in w.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        word(u64::from(self.app));
+        word(self.ckpt_id);
+        word(u64::from(self.resume_step));
+        for w in self.rng_state {
+            word(w);
+        }
+        word(self.state_bytes);
+        word(self.user_data.len() as u64);
+        for &b in &self.user_data {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+        h
+    }
+
+    /// Stamp the checksum, marking the snapshot as completely written.
+    pub fn seal(&mut self) {
+        self.checksum = self.computed_checksum();
+    }
+
+    /// Does the checksum match the content? Unsealed (`checksum == 0`)
+    /// snapshots are accepted for backward compatibility.
+    pub fn is_intact(&self) -> bool {
+        self.checksum == 0 || self.checksum == self.computed_checksum()
     }
 
     /// The paper's globally unique checkpoint event id for this snapshot.
@@ -82,9 +132,31 @@ mod tests {
             rng_state: [5, 6, 7, 8],
             state_bytes: 4096,
             user_data: vec![1, 2, 3],
+            checksum: 0,
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: Snapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn seal_and_detect_torn_content() {
+        let mut s = Snapshot::new(0, 1, 4, [1, 2, 3, 4], 100);
+        assert!(s.is_intact(), "unsealed legacy snapshots are accepted");
+        s.seal();
+        assert!(s.is_intact());
+        s.state_bytes += 1; // torn write: content changed after the seal
+        assert!(!s.is_intact());
+        s.seal();
+        assert!(s.is_intact());
+    }
+
+    #[test]
+    fn legacy_json_without_checksum_deserializes_intact() {
+        let json = r#"{"app":0,"ckpt_id":1,"resume_step":4,
+                       "rng_state":[1,2,3,4],"state_bytes":100}"#;
+        let s: Snapshot = serde_json::from_str(json).unwrap();
+        assert_eq!(s.checksum, 0);
+        assert!(s.is_intact());
     }
 }

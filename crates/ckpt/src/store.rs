@@ -21,6 +21,8 @@ pub struct CheckpointStore {
     retention: usize,
     /// Total bytes ever written (for I/O accounting).
     bytes_written: u64,
+    /// Snapshots torn by fault injection ([`CheckpointStore::tear_latest`]).
+    torn_injected: u64,
 }
 
 impl CheckpointStore {
@@ -32,13 +34,17 @@ impl CheckpointStore {
             local_lost: HashSet::new(),
             retention,
             bytes_written: 0,
+            torn_injected: 0,
         }
     }
 
-    /// Persist a snapshot. Re-validates the app's node-local copies (the new
-    /// checkpoint writes a fresh fast copy). Returns the evicted snapshot, if
-    /// retention pushed one out.
-    pub fn save(&mut self, snap: Snapshot) -> Option<Snapshot> {
+    /// Persist a snapshot. The store seals it (stamps the content checksum)
+    /// as the final step of the write, so restore can distinguish complete
+    /// saves from torn ones. Re-validates the app's node-local copies (the
+    /// new checkpoint writes a fresh fast copy). Returns the evicted
+    /// snapshot, if retention pushed one out.
+    pub fn save(&mut self, mut snap: Snapshot) -> Option<Snapshot> {
+        snap.seal();
         self.bytes_written += snap.persisted_bytes();
         self.local_lost.remove(&snap.app);
         let per_app = self.snaps.entry(snap.app).or_default();
@@ -50,9 +56,41 @@ impl CheckpointStore {
         None
     }
 
-    /// Latest snapshot for `app`, if any.
+    /// Latest snapshot for `app`, if any — torn or not. Restore paths should
+    /// prefer [`CheckpointStore::latest_valid`].
     pub fn latest(&self, app: u32) -> Option<&Snapshot> {
         self.snaps.get(&app).and_then(|m| m.values().next_back())
+    }
+
+    /// Latest snapshot for `app` whose checksum verifies, skipping torn
+    /// writes (newest first). This is the restore-time fallback: a crash
+    /// mid-checkpoint leaves the newest snapshot torn, and recovery falls
+    /// back to the previous complete one.
+    pub fn latest_valid(&self, app: u32) -> Option<&Snapshot> {
+        self.snaps.get(&app).and_then(|m| m.values().rev().find(|s| s.is_intact()))
+    }
+
+    /// Fault injection: corrupt the newest snapshot of `app` as a torn
+    /// write would (content perturbed after the seal). Returns whether a
+    /// snapshot was present to tear.
+    pub fn tear_latest(&mut self, app: u32) -> bool {
+        if let Some(s) = self.snaps.get_mut(&app).and_then(|m| m.values_mut().next_back()) {
+            s.state_bytes ^= 0xDEAD;
+            self.torn_injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of snapshots torn by fault injection.
+    pub fn torn_injected(&self) -> u64 {
+        self.torn_injected
+    }
+
+    /// Torn (checksum-failing) snapshots currently retained for `app`.
+    pub fn torn_count(&self, app: u32) -> usize {
+        self.snaps.get(&app).map(|m| m.values().filter(|s| !s.is_intact()).count()).unwrap_or(0)
     }
 
     /// A specific snapshot.
@@ -144,6 +182,34 @@ mod tests {
     fn local_unavailable_without_snapshots() {
         let st = CheckpointStore::new(2);
         assert!(!st.local_available(9));
+    }
+
+    #[test]
+    fn torn_latest_falls_back_to_previous_valid() {
+        let mut st = CheckpointStore::new(3);
+        st.save(snap(0, 1, 4));
+        st.save(snap(0, 2, 8));
+        assert!(st.latest(0).unwrap().is_intact(), "save seals");
+        assert!(st.tear_latest(0));
+        assert_eq!(st.torn_injected(), 1);
+        assert_eq!(st.torn_count(0), 1);
+        // latest() still returns the torn snapshot; latest_valid() skips it.
+        assert_eq!(st.latest(0).unwrap().ckpt_id, 2);
+        assert!(!st.latest(0).unwrap().is_intact());
+        let valid = st.latest_valid(0).unwrap();
+        assert_eq!(valid.ckpt_id, 1);
+        assert_eq!(valid.resume_step, 4);
+        // A later complete checkpoint becomes the valid latest again.
+        st.save(snap(0, 3, 12));
+        assert_eq!(st.latest_valid(0).unwrap().ckpt_id, 3);
+    }
+
+    #[test]
+    fn tear_without_snapshots_is_a_noop() {
+        let mut st = CheckpointStore::new(2);
+        assert!(!st.tear_latest(5));
+        assert_eq!(st.torn_injected(), 0);
+        assert!(st.latest_valid(5).is_none());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Bounded retry with capped exponential backoff and deterministic jitter.
+
+use serde::{Deserialize, Serialize};
+use sim_core::rng::SplitMix64;
+use std::time::Duration;
+
+/// Retry policy for staging-client requests: at most `max_attempts` tries
+/// (0 = unlimited), waiting `base * 2^attempt` (capped at `cap_ns`) plus
+/// seeded jitter between tries, never exceeding `deadline_ns` of total
+/// elapsed backoff.
+///
+/// This replaces the old "callers should retry until the write completes"
+/// contract: exhaustion is a typed error surfaced to the caller, not an
+/// ad-hoc loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts; 0 means unlimited (bounded only by the deadline).
+    pub max_attempts: u32,
+    /// First backoff interval, nanoseconds.
+    pub base_ns: u64,
+    /// Backoff cap, nanoseconds.
+    pub cap_ns: u64,
+    /// Total-backoff deadline, nanoseconds (0 = no deadline).
+    pub deadline_ns: u64,
+    /// Jitter seed, so retry storms are reproducible under a fixed seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Tuned for the threaded transport: ~ms-scale RTTs, a few hundred
+        // ms of total patience before surfacing RetryExhausted.
+        RetryPolicy {
+            max_attempts: 10,
+            base_ns: 2_000_000,         // 2 ms
+            cap_ns: 64_000_000,         // 64 ms
+            deadline_ns: 5_000_000_000, // 5 s
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with a different jitter seed (same bounds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Backoff before retry number `attempt` (1-based: the wait after the
+    /// first failed try is `backoff_ns(1)`). Capped exponential plus up to
+    /// 50% deterministic jitter.
+    pub fn backoff_ns(&self, attempt: u32) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self.base_ns.saturating_mul(1u64 << exp).min(self.cap_ns);
+        let mut rng = SplitMix64::new(self.seed ^ u64::from(attempt).wrapping_mul(0x9E6D));
+        let jitter = if raw == 0 { 0 } else { rng.next_u64() % (raw / 2 + 1) };
+        (raw + jitter).min(self.cap_ns.saturating_mul(2))
+    }
+
+    /// [`Self::backoff_ns`] as a [`Duration`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        Duration::from_nanos(self.backoff_ns(attempt))
+    }
+
+    /// Is another retry allowed after `attempt` completed tries and
+    /// `elapsed_ns` of cumulative backoff?
+    pub fn allows(&self, attempt: u32, elapsed_ns: u64) -> bool {
+        (self.max_attempts == 0 || attempt < self.max_attempts)
+            && (self.deadline_ns == 0 || elapsed_ns < self.deadline_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy { seed: 1, ..Default::default() };
+        let b1 = p.backoff_ns(1);
+        let b4 = p.backoff_ns(4);
+        assert!(b4 > b1, "backoff grows: {b1} -> {b4}");
+        for a in 1..20 {
+            assert!(p.backoff_ns(a) <= p.cap_ns * 2, "cap holds at attempt {a}");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default().with_seed(7);
+        let q = RetryPolicy::default().with_seed(7);
+        for a in 1..12 {
+            assert_eq!(p.backoff_ns(a), q.backoff_ns(a));
+        }
+    }
+
+    #[test]
+    fn allows_enforces_attempts_and_deadline() {
+        let p = RetryPolicy { max_attempts: 3, deadline_ns: 1_000, ..Default::default() };
+        assert!(p.allows(0, 0));
+        assert!(p.allows(2, 999));
+        assert!(!p.allows(3, 0), "attempt budget exhausted");
+        assert!(!p.allows(1, 1_000), "deadline exhausted");
+        let unlimited = RetryPolicy { max_attempts: 0, deadline_ns: 0, ..Default::default() };
+        assert!(unlimited.allows(1_000_000, u64::MAX - 1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RetryPolicy::default().with_seed(99);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -14,12 +14,35 @@
 //! (`net.msgs`, `net.bytes`).
 
 use crate::cost::CostModel;
+use faultplane::{FaultDecision, FaultInjector, FaultPlan, FaultReport};
 use sim_core::engine::{Actor, ActorId, Ctx, Event};
 use sim_core::time::SimTime;
 use std::any::Any;
 
 /// Dense index of a registered endpoint.
 pub type EndpointId = usize;
+
+/// A cloneable opaque message payload.
+///
+/// The fault-injection plane may need to deliver a payload twice
+/// (duplication faults), so network payloads must be cloneable behind the
+/// type-erased box. The blanket impl covers every `Any + Clone` type, so
+/// callers keep writing `Box::new(value)` exactly as before.
+pub trait Msg: Any {
+    /// Clone into a fresh box (used for duplication faults).
+    fn clone_boxed(&self) -> Box<dyn Msg>;
+    /// Downgrade to `Box<dyn Any>` for delivery.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Clone> Msg for T {
+    fn clone_boxed(&self) -> Box<dyn Msg> {
+        Box::new(self.clone())
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
 
 /// A message handed to the network for delivery.
 pub struct Transmit {
@@ -31,7 +54,7 @@ pub struct Transmit {
     /// is opaque and may be a small handle to large simulated data).
     pub size: u64,
     /// Opaque payload, forwarded verbatim inside [`Delivered`].
-    pub payload: Box<dyn Any>,
+    pub payload: Box<dyn Msg>,
 }
 
 /// A message delivered to an endpoint actor by the network.
@@ -54,12 +77,24 @@ pub struct Network {
     /// Are endpoints currently reachable? A failed process's endpoint drops
     /// traffic (models RDMA peer death).
     up: Vec<bool>,
+    /// Optional deterministic fault injector (drop/dup/reorder/delay).
+    faults: Option<FaultInjector>,
+    /// Endpoints whose traffic bypasses injection (e.g. the coordination
+    /// director: the faulted surface is the staging data path).
+    fault_exempt: Vec<bool>,
 }
 
 impl Network {
     /// Create a network with the given cost model.
     pub fn new(model: CostModel) -> Self {
-        Network { model, endpoint_actor: Vec::new(), nic_free: Vec::new(), up: Vec::new() }
+        Network {
+            model,
+            endpoint_actor: Vec::new(),
+            nic_free: Vec::new(),
+            up: Vec::new(),
+            faults: None,
+            fault_exempt: Vec::new(),
+        }
     }
 
     /// Register `actor` as an endpoint; returns its [`EndpointId`].
@@ -67,6 +102,7 @@ impl Network {
         self.endpoint_actor.push(actor);
         self.nic_free.push(SimTime::ZERO);
         self.up.push(true);
+        self.fault_exempt.push(false);
         self.endpoint_actor.len() - 1
     }
 
@@ -78,6 +114,23 @@ impl Network {
     /// The cost model in use.
     pub fn model(&self) -> &CostModel {
         &self.model
+    }
+
+    /// Install a deterministic fault plan. Messages between non-exempt
+    /// endpoints are dropped / duplicated / reordered / delayed according to
+    /// the plan's seeded per-message decision stream.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// Exempt an endpoint from fault injection (both directions).
+    pub fn exempt_from_faults(&mut self, ep: EndpointId) {
+        self.fault_exempt[ep] = true;
+    }
+
+    /// Tally of injected faults, if a plan is installed.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| f.report())
     }
 }
 
@@ -103,13 +156,49 @@ impl Actor for Network {
                     ctx.metrics().inc("net.dropped", 1);
                     return;
                 }
+                let decision = match &self.faults {
+                    Some(inj) if !self.fault_exempt[from] && !self.fault_exempt[to] => {
+                        inj.next_decision()
+                    }
+                    _ => FaultDecision::Deliver,
+                };
+                if matches!(decision, FaultDecision::Drop) {
+                    ctx.metrics().inc("net.fault.dropped", 1);
+                    return;
+                }
                 let (arrival, free) = self.model.arrival(ctx.now(), self.nic_free[to], size);
                 self.nic_free[to] = free;
-                let delay = arrival.saturating_sub(ctx.now());
+                let mut delay = arrival.saturating_sub(ctx.now());
                 let target = self.endpoint_actor[to];
                 ctx.metrics().inc("net.msgs", 1);
                 ctx.metrics().inc("net.bytes", size);
-                ctx.send_after(delay, target, Delivered { from, size, payload });
+                match decision {
+                    FaultDecision::Delay { extra_delay_ns } => {
+                        delay += SimTime::from_nanos(extra_delay_ns);
+                        ctx.metrics().inc("net.fault.delayed", 1);
+                    }
+                    // In a DES, holding a message back past later traffic is
+                    // exactly a large extra delay: later sends overtake it.
+                    FaultDecision::Reorder { extra_delay_ns } => {
+                        delay += SimTime::from_nanos(extra_delay_ns);
+                        ctx.metrics().inc("net.fault.reordered", 1);
+                    }
+                    FaultDecision::Duplicate { extra_delay_ns } => {
+                        let copy = payload.clone_boxed();
+                        ctx.metrics().inc("net.fault.duplicated", 1);
+                        ctx.send_after(
+                            delay + SimTime::from_nanos(extra_delay_ns),
+                            target,
+                            Delivered { from, size, payload: copy.into_any() },
+                        );
+                    }
+                    FaultDecision::Deliver | FaultDecision::Drop => {}
+                }
+                ctx.send_after(
+                    delay,
+                    target,
+                    Delivered { from, size, payload: payload.into_any() },
+                );
                 return;
             }
             Err(ev) => ev,
@@ -141,7 +230,7 @@ pub struct NetworkHandle {
 
 impl NetworkHandle {
     /// Send `payload` of `size` bytes from `from` to `to` through the network.
-    pub fn send<T: Any>(
+    pub fn send<T: Any + Clone>(
         &self,
         ctx: &mut Ctx<'_>,
         from: EndpointId,
@@ -317,6 +406,73 @@ mod tests {
         eng.run();
         assert!(eng.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
         assert_eq!(eng.metrics().counter("net.dropped"), 1);
+    }
+
+    fn all_faults(seed: u64, drop: f64, duplicate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: faultplane::FaultRates {
+                drop,
+                duplicate,
+                reorder: 0.0,
+                delay: 0.0,
+                max_extra_delay_ns: 1_000,
+                torn_ckpt: 0.0,
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drop_faults_suppress_delivery() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        eng.actor_as_mut::<Network>(net_actor).unwrap().set_fault_plan(all_faults(1, 1.0, 0.0));
+        for _ in 0..10 {
+            eng.schedule_now(
+                net_actor,
+                Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+            );
+        }
+        eng.run();
+        assert!(eng.actor_as::<Sink>(sink).unwrap().arrivals.is_empty());
+        assert_eq!(eng.metrics().counter("net.fault.dropped"), 10);
+        let rep = eng.actor_as::<Network>(net_actor).unwrap().fault_report().unwrap();
+        assert_eq!(rep.dropped, 10);
+    }
+
+    #[test]
+    fn duplicate_faults_deliver_twice() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        eng.actor_as_mut::<Network>(net_actor).unwrap().set_fault_plan(all_faults(2, 0.0, 1.0));
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        let s = eng.actor_as::<Sink>(sink).unwrap();
+        assert_eq!(s.arrivals.len(), 2, "original plus duplicate");
+        assert!(s.arrivals.iter().all(|(_, p)| p == "x"));
+        assert_eq!(eng.metrics().counter("net.fault.duplicated"), 1);
+    }
+
+    #[test]
+    fn exempt_endpoints_bypass_faults() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        {
+            let net = eng.actor_as_mut::<Network>(net_actor).unwrap();
+            net.set_fault_plan(all_faults(3, 1.0, 0.0));
+            net.exempt_from_faults(dst);
+        }
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert_eq!(eng.actor_as::<Sink>(sink).unwrap().arrivals.len(), 1);
+        assert_eq!(eng.metrics().counter("net.fault.dropped"), 0);
     }
 
     #[test]

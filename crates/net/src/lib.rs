@@ -17,11 +17,16 @@
 //!
 //! Both transports carry opaque payloads; serialization is not simulated
 //! (payload bytes are counted through message sizes declared by senders).
+//!
+//! Both transports also accept a deterministic [`faultplane::FaultPlan`]
+//! that injects message drop, duplication, reordering, and bounded extra
+//! delay from a seeded per-message decision stream — the adversarial surface
+//! the crash-consistency tests run against.
 
 pub mod cost;
 pub mod des;
 pub mod threaded;
 
 pub use cost::CostModel;
-pub use des::{Delivered, EndpointId, Network, NetworkHandle, Transmit};
+pub use des::{Delivered, EndpointId, Msg, Network, NetworkHandle, Transmit};
 pub use threaded::{ThreadEndpoint, ThreadedNet};

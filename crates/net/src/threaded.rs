@@ -5,7 +5,10 @@
 //! race-condition tests exercise real interleavings. No time modeling is done
 //! here — wall-clock behaviour is whatever the machine provides.
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+pub use crossbeam::channel::RecvTimeoutError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use faultplane::{FaultDecision, FaultInjector, FaultPlan, FaultReport};
+use parking_lot::Mutex;
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -46,6 +49,12 @@ pub struct ThreadEndpoint {
     peers: Vec<Sender<NetMsg>>,
     rx: Receiver<NetMsg>,
     stats: Arc<MeshStats>,
+    /// Shared fault injector (None on a clean mesh).
+    faults: Option<Arc<FaultInjector>>,
+    /// Hold-back slot for reorder faults: the stashed message is released
+    /// after the *next* send from this endpoint, so later traffic overtakes
+    /// it. Flushed on drop so nothing is lost at teardown.
+    holdback: Mutex<Option<(usize, NetMsg)>>,
 }
 
 impl ThreadEndpoint {
@@ -62,11 +71,67 @@ impl ThreadEndpoint {
     /// Send `payload` (declared `size` bytes) to endpoint `to`.
     ///
     /// Returns `false` if the destination endpoint has been dropped — the
-    /// threaded analogue of a dead RDMA peer.
-    pub fn send<T: Any + Send>(&self, to: usize, size: u64, payload: T) -> bool {
+    /// threaded analogue of a dead RDMA peer. On a faulty mesh the message
+    /// may be dropped, duplicated, or held back according to the plan; a
+    /// faulted-away message still returns `true` (the sender cannot tell).
+    pub fn send<T: Any + Send + Clone>(&self, to: usize, size: u64, payload: T) -> bool {
+        let Some(inj) = self.faults.clone() else {
+            return self.raw_send(to, size, Box::new(payload));
+        };
+        match inj.next_decision() {
+            FaultDecision::Drop => {
+                self.flush_holdback();
+                true
+            }
+            FaultDecision::Duplicate { .. } => {
+                let a = self.raw_send(to, size, Box::new(payload.clone()));
+                let b = self.raw_send(to, size, Box::new(payload));
+                self.flush_holdback();
+                a && b
+            }
+            FaultDecision::Reorder { .. } => {
+                let prev = self
+                    .holdback
+                    .lock()
+                    .replace((to, NetMsg { from: self.id, size, payload: Box::new(payload) }));
+                if let Some((pto, pmsg)) = prev {
+                    self.raw_send(pto, pmsg.size, pmsg.payload);
+                }
+                true
+            }
+            // No timer wheel here: a delay decision counts in the report but
+            // delivers immediately (the OS scheduler supplies real jitter).
+            FaultDecision::Deliver | FaultDecision::Delay { .. } => {
+                let ok = self.raw_send(to, size, Box::new(payload));
+                self.flush_holdback();
+                ok
+            }
+        }
+    }
+
+    /// Send bypassing fault injection (control-plane traffic such as server
+    /// shutdown that must not be lost). Flushes any held-back message first.
+    pub fn send_reliable<T: Any + Send>(&self, to: usize, size: u64, payload: T) -> bool {
+        let ok = self.raw_send(to, size, Box::new(payload));
+        self.flush_holdback();
+        ok
+    }
+
+    fn raw_send(&self, to: usize, size: u64, payload: Box<dyn Any + Send>) -> bool {
         self.stats.msgs.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(size, Ordering::Relaxed);
-        self.peers[to].send(NetMsg { from: self.id, size, payload: Box::new(payload) }).is_ok()
+        self.peers[to].send(NetMsg { from: self.id, size, payload }).is_ok()
+    }
+
+    fn flush_holdback(&self) {
+        if let Some((to, msg)) = self.holdback.lock().take() {
+            self.raw_send(to, msg.size, msg.payload);
+        }
+    }
+
+    /// Tally of injected faults, if this mesh was built with a plan.
+    pub fn fault_report(&self) -> Option<FaultReport> {
+        self.faults.as_ref().map(|f| f.report())
     }
 
     /// Block until a message arrives.
@@ -95,10 +160,29 @@ impl ThreadEndpoint {
 /// Builder for a fully-connected mesh of `n` endpoints.
 pub struct ThreadedNet;
 
+impl Drop for ThreadEndpoint {
+    fn drop(&mut self) {
+        // A held-back (reordered) message must not be silently lost when the
+        // endpoint retires: release it so liveness holds at teardown.
+        self.flush_holdback();
+    }
+}
+
 impl ThreadedNet {
     /// Create `n` endpoints wired all-to-all (including self-loops, which are
     /// occasionally convenient for uniform code paths).
     pub fn mesh(n: usize) -> Vec<ThreadEndpoint> {
+        Self::build(n, None)
+    }
+
+    /// Create `n` endpoints sharing one deterministic fault injector driven
+    /// by `plan`. The per-message decision stream is seed-deterministic; the
+    /// assignment of stream indices to messages follows real send order.
+    pub fn mesh_with_faults(n: usize, plan: FaultPlan) -> Vec<ThreadEndpoint> {
+        Self::build(n, Some(Arc::new(FaultInjector::new(plan))))
+    }
+
+    fn build(n: usize, faults: Option<Arc<FaultInjector>>) -> Vec<ThreadEndpoint> {
         let stats = Arc::new(MeshStats::default());
         let mut senders = Vec::with_capacity(n);
         let mut receivers = Vec::with_capacity(n);
@@ -115,6 +199,8 @@ impl ThreadedNet {
                 peers: senders.clone(),
                 rx,
                 stats: Arc::clone(&stats),
+                faults: faults.clone(),
+                holdback: Mutex::new(None),
             })
             .collect()
     }
@@ -196,5 +282,77 @@ mod tests {
         let eps = ThreadedNet::mesh(1);
         let r = eps[0].recv_timeout(Duration::from_millis(10));
         assert!(matches!(r, Err(RecvTimeoutError::Timeout)));
+    }
+
+    fn plan(seed: u64, drop: f64, duplicate: f64, reorder: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: faultplane::FaultRates {
+                drop,
+                duplicate,
+                reorder,
+                delay: 0.0,
+                max_extra_delay_ns: 1_000,
+                torn_ckpt: 0.0,
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn faulty_mesh_drops_messages() {
+        let mut eps = ThreadedNet::mesh_with_faults(2, plan(1, 1.0, 0.0, 0.0));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send(1, 4, 7u32), "dropped sends still report success");
+        assert!(b.try_recv().is_none());
+        assert_eq!(a.fault_report().unwrap().dropped, 1);
+    }
+
+    #[test]
+    fn faulty_mesh_duplicates_messages() {
+        let mut eps = ThreadedNet::mesh_with_faults(2, plan(2, 0.0, 1.0, 0.0));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send(1, 4, 7u32));
+        assert_eq!(*b.recv().unwrap().payload.downcast::<u32>().unwrap(), 7);
+        assert_eq!(*b.recv().unwrap().payload.downcast::<u32>().unwrap(), 7);
+        assert_eq!(a.fault_report().unwrap().duplicated, 1);
+    }
+
+    #[test]
+    fn reorder_holds_message_past_next_send() {
+        // First message always reordered (held), second delivered, which
+        // releases the first: receive order is 2 then 1.
+        let mut eps = ThreadedNet::mesh_with_faults(2, plan(3, 0.0, 0.0, 1.0));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send(1, 4, 1u32));
+        assert!(b.try_recv().is_none(), "first message held back");
+        // Bypass injection for the second send so it cannot also be held.
+        assert!(a.send_reliable(1, 4, 2u32));
+        let first = *b.recv().unwrap().payload.downcast::<u32>().unwrap();
+        let second = *b.recv().unwrap().payload.downcast::<u32>().unwrap();
+        assert_eq!((first, second), (2, 1), "later traffic overtook the held message");
+    }
+
+    #[test]
+    fn dropping_endpoint_flushes_holdback() {
+        let mut eps = ThreadedNet::mesh_with_faults(2, plan(4, 0.0, 0.0, 1.0));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send(1, 4, 42u32));
+        assert!(b.try_recv().is_none());
+        drop(a);
+        assert_eq!(*b.recv().unwrap().payload.downcast::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn send_reliable_bypasses_faults() {
+        let mut eps = ThreadedNet::mesh_with_faults(2, plan(5, 1.0, 0.0, 0.0));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        assert!(a.send_reliable(1, 4, 9u32));
+        assert_eq!(*b.recv().unwrap().payload.downcast::<u32>().unwrap(), 9);
     }
 }

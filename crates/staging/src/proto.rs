@@ -190,6 +190,33 @@ pub struct CtlResponse {
     pub pending_replay: u64,
 }
 
+/// A [`CtlRequest`] wrapped with a client identity and sequence number.
+///
+/// Control requests are not idempotent (a duplicated `GlobalReset` delivered
+/// after re-execution started would discard re-executed data), so clients
+/// that may retry — or whose transport may duplicate — send this envelope;
+/// the server dedups on `(app, seq)` and replays the recorded acknowledgement
+/// for duplicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlMsg {
+    /// Issuing component (the dedup namespace; `GlobalReset` carries no app
+    /// of its own).
+    pub app: AppId,
+    /// Client-side sequence number, unique per app.
+    pub seq: u64,
+    /// The wrapped control request.
+    pub req: CtlRequest,
+}
+
+/// Server acknowledgement of a [`CtlMsg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtlAck {
+    /// Echoed client sequence number.
+    pub seq: u64,
+    /// The underlying control response.
+    pub resp: CtlResponse,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,9 @@
 use crate::dist::{Distribution, ServerIdx};
 use crate::geometry::BBox;
 use crate::payload::Payload;
-use crate::proto::{AppId, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version};
+use crate::proto::{
+    AppId, CtlMsg, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version,
+};
 use crate::service::{ServerLogic, StoreBackend};
 use net::des::{Delivered, EndpointId, NetworkHandle};
 use sim_core::engine::{Actor, Ctx, Event};
@@ -29,7 +31,14 @@ struct Pending {
 enum Req {
     Put(PutRequest),
     Get(GetRequest),
-    Ctl(CtlRequest),
+    /// A control envelope. `raw` marks un-sequenced [`CtlRequest`] ingress
+    /// (the fault-exempt director); such requests bypass dedup and are
+    /// answered with a bare [`crate::proto::CtlResponse`], while sequenced
+    /// envelopes get a [`crate::proto::CtlAck`].
+    Ctl {
+        msg: CtlMsg,
+        raw: bool,
+    },
 }
 
 /// Completion marker scheduled to self when the current request's service
@@ -58,6 +67,20 @@ struct RebuildDone {
     incarnation: u32,
 }
 
+/// Transient stall of this staging server (runner → server): the server CPU
+/// stops consuming its queue for `dur`. Unlike [`ServerFail`] this is not
+/// fail-stop — nothing is lost or rebuilt, requests simply queue and are
+/// served when the stall lifts (a GC pause, an OS hiccup, a slow RDMA CQ).
+pub struct Stall {
+    /// How long the server is unresponsive.
+    pub dur: SimTime,
+}
+
+/// Timer: stall window elapsed, server resumes.
+struct StallOver {
+    incarnation: u32,
+}
+
 /// The staging server actor.
 pub struct StagingServerActor<B> {
     logic: ServerLogic<B>,
@@ -80,13 +103,21 @@ pub struct StagingServerActor<B> {
     stash_put: Option<crate::proto::PutResponse>,
     stash_get: Option<crate::proto::GetResponse>,
     stash_ctl: Option<crate::proto::CtlResponse>,
+    stash_ctl_ack: Option<crate::proto::CtlAck>,
     /// Is the server currently down for a resilience rebuild? Requests queue
     /// and are served when the rebuild completes.
     down: bool,
+    /// Is the server inside an injected stall window? Requests queue, no
+    /// state is lost.
+    stalled: bool,
     /// Guards stale rebuild timers across overlapping failures.
     incarnation: u32,
     /// Rebuilds survived.
     rebuilds: u32,
+    /// Stall windows survived.
+    stalls: u32,
+    /// Synthetic sequence source for raw (un-sequenced) control ingress.
+    raw_ctl_seq: u64,
 }
 
 impl<B: StoreBackend> StagingServerActor<B> {
@@ -110,15 +141,24 @@ impl<B: StoreBackend> StagingServerActor<B> {
             stash_put: None,
             stash_get: None,
             stash_ctl: None,
+            stash_ctl_ack: None,
             down: false,
+            stalled: false,
             incarnation: 0,
             rebuilds: 0,
+            stalls: 0,
+            raw_ctl_seq: 0,
         }
     }
 
     /// Rebuilds this server has survived.
     pub fn rebuilds(&self) -> u32 {
         self.rebuilds
+    }
+
+    /// Injected stall windows this server has survived.
+    pub fn stalls(&self) -> u32 {
+        self.stalls
     }
 
     /// Runner wiring: set the network handle and this server's endpoint
@@ -150,7 +190,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
             let owner = match req {
                 Req::Put(r) => r.app,
                 Req::Get(r) => r.app,
-                Req::Ctl(_) => return false, // control traffic is never stale
+                Req::Ctl { .. } => return false, // control traffic is never stale
             };
             app.map(|a| a == owner).unwrap_or(true)
         };
@@ -222,7 +262,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
     }
 
     fn start_next(&mut self, ctx: &mut Ctx<'_>) {
-        if self.in_service.is_some() || self.down {
+        if self.in_service.is_some() || self.down || self.stalled {
             return;
         }
         let (p, cost) = loop {
@@ -248,23 +288,38 @@ impl<B: StoreBackend> StagingServerActor<B> {
                     self.stash_get = Some(resp);
                     break (p, cost);
                 }
-                Req::Ctl(r) => {
-                    // A recovery notification means the component's old
-                    // connection died with it: requests it sent before the
-                    // failure (queued or parked) are torn down, exactly as
-                    // broken RDMA connections drop in-flight requests. A
-                    // global reset invalidates everyone's in-flight requests.
-                    match *r {
-                        CtlRequest::Recovery { app, .. } => {
-                            self.purge_requests_from(Some(app));
+                Req::Ctl { msg, raw } => {
+                    let (msg, raw) = (*msg, *raw);
+                    // A re-delivered envelope (client retry or transport
+                    // duplication) must not repeat side effects: requests the
+                    // app issued after the original was applied stay intact.
+                    let duplicate = !raw && self.logic.ctl_seen(msg.app, msg.seq);
+                    if !duplicate {
+                        // A recovery notification means the component's old
+                        // connection died with it: requests it sent before
+                        // the failure (queued or parked) are torn down,
+                        // exactly as broken RDMA connections drop in-flight
+                        // requests. A global reset invalidates everyone's
+                        // in-flight requests.
+                        match msg.req {
+                            CtlRequest::Recovery { app, .. } => {
+                                self.purge_requests_from(Some(app));
+                            }
+                            CtlRequest::GlobalReset { .. } => {
+                                self.purge_requests_from(None);
+                            }
+                            CtlRequest::Checkpoint { .. } => {}
                         }
-                        CtlRequest::GlobalReset { .. } => {
-                            self.purge_requests_from(None);
-                        }
-                        CtlRequest::Checkpoint { .. } => {}
                     }
-                    let (resp, cost) = self.logic.handle_ctl(*r);
-                    self.stash_ctl = Some(resp);
+                    let cost = if raw {
+                        let (resp, cost) = self.logic.handle_ctl(msg.req);
+                        self.stash_ctl = Some(resp);
+                        cost
+                    } else {
+                        let (ack, cost) = self.logic.handle_ctl_msg(msg);
+                        self.stash_ctl_ack = Some(ack);
+                        cost
+                    };
                     break (p, cost);
                 }
             }
@@ -285,8 +340,16 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                     Req::Put(*payload.downcast::<PutRequest>().unwrap())
                 } else if payload.is::<GetRequest>() {
                     Req::Get(*payload.downcast::<GetRequest>().unwrap())
+                } else if payload.is::<CtlMsg>() {
+                    Req::Ctl { msg: *payload.downcast::<CtlMsg>().unwrap(), raw: false }
                 } else if payload.is::<CtlRequest>() {
-                    Req::Ctl(*payload.downcast::<CtlRequest>().unwrap())
+                    // Un-sequenced control ingress (the director). Wrap it
+                    // with a synthetic never-repeating identity so the queue
+                    // machinery is uniform; dedup never fires for it.
+                    let req = *payload.downcast::<CtlRequest>().unwrap();
+                    self.raw_ctl_seq += 1;
+                    let msg = CtlMsg { app: AppId::MAX, seq: self.raw_ctl_seq, req };
+                    Req::Ctl { msg, raw: true }
                 } else {
                     return; // unknown message: drop
                 };
@@ -308,6 +371,9 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 // the (protected) log — are answered once the rebuild
                 // completes.
                 self.down = true;
+                // A fail-stop supersedes any stall window in progress (the
+                // incarnation bump orphans the pending StallOver timer).
+                self.stalled = false;
                 self.incarnation += 1;
                 let rebuild = f.fixed
                     + SimTime::from_secs_f64(self.logic.bytes_resident() as f64 * f.per_byte_s);
@@ -315,6 +381,36 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 ctx.metrics().observe("staging.rebuild_s", rebuild.as_secs_f64());
                 let incarnation = self.incarnation;
                 ctx.timer(rebuild, RebuildDone { incarnation });
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<Stall>() {
+            Ok((_, s)) => {
+                // Freeze the server CPU: nothing is lost, requests queue and
+                // are served when the window lifts.
+                self.stalled = true;
+                ctx.metrics().inc("staging.server_stalls", 1);
+                let incarnation = self.incarnation;
+                ctx.timer(s.dur, StallOver { incarnation });
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<StallOver>() {
+            Ok((_, s)) => {
+                if s.incarnation == self.incarnation && self.stalled {
+                    self.stalled = false;
+                    self.stalls += 1;
+                    if self.in_service.is_some() {
+                        // Deliver the frozen op's (late) response.
+                        let incarnation = self.incarnation;
+                        ctx.timer(SimTime::ZERO, OpDone { incarnation });
+                    } else {
+                        self.rescan_waiting();
+                        self.start_next(ctx);
+                    }
+                }
                 return;
             }
             Err(ev) => ev,
@@ -339,8 +435,8 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
         };
         let ev = match ev.downcast::<OpDone>() {
             Ok((_, o)) => {
-                if self.down || o.incarnation != self.incarnation {
-                    return; // completion from before a failure
+                if self.down || self.stalled || o.incarnation != self.incarnation {
+                    return; // completion from before a failure or mid-stall
                 }
                 self.finish_op(ctx);
                 return;
@@ -366,7 +462,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
             Req::Put(r) => Some((r.desc.var, r.desc.version)),
             _ => None,
         };
-        let full_rescan = matches!(&done.req, Req::Ctl(_));
+        let full_rescan = matches!(&done.req, Req::Ctl { .. });
         match done.req {
             Req::Put(_) => {
                 let resp = self.stash_put.take().expect("stashed put response");
@@ -378,9 +474,13 @@ impl<B: StoreBackend> StagingServerActor<B> {
                     + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
                 self.net.send(ctx, self.ep, done.from_ep, size, resp);
             }
-            Req::Ctl(_) => {
+            Req::Ctl { raw: true, .. } => {
                 let resp = self.stash_ctl.take().expect("stashed ctl response");
                 self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, resp);
+            }
+            Req::Ctl { raw: false, .. } => {
+                let ack = self.stash_ctl_ack.take().expect("stashed ctl ack");
+                self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, ack);
             }
         }
         ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
@@ -769,6 +869,44 @@ mod failure_tests {
         let s = eng.actor_as::<AckSink>(sink).unwrap();
         assert_eq!(s.acks.len(), 1, "the interrupted op is acked late, not lost");
         assert!(s.acks[0] >= 2_000_000);
+    }
+
+    #[test]
+    fn requests_during_stall_are_served_after() {
+        let (mut eng, sink, server, net_id, client_ep) = build();
+        eng.schedule_at(
+            sim_core::time::SimTime::ZERO,
+            server,
+            Stall { dur: sim_core::time::SimTime::from_millis(3) },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_micros(10),
+            net_id,
+            net::des::Transmit { from: client_ep, to: 1, size: 164, payload: Box::new(put_req(1)) },
+        );
+        eng.run();
+        let s = eng.actor_as::<AckSink>(sink).unwrap();
+        assert_eq!(s.acks.len(), 1, "stalled request served, not lost");
+        assert!(s.acks[0] >= 3_000_000, "ack at {} ns waited out the stall", s.acks[0]);
+        let srv = eng.actor_as::<StagingServerActor<PlainBackend>>(server).unwrap();
+        assert_eq!(srv.stalls(), 1);
+        assert_eq!(eng.metrics().counter("staging.server_stalls"), 1);
+    }
+
+    #[test]
+    fn duplicate_ctl_envelope_answered_from_cache() {
+        let (mut eng, _sink, server, net_id, client_ep) = build();
+        let msg =
+            CtlMsg { app: 0, seq: 7, req: CtlRequest::Checkpoint { app: 0, upto_version: 3 } };
+        for _ in 0..2 {
+            eng.schedule_now(
+                net_id,
+                net::des::Transmit { from: client_ep, to: 1, size: 64, payload: Box::new(msg) },
+            );
+        }
+        eng.run();
+        let srv = eng.actor_as::<StagingServerActor<PlainBackend>>(server).unwrap();
+        assert_eq!(srv.logic().dup_hits(), 1, "second envelope served from the ack cache");
     }
 
     #[test]

@@ -9,11 +9,13 @@
 //! server code.
 
 use crate::proto::{
-    CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest, PutResponse, PutStatus,
+    AppId, CtlAck, CtlMsg, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest,
+    PutResponse, PutStatus,
 };
 use crate::store::VersionedStore;
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
+use std::collections::{BTreeMap, HashMap};
 
 /// Work performed by one backend operation, for the CPU cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -180,27 +182,101 @@ impl StoreBackend for PlainBackend {
     }
 }
 
+/// A response retained for duplicate-request replay.
+#[derive(Debug, Clone)]
+enum CachedResp {
+    Put(PutResponse),
+    Get(GetResponse),
+}
+
+/// Per-app retained responses beyond which the oldest are pruned. Retries
+/// and transport duplicates arrive within a few requests of the original, so
+/// a short window suffices.
+const DEDUP_WINDOW: usize = 256;
+
 /// Request loop shared by all transports: applies the backend, computes the
 /// CPU cost, and shapes responses.
+///
+/// Requests carry a per-app sequence number; the logic remembers recent
+/// responses and replays them for re-delivered requests (client retries
+/// under a lossy transport, or transport-level duplication), so the backend
+/// — in particular the event *log* — observes each request exactly once.
 #[derive(Debug)]
 pub struct ServerLogic<B> {
     backend: B,
     costs: ServerCosts,
     puts_served: u64,
     gets_served: u64,
+    /// Recently-sent put/get responses keyed `(app, seq)`.
+    resp_cache: HashMap<AppId, BTreeMap<u64, CachedResp>>,
+    /// Recently-sent control acknowledgements keyed `(app, seq)`.
+    ctl_cache: HashMap<AppId, BTreeMap<u64, CtlResponse>>,
+    /// Exactly-once guard switch; disabled only by the mutation tests that
+    /// prove the invariant checker notices a broken dedup.
+    dedup_enabled: bool,
+    /// Duplicate requests absorbed by the cache.
+    dup_hits: u64,
 }
 
 impl<B: StoreBackend> ServerLogic<B> {
     /// Wrap a backend with the given cost model.
     pub fn new(backend: B, costs: ServerCosts) -> Self {
-        ServerLogic { backend, costs, puts_served: 0, gets_served: 0 }
+        ServerLogic {
+            backend,
+            costs,
+            puts_served: 0,
+            gets_served: 0,
+            resp_cache: HashMap::new(),
+            ctl_cache: HashMap::new(),
+            dedup_enabled: true,
+            dup_hits: 0,
+        }
+    }
+
+    /// Enable/disable the exactly-once request cache. Test-only escape
+    /// hatch: the replay-equivalence mutation check disables it to prove
+    /// that the invariant checker fails when duplicates reach the backend.
+    pub fn set_request_dedup(&mut self, enabled: bool) {
+        self.dedup_enabled = enabled;
+    }
+
+    /// Duplicate requests absorbed by the exactly-once cache.
+    pub fn dup_hits(&self) -> u64 {
+        self.dup_hits
+    }
+
+    fn cached(&mut self, app: AppId, seq: u64) -> Option<CachedResp> {
+        if !self.dedup_enabled {
+            return None;
+        }
+        let hit = self.resp_cache.get(&app).and_then(|m| m.get(&seq)).cloned();
+        if hit.is_some() {
+            self.dup_hits += 1;
+        }
+        hit
+    }
+
+    fn remember(&mut self, app: AppId, seq: u64, resp: CachedResp) {
+        if !self.dedup_enabled {
+            return;
+        }
+        let window = self.resp_cache.entry(app).or_default();
+        window.insert(seq, resp);
+        while window.len() > DEDUP_WINDOW {
+            window.pop_first();
+        }
     }
 
     /// Handle a put; returns the response and the simulated CPU time consumed.
     pub fn handle_put(&mut self, req: &PutRequest) -> (PutResponse, SimTime) {
+        if let Some(CachedResp::Put(resp)) = self.cached(req.app, req.seq) {
+            return (resp, self.costs.cost(&OpStats::default()));
+        }
         let (status, op) = self.backend.put(req);
         self.puts_served += 1;
-        (PutResponse { desc: req.desc, seq: req.seq, status }, self.costs.cost(&op))
+        let resp = PutResponse { desc: req.desc, seq: req.seq, status };
+        self.remember(req.app, req.seq, CachedResp::Put(resp.clone()));
+        (resp, self.costs.cost(&op))
     }
 
     /// Is this get currently servable (see [`StoreBackend::get_ready`])?
@@ -210,16 +286,57 @@ impl<B: StoreBackend> ServerLogic<B> {
 
     /// Handle a get; returns the response and the simulated CPU time consumed.
     pub fn handle_get(&mut self, req: &GetRequest) -> (GetResponse, SimTime) {
+        if let Some(CachedResp::Get(resp)) = self.cached(req.app, req.seq) {
+            return (resp, self.costs.cost(&OpStats::default()));
+        }
         let (pieces, op) = self.backend.get(req);
         self.gets_served += 1;
         let resp = GetResponse { var: req.var, version: req.version, seq: req.seq, pieces };
+        self.remember(req.app, req.seq, CachedResp::Get(resp.clone()));
         (resp, self.costs.cost(&op))
     }
 
     /// Handle a control event.
+    ///
+    /// This raw entry point performs no dedup — it serves transports whose
+    /// control path cannot be re-delivered (e.g. the fault-exempt DES
+    /// director). Clients that retry use [`Self::handle_ctl_msg`].
     pub fn handle_ctl(&mut self, req: CtlRequest) -> (CtlResponse, SimTime) {
         let (resp, op) = self.backend.control(req);
         (resp, self.costs.cost(&op))
+    }
+
+    /// Has this `(app, seq)` control envelope already been applied? Lets the
+    /// server skip side effects (e.g. purging parked requests) for
+    /// re-delivered control traffic before replaying the recorded ack.
+    pub fn ctl_seen(&self, app: AppId, seq: u64) -> bool {
+        self.dedup_enabled
+            && self.ctl_cache.get(&app).map(|m| m.contains_key(&seq)).unwrap_or(false)
+    }
+
+    /// Handle a sequenced control envelope with exactly-once semantics.
+    ///
+    /// Control requests are not idempotent (a late duplicate `GlobalReset`
+    /// would discard freshly re-executed data; a duplicate `Recovery` resets
+    /// replay matching), so duplicates are answered from the recorded ack
+    /// without touching the backend.
+    pub fn handle_ctl_msg(&mut self, msg: CtlMsg) -> (CtlAck, SimTime) {
+        if self.dedup_enabled {
+            if let Some(resp) = self.ctl_cache.get(&msg.app).and_then(|m| m.get(&msg.seq)) {
+                self.dup_hits += 1;
+                let ack = CtlAck { seq: msg.seq, resp: *resp };
+                return (ack, self.costs.cost(&OpStats::default()));
+            }
+        }
+        let (resp, cost) = self.handle_ctl(msg.req);
+        if self.dedup_enabled {
+            let window = self.ctl_cache.entry(msg.app).or_default();
+            window.insert(msg.seq, resp);
+            while window.len() > DEDUP_WINDOW {
+                window.pop_first();
+            }
+        }
+        (CtlAck { seq: msg.seq, resp }, cost)
     }
 
     /// Bytes resident in the backend store.
@@ -313,6 +430,50 @@ mod tests {
         let (resp, _) = logic.handle_ctl(req);
         assert_eq!(resp.req, req);
         assert_eq!(resp.pending_replay, 0);
+    }
+
+    #[test]
+    fn duplicate_requests_are_absorbed_by_cache() {
+        let mut logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
+        let (first, _) = logic.handle_put(&put_req(1, 500));
+        let (dup, _) = logic.handle_put(&put_req(1, 500));
+        assert_eq!(dup.status, first.status);
+        assert_eq!(logic.puts_served(), 1, "backend saw the put exactly once");
+        assert_eq!(logic.dup_hits(), 1);
+
+        let (g1, _) = logic.handle_get(&get_req(1));
+        let (g2, _) = logic.handle_get(&get_req(1));
+        assert_eq!(g1.pieces.len(), g2.pieces.len());
+        assert_eq!(logic.gets_served(), 1);
+        assert_eq!(logic.dup_hits(), 2);
+    }
+
+    #[test]
+    fn duplicate_ctl_msg_replays_recorded_ack() {
+        let mut logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
+        logic.handle_put(&put_req(1, 100));
+        logic.handle_put(&put_req(2, 100));
+        let msg = CtlMsg { app: 0, seq: 50, req: CtlRequest::GlobalReset { to_version: 1 } };
+        let (ack1, _) = logic.handle_ctl_msg(msg);
+        // Re-execution lands version 2 again...
+        let re_put = PutRequest { seq: 60, ..put_req(2, 100) };
+        logic.handle_put(&re_put);
+        assert_eq!(logic.bytes_resident(), 200);
+        // ...and a late duplicate of the reset must NOT discard it.
+        let (ack2, _) = logic.handle_ctl_msg(msg);
+        assert_eq!(ack2, ack1);
+        assert_eq!(logic.bytes_resident(), 200, "duplicate reset did not re-apply");
+        assert_eq!(logic.dup_hits(), 1);
+    }
+
+    #[test]
+    fn disabled_dedup_reapplies_duplicates() {
+        let mut logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
+        logic.set_request_dedup(false);
+        logic.handle_put(&put_req(1, 100));
+        logic.handle_put(&put_req(1, 100));
+        assert_eq!(logic.puts_served(), 2, "broken dedup lets duplicates through");
+        assert_eq!(logic.dup_hits(), 0);
     }
 
     #[test]

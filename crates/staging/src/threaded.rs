@@ -10,16 +10,23 @@ use crate::dist::Distribution;
 use crate::geometry::BBox;
 use crate::payload::Payload;
 use crate::proto::{
-    AppId, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest, PutResponse,
-    PutStatus, VarId, Version,
+    AppId, CtlAck, CtlMsg, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest,
+    PutResponse, PutStatus, VarId, Version,
 };
 use crate::server::{covers_exactly, plan_get, plan_put_with, HEADER_BYTES};
 use crate::service::{ServerLogic, StoreBackend};
-use net::threaded::ThreadEndpoint;
+use faultplane::RetryPolicy;
+use net::threaded::{NetMsg, RecvTimeoutError, ThreadEndpoint};
+use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Shutdown message for server threads.
 pub struct Shutdown;
+
+/// Stall request for server threads: sleep for the given duration without
+/// consuming the queue (the threaded analogue of [`crate::server::Stall`]).
+pub struct StallFor(pub Duration);
 
 /// Spawn a staging server thread servicing `endpoint`.
 ///
@@ -62,10 +69,17 @@ pub fn spawn_server<B: StoreBackend>(
                         + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
                     endpoint.send(msg.from, size, resp);
                 }
+            } else if msg.payload.is::<CtlMsg>() {
+                let req = msg.payload.downcast::<CtlMsg>().unwrap();
+                let (ack, _cost) = logic.handle_ctl_msg(*req);
+                endpoint.send(msg.from, HEADER_BYTES, ack);
             } else if msg.payload.is::<CtlRequest>() {
                 let req = msg.payload.downcast::<CtlRequest>().unwrap();
                 let (resp, _cost) = logic.handle_ctl(*req);
                 endpoint.send(msg.from, HEADER_BYTES, resp);
+            } else if msg.payload.is::<StallFor>() {
+                let stall = msg.payload.downcast::<StallFor>().unwrap();
+                std::thread::sleep(stall.0);
             }
             // Unknown messages are dropped, as in the DES server.
         }
@@ -82,8 +96,46 @@ pub enum ClientError {
     IncompleteCoverage,
     /// A get returned pieces from more than one version: the requested
     /// version was only partially written, and lagging servers filled in
-    /// with older data. Callers should retry until the write completes.
+    /// with older data. The client's own [`RetryPolicy`] does not loop on
+    /// this — it is not a transport fault but a data race the caller
+    /// resolves by re-reading once the producer finishes the write.
     TornRead,
+    /// The bounded [`RetryPolicy`] gave up before every server acked: the
+    /// backoff deadline or attempt budget ran out with responses still
+    /// outstanding. Replaces the old open-ended "retry until the write
+    /// completes" contract with a typed, diagnosable failure.
+    RetryExhausted {
+        /// Which operation gave up ("put", "get", or "control").
+        op: &'static str,
+        /// Retry attempts performed.
+        attempts: u32,
+        /// Acks still missing when the policy gave up.
+        outstanding: usize,
+    },
+}
+
+/// Receive until `deadline` or until `on_msg` reports completion. Returns
+/// `Ok(true)` when complete, `Ok(false)` on window expiry.
+fn drain_window(
+    endpoint: &ThreadEndpoint,
+    deadline: Instant,
+    mut on_msg: impl FnMut(NetMsg) -> bool,
+) -> Result<bool, ClientError> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Ok(false);
+        }
+        match endpoint.recv_timeout(deadline - now) {
+            Ok(msg) => {
+                if on_msg(msg) {
+                    return Ok(true);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => return Ok(false),
+            Err(RecvTimeoutError::Disconnected) => return Err(ClientError::Disconnected),
+        }
+    }
 }
 
 /// A blocking DataSpaces-style client for one application component.
@@ -93,6 +145,12 @@ pub enum ClientError {
 /// (when the servers run the logging backend), [`SyncClient::checkpoint`] ≙
 /// `workflow_check`, and [`SyncClient::recover`] ≙ `workflow_restart`'s
 /// notification half.
+///
+/// Every operation runs under a bounded [`RetryPolicy`]: requests that are
+/// not acknowledged within the current backoff window are re-sent (safe —
+/// servers dedup on `(app, seq)` and replay the recorded response), and when
+/// the attempt budget or deadline runs out the operation fails with
+/// [`ClientError::RetryExhausted`] instead of blocking forever.
 pub struct SyncClient {
     endpoint: ThreadEndpoint,
     dist: Distribution,
@@ -100,6 +158,7 @@ pub struct SyncClient {
     server_eps: Vec<usize>,
     app: AppId,
     seq: u64,
+    retry: RetryPolicy,
 }
 
 impl SyncClient {
@@ -112,7 +171,19 @@ impl SyncClient {
         app: AppId,
     ) -> Self {
         assert_eq!(server_eps.len(), dist.nservers, "one endpoint per server");
-        SyncClient { endpoint, dist, server_eps, app, seq: 0 }
+        let retry = RetryPolicy::default().with_seed(app as u64);
+        SyncClient { endpoint, dist, server_eps, app, seq: 0, retry }
+    }
+
+    /// Replace the retry policy (builder style).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in use.
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.retry
     }
 
     fn next_seq(&mut self, n: usize) -> u64 {
@@ -123,7 +194,7 @@ impl SyncClient {
 
     /// Write `bbox` of `(var, version)`, generating per-block payloads with
     /// `fill`. Blocks are scattered to their owning servers; the call returns
-    /// when every server acked. Returns the per-block statuses.
+    /// when every server acked. Returns the per-block statuses (seq order).
     pub fn put(
         &mut self,
         var: VarId,
@@ -134,24 +205,52 @@ impl SyncClient {
         let seq0 = self.seq;
         let reqs = plan_put_with(&self.dist, self.app, var, version, bbox, seq0, fill);
         self.next_seq(reqs.len());
-        let n = reqs.len();
-        for (server, req) in reqs {
-            let size = HEADER_BYTES + req.payload.accounted_len();
-            if !self.endpoint.send(self.server_eps[server], size, req) {
-                return Err(ClientError::Disconnected);
-            }
-        }
-        let mut statuses = Vec::with_capacity(n);
-        while statuses.len() < n {
-            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
-            if msg.payload.is::<PutResponse>() {
-                let r = msg.payload.downcast::<PutResponse>().unwrap();
-                if r.seq >= seq0 && r.seq < seq0 + n as u64 {
-                    statuses.push(r.status);
+        let mut outstanding: HashMap<u64, (usize, PutRequest)> =
+            reqs.into_iter().map(|(server, req)| (req.seq, (server, req))).collect();
+        let send_all = |ep: &ThreadEndpoint,
+                        server_eps: &[usize],
+                        pending: &HashMap<u64, (usize, PutRequest)>|
+         -> Result<(), ClientError> {
+            for (server, req) in pending.values() {
+                let size = HEADER_BYTES + req.payload.accounted_len();
+                if !ep.send(server_eps[*server], size, req.clone()) {
+                    return Err(ClientError::Disconnected);
                 }
             }
+            Ok(())
+        };
+        send_all(&self.endpoint, &self.server_eps, &outstanding)?;
+        let mut statuses: Vec<(u64, PutStatus)> = Vec::with_capacity(outstanding.len());
+        let mut attempts = 0u32;
+        let mut backoff_spent = 0u64;
+        while !outstanding.is_empty() {
+            let window = self.retry.backoff(attempts + 1);
+            let done = drain_window(&self.endpoint, Instant::now() + window, |msg| {
+                if msg.payload.is::<PutResponse>() {
+                    let r = msg.payload.downcast::<PutResponse>().unwrap();
+                    // Remove-once dedups transport-duplicated acks.
+                    if outstanding.remove(&r.seq).is_some() {
+                        statuses.push((r.seq, r.status));
+                    }
+                }
+                outstanding.is_empty()
+            })?;
+            if done {
+                break;
+            }
+            attempts += 1;
+            backoff_spent += window.as_nanos() as u64;
+            if !self.retry.allows(attempts, backoff_spent) {
+                return Err(ClientError::RetryExhausted {
+                    op: "put",
+                    attempts,
+                    outstanding: outstanding.len(),
+                });
+            }
+            send_all(&self.endpoint, &self.server_eps, &outstanding)?;
         }
-        Ok(statuses)
+        statuses.sort_unstable_by_key(|&(seq, _)| seq);
+        Ok(statuses.into_iter().map(|(_, s)| s).collect())
     }
 
     /// Read `bbox` of `(var, version)`; returns the pieces (tiling `bbox`).
@@ -164,23 +263,47 @@ impl SyncClient {
         let seq0 = self.seq;
         let reqs = plan_get(&self.dist, self.app, var, version, bbox, seq0);
         self.next_seq(reqs.len());
-        let n = reqs.len();
-        for (server, req) in reqs {
-            if !self.endpoint.send(self.server_eps[server], HEADER_BYTES, req) {
-                return Err(ClientError::Disconnected);
-            }
-        }
-        let mut pieces = Vec::new();
-        let mut got = 0usize;
-        while got < n {
-            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
-            if msg.payload.is::<GetResponse>() {
-                let r = msg.payload.downcast::<GetResponse>().unwrap();
-                if r.seq >= seq0 && r.seq < seq0 + n as u64 {
-                    got += 1;
-                    pieces.extend(r.pieces);
+        let mut outstanding: HashMap<u64, (usize, GetRequest)> =
+            reqs.into_iter().map(|(server, req)| (req.seq, (server, req))).collect();
+        let send_all = |ep: &ThreadEndpoint,
+                        server_eps: &[usize],
+                        pending: &HashMap<u64, (usize, GetRequest)>|
+         -> Result<(), ClientError> {
+            for (server, req) in pending.values() {
+                if !ep.send(server_eps[*server], HEADER_BYTES, req.clone()) {
+                    return Err(ClientError::Disconnected);
                 }
             }
+            Ok(())
+        };
+        send_all(&self.endpoint, &self.server_eps, &outstanding)?;
+        let mut pieces = Vec::new();
+        let mut attempts = 0u32;
+        let mut backoff_spent = 0u64;
+        while !outstanding.is_empty() {
+            let window = self.retry.backoff(attempts + 1);
+            let done = drain_window(&self.endpoint, Instant::now() + window, |msg| {
+                if msg.payload.is::<GetResponse>() {
+                    let r = msg.payload.downcast::<GetResponse>().unwrap();
+                    if outstanding.remove(&r.seq).is_some() {
+                        pieces.extend(r.pieces);
+                    }
+                }
+                outstanding.is_empty()
+            })?;
+            if done {
+                break;
+            }
+            attempts += 1;
+            backoff_spent += window.as_nanos() as u64;
+            if !self.retry.allows(attempts, backoff_spent) {
+                return Err(ClientError::RetryExhausted {
+                    op: "get",
+                    attempts,
+                    outstanding: outstanding.len(),
+                });
+            }
+            send_all(&self.endpoint, &self.server_eps, &outstanding)?;
         }
         if !covers_exactly(bbox, &pieces) {
             return Err(ClientError::IncompleteCoverage);
@@ -206,18 +329,59 @@ impl SyncClient {
         self.control(CtlRequest::Recovery { app: self.app, resume_version })
     }
 
+    /// Coordinated rollback: every server discards staged data and log
+    /// events newer than `to_version` (the Co protocol's global reset).
+    /// Non-idempotent — a redelivered duplicate applied after re-execution
+    /// resumed would discard fresh data, which is exactly what the server's
+    /// `(app, seq)` dedup cache prevents.
+    pub fn global_reset(&mut self, to_version: Version) -> Result<Vec<CtlResponse>, ClientError> {
+        self.control(CtlRequest::GlobalReset { to_version })
+    }
+
     fn control(&mut self, req: CtlRequest) -> Result<Vec<CtlResponse>, ClientError> {
-        for &ep in &self.server_eps {
-            if !self.endpoint.send(ep, HEADER_BYTES, req) {
-                return Err(ClientError::Disconnected);
-            }
-        }
+        // One sequence number for the whole round: each server dedups the
+        // envelope independently in its own (app, seq) namespace.
+        let seq = self.next_seq(1);
+        let msg = CtlMsg { app: self.app, seq, req };
+        let mut outstanding: HashMap<usize, ()> =
+            self.server_eps.iter().map(|&ep| (ep, ())).collect();
+        let send_all =
+            |ep: &ThreadEndpoint, pending: &HashMap<usize, ()>| -> Result<(), ClientError> {
+                for &server_ep in pending.keys() {
+                    if !ep.send(server_ep, HEADER_BYTES, msg) {
+                        return Err(ClientError::Disconnected);
+                    }
+                }
+                Ok(())
+            };
+        send_all(&self.endpoint, &outstanding)?;
         let mut resps = Vec::with_capacity(self.server_eps.len());
-        while resps.len() < self.server_eps.len() {
-            let msg = self.endpoint.recv().ok_or(ClientError::Disconnected)?;
-            if msg.payload.is::<CtlResponse>() {
-                resps.push(*msg.payload.downcast::<CtlResponse>().unwrap());
+        let mut attempts = 0u32;
+        let mut backoff_spent = 0u64;
+        while !outstanding.is_empty() {
+            let window = self.retry.backoff(attempts + 1);
+            let done = drain_window(&self.endpoint, Instant::now() + window, |m| {
+                if m.payload.is::<CtlAck>() {
+                    let ack = m.payload.downcast::<CtlAck>().unwrap();
+                    if ack.seq == seq && outstanding.remove(&m.from).is_some() {
+                        resps.push(ack.resp);
+                    }
+                }
+                outstanding.is_empty()
+            })?;
+            if done {
+                break;
             }
+            attempts += 1;
+            backoff_spent += window.as_nanos() as u64;
+            if !self.retry.allows(attempts, backoff_spent) {
+                return Err(ClientError::RetryExhausted {
+                    op: "control",
+                    attempts,
+                    outstanding: outstanding.len(),
+                });
+            }
+            send_all(&self.endpoint, &outstanding)?;
         }
         Ok(resps)
     }
@@ -240,7 +404,7 @@ impl SyncClient {
     /// Send [`Shutdown`] to every server.
     pub fn shutdown_servers(&self) {
         for &ep in &self.server_eps {
-            let _ = self.endpoint.send(ep, HEADER_BYTES, Shutdown);
+            let _ = self.endpoint.send_reliable(ep, HEADER_BYTES, Shutdown);
         }
     }
 }
@@ -356,6 +520,155 @@ mod tests {
         for r in resps {
             assert_eq!(r.req, CtlRequest::Checkpoint { app: 0, upto_version: 4 });
         }
+        c.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// Like [`setup`] but the mesh injects faults from `plan` and the clients
+    /// use `retry`.
+    fn setup_faulty(
+        nservers: usize,
+        napps: usize,
+        dims: [u64; 3],
+        block: [u64; 3],
+        plan: faultplane::FaultPlan,
+        retry: RetryPolicy,
+    ) -> (Vec<JoinHandle<ServerLogic<PlainBackend>>>, Vec<SyncClient>) {
+        let dist = Distribution::new(BBox::whole(dims), block, nservers);
+        let mut eps = ThreadedNet::mesh_with_faults(nservers + napps, plan);
+        let client_eps: Vec<ThreadEndpoint> = eps.split_off(nservers);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                spawn_server(ep, ServerLogic::new(PlainBackend::new(8), ServerCosts::default()))
+            })
+            .collect();
+        let clients = client_eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                SyncClient::new(ep, dist.clone(), (0..nservers).collect(), i as AppId)
+                    .with_retry(retry)
+            })
+            .collect();
+        (handles, clients)
+    }
+
+    fn lossy_plan(seed: u64) -> faultplane::FaultPlan {
+        faultplane::FaultPlan {
+            seed,
+            rates: faultplane::FaultRates {
+                drop: 0.10,
+                duplicate: 0.15,
+                reorder: 0.10,
+                delay: 0.10,
+                max_extra_delay_ns: 200_000,
+                ..Default::default()
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    fn patient_retry() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 0,
+            base_ns: 1_000_000,
+            cap_ns: 8_000_000,
+            deadline_ns: 30_000_000_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn put_get_survive_drop_dup_reorder_faults() {
+        let (handles, mut clients) =
+            setup_faulty(3, 2, [32, 32, 32], [16, 16, 16], lossy_plan(7), patient_retry());
+        let bbox = BBox::whole([32, 32, 32]);
+        let mut consumer = clients.pop().unwrap();
+        let mut producer = clients.pop().unwrap();
+
+        let statuses = producer.put(0, 1, &bbox, block_fill(0, 1)).unwrap();
+        assert_eq!(statuses.len(), 8);
+        assert!(statuses.iter().all(|s| *s == PutStatus::Stored));
+
+        // Retry until the get is both complete and untorn (servers may still
+        // be absorbing duplicated puts).
+        let pieces = loop {
+            match consumer.get(0, 1, &bbox) {
+                Ok(p) => break p,
+                Err(ClientError::IncompleteCoverage) | Err(ClientError::TornRead) => {
+                    std::thread::yield_now()
+                }
+                Err(e) => panic!("get failed under faults: {e:?}"),
+            }
+        };
+        assert!(covers_exactly(&bbox, &pieces));
+        let total: u64 = pieces.iter().map(|p| p.payload.len()).sum();
+        assert_eq!(total, bbox.volume());
+
+        consumer.shutdown_servers();
+        for h in handles {
+            let logic = h.join().unwrap();
+            // Exactly-once application: the store never saw more distinct
+            // blocks than were planned, even though the wire duplicated.
+            assert!(logic.puts_served() + logic.gets_served() > 0);
+        }
+    }
+
+    #[test]
+    fn control_survives_duplication_faults() {
+        let plan = faultplane::FaultPlan {
+            seed: 11,
+            rates: faultplane::FaultRates {
+                duplicate: 0.5,
+                max_extra_delay_ns: 100_000,
+                ..Default::default()
+            },
+            windows: Vec::new(),
+        };
+        let (handles, mut clients) =
+            setup_faulty(2, 1, [8, 8, 8], [8, 8, 8], plan, patient_retry());
+        let mut c = clients.pop().unwrap();
+        for round in 0..8u32 {
+            let resps = c.checkpoint(round).unwrap();
+            // Per-endpoint dedup: exactly one response per server per round,
+            // no matter how many duplicates the wire delivered.
+            assert_eq!(resps.len(), 2, "round {round}");
+        }
+        c.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_is_a_typed_error() {
+        let blackhole = faultplane::FaultPlan {
+            seed: 3,
+            rates: faultplane::FaultRates { drop: 1.0, ..Default::default() },
+            windows: Vec::new(),
+        };
+        let strict = RetryPolicy {
+            max_attempts: 2,
+            base_ns: 500_000,
+            cap_ns: 1_000_000,
+            deadline_ns: 0,
+            seed: 0,
+        };
+        let (handles, mut clients) = setup_faulty(1, 1, [8, 8, 8], [8, 8, 8], blackhole, strict);
+        let mut c = clients.pop().unwrap();
+        let err = c.put(0, 1, &BBox::whole([8, 8, 8]), block_fill(0, 1)).unwrap_err();
+        match err {
+            ClientError::RetryExhausted { op, attempts, outstanding } => {
+                assert_eq!(op, "put");
+                assert_eq!(attempts, 2);
+                assert_eq!(outstanding, 1);
+            }
+            other => panic!("expected RetryExhausted, got {other:?}"),
+        }
+        // Shutdown bypasses faults, so the servers still exit cleanly.
         c.shutdown_servers();
         for h in handles {
             h.join().unwrap();

@@ -17,6 +17,7 @@
 
 use ckpt::{CheckpointStore, Snapshot};
 use parking_lot::Mutex;
+use sim_core::rng::SplitMix64;
 use staging::geometry::BBox;
 use staging::payload::Payload;
 use staging::proto::{AppId, GetPiece, PutStatus, VarId, Version};
@@ -43,12 +44,53 @@ pub struct WorkflowClient {
     staging: SyncClient,
     ckpts: Arc<Mutex<CheckpointStore>>,
     next_ckpt_id: u64,
+    /// Torn-checkpoint fault injection: `(rate, seed)`; each save draws a
+    /// deterministic per-ckpt_id decision.
+    ckpt_faults: Option<(f64, u64)>,
+    torn_injected: u64,
+    torn_detected: u64,
 }
 
 impl WorkflowClient {
     /// Wrap a connected staging client and a shared checkpoint store.
     pub fn new(staging: SyncClient, ckpts: Arc<Mutex<CheckpointStore>>) -> Self {
-        WorkflowClient { staging, ckpts, next_ckpt_id: 1 }
+        WorkflowClient {
+            staging,
+            ckpts,
+            next_ckpt_id: 1,
+            ckpt_faults: None,
+            torn_injected: 0,
+            torn_detected: 0,
+        }
+    }
+
+    /// Enable torn-checkpoint injection: each `workflow_check` save is torn
+    /// with probability `rate`, decided deterministically from
+    /// `(seed, app, ckpt_id)`.
+    pub fn with_ckpt_faults(mut self, rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.ckpt_faults = Some((rate, seed));
+        self
+    }
+
+    /// Checkpoints torn by injection so far.
+    pub fn torn_injected(&self) -> u64 {
+        self.torn_injected
+    }
+
+    /// Torn checkpoints detected (and skipped) by `workflow_restart`.
+    pub fn torn_detected(&self) -> u64 {
+        self.torn_detected
+    }
+
+    fn tear_roll(&self, ckpt_id: u64) -> bool {
+        let Some((rate, seed)) = self.ckpt_faults else { return false };
+        let mix = seed
+            ^ u64::from(self.staging.app()).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ ckpt_id.wrapping_mul(0xA24B_AED4_963E_E407);
+        let x = SplitMix64::new(mix).next_u64();
+        let unit = (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < rate
     }
 
     /// This component's id.
@@ -70,7 +112,17 @@ impl WorkflowClient {
         let snap = Snapshot::new(self.app(), ckpt_id, resume_step, rng_state, state_bytes);
         let w_chk_id = snap.w_chk_id();
         // Step 1 (Fig. 7a): save process state to reliable storage.
-        self.ckpts.lock().save(snap);
+        {
+            let mut store = self.ckpts.lock();
+            store.save(snap);
+            // Fault injection: the save may be torn (crash mid-write). The
+            // marker below is still sent — the paper's ordering makes the
+            // torn snapshot the *newest*, so restore must fall back.
+            if self.tear_roll(ckpt_id) {
+                store.tear_latest(self.app());
+                self.torn_injected += 1;
+            }
+        }
         // Step 2: notify data staging; the marker bounds the replayable log.
         let upto = resume_step.saturating_sub(1);
         self.staging.checkpoint(upto)?;
@@ -82,8 +134,18 @@ impl WorkflowClient {
     /// servers generate this component's replay script. Returns the restored
     /// snapshot.
     pub fn workflow_restart(&mut self) -> Result<Snapshot, WorkflowError> {
-        let snap =
-            self.ckpts.lock().latest(self.app()).cloned().ok_or(WorkflowError::NoCheckpoint)?;
+        let snap = {
+            let store = self.ckpts.lock();
+            // Checksum-verify: skip torn snapshots, falling back to the
+            // newest complete one.
+            let valid = store.latest_valid(self.app()).cloned();
+            if let Some(newest) = store.latest(self.app()) {
+                if valid.as_ref().map(|v| v.ckpt_id) != Some(newest.ckpt_id) {
+                    self.torn_detected += 1;
+                }
+            }
+            valid.ok_or(WorkflowError::NoCheckpoint)?
+        };
         // (Re-attachment is implicit for the in-process mesh; a real client
         // would rebuild its RDMA connections here.)
         let resume_version = snap.resume_step.saturating_sub(1);
@@ -232,6 +294,48 @@ mod tests {
         assert_ne!(ida, idb);
         assert_ne!(ida, ida2);
         a.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn restart_skips_torn_checkpoint_and_falls_back() {
+        let (handles, mut clients) = setup(2, 2);
+        let mut consumer = clients.pop().unwrap();
+        let mut producer = clients.pop().unwrap();
+        let bbox = BBox::whole([16, 16, 16]);
+        for v in 1..=3u32 {
+            producer.put_with_log(0, v, &bbox, fill_for(v)).unwrap();
+            consumer.get_with_log(0, v, &bbox).unwrap();
+            consumer.workflow_check(v + 1, [v as u64; 4], 100).unwrap();
+        }
+        // The newest checkpoint (resume_step 4) was torn mid-write.
+        consumer.checkpoint_store().lock().tear_latest(consumer.app());
+        let snap = consumer.workflow_restart().unwrap();
+        assert_eq!(snap.resume_step, 3, "fell back to the previous complete checkpoint");
+        assert_eq!(consumer.torn_detected(), 1);
+        consumer.shutdown_servers();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn injected_torn_checkpoints_are_counted_and_skipped() {
+        let (handles, mut clients) = setup(1, 1);
+        // Every save torn: restore must find nothing valid.
+        let mut c = {
+            let c = clients.pop().unwrap();
+            let WorkflowClient { staging, ckpts, .. } = c;
+            WorkflowClient::new(staging, ckpts).with_ckpt_faults(1.0, 9)
+        };
+        c.workflow_check(2, [1, 1, 1, 1], 100).unwrap();
+        c.workflow_check(3, [2, 2, 2, 2], 100).unwrap();
+        assert_eq!(c.torn_injected(), 2);
+        assert_eq!(c.checkpoint_store().lock().torn_count(c.app()), 2);
+        assert_eq!(c.workflow_restart().unwrap_err(), WorkflowError::NoCheckpoint);
+        c.shutdown_servers();
         for h in handles {
             h.join().unwrap();
         }

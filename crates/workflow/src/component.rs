@@ -30,6 +30,7 @@
 
 use crate::config::{ComponentConfig, WorkflowConfig};
 use ckpt::target::CkptTarget;
+use faultplane::RetryPolicy;
 use mpi_sim::comm::Communicator;
 use mpi_sim::ulfm::{self, UlfmCosts};
 use net::des::{Delivered, EndpointId, NetworkHandle};
@@ -38,9 +39,12 @@ use sim_core::rng::Xoshiro256StarStar;
 use sim_core::time::SimTime;
 use staging::dist::Distribution;
 use staging::geometry::BBox;
-use staging::proto::{CtlRequest, CtlResponse, GetResponse, PutResponse, PutStatus};
+use staging::proto::{
+    CtlAck, CtlMsg, CtlRequest, CtlResponse, GetRequest, GetResponse, PutRequest, PutResponse,
+    PutStatus,
+};
 use staging::server::{plan_get, plan_put_virtual, HEADER_BYTES};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Kick-off message (runner → component at t=0).
 pub struct StartStep;
@@ -85,6 +89,20 @@ pub struct CkptRelease {
 pub struct RollbackComplete {
     /// First step to (re-)execute.
     pub resume_step: u32,
+}
+
+/// Self-timer: re-send unacknowledged requests (armed only when network
+/// fault injection is active). `incarnation`/`epoch` orphan stale ticks
+/// after a rollback or after the wait completed.
+struct RetryTick {
+    incarnation: u32,
+    epoch: u64,
+}
+
+/// A request kept for possible redelivery while unacknowledged.
+enum RetryReq {
+    Put(PutRequest),
+    Get(GetRequest),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +160,20 @@ pub struct ComponentActor {
     pending: usize,
     issue: HashMap<u64, SimTime>,
     seq: u64,
+    /// Retry policy; `Some` only when the run injects network faults.
+    retry: Option<RetryPolicy>,
+    /// Unacknowledged data requests kept for redelivery (retry runs only).
+    outstanding: BTreeMap<u64, (EndpointId, RetryReq)>,
+    /// Servers that have not acked the in-flight [`CtlMsg`] (retry runs).
+    ctl_outstanding: BTreeSet<EndpointId>,
+    /// The in-flight sequenced control envelope (retry runs).
+    ctl_msg: Option<CtlMsg>,
+    /// Orphans stale [`RetryTick`]s when a wait completes.
+    retry_epoch: u64,
+    /// Re-send rounds performed in the current wait.
+    retry_attempt: u32,
+    /// Cumulative backoff in the current wait (deadline accounting).
+    retry_backoff_ns: u64,
     last_ckpt_step: u32,
     /// Extra delay folded into the next compute phase (replication
     /// fail-over pauses).
@@ -218,6 +250,13 @@ impl ComponentActor {
             pending: 0,
             issue: HashMap::new(),
             seq: 0,
+            retry: None,
+            outstanding: BTreeMap::new(),
+            ctl_outstanding: BTreeSet::new(),
+            ctl_msg: None,
+            retry_epoch: 0,
+            retry_attempt: 0,
+            retry_backoff_ns: 0,
             last_ckpt_step: 0,
             pending_delay: SimTime::ZERO,
             proactive_pending: false,
@@ -250,6 +289,13 @@ impl ComponentActor {
     /// This component's app id.
     pub fn app(&self) -> u32 {
         self.cfg.app
+    }
+
+    /// Enable bounded retry of staging requests (runner wiring, fault runs
+    /// only). Control messages switch to the sequenced [`CtlMsg`] envelope
+    /// so servers can dedup redelivered non-idempotent control.
+    pub fn enable_retry(&mut self, policy: RetryPolicy) {
+        self.retry = Some(policy);
     }
 
     /// Rollback recoveries performed.
@@ -332,6 +378,9 @@ impl ComponentActor {
                     self.issue.insert(req.seq, ctx.now());
                     let size = HEADER_BYTES + req.payload.accounted_len();
                     let to = self.server_eps[server];
+                    if self.retry.is_some() {
+                        self.outstanding.insert(req.seq, (to, RetryReq::Put(req.clone())));
+                    }
                     self.net.send(ctx, self.ep, to, size, req);
                 }
             }
@@ -346,6 +395,9 @@ impl ComponentActor {
                 for (server, req) in reqs {
                     self.issue.insert(req.seq, ctx.now());
                     let to = self.server_eps[server];
+                    if self.retry.is_some() {
+                        self.outstanding.insert(req.seq, (to, RetryReq::Get(req.clone())));
+                    }
                     self.net.send(ctx, self.ep, to, HEADER_BYTES, req);
                 }
             }
@@ -355,7 +407,79 @@ impl ComponentActor {
         } else {
             self.pending = count;
             self.phase = Phase::IoWait;
+            self.arm_retry(ctx);
         }
+    }
+
+    // ---- retry machinery (network-fault runs only) ---------------------
+
+    /// Start a fresh retry window for the wait phase just entered.
+    fn arm_retry(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(p) = self.retry else { return };
+        self.retry_epoch += 1;
+        self.retry_attempt = 0;
+        self.retry_backoff_ns = 0;
+        let delay = SimTime::from_nanos(p.backoff_ns(1));
+        ctx.timer(delay, RetryTick { incarnation: self.incarnation, epoch: self.retry_epoch });
+    }
+
+    /// Leave the current wait: orphan pending ticks, drop kept requests.
+    fn cancel_retry(&mut self) {
+        self.retry_epoch += 1;
+        self.retry_attempt = 0;
+        self.retry_backoff_ns = 0;
+        self.outstanding.clear();
+        self.ctl_outstanding.clear();
+        self.ctl_msg = None;
+    }
+
+    fn on_retry_tick(&mut self, ctx: &mut Ctx<'_>, tick: &RetryTick) {
+        if tick.incarnation != self.incarnation || tick.epoch != self.retry_epoch {
+            return;
+        }
+        let Some(p) = self.retry else { return };
+        let window = p.backoff_ns(self.retry_attempt + 1);
+        self.retry_attempt += 1;
+        self.retry_backoff_ns = self.retry_backoff_ns.saturating_add(window);
+        if !p.allows(self.retry_attempt, self.retry_backoff_ns) {
+            // Budget exhausted: stop re-sending. The component wedges and
+            // the run's completion assertion surfaces it — DES fault runs
+            // use an unlimited-attempt policy, so reaching this means the
+            // policy was explicitly strict.
+            ctx.metrics().inc("wf.retry_exhausted", 1);
+            return;
+        }
+        let mut resent = 0u64;
+        match self.phase {
+            Phase::IoWait => {
+                for (to, req) in self.outstanding.values() {
+                    match req {
+                        RetryReq::Put(r) => {
+                            let size = HEADER_BYTES + r.payload.accounted_len();
+                            self.net.send(ctx, self.ep, *to, size, r.clone());
+                        }
+                        RetryReq::Get(r) => {
+                            self.net.send(ctx, self.ep, *to, HEADER_BYTES, r.clone());
+                        }
+                    }
+                    resent += 1;
+                }
+            }
+            Phase::CtlWait(_) => {
+                if let Some(msg) = self.ctl_msg {
+                    for &to in &self.ctl_outstanding {
+                        self.net.send(ctx, self.ep, to, HEADER_BYTES, msg);
+                        resent += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+        if resent > 0 {
+            ctx.metrics().inc("wf.net_retries", resent);
+        }
+        let delay = SimTime::from_nanos(p.backoff_ns(self.retry_attempt + 1));
+        ctx.timer(delay, RetryTick { incarnation: self.incarnation, epoch: self.retry_epoch });
     }
 
     fn ckpt_due(&self) -> bool {
@@ -370,6 +494,7 @@ impl ComponentActor {
     }
 
     fn step_io_done(&mut self, ctx: &mut Ctx<'_>) {
+        self.cancel_retry();
         // A predictor warning forces an out-of-band checkpoint under the
         // uncoordinated-family protocols (proactive checkpointing).
         let proactive_now = self.proactive_pending
@@ -408,8 +533,21 @@ impl ComponentActor {
     fn send_ctl_all(&mut self, ctx: &mut Ctx<'_>, req: CtlRequest, then: AfterCtl) {
         self.pending = self.server_eps.len();
         self.phase = Phase::CtlWait(then);
-        for &to in &self.server_eps {
-            self.net.send(ctx, self.ep, to, HEADER_BYTES, req);
+        if self.retry.is_some() {
+            // Control is not idempotent; under possible redelivery it rides
+            // the sequenced envelope the servers dedup on (app, seq).
+            let msg = CtlMsg { app: self.cfg.app, seq: self.seq, req };
+            self.seq += 1;
+            self.ctl_msg = Some(msg);
+            self.ctl_outstanding = self.server_eps.iter().copied().collect();
+            for &to in &self.server_eps {
+                self.net.send(ctx, self.ep, to, HEADER_BYTES, msg);
+            }
+            self.arm_retry(ctx);
+        } else {
+            for &to in &self.server_eps {
+                self.net.send(ctx, self.ep, to, HEADER_BYTES, req);
+            }
         }
     }
 
@@ -459,6 +597,7 @@ impl ComponentActor {
             // Co: the director orchestrates the global rollback.
             self.incarnation += 1;
             self.issue.clear();
+            self.cancel_retry();
             self.pending = 0;
             self.phase = Phase::Idle;
             let msg = crate::director::CoFailure { app: self.cfg.app };
@@ -473,6 +612,7 @@ impl ComponentActor {
     fn begin_rollback(&mut self, ctx: &mut Ctx<'_>) {
         self.incarnation += 1;
         self.issue.clear();
+        self.cancel_retry();
         self.pending = 0;
         self.recoveries += 1;
         ctx.metrics().inc("wf.recoveries", 1);
@@ -518,9 +658,11 @@ impl Actor for ComponentActor {
     fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
         let ev = match ev.downcast::<Delivered>() {
             Ok((_, d)) => {
+                let from = d.from;
                 let p = d.payload;
                 if p.is::<PutResponse>() {
                     let r = p.downcast::<PutResponse>().unwrap();
+                    self.outstanding.remove(&r.seq);
                     if let Some(t0) = self.issue.remove(&r.seq) {
                         let rt = ctx.now().saturating_sub(t0);
                         ctx.metrics().observe_tail("wf.put_response_s", rt.as_secs_f64());
@@ -536,6 +678,7 @@ impl Actor for ComponentActor {
                     }
                 } else if p.is::<GetResponse>() {
                     let r = p.downcast::<GetResponse>().unwrap();
+                    self.outstanding.remove(&r.seq);
                     if let Some(t0) = self.issue.remove(&r.seq) {
                         let rt = ctx.now().saturating_sub(t0);
                         ctx.metrics().observe_tail("wf.get_response_s", rt.as_secs_f64());
@@ -555,7 +698,32 @@ impl Actor for ComponentActor {
                             }
                         }
                     }
+                } else if p.is::<CtlAck>() {
+                    let ack = p.downcast::<CtlAck>().unwrap();
+                    if let Phase::CtlWait(then) = self.phase {
+                        // Per-server dedup: a transport-duplicated or
+                        // retried ack counts once.
+                        if self.ctl_msg.map(|m| m.seq) == Some(ack.seq)
+                            && self.ctl_outstanding.remove(&from)
+                        {
+                            self.pending = self.pending.saturating_sub(1);
+                            if self.pending == 0 {
+                                self.cancel_retry();
+                                match then {
+                                    AfterCtl::AdvanceStep => self.advance_step(ctx),
+                                    AfterCtl::ResumeCompute => self.begin_step(ctx),
+                                }
+                            }
+                        }
+                    }
                 }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<RetryTick>() {
+            Ok((_, t)) => {
+                self.on_retry_tick(ctx, &t);
                 return;
             }
             Err(ev) => ev,
@@ -613,6 +781,7 @@ impl Actor for ComponentActor {
                 if self.phase != Phase::Done {
                     self.incarnation += 1;
                     self.issue.clear();
+                    self.cancel_retry();
                     self.pending = 0;
                     self.recoveries += 1;
                     ctx.metrics().inc("wf.recoveries", 1);

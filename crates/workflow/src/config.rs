@@ -1,6 +1,7 @@
 //! Experiment configuration, including the paper's Table II and Table III
 //! setups.
 
+use faultplane::FaultPlan;
 use net::cost::CostModel;
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
@@ -132,6 +133,28 @@ pub enum FailureSpec {
     StagingAt {
         /// Failure time.
         at: SimTime,
+        /// Staging server index.
+        server: usize,
+    },
+    /// Seed-deterministic network fault injection (drop / duplication /
+    /// reordering / bounded extra delay) on the staging data path for the
+    /// whole run. The director's coordination channel is exempt — the
+    /// faulted surface is put/get/ctl traffic between components and
+    /// staging servers.
+    NetFaults {
+        /// The fault plan (rates, windows, seed).
+        plan: FaultPlan,
+    },
+    /// Transient stall of staging server `server` for `dur` starting at
+    /// `at` — a GC pause, OS jitter, or a slow RDMA completion queue.
+    /// Unlike [`FailureSpec::StagingAt`] this is *not* fail-stop: no state
+    /// is lost and no rebuild runs; requests queue and are served when the
+    /// stall ends.
+    StagingStall {
+        /// Stall start time.
+        at: SimTime,
+        /// Stall duration.
+        dur: SimTime,
         /// Staging server index.
         server: usize,
     },
@@ -284,6 +307,60 @@ impl WorkflowConfig {
         let mut c = self.clone();
         c.seed = seed;
         c
+    }
+
+    /// Append a network fault-injection plan on a copy.
+    pub fn with_net_faults(&self, plan: FaultPlan) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.failures.push(FailureSpec::NetFaults { plan });
+        c
+    }
+
+    /// Validate the failure plan against this configuration: component and
+    /// server indices must exist, rates must be probabilities, windows and
+    /// stalls must be non-empty.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, spec) in self.failures.iter().enumerate() {
+            let at_spec = |msg: String| format!("failures[{i}]: {msg}");
+            match spec {
+                FailureSpec::At { app, .. } => {
+                    if !self.components.iter().any(|c| c.app == *app) {
+                        return Err(at_spec(format!("unknown victim app {app}")));
+                    }
+                }
+                FailureSpec::Mtbf { mtbf_secs, count } => {
+                    if !(mtbf_secs.is_finite() && *mtbf_secs > 0.0) {
+                        return Err(at_spec(format!("MTBF must be positive, got {mtbf_secs}")));
+                    }
+                    if *count == 0 {
+                        return Err(at_spec("MTBF failure count must be nonzero".into()));
+                    }
+                }
+                FailureSpec::StagingAt { server, .. } => {
+                    if *server >= self.nservers {
+                        return Err(at_spec(format!(
+                            "staging server {server} out of range ({} servers)",
+                            self.nservers
+                        )));
+                    }
+                }
+                FailureSpec::NetFaults { plan } => {
+                    plan.validate().map_err(|e| at_spec(format!("bad fault plan: {e}")))?;
+                }
+                FailureSpec::StagingStall { dur, server, .. } => {
+                    if *server >= self.nservers {
+                        return Err(at_spec(format!(
+                            "staging server {server} out of range ({} servers)",
+                            self.nservers
+                        )));
+                    }
+                    if dur.0 == 0 {
+                        return Err(at_spec("stall duration must be nonzero".into()));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -694,5 +771,75 @@ mod tests {
         let fifth = c.bytes_per_step(200) as f64;
         let ratio = fifth * 5.0 / full;
         assert!((ratio - 1.0).abs() < 0.02, "ratio {ratio}");
+    }
+
+    fn plan(drop: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 9,
+            rates: faultplane::FaultRates { drop, ..Default::default() },
+            windows: vec![faultplane::FaultWindow { from_msg: 0, to_msg: 100 }],
+        }
+    }
+
+    #[test]
+    fn failure_spec_serde_round_trips() {
+        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![
+            FailureSpec::At { at: SimTime::from_millis(10), app: 0 },
+            FailureSpec::Mtbf { mtbf_secs: 300.0, count: 2 },
+            FailureSpec::StagingAt { at: SimTime::from_millis(20), server: 1 },
+            FailureSpec::NetFaults { plan: plan(0.25) },
+            FailureSpec::StagingStall {
+                at: SimTime::from_millis(30),
+                dur: SimTime::from_millis(5),
+                server: 2,
+            },
+        ]);
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: WorkflowConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.failures.len(), cfg.failures.len());
+        match (&back.failures[3], &cfg.failures[3]) {
+            (FailureSpec::NetFaults { plan: a }, FailureSpec::NetFaults { plan: b }) => {
+                assert_eq!(a, b, "fault plan survives the round trip");
+            }
+            _ => panic!("variant order changed"),
+        }
+        // Full-config byte equality: serializing the deserialized config
+        // reproduces the original document.
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn validate_rejects_bad_fault_plans() {
+        let base = tiny(WorkflowProtocol::Uncoordinated);
+        // Negative rate.
+        let bad = base.with_net_faults(plan(-0.1));
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("bad fault plan"), "{err}");
+        // Rate above one.
+        assert!(base.with_net_faults(plan(1.5)).validate().is_err());
+        // Empty (inverted) window.
+        let mut p = plan(0.1);
+        p.windows = vec![faultplane::FaultWindow { from_msg: 50, to_msg: 10 }];
+        assert!(base.with_net_faults(p).validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_indices_and_stalls() {
+        let base = tiny(WorkflowProtocol::Uncoordinated); // 4 servers, apps 0/1
+        let bad_app =
+            base.with_failures(vec![FailureSpec::At { at: SimTime::from_millis(1), app: 99 }]);
+        assert!(bad_app.validate().unwrap_err().contains("unknown victim"));
+        let bad_server =
+            base.with_failures(vec![FailureSpec::StagingAt { at: SimTime::ZERO, server: 4 }]);
+        assert!(bad_server.validate().unwrap_err().contains("out of range"));
+        let zero_stall = base.with_failures(vec![FailureSpec::StagingStall {
+            at: SimTime::ZERO,
+            dur: SimTime::ZERO,
+            server: 0,
+        }]);
+        assert!(zero_stall.validate().unwrap_err().contains("nonzero"));
+        let bad_mtbf = base.with_failures(vec![FailureSpec::Mtbf { mtbf_secs: -1.0, count: 1 }]);
+        assert!(bad_mtbf.validate().unwrap_err().contains("positive"));
     }
 }

@@ -67,6 +67,11 @@ pub struct RunReport {
     pub net_msgs: u64,
     /// Total bytes through the interconnect.
     pub net_bytes: u64,
+    /// Component-level retransmissions issued while riding out injected
+    /// network faults (0 in fault-free runs).
+    pub net_retries: u64,
+    /// Transient staging-server stall windows served through.
+    pub server_stalls: u64,
     /// Discrete events dispatched (simulation diagnostics).
     pub events_dispatched: u64,
 }
@@ -145,6 +150,8 @@ mod tests {
             co_rollback_s: 0.0,
             net_msgs: 0,
             net_bytes: 0,
+            net_retries: 0,
+            server_stalls: 0,
             events_dispatched: 0,
         }
     }

@@ -32,7 +32,10 @@ pub fn materialize_failures(cfg: &WorkflowConfig) -> Vec<FailureSpec> {
     let mut out = Vec::new();
     for spec in &cfg.failures {
         match spec {
-            FailureSpec::At { .. } | FailureSpec::StagingAt { .. } => out.push(spec.clone()),
+            FailureSpec::At { .. }
+            | FailureSpec::StagingAt { .. }
+            | FailureSpec::StagingStall { .. }
+            | FailureSpec::NetFaults { .. } => out.push(spec.clone()),
             FailureSpec::Mtbf { mtbf_secs, count } => {
                 let mut t = 0.0;
                 for _ in 0..*count {
@@ -139,6 +142,18 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     let comp_eps: Vec<usize> = comp_ids.iter().map(|&id| network.register(id)).collect();
     let server_eps: Vec<usize> = server_ids.iter().map(|&id| network.register(id)).collect();
     let dir_ep = network.register(dir_id);
+    // Network fault injection (independent of the protocol): install the
+    // plan before the network actor is registered, and exempt the director's
+    // coordination channel — the faulted surface is the staging data path.
+    let fault_plan = cfg.failures.iter().find_map(|s| match s {
+        FailureSpec::NetFaults { plan } => Some(plan.clone()),
+        _ => None,
+    });
+    if let Some(plan) = &fault_plan {
+        plan.validate().expect("invalid network fault plan");
+        network.set_fault_plan(plan.clone());
+        network.exempt_from_faults(dir_ep);
+    }
     let net_id = engine.add_actor(Box::new(network));
     let handle = NetworkHandle { actor: net_id };
 
@@ -146,6 +161,18 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     for (i, &cid) in comp_ids.iter().enumerate() {
         let c = engine.actor_as_mut::<ComponentActor>(cid).expect("component actor");
         c.wire(handle, comp_eps[i], server_eps.clone(), dir_id);
+        if fault_plan.is_some() {
+            // Unlimited attempts: virtual time is free, and a wedge from an
+            // exhausted budget would mask the fault being studied. Bases are
+            // sized to the DES transport's ms-scale RTTs.
+            c.enable_retry(faultplane::RetryPolicy {
+                max_attempts: 0,
+                base_ns: 20_000_000, // 20 ms
+                cap_ns: 160_000_000, // 160 ms
+                deadline_ns: 0,
+                seed: cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            });
+        }
     }
     for (i, &sid) in server_ids.iter().enumerate() {
         let s = engine.actor_as_mut::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
@@ -156,6 +183,16 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         dir_ep,
         server_eps.clone(),
     );
+
+    // 5b. Transient staging stalls: perturbations, not failures, so they are
+    // scheduled regardless of the protocol (even FailureFree serves through
+    // a stall — nothing is lost).
+    for spec in &cfg.failures {
+        if let FailureSpec::StagingStall { at, dur, server } = spec {
+            assert!(*server < server_ids.len(), "staging stall server index");
+            engine.schedule_at(*at, server_ids[*server], staging::server::Stall { dur: *dur });
+        }
+    }
 
     // 6. Failure plan.
     if cfg.protocol != WorkflowProtocol::FailureFree {
@@ -197,6 +234,8 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
                         },
                     );
                 }
+                // Installed on the network / scheduled in step 5b.
+                FailureSpec::NetFaults { .. } | FailureSpec::StagingStall { .. } => {}
                 FailureSpec::Mtbf { .. } => unreachable!("materialized"),
             }
         }
@@ -232,12 +271,14 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     let mut gc_reclaimed = 0u64;
     let mut staging_rebuilds = 0u64;
     let mut stale_gets = 0u64;
+    let mut server_stalls = 0u64;
     for (i, &sid) in server_ids.iter().enumerate() {
         let g = m.gauge(&format!("staging.server{i}.bytes"));
         staging_peak_bytes += g.peak.max(0) as u64;
         let s = engine.actor_as::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
         staging_final_bytes += s.logic().bytes_resident();
         staging_rebuilds += u64::from(s.rebuilds());
+        server_stalls += u64::from(s.stalls());
         stale_gets += s.logic().backend().stale_gets();
         if let Some(lb) = s.logic().backend().as_logging() {
             absorbed += lb.absorbed_puts();
@@ -289,6 +330,8 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         co_rollback_s: m.stream("wf.co_rollback_s").sum(),
         net_msgs: m.counter("net.msgs"),
         net_bytes: m.counter("net.bytes"),
+        net_retries: m.counter("wf.net_retries"),
+        server_stalls,
         events_dispatched: engine.dispatched(),
     }
 }
@@ -413,6 +456,77 @@ mod tests {
             "Un ({}) must beat Co ({}) when the small analytics fails",
             un.total_time_s,
             co.total_time_s
+        );
+    }
+
+    fn lossy_plan(seed: u64) -> faultplane::FaultPlan {
+        faultplane::FaultPlan {
+            seed,
+            rates: faultplane::FaultRates {
+                drop: 0.05,
+                duplicate: 0.10,
+                reorder: 0.05,
+                delay: 0.10,
+                max_extra_delay_ns: 500_000,
+                ..Default::default()
+            },
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn net_faults_are_ridden_out_by_retries() {
+        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_net_faults(lossy_plan(7));
+        let r = run(&cfg);
+        assert_eq!(r.puts, 12 * 8, "every put must eventually land");
+        assert_eq!(r.gets, 12 * 8);
+        assert_eq!(r.digest_mismatches, 0);
+        assert!(r.net_retries > 0, "a 5% drop rate over ~200 requests must retry");
+    }
+
+    #[test]
+    fn net_faults_compose_with_component_failure() {
+        use crate::config::FailureSpec;
+        let cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_failures(vec![FailureSpec::At {
+                at: sim_core::time::SimTime::from_millis(700),
+                app: 0,
+            }])
+            .with_net_faults(lossy_plan(11));
+        let r = run(&cfg);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.digest_mismatches, 0, "replay must stay exact under dup/drop/reorder");
+        assert!(r.absorbed_puts > 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let cfg = tiny(WorkflowProtocol::Uncoordinated).with_net_faults(lossy_plan(3));
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.total_time_s, b.total_time_s);
+        assert_eq!(a.events_dispatched, b.events_dispatched);
+        assert_eq!(a.net_retries, b.net_retries);
+    }
+
+    #[test]
+    fn staging_stall_is_served_through() {
+        use crate::config::FailureSpec;
+        let clean = run(&tiny(WorkflowProtocol::Uncoordinated));
+        let cfg =
+            tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![FailureSpec::StagingStall {
+                at: sim_core::time::SimTime::from_millis(600),
+                dur: sim_core::time::SimTime::from_millis(200),
+                server: 0,
+            }]);
+        let r = run(&cfg);
+        assert_eq!(r.server_stalls, 1);
+        assert_eq!(r.recoveries, 0, "a stall is not a failure");
+        assert_eq!(r.puts, clean.puts);
+        assert_eq!(r.digest_mismatches, 0);
+        assert!(
+            r.total_time_s >= clean.total_time_s,
+            "a stalled server cannot make the run faster"
         );
     }
 }

@@ -1,0 +1,39 @@
+//! Shared helpers for the repository-root integration tests.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Hang guard for tests that drive real OS threads: if the returned guard is
+/// still alive after `limit`, the whole process is aborted with a diagnostic
+/// so CI reports a crash (with the test name) instead of stalling until the
+/// harness-level timeout kills the job with no context.
+///
+/// Dropping the guard (the test finished, passed or panicked) disarms it.
+pub struct Watchdog {
+    done: Arc<AtomicBool>,
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.done.store(true, Ordering::Release);
+    }
+}
+
+/// Arm a watchdog for the calling test.
+pub fn watchdog(test: &'static str, limit: Duration) -> Watchdog {
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        while start.elapsed() < limit {
+            if flag.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("watchdog: test `{test}` still running after {limit:?}; aborting process");
+        std::process::abort();
+    });
+    Watchdog { done }
+}

@@ -6,6 +6,8 @@ use wfcr::protocol::WorkflowProtocol;
 use workflow::config::{tiny, FailureSpec};
 use workflow::runner::{materialize_failures, run};
 
+mod common;
+
 /// A 60-step tiny workflow with a dense failure schedule mixing component
 /// and staging-server failures.
 fn stress_cfg(protocol: WorkflowProtocol, seed: u64) -> workflow::WorkflowConfig {
@@ -28,6 +30,10 @@ fn stress_cfg(protocol: WorkflowProtocol, seed: u64) -> workflow::WorkflowConfig
 
 #[test]
 fn uncoordinated_survives_dense_failures() {
+    let _wd = common::watchdog(
+        "uncoordinated_survives_dense_failures",
+        std::time::Duration::from_secs(300),
+    );
     let r = run(&stress_cfg(WorkflowProtocol::Uncoordinated, 1));
     assert_eq!(r.finish_times_s.len(), 2);
     assert!(r.recoveries >= 4, "recoveries: {}", r.recoveries);
@@ -38,6 +44,8 @@ fn uncoordinated_survives_dense_failures() {
 
 #[test]
 fn hybrid_survives_dense_failures() {
+    let _wd =
+        common::watchdog("hybrid_survives_dense_failures", std::time::Duration::from_secs(300));
     let r = run(&stress_cfg(WorkflowProtocol::Hybrid, 2));
     assert_eq!(r.finish_times_s.len(), 2);
     assert!(r.failovers >= 1, "analytics failures fail over");
@@ -47,6 +55,10 @@ fn hybrid_survives_dense_failures() {
 
 #[test]
 fn coordinated_survives_dense_failures() {
+    let _wd = common::watchdog(
+        "coordinated_survives_dense_failures",
+        std::time::Duration::from_secs(300),
+    );
     let r = run(&stress_cfg(WorkflowProtocol::Coordinated, 3));
     assert_eq!(r.finish_times_s.len(), 2);
     assert!(r.recoveries >= 4);
@@ -54,6 +66,8 @@ fn coordinated_survives_dense_failures() {
 
 #[test]
 fn individual_survives_dense_failures() {
+    let _wd =
+        common::watchdog("individual_survives_dense_failures", std::time::Duration::from_secs(300));
     // In completes too (it just serves possibly-stale data).
     let r = run(&stress_cfg(WorkflowProtocol::Individual, 4));
     assert_eq!(r.finish_times_s.len(), 2);
@@ -61,6 +75,8 @@ fn individual_survives_dense_failures() {
 
 #[test]
 fn many_random_schedules_never_wedge() {
+    let _wd =
+        common::watchdog("many_random_schedules_never_wedge", std::time::Duration::from_secs(300));
     // 20 random MTBF schedules across protocols: every run terminates with
     // both components finished and a clean log.
     for seed in 0..20u64 {
@@ -81,6 +97,10 @@ fn many_random_schedules_never_wedge() {
 
 #[test]
 fn long_run_memory_stays_bounded_under_gc() {
+    let _wd = common::watchdog(
+        "long_run_memory_stays_bounded_under_gc",
+        std::time::Duration::from_secs(300),
+    );
     let mut cfg = tiny(WorkflowProtocol::Uncoordinated).with_failures(vec![]);
     cfg.total_steps = 30;
     let short = run(&cfg);

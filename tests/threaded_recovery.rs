@@ -17,6 +17,8 @@ use std::sync::Arc;
 use wfcr::backend::{pieces_digest, LoggingBackend};
 use wfcr::iface::WorkflowClient;
 
+mod common;
+
 const SIM: AppId = 0;
 const ANA: AppId = 1;
 
@@ -75,6 +77,10 @@ fn shutdown(c: Cluster) -> u64 {
 
 #[test]
 fn concurrent_producer_consumer_with_consumer_restart() {
+    let _wd = common::watchdog(
+        "concurrent_producer_consumer_with_consumer_restart",
+        std::time::Duration::from_secs(300),
+    );
     let mut c = cluster(3);
     let domain = c.domain;
     let steps = 10u32;
@@ -145,6 +151,10 @@ fn concurrent_producer_consumer_with_consumer_restart() {
 
 #[test]
 fn producer_restart_under_concurrent_reads() {
+    let _wd = common::watchdog(
+        "producer_restart_under_concurrent_reads",
+        std::time::Duration::from_secs(300),
+    );
     let mut c = cluster(2);
     let domain = c.domain;
 
@@ -199,6 +209,7 @@ fn producer_restart_under_concurrent_reads() {
 
 #[test]
 fn repeated_restarts_converge() {
+    let _wd = common::watchdog("repeated_restarts_converge", std::time::Duration::from_secs(300));
     let mut c = cluster(2);
     let domain = c.domain;
     let mut originals = Vec::new();

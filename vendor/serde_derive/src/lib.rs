@@ -114,7 +114,9 @@ fn parse_input(input: TokenStream) -> (String, Shape) {
 
 /// Does a bracket-group attribute body read `serde(default)`?
 fn attr_is_serde_default(g: &proc_macro::Group) -> bool {
-    let text: String = g.to_string().chars().filter(|c| !c.is_whitespace()).collect();
+    // Compare the *inner* stream: `g.to_string()` would include the
+    // bracket delimiters and never equal the bare attribute text.
+    let text: String = g.stream().to_string().chars().filter(|c| !c.is_whitespace()).collect();
     text == "serde(default)"
 }
 
