@@ -16,11 +16,20 @@
 //!   combination.
 //! * [`store`] — the checkpoint directory: save/restore with retention,
 //!   plus node-failure invalidation of node-local copies.
+//! * [`durable`] — the PFS tier made concrete: snapshots journaled through a
+//!   `logstore::LogStore` (real files via `FsMedia`), recovered after full
+//!   process death without re-sealing.
 
+pub mod durable;
 pub mod snapshot;
 pub mod store;
 pub mod target;
 
+/// Shared integrity primitives (re-exported from `logstore` so existing
+/// `ckpt`-only users keep one import path).
+pub use logstore::checksum;
+
+pub use durable::DurableTier;
 pub use snapshot::Snapshot;
-pub use store::CheckpointStore;
+pub use store::{CheckpointStore, SnapshotSink};
 pub use target::{CkptTarget, NodeLocalModel, PfsModel, TwoLevelModel};

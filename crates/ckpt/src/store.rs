@@ -9,6 +9,28 @@
 
 use crate::snapshot::Snapshot;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+/// A durable persistence hook invoked as the last step of every completed
+/// [`CheckpointStore::save`]. The production implementation is
+/// [`crate::durable::DurableTier`] (snapshots journaled through a
+/// `logstore::LogStore`); the default store has no sink and stays purely
+/// in-memory.
+pub trait SnapshotSink: Send {
+    /// Persist one sealed snapshot. Called after the seal, so what lands on
+    /// the media is exactly what a restore must verify.
+    fn persist(&mut self, snap: &Snapshot) -> std::io::Result<()>;
+}
+
+/// Holds the optional sink without breaking `CheckpointStore`'s `Debug`.
+#[derive(Default)]
+struct SinkSlot(Option<Box<dyn SnapshotSink>>);
+
+impl fmt::Debug for SinkSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() { "SinkSlot(attached)" } else { "SinkSlot(none)" })
+    }
+}
 
 /// In-memory checkpoint directory with bounded retention per component.
 #[derive(Debug)]
@@ -23,6 +45,11 @@ pub struct CheckpointStore {
     bytes_written: u64,
     /// Snapshots torn by fault injection ([`CheckpointStore::tear_latest`]).
     torn_injected: u64,
+    /// Optional durable backend.
+    sink: SinkSlot,
+    /// Persist calls that returned an error (the in-memory copy stays
+    /// authoritative; durability is degraded, not correctness).
+    sink_errors: u64,
 }
 
 impl CheckpointStore {
@@ -35,6 +62,40 @@ impl CheckpointStore {
             retention,
             bytes_written: 0,
             torn_injected: 0,
+            sink: SinkSlot(None),
+            sink_errors: 0,
+        }
+    }
+
+    /// Attach a durable backend; every subsequent save is persisted through
+    /// it after sealing.
+    pub fn attach_sink(&mut self, sink: Box<dyn SnapshotSink>) {
+        self.sink = SinkSlot(Some(sink));
+    }
+
+    /// Is a durable backend attached?
+    pub fn has_sink(&self) -> bool {
+        self.sink.0.is_some()
+    }
+
+    /// Persist calls that failed (durability degraded; in-memory state is
+    /// still authoritative).
+    pub fn sink_errors(&self) -> u64 {
+        self.sink_errors
+    }
+
+    /// Re-insert a snapshot recovered from durable storage, **without**
+    /// re-sealing it and without charging `bytes_written`: the snapshot is
+    /// stored exactly as read back, so one that was torn on the media still
+    /// fails [`Snapshot::is_intact`] and restore falls back — re-sealing
+    /// here would launder the damage. Retention applies as usual; restore in
+    /// oldest-to-newest order to keep the newest snapshots.
+    pub fn restore(&mut self, snap: Snapshot) {
+        let per_app = self.snaps.entry(snap.app).or_default();
+        per_app.insert(snap.ckpt_id, snap);
+        while per_app.len() > self.retention {
+            let (&oldest, _) = per_app.iter().next().expect("nonempty");
+            per_app.remove(&oldest);
         }
     }
 
@@ -45,6 +106,11 @@ impl CheckpointStore {
     /// snapshot, if retention pushed one out.
     pub fn save(&mut self, mut snap: Snapshot) -> Option<Snapshot> {
         snap.seal();
+        if let Some(sink) = self.sink.0.as_mut() {
+            if sink.persist(&snap).is_err() {
+                self.sink_errors += 1;
+            }
+        }
         self.bytes_written += snap.persisted_bytes();
         self.local_lost.remove(&snap.app);
         let per_app = self.snaps.entry(snap.app).or_default();

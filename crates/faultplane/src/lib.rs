@@ -23,9 +23,13 @@
 //! about those layers — it only hands out reproducible randomness.
 
 pub mod inject;
+pub mod media;
 pub mod plan;
 pub mod retry;
 
 pub use inject::{schedule, FaultDecision, FaultInjector, FaultReport};
+pub use media::{
+    decide_media, media_schedule, MediaFaultDecision, MediaFaultPlan, MediaFaultRates,
+};
 pub use plan::{FaultPlan, FaultRates, FaultWindow, PlanError};
 pub use retry::RetryPolicy;

@@ -1,0 +1,200 @@
+//! Byte-layer storage faults: torn/short writes, bit flips, skipped fsyncs.
+//!
+//! The plan layer for durable-log fault injection, mirroring [`crate::plan`]
+//! / [`crate::inject`]: a serializable `{seed, rates, windows}` description
+//! plus a pure per-operation decision function. The consumer is
+//! `logstore::media::FaultyMedia`, which wraps any `Media` implementation and
+//! applies the decision for each append/sync it forwards — this crate only
+//! hands out reproducible randomness, as with the message-fault plane.
+
+use crate::plan::{FaultWindow, PlanError};
+use serde::{Deserialize, Serialize};
+use sim_core::rng::SplitMix64;
+
+/// Per-operation storage fault probabilities.
+///
+/// Rates are independent Bernoulli draws evaluated in a fixed priority order
+/// (torn write ≻ bit flip ≻ skipped sync); at most one fault applies to an
+/// operation. Write faults (torn, flip) act on appends; a skipped-sync
+/// decision acts on fsyncs (an append drawing it is delivered clean, and
+/// vice versa).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MediaFaultRates {
+    /// Probability an append is torn: only a prefix of the bytes reaches the
+    /// media, silently (the caller believes the write completed — exactly
+    /// what a crash mid-`write(2)` leaves behind).
+    pub torn_write: f64,
+    /// Probability one byte of an append is corrupted in flight.
+    pub bitflip: f64,
+    /// Probability an fsync is silently skipped (a delayed/lost flush: bytes
+    /// already appended stay volatile and are lost by the next crash).
+    pub skipped_sync: f64,
+}
+
+impl Default for MediaFaultRates {
+    fn default() -> Self {
+        MediaFaultRates { torn_write: 0.0, bitflip: 0.0, skipped_sync: 0.0 }
+    }
+}
+
+/// A complete, reproducible storage fault plan.
+///
+/// With `windows` empty the rates apply to every media operation; otherwise
+/// only to operations whose index falls inside at least one window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MediaFaultPlan {
+    /// Seed for the per-operation decision stream.
+    pub seed: u64,
+    /// Storage fault probabilities.
+    pub rates: MediaFaultRates,
+    /// Active operation-index windows; empty means "always active".
+    #[serde(default)]
+    pub windows: Vec<FaultWindow>,
+}
+
+impl MediaFaultPlan {
+    /// A plan that injects nothing.
+    pub fn quiescent(seed: u64) -> Self {
+        MediaFaultPlan { seed, rates: MediaFaultRates::default(), windows: Vec::new() }
+    }
+
+    /// Is operation index `i` inside an active window?
+    pub fn active(&self, i: u64) -> bool {
+        self.windows.is_empty() || self.windows.iter().any(|w| w.contains(i))
+    }
+
+    /// Validate: every rate a probability, every window non-empty.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let rates = [
+            ("torn_write", self.rates.torn_write),
+            ("bitflip", self.rates.bitflip),
+            ("skipped_sync", self.rates.skipped_sync),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) || r.is_nan() {
+                return Err(PlanError::RateOutOfRange { name, value: r });
+            }
+        }
+        for (idx, w) in self.windows.iter().enumerate() {
+            if w.from_msg > w.to_msg {
+                return Err(PlanError::EmptyWindow { idx });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What to do with one media operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaFaultDecision {
+    /// Perform the operation faithfully.
+    Clean,
+    /// Write only a prefix of the bytes: `keep_millis`/1000 of the length
+    /// (rounded down, so possibly zero bytes) lands; report success.
+    TornWrite {
+        /// Fraction of the write to keep, in thousandths.
+        keep_millis: u64,
+    },
+    /// Corrupt one byte of the write (position and bit derived from `mix`).
+    BitFlip {
+        /// Entropy for choosing the corrupted position and bit.
+        mix: u64,
+    },
+    /// Silently skip the fsync.
+    SkippedSync,
+}
+
+/// The decision for media operation `i` under `plan` — a pure function of
+/// `(plan.seed, i)`, so storage fault schedules are byte-identical across
+/// runs (the same guarantee [`crate::inject::decide`] gives messages).
+pub fn decide_media(plan: &MediaFaultPlan, i: u64) -> MediaFaultDecision {
+    if !plan.active(i) {
+        return MediaFaultDecision::Clean;
+    }
+    let mut rng = SplitMix64::new(plan.seed ^ i.wrapping_mul(0xA24B_AED4_963E_E407));
+    let unit = |x: u64| (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let r = plan.rates;
+    let roll = unit(rng.next_u64());
+    if roll < r.torn_write {
+        MediaFaultDecision::TornWrite { keep_millis: rng.next_u64() % 1000 }
+    } else if roll < r.torn_write + r.bitflip {
+        MediaFaultDecision::BitFlip { mix: rng.next_u64() }
+    } else if roll < r.torn_write + r.bitflip + r.skipped_sync {
+        MediaFaultDecision::SkippedSync
+    } else {
+        MediaFaultDecision::Clean
+    }
+}
+
+/// The full decision schedule for the first `n` operations (determinism
+/// tests).
+pub fn media_schedule(plan: &MediaFaultPlan, n: u64) -> Vec<MediaFaultDecision> {
+    (0..n).map(|i| decide_media(plan, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torn(seed: u64) -> MediaFaultPlan {
+        MediaFaultPlan {
+            seed,
+            rates: MediaFaultRates { torn_write: 0.3, bitflip: 0.1, skipped_sync: 0.2 },
+            windows: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_in_index() {
+        let plan = torn(11);
+        for i in 0..500 {
+            assert_eq!(decide_media(&plan, i), decide_media(&plan, i));
+        }
+    }
+
+    #[test]
+    fn quiescent_never_faults() {
+        assert!(media_schedule(&MediaFaultPlan::quiescent(3), 1_000)
+            .iter()
+            .all(|d| *d == MediaFaultDecision::Clean));
+    }
+
+    #[test]
+    fn rates_roughly_honoured() {
+        let sched = media_schedule(&torn(5), 20_000);
+        let torn_frac =
+            sched.iter().filter(|d| matches!(d, MediaFaultDecision::TornWrite { .. })).count()
+                as f64
+                / 20_000.0;
+        assert!((0.25..0.35).contains(&torn_frac), "torn fraction {torn_frac} far from 0.3");
+    }
+
+    #[test]
+    fn windows_gate_activity() {
+        let mut plan = torn(7);
+        plan.windows = vec![FaultWindow { from_msg: 50, to_msg: 99 }];
+        let sched = media_schedule(&plan, 150);
+        assert!(sched[..50].iter().all(|d| *d == MediaFaultDecision::Clean));
+        assert!(sched[100..].iter().all(|d| *d == MediaFaultDecision::Clean));
+        assert!(sched[50..100].iter().any(|d| *d != MediaFaultDecision::Clean));
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates_and_windows() {
+        let mut p = torn(1);
+        assert!(p.validate().is_ok());
+        p.rates.bitflip = 1.5;
+        assert!(matches!(p.validate(), Err(PlanError::RateOutOfRange { name: "bitflip", .. })));
+        p.rates.bitflip = 0.0;
+        p.windows = vec![FaultWindow { from_msg: 9, to_msg: 2 }];
+        assert_eq!(p.validate(), Err(PlanError::EmptyWindow { idx: 0 }));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = torn(42);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: MediaFaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared integrity primitives: FNV-1a (snapshot seals) and CRC32-IEEE
+//! (record framing).
+//!
+//! One implementation serves every layer that needs a content checksum —
+//! `ckpt::Snapshot::seal` hashes its fields through [`Fnv1a`], and
+//! [`crate::store::LogStore`] frames records with [`Crc32`] — so torn-write
+//! detection semantics cannot drift between the snapshot and log paths.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Streaming FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    h: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// Start a hash at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a { h: FNV_OFFSET }
+    }
+
+    /// Absorb raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.h = (self.h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb one 64-bit word as its little-endian bytes.
+    pub fn update_u64(&mut self, w: u64) {
+        self.update(&w.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.h
+    }
+}
+
+/// FNV-1a of a byte slice in one call.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// The CRC32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) lookup table,
+/// computed at compile time so no external crate is needed.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC32-IEEE.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Start a fresh CRC.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            let idx = ((self.state ^ u32::from(b)) & 0xFF) as usize;
+            self.state = CRC_TABLE[idx] ^ (self.state >> 8);
+        }
+    }
+
+    /// The final (inverted) CRC value.
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+/// CRC32-IEEE of a byte slice in one call.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The canonical CRC32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut c = Crc32::new();
+        c.update(&data[..10]);
+        c.update(&data[10..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn fnv1a_known_vectors() {
+        // Reference vectors for 64-bit FNV-1a.
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+        assert_eq!(fnv1a(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_F739_67E8);
+    }
+
+    #[test]
+    fn fnv1a_word_update_matches_le_bytes() {
+        let mut a = Fnv1a::new();
+        a.update_u64(0x0102_0304_0506_0708);
+        let mut b = Fnv1a::new();
+        b.update(&0x0102_0304_0506_0708u64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn checksums_detect_single_bit_flips() {
+        let mut data = vec![7u8; 64];
+        let c0 = crc32(&data);
+        let f0 = fnv1a(&data);
+        for i in 0..64 {
+            data[i] ^= 1;
+            assert_ne!(crc32(&data), c0, "crc missed flip at {i}");
+            assert_ne!(fnv1a(&data), f0, "fnv missed flip at {i}");
+            data[i] ^= 1;
+        }
+    }
+}

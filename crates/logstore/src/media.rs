@@ -1,0 +1,442 @@
+//! The byte-level I/O seam under [`crate::store::LogStore`].
+//!
+//! [`Media`] is the smallest surface a segmented log needs: append bytes to a
+//! named file, fsync it, read it back, truncate it, remove it, list what
+//! exists. Three implementations cover the whole test matrix:
+//!
+//! * [`FsMedia`] — real files under a root directory (the production tier).
+//! * [`MemMedia`] — an in-memory filesystem whose handles are cheap clones of
+//!   one shared state, with an explicit [`MemMedia::crash`] that discards
+//!   every byte not yet fsynced — full process-death simulation without
+//!   touching disk.
+//! * [`FaultyMedia`] — wraps any media and applies
+//!   `faultplane::MediaFaultDecision`s (torn writes, bit flips, skipped
+//!   syncs) drawn deterministically from a `MediaFaultPlan`.
+
+use faultplane::{decide_media, MediaFaultDecision, MediaFaultPlan};
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Byte-level storage operations for log segments.
+///
+/// Implementations must make `append` + `sync` durable in order: after `sync`
+/// returns, every byte appended before it survives a crash. `append` alone
+/// promises nothing — that gap is exactly what the crash tests exploit.
+pub trait Media: Send {
+    /// Append `data` to file `name`, creating it if absent.
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Fsync file `name` (no-op if it does not exist).
+    fn sync(&mut self, name: &str) -> io::Result<()>;
+    /// Read the full contents of file `name`.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Truncate file `name` to `len` bytes.
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
+    /// Remove file `name` (ok if absent).
+    fn remove(&mut self, name: &str) -> io::Result<()>;
+    /// The names of all files present, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+}
+
+/// Real files under a root directory.
+///
+/// Cloning an `FsMedia` yields another handle onto the same directory, which
+/// is how a cold-restarted process "reopens" the log a dead one wrote.
+#[derive(Debug, Clone)]
+pub struct FsMedia {
+    root: PathBuf,
+}
+
+impl FsMedia {
+    /// Open (creating if needed) the directory `root` as a media.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(FsMedia { root })
+    }
+
+    /// The root directory this media stores files under.
+    pub fn root(&self) -> &PathBuf {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Media for FsMedia {
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        match fs::File::open(self.path(name)) {
+            Ok(f) => f.sync_all(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(self.path(name))?;
+        f.set_len(len)
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        match fs::remove_file(self.path(name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(n) = entry.file_name().to_str() {
+                    names.push(n.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[derive(Debug, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    /// How many bytes of `data` have been fsynced — the crash-survivable
+    /// prefix.
+    synced: usize,
+}
+
+/// In-memory media with crash simulation.
+///
+/// All clones share one underlying file map, so a "restarted process" opening
+/// a fresh `LogStore` over a clone sees exactly what the dead one persisted.
+#[derive(Debug, Clone, Default)]
+pub struct MemMedia {
+    files: Arc<Mutex<BTreeMap<String, MemFile>>>,
+}
+
+impl MemMedia {
+    /// A fresh, empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An independent copy of the current state (crash-point oracles mutate
+    /// many copies of one pristine image). Plain `clone` shares state;
+    /// `clone_deep` does not.
+    pub fn clone_deep(&self) -> Self {
+        let files = self.files.lock().unwrap();
+        let copied: BTreeMap<String, MemFile> = files
+            .iter()
+            .map(|(k, v)| (k.clone(), MemFile { data: v.data.clone(), synced: v.synced }))
+            .collect();
+        MemMedia { files: Arc::new(Mutex::new(copied)) }
+    }
+
+    /// Simulate power loss: every file loses all bytes not yet fsynced.
+    pub fn crash(&self) {
+        let mut files = self.files.lock().unwrap();
+        for f in files.values_mut() {
+            f.data.truncate(f.synced);
+        }
+    }
+
+    /// Total bytes currently stored across all files (test observability).
+    pub fn total_bytes(&self) -> usize {
+        self.files.lock().unwrap().values().map(|f| f.data.len()).sum()
+    }
+
+    /// Total bytes that would survive a crash right now.
+    pub fn synced_bytes(&self) -> usize {
+        self.files.lock().unwrap().values().map(|f| f.synced).sum()
+    }
+
+    /// Directly corrupt one byte of `name` at `pos` (crash-point oracles).
+    pub fn flip_byte(&self, name: &str, pos: usize) {
+        let mut files = self.files.lock().unwrap();
+        if let Some(f) = files.get_mut(name) {
+            if pos < f.data.len() {
+                f.data[pos] ^= 0x01;
+            }
+        }
+    }
+
+    /// Directly truncate `name` to `len` bytes, marking the remainder synced
+    /// (crash-point oracles: the file *is* this short on disk).
+    pub fn chop(&self, name: &str, len: usize) {
+        let mut files = self.files.lock().unwrap();
+        if let Some(f) = files.get_mut(name) {
+            f.data.truncate(len);
+            f.synced = f.synced.min(len);
+        }
+    }
+}
+
+impl Media for MemMedia {
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        files.entry(name.to_string()).or_default().data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        if let Some(f) = files.get_mut(name) {
+            f.synced = f.data.len();
+        }
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        let files = self.files.lock().unwrap();
+        files
+            .get(name)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files
+            .get_mut(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+        f.data.truncate(len as usize);
+        f.synced = f.synced.min(len as usize);
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.files.lock().unwrap().remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.files.lock().unwrap().keys().cloned().collect())
+    }
+}
+
+/// A media wrapper that injects storage faults per a deterministic
+/// `faultplane::MediaFaultPlan`.
+///
+/// Each append and each sync consumes one decision index, so the fault
+/// schedule is a pure function of the plan seed and operation order —
+/// re-running the same workload replays the same torn writes.
+#[derive(Debug)]
+pub struct FaultyMedia<M: Media> {
+    inner: M,
+    plan: MediaFaultPlan,
+    next_op: u64,
+    torn_writes: u64,
+    flipped_bytes: u64,
+    skipped_syncs: u64,
+}
+
+impl<M: Media> FaultyMedia<M> {
+    /// Wrap `inner`, drawing decisions from `plan`.
+    pub fn new(inner: M, plan: MediaFaultPlan) -> Self {
+        FaultyMedia { inner, plan, next_op: 0, torn_writes: 0, flipped_bytes: 0, skipped_syncs: 0 }
+    }
+
+    /// Appends delivered torn so far.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes
+    }
+
+    /// Appends delivered with a corrupted byte so far.
+    pub fn flipped_bytes(&self) -> u64 {
+        self.flipped_bytes
+    }
+
+    /// Fsyncs silently skipped so far.
+    pub fn skipped_syncs(&self) -> u64 {
+        self.skipped_syncs
+    }
+
+    /// The wrapped media.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    fn next_decision(&mut self) -> MediaFaultDecision {
+        let d = decide_media(&self.plan, self.next_op);
+        self.next_op += 1;
+        d
+    }
+}
+
+impl<M: Media> Media for FaultyMedia<M> {
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        match self.next_decision() {
+            MediaFaultDecision::TornWrite { keep_millis } => {
+                let keep = (data.len() as u64 * keep_millis / 1000) as usize;
+                self.torn_writes += 1;
+                self.inner.append(name, &data[..keep])
+            }
+            MediaFaultDecision::BitFlip { mix } if !data.is_empty() => {
+                let mut corrupted = data.to_vec();
+                let pos = (mix as usize) % corrupted.len();
+                corrupted[pos] ^= 1 << ((mix >> 32) % 8);
+                self.flipped_bytes += 1;
+                self.inner.append(name, &corrupted)
+            }
+            _ => self.inner.append(name, data),
+        }
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        match self.next_decision() {
+            MediaFaultDecision::SkippedSync => {
+                self.skipped_syncs += 1;
+                Ok(())
+            }
+            _ => self.inner.sync(name),
+        }
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.inner.read(name)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        self.inner.truncate(name, len)
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.inner.remove(name)
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.inner.list()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultplane::MediaFaultRates;
+
+    #[test]
+    fn mem_media_appends_and_lists() {
+        let mut m = MemMedia::new();
+        m.append("a.log", b"hello").unwrap();
+        m.append("a.log", b" world").unwrap();
+        m.append("b.log", b"x").unwrap();
+        assert_eq!(m.read("a.log").unwrap(), b"hello world");
+        assert_eq!(m.list().unwrap(), vec!["a.log".to_string(), "b.log".to_string()]);
+        m.remove("a.log").unwrap();
+        assert_eq!(m.list().unwrap(), vec!["b.log".to_string()]);
+    }
+
+    #[test]
+    fn mem_media_crash_discards_unsynced_tail() {
+        let mut m = MemMedia::new();
+        m.append("s.log", b"durable").unwrap();
+        m.sync("s.log").unwrap();
+        m.append("s.log", b" volatile").unwrap();
+        let clone = m.clone();
+        clone.crash();
+        assert_eq!(m.read("s.log").unwrap(), b"durable");
+    }
+
+    #[test]
+    fn mem_media_truncate_clamps_synced() {
+        let mut m = MemMedia::new();
+        m.append("t.log", b"0123456789").unwrap();
+        m.sync("t.log").unwrap();
+        m.truncate("t.log", 4).unwrap();
+        m.append("t.log", b"ab").unwrap();
+        m.crash();
+        // 4 synced bytes survive; the 2 appended after truncate were never
+        // fsynced.
+        assert_eq!(m.read("t.log").unwrap(), b"0123");
+    }
+
+    #[test]
+    fn fs_media_round_trips() {
+        let root = std::env::temp_dir().join(format!(
+            "logstore-media-{}-{:x}",
+            std::process::id(),
+            0x5eedu32
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let mut m = FsMedia::new(&root).unwrap();
+        m.append("seg.log", b"abc").unwrap();
+        m.append("seg.log", b"def").unwrap();
+        m.sync("seg.log").unwrap();
+        assert_eq!(m.read("seg.log").unwrap(), b"abcdef");
+        m.truncate("seg.log", 2).unwrap();
+        assert_eq!(m.read("seg.log").unwrap(), b"ab");
+        assert_eq!(m.list().unwrap(), vec!["seg.log".to_string()]);
+        m.remove("seg.log").unwrap();
+        assert!(m.list().unwrap().is_empty());
+        m.remove("seg.log").unwrap(); // idempotent
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faulty_media_tears_deterministically() {
+        let plan = MediaFaultPlan {
+            seed: 99,
+            rates: MediaFaultRates { torn_write: 1.0, bitflip: 0.0, skipped_sync: 0.0 },
+            windows: Vec::new(),
+        };
+        let run = |seed| {
+            let mut m = FaultyMedia::new(MemMedia::new(), MediaFaultPlan { seed, ..plan.clone() });
+            for _ in 0..8 {
+                m.append("x", &[0xAB; 100]).unwrap();
+            }
+            (m.torn_writes(), m.inner().read("x").unwrap().len())
+        };
+        let (torn, len) = run(99);
+        assert_eq!(torn, 8, "rate 1.0 must tear every append");
+        assert!(len < 800, "torn writes must shorten the file");
+        assert_eq!(run(99), (torn, len), "same seed, same tears");
+        assert_ne!(run(7).1, 0usize.wrapping_sub(1), "other seeds still run");
+    }
+
+    #[test]
+    fn faulty_media_skips_syncs() {
+        let plan = MediaFaultPlan {
+            seed: 3,
+            rates: MediaFaultRates { torn_write: 0.0, bitflip: 0.0, skipped_sync: 1.0 },
+            windows: Vec::new(),
+        };
+        let mem = MemMedia::new();
+        let mut m = FaultyMedia::new(mem.clone(), plan);
+        m.append("y", b"abcd").unwrap();
+        m.sync("y").unwrap();
+        assert_eq!(m.skipped_syncs(), 1);
+        mem.crash();
+        assert!(mem.read("y").unwrap().is_empty(), "skipped sync means crash loses the bytes");
+    }
+
+    #[test]
+    fn faulty_media_flips_exactly_one_byte() {
+        let plan = MediaFaultPlan {
+            seed: 17,
+            rates: MediaFaultRates { torn_write: 0.0, bitflip: 1.0, skipped_sync: 0.0 },
+            windows: Vec::new(),
+        };
+        let mem = MemMedia::new();
+        let mut m = FaultyMedia::new(mem.clone(), plan);
+        m.append("z", &[0u8; 64]).unwrap();
+        assert_eq!(m.flipped_bytes(), 1);
+        let stored = mem.read("z").unwrap();
+        assert_eq!(stored.iter().filter(|&&b| b != 0).count(), 1);
+    }
+}

@@ -1,0 +1,667 @@
+//! The segmented append-only log.
+//!
+//! On-media layout: a directory of segment files `seg-00000000.log`,
+//! `seg-00000001.log`, … Each file starts with an 8-byte magic and then holds
+//! back-to-back frames:
+//!
+//! ```text
+//! [len: u32 LE] [seq: u64 LE] [watermark: u64 LE] [crc32: u32 LE] [payload]
+//! ```
+//!
+//! where `crc32` covers the LE bytes of `seq`, then `watermark`, then the
+//! payload. `seq` increments by one per record across the whole log; recovery
+//! enforces contiguity, which is what catches the one damage shape a CRC
+//! cannot: a sealed segment truncated exactly on a frame boundary, which
+//! would otherwise read as a shorter-but-valid segment and let later
+//! segments smuggle a gap into the stream.
+//!
+//! Appends buffer frames in memory and push them to the media under a
+//! [`FlushPolicy`]; only flushed-and-synced bytes survive a crash. Recovery
+//! ([`LogStore::open`]) scans segments in index order, truncates at the
+//! first torn, corrupt, or out-of-sequence frame and discards everything
+//! after it — the surviving log is always a checksum-clean prefix of what
+//! was written, the invariant the crash-point oracle pins down byte by byte.
+
+use crate::checksum::Crc32;
+use crate::media::Media;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::time::Instant;
+
+/// First 8 bytes of every segment file: `LSEG`, format version 1, padding.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"LSEG\x01\0\0\0";
+
+/// Bytes of frame header before the payload: len + seq + watermark + crc.
+pub const FRAME_HEADER: usize = 4 + 8 + 8 + 4;
+
+/// When buffered frames are pushed to the media and fsynced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushPolicy {
+    /// Flush + fsync after every record (strongest, slowest).
+    PerRecord,
+    /// Flush + fsync once `records` records have accumulated.
+    PerBatch {
+        /// Batch size in records.
+        records: usize,
+    },
+    /// Flush + fsync when at least `ms` milliseconds passed since the last
+    /// flush (checked at append time; an idle log flushes nothing).
+    IntervalMs {
+        /// Minimum interval between flushes.
+        ms: u64,
+    },
+}
+
+/// Log configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogConfig {
+    /// Rotate to a new segment once the active one would exceed this size
+    /// (bytes, including the magic). A single oversized record still lands
+    /// whole — segments are never split mid-frame.
+    pub segment_bytes: u64,
+    /// Flush/fsync policy.
+    pub flush: FlushPolicy,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig { segment_bytes: 64 * 1024, flush: FlushPolicy::PerBatch { records: 16 } }
+    }
+}
+
+/// One decoded log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Position in the append stream (contiguous; recovery rejects gaps).
+    pub seq: u64,
+    /// Compaction watermark (e.g. the staging version or `W_Chk_ID` the
+    /// record belongs to).
+    pub watermark: u64,
+    /// Record body.
+    pub payload: Vec<u8>,
+}
+
+#[derive(Debug, Clone)]
+struct SegmentMeta {
+    index: u64,
+    /// Bytes on the media (magic + flushed frames). Buffered frames are not
+    /// included until flushed.
+    disk_len: u64,
+    max_watermark: Option<u64>,
+    records: u64,
+}
+
+fn seg_name(index: u64) -> String {
+    format!("seg-{index:08}.log")
+}
+
+fn parse_seg_name(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".log")?.parse().ok()
+}
+
+fn encode_frame(seq: u64, watermark: u64, payload: &[u8]) -> Vec<u8> {
+    let mut crc = Crc32::new();
+    crc.update(&seq.to_le_bytes());
+    crc.update(&watermark.to_le_bytes());
+    crc.update(payload);
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&watermark.to_le_bytes());
+    frame.extend_from_slice(&crc.finish().to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Parse the frame at `data[offset..end]`. Returns the record and the next
+/// offset, or `None` if the frame is torn, corrupt, or out of sequence.
+fn decode_frame(
+    data: &[u8],
+    offset: usize,
+    end: usize,
+    expected_seq: Option<u64>,
+) -> Option<(Record, usize)> {
+    if end - offset < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+    if end - offset - FRAME_HEADER < len {
+        return None;
+    }
+    let seq = u64::from_le_bytes(data[offset + 4..offset + 12].try_into().unwrap());
+    let watermark = u64::from_le_bytes(data[offset + 12..offset + 20].try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(data[offset + 20..offset + 24].try_into().unwrap());
+    let payload = &data[offset + FRAME_HEADER..offset + FRAME_HEADER + len];
+    let mut crc = Crc32::new();
+    crc.update(&seq.to_le_bytes());
+    crc.update(&watermark.to_le_bytes());
+    crc.update(payload);
+    if crc.finish() != stored_crc {
+        return None;
+    }
+    if expected_seq.is_some_and(|e| e != seq) {
+        return None;
+    }
+    Some((Record { seq, watermark, payload: payload.to_vec() }, offset + FRAME_HEADER + len))
+}
+
+/// The durable segmented log. See the module docs for the format.
+///
+/// There is deliberately **no** flush-on-drop: a dropped `LogStore` loses its
+/// buffered tail exactly as a killed process would, which is what the cold
+/// restart tests rely on. Call [`LogStore::flush`] before a graceful
+/// shutdown.
+pub struct LogStore {
+    media: Box<dyn Media>,
+    cfg: LogConfig,
+    /// All live segments in index order; the last one is active.
+    segments: Vec<SegmentMeta>,
+    next_seq: u64,
+    buf: Vec<u8>,
+    buf_records: usize,
+    last_flush: Instant,
+    bytes_flushed: u64,
+    bytes_appended: u64,
+    records_appended: u64,
+    segments_compacted: u64,
+    recovered_records: u64,
+    truncated_bytes: u64,
+    removed_segments: u64,
+}
+
+impl std::fmt::Debug for LogStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogStore")
+            .field("cfg", &self.cfg)
+            .field("segments", &self.segments.len())
+            .field("buffered_bytes", &self.buf.len())
+            .field("bytes_flushed", &self.bytes_flushed)
+            .finish()
+    }
+}
+
+impl LogStore {
+    /// Open a log over `media`, running the recovery scan.
+    ///
+    /// The scan walks segments in index order and keeps the longest
+    /// checksum-clean prefix: the first segment with a short/invalid magic is
+    /// removed; the first torn or CRC-failing frame truncates its segment at
+    /// that offset; every segment after the first damage is removed (a later
+    /// segment cannot be trusted once an earlier one lost its tail — order
+    /// across segments must match append order).
+    pub fn open(media: Box<dyn Media>, cfg: LogConfig) -> io::Result<Self> {
+        let mut store = LogStore {
+            media,
+            cfg,
+            segments: Vec::new(),
+            next_seq: 0,
+            buf: Vec::new(),
+            buf_records: 0,
+            last_flush: Instant::now(),
+            bytes_flushed: 0,
+            bytes_appended: 0,
+            records_appended: 0,
+            segments_compacted: 0,
+            recovered_records: 0,
+            truncated_bytes: 0,
+            removed_segments: 0,
+        };
+        store.recover()?;
+        if store.segments.is_empty() {
+            store.create_segment(0)?;
+        }
+        Ok(store)
+    }
+
+    fn recover(&mut self) -> io::Result<()> {
+        let mut indices: Vec<u64> =
+            self.media.list()?.iter().filter_map(|n| parse_seg_name(n)).collect();
+        indices.sort_unstable();
+        let mut clean = true;
+        // Contiguity across the whole scan; `None` accepts any starting seq
+        // (compaction may have deleted the front of the log).
+        let mut expected_seq: Option<u64> = None;
+        let mut first = true;
+        for index in indices {
+            let name = seg_name(index);
+            if !clean {
+                self.media.remove(&name)?;
+                self.removed_segments += 1;
+                continue;
+            }
+            if !first && expected_seq.is_none() {
+                // An earlier surviving segment holds zero records. Rotation
+                // only ever seals a segment with records in it, so a later
+                // segment can exist only if the empty one lost its whole
+                // tail — distrust everything from here on.
+                clean = false;
+                self.media.remove(&name)?;
+                self.removed_segments += 1;
+                continue;
+            }
+            first = false;
+            let data = self.media.read(&name)?;
+            if data.len() < SEGMENT_MAGIC.len() || data[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                self.truncated_bytes += data.len() as u64;
+                self.media.remove(&name)?;
+                self.removed_segments += 1;
+                clean = false;
+                continue;
+            }
+            let mut meta = SegmentMeta {
+                index,
+                disk_len: SEGMENT_MAGIC.len() as u64,
+                max_watermark: None,
+                records: 0,
+            };
+            let mut offset = SEGMENT_MAGIC.len();
+            while let Some((rec, next)) = decode_frame(&data, offset, data.len(), expected_seq) {
+                offset = next;
+                expected_seq = Some(rec.seq + 1);
+                meta.records += 1;
+                meta.max_watermark =
+                    Some(meta.max_watermark.map_or(rec.watermark, |m| m.max(rec.watermark)));
+                self.recovered_records += 1;
+            }
+            if offset < data.len() {
+                // Torn tail (mid-frame crash), corruption, or a sequence gap
+                // — in all cases nothing at or past this offset is trusted.
+                clean = false;
+            }
+            if !clean {
+                self.truncated_bytes += (data.len() - offset) as u64;
+                self.media.truncate(&name, offset as u64)?;
+            }
+            meta.disk_len = offset as u64;
+            self.segments.push(meta);
+        }
+        self.next_seq = expected_seq.unwrap_or(0);
+        Ok(())
+    }
+
+    fn create_segment(&mut self, index: u64) -> io::Result<()> {
+        let name = seg_name(index);
+        self.media.append(&name, &SEGMENT_MAGIC)?;
+        self.media.sync(&name)?;
+        self.bytes_flushed += SEGMENT_MAGIC.len() as u64;
+        self.segments.push(SegmentMeta {
+            index,
+            disk_len: SEGMENT_MAGIC.len() as u64,
+            max_watermark: None,
+            records: 0,
+        });
+        Ok(())
+    }
+
+    fn active(&self) -> &SegmentMeta {
+        self.segments.last().expect("log always has an active segment")
+    }
+
+    fn active_mut(&mut self) -> &mut SegmentMeta {
+        self.segments.last_mut().expect("log always has an active segment")
+    }
+
+    /// Append one record; flushing is governed by the configured policy.
+    pub fn append(&mut self, watermark: u64, payload: &[u8]) -> io::Result<()> {
+        let frame = encode_frame(self.next_seq, watermark, payload);
+        self.next_seq += 1;
+        let active = self.active();
+        let would_be = active.disk_len + self.buf.len() as u64 + frame.len() as u64;
+        if would_be > self.cfg.segment_bytes && active.records + self.buf_records as u64 > 0 {
+            self.flush()?;
+            let next = self.active().index + 1;
+            self.create_segment(next)?;
+        }
+        self.bytes_appended += frame.len() as u64;
+        self.records_appended += 1;
+        self.buf.extend_from_slice(&frame);
+        self.buf_records += 1;
+        let active = self.active_mut();
+        active.records += 1;
+        active.max_watermark = Some(active.max_watermark.map_or(watermark, |m| m.max(watermark)));
+        let due = match self.cfg.flush {
+            FlushPolicy::PerRecord => true,
+            FlushPolicy::PerBatch { records } => self.buf_records >= records,
+            FlushPolicy::IntervalMs { ms } => self.last_flush.elapsed().as_millis() >= ms as u128,
+        };
+        if due {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Push all buffered frames to the media and fsync the active segment.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let name = seg_name(self.active().index);
+        self.media.append(&name, &self.buf)?;
+        self.media.sync(&name)?;
+        self.bytes_flushed += self.buf.len() as u64;
+        self.active_mut().disk_len += self.buf.len() as u64;
+        self.buf.clear();
+        self.buf_records = 0;
+        self.last_flush = Instant::now();
+        Ok(())
+    }
+
+    /// Delete leading sealed segments whose every record sits strictly below
+    /// `floor` — the on-disk analogue of `wfcr::gc` truncating event queues
+    /// under the minimum `W_Chk_ID` mark. Compaction stops at the first
+    /// segment it must keep (only a *prefix* is removed, so the surviving
+    /// sequence stays contiguous and recovery's gap check keeps its teeth),
+    /// and the active segment is never deleted. Returns the number of
+    /// segments removed.
+    pub fn compact_below(&mut self, floor: u64) -> io::Result<usize> {
+        let mut removed = 0usize;
+        let last = self.segments.len() - 1;
+        while removed < last {
+            let seg = &self.segments[removed];
+            if seg.records == 0 || seg.max_watermark.is_none_or(|w| w >= floor) {
+                break;
+            }
+            self.media.remove(&seg_name(seg.index))?;
+            removed += 1;
+        }
+        self.segments.drain(..removed);
+        self.segments_compacted += removed as u64;
+        Ok(removed)
+    }
+
+    /// Decode every durable record, in append order. Buffered (unflushed)
+    /// records are not included — this reads what a restart would see.
+    pub fn read_all(&self) -> io::Result<Vec<Record>> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            let data = self.media.read(&seg_name(seg.index))?;
+            let end = (seg.disk_len as usize).min(data.len());
+            let mut offset = SEGMENT_MAGIC.len();
+            while let Some((rec, next)) = decode_frame(&data, offset, end, None) {
+                out.push(rec);
+                offset = next;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bytes physically flushed and fsynced so far (magic bytes included).
+    pub fn bytes_flushed(&self) -> u64 {
+        self.bytes_flushed
+    }
+
+    /// Bytes appended (framed) so far, flushed or not.
+    pub fn bytes_appended(&self) -> u64 {
+        self.bytes_appended
+    }
+
+    /// Records appended so far, flushed or not.
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Segments deleted by compaction over this handle's lifetime.
+    pub fn segments_compacted(&self) -> u64 {
+        self.segments_compacted
+    }
+
+    /// Live segment files (sealed + active).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Intact records found by the opening recovery scan.
+    pub fn recovered_records(&self) -> u64 {
+        self.recovered_records
+    }
+
+    /// Bytes discarded by the opening recovery scan (torn tails + bad-magic
+    /// files).
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated_bytes
+    }
+
+    /// Whole segment files removed by the opening recovery scan.
+    pub fn removed_segments(&self) -> u64 {
+        self.removed_segments
+    }
+
+    /// Did the opening recovery scan find the log byte-perfect?
+    pub fn was_clean(&self) -> bool {
+        self.truncated_bytes == 0 && self.removed_segments == 0
+    }
+
+    /// The configuration this log runs under.
+    pub fn config(&self) -> LogConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MemMedia;
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("record-{i}-{}", "x".repeat((i % 7) as usize)).into_bytes()
+    }
+
+    fn filled(mem: &MemMedia, cfg: LogConfig, n: u64) -> LogStore {
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        for i in 0..n {
+            log.append(i, &payload(i)).unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        let log = filled(&mem, cfg, 20);
+        let records = log.read_all().unwrap();
+        assert_eq!(records.len(), 20);
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.watermark, i as u64);
+            assert_eq!(r.payload, payload(i as u64));
+        }
+        assert_eq!(log.records_appended(), 20);
+        assert!(log.bytes_flushed() >= log.bytes_appended());
+    }
+
+    #[test]
+    fn per_batch_buffers_until_batch_full() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerBatch { records: 8 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        for i in 0..7 {
+            log.append(i, b"abc").unwrap();
+        }
+        // 7 < 8: nothing but the magic is on media yet.
+        assert_eq!(mem.total_bytes(), SEGMENT_MAGIC.len());
+        log.append(7, b"abc").unwrap();
+        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+    }
+
+    #[test]
+    fn crash_loses_only_the_buffered_tail() {
+        let mem = MemMedia::new();
+        let cfg =
+            LogConfig { flush: FlushPolicy::PerBatch { records: 100 }, ..LogConfig::default() };
+        let mut log = filled(&mem, cfg, 10);
+        log.flush().unwrap();
+        for i in 10..15 {
+            log.append(i, &payload(i)).unwrap();
+        }
+        drop(log); // no flush-on-drop: records 10..15 are volatile
+        mem.crash();
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let records = reopened.read_all().unwrap();
+        assert_eq!(records.len(), 10, "exactly the flushed prefix survives");
+        assert!(reopened.was_clean());
+    }
+
+    #[test]
+    fn rotates_segments_at_size_threshold() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { segment_bytes: 128, flush: FlushPolicy::PerRecord };
+        let log = filled(&mem, cfg, 30);
+        assert!(log.segment_count() > 1, "30 records at 128B/segment must rotate");
+        assert_eq!(log.read_all().unwrap().len(), 30);
+        // Every segment file carries the magic.
+        for name in mem.list().unwrap() {
+            assert_eq!(&mem.read(&name).unwrap()[..8], &SEGMENT_MAGIC);
+        }
+    }
+
+    #[test]
+    fn oversized_record_lands_whole() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { segment_bytes: 64, flush: FlushPolicy::PerRecord };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let big = vec![0xCDu8; 500];
+        log.append(1, &big).unwrap();
+        log.append(2, b"small").unwrap();
+        let records = log.read_all().unwrap();
+        assert_eq!(records[0].payload, big);
+        assert_eq!(records[1].payload, b"small");
+    }
+
+    #[test]
+    fn compaction_removes_only_sealed_below_floor() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { segment_bytes: 128, flush: FlushPolicy::PerRecord };
+        let mut log = filled(&mem, cfg, 40);
+        let before = log.segment_count();
+        assert!(before > 2);
+        let removed = log.compact_below(20).unwrap();
+        assert!(removed > 0);
+        assert_eq!(log.segment_count(), before - removed);
+        assert_eq!(log.segments_compacted(), removed as u64);
+        // Surviving records are exactly those the floor does not cover, plus
+        // any sharing a segment with one at/above the floor.
+        let survivors = log.read_all().unwrap();
+        assert!(survivors.iter().any(|r| r.watermark >= 20));
+        let min_surviving = survivors.iter().map(|r| r.watermark).min().unwrap();
+        // No record at or above the floor was lost.
+        let kept_high: Vec<u64> =
+            survivors.iter().map(|r| r.watermark).filter(|&w| w >= 20).collect();
+        assert_eq!(kept_high, (20..40).collect::<Vec<u64>>());
+        // Compacting everything never deletes the active segment.
+        log.compact_below(u64::MAX).unwrap();
+        assert!(log.segment_count() >= 1);
+        let _ = min_surviving;
+    }
+
+    #[test]
+    fn recovery_truncates_torn_tail() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        let log = filled(&mem, cfg, 5);
+        drop(log);
+        // Tear the last frame: cut 3 bytes off the single segment.
+        let name = seg_name(0);
+        let len = mem.read(&name).unwrap().len();
+        mem.chop(&name, len - 3);
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert_eq!(reopened.recovered_records(), 4);
+        assert_eq!(reopened.truncated_bytes() as usize, {
+            let frame = FRAME_HEADER + payload(4).len();
+            frame - 3
+        });
+        assert!(!reopened.was_clean());
+        let records = reopened.read_all().unwrap();
+        assert_eq!(records.len(), 4);
+        // Appending after recovery works and round-trips.
+        let mut reopened = reopened;
+        reopened.append(99, b"after").unwrap();
+        assert_eq!(reopened.read_all().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn recovery_detects_bitflips() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        drop(filled(&mem, cfg, 6));
+        // Flip a byte inside the 3rd record's payload region.
+        let frame = FRAME_HEADER + payload(0).len();
+        mem.flip_byte(&seg_name(0), SEGMENT_MAGIC.len() + 2 * frame + FRAME_HEADER + 1);
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert!(reopened.recovered_records() < 6);
+        assert!(!reopened.was_clean());
+        for (i, r) in reopened.read_all().unwrap().iter().enumerate() {
+            assert_eq!(r.payload, payload(i as u64), "surviving prefix must be clean");
+        }
+    }
+
+    #[test]
+    fn damage_in_early_segment_discards_later_segments() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { segment_bytes: 128, flush: FlushPolicy::PerRecord };
+        let log = filled(&mem, cfg, 40);
+        assert!(log.segment_count() >= 3);
+        drop(log);
+        // Corrupt segment 1; segments 2.. must be removed wholesale.
+        mem.flip_byte(&seg_name(1), SEGMENT_MAGIC.len() + 5);
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert!(reopened.removed_segments() > 0);
+        let survivors = reopened.read_all().unwrap();
+        for (i, r) in survivors.iter().enumerate() {
+            assert_eq!(r.watermark, i as u64);
+        }
+        let on_media = mem.list().unwrap();
+        assert_eq!(on_media.len(), reopened.segment_count());
+    }
+
+    #[test]
+    fn bad_magic_removes_file() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        drop(filled(&mem, cfg, 3));
+        mem.chop(&seg_name(0), 4); // shorter than the magic
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert_eq!(reopened.recovered_records(), 0);
+        assert_eq!(reopened.removed_segments(), 1);
+        // A fresh active segment exists and is writable.
+        let mut reopened = reopened;
+        reopened.append(1, b"fresh").unwrap();
+        assert_eq!(reopened.read_all().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn interval_zero_flushes_every_append() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::IntervalMs { ms: 0 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        log.append(1, b"x").unwrap();
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
+    }
+
+    #[test]
+    fn reopen_is_idempotent() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { segment_bytes: 256, flush: FlushPolicy::PerRecord };
+        drop(filled(&mem, cfg, 25));
+        let first = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let records = first.read_all().unwrap();
+        drop(first);
+        let second = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert!(second.was_clean());
+        assert_eq!(second.read_all().unwrap(), records);
+    }
+
+    #[test]
+    fn flush_policy_serde_round_trips() {
+        for cfg in [
+            LogConfig::default(),
+            LogConfig { segment_bytes: 1024, flush: FlushPolicy::PerRecord },
+            LogConfig { segment_bytes: 4096, flush: FlushPolicy::IntervalMs { ms: 50 } },
+        ] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: LogConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+}

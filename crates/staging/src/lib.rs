@@ -43,6 +43,7 @@ pub mod server;
 pub mod service;
 pub mod sfc;
 pub mod store;
+pub mod store_journal;
 pub mod store_linear;
 pub mod threaded;
 

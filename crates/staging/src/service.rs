@@ -13,6 +13,7 @@ use crate::proto::{
     PutResponse, PutStatus,
 };
 use crate::store::VersionedStore;
+use crate::store_journal::{StoreJournal, StoreJournalEntry};
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
@@ -116,12 +117,57 @@ pub struct PlainBackend {
     /// newer-resolved data). Zero in correct executions; nonzero quantifies
     /// the "In" baseline's lack of a consistency guarantee.
     stale_gets: u64,
+    /// Optional durable twin of the store's write/control history.
+    journal: Option<StoreJournal>,
 }
 
 impl PlainBackend {
     /// Baseline staging retaining `max_versions` versions per variable.
     pub fn new(max_versions: usize) -> Self {
-        PlainBackend { store: VersionedStore::bounded(max_versions), stale_gets: 0 }
+        PlainBackend { store: VersionedStore::bounded(max_versions), stale_gets: 0, journal: None }
+    }
+
+    /// Rebuild from surviving journal entries (cold restart): replays puts
+    /// and global resets in recorded order into a fresh bounded store.
+    pub fn from_journal(entries: &[StoreJournalEntry], max_versions: usize) -> Self {
+        PlainBackend {
+            store: crate::store_journal::replay_into_store(entries, max_versions),
+            stale_gets: 0,
+            journal: None,
+        }
+    }
+
+    /// Attach a durable journal sink; subsequent puts and control events are
+    /// recorded through it.
+    pub fn attach_journal(&mut self, sink: Box<dyn logstore::Journal>) {
+        self.journal = Some(StoreJournal::new(sink));
+    }
+
+    /// Is a journal sink attached?
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Force the journal's buffered tail down (graceful shutdown / harvest).
+    pub fn flush_journal(&mut self) {
+        if let Some(j) = self.journal.as_mut() {
+            j.flush();
+        }
+    }
+
+    /// Bytes the journal has physically flushed (0 when detached).
+    pub fn journal_bytes_flushed(&self) -> u64 {
+        self.journal.as_ref().map(StoreJournal::bytes_flushed).unwrap_or(0)
+    }
+
+    /// Segments the journal has compacted away (0 when detached).
+    pub fn journal_segments_compacted(&self) -> u64 {
+        self.journal.as_ref().map(StoreJournal::segments_compacted).unwrap_or(0)
+    }
+
+    /// Journal I/O errors swallowed (durability degraded, store unaffected).
+    pub fn journal_errors(&self) -> u64 {
+        self.journal.as_ref().map(StoreJournal::errors).unwrap_or(0)
     }
 
     /// Access the underlying store (tests).
@@ -139,6 +185,9 @@ impl StoreBackend for PlainBackend {
     fn put(&mut self, req: &PutRequest) -> (PutStatus, OpStats) {
         let bytes = req.payload.accounted_len();
         let freed = self.store.put(req.desc, req.payload.clone());
+        if let Some(j) = self.journal.as_mut() {
+            j.record_put(req);
+        }
         (
             PutStatus::Stored,
             OpStats { touched_bytes: bytes, freed_bytes: freed, ..Default::default() },
@@ -168,6 +217,9 @@ impl StoreBackend for PlainBackend {
         let mut stats = OpStats::default();
         if let CtlRequest::GlobalReset { to_version } = req {
             stats.freed_bytes = self.store.remove_newer_than(to_version);
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.record_ctl(req);
         }
         (CtlResponse { req, pending_replay: 0 }, stats)
     }
@@ -474,6 +526,33 @@ mod tests {
         logic.handle_put(&put_req(1, 100));
         assert_eq!(logic.puts_served(), 2, "broken dedup lets duplicates through");
         assert_eq!(logic.dup_hits(), 0);
+    }
+
+    #[test]
+    fn plain_backend_journal_survives_crash() {
+        use logstore::{FlushPolicy, LogConfig, LogStore, MemMedia};
+        let mem = MemMedia::new();
+        let cfg =
+            LogConfig { flush: FlushPolicy::PerBatch { records: 1000 }, ..LogConfig::default() };
+        let mut backend = PlainBackend::new(4);
+        backend.attach_journal(Box::new(LogStore::open(Box::new(mem.clone()), cfg).unwrap()));
+        backend.put(&put_req(1, 100));
+        backend.put(&put_req(2, 100));
+        // Checkpoint is a commit point: everything so far becomes durable.
+        backend.control(CtlRequest::Checkpoint { app: 0, upto_version: 2 });
+        backend.put(&put_req(3, 100)); // buffered, lost at crash
+        assert!(backend.has_journal());
+        assert!(backend.journal_bytes_flushed() > 0);
+        assert_eq!(backend.journal_errors(), 0);
+        drop(backend);
+        mem.crash();
+
+        let survivors = LogStore::open(Box::new(mem.clone()), cfg).unwrap().read_all().unwrap();
+        let entries = crate::store_journal::decode_records(&survivors);
+        assert_eq!(entries.len(), 3, "both puts plus the checkpoint marker survive");
+        let rebuilt = PlainBackend::from_journal(&entries, 4);
+        assert_eq!(rebuilt.store().newest_version(0), Some(2));
+        assert_eq!(rebuilt.bytes_resident(), 200);
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Optional durable journal for the plain staging store.
+//!
+//! The baseline staging backend keeps everything in memory; attaching a
+//! `logstore::Journal` sink gives it a durable twin of its write history so
+//! a cold restart can rebuild the version store from disk. Puts carry their
+//! full payload (the journal must be able to repopulate the data, not just
+//! describe it); control events are commit points and force the buffered
+//! tail down, so the durable prefix always extends at least through the
+//! last checkpoint/reset marker.
+//!
+//! The richer crash-consistency backend (`wfcr::LoggingBackend`) has its own
+//! journal encoding that additionally captures event-queue and GC history;
+//! this module is deliberately minimal — store contents only.
+
+use crate::proto::{CtlRequest, ObjDesc, PutRequest};
+use crate::store::VersionedStore;
+use crate::Payload;
+use logstore::Journal;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One durable record of the plain store's history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoreJournalEntry {
+    /// A stored write, payload included.
+    Put {
+        /// What was written.
+        desc: ObjDesc,
+        /// The written data (inline bytes or virtual size+digest).
+        payload: Payload,
+    },
+    /// A workflow control event (checkpoint / recovery / global reset).
+    Ctl {
+        /// The control request, verbatim.
+        req: CtlRequest,
+    },
+}
+
+impl StoreJournalEntry {
+    /// Compaction watermark: the data version this entry is tied to.
+    pub fn watermark(&self) -> u64 {
+        u64::from(match *self {
+            StoreJournalEntry::Put { desc, .. } => desc.version,
+            StoreJournalEntry::Ctl { req } => match req {
+                CtlRequest::Checkpoint { upto_version, .. } => upto_version,
+                CtlRequest::Recovery { resume_version, .. } => resume_version,
+                CtlRequest::GlobalReset { to_version } => to_version,
+            },
+        })
+    }
+
+    /// Control events must be durable before the call returns.
+    pub fn is_commit_point(&self) -> bool {
+        matches!(self, StoreJournalEntry::Ctl { .. })
+    }
+
+    /// Serialized form for the log record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("store journal entries always serialize")
+    }
+
+    /// Parse a record payload back; `None` on format drift (the log frame
+    /// CRC already rules out corruption).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// Owns the boxed sink, enforces commit-point flushes, and swallows I/O
+/// errors into a counter — journal failures degrade durability, never the
+/// in-memory store, which stays authoritative.
+pub struct StoreJournal {
+    sink: Box<dyn Journal>,
+    entries_recorded: u64,
+    errors: u64,
+}
+
+impl fmt::Debug for StoreJournal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreJournal")
+            .field("entries_recorded", &self.entries_recorded)
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+impl StoreJournal {
+    /// Wrap a sink.
+    pub fn new(sink: Box<dyn Journal>) -> Self {
+        StoreJournal { sink, entries_recorded: 0, errors: 0 }
+    }
+
+    /// Record one entry; control entries are flushed immediately.
+    pub fn record(&mut self, entry: &StoreJournalEntry) {
+        self.entries_recorded += 1;
+        if self.sink.append(entry.watermark(), &entry.encode()).is_err() {
+            self.errors += 1;
+            return;
+        }
+        if entry.is_commit_point() && self.sink.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Force the buffered tail down.
+    pub fn flush(&mut self) {
+        if self.sink.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Drop sealed segments wholly below `floor`; returns segments removed.
+    pub fn compact_below(&mut self, floor: u64) -> usize {
+        match self.sink.compact_below(floor) {
+            Ok(n) => n,
+            Err(_) => {
+                self.errors += 1;
+                0
+            }
+        }
+    }
+
+    /// Entries recorded through this journal.
+    pub fn entries_recorded(&self) -> u64 {
+        self.entries_recorded
+    }
+
+    /// Sink I/O errors swallowed.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Bytes the sink has physically flushed.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.sink.bytes_flushed()
+    }
+
+    /// Segments the sink has compacted away.
+    pub fn segments_compacted(&self) -> u64 {
+        self.sink.segments_compacted()
+    }
+
+    /// Journal one admitted put.
+    pub fn record_put(&mut self, req: &PutRequest) {
+        self.record(&StoreJournalEntry::Put { desc: req.desc, payload: req.payload.clone() });
+    }
+
+    /// Journal one control event.
+    pub fn record_ctl(&mut self, req: CtlRequest) {
+        self.record(&StoreJournalEntry::Ctl { req });
+    }
+}
+
+/// Decode a recovered record stream (e.g. `LogStore::read_all`) into
+/// entries, dropping undecodable payloads.
+pub fn decode_records(records: &[logstore::Record]) -> Vec<StoreJournalEntry> {
+    records.iter().filter_map(|r| StoreJournalEntry::decode(&r.payload)).collect()
+}
+
+/// Rebuild a bounded version store by replaying surviving journal entries in
+/// order. `GlobalReset` entries re-apply their truncation so the rebuilt
+/// store matches what the live store held after the reset; checkpoint and
+/// recovery markers are metadata-only for the plain backend.
+pub fn replay_into_store(entries: &[StoreJournalEntry], max_versions: usize) -> VersionedStore {
+    let mut store = VersionedStore::bounded(max_versions);
+    for e in entries {
+        match e {
+            StoreJournalEntry::Put { desc, payload } => {
+                store.put(*desc, payload.clone());
+            }
+            StoreJournalEntry::Ctl { req } => {
+                if let CtlRequest::GlobalReset { to_version } = req {
+                    store.remove_newer_than(*to_version);
+                }
+            }
+        }
+    }
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::BBox;
+
+    fn put(version: u32) -> StoreJournalEntry {
+        StoreJournalEntry::Put {
+            desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
+            payload: Payload::virtual_from(64, &[u64::from(version)]),
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_encoding() {
+        let entries = vec![
+            put(3),
+            StoreJournalEntry::Ctl { req: CtlRequest::Checkpoint { app: 0, upto_version: 3 } },
+            StoreJournalEntry::Ctl { req: CtlRequest::Recovery { app: 1, resume_version: 2 } },
+            StoreJournalEntry::Ctl { req: CtlRequest::GlobalReset { to_version: 1 } },
+        ];
+        for e in &entries {
+            assert_eq!(StoreJournalEntry::decode(&e.encode()).as_ref(), Some(e));
+        }
+        assert_eq!(entries[0].watermark(), 3);
+        assert_eq!(entries[3].watermark(), 1);
+        assert!(!entries[0].is_commit_point());
+        assert!(entries[1].is_commit_point());
+    }
+
+    #[test]
+    fn replay_applies_global_reset() {
+        let entries = vec![
+            put(1),
+            put(2),
+            put(3),
+            StoreJournalEntry::Ctl { req: CtlRequest::GlobalReset { to_version: 2 } },
+        ];
+        let store = replay_into_store(&entries, 8);
+        assert!(store.newest_version(0) == Some(2));
+    }
+}

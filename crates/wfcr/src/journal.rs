@@ -1,0 +1,269 @@
+//! Durable journaling of the staging event/data log.
+//!
+//! The paper's logging component keeps puts, gets, and `W_Chk_ID` markers in
+//! staging memory; this module gives those records a durable twin. Every
+//! event the [`crate::backend::LoggingBackend`] admits to its in-memory
+//! queues is also encoded as a [`JournalEntry`] and appended through a
+//! `logstore::Journal` sink. Control entries (checkpoint, recovery) are
+//! commit points and force a flush, so the journal's durable prefix always
+//! extends at least through the last checkpoint — which is exactly the
+//! property the cold-restart equivalence proof needs: anything lost past
+//! that point is re-executed deterministically by the rolled-back apps.
+//!
+//! Watermarks are data versions, so `compact_below` on the journal mirrors
+//! `wfcr::gc` truncating the in-memory queues: once the GC floor passes a
+//! whole segment's versions, the segment file is deleted.
+//!
+//! Replaying surviving entries in order through
+//! [`crate::backend::LoggingBackend::from_journal`] rebuilds the store,
+//! queues, GC marks, and `next_w_chk` exactly: checkpoint entries record the
+//! *effective* floor the live GC pass used, so the rebuild runs the same
+//! collections at the same points.
+
+use logstore::Journal;
+use serde::{Deserialize, Serialize};
+use staging::geometry::BBox;
+use staging::payload::Payload;
+use staging::proto::{AppId, ObjDesc, VarId, Version};
+use std::fmt;
+
+/// One durable log record. Struct variants only (mirrors [`crate::event::LogEvent`])
+/// plus the payload itself on puts — the journal must be able to rebuild the
+/// data log, not just its metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JournalEntry {
+    /// A stored put (absorbed replays are never journaled — the original
+    /// entry is already durable).
+    Put {
+        /// Writing component.
+        app: AppId,
+        /// What was written.
+        desc: ObjDesc,
+        /// The written data (inline bytes or virtual size+digest).
+        payload: Payload,
+        /// Payload digest.
+        digest: u64,
+    },
+    /// A served get (replayed gets are never journaled).
+    Get {
+        /// Reading component.
+        app: AppId,
+        /// Variable read.
+        var: VarId,
+        /// Version asked for.
+        requested: Version,
+        /// Version served.
+        served: Version,
+        /// Region read.
+        bbox: BBox,
+        /// Bytes served.
+        bytes: u64,
+        /// Digest of the served pieces.
+        digest: u64,
+    },
+    /// A `workflow_check()` marker.
+    Checkpoint {
+        /// Checkpointing component.
+        app: AppId,
+        /// Globally unique checkpoint event id.
+        w_chk_id: u64,
+        /// Highest version the checkpoint covers.
+        upto_version: Version,
+        /// The effective GC floor the live collection pass used (`None` when
+        /// GC was disabled). Recording it makes the rebuild's collection
+        /// byte-identical: `min(marks) ≥ floor` holds at this point of the
+        /// replayed history, so passing the floor back as a pin reproduces
+        /// the original pass exactly.
+        floor: Option<Version>,
+    },
+    /// A `workflow_restart()` marker. Replaying it re-inserts the queue
+    /// marker only — it must NOT re-enter replay mode: any replay in flight
+    /// at crash time is restarted from scratch by the app itself, which
+    /// calls `workflow_restart()` again after the cold restart.
+    Recovery {
+        /// Recovering component.
+        app: AppId,
+        /// Version of the restored checkpoint.
+        resume_version: Version,
+    },
+}
+
+impl JournalEntry {
+    /// Compaction watermark: the data version this entry is tied to.
+    pub fn watermark(&self) -> u64 {
+        u64::from(match *self {
+            JournalEntry::Put { desc, .. } => desc.version,
+            JournalEntry::Get { served, .. } => served,
+            JournalEntry::Checkpoint { upto_version, .. } => upto_version,
+            JournalEntry::Recovery { resume_version, .. } => resume_version,
+        })
+    }
+
+    /// Is this a commit point that must be durable before the call returns?
+    pub fn is_commit_point(&self) -> bool {
+        matches!(self, JournalEntry::Checkpoint { .. } | JournalEntry::Recovery { .. })
+    }
+
+    /// Serialized form for the log record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("journal entries always serialize")
+    }
+
+    /// Parse a record payload back; `None` on format drift (the log frame
+    /// CRC already rules out corruption).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+/// The backend's handle on its durable sink: owns the boxed
+/// `logstore::Journal`, enforces commit-point flushes, and keeps error
+/// accounting (journal failures degrade durability, never correctness — the
+/// in-memory log stays authoritative).
+pub struct JournalHandle {
+    sink: Box<dyn Journal>,
+    entries_recorded: u64,
+    errors: u64,
+}
+
+impl fmt::Debug for JournalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournalHandle")
+            .field("entries_recorded", &self.entries_recorded)
+            .field("errors", &self.errors)
+            .finish()
+    }
+}
+
+impl JournalHandle {
+    /// Wrap a sink.
+    pub fn new(sink: Box<dyn Journal>) -> Self {
+        JournalHandle { sink, entries_recorded: 0, errors: 0 }
+    }
+
+    /// Record one entry. Commit-point entries are flushed immediately.
+    pub fn record(&mut self, entry: &JournalEntry) {
+        self.entries_recorded += 1;
+        if self.sink.append(entry.watermark(), &entry.encode()).is_err() {
+            self.errors += 1;
+            return;
+        }
+        if entry.is_commit_point() && self.sink.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Force the buffered tail down (graceful shutdown / stats harvest).
+    pub fn flush(&mut self) {
+        if self.sink.flush().is_err() {
+            self.errors += 1;
+        }
+    }
+
+    /// Drop sealed segments wholly below `floor`; returns segments removed.
+    pub fn compact_below(&mut self, floor: u64) -> usize {
+        match self.sink.compact_below(floor) {
+            Ok(n) => n,
+            Err(_) => {
+                self.errors += 1;
+                0
+            }
+        }
+    }
+
+    /// Entries recorded through this handle.
+    pub fn entries_recorded(&self) -> u64 {
+        self.entries_recorded
+    }
+
+    /// Sink I/O errors swallowed (durability degraded).
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    /// Bytes the sink has physically flushed.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.sink.bytes_flushed()
+    }
+
+    /// Segments the sink has compacted away.
+    pub fn segments_compacted(&self) -> u64 {
+        self.sink.segments_compacted()
+    }
+}
+
+/// Decode a recovered record stream (e.g. `LogStore::read_all`) into entries,
+/// dropping undecodable payloads.
+pub fn decode_records(records: &[logstore::Record]) -> Vec<JournalEntry> {
+    records.iter().filter_map(|r| JournalEntry::decode(&r.payload)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use logstore::{LogConfig, LogStore, MemMedia};
+
+    fn put(app: AppId, version: Version) -> JournalEntry {
+        JournalEntry::Put {
+            app,
+            desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
+            payload: Payload::virtual_from(100, &[u64::from(version)]),
+            digest: 7,
+        }
+    }
+
+    #[test]
+    fn entries_round_trip_through_encoding() {
+        let entries = vec![
+            put(0, 3),
+            JournalEntry::Get {
+                app: 1,
+                var: 0,
+                requested: 3,
+                served: 2,
+                bbox: BBox::d1(0, 9),
+                bytes: 100,
+                digest: 9,
+            },
+            JournalEntry::Checkpoint { app: 0, w_chk_id: 4, upto_version: 3, floor: Some(2) },
+            JournalEntry::Checkpoint { app: 1, w_chk_id: 5, upto_version: 3, floor: None },
+            JournalEntry::Recovery { app: 1, resume_version: 3 },
+        ];
+        for e in &entries {
+            assert_eq!(JournalEntry::decode(&e.encode()).as_ref(), Some(e));
+        }
+        assert_eq!(entries[0].watermark(), 3);
+        assert_eq!(entries[1].watermark(), 2, "gets key on the served version");
+        assert!(!entries[0].is_commit_point());
+        assert!(entries[2].is_commit_point());
+        assert!(entries[4].is_commit_point());
+    }
+
+    #[test]
+    fn commit_points_force_the_tail_durable() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig {
+            flush: logstore::FlushPolicy::PerBatch { records: 1000 },
+            ..LogConfig::default()
+        };
+        let log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let mut handle = JournalHandle::new(Box::new(log));
+        handle.record(&put(0, 1));
+        handle.record(&put(0, 2));
+        let before_ctl = mem.synced_bytes();
+        handle.record(&JournalEntry::Checkpoint {
+            app: 0,
+            w_chk_id: 1,
+            upto_version: 2,
+            floor: Some(0),
+        });
+        assert!(mem.synced_bytes() > before_ctl, "checkpoint entry must flush");
+        handle.record(&put(0, 3)); // buffered again
+        drop(handle);
+        mem.crash();
+        let survivors = LogStore::open(Box::new(mem.clone()), cfg).unwrap().read_all().unwrap();
+        let decoded = decode_records(&survivors);
+        assert_eq!(decoded.len(), 3, "everything through the checkpoint survives");
+        assert!(matches!(decoded[2], JournalEntry::Checkpoint { .. }));
+    }
+}

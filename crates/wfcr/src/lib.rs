@@ -40,6 +40,7 @@ pub mod backend;
 pub mod event;
 pub mod gc;
 pub mod iface;
+pub mod journal;
 pub mod protocol;
 pub mod queue;
 pub mod replay;
@@ -48,5 +49,6 @@ pub mod snapshot;
 pub use backend::LoggingBackend;
 pub use event::LogEvent;
 pub use iface::WorkflowClient;
+pub use journal::{JournalEntry, JournalHandle};
 pub use protocol::{FtScheme, WorkflowProtocol};
 pub use queue::EventQueue;

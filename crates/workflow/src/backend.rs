@@ -55,11 +55,60 @@ impl AnyBackend {
         }
     }
 
+    /// The logging backend, mutably (cold-restart wiring and journal
+    /// harvest).
+    pub fn as_logging_mut(&mut self) -> Option<&mut LoggingBackend> {
+        match self {
+            AnyBackend::Logging(b) => Some(b),
+            AnyBackend::Plain(_) => None,
+        }
+    }
+
     /// The plain backend, if that is what this is.
     pub fn as_plain(&self) -> Option<&PlainBackend> {
         match self {
             AnyBackend::Plain(b) => Some(b),
             AnyBackend::Logging(_) => None,
+        }
+    }
+
+    /// Attach a durable journal sink to whichever backend this is.
+    pub fn attach_journal(&mut self, sink: Box<dyn logstore::Journal>) {
+        match self {
+            AnyBackend::Plain(b) => b.attach_journal(sink),
+            AnyBackend::Logging(b) => b.attach_journal(sink),
+        }
+    }
+
+    /// Force the journal's buffered tail down (graceful shutdown / harvest).
+    pub fn flush_journal(&mut self) {
+        match self {
+            AnyBackend::Plain(b) => b.flush_journal(),
+            AnyBackend::Logging(b) => b.flush_journal(),
+        }
+    }
+
+    /// Bytes the journal has physically flushed (0 when detached).
+    pub fn journal_bytes_flushed(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.journal_bytes_flushed(),
+            AnyBackend::Logging(b) => b.journal_bytes_flushed(),
+        }
+    }
+
+    /// Journal segment files compacted away (0 when detached).
+    pub fn journal_segments_compacted(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.journal_segments_compacted(),
+            AnyBackend::Logging(b) => b.journal_segments_compacted(),
+        }
+    }
+
+    /// Journal I/O errors swallowed (durability degraded, never state).
+    pub fn journal_errors(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.journal_errors(),
+            AnyBackend::Logging(b) => b.journal_errors(),
         }
     }
 

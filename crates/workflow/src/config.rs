@@ -187,6 +187,38 @@ pub struct ProactiveCfg {
     pub recall: f64,
 }
 
+/// Durable journaling of the staging stores (the persistence layer): every
+/// staging server writes its put/get/control history through a segmented
+/// `logstore::LogStore`, making a cold restart from disk possible after full
+/// process death. `None` (the default) keeps the seed's in-memory-only
+/// behaviour.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurabilityCfg {
+    /// Directory for segment files (one subdirectory per staging server).
+    /// `None` journals through in-memory media — durable across a *simulated*
+    /// crash (`MemMedia::crash`), hermetic for tests.
+    #[serde(default)]
+    pub dir: Option<String>,
+    /// Segment rotation size, bytes.
+    pub segment_bytes: u64,
+    /// Flush/fsync policy.
+    pub flush: logstore::FlushPolicy,
+}
+
+impl Default for DurabilityCfg {
+    fn default() -> Self {
+        let base = logstore::LogConfig::default();
+        DurabilityCfg { dir: None, segment_bytes: base.segment_bytes, flush: base.flush }
+    }
+}
+
+impl DurabilityCfg {
+    /// The equivalent `logstore` configuration.
+    pub fn log_config(&self) -> logstore::LogConfig {
+        logstore::LogConfig { segment_bytes: self.segment_bytes, flush: self.flush }
+    }
+}
+
 /// Parameters of the staging area's own resilience (the CoREC substrate the
 /// paper builds on: "the data staging can contain data resilience mechanisms
 /// such as data replication or erasure coding").
@@ -268,6 +300,10 @@ pub struct WorkflowConfig {
     pub reconnect_per_rank: SimTime,
     /// Engine RNG seed.
     pub seed: u64,
+    /// Optional durable journaling of the staging stores (absent in the
+    /// seed's configs — `#[serde(default)]` keeps old documents readable).
+    #[serde(default)]
+    pub durability: Option<DurabilityCfg>,
 }
 
 impl WorkflowConfig {
@@ -313,6 +349,13 @@ impl WorkflowConfig {
     pub fn with_net_faults(&self, plan: FaultPlan) -> WorkflowConfig {
         let mut c = self.clone();
         c.failures.push(FailureSpec::NetFaults { plan });
+        c
+    }
+
+    /// Enable durable staging journals on a copy.
+    pub fn with_durability(&self, durability: DurabilityCfg) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.durability = Some(durability);
         c
     }
 
@@ -433,6 +476,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
         failover: SimTime::from_millis(500),
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 42,
+        durability: None,
     }
 }
 
@@ -516,6 +560,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
         failover: SimTime::from_millis(500),
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 42 + scale as u64,
+        durability: None,
     }
 }
 
@@ -576,6 +621,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
         failover: SimTime::from_millis(500),
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 77,
+        durability: None,
     }
 }
 
@@ -638,6 +684,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         failover: SimTime::from_millis(500),
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 99,
+        durability: None,
     }
 }
 
@@ -700,6 +747,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
         failover: SimTime::from_millis(50),
         reconnect_per_rank: SimTime::from_micros(200),
         seed: 7,
+        durability: None,
     }
 }
 

@@ -27,12 +27,13 @@
 //!   ([`config::table2`]) and Table III ([`config::table3`]).
 
 pub mod backend;
+pub mod coldstart;
 pub mod component;
 pub mod config;
 pub mod director;
 pub mod report;
 pub mod runner;
 
-pub use config::{ComponentConfig, FailureSpec, Role, WorkflowConfig};
+pub use config::{ComponentConfig, DurabilityCfg, FailureSpec, Role, WorkflowConfig};
 pub use report::RunReport;
 pub use runner::run;

@@ -74,6 +74,17 @@ pub struct RunReport {
     pub server_stalls: u64,
     /// Discrete events dispatched (simulation diagnostics).
     pub events_dispatched: u64,
+    /// Bytes physically flushed by the durable staging journals (0 when
+    /// durability is off).
+    #[serde(default)]
+    pub log_bytes_flushed: u64,
+    /// Journal segment files deleted by checkpoint-watermark compaction.
+    #[serde(default)]
+    pub segments_compacted: u64,
+    /// Wall-clock time of the cold-restart rebuild (journal scan + state
+    /// reconstruction), milliseconds. 0 for runs without a cold restart.
+    #[serde(default)]
+    pub cold_restart_ms: f64,
 }
 
 impl RunReport {
@@ -153,6 +164,9 @@ mod tests {
             net_retries: 0,
             server_stalls: 0,
             events_dispatched: 0,
+            log_bytes_flushed: 0,
+            segments_compacted: 0,
+            cold_restart_ms: 0.0,
         }
     }
 

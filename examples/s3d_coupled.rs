@@ -72,6 +72,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
         failover: SimTime::from_millis(500),
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 1234,
+        durability: None,
     }
 }
 
