@@ -1,0 +1,89 @@
+//! Model-checker throughput benchmarks: schedules explored per second on the
+//! micro workflow, and the cost of the layers that make exploration honest —
+//! partial-order reduction, the consistency oracles, and ddmin minimization
+//! of a seeded counterexample.
+//!
+//! The interesting quantity is schedules/second, because exploration budget
+//! translates directly into how deep the nightly `mcheck-deep` job can
+//! branch. Each iteration re-runs a complete bounded exploration (every
+//! schedule is a full engine run), so absolute times are milliseconds, not
+//! nanoseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcheck::{ExploreConfig, Explorer};
+use sim_core::time::SimTime;
+use std::hint::black_box;
+use std::time::Duration;
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::micro;
+use workflow::{CrashChoice, McheckOptions, WorkflowModel};
+
+fn crash_opts(skew: u32) -> McheckOptions {
+    McheckOptions {
+        replay_version_skew: skew,
+        crash_choices: vec![CrashChoice { at: SimTime::from_millis(5), app: 1 }],
+        ..Default::default()
+    }
+}
+
+fn explore_cfg(por: bool, minimize: bool) -> ExploreConfig {
+    ExploreConfig {
+        max_branch_points: 4,
+        max_schedules: 2_000,
+        por,
+        state_prune: false,
+        stop_on_first: false,
+        minimize,
+    }
+}
+
+/// Schedules explored per second, with and without POR.
+fn bench_exploration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcheck/explore");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for por in [false, true] {
+        let model = WorkflowModel::new(micro(WorkflowProtocol::Uncoordinated), crash_opts(0));
+        let ex = Explorer::new(explore_cfg(por, false));
+        let schedules = ex.explore(&model).schedules_explored;
+        g.throughput(Throughput::Elements(schedules));
+        g.bench_with_input(
+            BenchmarkId::new("micro-clean-crash", if por { "por" } else { "dfs" }),
+            &por,
+            |b, _| b.iter(|| black_box(ex.explore(&model).schedules_explored)),
+        );
+    }
+    g.finish();
+}
+
+/// Cost of finding plus ddmin-minimizing the seeded skew counterexample.
+fn bench_minimization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcheck/minimize");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let model = WorkflowModel::new(micro(WorkflowProtocol::Uncoordinated), crash_opts(1));
+    for minimize in [false, true] {
+        let ex =
+            Explorer::new(ExploreConfig { stop_on_first: true, ..explore_cfg(true, minimize) });
+        g.bench_with_input(
+            BenchmarkId::new("seeded-skew", if minimize { "ddmin" } else { "find-only" }),
+            &minimize,
+            |b, _| b.iter(|| black_box(ex.explore(&model).violations.len())),
+        );
+    }
+    g.finish();
+}
+
+/// One full engine run under the controlled scheduler, oracles attached —
+/// the per-schedule unit cost everything above multiplies.
+fn bench_single_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mcheck/replay");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let model = WorkflowModel::new(micro(WorkflowProtocol::Uncoordinated), crash_opts(0));
+    let ex = Explorer::new(explore_cfg(true, false));
+    g.bench_function("micro-default-schedule", |b| {
+        b.iter(|| black_box(ex.check_picks(&model, &[])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_exploration, bench_minimization, bench_single_replay);
+criterion_main!(benches);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Experiment drivers regenerating the paper's evaluation artifacts.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic fault-injection plane for the staging workflow repro.
 //!
 //! The paper's crash-consistency protocols are only credible if they survive
@@ -31,5 +32,5 @@ pub use inject::{schedule, FaultDecision, FaultInjector, FaultReport};
 pub use media::{
     decide_media, media_schedule, MediaFaultDecision, MediaFaultPlan, MediaFaultRates,
 };
-pub use plan::{FaultPlan, FaultRates, FaultWindow, PlanError};
+pub use plan::{FaultPlan, FaultRates, FaultSpace, FaultWindow, PlanError};
 pub use retry::RetryPolicy;

@@ -107,6 +107,35 @@ impl FaultPlan {
     }
 }
 
+/// An *enumerable* fault budget, for model checking.
+///
+/// Where [`FaultPlan`] resolves each message by a seeded coin flip, a
+/// `FaultSpace` turns every message into an explicit choice point — deliver,
+/// drop (while the drop budget lasts), or duplicate (while the dup budget
+/// lasts) — that a controlled scheduler enumerates. Budgets keep the search
+/// space finite: `k` drops over an `n`-message run is `C(n, k)`-ish, not
+/// `2^n`. Delay/reorder need no entry here — delivery-order choice points
+/// already enumerate every same-time ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultSpace {
+    /// Maximum messages the checker may drop along one schedule.
+    pub max_drops: u32,
+    /// Maximum messages the checker may duplicate along one schedule.
+    pub max_dups: u32,
+}
+
+impl FaultSpace {
+    /// A space allowing up to `drops` drops and `dups` duplications.
+    pub fn new(drops: u32, dups: u32) -> FaultSpace {
+        FaultSpace { max_drops: drops, max_dups: dups }
+    }
+
+    /// True when no fault can ever be chosen (the space is pointless).
+    pub fn is_empty(&self) -> bool {
+        self.max_drops == 0 && self.max_dups == 0
+    }
+}
+
 /// Why a [`FaultPlan`] failed validation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {

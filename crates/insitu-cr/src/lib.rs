@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # insitu-cr — scalable crash consistency for staging-based in-situ workflows

@@ -1,0 +1,206 @@
+//! Vector-clock happens-before tracking and race flagging.
+//!
+//! Threads (or actors — the tracker does not care) advance a vector clock on
+//! every observable operation; message sends carry the sender's clock and
+//! receives join it. Two accesses to the same logical location race when at
+//! least one is a write and neither clock dominates the other.
+//!
+//! Used two ways in this workspace:
+//!
+//! * over the threaded transport (`net::threaded` exposes a send/recv probe)
+//!   to flag ordering races between the staging server's keyed get-wakeup
+//!   index and control-plane acks;
+//! * over the DES trace, treating each actor as a thread and each dispatched
+//!   event as a message, to confirm or refute suspected races before hunting
+//!   them with the explorer.
+
+use std::collections::BTreeMap;
+
+/// A vector clock over a fixed set of threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// Zero clock for `n` threads.
+    pub fn new(n: usize) -> VectorClock {
+        VectorClock(vec![0; n])
+    }
+
+    /// Advance thread `i`'s component.
+    pub fn tick(&mut self, i: usize) {
+        self.0[i] += 1;
+    }
+
+    /// Component-wise maximum (message receive).
+    pub fn join(&mut self, other: &VectorClock) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Happens-before (or equal): every component ≤ the other's.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0.iter().zip(&other.0).all(|(a, b)| a <= b)
+    }
+
+    /// Neither clock dominates: the two events are concurrent.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// The components.
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// A flagged race: two concurrent accesses to one location, at least one of
+/// them a write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Race {
+    /// Logical location (caller-defined, e.g. a hash of `(var, version)`).
+    pub loc: u64,
+    /// Earlier-recorded access: `(thread, is_write)`.
+    pub first: (usize, bool),
+    /// The access that completed the race.
+    pub second: (usize, bool),
+}
+
+/// One recorded access, kept per `(loc, thread)` for race checking.
+#[derive(Debug, Clone)]
+struct Access {
+    thread: usize,
+    clock: VectorClock,
+    write: bool,
+}
+
+/// The tracker: feed it sends, receives, and location accesses in
+/// observation order; it accumulates flagged races.
+#[derive(Debug)]
+pub struct HbTracker {
+    clocks: Vec<VectorClock>,
+    in_flight: BTreeMap<u64, VectorClock>,
+    // Last access per (loc, thread), separately for reads and writes — a
+    // race with any older access implies one with the newest, so keeping
+    // the latest per thread is enough.
+    accesses: BTreeMap<u64, Vec<Access>>,
+    races: Vec<Race>,
+}
+
+impl HbTracker {
+    /// A tracker over `n` threads.
+    pub fn new(n: usize) -> HbTracker {
+        HbTracker {
+            clocks: (0..n).map(|_| VectorClock::new(n)).collect(),
+            in_flight: BTreeMap::new(),
+            accesses: BTreeMap::new(),
+            races: Vec::new(),
+        }
+    }
+
+    /// Thread `tid` sends message `mid` (ids are caller-chosen and must be
+    /// unique while in flight).
+    pub fn on_send(&mut self, tid: usize, mid: u64) {
+        self.clocks[tid].tick(tid);
+        self.in_flight.insert(mid, self.clocks[tid].clone());
+    }
+
+    /// Thread `tid` receives message `mid`; unknown ids are ignored (e.g. a
+    /// probe attached mid-run).
+    pub fn on_recv(&mut self, tid: usize, mid: u64) {
+        if let Some(c) = self.in_flight.remove(&mid) {
+            self.clocks[tid].join(&c);
+        }
+        self.clocks[tid].tick(tid);
+    }
+
+    /// Thread `tid` reads (`write = false`) or writes (`write = true`)
+    /// location `loc`. Returns the race this access completes, if any.
+    pub fn on_access(&mut self, tid: usize, loc: u64, write: bool) -> Option<Race> {
+        self.clocks[tid].tick(tid);
+        let clock = self.clocks[tid].clone();
+        let entry = self.accesses.entry(loc).or_default();
+        let mut found = None;
+        for a in entry.iter() {
+            if a.thread != tid && (a.write || write) && a.clock.concurrent(&clock) {
+                let race = Race { loc, first: (a.thread, a.write), second: (tid, write) };
+                self.races.push(race.clone());
+                found = Some(race);
+                break;
+            }
+        }
+        // Keep only the newest access per (thread, kind) for this location.
+        entry.retain(|a| !(a.thread == tid && a.write == write));
+        entry.push(Access { thread: tid, clock, write });
+        found
+    }
+
+    /// All races flagged so far.
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// Current clock of thread `tid`.
+    pub fn clock(&self, tid: usize) -> &VectorClock {
+        &self.clocks[tid]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_edge_orders_accesses() {
+        let mut hb = HbTracker::new(2);
+        hb.on_access(0, 42, true);
+        hb.on_send(0, 1);
+        hb.on_recv(1, 1);
+        // The receive happens-after the write → no race.
+        assert!(hb.on_access(1, 42, true).is_none());
+        assert!(hb.races().is_empty());
+    }
+
+    #[test]
+    fn unordered_write_write_races() {
+        let mut hb = HbTracker::new(2);
+        hb.on_access(0, 42, true);
+        let r = hb.on_access(1, 42, true).expect("concurrent writes race");
+        assert_eq!(r.loc, 42);
+        assert_eq!(r.first, (0, true));
+        assert_eq!(r.second, (1, true));
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut hb = HbTracker::new(2);
+        hb.on_access(0, 7, false);
+        assert!(hb.on_access(1, 7, false).is_none());
+        // ...but a concurrent write against a read does.
+        let mut hb = HbTracker::new(2);
+        hb.on_access(0, 7, false);
+        assert!(hb.on_access(1, 7, true).is_some());
+    }
+
+    #[test]
+    fn transitive_ordering_through_a_relay() {
+        let mut hb = HbTracker::new(3);
+        hb.on_access(0, 9, true);
+        hb.on_send(0, 1);
+        hb.on_recv(1, 1);
+        hb.on_send(1, 2);
+        hb.on_recv(2, 2);
+        assert!(hb.on_access(2, 9, true).is_none(), "0 → 1 → 2 orders the writes");
+    }
+
+    #[test]
+    fn clocks_are_exact() {
+        let mut hb = HbTracker::new(2);
+        hb.on_send(0, 1); // clock0 = [1,0]
+        hb.on_recv(1, 1); // clock1 = [1,1]
+        assert_eq!(hb.clock(0).components(), &[1, 0]);
+        assert_eq!(hb.clock(1).components(), &[1, 1]);
+        assert!(hb.clock(0).leq(hb.clock(1)));
+        assert!(!hb.clock(1).leq(hb.clock(0)));
+    }
+}

@@ -1,0 +1,139 @@
+//! ddmin: delta-debugging minimization of a violating schedule.
+//!
+//! A schedule is a vector of picks; pick 0 is the canonical default, so the
+//! "interesting" content of a counterexample is the set of positions that
+//! deviate from 0. Classic ddmin (Zeller & Hildebrandt) runs over that
+//! deviation set: candidates keep a subset of the deviations and reset the
+//! rest to the default, and a candidate is accepted if the violation still
+//! reproduces. Resetting (rather than deleting) positions keeps the
+//! remaining picks aligned with the same choice points, to the extent the
+//! run's control flow allows — and where it doesn't, the test predicate
+//! protects us, because only still-failing candidates are ever kept.
+//!
+//! The result is 1-minimal with respect to single deviations: resetting any
+//! one remaining non-default pick makes the violation disappear.
+
+/// Build the candidate pick vector keeping only deviations at `keep`, and
+/// trim now-redundant trailing defaults.
+fn candidate(failing: &[u32], keep: &[usize]) -> Vec<u32> {
+    let mut c = vec![0u32; failing.len()];
+    for &i in keep {
+        c[i] = failing[i];
+    }
+    while c.last() == Some(&0) {
+        c.pop();
+    }
+    c
+}
+
+/// Minimize `failing` (a pick vector whose replay violates an oracle) with
+/// respect to `still_fails`, which must re-run the model under the candidate
+/// prefix and report whether the violation persists.
+///
+/// Returns the minimized pick vector (possibly empty, if the violation
+/// reproduces under the canonical schedule — i.e. it was never
+/// schedule-dependent).
+pub fn ddmin(failing: &[u32], still_fails: &mut dyn FnMut(&[u32]) -> bool) -> Vec<u32> {
+    let mut tested: std::collections::BTreeSet<Vec<u32>> = std::collections::BTreeSet::new();
+    let mut test = |keep: &[usize], still_fails: &mut dyn FnMut(&[u32]) -> bool| -> bool {
+        let c = candidate(failing, keep);
+        if !tested.insert(c.clone()) {
+            // Re-testing an equal candidate cannot change the answer; treat
+            // repeats as non-failing so the search moves on.
+            return false;
+        }
+        still_fails(&c)
+    };
+
+    let mut deviations: Vec<usize> = (0..failing.len()).filter(|&i| failing[i] != 0).collect();
+    // Degenerate case: the violation does not depend on the schedule at all.
+    if test(&[], still_fails) {
+        return Vec::new();
+    }
+
+    let mut n = 2usize;
+    while deviations.len() >= 2 {
+        let len = deviations.len();
+        let chunk = len.div_ceil(n);
+        let chunks: Vec<Vec<usize>> = deviations.chunks(chunk).map(|c| c.to_vec()).collect();
+
+        let mut reduced = false;
+        // Try each chunk alone ("reduce to subset").
+        for c in &chunks {
+            if c.len() < len && test(c, still_fails) {
+                deviations = c.clone();
+                n = 2;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            continue;
+        }
+        // Try each complement ("reduce to complement").
+        if chunks.len() > 2 {
+            for (i, _) in chunks.iter().enumerate() {
+                let comp: Vec<usize> = chunks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, c)| c.iter().copied())
+                    .collect();
+                if comp.len() < len && test(&comp, still_fails) {
+                    deviations = comp;
+                    n = (n - 1).max(2);
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if reduced {
+            continue;
+        }
+        if n >= len {
+            break; // 1-minimal
+        }
+        n = (2 * n).min(len);
+    }
+    candidate(failing, &deviations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_single_cause() {
+        // Violation iff position 5 keeps its deviation.
+        let failing = vec![1, 2, 0, 3, 0, 4, 1];
+        let mut runs = 0;
+        let min = ddmin(&failing, &mut |c: &[u32]| {
+            runs += 1;
+            c.get(5) == Some(&4)
+        });
+        assert_eq!(min, vec![0, 0, 0, 0, 0, 4]);
+        assert!(runs < 40, "ddmin should not exhaust the subset lattice ({runs} runs)");
+    }
+
+    #[test]
+    fn keeps_conjunction_of_causes() {
+        // Violation needs BOTH deviations at 1 and 6.
+        let failing = vec![0, 2, 1, 1, 0, 1, 3];
+        let min = ddmin(&failing, &mut |c: &[u32]| c.get(1) == Some(&2) && c.get(6) == Some(&3));
+        assert_eq!(min, vec![0, 2, 0, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn schedule_independent_violation_minimizes_to_empty() {
+        let failing = vec![3, 1, 2];
+        let min = ddmin(&failing, &mut |_c: &[u32]| true);
+        assert!(min.is_empty());
+    }
+
+    #[test]
+    fn trailing_defaults_are_trimmed() {
+        let failing = vec![0, 0, 5, 0, 0];
+        let min = ddmin(&failing, &mut |c: &[u32]| c.get(2) == Some(&5));
+        assert_eq!(min, vec![0, 0, 5]);
+    }
+}

@@ -1,0 +1,155 @@
+//! The `.schedule` file format: a replayable record of the picks taken at
+//! the choice points of one run.
+//!
+//! A schedule pins only a *prefix* of the run's choice points; everything
+//! beyond the recorded prefix takes the canonical default (pick 0), which is
+//! the engine's historical FIFO behaviour. Replaying a schedule against the
+//! same model is therefore fully deterministic, and a minimized
+//! counterexample stays short even when the violating run dispatched
+//! millions of events.
+//!
+//! Serialized form is JSON (stable key order, one canonical encoding) so
+//! regression schedules can live in the repository and be diffed:
+//!
+//! ```json
+//! {
+//!   "format": 1,
+//!   "label": "micro/Un seeded-skew",
+//!   "choices": [
+//!     { "kind": "delivery", "arity": 3, "picked": 2 },
+//!     { "kind": "fault", "arity": 2, "picked": 0 }
+//!   ]
+//! }
+//! ```
+
+use serde::{Deserialize, Serialize};
+use sim_core::choice::ChoiceKind;
+
+/// Current `.schedule` format version.
+pub const FORMAT: u32 = 1;
+
+/// One resolved choice point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Choice {
+    /// Stable name of the [`ChoiceKind`] ("delivery" / "fault" / "timing").
+    pub kind: String,
+    /// Number of alternatives that were available.
+    pub arity: u32,
+    /// Index picked (0 = canonical default).
+    pub picked: u32,
+}
+
+impl Choice {
+    /// The typed kind, if the string is recognized.
+    pub fn kind(&self) -> Option<ChoiceKind> {
+        ChoiceKind::parse(&self.kind)
+    }
+}
+
+/// A replayable schedule: a prefix of forced picks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// File format version ([`FORMAT`]).
+    pub format: u32,
+    /// Free-form description of the model/config this schedule drives.
+    pub label: String,
+    /// The forced prefix, in choice-point order.
+    pub choices: Vec<Choice>,
+}
+
+impl Schedule {
+    /// An empty (all-default, i.e. canonical FIFO) schedule.
+    pub fn empty(label: impl Into<String>) -> Schedule {
+        Schedule { format: FORMAT, label: label.into(), choices: Vec::new() }
+    }
+
+    /// Just the pick indices, for feeding a replay cursor.
+    pub fn picks(&self) -> Vec<u32> {
+        self.choices.iter().map(|c| c.picked).collect()
+    }
+
+    /// Serialize to the canonical on-disk JSON form (pretty-printed,
+    /// trailing newline) — the byte-identical representation regression
+    /// tests compare against.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("schedule serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse from JSON, validating the format version.
+    pub fn from_json(s: &str) -> Result<Schedule, String> {
+        let sched: Schedule =
+            serde_json::from_str(s).map_err(|e| format!("bad schedule: {e:?}"))?;
+        if sched.format != FORMAT {
+            return Err(format!("unsupported schedule format {}", sched.format));
+        }
+        for (i, c) in sched.choices.iter().enumerate() {
+            if c.kind().is_none() {
+                return Err(format!("choices[{i}]: unknown kind {:?}", c.kind));
+            }
+            if c.arity < 1 || c.picked >= c.arity {
+                return Err(format!(
+                    "choices[{i}]: pick {} out of range for arity {}",
+                    c.picked, c.arity
+                ));
+            }
+        }
+        Ok(sched)
+    }
+
+    /// Write to a file in canonical form.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load and validate a `.schedule` file.
+    pub fn load(path: &std::path::Path) -> Result<Schedule, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        Schedule::from_json(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schedule {
+        Schedule {
+            format: FORMAT,
+            label: "t".into(),
+            choices: vec![
+                Choice { kind: "delivery".into(), arity: 3, picked: 2 },
+                Choice { kind: "fault".into(), arity: 2, picked: 0 },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let s = sample();
+        let j = s.to_json();
+        let back = Schedule::from_json(&j).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), j, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(Schedule::from_json("{}").is_err());
+        let mut s = sample();
+        s.format = 99;
+        assert!(Schedule::from_json(&s.to_json()).is_err());
+        let mut s = sample();
+        s.choices[0].picked = 3; // >= arity
+        assert!(Schedule::from_json(&s.to_json()).is_err());
+        let mut s = sample();
+        s.choices[0].kind = "quantum".into();
+        assert!(Schedule::from_json(&s.to_json()).is_err());
+    }
+
+    #[test]
+    fn picks_extraction() {
+        assert_eq!(sample().picks(), vec![2, 0]);
+    }
+}

@@ -14,7 +14,8 @@
 //! (`net.msgs`, `net.bytes`).
 
 use crate::cost::CostModel;
-use faultplane::{FaultDecision, FaultInjector, FaultPlan, FaultReport};
+use faultplane::{FaultDecision, FaultInjector, FaultPlan, FaultReport, FaultSpace};
+use sim_core::choice::ChoiceKind;
 use sim_core::engine::{Actor, ActorId, Ctx, Event};
 use sim_core::time::SimTime;
 use std::any::Any;
@@ -82,6 +83,13 @@ pub struct Network {
     /// Endpoints whose traffic bypasses injection (e.g. the coordination
     /// director: the faulted surface is the staging data path).
     fault_exempt: Vec<bool>,
+    /// Enumerable fault budget for model checking; consulted only when the
+    /// engine runs under a controlled scheduler.
+    fault_space: Option<FaultSpace>,
+    /// Drops remaining out of `fault_space.max_drops`.
+    drops_left: u32,
+    /// Duplications remaining out of `fault_space.max_dups`.
+    dups_left: u32,
 }
 
 impl Network {
@@ -94,6 +102,9 @@ impl Network {
             up: Vec::new(),
             faults: None,
             fault_exempt: Vec::new(),
+            fault_space: None,
+            drops_left: 0,
+            dups_left: 0,
         }
     }
 
@@ -132,6 +143,45 @@ impl Network {
     pub fn fault_report(&self) -> Option<FaultReport> {
         self.faults.as_ref().map(|f| f.report())
     }
+
+    /// Install an enumerable fault budget. Each non-exempt message then
+    /// becomes a [`ChoiceKind::Fault`] choice point — deliver / drop /
+    /// duplicate, while the respective budget lasts — enumerated by a
+    /// controlled scheduler. Has no effect on uncontrolled runs (the choice
+    /// resolves to the canonical pick, i.e. deliver).
+    pub fn set_fault_space(&mut self, space: FaultSpace) {
+        self.drops_left = space.max_drops;
+        self.dups_left = space.max_dups;
+        self.fault_space = Some(space);
+    }
+
+    /// Resolve one message's enumerable fault decision via the engine's
+    /// choice source. Pick 0 is always Deliver; the drop option (if budget
+    /// remains) precedes the dup option, so the option list is stable across
+    /// schedules that spend their budgets at the same points.
+    fn space_decision(&mut self, ctx: &mut Ctx<'_>) -> FaultDecision {
+        if self.fault_space.is_none() || !ctx.controlled() {
+            return FaultDecision::Deliver;
+        }
+        let can_drop = self.drops_left > 0;
+        let can_dup = self.dups_left > 0;
+        let arity = 1 + usize::from(can_drop) + usize::from(can_dup);
+        if arity == 1 {
+            return FaultDecision::Deliver;
+        }
+        let pick = ctx.choose(ChoiceKind::Fault, arity);
+        match (pick, can_drop) {
+            (0, _) => FaultDecision::Deliver,
+            (1, true) => {
+                self.drops_left -= 1;
+                FaultDecision::Drop
+            }
+            _ => {
+                self.dups_left -= 1;
+                FaultDecision::Duplicate { extra_delay_ns: 0 }
+            }
+        }
+    }
 }
 
 /// Control messages understood by the [`Network`] actor in addition to
@@ -156,11 +206,16 @@ impl Actor for Network {
                     ctx.metrics().inc("net.dropped", 1);
                     return;
                 }
-                let decision = match &self.faults {
-                    Some(inj) if !self.fault_exempt[from] && !self.fault_exempt[to] => {
-                        inj.next_decision()
+                let exempt = self.fault_exempt[from] || self.fault_exempt[to];
+                let decision = if exempt {
+                    FaultDecision::Deliver
+                } else if self.fault_space.is_some() && ctx.controlled() {
+                    self.space_decision(ctx)
+                } else {
+                    match &self.faults {
+                        Some(inj) => inj.next_decision(),
+                        None => FaultDecision::Deliver,
                     }
-                    _ => FaultDecision::Deliver,
                 };
                 if matches!(decision, FaultDecision::Drop) {
                     ctx.metrics().inc("net.fault.dropped", 1);
@@ -473,6 +528,83 @@ mod tests {
         eng.run();
         assert_eq!(eng.actor_as::<Sink>(sink).unwrap().arrivals.len(), 1);
         assert_eq!(eng.metrics().counter("net.fault.dropped"), 0);
+    }
+
+    /// Scripted choice source: FIFO deliveries, fault picks from a queue.
+    struct FaultScript {
+        picks: std::collections::VecDeque<usize>,
+    }
+
+    impl sim_core::ChoiceSource for FaultScript {
+        fn choose_delivery(
+            &mut self,
+            _now: SimTime,
+            _options: &[sim_core::DeliveryOption],
+        ) -> usize {
+            0
+        }
+
+        fn choose(&mut self, kind: ChoiceKind, _arity: usize) -> usize {
+            match kind {
+                ChoiceKind::Fault => self.picks.pop_front().unwrap_or(0),
+                _ => 0,
+            }
+        }
+    }
+
+    #[test]
+    fn fault_space_is_inert_without_a_controlled_scheduler() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        eng.actor_as_mut::<Network>(net_actor).unwrap().set_fault_space(FaultSpace::new(5, 5));
+        eng.schedule_now(
+            net_actor,
+            Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+        );
+        eng.run();
+        assert_eq!(eng.actor_as::<Sink>(sink).unwrap().arrivals.len(), 1);
+        assert_eq!(eng.metrics().counter("net.fault.dropped"), 0);
+    }
+
+    #[test]
+    fn fault_space_enumerates_budgeted_drops_and_dups() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        eng.actor_as_mut::<Network>(net_actor).unwrap().set_fault_space(FaultSpace::new(1, 1));
+        // Message 1: arity 3 (deliver/drop/dup), pick 1 → drop.
+        // Message 2: drop budget spent → arity 2 (deliver/dup), pick 1 → dup.
+        // Message 3: both budgets spent → arity 1, source never consulted.
+        eng.set_choice_source(Box::new(FaultScript { picks: [1, 1].into() }));
+        for name in ["a", "b", "c"] {
+            eng.schedule_now(
+                net_actor,
+                Transmit { from: src, to: dst, size: 10, payload: Box::new(name.to_string()) },
+            );
+        }
+        eng.run();
+        let s = eng.actor_as::<Sink>(sink).unwrap();
+        let payloads: Vec<&str> = s.arrivals.iter().map(|(_, p)| p.as_str()).collect();
+        assert_eq!(payloads, vec!["b", "b", "c"], "a dropped, b duplicated, c plain");
+        assert_eq!(eng.metrics().counter("net.fault.dropped"), 1);
+        assert_eq!(eng.metrics().counter("net.fault.duplicated"), 1);
+    }
+
+    #[test]
+    fn fault_space_default_pick_delivers_everything() {
+        let (mut eng, sink, _h, src, dst, _) = setup(CostModel::slow_test());
+        let net_actor = 1;
+        eng.actor_as_mut::<Network>(net_actor).unwrap().set_fault_space(FaultSpace::new(2, 2));
+        eng.set_choice_source(Box::new(FaultScript { picks: [].into() }));
+        for _ in 0..4 {
+            eng.schedule_now(
+                net_actor,
+                Transmit { from: src, to: dst, size: 10, payload: Box::new("x".to_string()) },
+            );
+        }
+        eng.run();
+        assert_eq!(eng.actor_as::<Sink>(sink).unwrap().arrivals.len(), 4);
+        assert_eq!(eng.metrics().counter("net.fault.dropped"), 0);
+        assert_eq!(eng.metrics().counter("net.fault.duplicated"), 0);
     }
 
     #[test]

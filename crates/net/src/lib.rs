@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # net — simulated HPC interconnect
@@ -29,4 +30,4 @@ pub mod threaded;
 
 pub use cost::CostModel;
 pub use des::{Delivered, EndpointId, Msg, Network, NetworkHandle, Transmit};
-pub use threaded::{ThreadEndpoint, ThreadedNet};
+pub use threaded::{MeshProbe, NetMsg, ThreadEndpoint, ThreadedNet};

@@ -6,6 +6,7 @@
 //! at the same virtual times in the same order. Ties on time are broken by a
 //! monotonically increasing sequence number (i.e. FIFO).
 
+use crate::choice::{ChoiceKind, ChoiceSource, DeliveryOption, Fnv1a};
 use crate::metrics::Metrics;
 use crate::rng::Xoshiro256StarStar;
 use crate::time::SimTime;
@@ -89,6 +90,15 @@ pub trait Actor: Any {
     fn name(&self) -> &str {
         std::any::type_name::<Self>()
     }
+
+    /// Stable digest of the actor's logical state, for state-hash pruning in
+    /// a model checker. Two actors with equal fingerprints must behave
+    /// identically on all future events. Return `None` (the default) to opt
+    /// out — [`Engine::state_fingerprint`] then reports no fingerprint at
+    /// all, so pruning stays sound when any actor cannot summarize itself.
+    fn fingerprint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Mutable view of the engine handed to an actor while it processes an event.
@@ -147,6 +157,24 @@ impl<'a> Ctx<'a> {
     pub fn stopping(&self) -> bool {
         self.core.stopped
     }
+
+    /// Resolve an actor-level nondeterminism point with `arity` alternatives
+    /// through the installed [`ChoiceSource`]. Returns 0 (the default
+    /// branch) when no source is installed or `arity < 2`, so instrumented
+    /// actors behave exactly as before outside a model-checking run.
+    pub fn choose(&mut self, kind: ChoiceKind, arity: usize) -> usize {
+        match self.core.choice.as_mut() {
+            Some(src) if arity > 1 => src.choose(kind, arity).min(arity - 1),
+            _ => 0,
+        }
+    }
+
+    /// True when a controlled scheduler is driving this run. Actors use this
+    /// to decide whether to surface enumerable decisions (e.g. budgeted
+    /// fault choices) instead of seeded-random ones.
+    pub fn controlled(&self) -> bool {
+        self.core.choice.is_some()
+    }
 }
 
 struct EngineCore {
@@ -158,6 +186,7 @@ struct EngineCore {
     trace: Option<TraceRing>,
     stopped: bool,
     dispatched: u64,
+    choice: Option<Box<dyn ChoiceSource>>,
 }
 
 impl EngineCore {
@@ -187,6 +216,7 @@ impl Engine {
                 trace: None,
                 stopped: false,
                 dispatched: 0,
+                choice: None,
             },
             actors: Vec::new(),
         }
@@ -279,7 +309,15 @@ impl Engine {
     pub fn run_limited(&mut self, limit: u64) -> u64 {
         let mut n = 0;
         while n < limit {
-            let Some(sch) = self.core.heap.pop() else { break };
+            let sch = if self.core.choice.is_some() {
+                match self.pop_chosen() {
+                    Some(sch) => sch,
+                    None => break,
+                }
+            } else {
+                let Some(sch) = self.core.heap.pop() else { break };
+                sch
+            };
             debug_assert!(sch.at >= self.core.now, "time went backwards");
             self.core.now = sch.at;
             self.core.dispatched += 1;
@@ -302,6 +340,96 @@ impl Engine {
             }
         }
         n
+    }
+
+    /// Pop the next event under a controlled scheduler: gather the whole
+    /// batch tied at the earliest virtual time, let the [`ChoiceSource`]
+    /// pick one, and push the rest back (they keep their original sequence
+    /// numbers, so the canonical pick — option 0 — reproduces FIFO order).
+    fn pop_chosen(&mut self) -> Option<Scheduled> {
+        let first = self.core.heap.pop()?;
+        let at = first.at;
+        let mut batch = vec![first];
+        while let Some(next) = self.core.heap.peek() {
+            if next.at != at {
+                break;
+            }
+            batch.push(self.core.heap.pop().expect("peeked"));
+        }
+        let pick = if batch.len() == 1 {
+            0
+        } else {
+            // Successive pops come out in ascending seq order, so option 0
+            // is the FIFO default.
+            let opts: Vec<DeliveryOption> = batch
+                .iter()
+                .map(|s| DeliveryOption { seq: s.seq, target: s.target, from: s.ev.from })
+                .collect();
+            let src = self.core.choice.as_mut().expect("choice source present");
+            src.choose_delivery(at, &opts).min(batch.len() - 1)
+        };
+        let sch = batch.swap_remove(pick);
+        for rest in batch {
+            self.core.heap.push(rest);
+        }
+        Some(sch)
+    }
+
+    /// Install a controlled scheduler that resolves every choice point. See
+    /// the [`crate::choice`] module docs for the contract.
+    pub fn set_choice_source(&mut self, src: Box<dyn ChoiceSource>) {
+        self.core.choice = Some(src);
+    }
+
+    /// Remove the controlled scheduler, returning the engine to canonical
+    /// FIFO dispatch.
+    pub fn clear_choice_source(&mut self) -> Option<Box<dyn ChoiceSource>> {
+        self.core.choice.take()
+    }
+
+    /// True when a controlled scheduler is installed.
+    pub fn controlled(&self) -> bool {
+        self.core.choice.is_some()
+    }
+
+    /// FNV-1a digest of the engine's logical state: virtual time, pending
+    /// events (time/target/sender, *not* sequence numbers — two schedules
+    /// reaching the same state differ in seq history) and every actor's
+    /// [`Actor::fingerprint`]. Returns `None` unless *all* live actors
+    /// provide a fingerprint: pruning on a partial digest would be unsound.
+    pub fn state_fingerprint(&self) -> Option<u64> {
+        let mut h = Fnv1a::new();
+        h.write_u64(self.core.now.as_nanos());
+        // Pending events, in a canonical order independent of heap layout.
+        // The payload type id distinguishes messages the (time, target,
+        // sender) triple cannot; its numeric value is only stable within one
+        // process, which is exactly the lifetime of a pruning table.
+        let mut pending: Vec<(u64, usize, usize, u64)> = self
+            .core
+            .heap
+            .iter()
+            .map(|s| {
+                let mut th = Fnv1a::new();
+                use std::hash::Hash;
+                (*s.ev.payload).type_id().hash(&mut th);
+                (s.at.as_nanos(), s.target, s.ev.from.map_or(usize::MAX, |f| f), th.finish())
+            })
+            .collect();
+        pending.sort_unstable();
+        h.write_u64(pending.len() as u64);
+        for (at, target, from, tid) in pending {
+            h.write_u64(at);
+            h.write_u64(target as u64);
+            h.write_u64(from as u64);
+            h.write_u64(tid);
+        }
+        for (id, slot) in self.actors.iter().enumerate() {
+            if let Some(actor) = slot {
+                h.write_u64(id as u64);
+                h.write_u64(actor.fingerprint()?);
+            }
+        }
+        Some(h.finish())
     }
 
     /// Run to completion (empty heap or stop request).
@@ -341,6 +469,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::choice::{ChoiceKind, DeliveryOption, Fnv1a};
 
     enum Msg {
         Tick(u32),
@@ -475,6 +604,128 @@ mod tests {
         let ev = ev.downcast::<String>().unwrap_err();
         let (_, v) = ev.downcast::<u32>().unwrap();
         assert_eq!(v, 42);
+    }
+
+    struct ReverseSource;
+    impl crate::choice::ChoiceSource for ReverseSource {
+        fn choose_delivery(&mut self, _now: SimTime, options: &[DeliveryOption]) -> usize {
+            options.len() - 1
+        }
+        fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+            arity - 1
+        }
+    }
+
+    struct Recorder {
+        order: Vec<u32>,
+    }
+    impl Actor for Recorder {
+        fn on_event(&mut self, _ctx: &mut Ctx<'_>, ev: Event) {
+            if let Ok((_, Msg::Tick(k))) = ev.downcast::<Msg>() {
+                self.order.push(k);
+            }
+        }
+        fn fingerprint(&self) -> Option<u64> {
+            let mut h = Fnv1a::new();
+            for &k in &self.order {
+                h.write_u64(k as u64);
+            }
+            Some(h.finish())
+        }
+    }
+
+    #[test]
+    fn choice_source_reorders_same_time_batch() {
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::new(Recorder { order: vec![] }));
+        for k in [1u32, 2, 3] {
+            eng.schedule_at(SimTime::from_nanos(5), a, Msg::Tick(k));
+        }
+        eng.set_choice_source(Box::new(ReverseSource));
+        eng.run();
+        let r = eng.actor_as::<Recorder>(a).unwrap();
+        assert_eq!(r.order, vec![3, 2, 1], "last-index picks reverse FIFO");
+    }
+
+    /// A source that always picks option 0 must be indistinguishable from no
+    /// source at all — the contract the whole checker rests on.
+    struct CanonicalSource;
+    impl crate::choice::ChoiceSource for CanonicalSource {
+        fn choose_delivery(&mut self, _now: SimTime, _options: &[DeliveryOption]) -> usize {
+            0
+        }
+        fn choose(&mut self, _kind: ChoiceKind, _arity: usize) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn canonical_source_matches_uncontrolled_run() {
+        let run = |controlled: bool| -> Vec<u32> {
+            let mut eng = Engine::new(9);
+            let a = eng.add_actor(Box::new(Recorder { order: vec![] }));
+            for k in [4u32, 1, 7, 2] {
+                eng.schedule_at(SimTime::from_nanos(3), a, Msg::Tick(k));
+            }
+            eng.schedule_at(SimTime::from_nanos(1), a, Msg::Tick(0));
+            if controlled {
+                eng.set_choice_source(Box::new(CanonicalSource));
+            }
+            eng.run();
+            eng.actor_as::<Recorder>(a).unwrap().order.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn ctx_choose_defaults_to_zero_without_source() {
+        struct Chooser {
+            picked: Option<usize>,
+        }
+        impl Actor for Chooser {
+            fn on_event(&mut self, ctx: &mut Ctx<'_>, _ev: Event) {
+                self.picked = Some(ctx.choose(ChoiceKind::Fault, 3));
+            }
+        }
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::new(Chooser { picked: None }));
+        eng.schedule_now(a, ());
+        eng.run();
+        assert_eq!(eng.actor_as::<Chooser>(a).unwrap().picked, Some(0));
+
+        let mut eng = Engine::new(1);
+        let a = eng.add_actor(Box::new(Chooser { picked: None }));
+        eng.schedule_now(a, ());
+        eng.set_choice_source(Box::new(ReverseSource));
+        eng.run();
+        assert_eq!(eng.actor_as::<Chooser>(a).unwrap().picked, Some(2));
+    }
+
+    #[test]
+    fn state_fingerprint_requires_all_actors() {
+        let mut eng = Engine::new(1);
+        eng.add_actor(Box::new(Recorder { order: vec![] }));
+        assert!(eng.state_fingerprint().is_some());
+        // Counter opts out of fingerprinting → engine digest unavailable.
+        eng.add_actor(Box::<Counter>::default());
+        assert!(eng.state_fingerprint().is_none());
+    }
+
+    #[test]
+    fn equal_states_hash_equal_across_histories() {
+        let run = |order: [u32; 2]| -> u64 {
+            let mut eng = Engine::new(1);
+            let a = eng.add_actor(Box::new(Recorder { order: vec![] }));
+            // Different schedules (seq history differs)...
+            for k in order {
+                eng.schedule_at(SimTime::from_nanos(2), a, Msg::Tick(k));
+            }
+            eng.run();
+            // ...but force identical logical state before hashing.
+            eng.actor_as_mut::<Recorder>(a).unwrap().order = vec![1, 2];
+            eng.state_fingerprint().unwrap()
+        };
+        assert_eq!(run([1, 2]), run([2, 1]));
     }
 
     #[test]

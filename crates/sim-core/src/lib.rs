@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # sim-core — deterministic discrete-event simulation substrate
@@ -49,6 +50,7 @@
 //! assert_eq!(eng.now(), SimTime::from_micros(30));
 //! ```
 
+pub mod choice;
 pub mod engine;
 pub mod metrics;
 pub mod quantile;
@@ -57,6 +59,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use choice::{ChoiceKind, ChoiceSource, DeliveryOption};
 pub use engine::{Actor, ActorId, Ctx, Engine, Event};
 pub use metrics::Metrics;
 pub use quantile::P2Quantile;

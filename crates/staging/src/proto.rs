@@ -9,7 +9,7 @@
 use crate::geometry::BBox;
 use crate::payload::Payload;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Interned variable identifier.
 pub type VarId = u32;
@@ -32,7 +32,7 @@ pub struct ObjDesc {
 /// Name → [`VarId`] interner.
 #[derive(Debug, Default, Clone)]
 pub struct VarRegistry {
-    by_name: HashMap<String, VarId>,
+    by_name: BTreeMap<String, VarId>,
     names: Vec<String>,
 }
 

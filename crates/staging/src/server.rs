@@ -17,7 +17,7 @@ use crate::service::{ServerLogic, StoreBackend};
 use net::des::{Delivered, EndpointId, NetworkHandle};
 use sim_core::engine::{Actor, Ctx, Event};
 use sim_core::time::SimTime;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Approximate wire size of a request/response header.
 pub const HEADER_BYTES: u64 = 64;
@@ -91,8 +91,10 @@ pub struct StagingServerActor<B> {
     /// Gets whose requested version is not yet available (DataSpaces `get`
     /// blocks), indexed by `(var, version)` so a completed write wakes only
     /// the gets it can actually unblock instead of rescanning every parked
-    /// request.
-    waiting: HashMap<VarId, BTreeMap<Version, Vec<Pending>>>,
+    /// request. BTreeMap (not HashMap) at the outer level too: rescans
+    /// requeue parked gets in map order, and that order must not depend on
+    /// hasher state for runs to replay identically.
+    waiting: BTreeMap<VarId, BTreeMap<Version, Vec<Pending>>>,
     /// Request currently in service, if any.
     in_service: Option<Pending>,
     /// Metric name for this server's resident bytes gauge.
@@ -110,6 +112,10 @@ pub struct StagingServerActor<B> {
     /// Is the server inside an injected stall window? Requests queue, no
     /// state is lost.
     stalled: bool,
+    /// End of the longest stall window injected so far. Overlapping stalls
+    /// extend the window; a StallOver timer from a shorter, earlier window
+    /// must not resume the server while a longer one is still open.
+    stall_until: SimTime,
     /// Guards stale rebuild timers across overlapping failures.
     incarnation: u32,
     /// Rebuilds survived.
@@ -134,7 +140,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
             net,
             ep,
             queue: VecDeque::new(),
-            waiting: HashMap::new(),
+            waiting: BTreeMap::new(),
             in_service: None,
             mem_metric: format!("staging.server{index}.bytes"),
             index,
@@ -144,6 +150,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
             stash_ctl_ack: None,
             down: false,
             stalled: false,
+            stall_until: SimTime::ZERO,
             incarnation: 0,
             rebuilds: 0,
             stalls: 0,
@@ -372,8 +379,11 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 // completes.
                 self.down = true;
                 // A fail-stop supersedes any stall window in progress (the
-                // incarnation bump orphans the pending StallOver timer).
+                // incarnation bump orphans the pending StallOver timer, so
+                // the window end must be cleared too — a later stall would
+                // otherwise inherit it and never see its own timer).
                 self.stalled = false;
+                self.stall_until = SimTime::ZERO;
                 self.incarnation += 1;
                 let rebuild = f.fixed
                     + SimTime::from_secs_f64(self.logic.bytes_resident() as f64 * f.per_byte_s);
@@ -388,8 +398,11 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
         let ev = match ev.downcast::<Stall>() {
             Ok((_, s)) => {
                 // Freeze the server CPU: nothing is lost, requests queue and
-                // are served when the window lifts.
+                // are served when the window lifts. Overlapping windows
+                // merge: the server resumes at the latest end, not when the
+                // first (shorter) window's timer fires.
                 self.stalled = true;
+                self.stall_until = self.stall_until.max(ctx.now() + s.dur);
                 ctx.metrics().inc("staging.server_stalls", 1);
                 let incarnation = self.incarnation;
                 ctx.timer(s.dur, StallOver { incarnation });
@@ -399,7 +412,10 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
         };
         let ev = match ev.downcast::<StallOver>() {
             Ok((_, s)) => {
-                if s.incarnation == self.incarnation && self.stalled {
+                if s.incarnation == self.incarnation
+                    && self.stalled
+                    && ctx.now() >= self.stall_until
+                {
                     self.stalled = false;
                     self.stalls += 1;
                     if self.in_service.is_some() {
@@ -891,6 +907,40 @@ mod failure_tests {
         let srv = eng.actor_as::<StagingServerActor<PlainBackend>>(server).unwrap();
         assert_eq!(srv.stalls(), 1);
         assert_eq!(eng.metrics().counter("staging.server_stalls"), 1);
+    }
+
+    #[test]
+    fn overlapping_stalls_resume_at_the_latest_end() {
+        // Regression for an early-resume bug found by schedule exploration:
+        // a second, longer stall landing inside the first window used to be
+        // cut short when the first window's timer fired.
+        let (mut eng, sink, server, net_id, client_ep) = build();
+        eng.schedule_at(
+            sim_core::time::SimTime::ZERO,
+            server,
+            Stall { dur: sim_core::time::SimTime::from_millis(3) },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_millis(1),
+            server,
+            Stall { dur: sim_core::time::SimTime::from_millis(4) },
+        );
+        eng.schedule_at(
+            sim_core::time::SimTime::from_micros(10),
+            net_id,
+            net::des::Transmit { from: client_ep, to: 1, size: 164, payload: Box::new(put_req(1)) },
+        );
+        eng.run();
+        let s = eng.actor_as::<AckSink>(sink).unwrap();
+        assert_eq!(s.acks.len(), 1);
+        assert!(
+            s.acks[0] >= 5_000_000,
+            "ack at {} ns must wait out the merged window (1 ms + 4 ms)",
+            s.acks[0]
+        );
+        let srv = eng.actor_as::<StagingServerActor<PlainBackend>>(server).unwrap();
+        assert_eq!(srv.stalls(), 1, "merged windows count as one stall survived");
+        assert_eq!(eng.metrics().counter("staging.server_stalls"), 2, "but both injections count");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::store::VersionedStore;
 use crate::store_journal::{StoreJournal, StoreJournalEntry};
 use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Work performed by one backend operation, for the CPU cost model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -259,10 +259,11 @@ pub struct ServerLogic<B> {
     costs: ServerCosts,
     puts_served: u64,
     gets_served: u64,
-    /// Recently-sent put/get responses keyed `(app, seq)`.
-    resp_cache: HashMap<AppId, BTreeMap<u64, CachedResp>>,
+    /// Recently-sent put/get responses keyed `(app, seq)`. Ordered maps so
+    /// cache trimming sweeps run in the same order on every host.
+    resp_cache: BTreeMap<AppId, BTreeMap<u64, CachedResp>>,
     /// Recently-sent control acknowledgements keyed `(app, seq)`.
-    ctl_cache: HashMap<AppId, BTreeMap<u64, CtlResponse>>,
+    ctl_cache: BTreeMap<AppId, BTreeMap<u64, CtlResponse>>,
     /// Exactly-once guard switch; disabled only by the mutation tests that
     /// prove the invariant checker notices a broken dedup.
     dedup_enabled: bool,
@@ -278,8 +279,8 @@ impl<B: StoreBackend> ServerLogic<B> {
             costs,
             puts_served: 0,
             gets_served: 0,
-            resp_cache: HashMap::new(),
-            ctl_cache: HashMap::new(),
+            resp_cache: BTreeMap::new(),
+            ctl_cache: BTreeMap::new(),
             dedup_enabled: true,
             dup_hits: 0,
         }

@@ -9,7 +9,7 @@
 //!
 //! # Indexing
 //!
-//! Each `(var, version)` holds a [`PieceSet`]: pieces bucketed by the Morton
+//! Each `(var, version)` holds a `PieceSet`: pieces bucketed by the Morton
 //! code ([`crate::sfc::morton3`]) of their quantized lower bound. The cell
 //! extents are fixed per set from the first piece's extents (rounded up to a
 //! power of two), so block-aligned pieces — the common case, since
@@ -27,7 +27,7 @@ use crate::geometry::BBox;
 use crate::payload::Payload;
 use crate::proto::{GetPiece, ObjDesc, VarId, Version};
 use crate::sfc::morton3;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet}; // detlint: allow(hashmap) — CellMap uses a fixed-key hasher; iteration never leaves this module unsorted
 
 /// One stored piece.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -65,6 +65,9 @@ impl std::hash::Hasher for CellHasher {
     }
 }
 
+// Fixed-key CellHasher: bucket layout (and thus any iteration) is identical
+// on every run, and lookups are point queries anyway.
+// detlint: allow(hashmap) — fixed-key hasher, see above
 type CellMap = HashMap<u64, Vec<StoredObj>, std::hash::BuildHasherDefault<CellHasher>>;
 
 /// The pieces of one `(var, version)`, spatially bucketed by the Morton code
@@ -151,6 +154,7 @@ impl PieceSet {
         }
         // The 21-bit mask can alias distinct cells onto one key; dedup so an
         // aliased bucket is not visited (and reported) twice.
+        // detlint: allow(hashmap) — membership-only set, never iterated.
         let mut seen: HashSet<u64> = HashSet::new();
         for x in clo[0]..=chi[0] {
             for y in clo[1]..=chi[1] {
@@ -194,8 +198,10 @@ impl PieceSet {
 /// ```
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct VersionedStore {
-    /// var → version → spatially indexed pieces.
-    data: HashMap<VarId, BTreeMap<Version, PieceSet>>,
+    /// var → version → spatially indexed pieces. BTreeMap so whole-store
+    /// sweeps (`remove_newer_than`, `piece_count`, serialization) iterate in
+    /// a platform-independent order.
+    data: BTreeMap<VarId, BTreeMap<Version, PieceSet>>,
     /// Total resident bytes (payload logical sizes).
     bytes: u64,
     /// Maximum retained versions per variable (`None` = unbounded; the
@@ -207,12 +213,12 @@ impl VersionedStore {
     /// Store retaining at most `max_versions` versions per variable.
     pub fn bounded(max_versions: usize) -> Self {
         assert!(max_versions > 0, "must retain at least one version");
-        VersionedStore { data: HashMap::new(), bytes: 0, max_versions: Some(max_versions) }
+        VersionedStore { data: BTreeMap::new(), bytes: 0, max_versions: Some(max_versions) }
     }
 
     /// Store with no automatic eviction (caller controls deletion).
     pub fn unbounded() -> Self {
-        VersionedStore { data: HashMap::new(), bytes: 0, max_versions: None }
+        VersionedStore { data: BTreeMap::new(), bytes: 0, max_versions: None }
     }
 
     /// Insert a piece. If a piece with the identical bbox exists at the same

@@ -19,13 +19,14 @@ use crate::geometry::BBox;
 use crate::payload::Payload;
 use crate::proto::{GetPiece, ObjDesc, VarId, Version};
 use crate::store::StoredObj;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Linear-scan versioned store (the seed implementation).
 #[derive(Debug, Clone, Default)]
 pub struct LinearStore {
-    /// var → version → pieces, probed linearly.
-    data: HashMap<VarId, BTreeMap<Version, Vec<StoredObj>>>,
+    /// var → version → pieces, probed linearly. Ordered map to stay
+    /// iteration-order-identical with the indexed store it oracles for.
+    data: BTreeMap<VarId, BTreeMap<Version, Vec<StoredObj>>>,
     /// Total resident bytes (payload logical sizes).
     bytes: u64,
     /// Maximum retained versions per variable.

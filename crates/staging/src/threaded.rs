@@ -6,6 +6,9 @@
 //! protocol logic (including `wfcr`'s logging backend) is identical to the
 //! DES path, so races surfaced here are races in the real design.
 
+// detlint: skip-file — real-thread transport: wall-clock timeouts and local
+// HashMaps are inherent here; determinism is only required of the DES path.
+
 use crate::dist::Distribution;
 use crate::geometry::BBox;
 use crate::payload::Payload;

@@ -27,7 +27,7 @@ use staging::proto::{
 };
 use staging::service::{OpStats, StoreBackend};
 use staging::store::VersionedStore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate digest for a set of get pieces: order-insensitive combination of
 /// piece digests and bbox corners, so that re-served results compare stably.
@@ -84,7 +84,10 @@ pub fn pieces_digest(pieces: &[GetPiece]) -> u64 {
 #[derive(Debug)]
 pub struct LoggingBackend {
     store: VersionedStore,
-    queues: HashMap<AppId, EventQueue>,
+    // BTreeMap, not HashMap: `queues.values_mut()` drives GC trimming and
+    // journal rebuild, and those sweeps must visit apps in the same order on
+    // every host for runs to be reproducible.
+    queues: BTreeMap<AppId, EventQueue>,
     replay: ReplayManager,
     gc: GcState,
     next_w_chk: u64,
@@ -99,6 +102,10 @@ pub struct LoggingBackend {
     /// marker is mirrored to disk so the whole backend can be rebuilt after
     /// full process death ([`LoggingBackend::from_journal`]).
     journal: Option<JournalHandle>,
+    /// Mutation hook: offset added to the version served for replayed gets,
+    /// deliberately breaking replay-version fidelity. Model-checker tests
+    /// use it to verify the oracles catch the violation; always 0 otherwise.
+    replay_version_skew: u32,
 }
 
 impl Default for LoggingBackend {
@@ -114,7 +121,7 @@ impl LoggingBackend {
     pub fn new() -> Self {
         LoggingBackend {
             store: VersionedStore::unbounded(),
-            queues: HashMap::new(),
+            queues: BTreeMap::new(),
             replay: ReplayManager::new(),
             gc: GcState::new(),
             next_w_chk: 1,
@@ -122,6 +129,7 @@ impl LoggingBackend {
             absorbed_puts: 0,
             replayed_gets: 0,
             journal: None,
+            replay_version_skew: 0,
         }
     }
 
@@ -293,7 +301,7 @@ impl LoggingBackend {
         self.store.clone()
     }
 
-    pub(crate) fn queues_clone(&self) -> HashMap<AppId, EventQueue> {
+    pub(crate) fn queues_clone(&self) -> BTreeMap<AppId, EventQueue> {
         self.queues.clone()
     }
 
@@ -308,7 +316,7 @@ impl LoggingBackend {
     /// Rebuild a backend from snapshotted parts (fresh replay state).
     pub(crate) fn restore_parts(
         store: VersionedStore,
-        queues: HashMap<AppId, EventQueue>,
+        queues: BTreeMap<AppId, EventQueue>,
         gc: crate::gc::GcState,
         next_w_chk: u64,
     ) -> LoggingBackend {
@@ -322,7 +330,34 @@ impl LoggingBackend {
             absorbed_puts: 0,
             replayed_gets: 0,
             journal: None,
+            replay_version_skew: 0,
         }
+    }
+
+    /// Deliberately serve `logged + skew` instead of the logged version for
+    /// replayed gets. This is a seeded-violation hook for the model checker:
+    /// with `skew > 0` the replay-version-fidelity oracle must trip (the
+    /// served digest no longer matches the logged digest). Never set in
+    /// production paths.
+    pub fn set_replay_version_skew(&mut self, skew: u32) {
+        self.replay_version_skew = skew;
+    }
+
+    /// The current GC floor: the version at or below which logged data may
+    /// be collected (min per-app checkpoint mark, clamped by active replays).
+    pub fn gc_floor(&self) -> Version {
+        self.gc.floor(self.replay.active_floor())
+    }
+
+    /// Per-component checkpoint marks, sorted by app — the inputs to the GC
+    /// floor, exposed for GC-safety oracles.
+    pub fn gc_marks(&self) -> Vec<(AppId, Version)> {
+        self.gc.apps().into_iter().map(|a| (a, self.gc.mark(a))).collect()
+    }
+
+    /// Apps with a registered event queue, sorted.
+    pub fn queue_apps(&self) -> Vec<AppId> {
+        self.queues.keys().copied().collect()
     }
 
     fn resolve_get_version(&self, req: &GetRequest) -> Version {
@@ -385,6 +420,7 @@ impl StoreBackend for LoggingBackend {
     fn get(&mut self, req: &GetRequest) -> (Vec<GetPiece>, OpStats) {
         match self.replay.on_get(req.app, req.var, req.version, &req.bbox) {
             GetDecision::Replay { version, digest } => {
+                let version = version + self.replay_version_skew;
                 let pieces = self.store.query(req.var, version, &req.bbox);
                 if pieces_digest(&pieces) != digest {
                     self.replay.record_mismatch();

@@ -20,12 +20,14 @@
 
 use staging::proto::{AppId, Version};
 use staging::store::VersionedStore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tracks per-component checkpoint progress and computes the GC floor.
 #[derive(Debug, Default, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GcState {
-    marks: HashMap<AppId, Version>,
+    // BTreeMap keeps mark iteration (floor computation, serialization)
+    // deterministic across hosts.
+    marks: BTreeMap<AppId, Version>,
     /// Bytes reclaimed over the store's lifetime.
     reclaimed: u64,
     /// GC passes executed.

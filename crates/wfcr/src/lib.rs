@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # wfcr — workflow-level checkpoint/restart with data logging

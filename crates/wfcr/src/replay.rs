@@ -20,7 +20,7 @@
 use crate::event::LogEvent;
 use staging::geometry::BBox;
 use staging::proto::{AppId, ObjDesc, VarId, Version};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Decision for an incoming put.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +69,9 @@ impl ReplayState {
 /// Tracks which components are replaying and matches their requests.
 #[derive(Debug, Default)]
 pub struct ReplayManager {
-    states: HashMap<AppId, ReplayState>,
+    // BTreeMap so `active_floor` and any future sweep iterate apps in a
+    // platform-independent order.
+    states: BTreeMap<AppId, ReplayState>,
     /// Digest mismatches observed (should stay zero for deterministic apps).
     mismatches: u64,
     /// Requests that found no matching script entry while replaying.

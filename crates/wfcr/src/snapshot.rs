@@ -18,7 +18,7 @@ use crate::queue::EventQueue;
 use serde::{Deserialize, Serialize};
 use staging::proto::AppId;
 use staging::store::VersionedStore;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A serializable image of one staging server's log state.
 #[derive(Debug, Serialize, Deserialize)]
@@ -26,7 +26,7 @@ pub struct LogSnapshot {
     /// The versioned data log.
     pub store: VersionedStore,
     /// Per-component event queues.
-    pub queues: HashMap<AppId, EventQueue>,
+    pub queues: BTreeMap<AppId, EventQueue>,
     /// GC marks.
     pub gc: GcState,
     /// Next `W_Chk_ID` to assign.

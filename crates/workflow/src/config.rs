@@ -751,6 +751,74 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
     }
 }
 
+/// The model checker's exploration target: the smallest workflow whose
+/// schedule tree is still interesting — one producer and one consumer
+/// exchanging a single staged block per step through a single staging
+/// server, for three coupling steps. Every put, get, ack, and checkpoint
+/// marker is a potential choice point, so bounded-depth exhaustive
+/// exploration ([`crate::mcheck_mode`]) stays tractable while still
+/// covering the full write-then-read consistency protocol.
+pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
+    WorkflowConfig {
+        label: format!("micro/{}", protocol.label()),
+        components: vec![
+            ComponentConfig {
+                name: "producer".into(),
+                app: 0,
+                role: Role::Producer,
+                ranks: 2,
+                spares: 1,
+                compute_per_step: SimTime::from_millis(2),
+                jitter: 0.0, // no compute jitter: schedule choices are the only nondeterminism
+                state_bytes: 1 << 20,
+                scheme: FtScheme::CheckpointRestart { period: 2 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+            ComponentConfig {
+                name: "consumer".into(),
+                app: 1,
+                role: Role::Consumer,
+                ranks: 1,
+                spares: 1,
+                compute_per_step: SimTime::from_millis(1),
+                jitter: 0.0,
+                state_bytes: 1 << 19,
+                scheme: FtScheme::CheckpointRestart { period: 2 },
+                subset_millis: 1000,
+                subset_pattern: SubsetPattern::Fixed,
+            },
+        ],
+        domain: [32, 32, 32],
+        block: [32, 32, 32], // one block per step: minimal message fan-out
+        sfc: staging::dist::Curve::Morton,
+        nservers: 1,
+        bytes_per_point: 8,
+        nvars: 1,
+        total_steps: 3,
+        protocol,
+        coordinated_period: 2,
+        plain_max_versions: 2,
+        net: CostModel::cori_like(),
+        server_costs: ServerCosts::default(),
+        ulfm: mpi_sim::UlfmCosts {
+            detect_ns: 1_000_000, // 1 ms: recoveries stay inside the short run
+            ..mpi_sim::UlfmCosts::default()
+        },
+        pfs: ckpt::PfsModel::default(),
+        failures: Vec::new(),
+        staging_resilience: StagingResilienceCfg::default(),
+        ckpt_target: CkptTarget::Pfs,
+        node_local: ckpt::NodeLocalModel::default(),
+        proactive: None,
+        log_gc: true,
+        failover: SimTime::from_millis(5),
+        reconnect_per_rank: SimTime::from_micros(100),
+        seed: 3,
+        durability: None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # workflow — the synthetic in-situ workflow engine
@@ -31,9 +32,11 @@ pub mod coldstart;
 pub mod component;
 pub mod config;
 pub mod director;
+pub mod mcheck_mode;
 pub mod report;
 pub mod runner;
 
 pub use config::{ComponentConfig, DurabilityCfg, FailureSpec, Role, WorkflowConfig};
+pub use mcheck_mode::{CrashChoice, McheckOptions, WorkflowModel};
 pub use report::RunReport;
-pub use runner::run;
+pub use runner::{build, harvest, run, BuiltWorkflow};

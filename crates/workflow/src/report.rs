@@ -85,6 +85,13 @@ pub struct RunReport {
     /// reconstruction), milliseconds. 0 for runs without a cold restart.
     #[serde(default)]
     pub cold_restart_ms: f64,
+    /// Schedules explored by the model-checker runner mode
+    /// ([`crate::mcheck_mode::explore`]); 0 for plain runs.
+    #[serde(default)]
+    pub schedules_explored: u64,
+    /// Exploration runs cut by state-hash pruning; 0 for plain runs.
+    #[serde(default)]
+    pub states_pruned: u64,
 }
 
 impl RunReport {
@@ -167,6 +174,8 @@ mod tests {
             log_bytes_flushed: 0,
             segments_compacted: 0,
             cold_restart_ms: 0.0,
+            schedules_explored: 0,
+            states_pruned: 0,
         }
     }
 

@@ -74,8 +74,37 @@ pub fn materialize_failures(cfg: &WorkflowConfig) -> Vec<FailureSpec> {
     out
 }
 
+/// A fully wired engine, paused before its first event, plus the actor ids
+/// needed to drive and harvest it. Produced by [`build`]; the normal runner
+/// immediately executes it, while the model-checking mode
+/// ([`crate::mcheck_mode`]) first installs a controlled scheduler, fault
+/// spaces, or seeded violations.
+pub struct BuiltWorkflow {
+    /// The engine with kickoff events scheduled but not yet dispatched.
+    pub engine: Engine,
+    /// The resolved configuration (hybrid replication substitution applied).
+    pub cfg: WorkflowConfig,
+    /// Component actor ids, in `cfg.components` order.
+    pub comp_ids: Vec<usize>,
+    /// Staging server actor ids, in server-index order.
+    pub server_ids: Vec<usize>,
+    /// Director actor id.
+    pub dir_id: usize,
+    /// Network actor id.
+    pub net_id: usize,
+}
+
 /// Execute one workflow run and report.
 pub fn run(cfg: &WorkflowConfig) -> RunReport {
+    let mut built = build(cfg);
+    built.engine.run_limited(MAX_EVENTS);
+    harvest(&mut built)
+}
+
+/// Construct the fully wired engine for `cfg`: actors, endpoints, failure
+/// plan, and kickoff events — everything up to (but excluding) the first
+/// dispatched event.
+pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let mut cfg = cfg.clone();
     // Under the hybrid protocol the analytics components use process
     // replication (paper §III-B: "a simulation employs checkpoint/restart
@@ -255,20 +284,24 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         }
     }
 
-    // 7. Kick off and run.
+    // 7. Kick off.
     for &cid in &comp_ids {
         engine.schedule_now(cid, StartStep);
     }
-    engine.run_limited(MAX_EVENTS);
+    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id }
+}
 
-    // 8. Harvest. Journal counters need a flush pre-pass (mutable access)
-    // before the read-only sweep: the graceful end of a run drains each
-    // server's buffered journal tail so `bytes_flushed` reflects the whole
-    // history.
+/// Distill a completed run into a [`RunReport`]. Asserts every component
+/// finished (a wedged run is a bug, not a result).
+pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
+    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, .. } = built;
+    // Journal counters need a flush pre-pass (mutable access) before the
+    // read-only sweep: the graceful end of a run drains each server's
+    // buffered journal tail so `bytes_flushed` reflects the whole history.
     let mut log_bytes_flushed = 0u64;
     let mut segments_compacted = 0u64;
     if cfg.durability.is_some() {
-        for &sid in &server_ids {
+        for &sid in server_ids.iter() {
             let s =
                 engine.actor_as_mut::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
             let b = s.logic_mut().backend_mut();
@@ -278,7 +311,7 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         }
     }
     let m = engine.metrics().clone();
-    let dir = engine.actor_as::<Director>(dir_id).expect("director");
+    let dir = engine.actor_as::<Director>(*dir_id).expect("director");
     let mut finish_times_s: Vec<(u32, f64)> =
         dir.finish_times().iter().map(|(&app, &t)| (app, t.as_secs_f64())).collect();
     finish_times_s.sort_unstable_by_key(|&(app, _)| app);
@@ -321,7 +354,7 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     let mut failovers = 0u64;
     let mut recoveries = 0u64;
     let mut proactive_ckpts = 0u64;
-    for &cid in &comp_ids {
+    for &cid in comp_ids.iter() {
         let c = engine.actor_as::<ComponentActor>(cid).expect("component");
         steps_executed += c.steps_executed();
         failovers += u64::from(c.failovers());
@@ -365,6 +398,8 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
         log_bytes_flushed,
         segments_compacted,
         cold_restart_ms: 0.0,
+        schedules_explored: 0,
+        states_pruned: 0,
     }
 }
 

@@ -1,0 +1,253 @@
+#![forbid(unsafe_code)]
+
+//! detlint — determinism lint for the DES-deterministic crates.
+//!
+//! The model checker's guarantees (replayable schedules, byte-identical
+//! `.schedule` counterexamples, FNV state-hash pruning) rest on one premise:
+//! a run is a pure function of the configuration and the pick vector. Any
+//! wall-clock read, ambient RNG, or hash-order iteration inside the
+//! deterministic crates silently breaks that premise — the bug shows up later
+//! as a schedule that no longer replays. This lint rejects those constructs
+//! at CI time instead.
+//!
+//! Rules (matched against comment-stripped source lines):
+//!
+//! * `wallclock` — `SystemTime::now`, `Instant::now`
+//! * `rng`       — `thread_rng`, `from_entropy`, `rand::random`
+//! * `hashmap`   — `HashMap` / `HashSet` (std hash containers: iteration
+//!   order varies run to run; use `BTreeMap` / `BTreeSet`, or waive with a
+//!   justification when a fixed-key hasher makes iteration deterministic)
+//!
+//! Waivers are per-site comments carrying the justification:
+//!
+//! * `// detlint: allow(<rule>) — <reason>` on the offending line or the
+//!   line directly above it;
+//! * `// detlint: skip-file — <reason>` anywhere in the file (for files
+//!   that are deliberately outside the deterministic envelope, e.g. a
+//!   real-thread transport).
+//!
+//! Usage: `detlint [path ...]` — paths are `.rs` files or directories
+//! (recursed). With no arguments, lints the default deterministic envelope:
+//! `crates/sim-core/src`, `crates/net/src/des.rs`, `crates/wfcr/src`,
+//! `crates/staging/src`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The deterministic envelope linted when no paths are given.
+const DEFAULT_TARGETS: &[&str] =
+    &["crates/sim-core/src", "crates/net/src/des.rs", "crates/wfcr/src", "crates/staging/src"];
+
+/// One lint rule: a name (used in `allow(<name>)` waivers) and the
+/// substrings that trigger it.
+struct Rule {
+    name: &'static str,
+    needles: &'static [&'static str],
+}
+
+const RULES: &[Rule] = &[
+    Rule { name: "wallclock", needles: &["SystemTime::now", "Instant::now"] },
+    Rule { name: "rng", needles: &["thread_rng", "from_entropy", "rand::random"] },
+    Rule { name: "hashmap", needles: &["HashMap", "HashSet"] },
+];
+
+/// A single violation.
+#[derive(Debug, PartialEq, Eq)]
+struct Finding {
+    file: String,
+    line: usize,
+    rule: &'static str,
+    source: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.source.trim())
+    }
+}
+
+/// Split a line into (code, comment) at the first `//` outside a string
+/// literal. Good enough for this codebase: raw strings and `//` inside
+/// normal strings are handled; block comments are not (none of the banned
+/// constructs hide in them).
+fn split_comment(line: &str) -> (&str, &str) {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' if in_str => i += 1, // skip the escaped byte
+            b'"' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return (&line[..i], &line[i..]);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (line, "")
+}
+
+/// Does this comment waive `rule` (or carry a skip-file directive)?
+fn waives(comment: &str, rule: &str) -> bool {
+    comment.contains(&format!("detlint: allow({rule})"))
+}
+
+fn is_skip_file(src: &str) -> bool {
+    src.lines().any(|l| split_comment(l).1.contains("detlint: skip-file"))
+}
+
+/// Lint one source text. `file` is used only for reporting.
+fn lint_source(file: &str, src: &str) -> Vec<Finding> {
+    if is_skip_file(src) {
+        return Vec::new();
+    }
+    let lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    for (idx, raw) in lines.iter().enumerate() {
+        let (code, comment) = split_comment(raw);
+        let above = if idx > 0 { split_comment(lines[idx - 1]).1 } else { "" };
+        for rule in RULES {
+            if !rule.needles.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            if waives(comment, rule.name) || waives(above, rule.name) {
+                continue;
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: rule.name,
+                source: raw.to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Collect `.rs` files under `path` (a file or a directory), sorted for
+/// stable output.
+fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;
+    entries.sort();
+    for entry in entries {
+        collect_rs(&entry, out)?;
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let targets: Vec<PathBuf> = if args.is_empty() {
+        DEFAULT_TARGETS.iter().map(PathBuf::from).collect()
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+
+    let mut files = Vec::new();
+    for t in &targets {
+        if let Err(e) = collect_rs(t, &mut files) {
+            eprintln!("detlint: {}: {e}", t.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let mut findings = Vec::new();
+    for f in &files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("detlint: {}: {e}", f.display());
+                return ExitCode::from(2);
+            }
+        };
+        findings.extend(lint_source(&f.display().to_string(), &src));
+    }
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("detlint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("detlint: {} violation(s) in {} files", findings.len(), files.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_wallclock_and_rng() {
+        let src = "let t = Instant::now();\nlet r = thread_rng().gen();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].rule, "wallclock");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[1].rule, "rng");
+    }
+
+    #[test]
+    fn flags_hash_containers() {
+        let src = "use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "hashmap").count(), 2);
+    }
+
+    #[test]
+    fn comment_mentions_are_ignored() {
+        let src = "// BTreeMap, not HashMap: iteration order matters\nlet x = 1;\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn same_line_waiver() {
+        let src = "use std::collections::HashMap; // detlint: allow(hashmap) — fixed-key hasher\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn preceding_line_waiver() {
+        let src = "// detlint: allow(wallclock) — progress meter only\nlet t = Instant::now();\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_is_rule_specific() {
+        let src = "// detlint: allow(rng)\nlet t = Instant::now();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wallclock");
+    }
+
+    #[test]
+    fn skip_file_waives_everything() {
+        let src = "// detlint: skip-file — real-thread transport\nlet t = Instant::now();\nuse std::collections::HashMap;\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_hide_code() {
+        // A `//` inside a string literal must not truncate the code part.
+        let src = "let u = \"http://x\"; let t = Instant::now();\n";
+        let f = lint_source("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wallclock");
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let f = Finding { file: "a.rs".into(), line: 7, rule: "rng", source: "  x  ".into() };
+        assert_eq!(f.to_string(), "a.rs:7: rng: x");
+    }
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Emits and parses JSON text through the vendored serde's owned
-//! [`Value`](serde::value::Value) tree. Covers the workspace's usage:
+//! [`Value`] tree. Covers the workspace's usage:
 //! `to_string`, `to_string_pretty`, `to_vec`, `from_str`, `from_slice`.
 
 use serde::de::DeserializeOwned;
