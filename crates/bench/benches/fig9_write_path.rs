@@ -19,6 +19,7 @@ fn put_req(version: u32, bytes: u64) -> PutRequest {
         desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 1023) },
         payload: Payload::virtual_from(bytes, &[version as u64]),
         seq: version as u64,
+        tctx: obs::TraceCtx::NONE,
     }
 }
 
@@ -82,6 +83,7 @@ fn bench_get_path(c: &mut Criterion) {
                         version: v,
                         bbox: BBox::d1(0, 1023),
                         seq: 0,
+                        tctx: obs::TraceCtx::NONE,
                     };
                     black_box(logic.handle_get(&req))
                 });

@@ -39,9 +39,10 @@
 //!         desc: ObjDesc { var: 0, version: step, bbox },
 //!         payload: Payload::virtual_from(64, &[step as u64]),
 //!         seq: 0,
+//!         tctx: TraceCtx::NONE,
 //!     });
 //!     let (pieces, _) =
-//!         staging.get(&GetRequest { app: 1, var: 0, version: step, bbox, seq: 0 });
+//!         staging.get(&GetRequest { app: 1, var: 0, version: step, bbox, seq: 0, tctx: TraceCtx::NONE });
 //!     observed.push(pieces_digest(&pieces));
 //! }
 //!
@@ -52,7 +53,7 @@
 //! // Replayed reads of steps 3 and 4 are served the original data.
 //! for step in 3..=4u32 {
 //!     let (pieces, _) =
-//!         staging.get(&GetRequest { app: 1, var: 0, version: step, bbox, seq: 0 });
+//!         staging.get(&GetRequest { app: 1, var: 0, version: step, bbox, seq: 0, tctx: TraceCtx::NONE });
 //!     assert_eq!(pieces_digest(&pieces), observed[(step - 1) as usize]);
 //! }
 //! assert_eq!(staging.digest_mismatches(), 0);
@@ -73,6 +74,7 @@
 pub use ckpt;
 pub use mpi_sim;
 pub use net;
+pub use obs;
 pub use resilience;
 pub use sim_core;
 pub use staging;
@@ -82,6 +84,7 @@ pub use workflow;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use ckpt::{CheckpointStore, Snapshot};
+    pub use obs::TraceCtx;
     pub use staging::dist::{Curve, Distribution};
     pub use staging::geometry::BBox;
     pub use staging::payload::Payload;

@@ -1,0 +1,435 @@
+//! Trace analysis shared by `wf-trace` and the test suite: span-tree
+//! reconstruction, per-track timelines, recovery critical paths, slowest put
+//! trees, and structural validation.
+
+use crate::{RecordKind, Trace};
+use std::collections::BTreeMap;
+
+/// A reconstructed span (a matched `Begin`/`End` pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Causal tree id.
+    pub tr: u64,
+    /// Span id.
+    pub sp: u64,
+    /// Parent span id (0 = root).
+    pub par: u64,
+    /// Track index.
+    pub track: u16,
+    /// Name (from the `Begin` record).
+    pub name: String,
+    /// Open time, virtual ns.
+    pub start: u64,
+    /// Close time, virtual ns.
+    pub end: u64,
+    /// Annotations (begin args followed by end args).
+    pub args: Vec<crate::Arg>,
+}
+
+impl Span {
+    /// Span duration in virtual ns.
+    pub fn dur(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// Pair `Begin`/`End` records into [`Span`]s, in begin order. Unclosed spans
+/// are dropped (use [`validate`] to surface them).
+pub fn spans(trace: &Trace) -> Vec<Span> {
+    let mut open: BTreeMap<u64, Span> = BTreeMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut closed: BTreeMap<u64, Span> = BTreeMap::new();
+    for r in &trace.records {
+        match r.k {
+            RecordKind::Begin => {
+                order.push(r.sp);
+                open.insert(
+                    r.sp,
+                    Span {
+                        tr: r.tr,
+                        sp: r.sp,
+                        par: r.par,
+                        track: r.track,
+                        name: r.name.clone(),
+                        start: r.t,
+                        end: r.t,
+                        args: r.args.clone(),
+                    },
+                );
+            }
+            RecordKind::End => {
+                if let Some(mut s) = open.remove(&r.sp) {
+                    s.end = r.t;
+                    s.args.extend(r.args.iter().cloned());
+                    closed.insert(r.sp, s);
+                }
+            }
+            RecordKind::Instant | RecordKind::Meta => {}
+        }
+    }
+    order.into_iter().filter_map(|sp| closed.remove(&sp)).collect()
+}
+
+/// One track's activity summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackLine {
+    /// Track name.
+    pub name: String,
+    /// Closed span count.
+    pub spans: usize,
+    /// Instant count.
+    pub instants: usize,
+    /// Sum of top-level span durations on this track (a span is top-level
+    /// here when its parent is not on the same track), virtual ns.
+    pub busy_ns: u64,
+    /// First record time on the track, ns.
+    pub first_ns: u64,
+    /// Last record time on the track, ns.
+    pub last_ns: u64,
+}
+
+/// Per-track timeline summaries, in track-table order.
+pub fn timelines(trace: &Trace) -> Vec<TrackLine> {
+    let all = spans(trace);
+    let mut lines: Vec<TrackLine> = trace
+        .tracks
+        .iter()
+        .map(|name| TrackLine {
+            name: name.clone(),
+            spans: 0,
+            instants: 0,
+            busy_ns: 0,
+            first_ns: u64::MAX,
+            last_ns: 0,
+        })
+        .collect();
+    let track_of: BTreeMap<u64, u16> = all.iter().map(|s| (s.sp, s.track)).collect();
+    for s in &all {
+        let Some(line) = lines.get_mut(s.track as usize) else { continue };
+        line.spans += 1;
+        let parent_same_track = track_of.get(&s.par).is_some_and(|&t| t == s.track);
+        if !parent_same_track {
+            line.busy_ns += s.dur();
+        }
+    }
+    for r in &trace.records {
+        let Some(line) = lines.get_mut(r.track as usize) else { continue };
+        if r.k == RecordKind::Instant {
+            line.instants += 1;
+        }
+        if !matches!(r.k, RecordKind::Meta) {
+            line.first_ns = line.first_ns.min(r.t);
+            line.last_ns = line.last_ns.max(r.t);
+        }
+    }
+    for line in &mut lines {
+        if line.first_ns == u64::MAX {
+            line.first_ns = 0;
+        }
+    }
+    lines
+}
+
+/// One phase of a recovery critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Phase {
+    /// Phase span name (`ulfm`, `restore`, `restart_ctl`, `replay`, ...).
+    pub name: String,
+    /// Phase duration, ns.
+    pub dur_ns: u64,
+    /// Phase start, ns.
+    pub start_ns: u64,
+}
+
+/// One recovery's breakdown: the root `recovery` span and its direct
+/// children in start order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPath {
+    /// Track the recovery ran on.
+    pub track: String,
+    /// Recovery start, ns.
+    pub start_ns: u64,
+    /// Whole-recovery duration, ns.
+    pub total_ns: u64,
+    /// Direct phase children, in start order.
+    pub phases: Vec<Phase>,
+}
+
+/// Critical-path breakdowns of every `recovery` span in the trace, in start
+/// order.
+pub fn recovery_paths(trace: &Trace) -> Vec<RecoveryPath> {
+    let all = spans(trace);
+    let mut out = Vec::new();
+    for root in all.iter().filter(|s| s.name == "recovery") {
+        let mut phases: Vec<Phase> = all
+            .iter()
+            .filter(|s| s.par == root.sp)
+            .map(|s| Phase { name: s.name.clone(), dur_ns: s.dur(), start_ns: s.start })
+            .collect();
+        phases.sort_by_key(|p| p.start_ns);
+        out.push(RecoveryPath {
+            track: trace.tracks.get(root.track as usize).cloned().unwrap_or_default(),
+            start_ns: root.start,
+            total_ns: root.dur(),
+            phases,
+        });
+    }
+    out.sort_by_key(|r| r.start_ns);
+    out
+}
+
+/// Summary of one put's causal tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutTree {
+    /// Causal tree id.
+    pub tr: u64,
+    /// Client-side put duration (request issue to response), ns.
+    pub dur_ns: u64,
+    /// Put start, ns.
+    pub start_ns: u64,
+    /// Track of the issuing component.
+    pub track: String,
+    /// Spans in the tree (the put span plus all descendants, e.g. server
+    /// service spans).
+    pub tree_spans: usize,
+    /// Instants attributed to the tree (resends, log appends, ...).
+    pub tree_instants: usize,
+}
+
+/// The `k` slowest client-side `put` spans with the sizes of their causal
+/// trees, slowest first (ties broken by start time).
+pub fn top_put_trees(trace: &Trace, k: usize) -> Vec<PutTree> {
+    let all = spans(trace);
+    let mut trees: Vec<PutTree> = all
+        .iter()
+        .filter(|s| s.name == "put")
+        .map(|put| {
+            let tree_spans =
+                all.iter().filter(|s| s.tr == put.tr && in_tree(&all, s, put.sp)).count();
+            let tree_instants = trace
+                .records
+                .iter()
+                .filter(|r| r.k == RecordKind::Instant && r.tr == put.tr)
+                .filter(|r| r.par == put.sp || in_tree_id(&all, r.par, put.sp))
+                .count();
+            PutTree {
+                tr: put.tr,
+                dur_ns: put.dur(),
+                start_ns: put.start,
+                track: trace.tracks.get(put.track as usize).cloned().unwrap_or_default(),
+                tree_spans,
+                tree_instants,
+            }
+        })
+        .collect();
+    trees.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.start_ns.cmp(&b.start_ns)));
+    trees.truncate(k);
+    trees
+}
+
+/// Is `s` inside the subtree rooted at span id `root`?
+fn in_tree(all: &[Span], s: &Span, root: u64) -> bool {
+    s.sp == root || in_tree_id(all, s.par, root)
+}
+
+/// Is span id `id` (or any ancestor of it) the subtree root `root`?
+fn in_tree_id(all: &[Span], mut id: u64, root: u64) -> bool {
+    // Walk the parent chain; traces are shallow (depth < 10).
+    let par_of: BTreeMap<u64, u64> = all.iter().map(|s| (s.sp, s.par)).collect();
+    let mut hops = 0;
+    while id != 0 && hops < 64 {
+        if id == root {
+            return true;
+        }
+        id = par_of.get(&id).copied().unwrap_or(0);
+        hops += 1;
+    }
+    false
+}
+
+/// Structural statistics from a successful [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateReport {
+    /// Closed span count.
+    pub spans: usize,
+    /// Instant count.
+    pub instants: usize,
+    /// Track count.
+    pub tracks: usize,
+    /// Distinct causal trees.
+    pub traces: usize,
+}
+
+/// Validate trace structure: every span closes exactly once with
+/// `end >= start`, ends match a begin, track indices are declared, and
+/// records are time-ordered. Returns statistics on success, the full list
+/// of problems on failure.
+pub fn validate(trace: &Trace) -> Result<ValidateReport, Vec<String>> {
+    let mut errs = Vec::new();
+    let mut open: BTreeMap<u64, u64> = BTreeMap::new(); // sp -> begin t
+    let mut closed: BTreeMap<u64, u32> = BTreeMap::new();
+    let mut instants = 0usize;
+    let mut spans = 0usize;
+    let mut trees: BTreeMap<u64, ()> = BTreeMap::new();
+    let mut prev: Option<(u64, u64)> = None;
+    for (i, r) in trace.records.iter().enumerate() {
+        if r.track as usize >= trace.tracks.len() {
+            errs.push(format!("record {i}: track {} not declared", r.track));
+        }
+        if let Some(p) = prev {
+            if (r.t, r.seq) < p {
+                errs.push(format!(
+                    "record {i}: time order violated ({:?} after {:?})",
+                    (r.t, r.seq),
+                    p
+                ));
+            }
+        }
+        prev = Some((r.t, r.seq));
+        if r.tr != 0 {
+            trees.insert(r.tr, ());
+        }
+        match r.k {
+            RecordKind::Begin => {
+                if open.insert(r.sp, r.t).is_some() {
+                    errs.push(format!("record {i}: span {} opened twice", r.sp));
+                }
+            }
+            RecordKind::End => match open.remove(&r.sp) {
+                Some(start) => {
+                    if r.t < start {
+                        errs.push(format!("record {i}: span {} ends before it starts", r.sp));
+                    }
+                    spans += 1;
+                    *closed.entry(r.sp).or_insert(0) += 1;
+                }
+                None => {
+                    if closed.contains_key(&r.sp) {
+                        errs.push(format!("record {i}: span {} closed twice", r.sp));
+                    } else {
+                        errs.push(format!("record {i}: end without begin for span {}", r.sp));
+                    }
+                }
+            },
+            RecordKind::Instant => instants += 1,
+            RecordKind::Meta => {}
+        }
+    }
+    for (sp, _) in open {
+        errs.push(format!("span {sp} never closed"));
+    }
+    if errs.is_empty() {
+        Ok(ValidateReport { spans, instants, tracks: trace.tracks.len(), traces: trees.len() })
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{arg, TraceCtx, Tracer};
+
+    /// A two-track trace with a recovery and two puts of different costs.
+    fn sample() -> Trace {
+        let t = Tracer::full();
+        let comp = t.track("app0:sim");
+        let srv = t.track("server0");
+        let mut seq = 0u64;
+        let mut s = || {
+            seq += 1;
+            seq
+        };
+        // Fast put: 1000..2000, server span inside.
+        let p1 = t.begin(TraceCtx::NONE, comp, "put", 1_000, s(), vec![]);
+        let sv1 = t.begin(p1, srv, "serve.put", 1_200, s(), vec![]);
+        t.instant(sv1, srv, "log.append", 1_300, s(), vec![arg("bytes", 10)]);
+        t.end(sv1, srv, 1_500, s(), vec![]);
+        t.end(p1, comp, 2_000, s(), vec![]);
+        // Slow put with a resend: 3000..8000.
+        let p2 = t.begin(TraceCtx::NONE, comp, "put", 3_000, s(), vec![]);
+        t.instant(p2, comp, "resend", 4_000, s(), vec![]);
+        let sv2 = t.begin(p2, srv, "serve.put", 5_000, s(), vec![]);
+        t.end(sv2, srv, 6_000, s(), vec![]);
+        t.end(p2, comp, 8_000, s(), vec![]);
+        // Recovery with phases.
+        let rec = t.begin(TraceCtx::NONE, comp, "recovery", 10_000, s(), vec![]);
+        let ulfm = t.begin(rec, comp, "ulfm", 10_000, s(), vec![]);
+        t.end(ulfm, comp, 12_000, s(), vec![]);
+        let restore = t.begin(rec, comp, "restore", 12_000, s(), vec![]);
+        t.end(restore, comp, 15_000, s(), vec![]);
+        let replay = t.begin(rec, comp, "replay", 15_000, s(), vec![]);
+        t.end(replay, comp, 19_000, s(), vec![]);
+        t.end(rec, comp, 19_000, s(), vec![]);
+        t.finish()
+    }
+
+    #[test]
+    fn spans_pair_and_order() {
+        let sp = spans(&sample());
+        assert_eq!(sp.len(), 8);
+        assert_eq!(sp[0].name, "put");
+        assert_eq!(sp[0].dur(), 1_000);
+        assert_eq!(sp[1].name, "serve.put");
+        assert_eq!(sp[1].par, sp[0].sp);
+    }
+
+    #[test]
+    fn timelines_accumulate_busy_time() {
+        let lines = timelines(&sample());
+        assert_eq!(lines.len(), 2);
+        // Component: puts (1000 + 5000) + recovery (9000); nested phase
+        // spans are same-track children and do not double-count.
+        assert_eq!(lines[0].name, "app0:sim");
+        assert_eq!(lines[0].busy_ns, 15_000);
+        // Server spans parent under *component* spans, so they are
+        // top-level for the server track: 300 + 1000.
+        assert_eq!(lines[1].busy_ns, 1_300);
+        assert_eq!(lines[1].instants, 1);
+    }
+
+    #[test]
+    fn recovery_breakdown() {
+        let paths = recovery_paths(&sample());
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.total_ns, 9_000);
+        let names: Vec<&str> = p.phases.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["ulfm", "restore", "replay"]);
+        assert_eq!(p.phases.iter().map(|f| f.dur_ns).sum::<u64>(), 9_000);
+    }
+
+    #[test]
+    fn top_puts_rank_by_duration() {
+        let tops = top_put_trees(&sample(), 10);
+        assert_eq!(tops.len(), 2);
+        assert_eq!(tops[0].dur_ns, 5_000);
+        assert_eq!(tops[0].tree_spans, 2);
+        assert_eq!(tops[0].tree_instants, 1, "the resend instant");
+        assert_eq!(tops[1].dur_ns, 1_000);
+        assert_eq!(top_put_trees(&sample(), 1).len(), 1);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed() {
+        let rep = validate(&sample()).unwrap();
+        assert_eq!(rep.spans, 8);
+        assert_eq!(rep.instants, 2);
+        assert_eq!(rep.tracks, 2);
+        assert_eq!(rep.traces, 3);
+    }
+
+    #[test]
+    fn validate_rejects_unclosed_and_double_close() {
+        let t = Tracer::full();
+        let k = t.track("x");
+        let a = t.begin(TraceCtx::NONE, k, "a", 1, 1, vec![]);
+        t.end(a, k, 2, 2, vec![]);
+        t.end(a, k, 3, 3, vec![]);
+        let b = t.begin(TraceCtx::NONE, k, "b", 4, 4, vec![]);
+        let _ = b;
+        let errs = validate(&t.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("closed twice")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("never closed")), "{errs:?}");
+    }
+}

@@ -141,6 +141,15 @@ impl<'a> Ctx<'a> {
         &mut self.core.rng
     }
 
+    /// Number of events dispatched so far — a deterministic, strictly
+    /// monotone stamp that totally orders same-virtual-time occurrences.
+    /// Observability spans use it as their sequence component.
+    #[inline]
+    #[allow(clippy::misnamed_getters)] // the dispatch counter *is* the sequence stamp
+    pub fn seq(&self) -> u64 {
+        self.core.dispatched
+    }
+
     /// Metrics registry.
     #[inline]
     pub fn metrics(&mut self) -> &mut Metrics {

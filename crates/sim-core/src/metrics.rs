@@ -14,15 +14,28 @@
 
 use crate::quantile::P2Quantile;
 use crate::stats::StreamStats;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Gauge state: current value plus high-water mark.
+/// Gauge state: current value plus high-water marks.
+///
+/// A gauge updated in one registry has `peak == peak_upper` (the exact
+/// high-water mark). The two diverge only after [`Metrics::merge`]: per-part
+/// peaks need not coincide in time, so the true combined high-water mark is
+/// only *bounded* — `peak` is the largest value provably reached (lower
+/// bound), `peak_upper` the sum of part peaks (upper bound, reached only if
+/// every part peaked simultaneously). Report whichever bound is conservative
+/// for the question asked; capacity planning wants `peak_upper`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Gauge {
     /// Current value.
     pub value: i64,
-    /// Maximum value ever observed.
+    /// High-water mark: exact for an unmerged gauge, the provable lower
+    /// bound after merging.
     pub peak: i64,
+    /// Upper bound on the combined high-water mark after merging (sum of
+    /// part peaks); equals `peak` for an unmerged gauge.
+    pub peak_upper: i64,
 }
 
 /// Registry of named counters, gauges and sample streams.
@@ -64,6 +77,7 @@ impl Metrics {
         if g.value > g.peak {
             g.peak = g.value;
         }
+        g.peak_upper = g.peak_upper.max(g.peak);
     }
 
     /// Set a gauge to an absolute value, tracking the peak.
@@ -73,6 +87,7 @@ impl Metrics {
         if g.value > g.peak {
             g.peak = g.value;
         }
+        g.peak_upper = g.peak_upper.max(g.peak);
     }
 
     /// Read a gauge (default zero).
@@ -118,17 +133,29 @@ impl Metrics {
         self.streams.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// Merge another registry into this one (counters add, gauges add values
-    /// and take max peaks, streams merge). Used to aggregate per-thread
-    /// metrics from the threaded transport.
+    /// Merge another registry into this one (counters add, streams merge).
+    /// Used to aggregate per-thread metrics from the threaded transport.
+    ///
+    /// Gauge semantics: values add. The true combined high-water mark is
+    /// unknowable from two independently-tracked peaks — the parts need not
+    /// have peaked at the same instant — so the merge keeps *both bounds*:
+    /// `peak` becomes the provable lower bound (the largest single observed
+    /// value, including the summed current value), and `peak_upper` becomes
+    /// the sum of part peaks (the value reached if every part peaked
+    /// simultaneously). A merged gauge therefore satisfies
+    /// `peak <= true high-water mark <= peak_upper`.
     pub fn merge(&mut self, other: &Metrics) {
         for (k, v) in &other.counters {
             self.inc(k, *v);
         }
         for (k, g) in &other.gauges {
             let mine = self.gauges.entry(k.clone()).or_default();
+            // Sum the upper bounds *before* clobbering peaks: an unmerged
+            // gauge carries peak_upper == peak.
+            mine.peak_upper += g.peak_upper;
             mine.value += g.value;
             mine.peak = mine.peak.max(g.peak).max(mine.value);
+            mine.peak_upper = mine.peak_upper.max(mine.peak);
         }
         for (k, s) in &other.streams {
             self.streams.entry(k.clone()).or_default().merge(s);
@@ -151,6 +178,109 @@ impl Metrics {
         self.gauges.clear();
         self.streams.clear();
         self.p99s.clear();
+    }
+
+    /// A serializable snapshot of the whole registry, entries in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| CounterEntry { name: k.clone(), value: *v })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, g)| GaugeEntry {
+                    name: k.clone(),
+                    value: g.value,
+                    peak: g.peak,
+                    peak_upper: g.peak_upper,
+                })
+                .collect(),
+            streams: self
+                .streams
+                .iter()
+                .map(|(k, s)| StreamEntry {
+                    name: k.clone(),
+                    count: s.count(),
+                    mean: s.mean(),
+                    min: s.min(),
+                    max: s.max(),
+                    p99: self.p99(k),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One counter in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Metric name.
+    pub name: String,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Metric name.
+    pub name: String,
+    /// Final value.
+    pub value: i64,
+    /// High-water mark (lower bound after merges — see [`Gauge`]).
+    pub peak: i64,
+    /// High-water upper bound after merges (see [`Gauge`]).
+    pub peak_upper: i64,
+}
+
+/// One sample stream in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamEntry {
+    /// Metric name.
+    pub name: String,
+    /// Sample count.
+    pub count: u64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Streaming p99 estimate, when recorded via
+    /// [`Metrics::observe_tail`].
+    pub p99: Option<f64>,
+}
+
+/// Serializable snapshot of a [`Metrics`] registry: what reports embed and
+/// tools consume. Entry order is name order, so two snapshots of identical
+/// registries are byte-identical when serialized.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counters, in name order.
+    pub counters: Vec<CounterEntry>,
+    /// Gauges, in name order.
+    pub gauges: Vec<GaugeEntry>,
+    /// Sample streams, in name order.
+    pub streams: Vec<StreamEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up a counter (zero when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|c| c.name == name).map_or(0, |c| c.value)
+    }
+
+    /// Look up a gauge entry.
+    pub fn gauge(&self, name: &str) -> Option<&GaugeEntry> {
+        self.gauges.iter().find(|g| g.name == name)
+    }
+
+    /// Look up a stream entry.
+    pub fn stream(&self, name: &str) -> Option<&StreamEntry> {
+        self.streams.iter().find(|s| s.name == name)
     }
 }
 
@@ -213,6 +343,60 @@ mod tests {
         assert_eq!(a.gauge("g").value, 12);
         assert_eq!(a.gauge("g").peak, 12);
         assert_eq!(a.stream("s").count(), 2);
+    }
+
+    #[test]
+    fn merge_tracks_both_peak_bounds() {
+        // Two threads that each rose to 10 and fell back to 2: the combined
+        // high-water mark is somewhere in [10, 20] depending on overlap.
+        let mut a = Metrics::new();
+        a.gauge_add("mem", 10);
+        a.gauge_add("mem", -8);
+        let mut b = Metrics::new();
+        b.gauge_add("mem", 10);
+        b.gauge_add("mem", -8);
+        a.merge(&b);
+        let g = a.gauge("mem");
+        assert_eq!(g.value, 4);
+        assert_eq!(g.peak, 10, "provable lower bound");
+        assert_eq!(g.peak_upper, 20, "simultaneous-peak upper bound");
+        // Merging a third part keeps accumulating the upper bound.
+        let mut c = Metrics::new();
+        c.gauge_add("mem", 5);
+        a.merge(&c);
+        assert_eq!(a.gauge("mem").peak_upper, 25);
+        assert_eq!(a.gauge("mem").peak, 10);
+    }
+
+    #[test]
+    fn unmerged_gauge_bounds_coincide() {
+        let mut m = Metrics::new();
+        m.gauge_add("q", 7);
+        m.gauge_add("q", -3);
+        m.gauge_set("q", 9);
+        let g = m.gauge("q");
+        assert_eq!(g.peak, 9);
+        assert_eq!(g.peak_upper, 9);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_indexes() {
+        let mut m = Metrics::new();
+        m.inc("puts", 3);
+        m.gauge_add("mem", 11);
+        m.observe_tail("lat", 2.0);
+        m.observe_tail("lat", 4.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("puts"), 3);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("mem").unwrap().peak, 11);
+        let s = snap.stream("lat").unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!(s.p99.is_some());
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

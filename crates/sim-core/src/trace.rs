@@ -47,12 +47,15 @@ impl TraceRing {
         self.total += 1;
     }
 
-    /// Entries from oldest to newest.
+    /// Entries from oldest to newest, without copying the ring.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+
+    /// Entries from oldest to newest as an owned `Vec` (convenience for
+    /// callers that index or sort; hot paths should use [`TraceRing::iter`]).
     pub fn entries(&self) -> Vec<TraceEntry> {
-        let mut out = Vec::with_capacity(self.buf.len());
-        out.extend_from_slice(&self.buf[self.head..]);
-        out.extend_from_slice(&self.buf[..self.head]);
-        out
+        self.iter().copied().collect()
     }
 
     /// Total number of entries ever pushed (including evicted ones).
@@ -85,7 +88,7 @@ mod tests {
         for s in 0..3 {
             r.push(e(s));
         }
-        let seqs: Vec<u64> = r.entries().iter().map(|t| t.seq).collect();
+        let seqs: Vec<u64> = r.iter().map(|t| t.seq).collect();
         assert_eq!(seqs, vec![0, 1, 2]);
         assert_eq!(r.len(), 3);
         assert!(!r.is_empty());
@@ -97,7 +100,7 @@ mod tests {
         for s in 0..7 {
             r.push(e(s));
         }
-        let seqs: Vec<u64> = r.entries().iter().map(|t| t.seq).collect();
+        let seqs: Vec<u64> = r.iter().map(|t| t.seq).collect();
         assert_eq!(seqs, vec![4, 5, 6]);
         assert_eq!(r.total(), 7);
         assert_eq!(r.len(), 3);
@@ -108,7 +111,7 @@ mod tests {
         let mut r = TraceRing::new(0);
         r.push(e(1));
         r.push(e(2));
-        assert_eq!(r.entries().len(), 1);
+        assert_eq!(r.iter().count(), 1);
         assert_eq!(r.entries()[0].seq, 2);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::geometry::BBox;
 use crate::payload::Payload;
+use obs::TraceCtx;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -85,6 +86,10 @@ pub struct PutRequest {
     pub payload: Payload,
     /// Client-side sequence number for matching responses.
     pub seq: u64,
+    /// Causal trace context ([`TraceCtx::NONE`] when tracing is off):
+    /// server-side work for this request parents under the client span that
+    /// issued it.
+    pub tctx: TraceCtx,
 }
 
 /// Outcome of a put.
@@ -123,6 +128,8 @@ pub struct GetRequest {
     pub bbox: BBox,
     /// Client-side sequence number.
     pub seq: u64,
+    /// Causal trace context ([`TraceCtx::NONE`] when tracing is off).
+    pub tctx: TraceCtx,
 }
 
 /// One piece of a get result.
@@ -207,6 +214,11 @@ pub struct CtlMsg {
     pub seq: u64,
     /// The wrapped control request.
     pub req: CtlRequest,
+    /// Causal trace context ([`TraceCtx::NONE`] when tracing is off). Rides
+    /// the envelope, *not* [`CtlRequest`] itself: the bare request is
+    /// journaled verbatim by the durable store and its format must not
+    /// change.
+    pub tctx: TraceCtx,
 }
 
 /// Server acknowledgement of a [`CtlMsg`].

@@ -15,6 +15,7 @@ use crate::proto::{
 };
 use crate::service::{ServerLogic, StoreBackend};
 use net::des::{Delivered, EndpointId, NetworkHandle};
+use obs::{arg, TraceCtx};
 use sim_core::engine::{Actor, Ctx, Event};
 use sim_core::time::SimTime;
 use std::collections::{BTreeMap, VecDeque};
@@ -124,6 +125,20 @@ pub struct StagingServerActor<B> {
     stalls: u32,
     /// Synthetic sequence source for raw (un-sequenced) control ingress.
     raw_ctl_seq: u64,
+    /// Observability (inert when the tracer is off).
+    tracer: obs::Tracer,
+    track: obs::TrackId,
+    /// Span of the request currently in service.
+    op_span: TraceCtx,
+    /// Span of an in-progress resilience rebuild.
+    rebuild_span: TraceCtx,
+    /// Span of an in-progress stall window.
+    stall_span: TraceCtx,
+    /// Journal bytes flushed as of the last traced operation; diffed against
+    /// the backend's monotone counter to emit `journal.flush` instants.
+    seen_flushed: u64,
+    /// Journal segments compacted as of the last traced operation.
+    seen_compacted: u64,
 }
 
 impl<B: StoreBackend> StagingServerActor<B> {
@@ -155,7 +170,22 @@ impl<B: StoreBackend> StagingServerActor<B> {
             rebuilds: 0,
             stalls: 0,
             raw_ctl_seq: 0,
+            tracer: obs::Tracer::off(),
+            track: obs::TrackId(0),
+            op_span: TraceCtx::NONE,
+            rebuild_span: TraceCtx::NONE,
+            stall_span: TraceCtx::NONE,
+            seen_flushed: 0,
+            seen_compacted: 0,
         }
+    }
+
+    /// Runner wiring: attach a tracer. The server records onto its own
+    /// track (`server<index>`); serve spans nest under the trace context
+    /// carried by each request.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.track = tracer.track(&format!("server{}", self.index));
+        self.tracer = tracer;
     }
 
     /// Rebuilds this server has survived.
@@ -331,10 +361,115 @@ impl<B: StoreBackend> StagingServerActor<B> {
                 }
             }
         };
+        if self.tracer.enabled() {
+            self.open_op_span(ctx, &p);
+        }
         self.in_service = Some(p);
         let incarnation = self.incarnation;
         ctx.timer(cost, OpDone { incarnation });
         ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+    }
+
+    /// Open the serve span for the request just dequeued (its state
+    /// transition has already been applied by [`ServerLogic`]), nested under
+    /// the trace context the client stamped on the wire. Backend side
+    /// effects — log appends, GC frees, replay serves — become instants
+    /// under the span.
+    fn open_op_span(&mut self, ctx: &Ctx<'_>, p: &Pending) {
+        let op = self.logic.last_op();
+        let dup = self.logic.last_was_dup();
+        let (parent, name, args) = match &p.req {
+            Req::Put(r) => {
+                let decision = if dup {
+                    "dup"
+                } else if self.stash_put.as_ref().map(|s| s.status)
+                    == Some(crate::proto::PutStatus::Absorbed)
+                {
+                    "absorbed"
+                } else {
+                    "stored"
+                };
+                let args = vec![
+                    arg("var", r.desc.var),
+                    arg("version", r.desc.version),
+                    arg("decision", decision),
+                ];
+                (r.tctx, "serve.put", args)
+            }
+            Req::Get(r) => {
+                let decision = if dup {
+                    "dup"
+                } else if op.replayed {
+                    "replayed"
+                } else {
+                    "served"
+                };
+                let args =
+                    vec![arg("var", r.var), arg("version", r.version), arg("decision", decision)];
+                (r.tctx, "serve.get", args)
+            }
+            Req::Ctl { msg, .. } => {
+                let kind = match msg.req {
+                    CtlRequest::Checkpoint { .. } => "checkpoint",
+                    CtlRequest::Recovery { .. } => "recovery",
+                    CtlRequest::GlobalReset { .. } => "global_reset",
+                };
+                let mut args = vec![arg("kind", kind)];
+                if dup {
+                    args.push(arg("decision", "dup"));
+                }
+                (msg.tctx, "serve.ctl", args)
+            }
+        };
+        let (t, s) = (ctx.now().as_nanos(), ctx.seq());
+        self.op_span = self.tracer.begin(parent, self.track, name, t, s, args);
+        if op.log_events > 0 {
+            self.tracer.instant(
+                self.op_span,
+                self.track,
+                "log.append",
+                t,
+                s,
+                vec![arg("events", op.log_events), arg("bytes", op.logged_bytes)],
+            );
+        }
+        if op.freed_bytes > 0 {
+            self.tracer.instant(
+                self.op_span,
+                self.track,
+                "gc.free",
+                t,
+                s,
+                vec![arg("bytes", op.freed_bytes)],
+            );
+        }
+        // Durable-layer visibility: the journal counters are monotone, so a
+        // delta since the last traced op means this op's append crossed a
+        // flush threshold (or watermark compaction dropped segments).
+        let flushed = self.logic.backend().journal_bytes_flushed();
+        if flushed > self.seen_flushed {
+            self.tracer.instant(
+                self.op_span,
+                self.track,
+                "journal.flush",
+                t,
+                s,
+                vec![arg("bytes", flushed - self.seen_flushed)],
+            );
+            self.seen_flushed = flushed;
+        }
+        let compacted = self.logic.backend().journal_segments_compacted();
+        if compacted > self.seen_compacted {
+            self.tracer.instant(
+                self.op_span,
+                self.track,
+                "journal.compact",
+                t,
+                s,
+                vec![arg("segments", compacted - self.seen_compacted)],
+            );
+            self.seen_compacted = compacted;
+        }
     }
 }
 
@@ -355,7 +490,12 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                     // machinery is uniform; dedup never fires for it.
                     let req = *payload.downcast::<CtlRequest>().unwrap();
                     self.raw_ctl_seq += 1;
-                    let msg = CtlMsg { app: AppId::MAX, seq: self.raw_ctl_seq, req };
+                    let msg = CtlMsg {
+                        app: AppId::MAX,
+                        seq: self.raw_ctl_seq,
+                        req,
+                        tctx: TraceCtx::NONE,
+                    };
                     Req::Ctl { msg, raw: true }
                 } else {
                     return; // unknown message: drop
@@ -389,6 +529,27 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                     + SimTime::from_secs_f64(self.logic.bytes_resident() as f64 * f.per_byte_s);
                 ctx.metrics().inc("staging.server_failures", 1);
                 ctx.metrics().observe("staging.rebuild_s", rebuild.as_secs_f64());
+                if self.tracer.enabled() {
+                    // A fail-stop supersedes an open stall window.
+                    let s = std::mem::take(&mut self.stall_span);
+                    self.tracer.end(
+                        s,
+                        self.track,
+                        ctx.now().as_nanos(),
+                        ctx.seq(),
+                        vec![arg("status", "superseded")],
+                    );
+                    if self.rebuild_span.is_none() {
+                        self.rebuild_span = self.tracer.begin(
+                            TraceCtx::NONE,
+                            self.track,
+                            "rebuild",
+                            ctx.now().as_nanos(),
+                            ctx.seq(),
+                            vec![arg("bytes", self.logic.bytes_resident())],
+                        );
+                    }
+                }
                 let incarnation = self.incarnation;
                 ctx.timer(rebuild, RebuildDone { incarnation });
                 return;
@@ -404,6 +565,16 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 self.stalled = true;
                 self.stall_until = self.stall_until.max(ctx.now() + s.dur);
                 ctx.metrics().inc("staging.server_stalls", 1);
+                if self.tracer.enabled() && self.stall_span.is_none() {
+                    self.stall_span = self.tracer.begin(
+                        TraceCtx::NONE,
+                        self.track,
+                        "stall",
+                        ctx.now().as_nanos(),
+                        ctx.seq(),
+                        Vec::new(),
+                    );
+                }
                 let incarnation = self.incarnation;
                 ctx.timer(s.dur, StallOver { incarnation });
                 return;
@@ -418,6 +589,8 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 {
                     self.stalled = false;
                     self.stalls += 1;
+                    let sp = std::mem::take(&mut self.stall_span);
+                    self.tracer.end(sp, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
                     if self.in_service.is_some() {
                         // Deliver the frozen op's (late) response.
                         let incarnation = self.incarnation;
@@ -436,6 +609,8 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                 if r.incarnation == self.incarnation && self.down {
                     self.down = false;
                     self.rebuilds += 1;
+                    let sp = std::mem::take(&mut self.rebuild_span);
+                    self.tracer.end(sp, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
                     if self.in_service.is_some() {
                         // Deliver the interrupted op's (late) response.
                         let incarnation = self.incarnation;
@@ -499,6 +674,8 @@ impl<B: StoreBackend> StagingServerActor<B> {
                 self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, ack);
             }
         }
+        let s = std::mem::take(&mut self.op_span);
+        self.tracer.end(s, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
         ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
         if let Some((var, version)) = wake_key {
             self.wake_upto(var, version);
@@ -543,6 +720,7 @@ pub fn plan_put_virtual(
                     desc: ObjDesc { var, version, bbox: clipped },
                     payload: Payload::virtual_from(len, &identity),
                     seq: seq_start + i as u64,
+                    tctx: TraceCtx::NONE,
                 },
             )
         })
@@ -570,6 +748,7 @@ pub fn plan_put_with(
                     desc: ObjDesc { var, version, bbox: clipped },
                     payload: fill(&clipped),
                     seq: seq_start + i as u64,
+                    tctx: TraceCtx::NONE,
                 },
             )
         })
@@ -592,7 +771,17 @@ pub fn plan_get(
         .into_iter()
         .enumerate()
         .map(|(i, (_coord, clipped, server))| {
-            (server, GetRequest { app, var, version, bbox: clipped, seq: seq_start + i as u64 })
+            (
+                server,
+                GetRequest {
+                    app,
+                    var,
+                    version,
+                    bbox: clipped,
+                    seq: seq_start + i as u64,
+                    tctx: TraceCtx::NONE,
+                },
+            )
         })
         .collect()
 }
@@ -832,6 +1021,7 @@ mod failure_tests {
             desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
             payload: Payload::virtual_from(100, &[version as u64]),
             seq: version as u64,
+            tctx: obs::TraceCtx::NONE,
         }
     }
 
@@ -946,8 +1136,12 @@ mod failure_tests {
     #[test]
     fn duplicate_ctl_envelope_answered_from_cache() {
         let (mut eng, _sink, server, net_id, client_ep) = build();
-        let msg =
-            CtlMsg { app: 0, seq: 7, req: CtlRequest::Checkpoint { app: 0, upto_version: 3 } };
+        let msg = CtlMsg {
+            app: 0,
+            seq: 7,
+            req: CtlRequest::Checkpoint { app: 0, upto_version: 3 },
+            tctx: obs::TraceCtx::NONE,
+        };
         for _ in 0..2 {
             eng.schedule_now(
                 net_id,

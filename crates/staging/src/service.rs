@@ -29,6 +29,10 @@ pub struct OpStats {
     pub logged_bytes: u64,
     /// Bytes freed by eviction or garbage collection during this op.
     pub freed_bytes: u64,
+    /// Was this operation served from the recovery replay script (a logged
+    /// read replayed back to a restarted consumer)? Cost-neutral; carried so
+    /// observability can mark replayed serves in the trace.
+    pub replayed: bool,
 }
 
 /// Storage behaviour behind the server request loop.
@@ -60,6 +64,20 @@ pub trait StoreBackend: Send + 'static {
 
     /// Bytes currently resident in the store (for memory experiments).
     fn bytes_resident(&self) -> u64;
+
+    /// Bytes physically flushed by the backend's durable journal so far.
+    /// Default 0: the backend has no journal. Monotone; the server actor
+    /// diffs it between operations to surface flushes in traces.
+    fn journal_bytes_flushed(&self) -> u64 {
+        0
+    }
+
+    /// Journal segment files deleted by watermark compaction so far.
+    /// Default 0 (no journal); monotone, diffed like
+    /// [`StoreBackend::journal_bytes_flushed`].
+    fn journal_segments_compacted(&self) -> u64 {
+        0
+    }
 }
 
 /// Server CPU cost parameters (per staging server process).
@@ -232,6 +250,14 @@ impl StoreBackend for PlainBackend {
     fn bytes_resident(&self) -> u64 {
         self.store.bytes()
     }
+
+    fn journal_bytes_flushed(&self) -> u64 {
+        PlainBackend::journal_bytes_flushed(self)
+    }
+
+    fn journal_segments_compacted(&self) -> u64 {
+        PlainBackend::journal_segments_compacted(self)
+    }
 }
 
 /// A response retained for duplicate-request replay.
@@ -269,6 +295,12 @@ pub struct ServerLogic<B> {
     dedup_enabled: bool,
     /// Duplicate requests absorbed by the cache.
     dup_hits: u64,
+    /// Backend work performed by the most recent `handle_*` call (dedup
+    /// cache hits report zero work). Read by transports that annotate
+    /// traces; never fed back into behaviour.
+    last_op: OpStats,
+    /// Was the most recent `handle_*` call answered from the dedup cache?
+    last_dup: bool,
 }
 
 impl<B: StoreBackend> ServerLogic<B> {
@@ -283,7 +315,20 @@ impl<B: StoreBackend> ServerLogic<B> {
             ctl_cache: BTreeMap::new(),
             dedup_enabled: true,
             dup_hits: 0,
+            last_op: OpStats::default(),
+            last_dup: false,
         }
+    }
+
+    /// Backend work performed by the most recent `handle_*` call. Dedup
+    /// cache hits report [`OpStats::default`].
+    pub fn last_op(&self) -> OpStats {
+        self.last_op
+    }
+
+    /// Was the most recent `handle_*` call answered from the dedup cache?
+    pub fn last_was_dup(&self) -> bool {
+        self.last_dup
     }
 
     /// Enable/disable the exactly-once request cache. Test-only escape
@@ -323,9 +368,13 @@ impl<B: StoreBackend> ServerLogic<B> {
     /// Handle a put; returns the response and the simulated CPU time consumed.
     pub fn handle_put(&mut self, req: &PutRequest) -> (PutResponse, SimTime) {
         if let Some(CachedResp::Put(resp)) = self.cached(req.app, req.seq) {
+            self.last_op = OpStats::default();
+            self.last_dup = true;
             return (resp, self.costs.cost(&OpStats::default()));
         }
         let (status, op) = self.backend.put(req);
+        self.last_op = op;
+        self.last_dup = false;
         self.puts_served += 1;
         let resp = PutResponse { desc: req.desc, seq: req.seq, status };
         self.remember(req.app, req.seq, CachedResp::Put(resp.clone()));
@@ -340,9 +389,13 @@ impl<B: StoreBackend> ServerLogic<B> {
     /// Handle a get; returns the response and the simulated CPU time consumed.
     pub fn handle_get(&mut self, req: &GetRequest) -> (GetResponse, SimTime) {
         if let Some(CachedResp::Get(resp)) = self.cached(req.app, req.seq) {
+            self.last_op = OpStats::default();
+            self.last_dup = true;
             return (resp, self.costs.cost(&OpStats::default()));
         }
         let (pieces, op) = self.backend.get(req);
+        self.last_op = op;
+        self.last_dup = false;
         self.gets_served += 1;
         let resp = GetResponse { var: req.var, version: req.version, seq: req.seq, pieces };
         self.remember(req.app, req.seq, CachedResp::Get(resp.clone()));
@@ -356,6 +409,8 @@ impl<B: StoreBackend> ServerLogic<B> {
     /// director). Clients that retry use [`Self::handle_ctl_msg`].
     pub fn handle_ctl(&mut self, req: CtlRequest) -> (CtlResponse, SimTime) {
         let (resp, op) = self.backend.control(req);
+        self.last_op = op;
+        self.last_dup = false;
         (resp, self.costs.cost(&op))
     }
 
@@ -377,6 +432,8 @@ impl<B: StoreBackend> ServerLogic<B> {
         if self.dedup_enabled {
             if let Some(resp) = self.ctl_cache.get(&msg.app).and_then(|m| m.get(&msg.seq)) {
                 self.dup_hits += 1;
+                self.last_op = OpStats::default();
+                self.last_dup = true;
                 let ack = CtlAck { seq: msg.seq, resp: *resp };
                 return (ack, self.costs.cost(&OpStats::default()));
             }
@@ -431,11 +488,19 @@ mod tests {
             desc: ObjDesc { var: 0, version, bbox: BBox::d1(0, 9) },
             payload: Payload::virtual_from(len, &[version as u64]),
             seq: version as u64,
+            tctx: obs::TraceCtx::NONE,
         }
     }
 
     fn get_req(version: u32) -> GetRequest {
-        GetRequest { app: 1, var: 0, version, bbox: BBox::d1(0, 9), seq: 0 }
+        GetRequest {
+            app: 1,
+            var: 0,
+            version,
+            bbox: BBox::d1(0, 9),
+            seq: 0,
+            tctx: obs::TraceCtx::NONE,
+        }
     }
 
     #[test]
@@ -467,7 +532,7 @@ mod tests {
             touched_bytes: 1 << 20,
             log_events: 1,
             logged_bytes: 1 << 20,
-            freed_bytes: 0,
+            ..Default::default()
         });
         let ratio = logged.as_secs_f64() / plain.as_secs_f64();
         assert!(
@@ -506,7 +571,12 @@ mod tests {
         let mut logic = ServerLogic::new(PlainBackend::new(4), ServerCosts::default());
         logic.handle_put(&put_req(1, 100));
         logic.handle_put(&put_req(2, 100));
-        let msg = CtlMsg { app: 0, seq: 50, req: CtlRequest::GlobalReset { to_version: 1 } };
+        let msg = CtlMsg {
+            app: 0,
+            seq: 50,
+            req: CtlRequest::GlobalReset { to_version: 1 },
+            tctx: obs::TraceCtx::NONE,
+        };
         let (ack1, _) = logic.handle_ctl_msg(msg);
         // Re-execution lands version 2 again...
         let re_put = PutRequest { seq: 60, ..put_req(2, 100) };

@@ -38,56 +38,155 @@ pub struct StallFor(pub Duration);
 /// the store.
 pub fn spawn_server<B: StoreBackend>(
     endpoint: ThreadEndpoint,
-    mut logic: ServerLogic<B>,
+    logic: ServerLogic<B>,
 ) -> JoinHandle<ServerLogic<B>> {
+    std::thread::spawn(move || serve_loop(endpoint, logic, obs::Tracer::off(), "server").0)
+}
+
+/// Spawn a *traced* staging server thread: same loop as [`spawn_server`],
+/// but every serviced operation becomes a span in a thread-local recorder,
+/// returned alongside the logic at shutdown.
+///
+/// Real threads have no shared virtual clock, so each thread stamps its
+/// records with a private logical tick counter: per-thread record order is
+/// exact, and cross-thread order is whatever [`obs::merge`] derives from the
+/// ticks — a pure function of the per-thread traces, so merging the joined
+/// parts in any order produces the same bytes. Span-id collisions between
+/// threads are prevented by giving thread `index` the id base `index + 1`
+/// (see [`obs::Tracer::with_sink_base`]).
+pub fn spawn_server_traced<B: StoreBackend>(
+    endpoint: ThreadEndpoint,
+    logic: ServerLogic<B>,
+    index: usize,
+) -> JoinHandle<(ServerLogic<B>, obs::Trace)> {
     std::thread::spawn(move || {
-        while let Some(msg) = endpoint.recv() {
-            if msg.payload.is::<Shutdown>() {
-                break;
-            }
-            if msg.payload.is::<PutRequest>() {
-                let req = msg.payload.downcast::<PutRequest>().unwrap();
-                let (resp, _cost) = logic.handle_put(&req);
-                endpoint.send(msg.from, HEADER_BYTES, resp);
-            } else if msg.payload.is::<GetRequest>() {
-                let req = msg.payload.downcast::<GetRequest>().unwrap();
-                if !logic.get_ready(&req) {
-                    // DataSpaces `get` blocks until the requested version is
-                    // available; the DES server parks such requests. Over
-                    // real threads the server instead answers "not yet"
-                    // (empty, nothing logged) and the client retries, so a
-                    // racing reader can never observe a torn or stale
-                    // version — and failed polls never pollute the replay
-                    // log.
-                    let resp = GetResponse {
-                        var: req.var,
-                        version: req.version,
-                        seq: req.seq,
-                        pieces: Vec::new(),
-                    };
-                    endpoint.send(msg.from, HEADER_BYTES, resp);
-                } else {
-                    let (resp, _cost) = logic.handle_get(&req);
-                    let size = HEADER_BYTES
-                        + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
-                    endpoint.send(msg.from, size, resp);
-                }
-            } else if msg.payload.is::<CtlMsg>() {
-                let req = msg.payload.downcast::<CtlMsg>().unwrap();
-                let (ack, _cost) = logic.handle_ctl_msg(*req);
-                endpoint.send(msg.from, HEADER_BYTES, ack);
-            } else if msg.payload.is::<CtlRequest>() {
-                let req = msg.payload.downcast::<CtlRequest>().unwrap();
-                let (resp, _cost) = logic.handle_ctl(*req);
-                endpoint.send(msg.from, HEADER_BYTES, resp);
-            } else if msg.payload.is::<StallFor>() {
-                let stall = msg.payload.downcast::<StallFor>().unwrap();
-                std::thread::sleep(stall.0);
-            }
-            // Unknown messages are dropped, as in the DES server.
-        }
-        logic
+        let sink = Box::new(obs::FullRecorder::default());
+        let tracer = obs::Tracer::with_sink_base(sink, index as u32 + 1);
+        serve_loop(endpoint, logic, tracer, &format!("server{index}"))
     })
+}
+
+/// The server message loop shared by the traced and untraced spawns. With a
+/// disabled tracer every span call is a no-op and the returned trace is
+/// empty.
+fn serve_loop<B: StoreBackend>(
+    endpoint: ThreadEndpoint,
+    mut logic: ServerLogic<B>,
+    tracer: obs::Tracer,
+    track_name: &str,
+) -> (ServerLogic<B>, obs::Trace) {
+    use obs::arg;
+    let track = tracer.track(track_name);
+    // Logical per-thread clock: tick → (t_ns, seq). Spaced 1 µs apart so
+    // span durations are nonzero in timeline views.
+    let mut clock = 0u64;
+    let mut tick = move || {
+        clock += 1;
+        (clock * 1000, clock)
+    };
+    while let Some(msg) = endpoint.recv() {
+        if msg.payload.is::<Shutdown>() {
+            break;
+        }
+        if msg.payload.is::<PutRequest>() {
+            let req = msg.payload.downcast::<PutRequest>().unwrap();
+            let (t, s) = tick();
+            let span = tracer.begin(
+                req.tctx,
+                track,
+                "serve.put",
+                t,
+                s,
+                vec![arg("var", req.desc.var), arg("version", req.desc.version)],
+            );
+            let (resp, _cost) = logic.handle_put(&req);
+            let decision = if logic.last_was_dup() {
+                "dup"
+            } else if resp.status == PutStatus::Absorbed {
+                "absorbed"
+            } else {
+                "stored"
+            };
+            let op = logic.last_op();
+            if op.log_events > 0 {
+                let (t, s) = tick();
+                tracer.instant(
+                    span,
+                    track,
+                    "log.append",
+                    t,
+                    s,
+                    vec![arg("events", op.log_events), arg("bytes", op.logged_bytes)],
+                );
+            }
+            let (t, s) = tick();
+            tracer.end(span, track, t, s, vec![arg("decision", decision)]);
+            endpoint.send(msg.from, HEADER_BYTES, resp);
+        } else if msg.payload.is::<GetRequest>() {
+            let req = msg.payload.downcast::<GetRequest>().unwrap();
+            let (t, s) = tick();
+            let span = tracer.begin(
+                req.tctx,
+                track,
+                "serve.get",
+                t,
+                s,
+                vec![arg("var", req.var), arg("version", req.version)],
+            );
+            if !logic.get_ready(&req) {
+                // DataSpaces `get` blocks until the requested version is
+                // available; the DES server parks such requests. Over
+                // real threads the server instead answers "not yet"
+                // (empty, nothing logged) and the client retries, so a
+                // racing reader can never observe a torn or stale
+                // version — and failed polls never pollute the replay
+                // log.
+                let resp = GetResponse {
+                    var: req.var,
+                    version: req.version,
+                    seq: req.seq,
+                    pieces: Vec::new(),
+                };
+                let (t, s) = tick();
+                tracer.end(span, track, t, s, vec![arg("decision", "notready")]);
+                endpoint.send(msg.from, HEADER_BYTES, resp);
+            } else {
+                let (resp, _cost) = logic.handle_get(&req);
+                let decision = if logic.last_was_dup() {
+                    "dup"
+                } else if logic.last_op().replayed {
+                    "replayed"
+                } else {
+                    "served"
+                };
+                let (t, s) = tick();
+                tracer.end(span, track, t, s, vec![arg("decision", decision)]);
+                let size = HEADER_BYTES
+                    + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
+                endpoint.send(msg.from, size, resp);
+            }
+        } else if msg.payload.is::<CtlMsg>() {
+            let req = msg.payload.downcast::<CtlMsg>().unwrap();
+            let (t, s) = tick();
+            let span = tracer.begin(req.tctx, track, "serve.ctl", t, s, Vec::new());
+            let (ack, _cost) = logic.handle_ctl_msg(*req);
+            let (t, s) = tick();
+            tracer.end(span, track, t, s, Vec::new());
+            endpoint.send(msg.from, HEADER_BYTES, ack);
+        } else if msg.payload.is::<CtlRequest>() {
+            let req = msg.payload.downcast::<CtlRequest>().unwrap();
+            let (resp, _cost) = logic.handle_ctl(*req);
+            endpoint.send(msg.from, HEADER_BYTES, resp);
+        } else if msg.payload.is::<StallFor>() {
+            let stall = msg.payload.downcast::<StallFor>().unwrap();
+            let (t, s) = tick();
+            tracer.instant(obs::TraceCtx::NONE, track, "stall", t, s, Vec::new());
+            std::thread::sleep(stall.0);
+        }
+        // Unknown messages are dropped, as in the DES server.
+    }
+    let trace = tracer.finish();
+    (logic, trace)
 }
 
 /// Errors from the blocking client.
@@ -345,7 +444,7 @@ impl SyncClient {
         // One sequence number for the whole round: each server dedups the
         // envelope independently in its own (app, seq) namespace.
         let seq = self.next_seq(1);
-        let msg = CtlMsg { app: self.app, seq, req };
+        let msg = CtlMsg { app: self.app, seq, req, tctx: obs::TraceCtx::NONE };
         let mut outstanding: HashMap<usize, ()> =
             self.server_eps.iter().map(|&ep| (ep, ())).collect();
         let send_all =
@@ -644,6 +743,55 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn traced_servers_record_serves_and_merge_deterministically() {
+        let nservers = 3;
+        let dist = Distribution::new(BBox::whole([32, 32, 32]), [16, 16, 16], nservers);
+        let mut eps = ThreadedNet::mesh(nservers + 1);
+        let client_eps: Vec<ThreadEndpoint> = eps.split_off(nservers);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .enumerate()
+            .map(|(i, ep)| {
+                spawn_server_traced(
+                    ep,
+                    ServerLogic::new(PlainBackend::new(8), ServerCosts::default()),
+                    i,
+                )
+            })
+            .collect();
+        let mut c = SyncClient::new(
+            client_eps.into_iter().next().unwrap(),
+            dist,
+            (0..nservers).collect(),
+            0,
+        );
+        let bbox = BBox::whole([32, 32, 32]);
+        c.put(0, 1, &bbox, block_fill(0, 1)).unwrap();
+        let pieces = c.get(0, 1, &bbox).unwrap();
+        assert!(covers_exactly(&bbox, &pieces));
+        c.shutdown_servers();
+        let mut parts = Vec::new();
+        for h in handles {
+            let (_logic, trace) = h.join().unwrap();
+            parts.push(trace);
+        }
+        // Every server recorded its serves as spans.
+        let serves: usize = parts
+            .iter()
+            .flat_map(|p| p.records.iter())
+            .filter(|r| r.name == "serve.put" || r.name == "serve.get")
+            .count();
+        assert_eq!(serves, 16, "8 put + 8 get spans across the mesh");
+        // Merging is a pure function of the parts: any join order, same bytes.
+        let forward = obs::merge(parts.clone());
+        let mut rev = parts;
+        rev.reverse();
+        let backward = obs::merge(rev);
+        assert_eq!(forward.to_jsonl(), backward.to_jsonl());
+        obs::analyze::validate(&forward).expect("merged trace validates");
     }
 
     #[test]

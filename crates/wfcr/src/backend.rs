@@ -63,8 +63,9 @@ pub fn pieces_digest(pieces: &[GetPiece]) -> u64 {
 ///         desc: ObjDesc { var: 0, version: v, bbox },
 ///         payload: Payload::virtual_from(64, &[v as u64]),
 ///         seq: 0,
+///         tctx: obs::TraceCtx::NONE,
 ///     });
-///     b.get(&GetRequest { app: 1, var: 0, version: v, bbox, seq: 0 });
+///     b.get(&GetRequest { app: 1, var: 0, version: v, bbox, seq: 0, tctx: obs::TraceCtx::NONE });
 /// }
 ///
 /// // The simulation checkpoints through step 2, then fails and restarts:
@@ -77,6 +78,7 @@ pub fn pieces_digest(pieces: &[GetPiece]) -> u64 {
 ///     desc: ObjDesc { var: 0, version: 3, bbox },
 ///     payload: Payload::virtual_from(64, &[3]),
 ///     seq: 0,
+///     tctx: obs::TraceCtx::NONE,
 /// });
 /// assert_eq!(status, PutStatus::Absorbed);
 /// assert_eq!(b.digest_mismatches(), 0);
@@ -386,7 +388,7 @@ impl StoreBackend for LoggingBackend {
                 (
                     PutStatus::Absorbed,
                     // Only index work: no store copy, no new log entry.
-                    OpStats { touched_bytes: 0, log_events: 0, logged_bytes: 0, freed_bytes: 0 },
+                    OpStats::default(),
                 )
             }
             PutDecision::Store => {
@@ -410,7 +412,7 @@ impl StoreBackend for LoggingBackend {
                         touched_bytes: bytes,
                         log_events: 1,
                         logged_bytes: bytes,
-                        freed_bytes: 0,
+                        ..Default::default()
                     },
                 )
             }
@@ -428,7 +430,7 @@ impl StoreBackend for LoggingBackend {
                 self.replayed_gets += 1;
                 let bytes: u64 = pieces.iter().map(|p| p.payload.accounted_len()).sum();
                 // Replayed reads are not re-logged.
-                (pieces, OpStats { touched_bytes: bytes, ..Default::default() })
+                (pieces, OpStats { touched_bytes: bytes, replayed: true, ..Default::default() })
             }
             GetDecision::Normal => {
                 let served = self.resolve_get_version(req);
@@ -453,15 +455,7 @@ impl StoreBackend for LoggingBackend {
                     bytes,
                     digest,
                 });
-                (
-                    pieces,
-                    OpStats {
-                        touched_bytes: bytes,
-                        log_events: 1,
-                        logged_bytes: 0,
-                        freed_bytes: 0,
-                    },
-                )
+                (pieces, OpStats { touched_bytes: bytes, log_events: 1, ..Default::default() })
             }
         }
     }
@@ -518,10 +512,9 @@ impl StoreBackend for LoggingBackend {
                 (
                     CtlResponse { req, pending_replay: 0 },
                     OpStats {
-                        touched_bytes: 0,
                         log_events: 1,
-                        logged_bytes: 0,
                         freed_bytes: freed_data + freed_events,
+                        ..Default::default()
                     },
                 )
             }
@@ -568,6 +561,14 @@ impl StoreBackend for LoggingBackend {
     fn bytes_resident(&self) -> u64 {
         self.store.bytes() + self.queue_bytes()
     }
+
+    fn journal_bytes_flushed(&self) -> u64 {
+        LoggingBackend::journal_bytes_flushed(self)
+    }
+
+    fn journal_segments_compacted(&self) -> u64 {
+        LoggingBackend::journal_segments_compacted(self)
+    }
 }
 
 #[cfg(test)]
@@ -587,11 +588,19 @@ mod tests {
             desc: ObjDesc { var: 0, version, bbox },
             payload: Payload::virtual_from(100, &[version as u64]),
             seq: 0,
+            tctx: obs::TraceCtx::NONE,
         }
     }
 
     fn get_req(app: AppId, version: Version) -> GetRequest {
-        GetRequest { app, var: 0, version, bbox: BBox::d1(0, 99), seq: 0 }
+        GetRequest {
+            app,
+            var: 0,
+            version,
+            bbox: BBox::d1(0, 99),
+            seq: 0,
+            tctx: obs::TraceCtx::NONE,
+        }
     }
 
     /// Run the paper's write-then-read coupling for `steps`, returning the

@@ -83,8 +83,16 @@ mod tests {
                 desc: ObjDesc { var: 0, version: v, bbox },
                 payload: Payload::virtual_from(64, &[v as u64]),
                 seq: 0,
+                tctx: obs::TraceCtx::NONE,
             });
-            let (pieces, _) = b.get(&GetRequest { app: ANA, var: 0, version: v, bbox, seq: 0 });
+            let (pieces, _) = b.get(&GetRequest {
+                app: ANA,
+                var: 0,
+                version: v,
+                bbox,
+                seq: 0,
+                tctx: obs::TraceCtx::NONE,
+            });
             digests.push(crate::backend::pieces_digest(&pieces));
         }
         digests
@@ -110,8 +118,14 @@ mod tests {
         assert_eq!(resp.pending_replay, 3);
         let bbox = BBox::d1(0, 63);
         for v in 4..=6u32 {
-            let (pieces, _) =
-                restored.get(&GetRequest { app: ANA, var: 0, version: v, bbox, seq: 0 });
+            let (pieces, _) = restored.get(&GetRequest {
+                app: ANA,
+                var: 0,
+                version: v,
+                bbox,
+                seq: 0,
+                tctx: obs::TraceCtx::NONE,
+            });
             assert_eq!(
                 crate::backend::pieces_digest(&pieces),
                 digests[(v - 1) as usize],
@@ -148,6 +162,7 @@ mod tests {
             desc: ObjDesc { var: 0, version: 4, bbox },
             payload: Payload::virtual_from(64, &[4]),
             seq: 0,
+            tctx: obs::TraceCtx::NONE,
         });
         assert_eq!(status, PutStatus::Stored);
         assert_eq!(restored.store().versions(0), vec![1, 2, 3, 4]);

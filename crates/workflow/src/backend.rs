@@ -157,6 +157,14 @@ impl StoreBackend for AnyBackend {
             AnyBackend::Logging(b) => b.bytes_resident(),
         }
     }
+
+    fn journal_bytes_flushed(&self) -> u64 {
+        AnyBackend::journal_bytes_flushed(self)
+    }
+
+    fn journal_segments_compacted(&self) -> u64 {
+        AnyBackend::journal_segments_compacted(self)
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +204,7 @@ mod tests {
             desc: ObjDesc { var: 0, version: 1, bbox: BBox::d1(0, 9) },
             payload: Payload::virtual_from(10, &[1]),
             seq: 0,
+            tctx: obs::TraceCtx::NONE,
         };
         let (status, stats) = b.put(&req);
         assert_eq!(status, PutStatus::Stored);

@@ -34,6 +34,7 @@ use faultplane::RetryPolicy;
 use mpi_sim::comm::Communicator;
 use mpi_sim::ulfm::{self, UlfmCosts};
 use net::des::{Delivered, EndpointId, NetworkHandle};
+use obs::{arg, TraceCtx};
 use sim_core::engine::{Actor, ActorId, Ctx, Event};
 use sim_core::rng::Xoshiro256StarStar;
 use sim_core::time::SimTime;
@@ -194,6 +195,27 @@ pub struct ComponentActor {
     /// Puts acked as absorbed (server recognized a redundant replay write).
     absorbed_acks: u64,
     finish_time: Option<SimTime>,
+
+    // ---- observability (all fields inert when the tracer is off) -------
+    tracer: obs::Tracer,
+    track: obs::TrackId,
+    /// Open per-step span.
+    step_span: TraceCtx,
+    /// Open put/get rpc spans, keyed by request seq.
+    rpc_spans: BTreeMap<u64, TraceCtx>,
+    /// Open control-round span.
+    ctl_span: TraceCtx,
+    /// Open checkpoint span (write or rendezvous).
+    ckpt_span: TraceCtx,
+    /// Open recovery root span.
+    recovery_span: TraceCtx,
+    /// Open recovery phase child span (`ulfm`, `restore`, `co_rollback`).
+    rec_phase_span: TraceCtx,
+    /// Open replay-window child span of the recovery.
+    replay_span: TraceCtx,
+    /// The step that was executing when the failure hit; the replay window
+    /// closes once re-execution advances past it.
+    replay_until: u32,
 }
 
 impl ComponentActor {
@@ -267,6 +289,16 @@ impl ComponentActor {
             coalesced_failures: 0,
             absorbed_acks: 0,
             finish_time: None,
+            tracer: obs::Tracer::off(),
+            track: obs::TrackId(0),
+            step_span: TraceCtx::NONE,
+            rpc_spans: BTreeMap::new(),
+            ctl_span: TraceCtx::NONE,
+            ckpt_span: TraceCtx::NONE,
+            recovery_span: TraceCtx::NONE,
+            rec_phase_span: TraceCtx::NONE,
+            replay_span: TraceCtx::NONE,
+            replay_until: 0,
             cfg,
         }
     }
@@ -333,12 +365,81 @@ impl ComponentActor {
         self.finish_time
     }
 
+    // ---- observability --------------------------------------------------
+
+    /// Runner wiring: attach a tracer. The component records onto its own
+    /// track (`app<id>:<name>`); requests carry the issuing span's context
+    /// so server-side work nests under the client rpc span.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.track = tracer.track(&format!("app{}:{}", self.cfg.app, self.cfg.name));
+        self.tracer = tracer;
+    }
+
+    fn span_begin(
+        &self,
+        ctx: &Ctx<'_>,
+        parent: TraceCtx,
+        name: &str,
+        args: Vec<obs::Arg>,
+    ) -> TraceCtx {
+        self.tracer.begin(parent, self.track, name, ctx.now().as_nanos(), ctx.seq(), args)
+    }
+
+    fn span_end(&self, ctx: &Ctx<'_>, span: TraceCtx, args: Vec<obs::Arg>) {
+        self.tracer.end(span, self.track, ctx.now().as_nanos(), ctx.seq(), args);
+    }
+
+    fn span_instant(&self, ctx: &Ctx<'_>, parent: TraceCtx, name: &str, args: Vec<obs::Arg>) {
+        self.tracer.instant(parent, self.track, name, ctx.now().as_nanos(), ctx.seq(), args);
+    }
+
+    /// Close every open non-recovery span (rpc, ctl, ckpt, step) with an
+    /// `aborted` marker. Called when a failure or a global rollback discards
+    /// in-flight work, so the trace still pairs every `Begin` with one `End`.
+    fn abort_work_spans(&mut self, ctx: &Ctx<'_>) {
+        if !self.tracer.enabled() {
+            self.rpc_spans.clear();
+            return;
+        }
+        for (_, s) in std::mem::take(&mut self.rpc_spans) {
+            self.span_end(ctx, s, vec![arg("status", "aborted")]);
+        }
+        for s in [
+            std::mem::take(&mut self.ctl_span),
+            std::mem::take(&mut self.ckpt_span),
+            std::mem::take(&mut self.step_span),
+        ] {
+            if !s.is_none() {
+                self.span_end(ctx, s, vec![arg("status", "aborted")]);
+            }
+        }
+    }
+
     // ---- step machinery -----------------------------------------------
 
     fn begin_step(&mut self, ctx: &mut Ctx<'_>) {
         if self.step > self.total_steps {
             self.finish(ctx);
             return;
+        }
+        if self.tracer.enabled() {
+            // Entering re-execution after a recovery opens the replay
+            // window; everything until the failed step re-runs under it.
+            if !self.recovery_span.is_none()
+                && self.replay_span.is_none()
+                && self.step <= self.replay_until
+            {
+                self.replay_span = self.span_begin(
+                    ctx,
+                    self.recovery_span,
+                    "replay",
+                    vec![arg("from_step", self.step), arg("until_step", self.replay_until)],
+                );
+            }
+            if self.step_span.is_none() {
+                let parent = self.replay_span;
+                self.step_span = self.span_begin(ctx, parent, "step", vec![arg("step", self.step)]);
+            }
         }
         self.phase = Phase::Computing;
         let jitter = 1.0 + self.cfg.jitter * (2.0 * self.rng.next_f64() - 1.0);
@@ -374,8 +475,23 @@ impl ComponentActor {
                 );
                 self.seq += reqs.len() as u64;
                 count += reqs.len();
-                for (server, req) in reqs {
+                for (server, mut req) in reqs {
                     self.issue.insert(req.seq, ctx.now());
+                    if self.tracer.enabled() {
+                        let s = self.span_begin(
+                            ctx,
+                            self.step_span,
+                            "put",
+                            vec![
+                                arg("var", req.desc.var),
+                                arg("version", req.desc.version),
+                                arg("seq", req.seq),
+                                arg("server", server),
+                            ],
+                        );
+                        self.rpc_spans.insert(req.seq, s);
+                        req.tctx = s;
+                    }
                     let size = HEADER_BYTES + req.payload.accounted_len();
                     let to = self.server_eps[server];
                     if self.retry.is_some() {
@@ -392,8 +508,23 @@ impl ComponentActor {
                 let reqs = plan_get(&self.dist, self.cfg.app, var, self.step, &region, self.seq);
                 self.seq += reqs.len() as u64;
                 count += reqs.len();
-                for (server, req) in reqs {
+                for (server, mut req) in reqs {
                     self.issue.insert(req.seq, ctx.now());
+                    if self.tracer.enabled() {
+                        let s = self.span_begin(
+                            ctx,
+                            self.step_span,
+                            "get",
+                            vec![
+                                arg("var", req.var),
+                                arg("version", req.version),
+                                arg("seq", req.seq),
+                                arg("server", server),
+                            ],
+                        );
+                        self.rpc_spans.insert(req.seq, s);
+                        req.tctx = s;
+                    }
                     let to = self.server_eps[server];
                     if self.retry.is_some() {
                         self.outstanding.insert(req.seq, (to, RetryReq::Get(req.clone())));
@@ -452,7 +583,15 @@ impl ComponentActor {
         let mut resent = 0u64;
         match self.phase {
             Phase::IoWait => {
-                for (to, req) in self.outstanding.values() {
+                for (seq, (to, req)) in &self.outstanding {
+                    if let Some(&s) = self.rpc_spans.get(seq) {
+                        self.span_instant(
+                            ctx,
+                            s,
+                            "resend",
+                            vec![arg("attempt", self.retry_attempt)],
+                        );
+                    }
                     match req {
                         RetryReq::Put(r) => {
                             let size = HEADER_BYTES + r.payload.accounted_len();
@@ -467,6 +606,14 @@ impl ComponentActor {
             }
             Phase::CtlWait(_) => {
                 if let Some(msg) = self.ctl_msg {
+                    if !self.ctl_outstanding.is_empty() && !self.ctl_span.is_none() {
+                        self.span_instant(
+                            ctx,
+                            self.ctl_span,
+                            "resend",
+                            vec![arg("attempt", self.retry_attempt)],
+                        );
+                    }
                     for &to in &self.ctl_outstanding {
                         self.net.send(ctx, self.ep, to, HEADER_BYTES, msg);
                         resent += 1;
@@ -509,6 +656,15 @@ impl ComponentActor {
             self.advance_step(ctx);
             return;
         }
+        if self.tracer.enabled() {
+            let kind = if self.protocol.coordinated_checkpoints() { "rendezvous" } else { "write" };
+            self.ckpt_span = self.span_begin(
+                ctx,
+                self.step_span,
+                "ckpt",
+                vec![arg("kind", kind), arg("step", self.step)],
+            );
+        }
         if self.protocol.coordinated_checkpoints() {
             self.phase = Phase::CkptRendezvous;
             let msg = crate::director::ComponentReady { app: self.cfg.app, step: self.step };
@@ -533,10 +689,20 @@ impl ComponentActor {
     fn send_ctl_all(&mut self, ctx: &mut Ctx<'_>, req: CtlRequest, then: AfterCtl) {
         self.pending = self.server_eps.len();
         self.phase = Phase::CtlWait(then);
+        if self.tracer.enabled() {
+            let (name, parent) = match &req {
+                CtlRequest::Checkpoint { .. } => ("ckpt_ctl", self.step_span),
+                CtlRequest::Recovery { .. } => ("restart_ctl", self.recovery_span),
+                _ => ("ctl", TraceCtx::NONE),
+            };
+            self.ctl_span = self.span_begin(ctx, parent, name, vec![arg("servers", self.pending)]);
+        }
         if self.retry.is_some() {
             // Control is not idempotent; under possible redelivery it rides
-            // the sequenced envelope the servers dedup on (app, seq).
-            let msg = CtlMsg { app: self.cfg.app, seq: self.seq, req };
+            // the sequenced envelope the servers dedup on (app, seq). The
+            // trace context rides the envelope too — the bare CtlRequest is
+            // journaled verbatim and must stay identifier-free.
+            let msg = CtlMsg { app: self.cfg.app, seq: self.seq, req, tctx: self.ctl_span };
             self.seq += 1;
             self.ctl_msg = Some(msg);
             self.ctl_outstanding = self.server_eps.iter().copied().collect();
@@ -552,13 +718,33 @@ impl ComponentActor {
     }
 
     fn advance_step(&mut self, ctx: &mut Ctx<'_>) {
+        let s = std::mem::take(&mut self.step_span);
+        self.span_end(ctx, s, Vec::new());
         self.step += 1;
+        // Re-execution caught up with the failed step: the replay window —
+        // and with it the whole recovery — is over.
+        if !self.replay_span.is_none() && self.step > self.replay_until {
+            let r = std::mem::take(&mut self.replay_span);
+            self.span_end(ctx, r, Vec::new());
+            let rec = std::mem::take(&mut self.recovery_span);
+            self.span_end(ctx, rec, Vec::new());
+        }
         self.begin_step(ctx);
     }
 
     fn finish(&mut self, ctx: &mut Ctx<'_>) {
         if self.phase == Phase::Done {
             return;
+        }
+        self.abort_work_spans(ctx);
+        for s in [
+            std::mem::take(&mut self.rec_phase_span),
+            std::mem::take(&mut self.replay_span),
+            std::mem::take(&mut self.recovery_span),
+        ] {
+            if !s.is_none() {
+                self.span_end(ctx, s, Vec::new());
+            }
         }
         self.phase = Phase::Done;
         self.finish_time = Some(ctx.now());
@@ -577,9 +763,11 @@ impl ComponentActor {
         {
             self.coalesced_failures += 1;
             ctx.metrics().inc("wf.failures_coalesced", 1);
+            self.span_instant(ctx, self.recovery_span, "failure_coalesced", Vec::new());
             return;
         }
         ctx.metrics().inc("wf.failures", 1);
+        self.span_instant(ctx, self.step_span, "failure", vec![arg("step", self.step)]);
 
         if !self.cfg.scheme.rolls_back()
             && matches!(self.cfg.scheme, wfcr::protocol::FtScheme::Replication { .. })
@@ -590,6 +778,7 @@ impl ComponentActor {
             self.failovers += 1;
             self.pending_delay += self.failover;
             ctx.metrics().inc("wf.failovers", 1);
+            self.span_instant(ctx, self.step_span, "failover", Vec::new());
             return;
         }
 
@@ -600,6 +789,20 @@ impl ComponentActor {
             self.cancel_retry();
             self.pending = 0;
             self.phase = Phase::Idle;
+            if self.tracer.enabled() {
+                self.abort_work_spans(ctx);
+                if self.recovery_span.is_none() {
+                    self.replay_until = self.step;
+                    self.recovery_span = self.span_begin(
+                        ctx,
+                        TraceCtx::NONE,
+                        "recovery",
+                        vec![arg("kind", "coordinated"), arg("failed_step", self.step)],
+                    );
+                    self.rec_phase_span =
+                        self.span_begin(ctx, self.recovery_span, "co_rollback", Vec::new());
+                }
+            }
             let msg = crate::director::CoFailure { app: self.cfg.app };
             ctx.send_now(self.director, msg);
             return;
@@ -618,6 +821,25 @@ impl ComponentActor {
         ctx.metrics().inc("wf.recoveries", 1);
         ctx.metrics()
             .inc("wf.rollback_steps", u64::from(self.step.saturating_sub(self.last_ckpt_step + 1)));
+        if self.tracer.enabled() {
+            self.abort_work_spans(ctx);
+            if self.recovery_span.is_none() {
+                self.replay_until = self.step;
+                self.recovery_span = self.span_begin(
+                    ctx,
+                    TraceCtx::NONE,
+                    "recovery",
+                    vec![arg("failed_step", self.step), arg("ckpt_step", self.last_ckpt_step)],
+                );
+            } else {
+                // A second failure landed inside the replay window: the
+                // window restarts but the recovery root stays open.
+                let r = std::mem::take(&mut self.replay_span);
+                self.span_end(ctx, r, vec![arg("status", "aborted")]);
+                self.replay_until = self.replay_until.max(self.step);
+            }
+            self.rec_phase_span = self.span_begin(ctx, self.recovery_span, "ulfm", Vec::new());
+        }
         self.phase = Phase::RecUlfm;
         let victim = self.rng.next_bounded(self.comm.size().max(1) as u64) as usize;
         let breakdown = ulfm::recover(&mut self.comm, &[victim], &self.ulfm, true);
@@ -627,6 +849,16 @@ impl ComponentActor {
     }
 
     fn on_ulfm_done(&mut self, ctx: &mut Ctx<'_>) {
+        if self.tracer.enabled() {
+            let p = std::mem::take(&mut self.rec_phase_span);
+            self.span_end(ctx, p, Vec::new());
+            self.rec_phase_span = self.span_begin(
+                ctx,
+                self.recovery_span,
+                "restore",
+                vec![arg("bytes", self.cfg.state_bytes)],
+            );
+        }
         self.phase = Phase::RecRestore;
         // Checkpoint restore + staging client re-initialization (every rank
         // of the restarted component re-registers with staging — the
@@ -641,6 +873,8 @@ impl ComponentActor {
     }
 
     fn on_restore_done(&mut self, ctx: &mut Ctx<'_>) {
+        let p = std::mem::take(&mut self.rec_phase_span);
+        self.span_end(ctx, p, Vec::new());
         self.step = self.last_ckpt_step + 1;
         if self.protocol.uses_logging() {
             // workflow_restart(): notify staging; servers build the replay
@@ -671,6 +905,11 @@ impl Actor for ComponentActor {
                             self.absorbed_acks += 1;
                             ctx.metrics().inc("wf.puts_absorbed", 1);
                         }
+                        if let Some(s) = self.rpc_spans.remove(&r.seq) {
+                            let status =
+                                if r.status == PutStatus::Absorbed { "absorbed" } else { "stored" };
+                            self.span_end(ctx, s, vec![arg("status", status)]);
+                        }
                         self.pending = self.pending.saturating_sub(1);
                         if self.pending == 0 && self.phase == Phase::IoWait {
                             self.step_io_done(ctx);
@@ -683,6 +922,9 @@ impl Actor for ComponentActor {
                         let rt = ctx.now().saturating_sub(t0);
                         ctx.metrics().observe_tail("wf.get_response_s", rt.as_secs_f64());
                         ctx.metrics().inc("wf.gets", 1);
+                        if let Some(s) = self.rpc_spans.remove(&r.seq) {
+                            self.span_end(ctx, s, vec![arg("pieces", r.pieces.len())]);
+                        }
                         self.pending = self.pending.saturating_sub(1);
                         if self.pending == 0 && self.phase == Phase::IoWait {
                             self.step_io_done(ctx);
@@ -692,6 +934,8 @@ impl Actor for ComponentActor {
                     if let Phase::CtlWait(then) = self.phase {
                         self.pending = self.pending.saturating_sub(1);
                         if self.pending == 0 {
+                            let s = std::mem::take(&mut self.ctl_span);
+                            self.span_end(ctx, s, Vec::new());
                             match then {
                                 AfterCtl::AdvanceStep => self.advance_step(ctx),
                                 AfterCtl::ResumeCompute => self.begin_step(ctx),
@@ -709,6 +953,8 @@ impl Actor for ComponentActor {
                             self.pending = self.pending.saturating_sub(1);
                             if self.pending == 0 {
                                 self.cancel_retry();
+                                let s = std::mem::take(&mut self.ctl_span);
+                                self.span_end(ctx, s, Vec::new());
                                 match then {
                                     AfterCtl::AdvanceStep => self.advance_step(ctx),
                                     AfterCtl::ResumeCompute => self.begin_step(ctx),
@@ -752,6 +998,8 @@ impl Actor for ComponentActor {
                 if c.incarnation == self.incarnation && self.phase == Phase::CkptWrite {
                     self.last_ckpt_step = self.step;
                     ctx.metrics().inc("wf.ckpts", 1);
+                    let s = std::mem::take(&mut self.ckpt_span);
+                    self.span_end(ctx, s, Vec::new());
                     if self.protocol.uses_logging() {
                         let req =
                             CtlRequest::Checkpoint { app: self.cfg.app, upto_version: self.step };
@@ -769,6 +1017,8 @@ impl Actor for ComponentActor {
                 if self.phase == Phase::CkptRendezvous {
                     self.last_ckpt_step = r.step;
                     ctx.metrics().inc("wf.ckpts", 1);
+                    let s = std::mem::take(&mut self.ckpt_span);
+                    self.span_end(ctx, s, Vec::new());
                     self.advance_step(ctx);
                 }
                 return;
@@ -785,6 +1035,12 @@ impl Actor for ComponentActor {
                     self.pending = 0;
                     self.recoveries += 1;
                     ctx.metrics().inc("wf.recoveries", 1);
+                    // Bystanders roll back mid-step: abandon their open
+                    // work spans; the failed component closes its
+                    // `co_rollback` phase and enters the replay window.
+                    self.abort_work_spans(ctx);
+                    let p = std::mem::take(&mut self.rec_phase_span);
+                    self.span_end(ctx, p, Vec::new());
                     self.last_ckpt_step = r.resume_step.saturating_sub(1);
                     self.step = r.resume_step;
                     self.begin_step(ctx);

@@ -304,6 +304,35 @@ pub struct WorkflowConfig {
     /// seed's configs — `#[serde(default)]` keeps old documents readable).
     #[serde(default)]
     pub durability: Option<DurabilityCfg>,
+    /// Optional causal tracing (absent in the seed's configs —
+    /// `#[serde(default)]` keeps old documents readable). Tracing is
+    /// observational only: a traced run is event-for-event identical to the
+    /// same run untraced.
+    #[serde(default)]
+    pub trace: Option<TraceCfg>,
+}
+
+/// Causal-trace capture configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceCfg {
+    /// Keep only the most recent `flight_cap` records (a flight recorder
+    /// dumped on failure) instead of the full stream. `None` records
+    /// everything — use for short runs and export; the bounded mode is for
+    /// long runs where only the tail around a crash matters.
+    #[serde(default)]
+    pub flight_cap: Option<usize>,
+}
+
+impl TraceCfg {
+    /// Record the full span stream (export-quality traces).
+    pub fn full() -> TraceCfg {
+        TraceCfg { flight_cap: None }
+    }
+
+    /// Keep only the most recent `cap` records (flight-recorder mode).
+    pub fn flight(cap: usize) -> TraceCfg {
+        TraceCfg { flight_cap: Some(cap) }
+    }
 }
 
 impl WorkflowConfig {
@@ -356,6 +385,13 @@ impl WorkflowConfig {
     pub fn with_durability(&self, durability: DurabilityCfg) -> WorkflowConfig {
         let mut c = self.clone();
         c.durability = Some(durability);
+        c
+    }
+
+    /// Enable causal tracing on a copy.
+    pub fn with_tracing(&self, trace: TraceCfg) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.trace = Some(trace);
         c
     }
 
@@ -477,6 +513,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 42,
         durability: None,
+        trace: None,
     }
 }
 
@@ -561,6 +598,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 42 + scale as u64,
         durability: None,
+        trace: None,
     }
 }
 
@@ -622,6 +660,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 77,
         durability: None,
+        trace: None,
     }
 }
 
@@ -685,6 +724,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 99,
         durability: None,
+        trace: None,
     }
 }
 
@@ -748,6 +788,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_micros(200),
         seed: 7,
         durability: None,
+        trace: None,
     }
 }
 
@@ -816,6 +857,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_micros(100),
         seed: 3,
         durability: None,
+        trace: None,
     }
 }
 

@@ -26,6 +26,7 @@ use mpi_sim::collective::CollectiveCosts;
 use mpi_sim::comm::Communicator;
 use mpi_sim::ulfm::{self, UlfmCosts};
 use net::des::{EndpointId, NetworkHandle};
+use obs::{arg, TraceCtx};
 use sim_core::engine::{Actor, ActorId, Ctx, Event};
 use sim_core::time::SimTime;
 use staging::proto::CtlRequest;
@@ -103,6 +104,14 @@ pub struct Director {
     co_ckpts: u32,
     /// Global rollbacks performed.
     co_rollbacks: u32,
+
+    /// Observability (inert when the tracer is off).
+    tracer: obs::Tracer,
+    track: obs::TrackId,
+    /// Open coordinated-checkpoint span.
+    ckpt_span: TraceCtx,
+    /// Open global-rollback span.
+    rollback_span: TraceCtx,
 }
 
 impl Director {
@@ -137,7 +146,18 @@ impl Director {
             finish_times: HashMap::new(),
             co_ckpts: 0,
             co_rollbacks: 0,
+            tracer: obs::Tracer::off(),
+            track: obs::TrackId(0),
+            ckpt_span: TraceCtx::NONE,
+            rollback_span: TraceCtx::NONE,
         }
+    }
+
+    /// Runner wiring: attach a tracer (the director records coordinated
+    /// rendezvous and global rollbacks on its own track).
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.track = tracer.track("director");
+        self.tracer = tracer;
     }
 
     /// Runner wiring: network handle + endpoints (used for `GlobalReset`).
@@ -196,6 +216,16 @@ impl Director {
             .unwrap_or(SimTime::ZERO);
         let total = barrier + write + barrier;
         ctx.metrics().observe("wf.co_ckpt_s", total.as_secs_f64());
+        if self.tracer.enabled() {
+            self.ckpt_span = self.tracer.begin(
+                TraceCtx::NONE,
+                self.track,
+                "co.ckpt",
+                ctx.now().as_nanos(),
+                ctx.seq(),
+                vec![arg("step", step)],
+            );
+        }
         ctx.timer(total, CoCkptDone { step });
     }
 
@@ -203,6 +233,8 @@ impl Director {
         if self.rolling_back {
             return;
         }
+        let s = std::mem::take(&mut self.ckpt_span);
+        self.tracer.end(s, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
         self.last_co_ckpt = step;
         self.co_ckpts += 1;
         for c in &self.components {
@@ -219,6 +251,25 @@ impl Director {
         self.co_rollbacks += 1;
         self.ready.clear();
         ctx.metrics().inc("wf.recoveries", 1);
+        if self.tracer.enabled() {
+            // A rollback abandons any rendezvous in flight.
+            let s = std::mem::take(&mut self.ckpt_span);
+            self.tracer.end(
+                s,
+                self.track,
+                ctx.now().as_nanos(),
+                ctx.seq(),
+                vec![arg("status", "aborted")],
+            );
+            self.rollback_span = self.tracer.begin(
+                TraceCtx::NONE,
+                self.track,
+                "co.rollback",
+                ctx.now().as_nanos(),
+                ctx.seq(),
+                vec![arg("failed_app", app), arg("resume_step", self.last_co_ckpt + 1)],
+            );
+        }
 
         // Reset staging to the coordinated cut so re-execution repopulates
         // it exactly as the first execution did.
@@ -274,6 +325,8 @@ impl Director {
 
     fn on_co_rollback_done(&mut self, ctx: &mut Ctx<'_>, resume_step: u32) {
         self.rolling_back = false;
+        let s = std::mem::take(&mut self.rollback_span);
+        self.tracer.end(s, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
         for c in &self.components {
             ctx.send_now(c.actor, RollbackComplete { resume_step });
         }

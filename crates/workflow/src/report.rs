@@ -1,6 +1,7 @@
 //! Run results: exactly the quantities the paper's figures plot.
 
 use serde::{Deserialize, Serialize};
+use sim_core::metrics::MetricsSnapshot;
 use wfcr::protocol::WorkflowProtocol;
 
 /// Aggregated outcome of one workflow run.
@@ -92,6 +93,11 @@ pub struct RunReport {
     /// Exploration runs cut by state-hash pruning; 0 for plain runs.
     #[serde(default)]
     pub states_pruned: u64,
+    /// Full metrics-registry snapshot at harvest time: every counter, gauge
+    /// (with both `peak` and `peak_upper` bounds), and stream the run touched,
+    /// in name order. `None` in reports deserialized from older runs.
+    #[serde(default)]
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -118,7 +124,7 @@ impl RunReport {
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={:.1}MiB ckpts={} rec={} replay(g={},p={}) mism={}",
+            "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={:.1}MiB ckpts={} rec={} replay(g={},p={}) mism={} retries={} stalls={} stale={}",
             self.label,
             self.protocol.label(),
             self.total_time_s,
@@ -130,7 +136,16 @@ impl RunReport {
             self.replayed_gets,
             self.absorbed_puts,
             self.digest_mismatches,
+            self.net_retries,
+            self.server_stalls,
+            self.stale_gets,
         )
+    }
+
+    /// The whole report as one JSON line (no trailing newline) — the format
+    /// examples append to result files and `wf-trace` reads back.
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("RunReport serializes")
     }
 }
 
@@ -176,6 +191,7 @@ mod tests {
             cold_restart_ms: 0.0,
             schedules_explored: 0,
             states_pruned: 0,
+            metrics: None,
         }
     }
 

@@ -92,6 +92,9 @@ pub struct BuiltWorkflow {
     pub dir_id: usize,
     /// Network actor id.
     pub net_id: usize,
+    /// The shared recorder every actor writes spans into. Disabled (all
+    /// operations no-ops) unless `cfg.trace` asks for recording.
+    pub tracer: obs::Tracer,
 }
 
 /// Execute one workflow run and report.
@@ -99,6 +102,17 @@ pub fn run(cfg: &WorkflowConfig) -> RunReport {
     let mut built = build(cfg);
     built.engine.run_limited(MAX_EVENTS);
     harvest(&mut built)
+}
+
+/// Execute one workflow run and return both the report and the recorded
+/// trace. The trace is empty unless `cfg.trace` enables recording (see
+/// [`crate::config::TraceCfg`]); with a flight-recorder cap only the last
+/// `cap` records survive.
+pub fn run_traced(cfg: &WorkflowConfig) -> (RunReport, obs::Trace) {
+    let mut built = build(cfg);
+    built.engine.run_limited(MAX_EVENTS);
+    let report = harvest(&mut built);
+    (report, built.tracer.finish())
 }
 
 /// Construct the fully wired engine for `cfg`: actors, endpoints, failure
@@ -120,6 +134,16 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let mut engine = Engine::new(cfg.seed);
     let mut network = Network::new(cfg.net);
     let apps: Vec<u32> = cfg.components.iter().map(|c| c.app).collect();
+    // Observability: one shared recorder, cloned into every actor. Span ids
+    // and timestamps come from the engine's virtual clock and dispatch
+    // counter, so recording is deterministic and cannot perturb the run.
+    let tracer = match &cfg.trace {
+        None => obs::Tracer::off(),
+        Some(t) => match t.flight_cap {
+            None => obs::Tracer::full(),
+            Some(cap) => obs::Tracer::flight(cap),
+        },
+    };
 
     // 1. Component actors.
     let mut comp_ids = Vec::new();
@@ -204,6 +228,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     for (i, &cid) in comp_ids.iter().enumerate() {
         let c = engine.actor_as_mut::<ComponentActor>(cid).expect("component actor");
         c.wire(handle, comp_eps[i], server_eps.clone(), dir_id);
+        c.set_tracer(tracer.clone());
         if fault_plan.is_some() {
             // Unlimited attempts: virtual time is free, and a wedge from an
             // exhausted budget would mask the fault being studied. Bases are
@@ -220,12 +245,11 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     for (i, &sid) in server_ids.iter().enumerate() {
         let s = engine.actor_as_mut::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
         s.wire(handle, server_eps[i]);
+        s.set_tracer(tracer.clone());
     }
-    engine.actor_as_mut::<Director>(dir_id).expect("director").wire(
-        handle,
-        dir_ep,
-        server_eps.clone(),
-    );
+    let dir = engine.actor_as_mut::<Director>(dir_id).expect("director");
+    dir.wire(handle, dir_ep, server_eps.clone());
+    dir.set_tracer(tracer.clone());
 
     // 5b. Transient staging stalls: perturbations, not failures, so they are
     // scheduled regardless of the protocol (even FailureFree serves through
@@ -288,13 +312,13 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     for &cid in &comp_ids {
         engine.schedule_now(cid, StartStep);
     }
-    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id }
+    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id, tracer }
 }
 
 /// Distill a completed run into a [`RunReport`]. Asserts every component
 /// finished (a wedged run is a bug, not a result).
 pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
-    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, .. } = built;
+    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, tracer, .. } = built;
     // Journal counters need a flush pre-pass (mutable access) before the
     // read-only sweep: the graceful end of a run drains each server's
     // buffered journal tail so `bytes_flushed` reflects the whole history.
@@ -315,6 +339,9 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
     let mut finish_times_s: Vec<(u32, f64)> =
         dir.finish_times().iter().map(|(&app, &t)| (app, t.as_secs_f64())).collect();
     finish_times_s.sort_unstable_by_key(|&(app, _)| app);
+    if finish_times_s.len() != cfg.components.len() {
+        dump_wedge_diagnostics(engine, tracer, &cfg.label);
+    }
     assert_eq!(
         finish_times_s.len(),
         cfg.components.len(),
@@ -400,7 +427,28 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         cold_restart_ms: 0.0,
         schedules_explored: 0,
         states_pruned: 0,
+        metrics: Some(m.snapshot()),
     }
+}
+
+/// Failure-time flight recorder: when a run wedges, print whatever the
+/// recorder retained (the *last* records under a flight cap — exactly the
+/// window around the wedge) plus the tail of the engine's event trace ring,
+/// so the panic that follows carries the evidence and not just a count.
+fn dump_wedge_diagnostics(engine: &Engine, tracer: &obs::Tracer, label: &str) {
+    eprintln!("=== wedge diagnostics (label {label}) ===");
+    if tracer.enabled() {
+        let t = tracer.dump();
+        eprintln!("--- recorder: {} trace records ({} dropped) ---", t.records.len(), t.dropped);
+        eprint!("{}", t.to_jsonl());
+    }
+    if let Some(ring) = engine.trace() {
+        eprintln!("--- engine trace ring: last {} of {} events ---", ring.len(), ring.total());
+        for e in ring.iter() {
+            eprintln!("{e:?}");
+        }
+    }
+    eprintln!("=== end wedge diagnostics ===");
 }
 
 #[cfg(test)]

@@ -36,11 +36,12 @@ fn put(app: u32, var: u32, ts: u32) -> PutRequest {
         desc: ObjDesc { var, version: ts, bbox: bbox() },
         payload: Payload::virtual_from(128, &[app as u64, var as u64, ts as u64]),
         seq: 0,
+        tctx: obs::TraceCtx::NONE,
     }
 }
 
 fn get(app: u32, var: u32, ts: u32) -> GetRequest {
-    GetRequest { app, var, version: ts, bbox: bbox(), seq: 0 }
+    GetRequest { app, var, version: ts, bbox: bbox(), seq: 0, tctx: obs::TraceCtx::NONE }
 }
 
 /// One coupling cycle: both sims write their field, then read the other's.

@@ -29,11 +29,19 @@ fn put(version: u32) -> PutRequest {
         desc: ObjDesc { var: 0, version, bbox },
         payload: Payload::inline(data),
         seq: 0,
+        tctx: obs::TraceCtx::NONE,
     }
 }
 
 fn get(version: u32) -> GetRequest {
-    GetRequest { app: ANA, var: 0, version, bbox: BBox::d1(0, 255), seq: 0 }
+    GetRequest {
+        app: ANA,
+        var: 0,
+        version,
+        bbox: BBox::d1(0, 255),
+        seq: 0,
+        tctx: obs::TraceCtx::NONE,
+    }
 }
 
 fn main() {

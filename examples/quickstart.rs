@@ -12,8 +12,14 @@
 //!
 //! Run with:
 //! ```text
-//! cargo run --example quickstart
+//! cargo run --example quickstart [trace.jsonl]
 //! ```
+//!
+//! With a path argument, each server thread records its serves into a
+//! per-thread recorder; the joined traces are merged deterministically
+//! ([`obs::merge`]) and written as JSONL — inspect with
+//! `wf-trace summary trace.jsonl` or validate with
+//! `wf-trace --validate trace.jsonl`.
 
 use ckpt::CheckpointStore;
 use net::threaded::ThreadedNet;
@@ -22,7 +28,7 @@ use staging::dist::Distribution;
 use staging::geometry::BBox;
 use staging::payload::Payload;
 use staging::service::{ServerCosts, ServerLogic};
-use staging::threaded::{spawn_server, SyncClient};
+use staging::threaded::{spawn_server_traced, SyncClient};
 use std::sync::Arc;
 use wfcr::backend::{pieces_digest, LoggingBackend};
 use wfcr::iface::WorkflowClient;
@@ -52,11 +58,12 @@ fn main() {
     let client_eps = endpoints.split_off(nservers);
     let handles: Vec<_> = endpoints
         .into_iter()
-        .map(|ep| {
+        .enumerate()
+        .map(|(i, ep)| {
             let mut backend = LoggingBackend::new();
             backend.register_app(SIM);
             backend.register_app(ANA);
-            spawn_server(ep, ServerLogic::new(backend, ServerCosts::default()))
+            spawn_server_traced(ep, ServerLogic::new(backend, ServerCosts::default()), i)
         })
         .collect();
 
@@ -115,11 +122,21 @@ fn main() {
 
     consumer.shutdown_servers();
     let mut mismatches = 0;
+    let mut traces = Vec::new();
     for h in handles {
-        let logic = h.join().expect("server thread");
+        let (logic, trace) = h.join().expect("server thread");
         mismatches += logic.backend().digest_mismatches();
+        traces.push(trace);
     }
     assert!(all_match, "replay must reproduce the original observations");
     assert_eq!(mismatches, 0, "servers saw no digest mismatches");
+
+    // Optional: merge the per-thread recorders and export the trace.
+    if let Some(path) = std::env::args().nth(1) {
+        let merged = obs::merge(traces);
+        obs::analyze::validate(&merged).expect("recorded trace validates");
+        std::fs::write(&path, merged.to_jsonl()).expect("write trace");
+        println!("wrote {} trace records to {path}", merged.records.len());
+    }
     println!("\nOK: crash-consistent recovery verified across {} steps", 6);
 }

@@ -73,6 +73,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 1234,
         durability: None,
+        trace: None,
     }
 }
 

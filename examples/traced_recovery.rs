@@ -1,0 +1,53 @@
+//! Traced crash/recovery run: the observability layer end to end.
+//!
+//! Runs the Table-II tiny workflow under the uncoordinated protocol with a
+//! consumer failure injected mid-run, recording every span — client steps,
+//! put/get RPCs, server absorb/dedup/replay decisions, log appends, and the
+//! recovery phases (ULFM repair → checkpoint restore → replay window) — on
+//! the engine's virtual clock.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example traced_recovery [trace.jsonl [trace.perfetto.json]]
+//! ```
+//!
+//! Outputs:
+//! * `trace.jsonl` — the raw trace; analyze with
+//!   `wf-trace summary|critical-path|top-puts trace.jsonl`, check with
+//!   `wf-trace --validate trace.jsonl`.
+//! * `trace.perfetto.json` — the same trace as Chrome `trace_event` JSON;
+//!   load it at <https://ui.perfetto.dev>.
+//! * stdout — the run summary, the recovery critical path, and the full
+//!   [`workflow::RunReport`] as one JSON line.
+
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::{tiny, FailureSpec, TraceCfg};
+use workflow::runner::run_traced;
+
+fn main() {
+    let cfg = tiny(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::At {
+            at: sim_core::time::SimTime::from_millis(700),
+            app: 1, // the analytics consumer fails mid-run
+        }])
+        .with_tracing(TraceCfg::full());
+    let (report, trace) = run_traced(&cfg);
+    println!("{}", report.summary());
+
+    let jsonl_path = std::env::args().nth(1).unwrap_or_else(|| "trace.jsonl".into());
+    let perfetto_path = std::env::args().nth(2).unwrap_or_else(|| "trace.perfetto.json".into());
+    std::fs::write(&jsonl_path, trace.to_jsonl()).expect("write jsonl trace");
+    std::fs::write(&perfetto_path, trace.to_perfetto()).expect("write perfetto trace");
+    println!("wrote {} records to {jsonl_path} and {perfetto_path}", trace.records.len());
+
+    // What wf-trace critical-path prints, inline: where recovery time went.
+    for p in obs::analyze::recovery_paths(&trace) {
+        println!("recovery on {} took {} ns:", p.track, p.total_ns);
+        for ph in p.phases {
+            println!("  {:<12} {} ns", ph.name, ph.dur_ns);
+        }
+    }
+
+    // The machine-readable report line examples append to result files.
+    println!("{}", report.to_json_line());
+}

@@ -27,11 +27,12 @@ fn put(version: u32) -> PutRequest {
         desc: ObjDesc { var: 0, version, bbox: bbox() },
         payload: Payload::virtual_from(64, &[version as u64]),
         seq: 0,
+        tctx: obs::TraceCtx::NONE,
     }
 }
 
 fn get(version: u32) -> GetRequest {
-    GetRequest { app: ANA, var: 0, version, bbox: bbox(), seq: 0 }
+    GetRequest { app: ANA, var: 0, version, bbox: bbox(), seq: 0, tctx: obs::TraceCtx::NONE }
 }
 
 /// Drive six coupled steps against any backend, returning per-step digests.

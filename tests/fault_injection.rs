@@ -215,7 +215,12 @@ fn redelivered_reset_scenario(dedup: bool) -> bool {
         producer.put(0, v, &domain, field(v)).expect("re-put");
     }
     // The network now redelivers the old reset, after re-execution.
-    let stale = CtlMsg { app: SIM, seq: 4, req: CtlRequest::GlobalReset { to_version: 2 } };
+    let stale = CtlMsg {
+        app: SIM,
+        seq: 4,
+        req: CtlRequest::GlobalReset { to_version: 2 },
+        tctx: obs::TraceCtx::NONE,
+    };
     assert!(net_ep.send(0, HEADER_BYTES, stale));
     // Every envelope is acked, duplicate or not: once the ack arrives the
     // redelivery has been fully processed.

@@ -64,6 +64,7 @@ proptest! {
                         desc: ObjDesc { var: 0, version: step, bbox },
                         payload: Payload::virtual_from(100, &[step as u64]),
                         seq: 0,
+                        tctx: obs::TraceCtx::NONE,
                     });
                     let (pieces, _) = backend.get(&GetRequest {
                         app: ANA,
@@ -71,6 +72,7 @@ proptest! {
                         version: step,
                         bbox,
                         seq: 0,
+                        tctx: obs::TraceCtx::NONE,
                     });
                     prop_assert!(!pieces.is_empty(), "normal get must be served");
                     observed.push((step, pieces_digest(&pieces)));
@@ -95,6 +97,7 @@ proptest! {
                             version: v,
                             bbox,
                             seq: 0,
+                            tctx: obs::TraceCtx::NONE,
                         });
                         prop_assert!(
                             !pieces.is_empty(),
@@ -126,8 +129,16 @@ fn gc_actually_reclaims() {
             desc: ObjDesc { var: 0, version: v, bbox },
             payload: Payload::virtual_from(1000, &[v as u64]),
             seq: 0,
+            tctx: obs::TraceCtx::NONE,
         });
-        backend.get(&GetRequest { app: ANA, var: 0, version: v, bbox, seq: 0 });
+        backend.get(&GetRequest {
+            app: ANA,
+            var: 0,
+            version: v,
+            bbox,
+            seq: 0,
+            tctx: obs::TraceCtx::NONE,
+        });
     }
     let before = backend.bytes_resident();
     backend.control(CtlRequest::Checkpoint { app: SIM, upto_version: 20 });
@@ -154,8 +165,16 @@ fn gc_floor_respects_slowest_component() {
             desc: ObjDesc { var: 0, version: v, bbox },
             payload: Payload::virtual_from(100, &[v as u64]),
             seq: 0,
+            tctx: obs::TraceCtx::NONE,
         });
-        backend.get(&GetRequest { app: ANA, var: 0, version: v, bbox, seq: 0 });
+        backend.get(&GetRequest {
+            app: ANA,
+            var: 0,
+            version: v,
+            bbox,
+            seq: 0,
+            tctx: obs::TraceCtx::NONE,
+        });
     }
     // Only the simulation checkpoints — analytics could still roll back to 0
     // and replay everything, so nothing may be collected.

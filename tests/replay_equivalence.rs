@@ -24,11 +24,12 @@ fn put_req(version: u32, var: u32) -> PutRequest {
         desc: ObjDesc { var, version, bbox: BBox::d1(0, 63) },
         payload: Payload::virtual_from(64, &[var as u64, version as u64]),
         seq: 0,
+        tctx: obs::TraceCtx::NONE,
     }
 }
 
 fn get_req(version: u32, var: u32) -> GetRequest {
-    GetRequest { app: ANA, var, version, bbox: BBox::d1(0, 63), seq: 0 }
+    GetRequest { app: ANA, var, version, bbox: BBox::d1(0, 63), seq: 0, tctx: obs::TraceCtx::NONE }
 }
 
 /// Drive `steps` of write-then-read coupling with the given checkpoint

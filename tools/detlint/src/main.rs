@@ -29,14 +29,19 @@
 //! Usage: `detlint [path ...]` — paths are `.rs` files or directories
 //! (recursed). With no arguments, lints the default deterministic envelope:
 //! `crates/sim-core/src`, `crates/net/src/des.rs`, `crates/wfcr/src`,
-//! `crates/staging/src`.
+//! `crates/staging/src`, `crates/obs/src`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The deterministic envelope linted when no paths are given.
-const DEFAULT_TARGETS: &[&str] =
-    &["crates/sim-core/src", "crates/net/src/des.rs", "crates/wfcr/src", "crates/staging/src"];
+const DEFAULT_TARGETS: &[&str] = &[
+    "crates/sim-core/src",
+    "crates/net/src/des.rs",
+    "crates/wfcr/src",
+    "crates/staging/src",
+    "crates/obs/src",
+];
 
 /// One lint rule: a name (used in `allow(<name>)` waivers) and the
 /// substrings that trigger it.

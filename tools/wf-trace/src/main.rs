@@ -1,0 +1,248 @@
+#![forbid(unsafe_code)]
+
+//! wf-trace — analyzer for the JSONL traces recorded by workflow runs.
+//!
+//! Reads a trace exported with `Trace::to_jsonl` (see the `obs` crate) and
+//! answers the questions the paper's evaluation keeps asking of a run:
+//! where did the time go per component, what did a recovery's critical path
+//! look like phase by phase, and which put trees were slowest end to end.
+//!
+//! Subcommands (the file argument is always last):
+//!
+//! * `wf-trace summary <trace.jsonl>` — per-track timelines: span/instant
+//!   counts, busy time (self time: same-track nested children excluded),
+//!   and the active window.
+//! * `wf-trace critical-path <trace.jsonl>` — every recovery in the trace,
+//!   broken into its phases (ulfm / restore / replay / co_rollback) with
+//!   per-phase share of the total.
+//! * `wf-trace top-puts [-k N] <trace.jsonl>` — the N slowest put causal
+//!   trees (default 5): client duration plus how many server-side spans and
+//!   instants the tree reached.
+//! * `wf-trace perfetto <trace.jsonl>` — convert to Chrome/Perfetto
+//!   `trace_event` JSON on stdout (load at ui.perfetto.dev).
+//! * `wf-trace --validate <trace.jsonl>` — structural validation: every
+//!   span closes exactly once, ends do not precede begins, timestamps are
+//!   monotone, every track is declared. Exit 1 on any violation. Also
+//!   accepted as `wf-trace validate <file>`.
+//!
+//! All output is derived from virtual time and is byte-deterministic for a
+//! given trace file.
+
+use std::process::ExitCode;
+
+/// Nanoseconds → `S.mmmuuu ms` with microsecond precision, integer math
+/// only, so output bytes are a pure function of the trace.
+fn fmt_ms(ns: u64) -> String {
+    format!("{}.{:03}ms", ns / 1_000_000, (ns % 1_000_000) / 1_000)
+}
+
+fn load(path: &str) -> Result<obs::Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    obs::Trace::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_summary(trace: &obs::Trace) {
+    let lines = obs::analyze::timelines(trace);
+    println!(
+        "{} records on {} tracks ({} dropped by flight cap)",
+        trace.records.len(),
+        trace.tracks.len(),
+        trace.dropped
+    );
+    println!(
+        "{:<24} {:>7} {:>9} {:>14} {:>14} {:>14}",
+        "track", "spans", "instants", "busy", "first", "last"
+    );
+    for l in lines {
+        println!(
+            "{:<24} {:>7} {:>9} {:>14} {:>14} {:>14}",
+            l.name,
+            l.spans,
+            l.instants,
+            fmt_ms(l.busy_ns),
+            fmt_ms(l.first_ns),
+            fmt_ms(l.last_ns)
+        );
+    }
+}
+
+fn cmd_critical_path(trace: &obs::Trace) {
+    let paths = obs::analyze::recovery_paths(trace);
+    if paths.is_empty() {
+        println!("no recoveries in trace");
+        return;
+    }
+    for (i, p) in paths.iter().enumerate() {
+        println!(
+            "recovery #{i} on {} at {}: total {}",
+            p.track,
+            fmt_ms(p.start_ns),
+            fmt_ms(p.total_ns)
+        );
+        for ph in &p.phases {
+            let pct = (ph.dur_ns * 100).checked_div(p.total_ns).unwrap_or(0);
+            println!(
+                "  {:<14} {:>14}  {:>3}%  (at {})",
+                ph.name,
+                fmt_ms(ph.dur_ns),
+                pct,
+                fmt_ms(ph.start_ns)
+            );
+        }
+        let accounted: u64 = p.phases.iter().map(|ph| ph.dur_ns).sum();
+        let other = p.total_ns.saturating_sub(accounted);
+        if other > 0 {
+            println!("  {:<14} {:>14}", "(unphased)", fmt_ms(other));
+        }
+    }
+}
+
+fn cmd_top_puts(trace: &obs::Trace, k: usize) {
+    let trees = obs::analyze::top_put_trees(trace, k);
+    if trees.is_empty() {
+        println!("no put spans in trace");
+        return;
+    }
+    println!(
+        "{:<10} {:<24} {:>14} {:>14} {:>6} {:>9}",
+        "trace", "client track", "start", "dur", "spans", "instants"
+    );
+    for t in trees {
+        println!(
+            "{:<10} {:<24} {:>14} {:>14} {:>6} {:>9}",
+            t.tr,
+            t.track,
+            fmt_ms(t.start_ns),
+            fmt_ms(t.dur_ns),
+            t.tree_spans,
+            t.tree_instants
+        );
+    }
+}
+
+fn cmd_validate(trace: &obs::Trace) -> ExitCode {
+    match obs::analyze::validate(trace) {
+        Ok(r) => {
+            println!(
+                "ok: {} spans, {} instants, {} tracks, {} causal trees",
+                r.spans, r.instants, r.tracks, r.traces
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                eprintln!("invalid: {e}");
+            }
+            eprintln!("{} violation(s)", errors.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str =
+    "usage: wf-trace <summary|critical-path|top-puts [-k N]|perfetto|--validate> <trace.jsonl>";
+
+/// Parsed invocation: which report to produce over which file.
+enum Cmd {
+    Summary,
+    CriticalPath,
+    TopPuts(usize),
+    Perfetto,
+    Validate,
+}
+
+fn parse_args(args: &[String]) -> Result<(Cmd, String), String> {
+    let (cmd_args, file) = match args.split_last() {
+        Some((file, rest)) if !file.starts_with('-') && !rest.is_empty() => (rest, file.clone()),
+        // Bare `wf-trace <file>` defaults to the summary report.
+        Some((file, [])) if !file.starts_with('-') => return Ok((Cmd::Summary, file.clone())),
+        _ => return Err(USAGE.to_string()),
+    };
+    let cmd = match cmd_args[0].as_str() {
+        "summary" => Cmd::Summary,
+        "critical-path" => Cmd::CriticalPath,
+        "perfetto" => Cmd::Perfetto,
+        "validate" | "--validate" => Cmd::Validate,
+        "top-puts" => {
+            let k = match cmd_args.get(1).map(String::as_str) {
+                None => 5,
+                Some("-k") => {
+                    cmd_args.get(2).and_then(|v| v.parse().ok()).ok_or_else(|| USAGE.to_string())?
+                }
+                Some(_) => return Err(USAGE.to_string()),
+            };
+            Cmd::TopPuts(k)
+        }
+        _ => return Err(USAGE.to_string()),
+    };
+    Ok((cmd, file))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match parse_args(&args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match load(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("wf-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd {
+        Cmd::Summary => cmd_summary(&trace),
+        Cmd::CriticalPath => cmd_critical_path(&trace),
+        Cmd::TopPuts(k) => cmd_top_puts(&trace, k),
+        Cmd::Perfetto => print!("{}", trace.to_perfetto()),
+        Cmd::Validate => return cmd_validate(&trace),
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn fmt_ms_is_integer_math() {
+        assert_eq!(fmt_ms(0), "0.000ms");
+        assert_eq!(fmt_ms(1_234_567), "1.234ms");
+        assert_eq!(fmt_ms(999), "0.000ms");
+        assert_eq!(fmt_ms(2_000_001_000), "2000.001ms");
+    }
+
+    #[test]
+    fn parses_subcommands() {
+        assert!(matches!(parse_args(&s(&["t.jsonl"])), Ok((Cmd::Summary, f)) if f == "t.jsonl"));
+        assert!(matches!(parse_args(&s(&["summary", "t.jsonl"])), Ok((Cmd::Summary, _))));
+        assert!(matches!(
+            parse_args(&s(&["critical-path", "t.jsonl"])),
+            Ok((Cmd::CriticalPath, _))
+        ));
+        assert!(matches!(parse_args(&s(&["--validate", "t.jsonl"])), Ok((Cmd::Validate, _))));
+        assert!(matches!(parse_args(&s(&["validate", "t.jsonl"])), Ok((Cmd::Validate, _))));
+        assert!(matches!(parse_args(&s(&["perfetto", "t.jsonl"])), Ok((Cmd::Perfetto, _))));
+        assert!(matches!(parse_args(&s(&["top-puts", "t.jsonl"])), Ok((Cmd::TopPuts(5), _))));
+        assert!(matches!(
+            parse_args(&s(&["top-puts", "-k", "9", "t.jsonl"])),
+            Ok((Cmd::TopPuts(9), _))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_invocations() {
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["bogus", "t.jsonl"])).is_err());
+        assert!(parse_args(&s(&["top-puts", "-k", "x", "t.jsonl"])).is_err());
+        assert!(parse_args(&s(&["--validate"])).is_err());
+    }
+}
