@@ -6,6 +6,7 @@
 //! ratios themselves are produced by `repro --exp fig9a/fig9b`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use logstore::{FlushPolicy, LogConfig, LogStore, MemMedia};
 use staging::geometry::BBox;
 use staging::payload::Payload;
 use staging::proto::{ObjDesc, PutRequest};
@@ -54,6 +55,34 @@ fn bench_put_path(c: &mut Criterion) {
                 black_box(logic.handle_put(&put_req(v, bytes)))
             });
         });
+        // Durable variants: the same logging backend with a segmented-log
+        // journal attached, per-record fsync with no coalescing against
+        // group commit + batched hand-off. The spread between these two
+        // rows is the write-path cost the batching work removes.
+        for (name, flush, coalesce) in [
+            ("logging_journal_per_record", FlushPolicy::PerRecord, 1usize),
+            ("logging_journal_grouped", FlushPolicy::Grouped { records: 16 }, 16usize),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, bytes), &bytes, |b, &bytes| {
+                let cfg = LogConfig { segment_bytes: 256 * 1024, flush };
+                let log = LogStore::open(Box::new(MemMedia::new()), cfg).expect("open");
+                let mut backend = LoggingBackend::new();
+                backend.register_app(0);
+                backend.attach_journal_coalesced(Box::new(log), coalesce);
+                let mut logic = ServerLogic::new(backend, ServerCosts::default());
+                let mut v = 0u32;
+                b.iter(|| {
+                    v = v.wrapping_add(1);
+                    if v.is_multiple_of(64) {
+                        logic.handle_ctl(staging::proto::CtlRequest::Checkpoint {
+                            app: 0,
+                            upto_version: v - 1,
+                        });
+                    }
+                    black_box(logic.handle_put(&put_req(v, bytes)))
+                });
+            });
+        }
     }
     group.finish();
 }

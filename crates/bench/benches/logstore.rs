@@ -7,7 +7,7 @@
 //! methodology are recorded in EXPERIMENTS.md §logstore.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use logstore::{FlushPolicy, LogConfig, LogStore, MemMedia};
+use logstore::{BatchRecord, FlushPolicy, LogConfig, LogStore, MemMedia};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -41,6 +41,133 @@ fn bench_append(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// The batched group-commit write path against the per-record baseline:
+/// each iteration lands `BATCH` records (so rows are directly comparable),
+/// either one `append`+fsync at a time or as a single vectored
+/// `append_batch` under one group commit. Payloads are the small-record
+/// sizes the acceptance bar targets (≤ 4 KiB); each record is handed over
+/// as two scattered parts (a 24-byte "meta" prefix plus the payload) to
+/// exercise the zero-copy vectored path the journal handles use.
+fn bench_append_batch(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut group = c.benchmark_group("logstore/append_batch");
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_millis(800));
+    let meta = [0x11u8; 24];
+    for &payload_len in &[256usize, 1024, 4096] {
+        let payload = vec![0xA5u8; payload_len];
+        group.throughput(Throughput::Bytes((BATCH * (meta.len() + payload_len)) as u64));
+
+        // Baseline: one append + one fsync per record.
+        let cfg = LogConfig { segment_bytes: 256 * 1024, flush: FlushPolicy::PerRecord };
+        let mut log = LogStore::open(Box::new(MemMedia::new()), cfg).expect("open");
+        let mut w = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("per_record", payload_len),
+            &payload_len,
+            |b, _| {
+                b.iter(|| {
+                    for _ in 0..BATCH {
+                        w += 1;
+                        if w.is_multiple_of(16 * 1024) {
+                            black_box(log.compact_below(w).expect("compact"));
+                        }
+                        log.append_parts(w, &[&meta[..], &payload[..]]).expect("append");
+                    }
+                })
+            },
+        );
+
+        // One vectored append_batch, one group-commit fsync for the batch.
+        for (name, flush) in [
+            ("batch_commit", FlushPolicy::PerBatch { records: BATCH }),
+            ("batch_grouped", FlushPolicy::Grouped { records: BATCH }),
+        ] {
+            let cfg = LogConfig { segment_bytes: 256 * 1024, flush };
+            let mut log = LogStore::open(Box::new(MemMedia::new()), cfg).expect("open");
+            let mut w = 0u64;
+            group.bench_with_input(BenchmarkId::new(name, payload_len), &payload_len, |b, _| {
+                b.iter(|| {
+                    if w.is_multiple_of(16 * 1024) && w > 0 {
+                        black_box(log.compact_below(w).expect("compact"));
+                    }
+                    let watermarks: Vec<u64> = (1..=BATCH as u64).map(|i| w + i).collect();
+                    w += BATCH as u64;
+                    let parts: Vec<[&[u8]; 2]> =
+                        (0..BATCH).map(|_| [&meta[..], &payload[..]]).collect();
+                    let batch: Vec<BatchRecord<'_>> = watermarks
+                        .iter()
+                        .zip(&parts)
+                        .map(|(&wm, p)| BatchRecord { watermark: wm, parts: p })
+                        .collect();
+                    log.append_batch(&batch).expect("append_batch")
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The same comparison over real files (`FsMedia`, real `fsync`): this is
+/// where group commit earns its keep — the per-record baseline pays one
+/// fsync per record, the batch paths one per 32, and `Grouped` defers even
+/// that off the append path. Uses a scratch directory under the system temp
+/// dir; small sample counts because each baseline iteration is 32 fsyncs.
+fn bench_append_batch_fs(c: &mut Criterion) {
+    const BATCH: usize = 32;
+    let mut group = c.benchmark_group("logstore/append_batch_fs");
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let meta = [0x11u8; 24];
+    let payload_len = 4096usize;
+    let payload = vec![0xA5u8; payload_len];
+    group.throughput(Throughput::Bytes((BATCH * (meta.len() + payload_len)) as u64));
+    let root = std::env::temp_dir().join(format!("logstore-bench-{}", std::process::id()));
+    let variants: &[(&str, FlushPolicy)] = &[
+        ("per_record", FlushPolicy::PerRecord),
+        ("batch_commit", FlushPolicy::PerBatch { records: BATCH }),
+        ("batch_grouped", FlushPolicy::Grouped { records: BATCH }),
+    ];
+    for &(name, flush) in variants {
+        let dir = root.join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        let media = logstore::FsMedia::new(&dir).expect("fs media");
+        let cfg = LogConfig { segment_bytes: 4 * 1024 * 1024, flush };
+        let mut log = LogStore::open(Box::new(media), cfg).expect("open");
+        let mut w = 0u64;
+        group.bench_with_input(BenchmarkId::new(name, payload_len), &payload_len, |b, _| {
+            b.iter(|| {
+                if w.is_multiple_of(4 * 1024) && w > 0 {
+                    black_box(log.compact_below(w).expect("compact"));
+                }
+                match flush {
+                    FlushPolicy::PerRecord => {
+                        for _ in 0..BATCH {
+                            w += 1;
+                            log.append_parts(w, &[&meta[..], &payload[..]]).expect("append");
+                        }
+                    }
+                    _ => {
+                        let watermarks: Vec<u64> = (1..=BATCH as u64).map(|i| w + i).collect();
+                        w += BATCH as u64;
+                        let parts: Vec<[&[u8]; 2]> =
+                            (0..BATCH).map(|_| [&meta[..], &payload[..]]).collect();
+                        let batch: Vec<logstore::BatchRecord<'_>> = watermarks
+                            .iter()
+                            .zip(&parts)
+                            .map(|(&wm, p)| BatchRecord { watermark: wm, parts: p })
+                            .collect();
+                        log.append_batch(&batch).expect("append_batch");
+                    }
+                }
+            })
+        });
+    }
+    let _ = std::fs::remove_dir_all(&root);
     group.finish();
 }
 
@@ -110,5 +237,12 @@ fn bench_compaction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_append, bench_recovery, bench_compaction);
+criterion_group!(
+    benches,
+    bench_append,
+    bench_append_batch,
+    bench_append_batch_fs,
+    bench_recovery,
+    bench_compaction
+);
 criterion_main!(benches);

@@ -26,6 +26,9 @@ use std::io;
 #[derive(Debug)]
 pub struct DurableTier {
     log: LogStore,
+    /// Reusable serialization scratch: persist encodes into this buffer
+    /// instead of allocating a fresh `Vec` per snapshot.
+    scratch: Vec<u8>,
 }
 
 /// Open the tier over `media`, recovering every intact snapshot record in
@@ -41,7 +44,7 @@ pub fn open(media: Box<dyn Media>, cfg: LogConfig) -> io::Result<(DurableTier, V
             snaps.push(snap);
         }
     }
-    Ok((DurableTier { log }, snaps))
+    Ok((DurableTier { log, scratch: Vec::new() }, snaps))
 }
 
 impl DurableTier {
@@ -75,9 +78,10 @@ impl DurableTier {
 
 impl SnapshotSink for DurableTier {
     fn persist(&mut self, snap: &Snapshot) -> io::Result<()> {
-        let bytes = serde_json::to_vec(snap)
+        self.scratch.clear();
+        serde_json::to_writer(&mut self.scratch, snap)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.log.append(snap.w_chk_id(), &bytes)?;
+        self.log.append(snap.w_chk_id(), &self.scratch)?;
         // A checkpoint is a commit point: flush regardless of policy.
         self.log.flush()
     }

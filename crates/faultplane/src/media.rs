@@ -104,6 +104,26 @@ pub enum MediaFaultDecision {
     SkippedSync,
 }
 
+impl MediaFaultDecision {
+    /// For a [`MediaFaultDecision::TornWrite`] applied to a `len`-byte write,
+    /// the number of leading bytes that actually reach the media; `None` for
+    /// every other decision.
+    ///
+    /// Centralised here so single appends and vectored multi-record group
+    /// flushes tear identically: one decision governs one *logical* write,
+    /// and the tear lands at a byte offset of the combined length — possibly
+    /// mid-frame, possibly between frames of the group. The log's recovery
+    /// scan must truncate at that point either way.
+    pub fn torn_keep(&self, len: usize) -> Option<usize> {
+        match *self {
+            MediaFaultDecision::TornWrite { keep_millis } => {
+                Some((len as u64 * keep_millis / 1000) as usize)
+            }
+            _ => None,
+        }
+    }
+}
+
 /// The decision for media operation `i` under `plan` — a pure function of
 /// `(plan.seed, i)`, so storage fault schedules are byte-identical across
 /// runs (the same guarantee [`crate::inject::decide`] gives messages).
@@ -188,6 +208,16 @@ mod tests {
         p.rates.bitflip = 0.0;
         p.windows = vec![FaultWindow { from_msg: 9, to_msg: 2 }];
         assert_eq!(p.validate(), Err(PlanError::EmptyWindow { idx: 0 }));
+    }
+
+    #[test]
+    fn torn_keep_scales_with_length() {
+        let d = MediaFaultDecision::TornWrite { keep_millis: 500 };
+        assert_eq!(d.torn_keep(1000), Some(500));
+        assert_eq!(d.torn_keep(3), Some(1));
+        assert_eq!(MediaFaultDecision::TornWrite { keep_millis: 0 }.torn_keep(100), Some(0));
+        assert_eq!(MediaFaultDecision::Clean.torn_keep(100), None);
+        assert_eq!(MediaFaultDecision::SkippedSync.torn_keep(100), None);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod media;
 pub mod store;
 
 pub use media::{FaultyMedia, FsMedia, Media, MemMedia};
-pub use store::{FlushPolicy, LogConfig, LogStore, Record};
+pub use store::{BatchRecord, FlushPolicy, LogConfig, LogStore, Record};
 
 use std::io;
 
@@ -43,6 +43,28 @@ pub trait Journal: Send {
     /// [`Journal::flush`] to force the tail down.
     fn append(&mut self, watermark: u64, payload: &[u8]) -> io::Result<()>;
 
+    /// Append one record whose payload is scattered across `parts` (for the
+    /// zero-copy path: an encoded metadata prefix plus the data's own byte
+    /// slice). The default assembles the parts and delegates to
+    /// [`Journal::append`]; [`LogStore`] frames them without assembly.
+    fn append_parts(&mut self, watermark: u64, parts: &[&[u8]]) -> io::Result<()> {
+        let mut joined = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            joined.extend_from_slice(p);
+        }
+        self.append(watermark, &joined)
+    }
+
+    /// Append a whole group of records with one flush decision at the batch
+    /// boundary (group commit). The default loops over [`Journal::append_parts`];
+    /// [`LogStore`] turns the group into a single vectored write + fsync.
+    fn append_batch(&mut self, batch: &[store::BatchRecord<'_>]) -> io::Result<()> {
+        for rec in batch {
+            self.append_parts(rec.watermark, rec.parts)?;
+        }
+        Ok(())
+    }
+
     /// Flush and fsync everything appended so far.
     fn flush(&mut self) -> io::Result<()>;
 
@@ -55,11 +77,31 @@ pub trait Journal: Send {
 
     /// Segments deleted by compaction so far.
     fn segments_compacted(&self) -> u64;
+
+    /// Fsyncs that made two or more records durable at once. Sinks without
+    /// group commit report 0.
+    fn group_commits(&self) -> u64 {
+        0
+    }
+
+    /// Records that arrived through [`Journal::append_batch`]. Sinks that do
+    /// not track batching report 0.
+    fn records_batched(&self) -> u64 {
+        0
+    }
 }
 
 impl Journal for LogStore {
     fn append(&mut self, watermark: u64, payload: &[u8]) -> io::Result<()> {
         LogStore::append(self, watermark, payload)
+    }
+
+    fn append_parts(&mut self, watermark: u64, parts: &[&[u8]]) -> io::Result<()> {
+        LogStore::append_parts(self, watermark, parts)
+    }
+
+    fn append_batch(&mut self, batch: &[store::BatchRecord<'_>]) -> io::Result<()> {
+        LogStore::append_batch(self, batch)
     }
 
     fn flush(&mut self) -> io::Result<()> {
@@ -76,5 +118,13 @@ impl Journal for LogStore {
 
     fn segments_compacted(&self) -> u64 {
         LogStore::segments_compacted(self)
+    }
+
+    fn group_commits(&self) -> u64 {
+        LogStore::group_commits(self)
+    }
+
+    fn records_batched(&self) -> u64 {
+        LogStore::records_batched(self)
     }
 }

@@ -28,6 +28,22 @@ use std::sync::{Arc, Mutex};
 pub trait Media: Send {
     /// Append `data` to file `name`, creating it if absent.
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Append the concatenation of `parts` to file `name` as **one logical
+    /// write** (`write_vectored` style — the log's group commit hands a whole
+    /// multi-record flush here without assembling it first).
+    ///
+    /// Being one logical write matters to fault wrappers: a torn write tears
+    /// the *combined* byte stream at one offset, exactly as a crash inside a
+    /// single `writev(2)` would, rather than drawing a decision per part.
+    /// The default concatenates and delegates to [`Media::append`] so plain
+    /// implementations inherit that single-decision semantics for free.
+    fn append_vectored(&mut self, name: &str, parts: &[&[u8]]) -> io::Result<()> {
+        let mut joined = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            joined.extend_from_slice(p);
+        }
+        self.append(name, &joined)
+    }
     /// Fsync file `name` (no-op if it does not exist).
     fn sync(&mut self, name: &str) -> io::Result<()>;
     /// Read the full contents of file `name`.
@@ -71,6 +87,38 @@ impl Media for FsMedia {
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
         let mut f = OpenOptions::new().create(true).append(true).open(self.path(name))?;
         f.write_all(data)
+    }
+
+    fn append_vectored(&mut self, name: &str, parts: &[&[u8]]) -> io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(self.path(name))?;
+        // `write_all_vectored` is unstable; drive `write_vectored` by hand,
+        // rebuilding the slice list only on the (rare) short write.
+        let mut skip: usize = 0;
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        while skip < total {
+            let mut slices: Vec<io::IoSlice<'_>> = Vec::with_capacity(parts.len());
+            let mut consumed = 0usize;
+            for p in parts {
+                if consumed + p.len() <= skip {
+                    consumed += p.len();
+                    continue;
+                }
+                let start = skip.saturating_sub(consumed);
+                consumed += p.len();
+                if p.len() > start {
+                    slices.push(io::IoSlice::new(&p[start..]));
+                }
+            }
+            if slices.is_empty() {
+                break;
+            }
+            let n = f.write_vectored(&slices)?;
+            if n == 0 {
+                return Err(io::Error::new(io::ErrorKind::WriteZero, "vectored append stalled"));
+            }
+            skip += n;
+        }
+        Ok(())
     }
 
     fn sync(&mut self, name: &str) -> io::Result<()> {
@@ -194,6 +242,16 @@ impl Media for MemMedia {
         Ok(())
     }
 
+    fn append_vectored(&mut self, name: &str, parts: &[&[u8]]) -> io::Result<()> {
+        let mut files = self.files.lock().unwrap();
+        let f = files.entry(name.to_string()).or_default();
+        f.data.reserve(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            f.data.extend_from_slice(p);
+        }
+        Ok(())
+    }
+
     fn sync(&mut self, name: &str) -> io::Result<()> {
         let mut files = self.files.lock().unwrap();
         if let Some(f) = files.get_mut(name) {
@@ -281,12 +339,12 @@ impl<M: Media> FaultyMedia<M> {
 
 impl<M: Media> Media for FaultyMedia<M> {
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
-        match self.next_decision() {
-            MediaFaultDecision::TornWrite { keep_millis } => {
-                let keep = (data.len() as u64 * keep_millis / 1000) as usize;
-                self.torn_writes += 1;
-                self.inner.append(name, &data[..keep])
-            }
+        let decision = self.next_decision();
+        if let Some(keep) = decision.torn_keep(data.len()) {
+            self.torn_writes += 1;
+            return self.inner.append(name, &data[..keep]);
+        }
+        match decision {
             MediaFaultDecision::BitFlip { mix } if !data.is_empty() => {
                 let mut corrupted = data.to_vec();
                 let pos = (mix as usize) % corrupted.len();
@@ -295,6 +353,41 @@ impl<M: Media> Media for FaultyMedia<M> {
                 self.inner.append(name, &corrupted)
             }
             _ => self.inner.append(name, data),
+        }
+    }
+
+    fn append_vectored(&mut self, name: &str, parts: &[&[u8]]) -> io::Result<()> {
+        // One decision for the whole logical write: a torn multi-record group
+        // flush loses a *suffix of the combined frames* — possibly splitting
+        // one frame, possibly deleting whole trailing frames — which is
+        // exactly the damage shape the recovery scan's torn-tail rule (and
+        // the batched crash-point oracle) must absorb.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let decision = self.next_decision();
+        if let Some(mut keep) = decision.torn_keep(total) {
+            self.torn_writes += 1;
+            for p in parts {
+                if keep == 0 {
+                    break;
+                }
+                let take = keep.min(p.len());
+                self.inner.append(name, &p[..take])?;
+                keep -= take;
+            }
+            return Ok(());
+        }
+        match decision {
+            MediaFaultDecision::BitFlip { mix } if total > 0 => {
+                let mut joined = Vec::with_capacity(total);
+                for p in parts {
+                    joined.extend_from_slice(p);
+                }
+                let pos = (mix as usize) % joined.len();
+                joined[pos] ^= 1 << ((mix >> 32) % 8);
+                self.flipped_bytes += 1;
+                self.inner.append(name, &joined)
+            }
+            _ => self.inner.append_vectored(name, parts),
         }
     }
 
@@ -423,6 +516,55 @@ mod tests {
         assert_eq!(m.skipped_syncs(), 1);
         mem.crash();
         assert!(mem.read("y").unwrap().is_empty(), "skipped sync means crash loses the bytes");
+    }
+
+    #[test]
+    fn vectored_append_equals_concatenation() {
+        let mut m = MemMedia::new();
+        m.append_vectored("v.log", &[b"abc", b"", b"defg", b"h"]).unwrap();
+        assert_eq!(m.read("v.log").unwrap(), b"abcdefgh");
+        m.append_vectored("v.log", &[b"ij"]).unwrap();
+        assert_eq!(m.read("v.log").unwrap(), b"abcdefghij");
+    }
+
+    #[test]
+    fn fs_media_vectored_append_round_trips() {
+        let root = std::env::temp_dir().join(format!(
+            "logstore-media-vec-{}-{:x}",
+            std::process::id(),
+            0xFACEu32
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let mut m = FsMedia::new(&root).unwrap();
+        m.append("seg.log", b"head|").unwrap();
+        m.append_vectored("seg.log", &[b"r1", b"", b"-payload-one|", b"r2-payload-two"]).unwrap();
+        assert_eq!(m.read("seg.log").unwrap(), b"head|r1-payload-one|r2-payload-two");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn faulty_media_tears_vectored_write_once_across_parts() {
+        // torn_write = 1.0: every logical write is torn, but a vectored
+        // append must consume exactly ONE decision and tear the combined
+        // stream at one offset — the surviving bytes are a strict prefix of
+        // the concatenation.
+        let plan = MediaFaultPlan {
+            seed: 41,
+            rates: MediaFaultRates { torn_write: 1.0, bitflip: 0.0, skipped_sync: 0.0 },
+            windows: Vec::new(),
+        };
+        let mem = MemMedia::new();
+        let mut m = FaultyMedia::new(mem.clone(), plan);
+        let parts: [&[u8]; 3] = [&[1u8; 40], &[2u8; 40], &[3u8; 40]];
+        m.append_vectored("t", &parts).unwrap();
+        assert_eq!(m.torn_writes(), 1, "one decision per logical write");
+        let stored = mem.read("t").unwrap();
+        assert!(stored.len() < 120);
+        let mut expect = Vec::new();
+        for p in &parts {
+            expect.extend_from_slice(p);
+        }
+        assert_eq!(stored, expect[..stored.len()], "a torn write keeps a prefix only");
     }
 
     #[test]

@@ -15,18 +15,33 @@
 //! would otherwise read as a shorter-but-valid segment and let later
 //! segments smuggle a gap into the stream.
 //!
+//! **Write path.** Frames are encoded straight into a reusable buffer — no
+//! per-record allocation — with the CRC computed incrementally over the
+//! payload's scattered parts ([`LogStore::append_parts`]), so a record whose
+//! payload lives in two places (an encoded header plus zero-copy data bytes)
+//! is framed without ever being assembled. [`LogStore::append_batch`] takes a
+//! whole group of records and, when the policy commits at the batch boundary,
+//! hands the media **one vectored write** spanning every frame (headers from
+//! the scratch buffer, payload bytes straight from the caller's slices)
+//! followed by a single fsync: group commit, one flush instead of N.
+//!
 //! Appends buffer frames in memory and push them to the media under a
-//! [`FlushPolicy`]; only flushed-and-synced bytes survive a crash. Recovery
-//! ([`LogStore::open`]) scans segments in index order, truncates at the
-//! first torn, corrupt, or out-of-sequence frame and discards everything
-//! after it — the surviving log is always a checksum-clean prefix of what
-//! was written, the invariant the crash-point oracle pins down byte by byte.
+//! [`FlushPolicy`]; only flushed-and-synced bytes survive a crash.
+//! [`FlushPolicy::Grouped`] double-buffers: a sealed group's bytes are
+//! *staged* (appended, not yet fsynced) and the fsync is deferred until the
+//! next group seals or a commit point forces it — append latency decouples
+//! from sync latency while the crash contract stays exact, because staged
+//! bytes are not counted durable and a crash simply truncates them like any
+//! torn tail. Recovery ([`LogStore::open`]) scans segments in index order,
+//! truncates at the first torn, corrupt, or out-of-sequence frame and
+//! discards everything after it — the surviving log is always a
+//! checksum-clean prefix of what was written, the invariant the crash-point
+//! oracle pins down byte by byte.
 
 use crate::checksum::Crc32;
 use crate::media::Media;
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::time::Instant;
 
 /// First 8 bytes of every segment file: `LSEG`, format version 1, padding.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"LSEG\x01\0\0\0";
@@ -35,6 +50,10 @@ pub const SEGMENT_MAGIC: [u8; 8] = *b"LSEG\x01\0\0\0";
 pub const FRAME_HEADER: usize = 4 + 8 + 8 + 4;
 
 /// When buffered frames are pushed to the media and fsynced.
+///
+/// Every trigger is a pure function of the append stream (record counts and
+/// byte counts) — never of wall time — so flush decisions replay identically
+/// under the deterministic simulator and the model checker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FlushPolicy {
     /// Flush + fsync after every record (strongest, slowest).
@@ -44,11 +63,22 @@ pub enum FlushPolicy {
         /// Batch size in records.
         records: usize,
     },
-    /// Flush + fsync when at least `ms` milliseconds passed since the last
-    /// flush (checked at append time; an idle log flushes nothing).
-    IntervalMs {
-        /// Minimum interval between flushes.
-        ms: u64,
+    /// Flush + fsync once at least `bytes` framed bytes have accumulated —
+    /// the deterministic replacement for the old wall-clock interval trigger
+    /// (a byte budget bounds the loss window the way a time budget did,
+    /// without consulting a clock).
+    PerBytes {
+        /// Buffered-byte threshold.
+        bytes: u64,
+    },
+    /// Group commit with a deferred fsync: once `records` records have
+    /// accumulated the group's bytes are appended to the media but the fsync
+    /// is left in flight, completing when the *next* group seals (or at a
+    /// commit point). Appends therefore never wait on sync latency, at the
+    /// price of a loss window of up to two groups.
+    Grouped {
+        /// Group size in records.
+        records: usize,
     },
 }
 
@@ -81,11 +111,31 @@ pub struct Record {
     pub payload: Vec<u8>,
 }
 
+/// One record of an [`LogStore::append_batch`] group: a watermark plus a
+/// payload scattered across parts (typically an encoded metadata prefix and
+/// the data's own zero-copy byte slice). On media the frame holds the
+/// concatenation of the parts; the CRC and length prefix cover it as one
+/// payload.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRecord<'a> {
+    /// Compaction watermark for the record.
+    pub watermark: u64,
+    /// Scattered payload parts, in order. Empty parts are allowed.
+    pub parts: &'a [&'a [u8]],
+}
+
+impl BatchRecord<'_> {
+    /// Total payload length across all parts.
+    pub fn payload_len(&self) -> usize {
+        self.parts.iter().map(|p| p.len()).sum()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct SegmentMeta {
     index: u64,
-    /// Bytes on the media (magic + flushed frames). Buffered frames are not
-    /// included until flushed.
+    /// Bytes *durable* on the media (magic + flushed-and-synced frames).
+    /// Buffered and staged frames are not included until fsynced.
     disk_len: u64,
     max_watermark: Option<u64>,
     records: u64,
@@ -99,18 +149,22 @@ fn parse_seg_name(name: &str) -> Option<u64> {
     name.strip_prefix("seg-")?.strip_suffix(".log")?.parse().ok()
 }
 
-fn encode_frame(seq: u64, watermark: u64, payload: &[u8]) -> Vec<u8> {
+/// Encode one frame header (len + seq + watermark + crc) into `out` for a
+/// payload scattered across `parts`. The CRC streams over the parts, so the
+/// payload is never assembled into an intermediate buffer.
+fn encode_header_into(out: &mut Vec<u8>, seq: u64, watermark: u64, parts: &[&[u8]]) {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
     let mut crc = Crc32::new();
     crc.update(&seq.to_le_bytes());
     crc.update(&watermark.to_le_bytes());
-    crc.update(payload);
-    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame.extend_from_slice(&seq.to_le_bytes());
-    frame.extend_from_slice(&watermark.to_le_bytes());
-    frame.extend_from_slice(&crc.finish().to_le_bytes());
-    frame.extend_from_slice(payload);
-    frame
+    for p in parts {
+        crc.update(p);
+    }
+    out.reserve(FRAME_HEADER);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&watermark.to_le_bytes());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
 }
 
 /// Parse the frame at `data[offset..end]`. Returns the record and the next
@@ -145,6 +199,17 @@ fn decode_frame(
     Some((Record { seq, watermark, payload: payload.to_vec() }, offset + FRAME_HEADER + len))
 }
 
+/// How a run of batch records leaves [`LogStore::append_batch`].
+enum RunMode {
+    /// Copy the frames into the write buffer; no media I/O yet.
+    Buffer,
+    /// One vectored append + fsync for the whole run (plus anything buffered
+    /// or staged before it).
+    Flush,
+    /// One vectored append, fsync deferred ([`FlushPolicy::Grouped`]).
+    Seal,
+}
+
 /// The durable segmented log. See the module docs for the format.
 ///
 /// There is deliberately **no** flush-on-drop: a dropped `LogStore` loses its
@@ -157,9 +222,15 @@ pub struct LogStore {
     /// All live segments in index order; the last one is active.
     segments: Vec<SegmentMeta>,
     next_seq: u64,
+    /// Frames encoded but not yet pushed to the media.
     buf: Vec<u8>,
     buf_records: usize,
-    last_flush: Instant,
+    /// Bytes appended to the active segment's file whose fsync is still in
+    /// flight ([`FlushPolicy::Grouped`] double buffering). Not durable.
+    staged: u64,
+    staged_records: usize,
+    /// Reusable header scratch for vectored batch appends.
+    scratch: Vec<u8>,
     bytes_flushed: u64,
     bytes_appended: u64,
     records_appended: u64,
@@ -167,6 +238,8 @@ pub struct LogStore {
     recovered_records: u64,
     truncated_bytes: u64,
     removed_segments: u64,
+    group_commits: u64,
+    records_batched: u64,
 }
 
 impl std::fmt::Debug for LogStore {
@@ -175,6 +248,7 @@ impl std::fmt::Debug for LogStore {
             .field("cfg", &self.cfg)
             .field("segments", &self.segments.len())
             .field("buffered_bytes", &self.buf.len())
+            .field("staged_bytes", &self.staged)
             .field("bytes_flushed", &self.bytes_flushed)
             .finish()
     }
@@ -197,7 +271,9 @@ impl LogStore {
             next_seq: 0,
             buf: Vec::new(),
             buf_records: 0,
-            last_flush: Instant::now(),
+            staged: 0,
+            staged_records: 0,
+            scratch: Vec::new(),
             bytes_flushed: 0,
             bytes_appended: 0,
             records_appended: 0,
@@ -205,6 +281,8 @@ impl LogStore {
             recovered_records: 0,
             truncated_bytes: 0,
             removed_segments: 0,
+            group_commits: 0,
+            records_batched: 0,
         };
         store.recover()?;
         if store.segments.is_empty() {
@@ -301,48 +379,248 @@ impl LogStore {
         self.segments.last_mut().expect("log always has an active segment")
     }
 
-    /// Append one record; flushing is governed by the configured policy.
-    pub fn append(&mut self, watermark: u64, payload: &[u8]) -> io::Result<()> {
-        let frame = encode_frame(self.next_seq, watermark, payload);
-        self.next_seq += 1;
+    /// Flush + rotate if appending `frame_len` more bytes would overflow the
+    /// active segment (which must already hold at least one record — a
+    /// single oversized record lands whole).
+    fn rotate_if_needed(&mut self, frame_len: u64) -> io::Result<()> {
         let active = self.active();
-        let would_be = active.disk_len + self.buf.len() as u64 + frame.len() as u64;
-        if would_be > self.cfg.segment_bytes && active.records + self.buf_records as u64 > 0 {
+        let would_be = active.disk_len + self.staged + self.buf.len() as u64 + frame_len;
+        if would_be > self.cfg.segment_bytes && active.records > 0 {
             self.flush()?;
             let next = self.active().index + 1;
             self.create_segment(next)?;
         }
-        self.bytes_appended += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Per-record accounting shared by every append path. Call once per
+    /// record, after its frame bytes are handed to `buf`/`scratch`.
+    fn note_appended(&mut self, watermark: u64, frame_len: u64) {
+        self.next_seq += 1;
+        self.bytes_appended += frame_len;
         self.records_appended += 1;
-        self.buf.extend_from_slice(&frame);
         self.buf_records += 1;
         let active = self.active_mut();
         active.records += 1;
         active.max_watermark = Some(active.max_watermark.map_or(watermark, |m| m.max(watermark)));
-        let due = match self.cfg.flush {
-            FlushPolicy::PerRecord => true,
-            FlushPolicy::PerBatch { records } => self.buf_records >= records,
-            FlushPolicy::IntervalMs { ms } => self.last_flush.elapsed().as_millis() >= ms as u128,
-        };
-        if due {
-            self.flush()?;
+    }
+
+    /// Account `bytes`/`records` as durable (fsync completed) and clear the
+    /// staged state.
+    fn note_durable(&mut self, bytes: u64, records: usize) {
+        self.bytes_flushed += bytes;
+        self.active_mut().disk_len += bytes;
+        if records >= 2 {
+            self.group_commits += 1;
+        }
+        self.staged = 0;
+        self.staged_records = 0;
+    }
+
+    /// Append one record; flushing is governed by the configured policy.
+    pub fn append(&mut self, watermark: u64, payload: &[u8]) -> io::Result<()> {
+        self.append_parts(watermark, &[payload])
+    }
+
+    /// Append one record whose payload is scattered across `parts` (e.g. an
+    /// encoded metadata prefix plus the data's own bytes). The frame is
+    /// encoded directly into the reusable write buffer — no intermediate
+    /// allocation, CRC streamed over the parts.
+    pub fn append_parts(&mut self, watermark: u64, parts: &[&[u8]]) -> io::Result<()> {
+        let payload_len: usize = parts.iter().map(|p| p.len()).sum();
+        let frame_len = (FRAME_HEADER + payload_len) as u64;
+        self.rotate_if_needed(frame_len)?;
+        encode_header_into(&mut self.buf, self.next_seq, watermark, parts);
+        for p in parts {
+            self.buf.extend_from_slice(p);
+        }
+        self.note_appended(watermark, frame_len);
+        match self.cfg.flush {
+            FlushPolicy::PerRecord => self.flush(),
+            FlushPolicy::PerBatch { records } if self.buf_records >= records => self.flush(),
+            FlushPolicy::PerBytes { bytes } if self.buf.len() as u64 >= bytes => self.flush(),
+            FlushPolicy::Grouped { records } if self.buf_records >= records => self.seal_group(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Append a whole group of records with **one** flush decision at the
+    /// batch boundary (group commit): when the policy commits, the media
+    /// receives a single vectored write spanning every frame — headers from
+    /// the scratch encoder, payload bytes straight from the caller's slices
+    /// — followed by a single fsync (deferred under
+    /// [`FlushPolicy::Grouped`]). Under `PerRecord` the batch itself is the
+    /// commit unit: one flush for the group instead of N.
+    ///
+    /// Segment rotation mid-batch splits the group; each sub-run that a
+    /// rotation terminates is flushed by the rotation as usual.
+    pub fn append_batch(&mut self, batch: &[BatchRecord<'_>]) -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.records_batched += batch.len() as u64;
+        let mut i = 0;
+        while i < batch.len() {
+            let base = self.active().disk_len + self.staged + self.buf.len() as u64;
+            let seg_empty = self.active().records == 0;
+            let mut end = i;
+            let mut run_bytes = 0u64;
+            while end < batch.len() {
+                let flen = (FRAME_HEADER + batch[end].payload_len()) as u64;
+                if base + run_bytes + flen <= self.cfg.segment_bytes {
+                    run_bytes += flen;
+                    end += 1;
+                } else if seg_empty && end == i {
+                    // One oversized record lands whole in an empty segment.
+                    run_bytes += flen;
+                    end += 1;
+                    break;
+                } else {
+                    break;
+                }
+            }
+            if end == i {
+                // The next record needs a fresh segment.
+                self.flush()?;
+                let next = self.active().index + 1;
+                self.create_segment(next)?;
+                continue;
+            }
+            let mode = if end < batch.len() {
+                // A rotation follows: this run must reach the media now.
+                RunMode::Flush
+            } else {
+                match self.cfg.flush {
+                    FlushPolicy::PerRecord => RunMode::Flush,
+                    FlushPolicy::PerBatch { records }
+                        if self.buf_records + (end - i) >= records =>
+                    {
+                        RunMode::Flush
+                    }
+                    FlushPolicy::PerBytes { bytes }
+                        if self.buf.len() as u64 + run_bytes >= bytes =>
+                    {
+                        RunMode::Flush
+                    }
+                    FlushPolicy::Grouped { records } if self.buf_records + (end - i) >= records => {
+                        RunMode::Seal
+                    }
+                    _ => RunMode::Buffer,
+                }
+            };
+            self.emit_run(&batch[i..end], run_bytes, mode)?;
+            i = end;
         }
         Ok(())
     }
 
-    /// Push all buffered frames to the media and fsync the active segment.
-    pub fn flush(&mut self) -> io::Result<()> {
+    /// Write one run of batch records under `mode`. On `Flush`/`Seal` the
+    /// media sees a single vectored append: `[buffered tail, hdr0, parts0…,
+    /// hdr1, parts1…]` — payload bytes travel from the caller's slices to
+    /// the media without an intermediate copy.
+    fn emit_run(
+        &mut self,
+        run: &[BatchRecord<'_>],
+        run_bytes: u64,
+        mode: RunMode,
+    ) -> io::Result<()> {
+        if matches!(mode, RunMode::Buffer) {
+            for r in run {
+                encode_header_into(&mut self.buf, self.next_seq, r.watermark, r.parts);
+                for p in r.parts {
+                    self.buf.extend_from_slice(p);
+                }
+                self.note_appended(r.watermark, (FRAME_HEADER + r.payload_len()) as u64);
+            }
+            return Ok(());
+        }
+        self.scratch.clear();
+        let mut hdr_ends = Vec::with_capacity(run.len());
+        for r in run {
+            encode_header_into(&mut self.scratch, self.next_seq, r.watermark, r.parts);
+            hdr_ends.push(self.scratch.len());
+            self.note_appended(r.watermark, (FRAME_HEADER + r.payload_len()) as u64);
+        }
+        let name = seg_name(self.active().index);
+        let sealing = matches!(mode, RunMode::Seal);
+        if sealing && self.staged > 0 {
+            // Complete the previous group's deferred fsync *before* this
+            // group's bytes reach the file, so the sync covers exactly the
+            // sealed prefix.
+            self.media.sync(&name)?;
+            let (b, r) = (self.staged, self.staged_records);
+            self.note_durable(b, r);
+        }
+        {
+            let LogStore { media, scratch, buf, .. } = self;
+            let mut parts: Vec<&[u8]> = Vec::with_capacity(1 + run.len() * 3);
+            if !buf.is_empty() {
+                parts.push(buf.as_slice());
+            }
+            let mut start = 0usize;
+            for (r, &hend) in run.iter().zip(&hdr_ends) {
+                parts.push(&scratch[start..hend]);
+                start = hend;
+                for p in r.parts {
+                    if !p.is_empty() {
+                        parts.push(p);
+                    }
+                }
+            }
+            media.append_vectored(&name, &parts)?;
+        }
+        let batch_records = self.buf_records;
+        let batch_bytes = self.buf.len() as u64 + run_bytes;
+        self.buf.clear();
+        self.buf_records = 0;
+        if sealing {
+            self.staged = batch_bytes;
+            self.staged_records = batch_records;
+        } else {
+            self.media.sync(&name)?;
+            let (b, r) = (self.staged + batch_bytes, self.staged_records + batch_records);
+            self.note_durable(b, r);
+        }
+        Ok(())
+    }
+
+    /// Seal the buffered group: append its bytes to the media but leave the
+    /// fsync in flight, first completing the previous group's deferred sync.
+    fn seal_group(&mut self) -> io::Result<()> {
         if self.buf.is_empty() {
             return Ok(());
         }
         let name = seg_name(self.active().index);
+        if self.staged > 0 {
+            self.media.sync(&name)?;
+            let (b, r) = (self.staged, self.staged_records);
+            self.note_durable(b, r);
+        }
         self.media.append(&name, &self.buf)?;
-        self.media.sync(&name)?;
-        self.bytes_flushed += self.buf.len() as u64;
-        self.active_mut().disk_len += self.buf.len() as u64;
+        self.staged = self.buf.len() as u64;
+        self.staged_records = self.buf_records;
         self.buf.clear();
         self.buf_records = 0;
-        self.last_flush = Instant::now();
+        Ok(())
+    }
+
+    /// Push all buffered frames to the media and fsync the active segment,
+    /// completing any deferred group sync. After `flush` returns, every
+    /// record appended so far is durable.
+    pub fn flush(&mut self) -> io::Result<()> {
+        let pending = self.staged + self.buf.len() as u64;
+        if pending == 0 {
+            return Ok(());
+        }
+        let name = seg_name(self.active().index);
+        if !self.buf.is_empty() {
+            self.media.append(&name, &self.buf)?;
+        }
+        self.media.sync(&name)?;
+        let records = self.staged_records + self.buf_records;
+        self.note_durable(pending, records);
+        self.buf.clear();
+        self.buf_records = 0;
         Ok(())
     }
 
@@ -369,8 +647,9 @@ impl LogStore {
         Ok(removed)
     }
 
-    /// Decode every durable record, in append order. Buffered (unflushed)
-    /// records are not included — this reads what a restart would see.
+    /// Decode every durable record, in append order. Buffered and staged
+    /// (unsynced) records are not included — this reads what a restart would
+    /// see.
     pub fn read_all(&self) -> io::Result<Vec<Record>> {
         let mut out = Vec::new();
         for seg in &self.segments {
@@ -403,6 +682,22 @@ impl LogStore {
     /// Segments deleted by compaction over this handle's lifetime.
     pub fn segments_compacted(&self) -> u64 {
         self.segments_compacted
+    }
+
+    /// Fsyncs that made two or more records durable at once (group commits).
+    pub fn group_commits(&self) -> u64 {
+        self.group_commits
+    }
+
+    /// Records that arrived through [`LogStore::append_batch`].
+    pub fn records_batched(&self) -> u64 {
+        self.records_batched
+    }
+
+    /// Bytes appended to the media whose fsync is still deferred
+    /// ([`FlushPolicy::Grouped`]); these do NOT survive a crash.
+    pub fn staged_bytes(&self) -> u64 {
+        self.staged
     }
 
     /// Live segment files (sealed + active).
@@ -482,6 +777,74 @@ mod tests {
         log.append(7, b"abc").unwrap();
         assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
         assert_eq!(mem.synced_bytes(), mem.total_bytes());
+        assert_eq!(log.group_commits(), 1, "8 records went durable in one fsync");
+    }
+
+    #[test]
+    fn per_bytes_flushes_on_byte_threshold() {
+        let mem = MemMedia::new();
+        let frame = (FRAME_HEADER + 3) as u64;
+        let cfg =
+            LogConfig { flush: FlushPolicy::PerBytes { bytes: 3 * frame }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        log.append(0, b"abc").unwrap();
+        log.append(1, b"abc").unwrap();
+        // Two frames < threshold: still buffered.
+        assert_eq!(mem.total_bytes(), SEGMENT_MAGIC.len());
+        log.append(2, b"abc").unwrap();
+        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+    }
+
+    #[test]
+    fn per_bytes_one_flushes_every_append() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerBytes { bytes: 1 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        log.append(1, b"x").unwrap();
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
+    }
+
+    #[test]
+    fn grouped_defers_the_fsync_one_group() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::Grouped { records: 4 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        for i in 0..4u64 {
+            log.append(i, b"abcd").unwrap();
+        }
+        // Group 0 sealed: its bytes are on the media but NOT yet synced.
+        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
+        assert_eq!(mem.synced_bytes(), SEGMENT_MAGIC.len(), "fsync is deferred");
+        assert!(log.staged_bytes() > 0);
+        for i in 4..8u64 {
+            log.append(i, b"abcd").unwrap();
+        }
+        // Group 1 sealed: group 0's deferred fsync completed first.
+        assert!(mem.synced_bytes() > SEGMENT_MAGIC.len());
+        assert_eq!(mem.total_bytes() - mem.synced_bytes(), log.staged_bytes() as usize);
+        // A crash now loses the staged group and nothing else.
+        drop(log);
+        mem.crash();
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert_eq!(reopened.read_all().unwrap().len(), 4, "exactly group 0 survives");
+        assert!(reopened.was_clean(), "staged bytes vanish on whole-frame boundaries");
+    }
+
+    #[test]
+    fn grouped_flush_completes_deferred_sync() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::Grouped { records: 3 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        for i in 0..4u64 {
+            log.append(i, b"xy").unwrap(); // 3 sealed + staged, 1 buffered
+        }
+        log.flush().unwrap();
+        assert_eq!(mem.synced_bytes(), mem.total_bytes(), "flush drains staged + buffered");
+        assert_eq!(log.staged_bytes(), 0);
+        assert_eq!(log.read_all().unwrap().len(), 4);
+        assert!(log.group_commits() >= 1);
     }
 
     #[test]
@@ -526,6 +889,142 @@ mod tests {
         let records = log.read_all().unwrap();
         assert_eq!(records[0].payload, big);
         assert_eq!(records[1].payload, b"small");
+    }
+
+    #[test]
+    fn multi_part_append_equals_contiguous_append() {
+        let a = MemMedia::new();
+        let b = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        let mut la = LogStore::open(Box::new(a.clone()), cfg).unwrap();
+        let mut lb = LogStore::open(Box::new(b.clone()), cfg).unwrap();
+        la.append(7, b"head-body-tail").unwrap();
+        lb.append_parts(7, &[b"head-", b"body", b"", b"-tail"]).unwrap();
+        assert_eq!(a.read("seg-00000000.log").unwrap(), b.read("seg-00000000.log").unwrap());
+        assert_eq!(la.read_all().unwrap(), lb.read_all().unwrap());
+    }
+
+    fn batch_round_trip(cfg: LogConfig, n: u64) {
+        let mem = MemMedia::new();
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..n).map(payload).collect();
+        let parts: Vec<[&[u8]; 1]> = payloads.iter().map(|p| [p.as_slice()]).collect();
+        let batch: Vec<BatchRecord<'_>> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| BatchRecord { watermark: i as u64, parts: p.as_slice() })
+            .collect();
+        log.append_batch(&batch).unwrap();
+        log.flush().unwrap();
+        let records = log.read_all().unwrap();
+        assert_eq!(records.len(), n as usize, "cfg {cfg:?}");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.watermark, i as u64);
+            assert_eq!(r.payload, payload(i as u64), "cfg {cfg:?} record {i}");
+        }
+        assert_eq!(log.records_batched(), n);
+        // Reopen: the batch-written log recovers like any other.
+        drop(log);
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert!(reopened.was_clean());
+        assert_eq!(reopened.recovered_records(), n);
+    }
+
+    #[test]
+    fn append_batch_round_trips_under_every_policy() {
+        for flush in [
+            FlushPolicy::PerRecord,
+            FlushPolicy::PerBatch { records: 4 },
+            FlushPolicy::PerBatch { records: 100 },
+            FlushPolicy::PerBytes { bytes: 96 },
+            FlushPolicy::Grouped { records: 4 },
+        ] {
+            batch_round_trip(LogConfig { segment_bytes: 64 * 1024, flush }, 23);
+            // Tiny segments: rotation splits the batch into runs.
+            batch_round_trip(LogConfig { segment_bytes: 100, flush }, 23);
+        }
+    }
+
+    #[test]
+    fn append_batch_commits_the_group_in_one_fsync() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let p = vec![0xABu8; 64];
+        let parts: [&[u8]; 1] = [p.as_slice()];
+        let batch: Vec<BatchRecord<'_>> =
+            (0..16).map(|i| BatchRecord { watermark: i, parts: &parts }).collect();
+        log.append_batch(&batch).unwrap();
+        // PerRecord via append() would fsync 16 times; the batch is one
+        // commit unit.
+        assert_eq!(log.group_commits(), 1);
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+        assert_eq!(log.read_all().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn append_batch_zero_copy_parts_round_trip() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::PerRecord, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        // Scattered payloads: meta prefix + data bytes, as the journal
+        // layers hand them down.
+        let meta: Vec<Vec<u8>> = (0..5u64).map(|i| vec![i as u8; 8]).collect();
+        let data: Vec<Vec<u8>> = (0..5u64).map(|i| vec![0x40 | i as u8; 100]).collect();
+        let parts: Vec<[&[u8]; 2]> =
+            meta.iter().zip(&data).map(|(m, d)| [m.as_slice(), d.as_slice()]).collect();
+        let batch: Vec<BatchRecord<'_>> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| BatchRecord { watermark: i as u64, parts: p.as_slice() })
+            .collect();
+        log.append_batch(&batch).unwrap();
+        let records = log.read_all().unwrap();
+        assert_eq!(records.len(), 5);
+        for (i, r) in records.iter().enumerate() {
+            let mut expect = meta[i].clone();
+            expect.extend_from_slice(&data[i]);
+            assert_eq!(r.payload, expect);
+        }
+    }
+
+    #[test]
+    fn append_batch_buffers_below_threshold() {
+        let mem = MemMedia::new();
+        let cfg =
+            LogConfig { flush: FlushPolicy::PerBatch { records: 64 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let p = vec![1u8; 16];
+        let parts: [&[u8]; 1] = [p.as_slice()];
+        let batch: Vec<BatchRecord<'_>> =
+            (0..8).map(|i| BatchRecord { watermark: i, parts: &parts }).collect();
+        log.append_batch(&batch).unwrap();
+        assert_eq!(mem.total_bytes(), SEGMENT_MAGIC.len(), "8 < 64: batch rides the buffer");
+        // A second batch crosses the threshold: everything goes down at once.
+        let batch2: Vec<BatchRecord<'_>> =
+            (8..72).map(|i| BatchRecord { watermark: i, parts: &parts }).collect();
+        log.append_batch(&batch2).unwrap();
+        assert_eq!(mem.synced_bytes(), mem.total_bytes());
+        assert_eq!(log.read_all().unwrap().len(), 72);
+        assert_eq!(log.group_commits(), 1);
+    }
+
+    #[test]
+    fn append_batch_grouped_stages_the_tail() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: FlushPolicy::Grouped { records: 8 }, ..LogConfig::default() };
+        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let p = vec![9u8; 32];
+        let parts: [&[u8]; 1] = [p.as_slice()];
+        let batch: Vec<BatchRecord<'_>> =
+            (0..8).map(|i| BatchRecord { watermark: i, parts: &parts }).collect();
+        log.append_batch(&batch).unwrap();
+        assert!(log.staged_bytes() > 0, "group sealed, fsync deferred");
+        assert_eq!(mem.synced_bytes(), SEGMENT_MAGIC.len());
+        drop(log);
+        mem.crash();
+        let reopened = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        assert_eq!(reopened.read_all().unwrap().len(), 0, "staged group dies with the crash");
     }
 
     #[test]
@@ -630,16 +1129,6 @@ mod tests {
     }
 
     #[test]
-    fn interval_zero_flushes_every_append() {
-        let mem = MemMedia::new();
-        let cfg = LogConfig { flush: FlushPolicy::IntervalMs { ms: 0 }, ..LogConfig::default() };
-        let mut log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
-        log.append(1, b"x").unwrap();
-        assert_eq!(mem.synced_bytes(), mem.total_bytes());
-        assert!(mem.total_bytes() > SEGMENT_MAGIC.len());
-    }
-
-    #[test]
     fn reopen_is_idempotent() {
         let mem = MemMedia::new();
         let cfg = LogConfig { segment_bytes: 256, flush: FlushPolicy::PerRecord };
@@ -657,7 +1146,8 @@ mod tests {
         for cfg in [
             LogConfig::default(),
             LogConfig { segment_bytes: 1024, flush: FlushPolicy::PerRecord },
-            LogConfig { segment_bytes: 4096, flush: FlushPolicy::IntervalMs { ms: 50 } },
+            LogConfig { segment_bytes: 4096, flush: FlushPolicy::PerBytes { bytes: 2048 } },
+            LogConfig { segment_bytes: 4096, flush: FlushPolicy::Grouped { records: 32 } },
         ] {
             let json = serde_json::to_string(&cfg).unwrap();
             let back: LogConfig = serde_json::from_str(&json).unwrap();

@@ -34,6 +34,10 @@
 //! * [`server`] — the discrete-event staging server actor (request queuing +
 //!   CPU cost model) and client-side request planning.
 //! * [`threaded`] — a real-thread staging server over `net::ThreadedNet`.
+//! * [`wire`] — little-endian binary codec primitives shared by the durable
+//!   journals (`store_journal` here, `wfcr`'s journal) so hot-path entries
+//!   skip serde_json; legacy JSON journals stay readable via one-byte
+//!   sniffing.
 
 pub mod dist;
 pub mod geometry;
@@ -47,6 +51,7 @@ pub mod store;
 pub mod store_journal;
 pub mod store_linear;
 pub mod threaded;
+pub mod wire;
 
 pub use dist::Distribution;
 pub use geometry::BBox;

@@ -78,6 +78,18 @@ pub trait StoreBackend: Send + 'static {
     fn journal_segments_compacted(&self) -> u64 {
         0
     }
+
+    /// Journal group commits so far — fsyncs that made two or more records
+    /// durable at once. Default 0 (no journal or no batching).
+    fn journal_group_commits(&self) -> u64 {
+        0
+    }
+
+    /// Journal records delivered to the sink through batched hand-offs so
+    /// far. Default 0 (no journal or no batching).
+    fn journal_records_batched(&self) -> u64 {
+        0
+    }
 }
 
 /// Server CPU cost parameters (per staging server process).
@@ -161,6 +173,13 @@ impl PlainBackend {
         self.journal = Some(StoreJournal::new(sink));
     }
 
+    /// Attach a durable journal sink with an explicit coalescing window:
+    /// entries are handed to the sink in batches of `coalesce` records (one
+    /// vectored group commit each). Control events still flush immediately.
+    pub fn attach_journal_coalesced(&mut self, sink: Box<dyn logstore::Journal>, coalesce: usize) {
+        self.journal = Some(StoreJournal::with_coalesce(sink, coalesce));
+    }
+
     /// Is a journal sink attached?
     pub fn has_journal(&self) -> bool {
         self.journal.is_some()
@@ -186,6 +205,16 @@ impl PlainBackend {
     /// Journal I/O errors swallowed (durability degraded, store unaffected).
     pub fn journal_errors(&self) -> u64 {
         self.journal.as_ref().map(StoreJournal::errors).unwrap_or(0)
+    }
+
+    /// Journal group commits (multi-record fsyncs; 0 when detached).
+    pub fn journal_group_commits(&self) -> u64 {
+        self.journal.as_ref().map(StoreJournal::group_commits).unwrap_or(0)
+    }
+
+    /// Journal records delivered through batched hand-offs (0 when detached).
+    pub fn journal_records_batched(&self) -> u64 {
+        self.journal.as_ref().map(StoreJournal::records_batched).unwrap_or(0)
     }
 
     /// Access the underlying store (tests).
@@ -257,6 +286,14 @@ impl StoreBackend for PlainBackend {
 
     fn journal_segments_compacted(&self) -> u64 {
         PlainBackend::journal_segments_compacted(self)
+    }
+
+    fn journal_group_commits(&self) -> u64 {
+        PlainBackend::journal_group_commits(self)
+    }
+
+    fn journal_records_batched(&self) -> u64 {
+        PlainBackend::journal_records_batched(self)
     }
 }
 

@@ -8,16 +8,44 @@
 //! tail down, so the durable prefix always extends at least through the
 //! last checkpoint/reset marker.
 //!
+//! **Write path.** Entries are encoded with the binary [`crate::wire`] codec
+//! — no serde_json on the hot path — and the handle *coalesces*: encoded
+//! metadata accumulates in one reusable scratch buffer (inline payload
+//! `Bytes` ride alongside by refcount, never copied) and is handed to the
+//! sink as one [`logstore::BatchRecord`] group at natural boundaries — a
+//! commit point, or every [`DEFAULT_COALESCE`] records. The sink then frames
+//! the whole group with a single vectored write (group commit). Pending
+//! entries are exactly as volatile as sink-buffered ones: a crash loses
+//! them, a commit point makes them durable — the contract is unchanged.
+//!
+//! Journals written by the old JSON codec remain readable:
+//! [`StoreJournalEntry::decode`] sniffs the first byte and falls back to
+//! serde_json.
+//!
 //! The richer crash-consistency backend (`wfcr::LoggingBackend`) has its own
 //! journal encoding that additionally captures event-queue and GC history;
 //! this module is deliberately minimal — store contents only.
 
 use crate::proto::{CtlRequest, ObjDesc, PutRequest};
 use crate::store::VersionedStore;
+use crate::wire::{self, Reader};
 use crate::Payload;
-use logstore::Journal;
+use bytes::Bytes;
+use logstore::{BatchRecord, Journal};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
+
+/// Records coalesced per hand-off to the sink when no commit point arrives
+/// first.
+pub const DEFAULT_COALESCE: usize = 16;
+
+const TAG_PUT: u8 = 1;
+const TAG_CTL: u8 = 2;
+
+const CTL_CHECKPOINT: u8 = 0;
+const CTL_RECOVERY: u8 = 1;
+const CTL_GLOBAL_RESET: u8 = 2;
 
 /// One durable record of the plain store's history.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,23 +82,115 @@ impl StoreJournalEntry {
         matches!(self, StoreJournalEntry::Ctl { .. })
     }
 
-    /// Serialized form for the log record payload.
+    /// Encode everything *except* an inline payload's bytes into `out`
+    /// (binary codec). The inline bytes — [`StoreJournalEntry::inline_payload`]
+    /// — must land immediately after this prefix; the zero-copy append path
+    /// hands them to the log as a separate vectored part.
+    pub fn encode_meta_into(&self, out: &mut Vec<u8>) {
+        match self {
+            StoreJournalEntry::Put { desc, payload } => {
+                wire::put_header(out, TAG_PUT);
+                wire::put_u32(out, desc.var);
+                wire::put_u32(out, desc.version);
+                wire::put_bbox(out, &desc.bbox);
+                wire::put_payload_meta(out, payload);
+            }
+            StoreJournalEntry::Ctl { req } => {
+                wire::put_header(out, TAG_CTL);
+                let (tag, app, version) = match *req {
+                    CtlRequest::Checkpoint { app, upto_version } => {
+                        (CTL_CHECKPOINT, app, upto_version)
+                    }
+                    CtlRequest::Recovery { app, resume_version } => {
+                        (CTL_RECOVERY, app, resume_version)
+                    }
+                    CtlRequest::GlobalReset { to_version } => (CTL_GLOBAL_RESET, 0, to_version),
+                };
+                out.push(tag);
+                wire::put_u32(out, app);
+                wire::put_u32(out, version);
+            }
+        }
+    }
+
+    /// The inline payload bytes that follow the metadata prefix, if any.
+    pub fn inline_payload(&self) -> Option<&Bytes> {
+        match self {
+            StoreJournalEntry::Put { payload, .. } => payload.bytes(),
+            StoreJournalEntry::Ctl { .. } => None,
+        }
+    }
+
+    /// Serialized form for the log record payload (binary codec).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_meta_into(&mut out);
+        if let Some(b) = self.inline_payload() {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Legacy serde_json form — what journals written before the binary
+    /// codec contain. Kept for cross-version tests; [`Self::decode`] reads
+    /// both.
+    pub fn encode_json(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("store journal entries always serialize")
     }
 
     /// Parse a record payload back; `None` on format drift (the log frame
-    /// CRC already rules out corruption).
+    /// CRC already rules out corruption). Sniffs the first byte: binary
+    /// entries start with [`wire::WIRE_MAGIC`], legacy JSON entries with `{`.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
-        serde_json::from_slice(bytes).ok()
+        if !wire::is_binary(bytes) {
+            return serde_json::from_slice(bytes).ok();
+        }
+        let (tag, mut r) = Reader::for_entry(bytes).ok()?;
+        let entry = match tag {
+            TAG_PUT => {
+                let var = r.u32().ok()?;
+                let version = r.u32().ok()?;
+                let bbox = r.bbox().ok()?;
+                let payload = r.payload().ok()?;
+                StoreJournalEntry::Put { desc: ObjDesc { var, version, bbox }, payload }
+            }
+            TAG_CTL => {
+                let ctl = r.u8().ok()?;
+                let app = r.u32().ok()?;
+                let version = r.u32().ok()?;
+                let req = match ctl {
+                    CTL_CHECKPOINT => CtlRequest::Checkpoint { app, upto_version: version },
+                    CTL_RECOVERY => CtlRequest::Recovery { app, resume_version: version },
+                    CTL_GLOBAL_RESET => CtlRequest::GlobalReset { to_version: version },
+                    _ => return None,
+                };
+                StoreJournalEntry::Ctl { req }
+            }
+            _ => return None,
+        };
+        r.finish().ok()?;
+        Some(entry)
     }
 }
 
-/// Owns the boxed sink, enforces commit-point flushes, and swallows I/O
-/// errors into a counter — journal failures degrade durability, never the
-/// in-memory store, which stays authoritative.
+/// A record coalesced in the handle, waiting for the next hand-off: its
+/// metadata prefix lives in the shared scratch buffer, its inline payload
+/// (if any) rides by refcount.
+struct PendingRec {
+    watermark: u64,
+    meta: Range<usize>,
+    payload: Option<Bytes>,
+}
+
+/// Owns the boxed sink, coalesces entries into batched group commits,
+/// enforces commit-point flushes, and swallows I/O errors into a counter —
+/// journal failures degrade durability, never the in-memory store, which
+/// stays authoritative.
 pub struct StoreJournal {
     sink: Box<dyn Journal>,
+    scratch: Vec<u8>,
+    pending: Vec<PendingRec>,
+    coalesce: usize,
     entries_recorded: u64,
     errors: u64,
 }
@@ -79,38 +199,89 @@ impl fmt::Debug for StoreJournal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("StoreJournal")
             .field("entries_recorded", &self.entries_recorded)
+            .field("pending", &self.pending.len())
             .field("errors", &self.errors)
             .finish()
     }
 }
 
 impl StoreJournal {
-    /// Wrap a sink.
+    /// Wrap a sink with the default coalescing window.
     pub fn new(sink: Box<dyn Journal>) -> Self {
-        StoreJournal { sink, entries_recorded: 0, errors: 0 }
+        Self::with_coalesce(sink, DEFAULT_COALESCE)
     }
 
-    /// Record one entry; control entries are flushed immediately.
+    /// Wrap a sink, handing off batches every `coalesce` records (commit
+    /// points always hand off immediately; 0 behaves as 1).
+    pub fn with_coalesce(sink: Box<dyn Journal>, coalesce: usize) -> Self {
+        StoreJournal {
+            sink,
+            scratch: Vec::new(),
+            pending: Vec::new(),
+            coalesce: coalesce.max(1),
+            entries_recorded: 0,
+            errors: 0,
+        }
+    }
+
+    /// Record one entry. The entry is encoded now (metadata into the shared
+    /// scratch, payload bytes by refcount) and handed to the sink in a batch
+    /// at the next boundary; control entries hand off and flush immediately.
     pub fn record(&mut self, entry: &StoreJournalEntry) {
         self.entries_recorded += 1;
-        if self.sink.append(entry.watermark(), &entry.encode()).is_err() {
-            self.errors += 1;
-            return;
-        }
-        if entry.is_commit_point() && self.sink.flush().is_err() {
-            self.errors += 1;
+        let start = self.scratch.len();
+        entry.encode_meta_into(&mut self.scratch);
+        self.pending.push(PendingRec {
+            watermark: entry.watermark(),
+            meta: start..self.scratch.len(),
+            payload: entry.inline_payload().cloned(),
+        });
+        if entry.is_commit_point() {
+            self.hand_off();
+            if self.sink.flush().is_err() {
+                self.errors += 1;
+            }
+        } else if self.pending.len() >= self.coalesce {
+            self.hand_off();
         }
     }
 
-    /// Force the buffered tail down.
+    /// Hand every pending record to the sink as one batch (one flush
+    /// decision at the group boundary — the group commit).
+    fn hand_off(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let StoreJournal { sink, scratch, pending, errors, .. } = self;
+        let parts: Vec<[&[u8]; 2]> = pending
+            .iter()
+            .map(|p| [&scratch[p.meta.clone()], p.payload.as_deref().unwrap_or(&[])])
+            .collect();
+        let batch: Vec<BatchRecord<'_>> = pending
+            .iter()
+            .zip(&parts)
+            .map(|(p, parts)| BatchRecord { watermark: p.watermark, parts })
+            .collect();
+        if sink.append_batch(&batch).is_err() {
+            *errors += 1;
+        }
+        self.pending.clear();
+        self.scratch.clear();
+    }
+
+    /// Force everything — coalesced and sink-buffered — down to the media.
     pub fn flush(&mut self) {
+        self.hand_off();
         if self.sink.flush().is_err() {
             self.errors += 1;
         }
     }
 
     /// Drop sealed segments wholly below `floor`; returns segments removed.
+    /// Pending records are handed off first so compaction sees the full
+    /// stream.
     pub fn compact_below(&mut self, floor: u64) -> usize {
+        self.hand_off();
         match self.sink.compact_below(floor) {
             Ok(n) => n,
             Err(_) => {
@@ -123,6 +294,11 @@ impl StoreJournal {
     /// Entries recorded through this journal.
     pub fn entries_recorded(&self) -> u64 {
         self.entries_recorded
+    }
+
+    /// Entries coalesced in the handle, not yet handed to the sink.
+    pub fn pending_entries(&self) -> usize {
+        self.pending.len()
     }
 
     /// Sink I/O errors swallowed.
@@ -138,6 +314,16 @@ impl StoreJournal {
     /// Segments the sink has compacted away.
     pub fn segments_compacted(&self) -> u64 {
         self.sink.segments_compacted()
+    }
+
+    /// Group commits (multi-record fsyncs) the sink has performed.
+    pub fn group_commits(&self) -> u64 {
+        self.sink.group_commits()
+    }
+
+    /// Records that reached the sink through batched hand-offs.
+    pub fn records_batched(&self) -> u64 {
+        self.sink.records_batched()
     }
 
     /// Journal one admitted put.
@@ -190,10 +376,18 @@ mod tests {
         }
     }
 
+    fn inline_put(version: u32) -> StoreJournalEntry {
+        StoreJournalEntry::Put {
+            desc: ObjDesc { var: 2, version, bbox: BBox::d1(10, 19) },
+            payload: Payload::inline(vec![version as u8; 48]),
+        }
+    }
+
     #[test]
     fn entries_round_trip_through_encoding() {
         let entries = vec![
             put(3),
+            inline_put(4),
             StoreJournalEntry::Ctl { req: CtlRequest::Checkpoint { app: 0, upto_version: 3 } },
             StoreJournalEntry::Ctl { req: CtlRequest::Recovery { app: 1, resume_version: 2 } },
             StoreJournalEntry::Ctl { req: CtlRequest::GlobalReset { to_version: 1 } },
@@ -202,9 +396,38 @@ mod tests {
             assert_eq!(StoreJournalEntry::decode(&e.encode()).as_ref(), Some(e));
         }
         assert_eq!(entries[0].watermark(), 3);
-        assert_eq!(entries[3].watermark(), 1);
+        assert_eq!(entries[4].watermark(), 1);
         assert!(!entries[0].is_commit_point());
-        assert!(entries[1].is_commit_point());
+        assert!(entries[2].is_commit_point());
+    }
+
+    #[test]
+    fn legacy_json_entries_still_decode() {
+        let entries = vec![
+            put(7),
+            inline_put(8),
+            StoreJournalEntry::Ctl { req: CtlRequest::GlobalReset { to_version: 5 } },
+        ];
+        for e in &entries {
+            let json = e.encode_json();
+            assert_eq!(json[0], b'{', "legacy entries start with a JSON brace");
+            assert_eq!(StoreJournalEntry::decode(&json).as_ref(), Some(e));
+        }
+    }
+
+    #[test]
+    fn binary_encoding_is_smaller_than_json() {
+        let e = inline_put(1);
+        assert!(e.encode().len() < e.encode_json().len());
+    }
+
+    #[test]
+    fn meta_plus_inline_bytes_is_the_full_encoding() {
+        let e = inline_put(9);
+        let mut meta = Vec::new();
+        e.encode_meta_into(&mut meta);
+        meta.extend_from_slice(e.inline_payload().unwrap());
+        assert_eq!(meta, e.encode());
     }
 
     #[test]
@@ -217,5 +440,56 @@ mod tests {
         ];
         let store = replay_into_store(&entries, 8);
         assert!(store.newest_version(0) == Some(2));
+    }
+
+    #[test]
+    fn coalescing_hands_off_at_window_and_commit_points() {
+        let mem = logstore::MemMedia::new();
+        let cfg = logstore::LogConfig {
+            segment_bytes: 1 << 20,
+            flush: logstore::FlushPolicy::PerBatch { records: 1_000 },
+        };
+        let sink = logstore::LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let mut j = StoreJournal::with_coalesce(Box::new(sink), 4);
+        for v in 0..3 {
+            j.record(&inline_put(v));
+        }
+        assert_eq!(j.pending_entries(), 3, "below the window: coalesced in the handle");
+        j.record(&inline_put(3));
+        assert_eq!(j.pending_entries(), 0, "window reached: handed to the sink");
+        assert_eq!(j.records_batched(), 4);
+        // A commit point hands off AND flushes, regardless of window fill.
+        j.record(&put(4));
+        j.record_ctl(CtlRequest::Checkpoint { app: 0, upto_version: 4 });
+        assert_eq!(j.pending_entries(), 0);
+        assert_eq!(j.errors(), 0);
+        // Everything is durable and decodes back.
+        let reopened = logstore::LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let entries = decode_records(&reopened.read_all().unwrap());
+        assert_eq!(entries.len(), 6);
+        assert_eq!(
+            entries[5],
+            StoreJournalEntry::Ctl { req: CtlRequest::Checkpoint { app: 0, upto_version: 4 } }
+        );
+    }
+
+    #[test]
+    fn crash_loses_coalesced_tail_but_keeps_commit_prefix() {
+        let mem = logstore::MemMedia::new();
+        let cfg = logstore::LogConfig {
+            segment_bytes: 1 << 20,
+            flush: logstore::FlushPolicy::PerBatch { records: 1_000 },
+        };
+        let sink = logstore::LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let mut j = StoreJournal::new(Box::new(sink));
+        j.record(&inline_put(1));
+        j.record_ctl(CtlRequest::Checkpoint { app: 0, upto_version: 1 });
+        j.record(&inline_put(2)); // coalesced, never flushed
+        drop(j);
+        mem.crash();
+        let reopened = logstore::LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let entries = decode_records(&reopened.read_all().unwrap());
+        assert_eq!(entries.len(), 2, "the put after the checkpoint dies with the crash");
+        assert!(entries[1].is_commit_point());
     }
 }

@@ -143,6 +143,14 @@ impl LoggingBackend {
         self.journal = Some(JournalHandle::new(sink));
     }
 
+    /// Attach a durable journal sink with an explicit coalescing window:
+    /// entries are handed to the sink in batches of `coalesce` records (one
+    /// vectored group commit each) instead of the default window. Commit
+    /// points still hand off and flush immediately.
+    pub fn attach_journal_coalesced(&mut self, sink: Box<dyn logstore::Journal>, coalesce: usize) {
+        self.journal = Some(JournalHandle::with_coalesce(sink, coalesce));
+    }
+
     /// Is a durable journal attached?
     pub fn has_journal(&self) -> bool {
         self.journal.is_some()
@@ -169,6 +177,18 @@ impl LoggingBackend {
     /// Journal I/O errors swallowed (durability degraded, not correctness).
     pub fn journal_errors(&self) -> u64 {
         self.journal.as_ref().map_or(0, JournalHandle::errors)
+    }
+
+    /// Journal group commits — fsyncs that made ≥2 records durable at once
+    /// (0 without a journal).
+    pub fn journal_group_commits(&self) -> u64 {
+        self.journal.as_ref().map_or(0, JournalHandle::group_commits)
+    }
+
+    /// Journal records delivered to the sink through batched hand-offs (0
+    /// without a journal).
+    pub fn journal_records_batched(&self) -> u64 {
+        self.journal.as_ref().map_or(0, JournalHandle::records_batched)
     }
 
     /// Rebuild a backend by replaying recovered journal entries in order.
@@ -568,6 +588,14 @@ impl StoreBackend for LoggingBackend {
 
     fn journal_segments_compacted(&self) -> u64 {
         LoggingBackend::journal_segments_compacted(self)
+    }
+
+    fn journal_group_commits(&self) -> u64 {
+        LoggingBackend::journal_group_commits(self)
+    }
+
+    fn journal_records_batched(&self) -> u64 {
+        LoggingBackend::journal_records_batched(self)
     }
 }
 

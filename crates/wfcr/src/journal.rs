@@ -3,12 +3,21 @@
 //! The paper's logging component keeps puts, gets, and `W_Chk_ID` markers in
 //! staging memory; this module gives those records a durable twin. Every
 //! event the [`crate::backend::LoggingBackend`] admits to its in-memory
-//! queues is also encoded as a [`JournalEntry`] and appended through a
+//! queues is also encoded as a [`JournalEntry`] and handed to a
 //! `logstore::Journal` sink. Control entries (checkpoint, recovery) are
 //! commit points and force a flush, so the journal's durable prefix always
 //! extends at least through the last checkpoint — which is exactly the
 //! property the cold-restart equivalence proof needs: anything lost past
 //! that point is re-executed deterministically by the rolled-back apps.
+//!
+//! **Write path.** Entries use the binary [`staging::wire`] codec (legacy
+//! JSON journals stay readable by one-byte sniffing), and [`JournalHandle`]
+//! *coalesces*: encoded metadata accumulates in one reusable scratch buffer,
+//! inline put payloads ride alongside as refcounted `Bytes`, and the sink
+//! receives whole [`logstore::BatchRecord`] groups — one vectored write and
+//! one flush decision per group instead of per record. Coalesced entries are
+//! exactly as volatile as sink-buffered ones; commit points hand off and
+//! flush, so the durability contract is unchanged.
 //!
 //! Watermarks are data versions, so `compact_below` on the journal mirrors
 //! `wfcr::gc` truncating the in-memory queues: once the GC floor passes a
@@ -20,12 +29,22 @@
 //! *effective* floor the live GC pass used, so the rebuild runs the same
 //! collections at the same points.
 
-use logstore::Journal;
+use bytes::Bytes;
+use logstore::{BatchRecord, Journal};
 use serde::{Deserialize, Serialize};
 use staging::geometry::BBox;
 use staging::payload::Payload;
 use staging::proto::{AppId, ObjDesc, VarId, Version};
+use staging::wire::{self, Reader};
 use std::fmt;
+use std::ops::Range;
+
+pub use staging::store_journal::DEFAULT_COALESCE;
+
+const TAG_PUT: u8 = 1;
+const TAG_GET: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+const TAG_RECOVERY: u8 = 4;
 
 /// One durable log record. Struct variants only (mirrors [`crate::event::LogEvent`])
 /// plus the payload itself on puts — the journal must be able to rebuild the
@@ -104,24 +123,131 @@ impl JournalEntry {
         matches!(self, JournalEntry::Checkpoint { .. } | JournalEntry::Recovery { .. })
     }
 
-    /// Serialized form for the log record payload.
+    /// Encode everything *except* an inline put payload's bytes into `out`
+    /// (binary codec). The bytes — [`JournalEntry::inline_payload`] — must
+    /// land immediately after this prefix; the zero-copy append path hands
+    /// them to the log as a separate vectored part.
+    pub fn encode_meta_into(&self, out: &mut Vec<u8>) {
+        match self {
+            JournalEntry::Put { app, desc, payload, digest } => {
+                wire::put_header(out, TAG_PUT);
+                wire::put_u32(out, *app);
+                wire::put_u32(out, desc.var);
+                wire::put_u32(out, desc.version);
+                wire::put_bbox(out, &desc.bbox);
+                wire::put_u64(out, *digest);
+                wire::put_payload_meta(out, payload);
+            }
+            JournalEntry::Get { app, var, requested, served, bbox, bytes, digest } => {
+                wire::put_header(out, TAG_GET);
+                wire::put_u32(out, *app);
+                wire::put_u32(out, *var);
+                wire::put_u32(out, *requested);
+                wire::put_u32(out, *served);
+                wire::put_bbox(out, bbox);
+                wire::put_u64(out, *bytes);
+                wire::put_u64(out, *digest);
+            }
+            JournalEntry::Checkpoint { app, w_chk_id, upto_version, floor } => {
+                wire::put_header(out, TAG_CHECKPOINT);
+                wire::put_u32(out, *app);
+                wire::put_u64(out, *w_chk_id);
+                wire::put_u32(out, *upto_version);
+                wire::put_opt_u32(out, *floor);
+            }
+            JournalEntry::Recovery { app, resume_version } => {
+                wire::put_header(out, TAG_RECOVERY);
+                wire::put_u32(out, *app);
+                wire::put_u32(out, *resume_version);
+            }
+        }
+    }
+
+    /// The inline payload bytes that follow the metadata prefix, if any.
+    pub fn inline_payload(&self) -> Option<&Bytes> {
+        match self {
+            JournalEntry::Put { payload, .. } => payload.bytes(),
+            _ => None,
+        }
+    }
+
+    /// Serialized form for the log record payload (binary codec).
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_meta_into(&mut out);
+        if let Some(b) = self.inline_payload() {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Legacy serde_json form — what journals written before the binary
+    /// codec contain. Kept for cross-version tests; [`Self::decode`] reads
+    /// both.
+    pub fn encode_json(&self) -> Vec<u8> {
         serde_json::to_vec(self).expect("journal entries always serialize")
     }
 
     /// Parse a record payload back; `None` on format drift (the log frame
-    /// CRC already rules out corruption).
+    /// CRC already rules out corruption). Sniffs the first byte: binary
+    /// entries start with [`wire::WIRE_MAGIC`], legacy JSON entries with `{`.
     pub fn decode(bytes: &[u8]) -> Option<Self> {
-        serde_json::from_slice(bytes).ok()
+        if !wire::is_binary(bytes) {
+            return serde_json::from_slice(bytes).ok();
+        }
+        let (tag, mut r) = Reader::for_entry(bytes).ok()?;
+        let entry = match tag {
+            TAG_PUT => {
+                let app = r.u32().ok()?;
+                let var = r.u32().ok()?;
+                let version = r.u32().ok()?;
+                let bbox = r.bbox().ok()?;
+                let digest = r.u64().ok()?;
+                let payload = r.payload().ok()?;
+                JournalEntry::Put { app, desc: ObjDesc { var, version, bbox }, payload, digest }
+            }
+            TAG_GET => JournalEntry::Get {
+                app: r.u32().ok()?,
+                var: r.u32().ok()?,
+                requested: r.u32().ok()?,
+                served: r.u32().ok()?,
+                bbox: r.bbox().ok()?,
+                bytes: r.u64().ok()?,
+                digest: r.u64().ok()?,
+            },
+            TAG_CHECKPOINT => JournalEntry::Checkpoint {
+                app: r.u32().ok()?,
+                w_chk_id: r.u64().ok()?,
+                upto_version: r.u32().ok()?,
+                floor: r.opt_u32().ok()?,
+            },
+            TAG_RECOVERY => {
+                JournalEntry::Recovery { app: r.u32().ok()?, resume_version: r.u32().ok()? }
+            }
+            _ => return None,
+        };
+        r.finish().ok()?;
+        Some(entry)
     }
 }
 
+/// A record coalesced in the handle, waiting for the next hand-off.
+struct PendingRec {
+    watermark: u64,
+    meta: Range<usize>,
+    payload: Option<Bytes>,
+}
+
 /// The backend's handle on its durable sink: owns the boxed
-/// `logstore::Journal`, enforces commit-point flushes, and keeps error
-/// accounting (journal failures degrade durability, never correctness — the
-/// in-memory log stays authoritative).
+/// `logstore::Journal`, coalesces entries into batched group commits,
+/// enforces commit-point flushes, and keeps error accounting (journal
+/// failures degrade durability, never correctness — the in-memory log stays
+/// authoritative).
 pub struct JournalHandle {
     sink: Box<dyn Journal>,
+    scratch: Vec<u8>,
+    pending: Vec<PendingRec>,
+    coalesce: usize,
     entries_recorded: u64,
     errors: u64,
 }
@@ -130,38 +256,91 @@ impl fmt::Debug for JournalHandle {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("JournalHandle")
             .field("entries_recorded", &self.entries_recorded)
+            .field("pending", &self.pending.len())
             .field("errors", &self.errors)
             .finish()
     }
 }
 
 impl JournalHandle {
-    /// Wrap a sink.
+    /// Wrap a sink with the default coalescing window.
     pub fn new(sink: Box<dyn Journal>) -> Self {
-        JournalHandle { sink, entries_recorded: 0, errors: 0 }
+        Self::with_coalesce(sink, DEFAULT_COALESCE)
     }
 
-    /// Record one entry. Commit-point entries are flushed immediately.
+    /// Wrap a sink, handing off batches every `coalesce` records (commit
+    /// points always hand off immediately; 0 behaves as 1).
+    pub fn with_coalesce(sink: Box<dyn Journal>, coalesce: usize) -> Self {
+        JournalHandle {
+            sink,
+            scratch: Vec::new(),
+            pending: Vec::new(),
+            coalesce: coalesce.max(1),
+            entries_recorded: 0,
+            errors: 0,
+        }
+    }
+
+    /// Record one entry. The entry is encoded now (metadata into the shared
+    /// scratch, payload bytes by refcount) and handed to the sink in a batch
+    /// at the next boundary; commit-point entries hand off and flush
+    /// immediately.
     pub fn record(&mut self, entry: &JournalEntry) {
         self.entries_recorded += 1;
-        if self.sink.append(entry.watermark(), &entry.encode()).is_err() {
-            self.errors += 1;
-            return;
-        }
-        if entry.is_commit_point() && self.sink.flush().is_err() {
-            self.errors += 1;
+        let start = self.scratch.len();
+        entry.encode_meta_into(&mut self.scratch);
+        self.pending.push(PendingRec {
+            watermark: entry.watermark(),
+            meta: start..self.scratch.len(),
+            payload: entry.inline_payload().cloned(),
+        });
+        if entry.is_commit_point() {
+            self.hand_off();
+            if self.sink.flush().is_err() {
+                self.errors += 1;
+            }
+        } else if self.pending.len() >= self.coalesce {
+            self.hand_off();
         }
     }
 
-    /// Force the buffered tail down (graceful shutdown / stats harvest).
+    /// Hand every pending record to the sink as one batch (one flush
+    /// decision at the group boundary — the group commit).
+    fn hand_off(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let JournalHandle { sink, scratch, pending, errors, .. } = self;
+        let parts: Vec<[&[u8]; 2]> = pending
+            .iter()
+            .map(|p| [&scratch[p.meta.clone()], p.payload.as_deref().unwrap_or(&[])])
+            .collect();
+        let batch: Vec<BatchRecord<'_>> = pending
+            .iter()
+            .zip(&parts)
+            .map(|(p, parts)| BatchRecord { watermark: p.watermark, parts })
+            .collect();
+        if sink.append_batch(&batch).is_err() {
+            *errors += 1;
+        }
+        self.pending.clear();
+        self.scratch.clear();
+    }
+
+    /// Force everything — coalesced and sink-buffered — down to the media
+    /// (graceful shutdown / stats harvest).
     pub fn flush(&mut self) {
+        self.hand_off();
         if self.sink.flush().is_err() {
             self.errors += 1;
         }
     }
 
     /// Drop sealed segments wholly below `floor`; returns segments removed.
+    /// Pending records are handed off first so compaction sees the full
+    /// stream.
     pub fn compact_below(&mut self, floor: u64) -> usize {
+        self.hand_off();
         match self.sink.compact_below(floor) {
             Ok(n) => n,
             Err(_) => {
@@ -174,6 +353,11 @@ impl JournalHandle {
     /// Entries recorded through this handle.
     pub fn entries_recorded(&self) -> u64 {
         self.entries_recorded
+    }
+
+    /// Entries coalesced in the handle, not yet handed to the sink.
+    pub fn pending_entries(&self) -> usize {
+        self.pending.len()
     }
 
     /// Sink I/O errors swallowed (durability degraded).
@@ -189,6 +373,16 @@ impl JournalHandle {
     /// Segments the sink has compacted away.
     pub fn segments_compacted(&self) -> u64 {
         self.sink.segments_compacted()
+    }
+
+    /// Group commits (multi-record fsyncs) the sink has performed.
+    pub fn group_commits(&self) -> u64 {
+        self.sink.group_commits()
+    }
+
+    /// Records that reached the sink through batched hand-offs.
+    pub fn records_batched(&self) -> u64 {
+        self.sink.records_batched()
     }
 }
 
@@ -212,10 +406,21 @@ mod tests {
         }
     }
 
-    #[test]
-    fn entries_round_trip_through_encoding() {
-        let entries = vec![
+    fn inline_put(app: AppId, version: Version) -> JournalEntry {
+        let data = vec![version as u8; 64];
+        let digest = staging::payload::fnv1a(&data);
+        JournalEntry::Put {
+            app,
+            desc: ObjDesc { var: 1, version, bbox: BBox::d1(0, 63) },
+            payload: Payload::inline(data),
+            digest,
+        }
+    }
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
             put(0, 3),
+            inline_put(0, 4),
             JournalEntry::Get {
                 app: 1,
                 var: 0,
@@ -228,15 +433,45 @@ mod tests {
             JournalEntry::Checkpoint { app: 0, w_chk_id: 4, upto_version: 3, floor: Some(2) },
             JournalEntry::Checkpoint { app: 1, w_chk_id: 5, upto_version: 3, floor: None },
             JournalEntry::Recovery { app: 1, resume_version: 3 },
-        ];
+        ]
+    }
+
+    #[test]
+    fn entries_round_trip_through_encoding() {
+        let entries = sample_entries();
         for e in &entries {
             assert_eq!(JournalEntry::decode(&e.encode()).as_ref(), Some(e));
         }
         assert_eq!(entries[0].watermark(), 3);
-        assert_eq!(entries[1].watermark(), 2, "gets key on the served version");
+        assert_eq!(entries[2].watermark(), 2, "gets key on the served version");
         assert!(!entries[0].is_commit_point());
-        assert!(entries[2].is_commit_point());
-        assert!(entries[4].is_commit_point());
+        assert!(entries[3].is_commit_point());
+        assert!(entries[5].is_commit_point());
+    }
+
+    #[test]
+    fn legacy_json_entries_still_decode() {
+        for e in &sample_entries() {
+            let json = e.encode_json();
+            assert_eq!(json[0], b'{', "legacy entries start with a JSON brace");
+            assert_eq!(JournalEntry::decode(&json).as_ref(), Some(e));
+        }
+    }
+
+    #[test]
+    fn binary_encoding_is_smaller_than_json() {
+        for e in &sample_entries() {
+            assert!(e.encode().len() < e.encode_json().len(), "binary must beat JSON for {e:?}");
+        }
+    }
+
+    #[test]
+    fn meta_plus_inline_bytes_is_the_full_encoding() {
+        let e = inline_put(0, 9);
+        let mut meta = Vec::new();
+        e.encode_meta_into(&mut meta);
+        meta.extend_from_slice(e.inline_payload().unwrap());
+        assert_eq!(meta, e.encode());
     }
 
     #[test]
@@ -258,12 +493,33 @@ mod tests {
             floor: Some(0),
         });
         assert!(mem.synced_bytes() > before_ctl, "checkpoint entry must flush");
-        handle.record(&put(0, 3)); // buffered again
+        handle.record(&put(0, 3)); // coalesced again
         drop(handle);
         mem.crash();
         let survivors = LogStore::open(Box::new(mem.clone()), cfg).unwrap().read_all().unwrap();
         let decoded = decode_records(&survivors);
         assert_eq!(decoded.len(), 3, "everything through the checkpoint survives");
         assert!(matches!(decoded[2], JournalEntry::Checkpoint { .. }));
+    }
+
+    #[test]
+    fn coalescing_batches_records_to_the_sink() {
+        let mem = MemMedia::new();
+        let cfg = LogConfig { flush: logstore::FlushPolicy::PerRecord, ..LogConfig::default() };
+        let log = LogStore::open(Box::new(mem.clone()), cfg).unwrap();
+        let mut handle = JournalHandle::with_coalesce(Box::new(log), 8);
+        for v in 0..8 {
+            handle.record(&inline_put(0, v));
+        }
+        assert_eq!(handle.pending_entries(), 0, "window reached: handed off");
+        assert_eq!(handle.records_batched(), 8);
+        // PerRecord sink + batched hand-off = ONE group commit for all 8.
+        assert_eq!(handle.group_commits(), 1);
+        let survivors = LogStore::open(Box::new(mem.clone()), cfg).unwrap().read_all().unwrap();
+        let decoded = decode_records(&survivors);
+        assert_eq!(decoded.len(), 8);
+        for (v, e) in decoded.iter().enumerate() {
+            assert_eq!(e, &inline_put(0, v as Version), "zero-copy path preserves bytes");
+        }
     }
 }

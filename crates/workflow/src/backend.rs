@@ -80,6 +80,15 @@ impl AnyBackend {
         }
     }
 
+    /// Attach a durable journal sink with an explicit coalescing window
+    /// (entries reach the log as batched group commits of this many records).
+    pub fn attach_journal_coalesced(&mut self, sink: Box<dyn logstore::Journal>, coalesce: usize) {
+        match self {
+            AnyBackend::Plain(b) => b.attach_journal_coalesced(sink, coalesce),
+            AnyBackend::Logging(b) => b.attach_journal_coalesced(sink, coalesce),
+        }
+    }
+
     /// Force the journal's buffered tail down (graceful shutdown / harvest).
     pub fn flush_journal(&mut self) {
         match self {
@@ -109,6 +118,22 @@ impl AnyBackend {
         match self {
             AnyBackend::Plain(b) => b.journal_errors(),
             AnyBackend::Logging(b) => b.journal_errors(),
+        }
+    }
+
+    /// Journal group commits — multi-record fsyncs (0 when detached).
+    pub fn journal_group_commits(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.journal_group_commits(),
+            AnyBackend::Logging(b) => b.journal_group_commits(),
+        }
+    }
+
+    /// Journal records delivered through batched hand-offs (0 when detached).
+    pub fn journal_records_batched(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.journal_records_batched(),
+            AnyBackend::Logging(b) => b.journal_records_batched(),
         }
     }
 
@@ -164,6 +189,14 @@ impl StoreBackend for AnyBackend {
 
     fn journal_segments_compacted(&self) -> u64 {
         AnyBackend::journal_segments_compacted(self)
+    }
+
+    fn journal_group_commits(&self) -> u64 {
+        AnyBackend::journal_group_commits(self)
+    }
+
+    fn journal_records_batched(&self) -> u64 {
+        AnyBackend::journal_records_batched(self)
     }
 }
 

@@ -203,12 +203,27 @@ pub struct DurabilityCfg {
     pub segment_bytes: u64,
     /// Flush/fsync policy.
     pub flush: logstore::FlushPolicy,
+    /// Journal-handle coalescing window: entries accumulate client-side and
+    /// reach the log as one batched group commit every this-many records
+    /// (commit points always hand off immediately). 0 behaves as 1
+    /// (no coalescing).
+    #[serde(default = "default_coalesce")]
+    pub coalesce: usize,
+}
+
+fn default_coalesce() -> usize {
+    staging::store_journal::DEFAULT_COALESCE
 }
 
 impl Default for DurabilityCfg {
     fn default() -> Self {
         let base = logstore::LogConfig::default();
-        DurabilityCfg { dir: None, segment_bytes: base.segment_bytes, flush: base.flush }
+        DurabilityCfg {
+            dir: None,
+            segment_bytes: base.segment_bytes,
+            flush: base.flush,
+            coalesce: default_coalesce(),
+        }
     }
 }
 

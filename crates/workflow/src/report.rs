@@ -82,6 +82,14 @@ pub struct RunReport {
     /// Journal segment files deleted by checkpoint-watermark compaction.
     #[serde(default)]
     pub segments_compacted: u64,
+    /// Journal group commits: fsyncs that made two or more records durable
+    /// at once (0 when durability is off or nothing batched).
+    #[serde(default)]
+    pub journal_group_commits: u64,
+    /// Journal records that reached the log through batched coalesced
+    /// hand-offs rather than per-record appends.
+    #[serde(default)]
+    pub journal_records_batched: u64,
     /// Wall-clock time of the cold-restart rebuild (journal scan + state
     /// reconstruction), milliseconds. 0 for runs without a cold restart.
     #[serde(default)]
@@ -188,6 +196,8 @@ mod tests {
             events_dispatched: 0,
             log_bytes_flushed: 0,
             segments_compacted: 0,
+            journal_group_commits: 0,
+            journal_records_batched: 0,
             cold_restart_ms: 0.0,
             schedules_explored: 0,
             states_pruned: 0,

@@ -174,7 +174,7 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             };
             let log = logstore::LogStore::open(media, d.log_config())
                 .expect("open durable staging journal");
-            backend.attach_journal(Box::new(log));
+            backend.attach_journal_coalesced(Box::new(log), d.coalesce);
         }
         let logic = ServerLogic::new(backend, cfg.server_costs);
         let actor = StagingServerActor::new(s, logic, NetworkHandle { actor: 0 }, 0);
@@ -324,6 +324,8 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
     // buffered journal tail so `bytes_flushed` reflects the whole history.
     let mut log_bytes_flushed = 0u64;
     let mut segments_compacted = 0u64;
+    let mut journal_group_commits = 0u64;
+    let mut journal_records_batched = 0u64;
     if cfg.durability.is_some() {
         for &sid in server_ids.iter() {
             let s =
@@ -332,6 +334,8 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
             b.flush_journal();
             log_bytes_flushed += b.journal_bytes_flushed();
             segments_compacted += b.journal_segments_compacted();
+            journal_group_commits += b.journal_group_commits();
+            journal_records_batched += b.journal_records_batched();
         }
     }
     let m = engine.metrics().clone();
@@ -424,6 +428,8 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         events_dispatched: engine.dispatched(),
         log_bytes_flushed,
         segments_compacted,
+        journal_group_commits,
+        journal_records_batched,
         cold_restart_ms: 0.0,
         schedules_explored: 0,
         states_pruned: 0,

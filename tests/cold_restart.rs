@@ -64,6 +64,27 @@ fn lazy_flush_loses_only_post_checkpoint_work() {
 }
 
 #[test]
+fn grouped_flush_cold_restart_stays_equivalent() {
+    let _wd = common::watchdog(
+        "grouped_flush_cold_restart_stays_equivalent",
+        std::time::Duration::from_secs(300),
+    );
+    // Group commit with a deferred fsync: sealed-but-unsynced groups die
+    // with the crash exactly like buffered ones, and the resumed run must
+    // still converge to byte-identical observations.
+    let plan = ColdStartPlan {
+        kill_after: 7,
+        log: LogConfig { flush: FlushPolicy::Grouped { records: 4 }, ..LogConfig::default() },
+        ..ColdStartPlan::default()
+    };
+    let media = MemProvider::new(plan.nservers);
+    let out = interrupted_run(&plan, &media).expect("interrupted run");
+    assert_eq!(out.digest_mismatches, 0);
+    assert_eq!(out.producer_resume, 5, "resumes from the last durable checkpoint");
+    assert_eq!(out.digests, uninterrupted_digests(&plan));
+}
+
+#[test]
 fn compaction_fires_across_the_cold_restart() {
     let _wd = common::watchdog(
         "compaction_fires_across_the_cold_restart",
@@ -140,7 +161,8 @@ fn disk_soak_cold_restart_matrix() {
     let policies = [
         FlushPolicy::PerRecord,
         FlushPolicy::PerBatch { records: 4 },
-        FlushPolicy::IntervalMs { ms: 1 },
+        FlushPolicy::PerBytes { bytes: 4096 },
+        FlushPolicy::Grouped { records: 4 },
     ];
     for (pi, &flush) in policies.iter().enumerate() {
         for kill_after in [4u32, 6, 9] {
@@ -176,6 +198,7 @@ fn disk_soak_des_runner_journals_to_disk() {
             dir: Some(root.to_string_lossy().into_owned()),
             segment_bytes: 16 * 1024,
             flush: FlushPolicy::PerBatch { records: 8 },
+            coalesce: 8,
         });
     let r = workflow::run(&cfg);
     assert!(r.log_bytes_flushed > 0);

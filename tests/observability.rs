@@ -168,6 +168,10 @@ fn durable_runs_trace_journal_flushes() {
             dir: None,
             segment_bytes: 16 * 1024,
             flush: logstore::FlushPolicy::PerRecord,
+            // No coalescing: each logged op reaches the sink (and under
+            // PerRecord, the media) individually, so every serve span gets
+            // its own `journal.flush` instant.
+            coalesce: 1,
         })
         .with_tracing(TraceCfg::full());
     let (report, trace) = run_traced(&cfg);

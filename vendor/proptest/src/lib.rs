@@ -257,6 +257,12 @@ pub mod strategy {
         }
     }
 
+    impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut Rng) -> [T; N] {
+            ::std::array::from_fn(|_| T::arbitrary(rng))
+        }
+    }
+
     /// Strategy for [`Arbitrary`] types.
     pub struct Any<T> {
         _marker: std::marker::PhantomData<T>,
@@ -302,6 +308,32 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::Rng;
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of `inner` values, with `None` roughly one time in four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut Rng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
@@ -309,9 +341,11 @@ pub mod prelude {
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
 
-    /// Namespace mirror so call sites can write `prop::collection::vec`.
+    /// Namespace mirror so call sites can write `prop::collection::vec` and
+    /// `prop::option::of`.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! Emits and parses JSON text through the vendored serde's owned
 //! [`Value`] tree. Covers the workspace's usage:
-//! `to_string`, `to_string_pretty`, `to_vec`, `from_str`, `from_slice`.
+//! `to_string`, `to_string_pretty`, `to_vec`, `to_writer`, `from_str`,
+//! `from_slice`.
 
 use serde::de::DeserializeOwned;
 use serde::ser::{to_value, Serialize};
@@ -44,6 +45,13 @@ pub fn to_string_pretty<T: ?Sized + Serialize>(v: &T) -> Result<String, Error> {
 /// Serialize to compact JSON bytes.
 pub fn to_vec<T: ?Sized + Serialize>(v: &T) -> Result<Vec<u8>, Error> {
     to_string(v).map(String::into_bytes)
+}
+
+/// Serialize compact JSON into an [`std::io::Write`] sink (e.g. a reusable
+/// `Vec<u8>` scratch buffer, avoiding a fresh allocation per call).
+pub fn to_writer<W: std::io::Write, T: ?Sized + Serialize>(mut w: W, v: &T) -> Result<(), Error> {
+    let s = to_string(v)?;
+    w.write_all(s.as_bytes()).map_err(|e| Error(e.to_string()))
 }
 
 /// Deserialize from JSON text.
