@@ -27,6 +27,7 @@ pub mod inject;
 pub mod media;
 pub mod plan;
 pub mod retry;
+pub mod scenario;
 
 pub use inject::{schedule, FaultDecision, FaultInjector, FaultReport};
 pub use media::{
@@ -34,3 +35,4 @@ pub use media::{
 };
 pub use plan::{FaultPlan, FaultRates, FaultSpace, FaultWindow, PlanError};
 pub use retry::RetryPolicy;
+pub use scenario::{Scenario, ScenarioKind};

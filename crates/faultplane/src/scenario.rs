@@ -1,0 +1,125 @@
+//! Cascading-failure scenario matrix for supervision soak runs.
+//!
+//! A single injected fault exercises one recovery path; what breaks
+//! supervisors in practice is the *composition*: a failure that spreads,
+//! several domains dying from one root cause, a second blow landing during
+//! recovery, an input that kills its consumer every time. This module
+//! enumerates that space as a deterministic cross product — kind × onset ×
+//! lag × seed — so a soak job can sweep it and any failing cell can be
+//! replayed from its [`Scenario`] value alone.
+//!
+//! The scenarios are deliberately abstract (no workflow types): the workflow
+//! layer maps each cell onto its own failure specs. This keeps the
+//! dependency direction intact — `workflow` consumes `faultplane`, never the
+//! other way around.
+
+use serde::{Deserialize, Serialize};
+
+/// The failure shape a scenario injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// One victim dies, then the failure spreads to every other component,
+    /// one lag apart.
+    Cascading,
+    /// Several components die at the same instant (rack power, switch).
+    Correlated,
+    /// The same component is hit again while its first recovery is in
+    /// flight.
+    FailDuringRecovery,
+    /// One step's input kills its consumer on every attempt until
+    /// quarantined.
+    PoisonPut,
+}
+
+impl ScenarioKind {
+    /// Short label for test names and soak logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScenarioKind::Cascading => "cascading",
+            ScenarioKind::Correlated => "correlated",
+            ScenarioKind::FailDuringRecovery => "fail-during-recovery",
+            ScenarioKind::PoisonPut => "poison-put",
+        }
+    }
+}
+
+/// Every scenario kind, in matrix order.
+pub const ALL_KINDS: [ScenarioKind; 4] = [
+    ScenarioKind::Cascading,
+    ScenarioKind::Correlated,
+    ScenarioKind::FailDuringRecovery,
+    ScenarioKind::PoisonPut,
+];
+
+/// One cell of the soak matrix: a failure shape plus the timing and seed
+/// that make it concrete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The failure shape.
+    pub kind: ScenarioKind,
+    /// Workflow RNG seed for the run.
+    pub seed: u64,
+    /// Onset of the first failure, milliseconds of virtual time.
+    pub at_ms: u64,
+    /// Spread between cascade victims / lag of the second blow,
+    /// milliseconds. Ignored by kinds without a second timing knob.
+    pub lag_ms: u64,
+}
+
+impl Scenario {
+    /// `kind@at+lag/seed` — unique within a matrix, stable across runs.
+    pub fn label(&self) -> String {
+        format!("{}@{}+{}ms/s{}", self.kind.label(), self.at_ms, self.lag_ms, self.seed)
+    }
+}
+
+/// The full cross product kind × onset × lag × seed, in deterministic
+/// order (kind-major, seed-minor). Every call with the same arguments
+/// yields the same vector, element for element.
+pub fn matrix(seeds: &[u64], ats_ms: &[u64], lags_ms: &[u64]) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(ALL_KINDS.len() * seeds.len() * ats_ms.len() * lags_ms.len());
+    for kind in ALL_KINDS {
+        for &at_ms in ats_ms {
+            for &lag_ms in lags_ms {
+                for &seed in seeds {
+                    out.push(Scenario { kind, seed, at_ms, lag_ms });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_the_full_cross_product_in_stable_order() {
+        let m = matrix(&[1, 2], &[500, 700], &[10]);
+        assert_eq!(m.len(), 4 * 2 * 2, "4 kinds × 2 seeds × 2 onsets × 1 lag");
+        assert_eq!(m, matrix(&[1, 2], &[500, 700], &[10]), "same inputs, same matrix");
+        assert_eq!(m[0].kind, ScenarioKind::Cascading);
+        assert_eq!(m[0].seed, 1);
+        assert_eq!(m[1].seed, 2, "seed-minor ordering");
+        assert_eq!(m.last().unwrap().kind, ScenarioKind::PoisonPut);
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_matrix() {
+        let m = matrix(&[1, 2, 3], &[500, 600], &[10, 20]);
+        let mut labels: Vec<String> = m.iter().map(|s| s.label()).collect();
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn scenario_serde_round_trips() {
+        let s = Scenario { kind: ScenarioKind::FailDuringRecovery, seed: 7, at_ms: 650, lag_ms: 5 };
+        let j = serde_json::to_string(&s).unwrap();
+        let back: Scenario = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, s);
+    }
+}

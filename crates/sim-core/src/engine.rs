@@ -193,6 +193,9 @@ struct EngineCore {
     rng: Xoshiro256StarStar,
     metrics: Metrics,
     trace: Option<TraceRing>,
+    /// Mirror of `trace` behind a lock, for out-of-thread diagnostics (a
+    /// test watchdog dumping the ring while the engine thread is wedged).
+    trace_shared: Option<std::sync::Arc<std::sync::Mutex<TraceRing>>>,
     stopped: bool,
     dispatched: u64,
     choice: Option<Box<dyn ChoiceSource>>,
@@ -223,6 +226,7 @@ impl Engine {
                 rng: Xoshiro256StarStar::seed_from_u64(seed),
                 metrics: Metrics::new(),
                 trace: None,
+                trace_shared: None,
                 stopped: false,
                 dispatched: 0,
                 choice: None,
@@ -239,6 +243,21 @@ impl Engine {
     /// The trace ring, if tracing was enabled.
     pub fn trace(&self) -> Option<&TraceRing> {
         self.core.trace.as_ref()
+    }
+
+    /// Enable a *shared* trace ring holding the last `capacity` dispatches
+    /// and return a handle to it. Unlike [`Engine::enable_trace`], the
+    /// returned ring can be read from another thread while the engine runs —
+    /// the hook a test watchdog needs to dump the event tail of a wedged
+    /// run it is about to abort. Costs one mutex lock per dispatch, so it is
+    /// a diagnostics tool, not a default.
+    pub fn enable_trace_shared(
+        &mut self,
+        capacity: usize,
+    ) -> std::sync::Arc<std::sync::Mutex<TraceRing>> {
+        let ring = std::sync::Arc::new(std::sync::Mutex::new(TraceRing::new(capacity)));
+        self.core.trace_shared = Some(std::sync::Arc::clone(&ring));
+        ring
     }
 
     /// Register an actor; returns its id. Ids are assigned densely from 0 in
@@ -334,6 +353,11 @@ impl Engine {
             let target = sch.target;
             if let Some(ring) = &mut self.core.trace {
                 ring.push(TraceEntry { at: sch.at, seq: sch.seq, from: sch.ev.from, target });
+            }
+            if let Some(shared) = &self.core.trace_shared {
+                if let Ok(mut ring) = shared.lock() {
+                    ring.push(TraceEntry { at: sch.at, seq: sch.seq, from: sch.ev.from, target });
+                }
             }
             let Some(mut actor) = self.actors.get_mut(target).and_then(Option::take) else {
                 // Actor was removed (e.g. a killed rank): drop the event.
@@ -605,6 +629,22 @@ mod tests {
         let trace = eng.trace().unwrap();
         assert_eq!(trace.total(), 6);
         assert_eq!(trace.len(), 2, "ring bounded");
+    }
+
+    #[test]
+    fn shared_trace_ring_is_readable_from_another_thread() {
+        let mut eng = Engine::new(1);
+        let ring = eng.enable_trace_shared(8);
+        let a = eng.add_actor(Box::<Counter>::default());
+        eng.schedule_now(a, Msg::Tick(3));
+        eng.run();
+        let seen = std::thread::spawn(move || {
+            let r = ring.lock().unwrap();
+            (r.total(), r.len())
+        })
+        .join()
+        .unwrap();
+        assert_eq!(seen, (4, 4));
     }
 
     #[test]

@@ -68,6 +68,20 @@ struct RebuildDone {
     incarnation: u32,
 }
 
+/// Server → supervisor: this staging server lost its process and entered a
+/// resilience rebuild. Sent only when a supervisor is wired.
+pub struct ServerDownNotice {
+    /// The failed server's index.
+    pub server: ServerIdx,
+}
+
+/// Server → supervisor: the rebuild completed and the server is serving
+/// again. Sent only when a supervisor is wired.
+pub struct ServerUpNotice {
+    /// The recovered server's index.
+    pub server: ServerIdx,
+}
+
 /// Transient stall of this staging server (runner → server): the server CPU
 /// stops consuming its queue for `dur`. Unlike [`ServerFail`] this is not
 /// fail-stop — nothing is lost or rebuilt, requests simply queue and are
@@ -139,6 +153,9 @@ pub struct StagingServerActor<B> {
     seen_flushed: u64,
     /// Journal segments compacted as of the last traced operation.
     seen_compacted: u64,
+    /// Supervisor to notify on fail-stop / rebuild-complete (runner wiring;
+    /// `None` outside supervised runs).
+    supervisor: Option<sim_core::engine::ActorId>,
 }
 
 impl<B: StoreBackend> StagingServerActor<B> {
@@ -177,7 +194,14 @@ impl<B: StoreBackend> StagingServerActor<B> {
             stall_span: TraceCtx::NONE,
             seen_flushed: 0,
             seen_compacted: 0,
+            supervisor: None,
         }
+    }
+
+    /// Runner wiring: notify `supervisor` when this server fails and when
+    /// its rebuild completes (supervised runs only).
+    pub fn set_supervisor(&mut self, supervisor: sim_core::engine::ActorId) {
+        self.supervisor = Some(supervisor);
     }
 
     /// Runner wiring: attach a tracer. The server records onto its own
@@ -550,6 +574,9 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                         );
                     }
                 }
+                if let Some(sup) = self.supervisor {
+                    ctx.send_now(sup, ServerDownNotice { server: self.index });
+                }
                 let incarnation = self.incarnation;
                 ctx.timer(rebuild, RebuildDone { incarnation });
                 return;
@@ -611,6 +638,9 @@ impl<B: StoreBackend> Actor for StagingServerActor<B> {
                     self.rebuilds += 1;
                     let sp = std::mem::take(&mut self.rebuild_span);
                     self.tracer.end(sp, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
+                    if let Some(sup) = self.supervisor {
+                        ctx.send_now(sup, ServerUpNotice { server: self.index });
+                    }
                     if self.in_service.is_some() {
                         // Deliver the interrupted op's (late) response.
                         let incarnation = self.incarnation;

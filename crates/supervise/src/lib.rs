@@ -1,0 +1,116 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # supervise — self-healing supervision for staged workflows
+//!
+//! The paper's recovery story has the director orchestrate each protocol by
+//! hand. This crate extracts that into a *supervision layer* in the
+//! steady-state-robust idiom: every component (and staging server) lives in
+//! its own **failure domain**; a [`Supervisor`] watches the domains, decides
+//! how a dead one comes back, and keeps one domain's misbehaviour from
+//! wedging the rest of the workflow.
+//!
+//! The pieces:
+//!
+//! * [`backoff`] — capped-exponential restart backoff plus a crash-loop
+//!   **breaker**: a domain that keeps dying within a rolling window gets its
+//!   restarts held back for a cool-down instead of hot-looping.
+//! * [`domain`] — the per-domain restart state machine
+//!   (`Healthy → Down → Restarting → Healthy`), outage/MTTR accounting, and
+//!   poison-input hit tracking.
+//! * [`dlq`] — the dead-letter queue: a poison input that kills its consumer
+//!   `N` times is *quarantined* — recorded as a [`dlq::DeadLetter`] persisted
+//!   through `logstore` — so the workflow completes without it instead of
+//!   crash-looping forever.
+//! * [`supervisor`] — the brain tying it together: feed it deaths and
+//!   recoveries (with virtual-time timestamps), get back a
+//!   [`supervisor::Verdict`] (restart after a delay, or quarantine the
+//!   poison and then restart).
+//!
+//! The crate is engine-agnostic on purpose: timestamps are plain `u64`
+//! nanoseconds supplied by the caller (the DES runner passes its virtual
+//! clock), there is no wallclock, no ambient RNG, and iteration is ordered —
+//! the whole layer is deterministic and replayable, so same-seed supervised
+//! runs produce byte-identical reports.
+
+pub mod backoff;
+pub mod dlq;
+pub mod domain;
+pub mod supervisor;
+
+pub use backoff::{BackoffCfg, Breaker, BreakerState};
+pub use dlq::{DeadLetter, DeadLetterQueue};
+pub use domain::{DomainHealth, DomainKey, FailureDomain};
+pub use supervisor::{DeathCause, Supervisor, SupervisorCfg, Verdict};
+
+use serde::{Deserialize, Serialize};
+
+/// How a supervised component is brought back after a fail-stop, selectable
+/// per component (heterogeneous recovery — Mulone et al.'s per-task policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Roll back to the last checkpoint: ULFM repair, restore the checkpoint
+    /// from its storage tier, then re-execute with staging absorbing re-puts
+    /// and replaying gets (the paper's scheme).
+    #[default]
+    Checkpoint,
+    /// Roll back without re-reading the checkpoint image: ULFM repair plus
+    /// staging-client reconnection only, with the staging event log replaying
+    /// everything past the resume point. Valid only under logging protocols —
+    /// the journal *is* the recovery state.
+    JournalReplay,
+    /// Restart the process where it stood: no rollback, no staging recovery
+    /// round; the current step re-executes from its beginning and in-flight
+    /// requests are simply re-issued (localised recovery — Dichev et al.).
+    RestartInPlace,
+}
+
+impl RecoveryPolicy {
+    /// Does this policy roll the component's step counter back to its last
+    /// checkpoint (vs. resuming in place)?
+    pub fn rolls_back(&self) -> bool {
+        !matches!(self, RecoveryPolicy::RestartInPlace)
+    }
+
+    /// Does this policy require the staging event log (a logging protocol)?
+    pub fn needs_log(&self) -> bool {
+        matches!(self, RecoveryPolicy::JournalReplay)
+    }
+
+    /// Short label for traces and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Checkpoint => "checkpoint",
+            RecoveryPolicy::JournalReplay => "journal-replay",
+            RecoveryPolicy::RestartInPlace => "in-place",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_predicates() {
+        assert!(RecoveryPolicy::Checkpoint.rolls_back());
+        assert!(RecoveryPolicy::JournalReplay.rolls_back());
+        assert!(!RecoveryPolicy::RestartInPlace.rolls_back());
+        assert!(RecoveryPolicy::JournalReplay.needs_log());
+        assert!(!RecoveryPolicy::Checkpoint.needs_log());
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Checkpoint);
+    }
+
+    #[test]
+    fn policy_serde_round_trips() {
+        for p in [
+            RecoveryPolicy::Checkpoint,
+            RecoveryPolicy::JournalReplay,
+            RecoveryPolicy::RestartInPlace,
+        ] {
+            let j = serde_json::to_string(&p).unwrap();
+            let back: RecoveryPolicy = serde_json::from_str(&j).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+}

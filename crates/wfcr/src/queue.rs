@@ -23,6 +23,17 @@
 //!   O(log n + k) for a k-event script instead of a full scan.
 //! * [`EventQueue::truncate_through`] — GC drops the prefix up to the
 //!   boundary as one `drain` of an index range instead of a linear `retain`.
+//!
+//! # Peek-before-commit
+//!
+//! Supervised restarts need a guarantee that in-flight work is never lost
+//! while a consumer is down: a restart *peeks* at the replay window
+//! ([`EventQueue::peek_since`], zero-copy) without consuming it, and events
+//! only leave the queue when a checkpoint boundary *commits* them via
+//! [`EventQueue::truncate_through`]. The queue counts both sides —
+//! [`EventQueue::appended_transport`] and [`EventQueue::committed`] — so an
+//! oracle can check the no-lost-event invariant
+//! `appended_transport == committed + retained` at any point in a schedule.
 
 use crate::event::{LogEvent, EVENT_BYTES};
 use staging::proto::Version;
@@ -42,6 +53,14 @@ pub struct EventQueue {
     last_w_chk_id: Option<u64>,
     /// Events ever appended (diagnostics).
     appended: u64,
+    /// Transport events ever appended (no-lost-event accounting).
+    #[serde(default)]
+    appended_transport: u64,
+    /// Transport events committed out of the queue by checkpoint-boundary
+    /// truncation. Invariant: `appended_transport == committed +
+    /// transport.len()` — nothing leaves the queue except through a commit.
+    #[serde(default)]
+    committed: u64,
 }
 
 impl EventQueue {
@@ -64,6 +83,7 @@ impl EventQueue {
             self.markers.push(ev);
             return;
         }
+        self.appended_transport += 1;
         let v = ev.version();
         match self.transport.last() {
             // Monotonic fast path: versions never regress in a normal run.
@@ -93,8 +113,18 @@ impl EventQueue {
     /// The transport stream is version-sorted, so the script is the suffix
     /// past the binary-searched window boundary — O(log n + k).
     pub fn replay_script(&self, resume_version: Version) -> Vec<LogEvent> {
+        self.peek_since(resume_version).to_vec()
+    }
+
+    /// Peek at the replay window without consuming or copying it: every
+    /// transport event recorded after `resume_version`, in order, as a
+    /// borrowed slice. This is the peek half of peek-before-commit — a
+    /// supervised restart inspects its in-flight window here, and the events
+    /// stay queued until [`EventQueue::truncate_through`] commits them at a
+    /// checkpoint boundary.
+    pub fn peek_since(&self, resume_version: Version) -> &[LogEvent] {
         let start = self.transport.partition_point(|ev| ev.version() <= resume_version);
-        self.transport[start..].to_vec()
+        &self.transport[start..]
     }
 
     /// Drop every event at or before `boundary` *provided* it precedes the
@@ -106,6 +136,7 @@ impl EventQueue {
         // The collectible transport events are a contiguous sorted prefix.
         let cut = self.transport.partition_point(|ev| ev.version() <= boundary);
         self.transport.drain(..cut);
+        self.committed += cut as u64;
         // Retain the newest checkpoint marker itself (so replay_script can
         // still find its anchor) and markers newer than the boundary.
         let last_id = self.last_w_chk_id;
@@ -135,6 +166,22 @@ impl EventQueue {
     /// Total events ever appended.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    /// Transport events ever appended (the "in" side of peek-before-commit).
+    pub fn appended_transport(&self) -> u64 {
+        self.appended_transport
+    }
+
+    /// Transport events committed out by checkpoint-boundary truncation (the
+    /// "out" side of peek-before-commit).
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Transport events currently retained.
+    pub fn transport_len(&self) -> usize {
+        self.transport.len()
     }
 
     /// Iterate retained events in version order (transport events before
@@ -311,6 +358,29 @@ mod tests {
         assert_eq!(versions, vec![3, 5]);
         assert_eq!(q.replay_script(4).len(), 1);
         assert_eq!(q.appended(), 3);
+    }
+
+    #[test]
+    fn peek_before_commit_conserves_events() {
+        let mut q = EventQueue::new();
+        for v in 1..=4 {
+            q.push(put(0, v));
+        }
+        // Peek is non-consuming and zero-copy.
+        assert_eq!(q.peek_since(2).len(), 2);
+        assert_eq!(q.peek_since(2).len(), 2, "peek again, nothing consumed");
+        assert_eq!(q.appended_transport(), 4);
+        assert_eq!(q.committed(), 0);
+        assert_eq!(q.transport_len(), 4);
+        // Commit happens only at a checkpoint boundary.
+        q.push(ckpt(0, 1, 3));
+        q.truncate_through(3);
+        assert_eq!(q.committed(), 3);
+        assert_eq!(q.transport_len(), 1);
+        // No-lost-event invariant: in == out + retained.
+        assert_eq!(q.appended_transport(), q.committed() + q.transport_len() as u64);
+        // Markers never count against the transport conservation law.
+        assert_eq!(q.appended(), 5);
     }
 
     #[test]

@@ -27,6 +27,21 @@
 //! * replicated component under Hy: a fail-over pause, no rollback;
 //! * any component under Co: reports to the director, which orchestrates the
 //!   global rollback (see `director.rs`).
+//!
+//! ## Supervised failure handling
+//!
+//! When the run enables supervision ([`crate::config::SupervisionCfg`]), the
+//! component stops orchestrating its own recovery: a death notifies the
+//! [`crate::supervisor_actor::SupervisorActor`] and the component parks in
+//! `SupervisedWait` until a [`crate::supervisor_actor::RestartGrant`]
+//! arrives (after backoff and any breaker hold). The grant carries the
+//! component's [`RecoveryPolicy`] — checkpoint rollback, journal replay
+//! (rollback without re-reading the checkpoint image), or restart-in-place
+//! (no rollback at all) — and, for poison inputs past the breaker
+//! threshold, the step to quarantine. Unlike the unsupervised path, a
+//! failure *during* recovery is not coalesced: it kills the recovery and
+//! re-notifies the supervisor, whose backoff grows with the consecutive
+//! death count.
 
 use crate::config::{ComponentConfig, WorkflowConfig};
 use ckpt::target::CkptTarget;
@@ -46,6 +61,7 @@ use staging::proto::{
 };
 use staging::server::{plan_get, plan_put_virtual, HEADER_BYTES};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use supervise::{DeathCause, RecoveryPolicy};
 
 /// Kick-off message (runner → component at t=0).
 pub struct StartStep;
@@ -116,6 +132,8 @@ enum Phase {
     CtlWait(AfterCtl),
     RecUlfm,
     RecRestore,
+    /// Dead; waiting for the supervisor's restart grant (supervised runs).
+    SupervisedWait,
     Done,
 }
 
@@ -195,6 +213,22 @@ pub struct ComponentActor {
     /// Puts acked as absorbed (server recognized a redundant replay write).
     absorbed_acks: u64,
     finish_time: Option<SimTime>,
+
+    // ---- supervision (all fields inert when `supervisor` is None) -------
+    /// The supervisor actor, when the run enables supervision. The
+    /// component's [`RecoveryPolicy`] lives with the supervisor and arrives
+    /// in each grant.
+    supervisor: Option<ActorId>,
+    /// Step whose input is poisoned (crashes this consumer on every attempt).
+    poison_step: Option<u32>,
+    /// Steps quarantined by the supervisor: their poison no longer fires.
+    quarantined_steps: BTreeSet<u32>,
+    /// An outage is open (death reported, recovery not yet complete).
+    outage_open: bool,
+    /// The granted restart skips the checkpoint read (journal replay).
+    restore_skips_ckpt: bool,
+    /// The granted restart is in-place: no rollback, no staging recovery.
+    restart_in_place: bool,
 
     // ---- observability (all fields inert when the tracer is off) -------
     tracer: obs::Tracer,
@@ -289,6 +323,12 @@ impl ComponentActor {
             coalesced_failures: 0,
             absorbed_acks: 0,
             finish_time: None,
+            supervisor: None,
+            poison_step: None,
+            quarantined_steps: BTreeSet::new(),
+            outage_open: false,
+            restore_skips_ckpt: false,
+            restart_in_place: false,
             tracer: obs::Tracer::off(),
             track: obs::TrackId(0),
             step_span: TraceCtx::NONE,
@@ -328,6 +368,24 @@ impl ComponentActor {
     /// so servers can dedup redelivered non-idempotent control.
     pub fn enable_retry(&mut self, policy: RetryPolicy) {
         self.retry = Some(policy);
+    }
+
+    /// Runner wiring: place this component under supervision. Failures then
+    /// notify `supervisor` instead of self-orchestrating recovery.
+    pub fn set_supervisor(&mut self, supervisor: ActorId) {
+        self.supervisor = Some(supervisor);
+    }
+
+    /// Runner wiring: the input this component consumes at `step` is
+    /// poisoned — it kills the component every time it is processed, until
+    /// the supervisor quarantines the step.
+    pub fn set_poison(&mut self, step: u32) {
+        self.poison_step = Some(step);
+    }
+
+    /// Steps the supervisor has quarantined on this component.
+    pub fn quarantined_steps(&self) -> &BTreeSet<u32> {
+        &self.quarantined_steps
     }
 
     /// Rollback recoveries performed.
@@ -418,6 +476,16 @@ impl ComponentActor {
     // ---- step machinery -----------------------------------------------
 
     fn begin_step(&mut self, ctx: &mut Ctx<'_>) {
+        // Resuming compute closes the outage: the component is back in
+        // service (MTTR measures death → resumed execution, not death →
+        // caught-up re-execution).
+        if self.outage_open {
+            self.outage_open = false;
+            if let Some(sup) = self.supervisor {
+                let msg = crate::supervisor_actor::ComponentRecovered { app: self.cfg.app };
+                ctx.send_now(sup, msg);
+            }
+        }
         if self.step > self.total_steps {
             self.finish(ctx);
             return;
@@ -642,6 +710,17 @@ impl ComponentActor {
 
     fn step_io_done(&mut self, ctx: &mut Ctx<'_>) {
         self.cancel_retry();
+        // Poison input: the data consumed this step is malformed and kills
+        // the component while it processes it — every time, until the
+        // supervisor quarantines the step (after which the input is shed
+        // and the step completes without it).
+        if self.supervisor.is_some()
+            && self.poison_step == Some(self.step)
+            && !self.quarantined_steps.contains(&self.step)
+        {
+            self.fail_with(ctx, DeathCause::PoisonPut { step: self.step });
+            return;
+        }
         // A predictor warning forces an out-of-band checkpoint under the
         // uncoordinated-family protocols (proactive checkpointing).
         let proactive_now = self.proactive_pending
@@ -720,6 +799,15 @@ impl ComponentActor {
     fn advance_step(&mut self, ctx: &mut Ctx<'_>) {
         let s = std::mem::take(&mut self.step_span);
         self.span_end(ctx, s, Vec::new());
+        if let Some(sup) = self.supervisor {
+            // Progress beacon for wedge detection.
+            let msg = crate::supervisor_actor::Progress {
+                app: self.cfg.app,
+                step: self.step,
+                done: false,
+            };
+            ctx.send_now(sup, msg);
+        }
         self.step += 1;
         // Re-execution caught up with the failed step: the replay window —
         // and with it the whole recovery — is over.
@@ -748,6 +836,14 @@ impl ComponentActor {
         }
         self.phase = Phase::Done;
         self.finish_time = Some(ctx.now());
+        if let Some(sup) = self.supervisor {
+            let msg = crate::supervisor_actor::Progress {
+                app: self.cfg.app,
+                step: self.step,
+                done: true,
+            };
+            ctx.send_now(sup, msg);
+        }
         let msg = crate::director::Finished { app: self.cfg.app };
         ctx.send_now(self.director, msg);
     }
@@ -755,7 +851,20 @@ impl ComponentActor {
     // ---- failure machinery ---------------------------------------------
 
     fn on_fail(&mut self, ctx: &mut Ctx<'_>) {
+        self.fail_with(ctx, DeathCause::FailStop);
+    }
+
+    fn fail_with(&mut self, ctx: &mut Ctx<'_>, cause: DeathCause) {
         if self.phase == Phase::Done {
+            return;
+        }
+        // Replication absorbs a fail-stop without a death (supervised or
+        // not): the replica takes over and the workflow never notices.
+        let replicated = !self.cfg.scheme.rolls_back()
+            && matches!(self.cfg.scheme, wfcr::protocol::FtScheme::Replication { .. })
+            && !self.protocol.coordinated_checkpoints();
+        if self.supervisor.is_some() && !(replicated && cause == DeathCause::FailStop) {
+            self.supervised_fail(ctx, cause);
             return;
         }
         if matches!(self.phase, Phase::RecUlfm | Phase::RecRestore)
@@ -769,10 +878,7 @@ impl ComponentActor {
         ctx.metrics().inc("wf.failures", 1);
         self.span_instant(ctx, self.step_span, "failure", vec![arg("step", self.step)]);
 
-        if !self.cfg.scheme.rolls_back()
-            && matches!(self.cfg.scheme, wfcr::protocol::FtScheme::Replication { .. })
-            && !self.protocol.coordinated_checkpoints()
-        {
+        if replicated {
             // Replication: fail over to the replica; no rollback, no staging
             // recovery. The pause lands on the next compute phase.
             self.failovers += 1;
@@ -810,6 +916,114 @@ impl ComponentActor {
 
         // Un / Hy(C-R component) / In: local rollback recovery.
         self.begin_rollback(ctx);
+    }
+
+    /// Supervised death: tear down in-flight work, park in `SupervisedWait`,
+    /// and report to the supervisor. Unlike the unsupervised path a death
+    /// during recovery is *not* coalesced — it kills the recovery and counts
+    /// as another consecutive death (growing the supervisor's backoff).
+    fn supervised_fail(&mut self, ctx: &mut Ctx<'_>, cause: DeathCause) {
+        if self.phase == Phase::SupervisedWait {
+            // Already dead and awaiting a grant: a dead component cannot
+            // die again.
+            self.coalesced_failures += 1;
+            ctx.metrics().inc("wf.failures_coalesced", 1);
+            return;
+        }
+        ctx.metrics().inc("wf.failures", 1);
+        self.span_instant(
+            ctx,
+            self.step_span,
+            "failure",
+            vec![arg("step", self.step), arg("cause", cause.label())],
+        );
+        self.incarnation += 1;
+        self.issue.clear();
+        self.cancel_retry();
+        self.pending = 0;
+        self.restore_skips_ckpt = false;
+        self.restart_in_place = false;
+        if self.tracer.enabled() {
+            self.abort_work_spans(ctx);
+            // A death during recovery aborts the open recovery phase.
+            let p = std::mem::take(&mut self.rec_phase_span);
+            if !p.is_none() {
+                self.span_end(ctx, p, vec![arg("status", "aborted")]);
+            }
+            if self.recovery_span.is_none() {
+                self.replay_until = self.step;
+                self.recovery_span = self.span_begin(
+                    ctx,
+                    TraceCtx::NONE,
+                    "recovery",
+                    vec![
+                        arg("kind", "supervised"),
+                        arg("cause", cause.label()),
+                        arg("failed_step", self.step),
+                    ],
+                );
+            } else {
+                let r = std::mem::take(&mut self.replay_span);
+                if !r.is_none() {
+                    self.span_end(ctx, r, vec![arg("status", "aborted")]);
+                }
+                self.replay_until = self.replay_until.max(self.step);
+            }
+        }
+        self.outage_open = true;
+        self.phase = Phase::SupervisedWait;
+        let sup = self.supervisor.expect("supervised_fail requires a supervisor");
+        let msg =
+            crate::supervisor_actor::ComponentDown { app: self.cfg.app, step: self.step, cause };
+        ctx.send_now(sup, msg);
+    }
+
+    /// The supervisor granted a restart (after backoff / breaker hold).
+    fn on_restart_grant(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        grant: &crate::supervisor_actor::RestartGrant,
+    ) {
+        if self.phase != Phase::SupervisedWait {
+            return;
+        }
+        if let Some(step) = grant.quarantine {
+            // The poisoned input is shed: re-execution of `step` completes
+            // without it instead of dying again.
+            self.quarantined_steps.insert(step);
+            ctx.metrics().inc("wf.quarantined_steps", 1);
+            self.span_instant(ctx, self.recovery_span, "quarantine", vec![arg("step", step)]);
+        }
+        match grant.policy {
+            RecoveryPolicy::Checkpoint => {}
+            RecoveryPolicy::JournalReplay => self.restore_skips_ckpt = true,
+            RecoveryPolicy::RestartInPlace => self.restart_in_place = true,
+        }
+        if !self.restart_in_place {
+            // Rollback policies re-execute from the checkpoint; in-place
+            // restart resumes the interrupted step from live state and is
+            // not counted as a rollback recovery.
+            self.recoveries += 1;
+            ctx.metrics().inc("wf.recoveries", 1);
+            ctx.metrics().inc(
+                "wf.rollback_steps",
+                u64::from(self.step.saturating_sub(self.last_ckpt_step + 1)),
+            );
+        }
+        if self.tracer.enabled() {
+            self.rec_phase_span = self.span_begin(
+                ctx,
+                self.recovery_span,
+                "ulfm",
+                vec![arg("policy", grant.policy.label())],
+            );
+        }
+        self.phase = Phase::RecUlfm;
+        let victim = self.rng.next_bounded(self.comm.size().max(1) as u64) as usize;
+        let breakdown = ulfm::recover(&mut self.comm, &[victim], &self.ulfm, true);
+        ctx.metrics().observe("wf.ulfm_s", breakdown.total().as_secs_f64());
+        let incarnation = self.incarnation;
+        ctx.timer(breakdown.total(), UlfmDone { incarnation });
     }
 
     fn begin_rollback(&mut self, ctx: &mut Ctx<'_>) {
@@ -864,9 +1078,15 @@ impl ComponentActor {
         // of the restarted component re-registers with staging — the
         // `workflow_restart()` client-recovery step of Fig. 7b). The failed
         // component's node-local checkpoint copies died with it, so even
-        // under two-level checkpointing its restore reads the PFS.
-        let cost = self.pfs.read_time(self.cfg.state_bytes, 1)
-            + self.reconnect_per_rank.scale(self.cfg.ranks as u64);
+        // under two-level checkpointing its restore reads the PFS. Journal
+        // replay and in-place restarts skip the checkpoint image read and
+        // pay only the reconnect.
+        let read = if self.restore_skips_ckpt || self.restart_in_place {
+            SimTime::ZERO
+        } else {
+            self.pfs.read_time(self.cfg.state_bytes, 1)
+        };
+        let cost = read + self.reconnect_per_rank.scale(self.cfg.ranks as u64);
         ctx.metrics().observe("wf.restore_s", cost.as_secs_f64());
         let incarnation = self.incarnation;
         ctx.timer(cost, RestoreDone { incarnation });
@@ -875,6 +1095,15 @@ impl ComponentActor {
     fn on_restore_done(&mut self, ctx: &mut Ctx<'_>) {
         let p = std::mem::take(&mut self.rec_phase_span);
         self.span_end(ctx, p, Vec::new());
+        if self.restart_in_place {
+            // In-place restart: no rollback — the interrupted step
+            // re-executes from live state and staging needs no replay
+            // script.
+            self.restart_in_place = false;
+            self.begin_step(ctx);
+            return;
+        }
+        self.restore_skips_ckpt = false;
         self.step = self.last_ckpt_step + 1;
         if self.protocol.uses_logging() {
             // workflow_restart(): notify staging; servers build the replay
@@ -1067,6 +1296,17 @@ impl Actor for ComponentActor {
             }
             Err(ev) => ev,
         };
+        let ev = match ev.downcast::<crate::supervisor_actor::RestartGrant>() {
+            Ok((_, g)) => {
+                self.on_restart_grant(ctx, &g);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.is::<crate::supervisor_actor::WedgeKill>() {
+            self.fail_with(ctx, DeathCause::Wedge);
+            return;
+        }
         if ev.is::<FailureWarning>() {
             self.proactive_pending = true;
             return;

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use sim_core::time::SimTime;
 use staging::geometry::BBox;
 use staging::service::ServerCosts;
+use supervise::RecoveryPolicy;
 use wfcr::protocol::{FtScheme, WorkflowProtocol};
 
 /// What a component does each coupling cycle.
@@ -107,6 +108,12 @@ pub struct ComponentConfig {
     pub subset_millis: u64,
     /// How the coupled subset moves across steps.
     pub subset_pattern: SubsetPattern,
+    /// How the supervisor brings this component back after a fail-stop
+    /// (per-component heterogeneous recovery). Only consulted when
+    /// [`WorkflowConfig::supervision`] is enabled; unsupervised runs keep
+    /// the director-orchestrated protocol recovery.
+    #[serde(default)]
+    pub recovery: RecoveryPolicy,
 }
 
 /// When and whom failures strike.
@@ -157,6 +164,49 @@ pub enum FailureSpec {
         dur: SimTime,
         /// Staging server index.
         server: usize,
+    },
+    /// Cascading failure: `first` fails at `at`, and every *other* component
+    /// (ascending app order) fails `spread` after the previous one — the
+    /// domino pattern a rack-level power or fabric event produces. Each
+    /// victim recovers independently under supervision; the scenario checks
+    /// that recoveries overlap without interfering.
+    Cascading {
+        /// When the first victim fails.
+        at: SimTime,
+        /// The first victim.
+        first: u32,
+        /// Gap between successive victims.
+        spread: SimTime,
+    },
+    /// Correlated failure: all of `apps` fail at the same instant `at` (a
+    /// shared-switch or shared-blade loss).
+    Correlated {
+        /// The common failure time.
+        at: SimTime,
+        /// Victims (must be non-empty).
+        apps: Vec<u32>,
+    },
+    /// `app` fails at `at` and then fails *again* `again_after` into its own
+    /// recovery — the fail-during-recovery shape that breaks naive
+    /// restart logic (the second death must extend the same outage, not
+    /// deadlock or double-restart).
+    FailDuringRecovery {
+        /// First failure time.
+        at: SimTime,
+        /// Victim component.
+        app: u32,
+        /// Delay from the first failure to the failure-during-recovery.
+        again_after: SimTime,
+    },
+    /// Poison input: the data `victim` consumes at `step` is malformed and
+    /// kills it on every attempt. Without supervision this wedges the run in
+    /// a crash loop; with supervision the breaker trips after N deaths and
+    /// the step is quarantined to the dead-letter queue.
+    PoisonPut {
+        /// The consumer that crashes on the poisoned input.
+        victim: u32,
+        /// The step whose input is poisoned.
+        step: u32,
     },
 }
 
@@ -231,6 +281,68 @@ impl DurabilityCfg {
     /// The equivalent `logstore` configuration.
     pub fn log_config(&self) -> logstore::LogConfig {
         logstore::LogConfig { segment_bytes: self.segment_bytes, flush: self.flush }
+    }
+}
+
+/// Self-healing supervision (the `supervise` crate wired into the runner):
+/// a supervisor actor watches every component and staging server as its own
+/// failure domain, restarts dead ones from preserved state with
+/// capped-exponential backoff, and quarantines poison inputs to a
+/// dead-letter queue after the crash-loop breaker trips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SupervisionCfg {
+    /// Delay before the first restart of an outage.
+    pub base_backoff: SimTime,
+    /// Ceiling on the per-restart backoff.
+    pub max_backoff: SimTime,
+    /// Deaths within [`SupervisionCfg::breaker_window`] that trip the
+    /// crash-loop breaker.
+    pub breaker_threshold: u32,
+    /// Rolling window the breaker counts deaths within.
+    pub breaker_window: SimTime,
+    /// How long a tripped breaker holds restarts back.
+    pub breaker_cooldown: SimTime,
+    /// Deaths the same input may cause before it is quarantined to the DLQ.
+    pub poison_threshold: u32,
+    /// Silence after which an unfinished healthy component counts as wedged
+    /// and is restarted in place. `None` disables wedge detection.
+    #[serde(default)]
+    pub wedge_timeout: Option<SimTime>,
+    /// Directory for the persisted dead-letter queue (a `logstore` log).
+    /// `None` keeps the DLQ in memory only.
+    #[serde(default)]
+    pub dlq_dir: Option<String>,
+}
+
+impl Default for SupervisionCfg {
+    fn default() -> Self {
+        SupervisionCfg {
+            base_backoff: SimTime::from_millis(50),
+            max_backoff: SimTime::from_millis(800),
+            breaker_threshold: 4,
+            breaker_window: SimTime::from_millis(60_000),
+            breaker_cooldown: SimTime::from_millis(2_000),
+            poison_threshold: 3,
+            wedge_timeout: None,
+            dlq_dir: None,
+        }
+    }
+}
+
+impl SupervisionCfg {
+    /// The equivalent `supervise` policy configuration.
+    pub fn supervisor_cfg(&self) -> supervise::SupervisorCfg {
+        supervise::SupervisorCfg {
+            backoff: supervise::BackoffCfg {
+                base_ns: self.base_backoff.0,
+                cap_ns: self.max_backoff.0,
+                threshold: self.breaker_threshold,
+                window_ns: self.breaker_window.0,
+                cooldown_ns: self.breaker_cooldown.0,
+            },
+            poison_threshold: self.poison_threshold,
+            wedge_timeout_ns: self.wedge_timeout.map(|t| t.0),
+        }
     }
 }
 
@@ -325,6 +437,12 @@ pub struct WorkflowConfig {
     /// same run untraced.
     #[serde(default)]
     pub trace: Option<TraceCfg>,
+    /// Optional self-healing supervision (absent in the seed's configs —
+    /// `#[serde(default)]` keeps old documents readable). When enabled, a
+    /// supervisor actor owns failure handling: automatic restarts with
+    /// backoff, a crash-loop breaker, and dead-letter quarantine.
+    #[serde(default)]
+    pub supervision: Option<SupervisionCfg>,
 }
 
 /// Causal-trace capture configuration.
@@ -410,6 +528,22 @@ impl WorkflowConfig {
         c
     }
 
+    /// Enable self-healing supervision on a copy.
+    pub fn with_supervision(&self, supervision: SupervisionCfg) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.supervision = Some(supervision);
+        c
+    }
+
+    /// Set every component's recovery policy on a copy.
+    pub fn with_recovery(&self, recovery: RecoveryPolicy) -> WorkflowConfig {
+        let mut c = self.clone();
+        for comp in &mut c.components {
+            comp.recovery = recovery;
+        }
+        c
+    }
+
     /// Validate the failure plan against this configuration: component and
     /// server indices must exist, rates must be probabilities, windows and
     /// stalls must be non-empty.
@@ -452,6 +586,82 @@ impl WorkflowConfig {
                         return Err(at_spec("stall duration must be nonzero".into()));
                     }
                 }
+                FailureSpec::Cascading { first, spread, .. } => {
+                    if !self.components.iter().any(|c| c.app == *first) {
+                        return Err(at_spec(format!("unknown first victim app {first}")));
+                    }
+                    if spread.0 == 0 {
+                        return Err(at_spec("cascade spread must be nonzero".into()));
+                    }
+                }
+                FailureSpec::Correlated { apps, .. } => {
+                    if apps.is_empty() {
+                        return Err(at_spec("correlated victim list is empty".into()));
+                    }
+                    for app in apps {
+                        if !self.components.iter().any(|c| c.app == *app) {
+                            return Err(at_spec(format!("unknown victim app {app}")));
+                        }
+                    }
+                }
+                FailureSpec::FailDuringRecovery { app, again_after, .. } => {
+                    if !self.components.iter().any(|c| c.app == *app) {
+                        return Err(at_spec(format!("unknown victim app {app}")));
+                    }
+                    if again_after.0 == 0 {
+                        return Err(at_spec("fail-during-recovery delay must be nonzero".into()));
+                    }
+                    if self.supervision.is_none() {
+                        return Err(at_spec(
+                            "fail-during-recovery requires supervision (the \
+                             unsupervised director coalesces failures during \
+                             recovery)"
+                                .into(),
+                        ));
+                    }
+                }
+                FailureSpec::PoisonPut { victim, step } => {
+                    let Some(comp) = self.components.iter().find(|c| c.app == *victim) else {
+                        return Err(at_spec(format!("unknown victim app {victim}")));
+                    };
+                    if !comp.role.reads() {
+                        return Err(at_spec(format!("poison victim {victim} never consumes data")));
+                    }
+                    if *step >= self.total_steps {
+                        return Err(at_spec(format!(
+                            "poison step {step} out of range ({} steps)",
+                            self.total_steps
+                        )));
+                    }
+                    if self.supervision.is_none() {
+                        return Err(at_spec(
+                            "a poison put without supervision wedges the run; \
+                             enable supervision"
+                                .into(),
+                        ));
+                    }
+                }
+            }
+        }
+        if self.supervision.is_some() {
+            if self.protocol.coordinated_checkpoints() {
+                // Coordinated rollback is global by construction; a per-domain
+                // supervisor restarting one component would race the
+                // director's whole-workflow rollback.
+                return Err("supervision composes with per-component recovery, not with the \
+                     coordinated protocol's global rollback"
+                    .into());
+            }
+            for comp in &self.components {
+                if comp.recovery.needs_log() && !self.protocol.uses_logging() {
+                    return Err(format!(
+                        "component {} ({}): journal-replay recovery requires a \
+                         logging protocol, got {}",
+                        comp.app,
+                        comp.name,
+                        self.protocol.label()
+                    ));
+                }
             }
         }
         Ok(())
@@ -488,6 +698,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 4 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
             ComponentConfig {
                 name: "analytics".into(),
@@ -501,6 +712,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 5 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
         ],
         domain,
@@ -529,6 +741,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
         seed: 42,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -574,6 +787,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
                 scheme: FtScheme::CheckpointRestart { period: 8 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
             ComponentConfig {
                 name: "analytics".into(),
@@ -587,6 +801,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
                 scheme: FtScheme::CheckpointRestart { period: 10 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
         ],
         domain,
@@ -614,6 +829,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
         seed: 42 + scale as u64,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -636,6 +852,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 4 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
             ComponentConfig {
                 name: "les".into(),
@@ -649,6 +866,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 5 },
                 subset_millis: 300, // boundary/coarse exchange, not the full domain
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
         ],
         domain: [256, 256, 256],
@@ -676,6 +894,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
         seed: 77,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -696,6 +915,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         scheme: FtScheme::CheckpointRestart { period: 4 },
         subset_millis: 1000,
         subset_pattern: SubsetPattern::Fixed,
+        recovery: RecoveryPolicy::Checkpoint,
     }];
     for i in 0..nconsumers {
         components.push(ComponentConfig {
@@ -710,6 +930,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
             scheme: FtScheme::CheckpointRestart { period: 4 + i as u32 },
             subset_millis: 1000,
             subset_pattern: SubsetPattern::Fixed,
+            recovery: RecoveryPolicy::Checkpoint,
         });
     }
     WorkflowConfig {
@@ -740,6 +961,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         seed: 99,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -761,6 +983,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 4 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
             ComponentConfig {
                 name: "analytics".into(),
@@ -774,6 +997,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 5 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
         ],
         domain: [64, 64, 64],
@@ -804,6 +1028,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
         seed: 7,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -830,6 +1055,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 2 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
             ComponentConfig {
                 name: "consumer".into(),
@@ -843,6 +1069,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
                 scheme: FtScheme::CheckpointRestart { period: 2 },
                 subset_millis: 1000,
                 subset_pattern: SubsetPattern::Fixed,
+                recovery: RecoveryPolicy::Checkpoint,
             },
         ],
         domain: [32, 32, 32],
@@ -873,6 +1100,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
         seed: 3,
         durability: None,
         trace: None,
+        supervision: None,
     }
 }
 
@@ -1014,5 +1242,99 @@ mod tests {
         assert!(zero_stall.validate().unwrap_err().contains("nonzero"));
         let bad_mtbf = base.with_failures(vec![FailureSpec::Mtbf { mtbf_secs: -1.0, count: 1 }]);
         assert!(bad_mtbf.validate().unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn supervised_failure_specs_round_trip_and_validate() {
+        let cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_supervision(SupervisionCfg::default())
+            .with_failures(vec![
+                FailureSpec::Cascading {
+                    at: SimTime::from_millis(10),
+                    first: 0,
+                    spread: SimTime::from_millis(50),
+                },
+                FailureSpec::Correlated { at: SimTime::from_millis(20), apps: vec![0, 1] },
+                FailureSpec::FailDuringRecovery {
+                    at: SimTime::from_millis(30),
+                    app: 1,
+                    again_after: SimTime::from_millis(5),
+                },
+                FailureSpec::PoisonPut { victim: 1, step: 3 },
+            ]);
+        assert!(cfg.validate().is_ok());
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: WorkflowConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+        assert!(back.supervision.is_some());
+    }
+
+    #[test]
+    fn supervised_spec_validation_rejections() {
+        let base = tiny(WorkflowProtocol::Uncoordinated);
+        let sup = base.with_supervision(SupervisionCfg::default());
+        // Cascading: unknown first victim / zero spread.
+        assert!(sup
+            .with_failures(vec![FailureSpec::Cascading {
+                at: SimTime::ZERO,
+                first: 99,
+                spread: SimTime::from_millis(1),
+            }])
+            .validate()
+            .unwrap_err()
+            .contains("unknown first victim"));
+        assert!(sup
+            .with_failures(vec![FailureSpec::Cascading {
+                at: SimTime::ZERO,
+                first: 0,
+                spread: SimTime::ZERO,
+            }])
+            .validate()
+            .unwrap_err()
+            .contains("nonzero"));
+        // Correlated: empty list.
+        assert!(sup
+            .with_failures(vec![FailureSpec::Correlated { at: SimTime::ZERO, apps: vec![] }])
+            .validate()
+            .unwrap_err()
+            .contains("empty"));
+        // Fail-during-recovery and poison need supervision.
+        assert!(base
+            .with_failures(vec![FailureSpec::FailDuringRecovery {
+                at: SimTime::ZERO,
+                app: 0,
+                again_after: SimTime::from_millis(1),
+            }])
+            .validate()
+            .unwrap_err()
+            .contains("supervision"));
+        assert!(base
+            .with_failures(vec![FailureSpec::PoisonPut { victim: 1, step: 1 }])
+            .validate()
+            .unwrap_err()
+            .contains("supervision"));
+        // Poison victim must consume data; step must exist.
+        assert!(sup
+            .with_failures(vec![FailureSpec::PoisonPut { victim: 0, step: 1 }])
+            .validate()
+            .unwrap_err()
+            .contains("never consumes"));
+        assert!(sup
+            .with_failures(vec![FailureSpec::PoisonPut { victim: 1, step: 999 }])
+            .validate()
+            .unwrap_err()
+            .contains("out of range"));
+        // Supervision cannot ride the coordinated protocol's global rollback.
+        let co = tiny(WorkflowProtocol::Coordinated).with_supervision(SupervisionCfg::default());
+        assert!(co.validate().unwrap_err().contains("coordinated"));
+        // Journal-replay recovery requires a logging protocol.
+        let bad = tiny(WorkflowProtocol::Individual)
+            .with_supervision(SupervisionCfg::default())
+            .with_recovery(RecoveryPolicy::JournalReplay);
+        assert!(bad.validate().unwrap_err().contains("logging"));
+        let ok = tiny(WorkflowProtocol::Uncoordinated)
+            .with_supervision(SupervisionCfg::default())
+            .with_recovery(RecoveryPolicy::JournalReplay);
+        assert!(ok.validate().is_ok());
     }
 }

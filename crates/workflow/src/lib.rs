@@ -35,6 +35,7 @@ pub mod director;
 pub mod mcheck_mode;
 pub mod report;
 pub mod runner;
+pub mod supervisor_actor;
 
 pub use config::{ComponentConfig, DurabilityCfg, FailureSpec, Role, WorkflowConfig};
 pub use mcheck_mode::{CrashChoice, McheckOptions, WorkflowModel};

@@ -195,7 +195,7 @@ pub fn consistency_oracles(server_ids: Vec<usize>) -> Vec<Box<dyn Oracle>> {
         })
     });
 
-    let ids = server_ids;
+    let ids = server_ids.clone();
     let mut marker_state: BTreeMap<(usize, u32), (u64, u32)> = BTreeMap::new();
     let markers = FnOracle::new("checkpoint-marker-monotonicity", move |e: &Engine| {
         for_each_logging(e, &ids, |sid, lb| {
@@ -217,7 +217,38 @@ pub fn consistency_oracles(server_ids: Vec<usize>) -> Vec<Box<dyn Oracle>> {
         })
     });
 
-    vec![Box::new(fidelity), Box::new(absorption), Box::new(gc), Box::new(markers)]
+    let ids = server_ids;
+    let no_lost = FnOracle::new("no-lost-event", move |e: &Engine| {
+        for_each_logging(e, &ids, |sid, lb| {
+            // Transport-event conservation (the peek-before-commit
+            // invariant): every event ever appended to an app's queue is
+            // either still live for replay or was committed away by a
+            // checkpoint truncation — restarts and quarantines must not
+            // leak any third fate.
+            for app in lb.queue_apps() {
+                let Some(q) = lb.queue(app) else { continue };
+                let appended = q.appended_transport();
+                let committed = q.committed();
+                let live = q.transport_len() as u64;
+                if appended != committed + live {
+                    return Err(format!(
+                        "server {sid}, app {app}: transport-event conservation broken — \
+                         appended {appended} != committed {committed} + live {live} \
+                         (an event was lost or double-truncated)"
+                    ));
+                }
+            }
+            Ok(())
+        })
+    });
+
+    vec![
+        Box::new(fidelity),
+        Box::new(absorption),
+        Box::new(gc),
+        Box::new(markers),
+        Box::new(no_lost),
+    ]
 }
 
 impl Model for WorkflowModel {

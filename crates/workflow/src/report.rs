@@ -90,6 +90,20 @@ pub struct RunReport {
     /// hand-offs rather than per-record appends.
     #[serde(default)]
     pub journal_records_batched: u64,
+    /// Restart grants issued by the supervisor, including staging-server
+    /// rebuilds it accounted (0 in unsupervised runs).
+    #[serde(default)]
+    pub restarts: u64,
+    /// Poison inputs quarantined to the dead-letter queue.
+    #[serde(default)]
+    pub quarantined: u64,
+    /// Mean time to repair across supervised outages, seconds (death of a
+    /// domain → resumed execution; consecutive deaths extend one outage).
+    #[serde(default)]
+    pub mttr_mean_s: f64,
+    /// Longest single supervised outage, seconds.
+    #[serde(default)]
+    pub mttr_max_s: f64,
     /// Wall-clock time of the cold-restart rebuild (journal scan + state
     /// reconstruction), milliseconds. 0 for runs without a cold restart.
     #[serde(default)]
@@ -131,7 +145,7 @@ impl RunReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={:.1}MiB ckpts={} rec={} replay(g={},p={}) mism={} retries={} stalls={} stale={}",
             self.label,
             self.protocol.label(),
@@ -147,7 +161,20 @@ impl RunReport {
             self.net_retries,
             self.server_stalls,
             self.stale_gets,
-        )
+        );
+        if self.journal_group_commits > 0 || self.journal_records_batched > 0 {
+            s.push_str(&format!(
+                " gc={} batch={}",
+                self.journal_group_commits, self.journal_records_batched
+            ));
+        }
+        if self.restarts > 0 || self.quarantined > 0 {
+            s.push_str(&format!(
+                " rst={} quar={} mttr={:.3}s/max={:.3}s",
+                self.restarts, self.quarantined, self.mttr_mean_s, self.mttr_max_s
+            ));
+        }
+        s
     }
 
     /// The whole report as one JSON line (no trailing newline) — the format
@@ -198,6 +225,10 @@ mod tests {
             segments_compacted: 0,
             journal_group_commits: 0,
             journal_records_batched: 0,
+            restarts: 0,
+            quarantined: 0,
+            mttr_mean_s: 0.0,
+            mttr_max_s: 0.0,
             cold_restart_ms: 0.0,
             schedules_explored: 0,
             states_pruned: 0,
@@ -218,5 +249,27 @@ mod tests {
     fn summary_contains_label() {
         let r = report(1.0, 1, 1.0);
         assert!(r.summary().contains("Un"));
+    }
+
+    #[test]
+    fn summary_surfaces_journal_and_supervision_counters_when_nonzero() {
+        let plain = report(1.0, 1, 1.0);
+        assert!(!plain.summary().contains("gc="), "zero counters stay out of the line");
+        assert!(!plain.summary().contains("rst="));
+        let mut r = report(1.0, 1, 1.0);
+        r.journal_group_commits = 4;
+        r.journal_records_batched = 17;
+        r.restarts = 3;
+        r.quarantined = 1;
+        r.mttr_mean_s = 0.25;
+        r.mttr_max_s = 0.5;
+        let s = r.summary();
+        assert!(s.contains("gc=4 batch=17"), "journal counters surface: {s}");
+        assert!(s.contains("rst=3 quar=1 mttr=0.250s/max=0.500s"), "supervision: {s}");
+        // And the JSON line round-trips them.
+        let back: RunReport = serde_json::from_str(&r.to_json_line()).unwrap();
+        assert_eq!(back.restarts, 3);
+        assert_eq!(back.quarantined, 1);
+        assert_eq!(back.journal_group_commits, 4);
     }
 }

@@ -35,7 +35,11 @@ pub fn materialize_failures(cfg: &WorkflowConfig) -> Vec<FailureSpec> {
             FailureSpec::At { .. }
             | FailureSpec::StagingAt { .. }
             | FailureSpec::StagingStall { .. }
-            | FailureSpec::NetFaults { .. } => out.push(spec.clone()),
+            | FailureSpec::NetFaults { .. }
+            | FailureSpec::Cascading { .. }
+            | FailureSpec::Correlated { .. }
+            | FailureSpec::FailDuringRecovery { .. }
+            | FailureSpec::PoisonPut { .. } => out.push(spec.clone()),
             FailureSpec::Mtbf { mtbf_secs, count } => {
                 let mut t = 0.0;
                 for _ in 0..*count {
@@ -95,6 +99,8 @@ pub struct BuiltWorkflow {
     /// The shared recorder every actor writes spans into. Disabled (all
     /// operations no-ops) unless `cfg.trace` asks for recording.
     pub tracer: obs::Tracer,
+    /// Supervisor actor id, when `cfg.supervision` enables supervision.
+    pub sup_id: Option<usize>,
 }
 
 /// Execute one workflow run and report.
@@ -224,11 +230,45 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     let net_id = engine.add_actor(Box::new(network));
     let handle = NetworkHandle { actor: net_id };
 
+    // 4b. Supervisor (supervised runs only). Registered after the network
+    // actor so the component/server actor-id layout mcheck depends on is
+    // untouched.
+    let sup_id = cfg.supervision.as_ref().map(|s| {
+        let dlq = match &s.dlq_dir {
+            Some(dir) => {
+                let media = Box::new(
+                    logstore::FsMedia::new(std::path::Path::new(dir))
+                        .expect("create dead-letter directory"),
+                );
+                supervise::DeadLetterQueue::with_sink(media, logstore::LogConfig::default())
+                    .expect("open dead-letter queue")
+            }
+            None => supervise::DeadLetterQueue::new(),
+        };
+        let mut sup = crate::supervisor_actor::SupervisorActor::new(s.supervisor_cfg(), dlq);
+        for (i, c) in cfg.components.iter().enumerate() {
+            sup.watch_component(c.app, comp_ids[i], c.recovery);
+        }
+        for srv in 0..cfg.nservers {
+            sup.watch_server(srv as u32);
+        }
+        sup.set_tracer(tracer.clone());
+        engine.add_actor(Box::new(sup))
+    });
+    if let (Some(sid), Some(s)) = (sup_id, &cfg.supervision) {
+        if let Some(timeout) = s.wedge_timeout {
+            engine.schedule_at(timeout, sid, crate::supervisor_actor::WedgeScan);
+        }
+    }
+
     // 5. Wire everyone.
     for (i, &cid) in comp_ids.iter().enumerate() {
         let c = engine.actor_as_mut::<ComponentActor>(cid).expect("component actor");
         c.wire(handle, comp_eps[i], server_eps.clone(), dir_id);
         c.set_tracer(tracer.clone());
+        if let Some(sid) = sup_id {
+            c.set_supervisor(sid);
+        }
         if fault_plan.is_some() {
             // Unlimited attempts: virtual time is free, and a wedge from an
             // exhausted budget would mask the fault being studied. Bases are
@@ -242,14 +282,30 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
             });
         }
     }
-    for (i, &sid) in server_ids.iter().enumerate() {
-        let s = engine.actor_as_mut::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
+    for (i, &srv_id) in server_ids.iter().enumerate() {
+        let s =
+            engine.actor_as_mut::<StagingServerActor<AnyBackend>>(srv_id).expect("server actor");
         s.wire(handle, server_eps[i]);
         s.set_tracer(tracer.clone());
+        if let Some(sid) = sup_id {
+            s.set_supervisor(sid);
+        }
     }
     let dir = engine.actor_as_mut::<Director>(dir_id).expect("director");
     dir.wire(handle, dir_ep, server_eps.clone());
     dir.set_tracer(tracer.clone());
+
+    // 5a. Poison inputs: not scheduled events but standing state — the
+    // victim dies every time it processes the poisoned step's input, until
+    // the supervisor quarantines it (validate() requires supervision).
+    for spec in &cfg.failures {
+        if let FailureSpec::PoisonPut { victim, step } = spec {
+            let idx =
+                cfg.components.iter().position(|c| c.app == *victim).expect("poison victim exists");
+            let c = engine.actor_as_mut::<ComponentActor>(comp_ids[idx]).expect("component actor");
+            c.set_poison(*step);
+        }
+    }
 
     // 5b. Transient staging stalls: perturbations, not failures, so they are
     // scheduled regardless of the protocol (even FailureFree serves through
@@ -301,8 +357,53 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                         },
                     );
                 }
-                // Installed on the network / scheduled in step 5b.
-                FailureSpec::NetFaults { .. } | FailureSpec::StagingStall { .. } => {}
+                FailureSpec::Cascading { at, first, spread } => {
+                    // The first victim dies at `at`; the failure then spreads
+                    // to every other component in ascending app order, one
+                    // `spread` apart — the correlated-cascade scenario.
+                    let idx_of = |app: u32| {
+                        cfg.components
+                            .iter()
+                            .position(|c| c.app == app)
+                            .expect("cascade victim exists")
+                    };
+                    engine.schedule_at(at, comp_ids[idx_of(first)], Fail);
+                    let mut rest: Vec<u32> =
+                        cfg.components.iter().map(|c| c.app).filter(|&a| a != first).collect();
+                    rest.sort_unstable();
+                    let mut t = at;
+                    for app in rest {
+                        t += spread;
+                        engine.schedule_at(t, comp_ids[idx_of(app)], Fail);
+                    }
+                }
+                FailureSpec::Correlated { at, apps } => {
+                    // One root cause (rack power, switch) takes several
+                    // components down at the same instant.
+                    for app in apps {
+                        let idx = cfg
+                            .components
+                            .iter()
+                            .position(|c| c.app == app)
+                            .expect("correlated victim exists");
+                        engine.schedule_at(at, comp_ids[idx], Fail);
+                    }
+                }
+                FailureSpec::FailDuringRecovery { at, app, again_after } => {
+                    // The second blow lands while the first recovery is in
+                    // flight (size `again_after` below the recovery time).
+                    let idx = cfg
+                        .components
+                        .iter()
+                        .position(|c| c.app == app)
+                        .expect("fail-during-recovery victim exists");
+                    engine.schedule_at(at, comp_ids[idx], Fail);
+                    engine.schedule_at(at + again_after, comp_ids[idx], Fail);
+                }
+                // Installed on the network / scheduled or wired in step 5.
+                FailureSpec::NetFaults { .. }
+                | FailureSpec::StagingStall { .. }
+                | FailureSpec::PoisonPut { .. } => {}
                 FailureSpec::Mtbf { .. } => unreachable!("materialized"),
             }
         }
@@ -312,13 +413,13 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
     for &cid in &comp_ids {
         engine.schedule_now(cid, StartStep);
     }
-    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id, tracer }
+    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id, tracer, sup_id }
 }
 
 /// Distill a completed run into a [`RunReport`]. Asserts every component
 /// finished (a wedged run is a bug, not a result).
 pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
-    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, tracer, .. } = built;
+    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, tracer, sup_id, .. } = built;
     // Journal counters need a flush pre-pass (mutable access) before the
     // read-only sweep: the graceful end of a run drains each server's
     // buffered journal tail so `bytes_flushed` reflects the whole history.
@@ -393,6 +494,21 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         proactive_ckpts += u64::from(c.proactive_ckpts());
     }
 
+    let mut restarts = 0u64;
+    let mut quarantined = 0u64;
+    let mut mttr_mean_s = 0.0;
+    let mut mttr_max_s = 0.0;
+    if let Some(sid) = sup_id {
+        let sa = engine
+            .actor_as::<crate::supervisor_actor::SupervisorActor>(*sid)
+            .expect("supervisor actor");
+        let sup = sa.supervisor();
+        restarts = sup.restarts();
+        quarantined = sup.quarantined();
+        mttr_mean_s = sup.mttr_mean_ns() as f64 / 1e9;
+        mttr_max_s = sup.mttr_max_ns() as f64 / 1e9;
+    }
+
     let put_stream = m.stream("wf.put_response_s");
     RunReport {
         label: cfg.label.clone(),
@@ -430,6 +546,10 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         segments_compacted,
         journal_group_commits,
         journal_records_batched,
+        restarts,
+        quarantined,
+        mttr_mean_s,
+        mttr_max_s,
         cold_restart_ms: 0.0,
         schedules_explored: 0,
         states_pruned: 0,

@@ -1,0 +1,290 @@
+//! The supervisor actor: the DES embedding of [`supervise::Supervisor`].
+//!
+//! One actor per supervised run. Components report deaths and progress
+//! beacons; staging servers report fail-stop / rebuild-complete. The actor
+//! feeds the pure policy machine in the `supervise` crate with virtual-time
+//! timestamps and enacts its verdicts as delayed [`RestartGrant`] messages
+//! — so backoff, breaker holds, and quarantine decisions all land on the
+//! simulated clock and replay identically for a given seed.
+//!
+//! Wedge detection is a periodic self-timer ([`WedgeScan`], armed by the
+//! runner when [`crate::config::SupervisionCfg::wedge_timeout`] is set):
+//! any healthy, unfinished component domain silent past the timeout is shot
+//! with a [`WedgeKill`], which re-enters the ordinary death path with
+//! [`DeathCause::Wedge`] and a restart-in-place grant (a wedged process has
+//! nothing wrong with its state — it lost an event, not its memory).
+
+use std::collections::BTreeMap;
+
+use obs::{arg, TraceCtx};
+use sim_core::engine::{Actor, ActorId, Ctx, Event};
+use sim_core::time::SimTime;
+use staging::server::{ServerDownNotice, ServerUpNotice};
+use supervise::{DeadLetterQueue, DeathCause, DomainKey, RecoveryPolicy, Supervisor};
+
+/// Component → supervisor: the component died.
+pub struct ComponentDown {
+    /// The dead component's app id.
+    pub app: u32,
+    /// The step it was executing when it died.
+    pub step: u32,
+    /// Why it died.
+    pub cause: DeathCause,
+}
+
+/// Component → supervisor: the component resumed executing (closes the
+/// outage opened by its first [`ComponentDown`] of the streak).
+pub struct ComponentRecovered {
+    /// The recovered component's app id.
+    pub app: u32,
+}
+
+/// Component → supervisor: progress beacon (step advanced, or `done`).
+pub struct Progress {
+    /// The reporting component's app id.
+    pub app: u32,
+    /// The step just completed.
+    pub step: u32,
+    /// All steps complete; exempt this component from wedge scans.
+    pub done: bool,
+}
+
+/// Supervisor → component: restart now, under `policy`. Fires after the
+/// backoff (and any breaker hold) chosen by the policy machine.
+pub struct RestartGrant {
+    /// How the component must recover its state.
+    pub policy: RecoveryPolicy,
+    /// A step to quarantine before restarting (poison past the threshold).
+    pub quarantine: Option<u32>,
+}
+
+/// Supervisor → component: you look wedged; die and restart.
+pub struct WedgeKill;
+
+/// Periodic self-timer driving wedge scans. The runner schedules the first
+/// tick when wedge detection is configured.
+pub struct WedgeScan;
+
+/// The supervision actor. Build with [`SupervisorActor::new`], then wire
+/// domains with [`watch_component`](SupervisorActor::watch_component) /
+/// [`watch_server`](SupervisorActor::watch_server) during runner assembly.
+pub struct SupervisorActor {
+    sup: Supervisor,
+    /// App id → component actor, for grant delivery and wedge kills.
+    comp_actor: BTreeMap<u32, ActorId>,
+    /// App id → that component's recovery policy.
+    comp_policy: BTreeMap<u32, RecoveryPolicy>,
+    /// Wedge scan period (the configured wedge timeout).
+    wedge_period: Option<SimTime>,
+    // Observability (inert when the tracer is off).
+    tracer: obs::Tracer,
+    track: obs::TrackId,
+    /// Open outage span per domain.
+    outage_spans: BTreeMap<DomainKey, TraceCtx>,
+}
+
+impl SupervisorActor {
+    /// A supervisor actor around a fresh policy machine quarantining into
+    /// `dlq`.
+    pub fn new(cfg: supervise::SupervisorCfg, dlq: DeadLetterQueue) -> SupervisorActor {
+        let wedge_period = cfg.wedge_timeout_ns.map(SimTime::from_nanos);
+        SupervisorActor {
+            sup: Supervisor::with_dlq(cfg, dlq),
+            comp_actor: BTreeMap::new(),
+            comp_policy: BTreeMap::new(),
+            wedge_period,
+            tracer: obs::Tracer::off(),
+            track: obs::TrackId(0),
+            outage_spans: BTreeMap::new(),
+        }
+    }
+
+    /// Watch the component `app`, delivering grants to `actor` under
+    /// `policy`.
+    pub fn watch_component(&mut self, app: u32, actor: ActorId, policy: RecoveryPolicy) {
+        self.sup.watch(DomainKey::Component(app));
+        self.comp_actor.insert(app, actor);
+        self.comp_policy.insert(app, policy);
+    }
+
+    /// Watch staging server `server`. Its restarts are driven by the
+    /// resilience layer's rebuild, not by grants; the supervisor only
+    /// accounts the outage.
+    pub fn watch_server(&mut self, server: u32) {
+        self.sup.watch(DomainKey::Server(server));
+    }
+
+    /// Runner wiring: attach a tracer (own `supervisor` track).
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.track = tracer.track("supervisor");
+        self.tracer = tracer;
+    }
+
+    /// The wrapped policy machine, for post-run harvest.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.sup
+    }
+
+    fn open_outage(&mut self, ctx: &Ctx<'_>, key: DomainKey, cause: DeathCause) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let span = self.outage_spans.entry(key).or_insert(TraceCtx::NONE);
+        if span.is_none() {
+            *span = self.tracer.begin(
+                TraceCtx::NONE,
+                self.track,
+                "outage",
+                ctx.now().as_nanos(),
+                ctx.seq(),
+                vec![arg("domain", key.label()), arg("cause", cause.label())],
+            );
+        } else {
+            let parent = *span;
+            self.tracer.instant(
+                parent,
+                self.track,
+                "redeath",
+                ctx.now().as_nanos(),
+                ctx.seq(),
+                vec![arg("cause", cause.label())],
+            );
+        }
+    }
+
+    fn close_outage(&mut self, ctx: &Ctx<'_>, key: DomainKey) {
+        if let Some(span) = self.outage_spans.remove(&key) {
+            if !span.is_none() {
+                self.tracer.end(span, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());
+            }
+        }
+    }
+
+    fn on_component_down(&mut self, ctx: &mut Ctx<'_>, msg: &ComponentDown) {
+        let key = DomainKey::Component(msg.app);
+        let now = ctx.now().as_nanos();
+        self.open_outage(ctx, key, msg.cause);
+        let verdict = self.sup.on_death(key, now, msg.cause);
+        ctx.metrics().inc("sup.deaths", 1);
+        ctx.metrics().inc("sup.restarts", 1);
+        // A wedged component's state is intact — it lost an event, not its
+        // memory — so the kill restarts it in place regardless of policy.
+        let policy = if msg.cause == DeathCause::Wedge {
+            RecoveryPolicy::RestartInPlace
+        } else {
+            *self.comp_policy.get(&msg.app).expect("death from unwatched component")
+        };
+        let quarantine = match verdict {
+            supervise::Verdict::Quarantine { step, .. } => {
+                ctx.metrics().inc("sup.quarantined", 1);
+                if self.tracer.enabled() {
+                    let parent = self.outage_spans.get(&key).copied().unwrap_or(TraceCtx::NONE);
+                    self.tracer.instant(
+                        parent,
+                        self.track,
+                        "quarantine",
+                        ctx.now().as_nanos(),
+                        ctx.seq(),
+                        vec![arg("domain", key.label()), arg("step", step)],
+                    );
+                }
+                Some(step)
+            }
+            supervise::Verdict::Restart { .. } => None,
+        };
+        let target = *self.comp_actor.get(&msg.app).expect("death from unwatched component");
+        let delay = SimTime::from_nanos(verdict.delay_ns());
+        ctx.send_after(delay, target, RestartGrant { policy, quarantine });
+    }
+
+    fn on_wedge_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(period) = self.wedge_period else { return };
+        let now = ctx.now().as_nanos();
+        for key in self.sup.wedged(now) {
+            if let DomainKey::Component(app) = key {
+                if let Some(&target) = self.comp_actor.get(&app) {
+                    ctx.metrics().inc("sup.wedge_kills", 1);
+                    if self.tracer.enabled() {
+                        self.tracer.instant(
+                            TraceCtx::NONE,
+                            self.track,
+                            "wedge_kill",
+                            ctx.now().as_nanos(),
+                            ctx.seq(),
+                            vec![arg("domain", key.label())],
+                        );
+                    }
+                    ctx.send_now(target, WedgeKill);
+                }
+            }
+        }
+        if self.sup.any_unfinished() {
+            ctx.timer(period, WedgeScan);
+        }
+    }
+}
+
+impl Actor for SupervisorActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        let ev = match ev.downcast::<ComponentDown>() {
+            Ok((_, d)) => {
+                self.on_component_down(ctx, &d);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ComponentRecovered>() {
+            Ok((_, r)) => {
+                let key = DomainKey::Component(r.app);
+                self.sup.on_recovered(key, ctx.now().as_nanos());
+                self.close_outage(ctx, key);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<Progress>() {
+            Ok((_, p)) => {
+                let key = DomainKey::Component(p.app);
+                let now = ctx.now().as_nanos();
+                if p.done {
+                    self.sup.on_finished(key, now);
+                } else {
+                    self.sup.on_progress(key, now);
+                }
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ServerDownNotice>() {
+            Ok((_, d)) => {
+                // Server restarts ride the resilience rebuild, not a grant:
+                // the policy machine only accounts the outage (and its
+                // breaker state answers "is this server crash-looping?").
+                let key = DomainKey::Server(d.server as u32);
+                let now = ctx.now().as_nanos();
+                self.open_outage(ctx, key, DeathCause::FailStop);
+                let _ = self.sup.on_death(key, now, DeathCause::FailStop);
+                ctx.metrics().inc("sup.deaths", 1);
+                ctx.metrics().inc("sup.restarts", 1);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<ServerUpNotice>() {
+            Ok((_, u)) => {
+                let key = DomainKey::Server(u.server as u32);
+                self.sup.on_recovered(key, ctx.now().as_nanos());
+                self.close_outage(ctx, key);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        if ev.is::<WedgeScan>() {
+            self.on_wedge_scan(ctx);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "supervisor"
+    }
+}

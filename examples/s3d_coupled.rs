@@ -32,6 +32,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
                 jitter: 0.04,
                 state_bytes: 128 * (40 << 20),
                 scheme: FtScheme::CheckpointRestart { period: 4 },
+                recovery: supervise::RecoveryPolicy::Checkpoint,
                 subset_millis: 1000,
                 subset_pattern: workflow::config::SubsetPattern::Fixed,
             },
@@ -45,6 +46,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
                 jitter: 0.04,
                 state_bytes: 32 * (40 << 20),
                 scheme: FtScheme::CheckpointRestart { period: 6 },
+                recovery: supervise::RecoveryPolicy::Checkpoint,
                 subset_millis: 1000,
                 subset_pattern: workflow::config::SubsetPattern::Fixed,
             },
@@ -73,6 +75,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
         reconnect_per_rank: SimTime::from_millis(5),
         seed: 1234,
         durability: None,
+        supervision: None,
         trace: None,
     }
 }

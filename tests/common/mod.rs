@@ -22,6 +22,18 @@ impl Drop for Watchdog {
 
 /// Arm a watchdog for the calling test.
 pub fn watchdog(test: &'static str, limit: Duration) -> Watchdog {
+    watchdog_with_dump(test, limit, || {})
+}
+
+/// Arm a watchdog that runs `dump` before aborting — the hook for dumping
+/// whatever shared diagnostics the test wired up (the obs flight recorder
+/// via a cloned [`obs::Tracer`], the engine's shared event-trace ring via
+/// `Engine::enable_trace_shared`), so a wedged run dies with its evidence
+/// attached instead of just a timeout.
+pub fn watchdog_with_dump<F>(test: &'static str, limit: Duration, dump: F) -> Watchdog
+where
+    F: FnOnce() + Send + 'static,
+{
     let done = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&done);
     std::thread::spawn(move || {
@@ -32,8 +44,36 @@ pub fn watchdog(test: &'static str, limit: Duration) -> Watchdog {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
-        eprintln!("watchdog: test `{test}` still running after {limit:?}; aborting process");
+        eprintln!("watchdog: test `{test}` still running after {limit:?}; dumping diagnostics");
+        dump();
+        eprintln!("watchdog: aborting process");
         std::process::abort();
     });
     Watchdog { done }
+}
+
+/// A ready-made dump closure for workflow tests: prints the obs flight
+/// recorder (if recording) and the tail of a shared engine trace ring.
+#[allow(dead_code)] // each test binary compiles common/ independently
+pub fn dump_tracer_and_ring(
+    tracer: obs::Tracer,
+    ring: Arc<std::sync::Mutex<sim_core::trace::TraceRing>>,
+) -> impl FnOnce() + Send + 'static {
+    move || {
+        if tracer.enabled() {
+            let t = tracer.dump();
+            eprintln!(
+                "--- flight recorder: {} trace records ({} dropped) ---",
+                t.records.len(),
+                t.dropped
+            );
+            eprint!("{}", t.to_jsonl());
+        }
+        if let Ok(r) = ring.lock() {
+            eprintln!("--- engine trace ring: last {} of {} events ---", r.len(), r.total());
+            for e in r.iter() {
+                eprintln!("{e:?}");
+            }
+        }
+    }
 }

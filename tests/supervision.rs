@@ -1,0 +1,255 @@
+//! Self-healing supervision: automatic restarts, dead-letter quarantine,
+//! and the cascading-failure scenario matrix.
+//!
+//! The invariants pinned here, per the supervision design (DESIGN §8):
+//!
+//! * A single component crash — including one landing *during its own
+//!   recovery* — recovers under every [`RecoveryPolicy`] without a global
+//!   rollback: only the victim rolls back, the run completes, and the
+//!   staging replay digests verify clean.
+//! * A poison put crash-loops its consumer until the breaker trips, the
+//!   step is quarantined to the dead-letter queue, and the *rest* of the
+//!   run completes — byte-identically across same-seed runs.
+//! * The DLQ persisted through `logstore` survives a process restart.
+//! * The cascading/correlated/fail-during-recovery matrix from
+//!   `faultplane::scenario` is deterministic end to end (soak, `--ignored`).
+
+mod common;
+
+use std::time::Duration;
+use supervise::{DeadLetterQueue, RecoveryPolicy};
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::{tiny, FailureSpec, SupervisionCfg, TraceCfg, WorkflowConfig};
+use workflow::runner::run;
+use workflow::RunReport;
+
+use sim_core::time::SimTime;
+
+/// Supervised tiny workflow under the uncoordinated (logging) protocol —
+/// logging keeps the replay digest checker live so `digest_mismatches`
+/// means something in every test.
+fn supervised(policy: RecoveryPolicy) -> WorkflowConfig {
+    tiny(WorkflowProtocol::Uncoordinated)
+        .with_supervision(SupervisionCfg::default())
+        .with_recovery(policy)
+}
+
+fn assert_completed(rep: &RunReport, ctx: &str) {
+    assert_eq!(rep.finish_times_s.len(), 2, "{ctx}: both components must finish");
+    assert_eq!(rep.digest_mismatches, 0, "{ctx}: replay digests must verify clean");
+}
+
+/// One mid-run crash of the consumer, per recovery policy. Each policy
+/// restarts exactly once, only the victim pays (no global rollback), and
+/// the policies' restore costs are ordered the way the design promises:
+/// journal replay skips the checkpoint-image read, restart-in-place skips
+/// the rollback entirely.
+#[test]
+fn single_crash_recovers_per_policy() {
+    let _wd = common::watchdog("single_crash_recovers_per_policy", Duration::from_secs(120));
+    let fail = vec![FailureSpec::At { at: SimTime::from_millis(700), app: 1 }];
+
+    let ck = run(&supervised(RecoveryPolicy::Checkpoint).with_failures(fail.clone()));
+    assert_completed(&ck, "checkpoint");
+    assert_eq!(ck.restarts, 1);
+    assert_eq!(ck.quarantined, 0);
+    assert_eq!(ck.recoveries, 1, "checkpoint: only the victim rolls back");
+    assert!(ck.mttr_mean_s > 0.0 && ck.mttr_max_s >= ck.mttr_mean_s);
+
+    let jr = run(&supervised(RecoveryPolicy::JournalReplay).with_failures(fail.clone()));
+    assert_completed(&jr, "journal-replay");
+    assert_eq!(jr.restarts, 1);
+    assert_eq!(jr.recoveries, 1);
+    assert!(
+        jr.recovery_restore_s < ck.recovery_restore_s,
+        "journal replay must skip the checkpoint-image read ({} vs {})",
+        jr.recovery_restore_s,
+        ck.recovery_restore_s
+    );
+
+    let ip = run(&supervised(RecoveryPolicy::RestartInPlace).with_failures(fail));
+    assert_completed(&ip, "restart-in-place");
+    assert_eq!(ip.restarts, 1);
+    assert_eq!(ip.recoveries, 0, "restart-in-place does not roll back");
+    assert_eq!(ip.rollback_steps, 0);
+    assert!(ip.mttr_mean_s > 0.0);
+}
+
+/// Satellite 4 — the deterministic poison-put regression. A poisoned step-3
+/// input kills the consumer on every attempt; after `poison_threshold`
+/// deaths the breaker quarantines the step to the DLQ, the consumer skips
+/// it, and the rest of the run completes. Two same-seed runs must produce
+/// byte-identical reports.
+#[test]
+fn poison_put_quarantines_and_rest_completes_byte_identically() {
+    let _wd = common::watchdog("poison_put_quarantines", Duration::from_secs(120));
+    let cfg = supervised(RecoveryPolicy::Checkpoint)
+        .with_failures(vec![FailureSpec::PoisonPut { victim: 1, step: 3 }]);
+    let a = run(&cfg);
+    assert_completed(&a, "poison-put");
+    assert_eq!(a.quarantined, 1, "the poisoned step must land in the DLQ");
+    assert_eq!(
+        a.restarts as u32,
+        SupervisionCfg::default().poison_threshold,
+        "one restart per death until the breaker trips"
+    );
+    assert!(a.mttr_mean_s > 0.0);
+
+    let b = run(&cfg);
+    assert_eq!(a.to_json_line(), b.to_json_line(), "same seed, same supervised report");
+}
+
+/// Without supervision the same poison-put spec is rejected up front — the
+/// config layer refuses a plan that would wedge the run in a crash loop.
+#[test]
+fn poison_put_without_supervision_is_rejected() {
+    let cfg = tiny(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::PoisonPut { victim: 1, step: 3 }]);
+    let err = cfg.validate().unwrap_err();
+    assert!(err.contains("supervision"), "unexpected error: {err}");
+}
+
+/// The second blow lands while the first recovery is still in flight: the
+/// outage extends (one long MTTR streak, growing backoff) instead of
+/// deadlocking or double-restarting, and the run still completes.
+#[test]
+fn crash_during_recovery_extends_the_outage() {
+    let _wd = common::watchdog("crash_during_recovery", Duration::from_secs(120));
+    let cfg = supervised(RecoveryPolicy::Checkpoint).with_failures(vec![
+        FailureSpec::FailDuringRecovery {
+            at: SimTime::from_millis(700),
+            app: 1,
+            again_after: SimTime::from_millis(80),
+        },
+    ]);
+    let rep = run(&cfg);
+    assert_completed(&rep, "fail-during-recovery");
+    assert_eq!(rep.restarts, 2, "both deaths must be granted a restart");
+    assert_eq!(rep.quarantined, 0);
+    assert!(
+        rep.mttr_max_s > 0.08,
+        "the re-death must extend the same outage past the 80 ms lag (mttr_max={})",
+        rep.mttr_max_s
+    );
+
+    let again = run(&cfg);
+    assert_eq!(rep.to_json_line(), again.to_json_line());
+}
+
+/// Cascading (domino) and correlated (same-instant) multi-component
+/// failures: every victim recovers independently, recoveries overlap
+/// without interfering, and same-seed runs stay byte-identical.
+#[test]
+fn cascading_and_correlated_failures_recover_deterministically() {
+    let _wd = common::watchdog("cascading_and_correlated", Duration::from_secs(120));
+    let cascade =
+        supervised(RecoveryPolicy::Checkpoint).with_failures(vec![FailureSpec::Cascading {
+            at: SimTime::from_millis(600),
+            first: 0,
+            spread: SimTime::from_millis(120),
+        }]);
+    let c1 = run(&cascade);
+    assert_completed(&c1, "cascading");
+    assert_eq!(c1.restarts, 2, "the failure must spread to both components");
+    assert_eq!(c1.to_json_line(), run(&cascade).to_json_line());
+
+    let correlated =
+        supervised(RecoveryPolicy::Checkpoint).with_failures(vec![FailureSpec::Correlated {
+            at: SimTime::from_millis(650),
+            apps: vec![0, 1],
+        }]);
+    let r1 = run(&correlated);
+    assert_completed(&r1, "correlated");
+    assert_eq!(r1.restarts, 2, "both victims must restart");
+    assert_eq!(r1.to_json_line(), run(&correlated).to_json_line());
+}
+
+/// The dead-letter queue is a `logstore` log: letters written during the
+/// run are readable by a fresh process (simulated here by re-opening the
+/// sink from disk) with domain, step, death count and reason intact.
+#[test]
+fn dead_letter_queue_persists_across_restart() {
+    let _wd = common::watchdog("dlq_persists", Duration::from_secs(120));
+    let dir = std::env::temp_dir().join(format!("sup-dlq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let sup = SupervisionCfg {
+        dlq_dir: Some(dir.to_string_lossy().into_owned()),
+        ..SupervisionCfg::default()
+    };
+    let cfg = tiny(WorkflowProtocol::Uncoordinated)
+        .with_supervision(sup)
+        .with_failures(vec![FailureSpec::PoisonPut { victim: 1, step: 3 }]);
+    let rep = run(&cfg);
+    assert_eq!(rep.quarantined, 1);
+
+    let media = Box::new(logstore::FsMedia::new(&dir).unwrap());
+    let dlq = DeadLetterQueue::load(media, logstore::LogConfig::default()).unwrap();
+    assert_eq!(dlq.len(), 1, "exactly one letter must survive the restart");
+    let letter = &dlq.letters()[0];
+    assert_eq!(letter.domain, "comp:1");
+    assert_eq!(letter.step, 3);
+    assert_eq!(letter.deaths, SupervisionCfg::default().poison_threshold);
+    assert_eq!(letter.reason, "poison-put");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Map one scenario-matrix cell onto a concrete workflow config.
+fn scenario_cfg(s: &faultplane::Scenario) -> WorkflowConfig {
+    use faultplane::ScenarioKind;
+    let at = SimTime::from_millis(s.at_ms);
+    let lag = SimTime::from_millis(s.lag_ms);
+    let failures = match s.kind {
+        ScenarioKind::Cascading => {
+            vec![FailureSpec::Cascading { at, first: 0, spread: lag }]
+        }
+        ScenarioKind::Correlated => vec![FailureSpec::Correlated { at, apps: vec![0, 1] }],
+        ScenarioKind::FailDuringRecovery => {
+            vec![FailureSpec::FailDuringRecovery { at, app: 1, again_after: lag }]
+        }
+        ScenarioKind::PoisonPut => vec![FailureSpec::PoisonPut { victim: 1, step: 3 }],
+    };
+    let mut cfg = supervised(RecoveryPolicy::Checkpoint).with_failures(failures).with_seed(s.seed);
+    cfg.trace = Some(TraceCfg { flight_cap: Some(2048) });
+    cfg
+}
+
+/// Satellite 5 — the supervision soak: sweep the full cascading-failure
+/// scenario matrix, run every cell twice, and require completion, clean
+/// digests and byte-identical reports. Each cell is armed with a watchdog
+/// that dumps the obs flight recorder and the engine trace ring on hang,
+/// so a wedged cell dies with its evidence attached. Nightly / label-run
+/// via CI; locally: `cargo test --test supervision -- --ignored`.
+#[test]
+#[ignore]
+fn supervision_soak() {
+    let cells = faultplane::scenario::matrix(&[7, 11], &[600, 700], &[80]);
+    for cell in &cells {
+        let cfg = scenario_cfg(cell);
+        cfg.validate().unwrap_or_else(|e| panic!("{}: invalid cfg: {e}", cell.label()));
+
+        let mut built = workflow::runner::build(&cfg);
+        let ring = built.engine.enable_trace_shared(512);
+        let wd = common::watchdog_with_dump(
+            "supervision_soak",
+            Duration::from_secs(120),
+            common::dump_tracer_and_ring(built.tracer.clone(), ring),
+        );
+        built.engine.run_limited(200_000_000);
+        let rep = workflow::runner::harvest(&mut built);
+        drop(wd);
+
+        assert_completed(&rep, &cell.label());
+        assert!(rep.restarts > 0, "{}: supervision must have acted", cell.label());
+        let again = run(&cfg);
+        assert_eq!(
+            rep.to_json_line(),
+            again.to_json_line(),
+            "{}: same seed, same report",
+            cell.label()
+        );
+    }
+    eprintln!("supervision_soak: {} cells green", cells.len());
+}

@@ -29,7 +29,7 @@
 //! Usage: `detlint [path ...]` — paths are `.rs` files or directories
 //! (recursed). With no arguments, lints the default deterministic envelope:
 //! `crates/sim-core/src`, `crates/net/src/des.rs`, `crates/wfcr/src`,
-//! `crates/staging/src`, `crates/obs/src`.
+//! `crates/staging/src`, `crates/obs/src`, `crates/supervise/src`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -41,6 +41,7 @@ const DEFAULT_TARGETS: &[&str] = &[
     "crates/wfcr/src",
     "crates/staging/src",
     "crates/obs/src",
+    "crates/supervise/src",
 ];
 
 /// One lint rule: a name (used in `allow(<name>)` waivers) and the
