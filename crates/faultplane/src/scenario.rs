@@ -64,25 +64,54 @@ pub struct Scenario {
     /// Spread between cascade victims / lag of the second blow,
     /// milliseconds. Ignored by kinds without a second timing knob.
     pub lag_ms: u64,
+    /// Staging shard pulled into the failure domain (`srv:N`): Cascading
+    /// scenarios extend the domino chain into shard `N`, Correlated ones
+    /// fail it at the same instant as the components. `None` keeps the
+    /// scenario component-only. Ignored by kinds without a shard knob.
+    #[serde(default)]
+    pub shard: Option<u32>,
 }
 
 impl Scenario {
-    /// `kind@at+lag/seed` — unique within a matrix, stable across runs.
+    /// `kind@at+lag/seed` (`/srv:N` appended when a shard is targeted) —
+    /// unique within a matrix, stable across runs.
     pub fn label(&self) -> String {
-        format!("{}@{}+{}ms/s{}", self.kind.label(), self.at_ms, self.lag_ms, self.seed)
+        let mut s =
+            format!("{}@{}+{}ms/s{}", self.kind.label(), self.at_ms, self.lag_ms, self.seed);
+        if let Some(shard) = self.shard {
+            s.push_str(&format!("/srv:{shard}"));
+        }
+        s
     }
 }
 
 /// The full cross product kind × onset × lag × seed, in deterministic
-/// order (kind-major, seed-minor). Every call with the same arguments
-/// yields the same vector, element for element.
+/// order (kind-major, seed-minor), with no shard targeting. Every call with
+/// the same arguments yields the same vector, element for element.
 pub fn matrix(seeds: &[u64], ats_ms: &[u64], lags_ms: &[u64]) -> Vec<Scenario> {
-    let mut out = Vec::with_capacity(ALL_KINDS.len() * seeds.len() * ats_ms.len() * lags_ms.len());
+    matrix_sharded(seeds, ats_ms, lags_ms, &[None])
+}
+
+/// The cross product with a shard-target dimension: each `Some(n)` entry
+/// repeats the matrix with staging shard `n` joining the failure domain of
+/// the kinds that can name one (Cascading, Correlated). Deterministic order:
+/// kind-major, then onset, lag, shard, seed-minor.
+pub fn matrix_sharded(
+    seeds: &[u64],
+    ats_ms: &[u64],
+    lags_ms: &[u64],
+    shards: &[Option<u32>],
+) -> Vec<Scenario> {
+    let mut out = Vec::with_capacity(
+        ALL_KINDS.len() * seeds.len() * ats_ms.len() * lags_ms.len() * shards.len(),
+    );
     for kind in ALL_KINDS {
         for &at_ms in ats_ms {
             for &lag_ms in lags_ms {
-                for &seed in seeds {
-                    out.push(Scenario { kind, seed, at_ms, lag_ms });
+                for &shard in shards {
+                    for &seed in seeds {
+                        out.push(Scenario { kind, seed, at_ms, lag_ms, shard });
+                    }
                 }
             }
         }
@@ -117,9 +146,37 @@ mod tests {
 
     #[test]
     fn scenario_serde_round_trips() {
-        let s = Scenario { kind: ScenarioKind::FailDuringRecovery, seed: 7, at_ms: 650, lag_ms: 5 };
+        let s = Scenario {
+            kind: ScenarioKind::FailDuringRecovery,
+            seed: 7,
+            at_ms: 650,
+            lag_ms: 5,
+            shard: None,
+        };
         let j = serde_json::to_string(&s).unwrap();
         let back: Scenario = serde_json::from_str(&j).unwrap();
         assert_eq!(back, s);
+        // Pre-shard documents (no `shard` field) stay readable.
+        let legacy: Scenario =
+            serde_json::from_str(r#"{"kind":"Cascading","seed":1,"at_ms":500,"lag_ms":10}"#)
+                .unwrap();
+        assert_eq!(legacy.shard, None);
+    }
+
+    #[test]
+    fn sharded_matrix_adds_the_shard_dimension() {
+        let m = matrix_sharded(&[1], &[500], &[10], &[None, Some(0), Some(2)]);
+        assert_eq!(m.len(), 4 * 3, "4 kinds × 3 shard targets");
+        assert_eq!(m, matrix_sharded(&[1], &[500], &[10], &[None, Some(0), Some(2)]));
+        assert_eq!(m[0].shard, None);
+        assert_eq!(m[1].shard, Some(0));
+        assert_eq!(m[2].shard, Some(2));
+        assert!(m[2].label().ends_with("/srv:2"), "{}", m[2].label());
+        assert!(!m[0].label().contains("srv"), "{}", m[0].label());
+        let mut labels: Vec<String> = m.iter().map(|s| s.label()).collect();
+        let n = labels.len();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), n, "labels stay unique across the shard dimension");
     }
 }

@@ -40,5 +40,5 @@ pub use cursor::{CursorSource, RecordedChoice, Recorder, SharedRecorder};
 pub use explore::{ExploreConfig, ExploreOutcome, Explorer, Model, Violation};
 pub use hb::{HbTracker, Race, VectorClock};
 pub use minimize::ddmin;
-pub use oracle::{CounterZero, FnOracle, Oracle};
+pub use oracle::{disjoint_owners, CounterZero, FnOracle, Oracle};
 pub use schedule::{Choice, Schedule};

@@ -104,6 +104,31 @@ impl Oracle for CounterZero {
     }
 }
 
+/// Cross-shard conservation: every key must live on exactly one owner.
+///
+/// `owned` is the flattened `(owner, key)` population collected from a
+/// sharded fleet (a key may repeat *within* an owner — replayed redundant
+/// writes do that legitimately). Returns `Err` naming the first key claimed
+/// by two different owners. Pure so both the DES oracle and threaded test
+/// harnesses can share it.
+pub fn disjoint_owners<K: Ord + std::fmt::Debug>(
+    owned: impl IntoIterator<Item = (usize, K)>,
+) -> Result<(), String> {
+    let mut owner_of: std::collections::BTreeMap<K, usize> = std::collections::BTreeMap::new();
+    for (owner, key) in owned {
+        match owner_of.get(&key) {
+            None => {
+                owner_of.insert(key, owner);
+            }
+            Some(&prev) if prev != owner => {
+                return Err(format!("piece {key:?} served by two shards: {prev} and {owner}"));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +141,18 @@ mod tests {
         eng.metrics_mut().inc("x.mismatches", 2);
         let err = o.check(&eng).unwrap_err();
         assert!(err.contains("x.mismatches = 2"), "{err}");
+    }
+
+    #[test]
+    fn disjoint_owners_accepts_repeats_within_one_shard() {
+        assert!(disjoint_owners([(0, "a"), (0, "a"), (1, "b")]).is_ok());
+        assert!(disjoint_owners(Vec::<(usize, u64)>::new()).is_ok());
+    }
+
+    #[test]
+    fn disjoint_owners_rejects_a_key_on_two_shards() {
+        let err = disjoint_owners([(0, "a"), (1, "a")]).unwrap_err();
+        assert!(err.contains("two shards: 0 and 1"), "{err}");
     }
 
     #[test]

@@ -130,12 +130,24 @@ impl Distribution {
         BBox { ndim: self.domain.ndim, lb, ub }
     }
 
-    /// Server owning block `coord`, by rank of its SFC code.
-    pub fn server_of_block(&self, coord: [u64; MAX_DIMS]) -> ServerIdx {
-        let code = match self.curve {
+    /// The SFC code of block `coord` — the block's key in partition maps
+    /// (`shardmap`) and spatial indexes.
+    pub fn block_code(&self, coord: [u64; MAX_DIMS]) -> u64 {
+        match self.curve {
             Curve::Morton => morton3(coord[0], coord[1], coord[2]),
             Curve::Hilbert => hilbert3(self.order, coord[0], coord[1], coord[2]),
-        };
+        }
+    }
+
+    /// The sorted SFC codes of every block in the grid (the key universe a
+    /// range partition map is built over).
+    pub fn codes(&self) -> &[u64] {
+        &self.codes
+    }
+
+    /// Server owning block `coord`, by rank of its SFC code.
+    pub fn server_of_block(&self, coord: [u64; MAX_DIMS]) -> ServerIdx {
+        let code = self.block_code(coord);
         let rank = self.codes.binary_search(&code).expect("block coordinate outside the grid");
         rank * self.nservers / self.codes.len()
     }

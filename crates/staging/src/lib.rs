@@ -18,6 +18,9 @@
 //!   contiguous SFC ranges map to servers (DataSpaces' distribution scheme).
 //! * [`dist`] — the domain decomposition: global domain → fixed-size blocks →
 //!   server ownership via SFC range partitioning.
+//! * [`router`] — shard-aware routing: the decomposition composed with an
+//!   explicit versioned partition map (`shardmap`), so block ownership can
+//!   be rebalanced across a fleet without touching the geometry.
 //! * [`payload`] — real (`Bytes`) or *virtual* (size + digest only) payloads,
 //!   so laptop-scale tests can verify content while Cori-scale simulations
 //!   only account bytes.
@@ -44,6 +47,7 @@ pub mod geometry;
 pub mod hilbert;
 pub mod payload;
 pub mod proto;
+pub mod router;
 pub mod server;
 pub mod service;
 pub mod sfc;
@@ -57,5 +61,6 @@ pub use dist::Distribution;
 pub use geometry::BBox;
 pub use payload::Payload;
 pub use proto::{GetRequest, GetResponse, ObjDesc, PutRequest, PutResponse, VarId, Version};
+pub use router::Router;
 pub use service::{PlainBackend, ServerLogic, StoreBackend};
 pub use store::VersionedStore;

@@ -8,11 +8,12 @@
 //! writer load into the response-time inflation measured in Figure 9.
 
 use crate::dist::{Distribution, ServerIdx};
-use crate::geometry::BBox;
+use crate::geometry::{BBox, MAX_DIMS};
 use crate::payload::Payload;
 use crate::proto::{
     AppId, CtlMsg, CtlRequest, GetPiece, GetRequest, ObjDesc, PutRequest, VarId, Version,
 };
+use crate::router::Router;
 use crate::service::{ServerLogic, StoreBackend};
 use net::des::{Delivered, EndpointId, NetworkHandle};
 use obs::{arg, TraceCtx};
@@ -137,6 +138,10 @@ pub struct StagingServerActor<B> {
     rebuilds: u32,
     /// Stall windows survived.
     stalls: u32,
+    /// Puts served to completion (shard-balance accounting).
+    puts_served: u64,
+    /// Gets served to completion (shard-balance accounting).
+    gets_served: u64,
     /// Synthetic sequence source for raw (un-sequenced) control ingress.
     raw_ctl_seq: u64,
     /// Observability (inert when the tracer is off).
@@ -186,6 +191,8 @@ impl<B: StoreBackend> StagingServerActor<B> {
             incarnation: 0,
             rebuilds: 0,
             stalls: 0,
+            puts_served: 0,
+            gets_served: 0,
             raw_ctl_seq: 0,
             tracer: obs::Tracer::off(),
             track: obs::TrackId(0),
@@ -220,6 +227,17 @@ impl<B: StoreBackend> StagingServerActor<B> {
     /// Injected stall windows this server has survived.
     pub fn stalls(&self) -> u32 {
         self.stalls
+    }
+
+    /// Puts this shard has served to completion (including deduplicated
+    /// retries) — the per-shard balance number reported by run summaries.
+    pub fn puts_served(&self) -> u64 {
+        self.puts_served
+    }
+
+    /// Gets this shard has served to completion.
+    pub fn gets_served(&self) -> u64 {
+        self.gets_served
     }
 
     /// Runner wiring: set the network handle and this server's endpoint
@@ -414,6 +432,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
                     "stored"
                 };
                 let args = vec![
+                    arg("shard", self.index),
                     arg("var", r.desc.var),
                     arg("version", r.desc.version),
                     arg("decision", decision),
@@ -428,8 +447,12 @@ impl<B: StoreBackend> StagingServerActor<B> {
                 } else {
                     "served"
                 };
-                let args =
-                    vec![arg("var", r.var), arg("version", r.version), arg("decision", decision)];
+                let args = vec![
+                    arg("shard", self.index),
+                    arg("var", r.var),
+                    arg("version", r.version),
+                    arg("decision", decision),
+                ];
                 (r.tctx, "serve.get", args)
             }
             Req::Ctl { msg, .. } => {
@@ -438,7 +461,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
                     CtlRequest::Recovery { .. } => "recovery",
                     CtlRequest::GlobalReset { .. } => "global_reset",
                 };
-                let mut args = vec![arg("kind", kind)];
+                let mut args = vec![arg("shard", self.index), arg("kind", kind)];
                 if dup {
                     args.push(arg("decision", "dup"));
                 }
@@ -686,10 +709,12 @@ impl<B: StoreBackend> StagingServerActor<B> {
         let full_rescan = matches!(&done.req, Req::Ctl { .. });
         match done.req {
             Req::Put(_) => {
+                self.puts_served += 1;
                 let resp = self.stash_put.take().expect("stashed put response");
                 self.net.send(ctx, self.ep, done.from_ep, HEADER_BYTES, resp);
             }
             Req::Get(_) => {
+                self.gets_served += 1;
                 let resp = self.stash_get.take().expect("stashed get response");
                 let size: u64 = HEADER_BYTES
                     + resp.pieces.iter().map(|p| p.payload.accounted_len()).sum::<u64>();
@@ -716,58 +741,16 @@ impl<B: StoreBackend> StagingServerActor<B> {
     }
 }
 
-/// Plan the per-server requests for a `put` of `bbox` with `bytes_per_point`
-/// bytes at each grid point. Payloads are virtual with deterministic digests
-/// derived from `(app, var, version, block corner)` — the same identity the
-/// producer would deterministically regenerate on re-execution, which is what
-/// makes digest-based replay checks meaningful.
-pub fn plan_put_virtual(
-    dist: &Distribution,
+/// Assemble the per-block put requests from an already-routed block list.
+fn puts_from_blocks(
+    blocks: Vec<([u64; MAX_DIMS], BBox, ServerIdx)>,
     app: AppId,
     var: VarId,
     version: Version,
-    bbox: &BBox,
-    bytes_per_point: u64,
-    seq_start: u64,
-) -> Vec<(ServerIdx, PutRequest)> {
-    dist.blocks_overlapping(bbox)
-        .into_iter()
-        .enumerate()
-        .map(|(i, (_coord, clipped, server))| {
-            let len = clipped.volume() * bytes_per_point;
-            let identity = [
-                app as u64,
-                var as u64,
-                version as u64,
-                clipped.lb[0],
-                clipped.lb[1],
-                clipped.lb[2],
-            ];
-            (
-                server,
-                PutRequest {
-                    app,
-                    desc: ObjDesc { var, version, bbox: clipped },
-                    payload: Payload::virtual_from(len, &identity),
-                    seq: seq_start + i as u64,
-                    tctx: TraceCtx::NONE,
-                },
-            )
-        })
-        .collect()
-}
-
-/// Plan a `put` with caller-provided payload content per block.
-pub fn plan_put_with(
-    dist: &Distribution,
-    app: AppId,
-    var: VarId,
-    version: Version,
-    bbox: &BBox,
     seq_start: u64,
     mut fill: impl FnMut(&BBox) -> Payload,
 ) -> Vec<(ServerIdx, PutRequest)> {
-    dist.blocks_overlapping(bbox)
+    blocks
         .into_iter()
         .enumerate()
         .map(|(i, (_coord, clipped, server))| {
@@ -785,19 +768,15 @@ pub fn plan_put_with(
         .collect()
 }
 
-/// Plan the per-server requests for a `get` of `bbox`.
-pub fn plan_get(
-    dist: &Distribution,
+/// Assemble the per-block get requests from an already-routed block list.
+fn gets_from_blocks(
+    blocks: Vec<([u64; MAX_DIMS], BBox, ServerIdx)>,
     app: AppId,
     var: VarId,
     version: Version,
-    bbox: &BBox,
     seq_start: u64,
 ) -> Vec<(ServerIdx, GetRequest)> {
-    // One request per server covering the union of that server's clipped
-    // blocks would be tighter; per-block requests keep responses block-sized
-    // and match how DataSpaces issues queries.
-    dist.blocks_overlapping(bbox)
+    blocks
         .into_iter()
         .enumerate()
         .map(|(i, (_coord, clipped, server))| {
@@ -814,6 +793,122 @@ pub fn plan_get(
             )
         })
         .collect()
+}
+
+/// The virtual-payload fill shared by the dist- and router-planned puts:
+/// deterministic digests derived from `(app, var, version, block corner)` —
+/// the identity a producer would deterministically regenerate on
+/// re-execution, which is what makes digest-based replay checks meaningful.
+fn virtual_fill(
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bytes_per_point: u64,
+) -> impl FnMut(&BBox) -> Payload {
+    move |clipped: &BBox| {
+        let len = clipped.volume() * bytes_per_point;
+        let identity =
+            [app as u64, var as u64, version as u64, clipped.lb[0], clipped.lb[1], clipped.lb[2]];
+        Payload::virtual_from(len, &identity)
+    }
+}
+
+/// Plan the per-server requests for a `put` of `bbox` with `bytes_per_point`
+/// bytes at each grid point, payloads virtual (see [`plan_put_with`] for
+/// caller-provided content).
+pub fn plan_put_virtual(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    bytes_per_point: u64,
+    seq_start: u64,
+) -> Vec<(ServerIdx, PutRequest)> {
+    puts_from_blocks(
+        dist.blocks_overlapping(bbox),
+        app,
+        var,
+        version,
+        seq_start,
+        virtual_fill(app, var, version, bytes_per_point),
+    )
+}
+
+/// [`plan_put_virtual`] routed through a shard-aware [`Router`]: each block
+/// goes to the shard owning it *for this data version*, so writes after a
+/// rebalance land on the new owner while earlier versions stay put.
+pub fn plan_put_virtual_routed(
+    router: &Router,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    bytes_per_point: u64,
+    seq_start: u64,
+) -> Vec<(ServerIdx, PutRequest)> {
+    puts_from_blocks(
+        router.blocks_overlapping(bbox, version),
+        app,
+        var,
+        version,
+        seq_start,
+        virtual_fill(app, var, version, bytes_per_point),
+    )
+}
+
+/// Plan a `put` with caller-provided payload content per block.
+pub fn plan_put_with(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+    fill: impl FnMut(&BBox) -> Payload,
+) -> Vec<(ServerIdx, PutRequest)> {
+    puts_from_blocks(dist.blocks_overlapping(bbox), app, var, version, seq_start, fill)
+}
+
+/// [`plan_put_with`], routed through a shard-aware [`Router`].
+pub fn plan_put_with_routed(
+    router: &Router,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+    fill: impl FnMut(&BBox) -> Payload,
+) -> Vec<(ServerIdx, PutRequest)> {
+    puts_from_blocks(router.blocks_overlapping(bbox, version), app, var, version, seq_start, fill)
+}
+
+/// Plan the per-server requests for a `get` of `bbox`.
+pub fn plan_get(
+    dist: &Distribution,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+) -> Vec<(ServerIdx, GetRequest)> {
+    // One request per server covering the union of that server's clipped
+    // blocks would be tighter; per-block requests keep responses block-sized
+    // and match how DataSpaces issues queries.
+    gets_from_blocks(dist.blocks_overlapping(bbox), app, var, version, seq_start)
+}
+
+/// [`plan_get`], routed through a shard-aware [`Router`]: reads of a version
+/// written before a rebalance go to the shard that held the block *then*.
+pub fn plan_get_routed(
+    router: &Router,
+    app: AppId,
+    var: VarId,
+    version: Version,
+    bbox: &BBox,
+    seq_start: u64,
+) -> Vec<(ServerIdx, GetRequest)> {
+    gets_from_blocks(router.blocks_overlapping(bbox, version), app, var, version, seq_start)
 }
 
 /// Verify that `pieces` exactly tile `bbox` (pairwise disjoint, all inside,

@@ -16,7 +16,8 @@ use crate::proto::{
     AppId, CtlAck, CtlMsg, CtlRequest, CtlResponse, GetPiece, GetRequest, GetResponse, PutRequest,
     PutResponse, PutStatus, VarId, Version,
 };
-use crate::server::{covers_exactly, plan_get, plan_put_with, HEADER_BYTES};
+use crate::router::Router;
+use crate::server::{covers_exactly, plan_get_routed, plan_put_with_routed, HEADER_BYTES};
 use crate::service::{ServerLogic, StoreBackend};
 use faultplane::RetryPolicy;
 use net::threaded::{NetMsg, RecvTimeoutError, ThreadEndpoint};
@@ -255,7 +256,7 @@ fn drain_window(
 /// [`ClientError::RetryExhausted`] instead of blocking forever.
 pub struct SyncClient {
     endpoint: ThreadEndpoint,
-    dist: Distribution,
+    router: Router,
     /// Endpoint index of each staging server in the mesh.
     server_eps: Vec<usize>,
     app: AppId,
@@ -264,17 +265,29 @@ pub struct SyncClient {
 }
 
 impl SyncClient {
-    /// Create a client. `server_eps[i]` must be the mesh endpoint of staging
-    /// server `i` in `dist`'s numbering.
+    /// Create a client routed by `dist`'s built-in range partition.
+    /// `server_eps[i]` must be the mesh endpoint of staging server `i` in
+    /// `dist`'s numbering.
     pub fn new(
         endpoint: ThreadEndpoint,
         dist: Distribution,
         server_eps: Vec<usize>,
         app: AppId,
     ) -> Self {
-        assert_eq!(server_eps.len(), dist.nservers, "one endpoint per server");
+        Self::new_routed(endpoint, Router::unsharded(dist), server_eps, app)
+    }
+
+    /// Create a client routed through an explicit (possibly sharded)
+    /// [`Router`]. `server_eps[i]` must be the mesh endpoint of shard `i`.
+    pub fn new_routed(
+        endpoint: ThreadEndpoint,
+        router: Router,
+        server_eps: Vec<usize>,
+        app: AppId,
+    ) -> Self {
+        assert_eq!(server_eps.len(), router.nservers(), "one endpoint per server");
         let retry = RetryPolicy::default().with_seed(app as u64);
-        SyncClient { endpoint, dist, server_eps, app, seq: 0, retry }
+        SyncClient { endpoint, router, server_eps, app, seq: 0, retry }
     }
 
     /// Replace the retry policy (builder style).
@@ -305,7 +318,7 @@ impl SyncClient {
         fill: impl FnMut(&BBox) -> Payload,
     ) -> Result<Vec<PutStatus>, ClientError> {
         let seq0 = self.seq;
-        let reqs = plan_put_with(&self.dist, self.app, var, version, bbox, seq0, fill);
+        let reqs = plan_put_with_routed(&self.router, self.app, var, version, bbox, seq0, fill);
         self.next_seq(reqs.len());
         let mut outstanding: HashMap<u64, (usize, PutRequest)> =
             reqs.into_iter().map(|(server, req)| (req.seq, (server, req))).collect();
@@ -363,7 +376,7 @@ impl SyncClient {
         bbox: &BBox,
     ) -> Result<Vec<GetPiece>, ClientError> {
         let seq0 = self.seq;
-        let reqs = plan_get(&self.dist, self.app, var, version, bbox, seq0);
+        let reqs = plan_get_routed(&self.router, self.app, var, version, bbox, seq0);
         self.next_seq(reqs.len());
         let mut outstanding: HashMap<u64, (usize, GetRequest)> =
             reqs.into_iter().map(|(server, req)| (req.seq, (server, req))).collect();
@@ -495,7 +508,12 @@ impl SyncClient {
 
     /// The distribution in use.
     pub fn dist(&self) -> &Distribution {
-        &self.dist
+        self.router.dist()
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &Router {
+        &self.router
     }
 
     /// Per-server endpoints (for sending [`Shutdown`] at teardown).

@@ -38,6 +38,7 @@
 //!   regress or duplicate.
 
 pub mod backend;
+pub mod conservation;
 pub mod event;
 pub mod gc;
 pub mod iface;
@@ -48,6 +49,7 @@ pub mod replay;
 pub mod snapshot;
 
 pub use backend::LoggingBackend;
+pub use conservation::{logged_put_keys, PieceKey};
 pub use event::LogEvent;
 pub use iface::WorkflowClient;
 pub use journal::{JournalEntry, JournalHandle};

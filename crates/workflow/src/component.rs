@@ -53,13 +53,13 @@ use obs::{arg, TraceCtx};
 use sim_core::engine::{Actor, ActorId, Ctx, Event};
 use sim_core::rng::Xoshiro256StarStar;
 use sim_core::time::SimTime;
-use staging::dist::Distribution;
 use staging::geometry::BBox;
 use staging::proto::{
     CtlAck, CtlMsg, CtlRequest, CtlResponse, GetRequest, GetResponse, PutRequest, PutResponse,
     PutStatus,
 };
-use staging::server::{plan_get, plan_put_virtual, HEADER_BYTES};
+use staging::server::{plan_get_routed, plan_put_virtual_routed, HEADER_BYTES};
+use staging::Router;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use supervise::{DeathCause, RecoveryPolicy};
 
@@ -151,7 +151,7 @@ pub struct ComponentActor {
     protocol: wfcr::protocol::WorkflowProtocol,
     total_steps: u32,
     coordinated_period: u32,
-    dist: Distribution,
+    router: Router,
     domain: BBox,
     /// Variables this component writes each step.
     write_vars: Vec<u32>,
@@ -257,7 +257,7 @@ impl ComponentActor {
     /// `ep`, `server_eps`, `director`) is patched by the runner after actor
     /// registration.
     pub fn new(wf: &WorkflowConfig, cfg: ComponentConfig, rng: Xoshiro256StarStar) -> Self {
-        let dist = Distribution::with_curve(wf.domain_bbox(), wf.block, wf.nservers, wf.sfc);
+        let router = wf.build_router();
         let comm = Communicator::new(cfg.ranks, cfg.spares);
         // Variable namespace: every writing component owns the var range
         // [app·nvars, app·nvars + nvars); readers consume the union of every
@@ -283,7 +283,7 @@ impl ComponentActor {
             protocol: wf.protocol,
             total_steps: wf.total_steps,
             coordinated_period: wf.coordinated_period,
-            dist,
+            router,
             domain: wf.domain_bbox(),
             write_vars,
             read_vars,
@@ -532,8 +532,8 @@ impl ComponentActor {
         );
         for &var in &self.write_vars {
             for region in &write_regions {
-                let reqs = plan_put_virtual(
-                    &self.dist,
+                let reqs = plan_put_virtual_routed(
+                    &self.router,
                     self.cfg.app,
                     var,
                     self.step,
@@ -573,7 +573,8 @@ impl ComponentActor {
             for region in
                 crate::config::coupled_regions(&self.domain, subset_millis, pattern, self.step)
             {
-                let reqs = plan_get(&self.dist, self.cfg.app, var, self.step, &region, self.seq);
+                let reqs =
+                    plan_get_routed(&self.router, self.cfg.app, var, self.step, &region, self.seq);
                 self.seq += reqs.len() as u64;
                 count += reqs.len();
                 for (server, mut req) in reqs {
@@ -880,11 +881,20 @@ impl ComponentActor {
 
         if replicated {
             // Replication: fail over to the replica; no rollback, no staging
-            // recovery. The pause lands on the next compute phase.
+            // recovery. The pause lands on the next compute phase. Under
+            // supervision the fail-stop is still *observed*: the supervisor
+            // opens an outage (MTTR accounting) that the next step start
+            // closes — but it grants no restart, because the replica already
+            // took over.
             self.failovers += 1;
             self.pending_delay += self.failover;
             ctx.metrics().inc("wf.failovers", 1);
             self.span_instant(ctx, self.step_span, "failover", Vec::new());
+            if let Some(sup) = self.supervisor {
+                self.outage_open = true;
+                let msg = crate::supervisor_actor::FailoverNotice { app: self.cfg.app };
+                ctx.send_now(sup, msg);
+            }
             return;
         }
 

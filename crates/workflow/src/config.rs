@@ -177,6 +177,11 @@ pub enum FailureSpec {
         first: u32,
         /// Gap between successive victims.
         spread: SimTime,
+        /// Staging shards pulled into the cascade: after the components,
+        /// each listed server fails `spread` after the previous victim
+        /// (the scenario-matrix `srv:N` dimension).
+        #[serde(default)]
+        servers: Vec<usize>,
     },
     /// Correlated failure: all of `apps` fail at the same instant `at` (a
     /// shared-switch or shared-blade loss).
@@ -185,6 +190,10 @@ pub enum FailureSpec {
         at: SimTime,
         /// Victims (must be non-empty).
         apps: Vec<u32>,
+        /// Staging shards sharing the failure domain: each listed server
+        /// fails at the same instant `at`.
+        #[serde(default)]
+        servers: Vec<usize>,
     },
     /// `app` fails at `at` and then fails *again* `again_after` into its own
     /// recovery — the fail-during-recovery shape that breaks naive
@@ -346,6 +355,48 @@ impl SupervisionCfg {
     }
 }
 
+/// How the sharded fleet assigns block keys to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardAssign {
+    /// Contiguous SFC ranges — reproduces the classic `Distribution` range
+    /// partition exactly, so an unrebalanced Range run routes identically
+    /// to an unsharded one.
+    Range,
+    /// Rendezvous (highest-random-weight) hashing with the given seed —
+    /// spreads hot SFC ranges and moves only ~1/N of keys when the fleet
+    /// grows.
+    Hashed {
+        /// Hash seed (part of the map identity; same seed → same map).
+        seed: u64,
+    },
+}
+
+/// A scripted live rebalance: at data version `at_version` the partition
+/// map migrates `blocks` to shard `to` (a new map epoch — writes of
+/// `at_version` and later go to `to`, earlier versions stay with, and are
+/// replayed by, the old owner).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RebalanceCfg {
+    /// First data version routed by the migrated map.
+    pub at_version: u32,
+    /// Block grid coordinates to migrate.
+    pub blocks: Vec<[u64; 3]>,
+    /// Destination shard.
+    pub to: usize,
+}
+
+/// Sharded staging fleet: route every put/get through an explicit versioned
+/// partition map instead of the distribution's implicit range partition.
+/// `None` (the default) keeps the seed's unsharded routing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardingCfg {
+    /// Key → shard assignment policy.
+    pub assign: ShardAssign,
+    /// Optional scripted mid-run map migration.
+    #[serde(default)]
+    pub rebalance: Option<RebalanceCfg>,
+}
+
 /// Parameters of the staging area's own resilience (the CoREC substrate the
 /// paper builds on: "the data staging can contain data resilience mechanisms
 /// such as data replication or erasure coding").
@@ -443,6 +494,12 @@ pub struct WorkflowConfig {
     /// backoff, a crash-loop breaker, and dead-letter quarantine.
     #[serde(default)]
     pub supervision: Option<SupervisionCfg>,
+    /// Optional sharded staging fleet (absent in the seed's configs —
+    /// `#[serde(default)]` keeps old documents readable). When enabled,
+    /// every put/get routes through an explicit versioned partition map;
+    /// consistency windows, rollback, and GC floors are tracked per shard.
+    #[serde(default)]
+    pub sharding: Option<ShardingCfg>,
 }
 
 /// Causal-trace capture configuration.
@@ -544,6 +601,41 @@ impl WorkflowConfig {
         c
     }
 
+    /// Enable the sharded staging fleet on a copy.
+    pub fn with_sharding(&self, sharding: ShardingCfg) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.sharding = Some(sharding);
+        c
+    }
+
+    /// The staging domain decomposition this configuration describes.
+    pub fn dist(&self) -> staging::Distribution {
+        staging::Distribution::with_curve(self.domain_bbox(), self.block, self.nservers, self.sfc)
+    }
+
+    /// The request router: unsharded (classic range partition) unless
+    /// [`WorkflowConfig::sharding`] is set, in which case an explicit
+    /// versioned partition map — including any scripted rebalance epoch —
+    /// routes every block. Deterministic: the same config always builds the
+    /// same router.
+    pub fn build_router(&self) -> staging::Router {
+        let dist = self.dist();
+        let Some(sharding) = &self.sharding else {
+            return staging::Router::unsharded(dist);
+        };
+        let base = match sharding.assign {
+            ShardAssign::Range => shardmap::ShardMap::range_over(dist.codes(), dist.nservers),
+            ShardAssign::Hashed { seed } => shardmap::ShardMap::hashed(dist.nservers, seed),
+        };
+        let mut history = shardmap::MapHistory::single(base.clone());
+        if let Some(reb) = &sharding.rebalance {
+            let keys: Vec<u64> =
+                reb.blocks.iter().map(|&[x, y, z]| dist.block_code([x, y, z])).collect();
+            history = history.with_epoch(u64::from(reb.at_version), base.migrate(&keys, reb.to));
+        }
+        staging::Router::sharded(dist, history)
+    }
+
     /// Validate the failure plan against this configuration: component and
     /// server indices must exist, rates must be probabilities, windows and
     /// stalls must be non-empty.
@@ -586,21 +678,37 @@ impl WorkflowConfig {
                         return Err(at_spec("stall duration must be nonzero".into()));
                     }
                 }
-                FailureSpec::Cascading { first, spread, .. } => {
+                FailureSpec::Cascading { first, spread, servers, .. } => {
                     if !self.components.iter().any(|c| c.app == *first) {
                         return Err(at_spec(format!("unknown first victim app {first}")));
                     }
                     if spread.0 == 0 {
                         return Err(at_spec("cascade spread must be nonzero".into()));
                     }
+                    for s in servers {
+                        if *s >= self.nservers {
+                            return Err(at_spec(format!(
+                                "staging server {s} out of range ({} servers)",
+                                self.nservers
+                            )));
+                        }
+                    }
                 }
-                FailureSpec::Correlated { apps, .. } => {
-                    if apps.is_empty() {
+                FailureSpec::Correlated { apps, servers, .. } => {
+                    if apps.is_empty() && servers.is_empty() {
                         return Err(at_spec("correlated victim list is empty".into()));
                     }
                     for app in apps {
                         if !self.components.iter().any(|c| c.app == *app) {
                             return Err(at_spec(format!("unknown victim app {app}")));
+                        }
+                    }
+                    for s in servers {
+                        if *s >= self.nservers {
+                            return Err(at_spec(format!(
+                                "staging server {s} out of range ({} servers)",
+                                self.nservers
+                            )));
                         }
                     }
                 }
@@ -638,6 +746,33 @@ impl WorkflowConfig {
                             "a poison put without supervision wedges the run; \
                              enable supervision"
                                 .into(),
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(sharding) = &self.sharding {
+            if let Some(reb) = &sharding.rebalance {
+                if reb.to >= self.nservers {
+                    return Err(format!(
+                        "rebalance destination shard {} out of range ({} servers)",
+                        reb.to, self.nservers
+                    ));
+                }
+                if reb.at_version == 0 || reb.at_version >= self.total_steps {
+                    return Err(format!(
+                        "rebalance at_version {} outside 1..{} (must cut over mid-run)",
+                        reb.at_version, self.total_steps
+                    ));
+                }
+                if reb.blocks.is_empty() {
+                    return Err("rebalance block list is empty".into());
+                }
+                let counts = self.dist().counts();
+                for b in &reb.blocks {
+                    if b[0] >= counts[0] || b[1] >= counts[1] || b[2] >= counts[2] {
+                        return Err(format!(
+                            "rebalance block {b:?} outside the {counts:?} block grid"
                         ));
                     }
                 }
@@ -742,6 +877,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -830,6 +966,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -895,6 +1032,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -962,6 +1100,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -1029,6 +1168,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -1101,6 +1241,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
         durability: None,
         trace: None,
         supervision: None,
+        sharding: None,
     }
 }
 
@@ -1253,8 +1394,13 @@ mod tests {
                     at: SimTime::from_millis(10),
                     first: 0,
                     spread: SimTime::from_millis(50),
+                    servers: vec![],
                 },
-                FailureSpec::Correlated { at: SimTime::from_millis(20), apps: vec![0, 1] },
+                FailureSpec::Correlated {
+                    at: SimTime::from_millis(20),
+                    apps: vec![0, 1],
+                    servers: vec![1],
+                },
                 FailureSpec::FailDuringRecovery {
                     at: SimTime::from_millis(30),
                     app: 1,
@@ -1279,6 +1425,7 @@ mod tests {
                 at: SimTime::ZERO,
                 first: 99,
                 spread: SimTime::from_millis(1),
+                servers: vec![],
             }])
             .validate()
             .unwrap_err()
@@ -1288,16 +1435,31 @@ mod tests {
                 at: SimTime::ZERO,
                 first: 0,
                 spread: SimTime::ZERO,
+                servers: vec![],
             }])
             .validate()
             .unwrap_err()
             .contains("nonzero"));
         // Correlated: empty list.
         assert!(sup
-            .with_failures(vec![FailureSpec::Correlated { at: SimTime::ZERO, apps: vec![] }])
+            .with_failures(vec![FailureSpec::Correlated {
+                at: SimTime::ZERO,
+                apps: vec![],
+                servers: vec![],
+            }])
             .validate()
             .unwrap_err()
             .contains("empty"));
+        // Shard targets must exist (tiny has 4 servers).
+        assert!(sup
+            .with_failures(vec![FailureSpec::Correlated {
+                at: SimTime::ZERO,
+                apps: vec![0],
+                servers: vec![4],
+            }])
+            .validate()
+            .unwrap_err()
+            .contains("out of range"));
         // Fail-during-recovery and poison need supervision.
         assert!(base
             .with_failures(vec![FailureSpec::FailDuringRecovery {

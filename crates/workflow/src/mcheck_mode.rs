@@ -17,7 +17,10 @@
 //!   reclaimed bytes never regress;
 //! * **checkpoint-marker-monotonicity** — per-app event-queue checkpoint
 //!   markers (`w_chk_id`, covered version) never move backwards, even under
-//!   duplicated or reordered control messages.
+//!   duplicated or reordered control messages;
+//! * **cross-shard-conservation** — in a sharded fleet, every logged piece
+//!   is owned by exactly one shard: no block double-routed, no rebalance
+//!   that leaves a stale owner still accepting writes.
 
 use crate::backend::AnyBackend;
 use crate::config::WorkflowConfig;
@@ -138,7 +141,8 @@ fn for_each_logging(
     Ok(())
 }
 
-/// The four paper invariants as oracles over a set of staging servers.
+/// The paper invariants (plus fleet conservation) as oracles over a set of
+/// staging servers.
 pub fn consistency_oracles(server_ids: Vec<usize>) -> Vec<Box<dyn Oracle>> {
     let ids = server_ids.clone();
     let fidelity = FnOracle::new("replay-version-fidelity", move |e: &Engine| {
@@ -217,6 +221,22 @@ pub fn consistency_oracles(server_ids: Vec<usize>) -> Vec<Box<dyn Oracle>> {
         })
     });
 
+    let ids = server_ids.clone();
+    let conservation = FnOracle::new("cross-shard-conservation", move |e: &Engine| {
+        // Sharded-fleet conservation: every logged piece (app, var, version,
+        // block origin) is owned by exactly one shard. A key may legitimately
+        // repeat *within* one shard's log — redundant replay writes are
+        // logged again for replay verification — but the same key appearing
+        // on two different shards means a put was double-routed (or a
+        // rebalance migrated a block without retiring the old owner).
+        let mut owned: Vec<(usize, wfcr::PieceKey)> = Vec::new();
+        for_each_logging(e, &ids, |sid, lb| {
+            owned.extend(wfcr::logged_put_keys(lb).into_iter().map(|k| (sid, k)));
+            Ok(())
+        })?;
+        mcheck::disjoint_owners(owned)
+    });
+
     let ids = server_ids;
     let no_lost = FnOracle::new("no-lost-event", move |e: &Engine| {
         for_each_logging(e, &ids, |sid, lb| {
@@ -247,6 +267,7 @@ pub fn consistency_oracles(server_ids: Vec<usize>) -> Vec<Box<dyn Oracle>> {
         Box::new(absorption),
         Box::new(gc),
         Box::new(markers),
+        Box::new(conservation),
         Box::new(no_lost),
     ]
 }

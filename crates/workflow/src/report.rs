@@ -91,7 +91,8 @@ pub struct RunReport {
     #[serde(default)]
     pub journal_records_batched: u64,
     /// Restart grants issued by the supervisor, including staging-server
-    /// rebuilds it accounted (0 in unsupervised runs).
+    /// rebuilds and replica failovers it accounted as outages (0 in
+    /// unsupervised runs).
     #[serde(default)]
     pub restarts: u64,
     /// Poison inputs quarantined to the dead-letter queue.
@@ -108,6 +109,18 @@ pub struct RunReport {
     /// reconstruction), milliseconds. 0 for runs without a cold restart.
     #[serde(default)]
     pub cold_restart_ms: f64,
+    /// Shard count of the partitioned data plane (0 = unsharded run).
+    #[serde(default)]
+    pub shards: u64,
+    /// Partition-map rebalances that cut over mid-run.
+    #[serde(default)]
+    pub rebalances: u64,
+    /// Puts served per shard, shard order (empty in unsharded runs).
+    #[serde(default)]
+    pub shard_puts: Vec<u64>,
+    /// Log-replayed gets per shard, shard order (empty in unsharded runs).
+    #[serde(default)]
+    pub shard_replays: Vec<u64>,
     /// Schedules explored by the model-checker runner mode
     /// ([`crate::mcheck_mode::explore`]); 0 for plain runs.
     #[serde(default)]
@@ -174,6 +187,9 @@ impl RunReport {
                 self.restarts, self.quarantined, self.mttr_mean_s, self.mttr_max_s
             ));
         }
+        if self.shards > 0 {
+            s.push_str(&format!(" shards={} rebal={}", self.shards, self.rebalances));
+        }
         s
     }
 
@@ -230,6 +246,10 @@ mod tests {
             mttr_mean_s: 0.0,
             mttr_max_s: 0.0,
             cold_restart_ms: 0.0,
+            shards: 0,
+            rebalances: 0,
+            shard_puts: vec![],
+            shard_replays: vec![],
             schedules_explored: 0,
             states_pruned: 0,
             metrics: None,
@@ -271,5 +291,22 @@ mod tests {
         assert_eq!(back.restarts, 3);
         assert_eq!(back.quarantined, 1);
         assert_eq!(back.journal_group_commits, 4);
+    }
+
+    #[test]
+    fn summary_surfaces_shard_fields_when_sharded() {
+        let plain = report(1.0, 1, 1.0);
+        assert!(!plain.summary().contains("shards="), "unsharded runs stay quiet");
+        let mut r = report(1.0, 1, 1.0);
+        r.shards = 4;
+        r.rebalances = 1;
+        r.shard_puts = vec![24, 24, 24, 24];
+        r.shard_replays = vec![0, 8, 0, 0];
+        let s = r.summary();
+        assert!(s.contains("shards=4 rebal=1"), "shard segment surfaces: {s}");
+        let back: RunReport = serde_json::from_str(&r.to_json_line()).unwrap();
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.shard_puts, vec![24, 24, 24, 24]);
+        assert_eq!(back.shard_replays, vec![0, 8, 0, 0]);
     }
 }

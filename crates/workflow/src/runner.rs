@@ -357,10 +357,12 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                         },
                     );
                 }
-                FailureSpec::Cascading { at, first, spread } => {
+                FailureSpec::Cascading { at, first, spread, servers } => {
                     // The first victim dies at `at`; the failure then spreads
                     // to every other component in ascending app order, one
-                    // `spread` apart — the correlated-cascade scenario.
+                    // `spread` apart — the correlated-cascade scenario. Named
+                    // staging shards join the domino chain after the
+                    // components, each one `spread` later still.
                     let idx_of = |app: u32| {
                         cfg.components
                             .iter()
@@ -376,10 +378,23 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                         t += spread;
                         engine.schedule_at(t, comp_ids[idx_of(app)], Fail);
                     }
+                    for server in servers {
+                        assert!(server < server_ids.len(), "cascade server index");
+                        t += spread;
+                        engine.schedule_at(
+                            t,
+                            server_ids[server],
+                            staging::server::ServerFail {
+                                fixed: cfg.staging_resilience.fixed,
+                                per_byte_s: rebuild_per_byte_s,
+                            },
+                        );
+                    }
                 }
-                FailureSpec::Correlated { at, apps } => {
+                FailureSpec::Correlated { at, apps, servers } => {
                     // One root cause (rack power, switch) takes several
-                    // components down at the same instant.
+                    // components — and any staging shards sharing the failure
+                    // domain — down at the same instant.
                     for app in apps {
                         let idx = cfg
                             .components
@@ -387,6 +402,17 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
                             .position(|c| c.app == app)
                             .expect("correlated victim exists");
                         engine.schedule_at(at, comp_ids[idx], Fail);
+                    }
+                    for server in servers {
+                        assert!(server < server_ids.len(), "correlated server index");
+                        engine.schedule_at(
+                            at,
+                            server_ids[server],
+                            staging::server::ServerFail {
+                                fixed: cfg.staging_resilience.fixed,
+                                per_byte_s: rebuild_per_byte_s,
+                            },
+                        );
                     }
                 }
                 FailureSpec::FailDuringRecovery { at, app, again_after } => {
@@ -466,6 +492,9 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
     let mut staging_rebuilds = 0u64;
     let mut stale_gets = 0u64;
     let mut server_stalls = 0u64;
+    let sharded = cfg.sharding.is_some();
+    let mut shard_puts = Vec::new();
+    let mut shard_replays = Vec::new();
     for (i, &sid) in server_ids.iter().enumerate() {
         let g = m.gauge(&format!("staging.server{i}.bytes"));
         staging_peak_bytes += g.peak.max(0) as u64;
@@ -474,11 +503,19 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         staging_rebuilds += u64::from(s.rebuilds());
         server_stalls += u64::from(s.stalls());
         stale_gets += s.logic().backend().stale_gets();
+        if sharded {
+            shard_puts.push(s.puts_served());
+        }
         if let Some(lb) = s.logic().backend().as_logging() {
             absorbed += lb.absorbed_puts();
             replayed += lb.replayed_gets();
             mismatches += lb.digest_mismatches();
             gc_reclaimed += lb.gc_reclaimed();
+            if sharded {
+                shard_replays.push(lb.replayed_gets());
+            }
+        } else if sharded {
+            shard_replays.push(0);
         }
     }
 
@@ -551,6 +588,14 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         mttr_mean_s,
         mttr_max_s,
         cold_restart_ms: 0.0,
+        shards: if sharded { cfg.nservers as u64 } else { 0 },
+        rebalances: if sharded {
+            cfg.sharding.as_ref().and_then(|s| s.rebalance.as_ref()).map_or(0, |_| 1)
+        } else {
+            0
+        },
+        shard_puts,
+        shard_replays,
         schedules_explored: 0,
         states_pruned: 0,
         metrics: Some(m.snapshot()),

@@ -39,6 +39,16 @@ pub struct ComponentRecovered {
     pub app: u32,
 }
 
+/// Component → supervisor: a replicated component absorbed a fail-stop by
+/// failing over to its replica. No restart is needed (the replica already
+/// took over), but the supervisor still opens an outage for the failover
+/// pause — so MTTR accounting covers replicated domains too — and closes it
+/// on the component's next [`ComponentRecovered`].
+pub struct FailoverNotice {
+    /// The failed-over component's app id.
+    pub app: u32,
+}
+
 /// Component → supervisor: progress beacon (step advanced, or `done`).
 pub struct Progress {
     /// The reporting component's app id.
@@ -238,6 +248,21 @@ impl Actor for SupervisorActor {
                 let key = DomainKey::Component(r.app);
                 self.sup.on_recovered(key, ctx.now().as_nanos());
                 self.close_outage(ctx, key);
+                return;
+            }
+            Err(ev) => ev,
+        };
+        let ev = match ev.downcast::<FailoverNotice>() {
+            Ok((_, f)) => {
+                // Like a server down-notice: account the outage, grant
+                // nothing — the replica is already serving. Failover
+                // semantics are unchanged; only observability is added.
+                let key = DomainKey::Component(f.app);
+                let now = ctx.now().as_nanos();
+                self.open_outage(ctx, key, DeathCause::FailStop);
+                let _ = self.sup.on_death(key, now, DeathCause::FailStop);
+                ctx.metrics().inc("sup.deaths", 1);
+                ctx.metrics().inc("sup.failovers", 1);
                 return;
             }
             Err(ev) => ev,

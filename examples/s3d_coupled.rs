@@ -76,6 +76,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
         seed: 1234,
         durability: None,
         supervision: None,
+        sharding: None,
         trace: None,
     }
 }

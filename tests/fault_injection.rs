@@ -17,6 +17,7 @@ use faultplane::{FaultPlan, FaultRates, RetryPolicy};
 use net::threaded::ThreadedNet;
 use parking_lot::Mutex;
 use proptest::prelude::*;
+use shardmap::{MapHistory, ShardMap};
 use staging::dist::Distribution;
 use staging::geometry::BBox;
 use staging::payload::Payload;
@@ -24,6 +25,7 @@ use staging::proto::{AppId, CtlAck, CtlMsg, CtlRequest};
 use staging::server::HEADER_BYTES;
 use staging::service::{ServerCosts, ServerLogic};
 use staging::threaded::{spawn_server, SyncClient};
+use staging::Router;
 use std::sync::Arc;
 use std::time::Duration;
 use wfcr::backend::{pieces_digest, LoggingBackend};
@@ -78,8 +80,23 @@ fn lossy(seed: u64) -> FaultPlan {
 /// replay from the log). Returns the consumer's observed digests and the
 /// servers' replay digest mismatch count.
 fn crash_recovery_run(nservers: usize, plan: FaultPlan) -> (Vec<u64>, u64) {
+    crash_recovery_run_routed(nservers, plan, None)
+}
+
+/// The same campaign over a sharded fleet: with a partition-map `history`
+/// the clients route every block through the shard-aware [`Router`] instead
+/// of the plain distribution. `None` reproduces the unsharded harness.
+fn crash_recovery_run_routed(
+    nservers: usize,
+    plan: FaultPlan,
+    history: Option<MapHistory>,
+) -> (Vec<u64>, u64) {
     let domain = BBox::whole([16, 16, 16]);
     let dist = Distribution::new(domain, [8, 8, 8], nservers);
+    let router = |d: Distribution| match &history {
+        Some(h) => Router::sharded(d, h.clone()),
+        None => Router::unsharded(d),
+    };
     let mut eps = ThreadedNet::mesh_with_faults(nservers + 2, plan);
     let mut client_eps = eps.split_off(nservers);
     let handles: Vec<_> = eps
@@ -95,12 +112,13 @@ fn crash_recovery_run(nservers: usize, plan: FaultPlan) -> (Vec<u64>, u64) {
     let consumer_ep = client_eps.pop().unwrap();
     let producer_ep = client_eps.pop().unwrap();
     let mut producer = WorkflowClient::new(
-        SyncClient::new(producer_ep, dist.clone(), (0..nservers).collect(), SIM)
+        SyncClient::new_routed(producer_ep, router(dist.clone()), (0..nservers).collect(), SIM)
             .with_retry(patient()),
         Arc::clone(&ckpts),
     );
     let mut consumer = WorkflowClient::new(
-        SyncClient::new(consumer_ep, dist, (0..nservers).collect(), ANA).with_retry(patient()),
+        SyncClient::new_routed(consumer_ep, router(dist), (0..nservers).collect(), ANA)
+            .with_retry(patient()),
         ckpts,
     );
 
@@ -170,6 +188,63 @@ fn threaded_replay_equivalence_under_faults() {
         let (observed, mismatches) = crash_recovery_run(3, lossy(seed));
         assert_eq!(observed, truth, "seed {seed}: faults must not change observed data");
         assert_eq!(mismatches, 0, "seed {seed}: replay verification failed");
+    }
+}
+
+/// Sharded replay-equivalence, threaded half: the same crash/recovery
+/// campaign routed through a hashed partition map at 1, 2 and 4 shards
+/// observes byte-identical data to the unsharded ground truth — with a
+/// quiescent mesh and under injected faults — and every shard's replay
+/// digest verification stays clean. Re-homing blocks must never change
+/// what a reader sees.
+#[test]
+fn sharded_threaded_replay_equivalence_across_shard_counts() {
+    let _wd = common::watchdog("sharded_threaded_replay_equivalence", Duration::from_secs(300));
+    let (truth, clean_mism) = crash_recovery_run(3, FaultPlan::quiescent(0));
+    assert_eq!(clean_mism, 0);
+    for nshards in [1usize, 2, 4] {
+        let history = MapHistory::single(ShardMap::hashed(nshards, 0xC0FFEE));
+        let (observed, mismatches) =
+            crash_recovery_run_routed(nshards, FaultPlan::quiescent(0), Some(history.clone()));
+        assert_eq!(observed, truth, "{nshards} shards: routing must not change observed data");
+        assert_eq!(mismatches, 0, "{nshards} shards: replay verification failed");
+        let (observed, mismatches) = crash_recovery_run_routed(nshards, lossy(21), Some(history));
+        assert_eq!(observed, truth, "{nshards} shards under faults: observed data changed");
+        assert_eq!(mismatches, 0, "{nshards} shards under faults: replay drifted");
+    }
+}
+
+/// Sharded replay-equivalence, DES half: a sharded run with a component
+/// crash and a faulted interconnect produces a byte-identical report when
+/// re-run at every fleet size, and the replay digests verify clean — the
+/// deterministic-simulation counterpart of the threaded campaign above.
+#[test]
+fn sharded_des_reports_are_byte_identical_per_shard_count() {
+    use workflow::config::{ShardAssign, ShardingCfg};
+    for nshards in [1usize, 2, 4] {
+        let mut cfg = tiny(WorkflowProtocol::Uncoordinated)
+            .with_sharding(ShardingCfg {
+                assign: ShardAssign::Hashed { seed: 0xC0FFEE },
+                rebalance: None,
+            })
+            .with_failures(vec![FailureSpec::At {
+                at: sim_core::time::SimTime::from_millis(700),
+                app: 1,
+            }])
+            .with_net_faults(lossy(9));
+        cfg.nservers = nshards;
+        let r = run(&cfg);
+        assert_eq!(r.finish_times_s.len(), 2, "{nshards} shards: must finish");
+        assert_eq!(r.shards, nshards as u64);
+        assert_eq!(r.digest_mismatches, 0, "{nshards} shards: replay drifted");
+        assert_eq!(r.stale_gets, 0);
+        assert_eq!(r.recoveries, 1);
+        let again = run(&cfg);
+        assert_eq!(
+            r.to_json_line(),
+            again.to_json_line(),
+            "{nshards} shards: same seed, same report"
+        );
     }
 }
 

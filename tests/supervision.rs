@@ -147,6 +147,7 @@ fn cascading_and_correlated_failures_recover_deterministically() {
             at: SimTime::from_millis(600),
             first: 0,
             spread: SimTime::from_millis(120),
+            servers: vec![],
         }]);
     let c1 = run(&cascade);
     assert_completed(&c1, "cascading");
@@ -157,11 +158,54 @@ fn cascading_and_correlated_failures_recover_deterministically() {
         supervised(RecoveryPolicy::Checkpoint).with_failures(vec![FailureSpec::Correlated {
             at: SimTime::from_millis(650),
             apps: vec![0, 1],
+            servers: vec![],
         }]);
     let r1 = run(&correlated);
     assert_completed(&r1, "correlated");
     assert_eq!(r1.restarts, 2, "both victims must restart");
     assert_eq!(r1.to_json_line(), run(&correlated).to_json_line());
+}
+
+/// A replicated component's fail-stop routes through the supervisor as an
+/// *outage*, not a restart grant: the replica is already serving, so
+/// failover semantics are unchanged (one failover, no rollback, same
+/// completion), but the supervisor now opens an MTTR window around the
+/// failover pause and closes it on the component's next recovered beacon.
+#[test]
+fn replicated_failover_routes_through_the_supervisor() {
+    let _wd = common::watchdog("replicated_failover", Duration::from_secs(120));
+    // Hybrid replicates the consumer; fail it mid-run.
+    let fail = vec![FailureSpec::At { at: SimTime::from_millis(700), app: 1 }];
+
+    let unsup = run(&tiny(WorkflowProtocol::Hybrid).with_failures(fail.clone()));
+    assert_eq!(unsup.failovers, 1);
+    assert_eq!(unsup.restarts, 0);
+    assert_eq!(unsup.mttr_mean_s, 0.0, "no supervisor, no MTTR accounting");
+
+    let cfg = tiny(WorkflowProtocol::Hybrid)
+        .with_supervision(SupervisionCfg::default())
+        .with_failures(fail);
+    let sup = run(&cfg);
+    assert_eq!(sup.finish_times_s.len(), 2);
+    assert_eq!(sup.failovers, 1, "failover semantics unchanged under supervision");
+    assert_eq!(sup.recoveries, unsup.recoveries, "replication still absorbs the death");
+    assert_eq!(sup.digest_mismatches, 0);
+    assert_eq!(sup.restarts, 1, "the outage is accounted by the policy machine");
+    assert_eq!(sup.quarantined, 0);
+    assert!(
+        sup.mttr_mean_s > 0.0,
+        "the supervisor must time the failover outage (mttr={})",
+        sup.mttr_mean_s
+    );
+    assert!(
+        (sup.total_time_s - unsup.total_time_s).abs() < 1e-9,
+        "accounting must not change the run ({} vs {})",
+        sup.total_time_s,
+        unsup.total_time_s
+    );
+
+    let again = run(&cfg);
+    assert_eq!(sup.to_json_line(), again.to_json_line(), "same seed, same supervised report");
 }
 
 /// The dead-letter queue is a `logstore` log: letters written during the
@@ -196,6 +240,11 @@ fn dead_letter_queue_persists_across_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The staging servers a scenario cell's `srv:N` shard target names.
+fn shard_servers(s: &faultplane::Scenario) -> Vec<usize> {
+    s.shard.into_iter().map(|n| n as usize).collect()
+}
+
 /// Map one scenario-matrix cell onto a concrete workflow config.
 fn scenario_cfg(s: &faultplane::Scenario) -> WorkflowConfig {
     use faultplane::ScenarioKind;
@@ -203,9 +252,11 @@ fn scenario_cfg(s: &faultplane::Scenario) -> WorkflowConfig {
     let lag = SimTime::from_millis(s.lag_ms);
     let failures = match s.kind {
         ScenarioKind::Cascading => {
-            vec![FailureSpec::Cascading { at, first: 0, spread: lag }]
+            vec![FailureSpec::Cascading { at, first: 0, spread: lag, servers: shard_servers(s) }]
         }
-        ScenarioKind::Correlated => vec![FailureSpec::Correlated { at, apps: vec![0, 1] }],
+        ScenarioKind::Correlated => {
+            vec![FailureSpec::Correlated { at, apps: vec![0, 1], servers: shard_servers(s) }]
+        }
         ScenarioKind::FailDuringRecovery => {
             vec![FailureSpec::FailDuringRecovery { at, app: 1, again_after: lag }]
         }

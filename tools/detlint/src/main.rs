@@ -29,7 +29,8 @@
 //! Usage: `detlint [path ...]` — paths are `.rs` files or directories
 //! (recursed). With no arguments, lints the default deterministic envelope:
 //! `crates/sim-core/src`, `crates/net/src/des.rs`, `crates/wfcr/src`,
-//! `crates/staging/src`, `crates/obs/src`, `crates/supervise/src`.
+//! `crates/staging/src`, `crates/shardmap/src`, `crates/obs/src`,
+//! `crates/supervise/src`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -40,6 +41,7 @@ const DEFAULT_TARGETS: &[&str] = &[
     "crates/net/src/des.rs",
     "crates/wfcr/src",
     "crates/staging/src",
+    "crates/shardmap/src",
     "crates/obs/src",
     "crates/supervise/src",
 ];
