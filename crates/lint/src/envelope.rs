@@ -1,0 +1,241 @@
+//! Deterministic-envelope inference.
+//!
+//! The pre-lexer lint carried a hardcoded `DEFAULT_TARGETS` file list; a new
+//! file in `staging/src` was linted only because the whole directory was
+//! listed, and a new *crate* was silently unlinted until someone remembered
+//! the list. Inference replaces the list with two sources of truth that
+//! already exist:
+//!
+//! 1. **Workspace membership.** The root `Cargo.toml`'s `[workspace]
+//!    members` array (globs expanded against the filesystem) names every
+//!    crate.
+//! 2. **Opt-in marker.** A crate declares itself inside the deterministic
+//!    envelope with one manifest line:
+//!
+//!    ```toml
+//!    [package.metadata.detlint]
+//!    envelope = true
+//!    ```
+//!
+//! For each marked crate the module tree is walked from `src/lib.rs` (or
+//! `src/main.rs`): every `mod name;` declaration resolves to `name.rs` or
+//! `name/mod.rs` next to the declaring file, recursively, skipping
+//! `#[cfg(test)]`-gated declarations. New files become lint targets the
+//! moment they are reachable from the crate root — exactly when they become
+//! part of the build.
+//!
+//! Files deliberately outside the envelope (real-thread transports) stay in
+//! the walk and carry a `// detlint: skip-file — reason` waiver, so the
+//! decision is recorded *in the file itself* rather than in a tool list.
+//!
+//! Limitations (documented contract): `#[path = "…"]` mod attributes are not
+//! resolved (none in this workspace), and `include!` is invisible.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Walk upward from `start` to the nearest directory whose `Cargo.toml`
+/// contains a `[workspace]` section.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Workspace member directories (workspace-relative), with `*` globs
+/// expanded against the filesystem.
+pub fn workspace_members(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = Vec::new();
+    for pat in toml_string_array(&manifest, "members") {
+        if let Some(prefix) = pat.strip_suffix("/*") {
+            let base = root.join(prefix);
+            let mut dirs: Vec<PathBuf> = match std::fs::read_dir(&base) {
+                Ok(rd) => rd
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .filter(|p| p.join("Cargo.toml").is_file())
+                    .collect(),
+                Err(_) => Vec::new(),
+            };
+            dirs.sort();
+            for d in dirs {
+                members.push(d.strip_prefix(root).unwrap_or(&d).to_path_buf());
+            }
+        } else {
+            members.push(PathBuf::from(pat));
+        }
+    }
+    Ok(members)
+}
+
+/// Pull the quoted strings out of `key = [ "…", "…" ]` in minimal TOML.
+fn toml_string_array(toml: &str, key: &str) -> Vec<String> {
+    let Some(start) = toml.find(&format!("{key} = [")).or_else(|| toml.find(&format!("{key}=[")))
+    else {
+        return Vec::new();
+    };
+    let rest = &toml[start..];
+    let Some(close) = rest.find(']') else { return Vec::new() };
+    let mut out = Vec::new();
+    let mut s = &rest[..close];
+    while let Some(q) = s.find('"') {
+        s = &s[q + 1..];
+        let Some(e) = s.find('"') else { break };
+        out.push(s[..e].to_string());
+        s = &s[e + 1..];
+    }
+    out
+}
+
+/// Does this member's manifest opt into the deterministic envelope?
+pub fn is_envelope_member(root: &Path, member: &Path) -> bool {
+    let Ok(manifest) = std::fs::read_to_string(root.join(member).join("Cargo.toml")) else {
+        return false;
+    };
+    let mut in_section = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == "[package.metadata.detlint]";
+            continue;
+        }
+        if in_section {
+            let no_space: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+            if no_space == "envelope=true" || no_space.starts_with("envelope=true#") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Infer the full envelope: every `.rs` file reachable from the crate root
+/// of every envelope-marked workspace member. Paths are workspace-relative,
+/// sorted, deduplicated.
+pub fn infer(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for member in workspace_members(root)? {
+        if !is_envelope_member(root, &member) {
+            continue;
+        }
+        let src = root.join(&member).join("src");
+        for candidate in ["lib.rs", "main.rs"] {
+            let crate_root = src.join(candidate);
+            if crate_root.is_file() {
+                walk_mods(&crate_root, &mut files)?;
+                break;
+            }
+        }
+    }
+    let mut rel: Vec<PathBuf> =
+        files.iter().map(|f| f.strip_prefix(root).unwrap_or(f).to_path_buf()).collect();
+    rel.sort();
+    rel.dedup();
+    Ok(rel)
+}
+
+/// Recursively add `file` and every file its non-test `mod` declarations
+/// resolve to.
+fn walk_mods(file: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if out.contains(&file.to_path_buf()) {
+        return Ok(()); // mod cycle guard (impossible in valid Rust, cheap anyway)
+    }
+    out.push(file.to_path_buf());
+    let src = std::fs::read_to_string(file)?;
+    let base = mod_base_dir(file);
+    for name in mod_declarations(&src) {
+        for candidate in [base.join(format!("{name}.rs")), base.join(&name).join("mod.rs")] {
+            if candidate.is_file() {
+                walk_mods(&candidate, out)?;
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Directory against which `mod name;` in `file` resolves: crate roots and
+/// `mod.rs` files use their own directory, `foo.rs` uses `foo/`.
+fn mod_base_dir(file: &Path) -> PathBuf {
+    let fname = file.file_name().and_then(|n| n.to_str()).unwrap_or("");
+    let dir = file.parent().unwrap_or(Path::new("")).to_path_buf();
+    if fname == "lib.rs" || fname == "main.rs" || fname == "mod.rs" {
+        dir
+    } else {
+        dir.join(fname.trim_end_matches(".rs"))
+    }
+}
+
+/// `mod name;` declarations in `src` (outline mods only; inline `mod x { }`
+/// bodies are already part of this file), skipping `#[cfg(test)]`-gated
+/// declarations.
+pub fn mod_declarations(src: &str) -> Vec<String> {
+    let toks = lex(src);
+    let code: Vec<Tok> = toks.iter().copied().filter(|t| t.kind.is_code()).collect();
+    let mask = crate::rules::test_mod_mask(src, &code);
+    let mut out = Vec::new();
+    for i in 0..code.len().saturating_sub(2) {
+        if mask[i] {
+            continue;
+        }
+        if code[i].kind == TokKind::Ident
+            && code[i].text(src) == "mod"
+            && code[i + 1].kind == TokKind::Ident
+            && code[i + 2].kind == TokKind::Punct
+            && code[i + 2].text(src) == ";"
+        {
+            out.push(code[i + 1].text(src).to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mod_decls_skip_inline_and_test_mods() {
+        let src = "mod real;\npub mod also_real;\nmod inline { }\n#[cfg(test)]\nmod tests;\n";
+        assert_eq!(mod_declarations(src), vec!["real", "also_real"]);
+    }
+
+    #[test]
+    fn mod_decls_ignore_comment_mentions() {
+        let src = "// mod fake;\n/* mod fake2; */\nmod real;\n";
+        assert_eq!(mod_declarations(src), vec!["real"]);
+    }
+
+    #[test]
+    fn toml_array_parses_members() {
+        let toml = "[workspace]\nmembers = [\"crates/*\", \"tools/*\"]\n";
+        assert_eq!(toml_string_array(toml, "members"), vec!["crates/*", "tools/*"]);
+    }
+
+    #[test]
+    fn envelope_marker_detection() {
+        let with = "[package]\nname = \"x\"\n[package.metadata.detlint]\nenvelope = true\n";
+        let without = "[package]\nname = \"x\"\n";
+        let other_section = "[package.metadata.other]\nenvelope = true\n";
+        let dir = std::env::temp_dir().join(format!("lint-env-{}", std::process::id()));
+        for (name, text, want) in
+            [("a", with, true), ("b", without, false), ("c", other_section, false)]
+        {
+            let d = dir.join(name);
+            std::fs::create_dir_all(&d).unwrap();
+            std::fs::write(d.join("Cargo.toml"), text).unwrap();
+            assert_eq!(is_envelope_member(&dir, Path::new(name)), want, "{name}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,430 @@
+//! A small, lossless Rust lexer.
+//!
+//! The old `detlint` matched substrings against comment-stripped *lines*,
+//! which left documented blind spots: block comments, char literals flipping
+//! its in-string state (`'"'` / `b'"'`), and no notion of scope. This lexer
+//! fixes the foundation: it tokenizes full Rust source — line and (nested)
+//! block comments, string / raw-string / char / byte / byte-string / C-string
+//! literals, identifiers, numbers, punctuation — so rules upstream match
+//! *code tokens* and never comment or literal text.
+//!
+//! Design constraints:
+//!
+//! * **Lossless.** Every input byte lands in exactly one token; concatenating
+//!   `tok.text(src)` over all tokens reproduces the input byte-for-byte
+//!   (property-tested). Unknown bytes become one-byte [`TokKind::Unknown`]
+//!   tokens rather than being skipped, so the lexer never diverges or loses
+//!   position on malformed input.
+//! * **Total.** Unterminated strings/comments extend to end of input; the
+//!   lexer cannot fail.
+//! * **Line-accurate.** Each token records the 1-based line of its first
+//!   byte; findings report through it.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers `r#foo` and literal
+    /// suffix-free number-adjacent words).
+    Ident,
+    /// Numeric literal (integers, floats, with suffixes).
+    Number,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `b'\0'`.
+    Char,
+    /// Lifetime or loop label: `'a`, `'static`.
+    Lifetime,
+    /// `// …` (incl. `///`, `//!`) up to but not including the newline.
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to end of input.
+    BlockComment,
+    /// Whitespace run.
+    Whitespace,
+    /// Single punctuation byte (`.`, `:`, `{`, …). Multi-byte operators are
+    /// consecutive `Punct` tokens; rules match sequences.
+    Punct,
+    /// Any byte the lexer does not classify (non-ASCII punctuation, stray
+    /// quotes in recovery…). One byte per token.
+    Unknown,
+}
+
+impl TokKind {
+    /// Is this a comment token?
+    pub fn is_comment(self) -> bool {
+        matches!(self, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Tokens rules should look at: everything except comments/whitespace.
+    pub fn is_code(self) -> bool {
+        !self.is_comment() && self != TokKind::Whitespace
+    }
+}
+
+/// One token: kind + byte span + 1-based start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Tokenize `src` losslessly. See module docs for guarantees.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1 }.run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn run(mut self) -> Vec<Tok> {
+        let mut out = Vec::new();
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            out.push(Tok { kind, start, end: self.pos, line });
+        }
+        out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one byte, tracking newlines.
+    fn bump(&mut self) {
+        if self.src[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            if self.pos < self.src.len() {
+                self.bump();
+            }
+        }
+    }
+
+    fn next_kind(&mut self) -> TokKind {
+        let c = self.src[self.pos];
+        match c {
+            b if b.is_ascii_whitespace() => {
+                while self.peek(0).is_some_and(|b| b.is_ascii_whitespace()) {
+                    self.bump();
+                }
+                TokKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|b| b != b'\n') {
+                    self.bump();
+                }
+                TokKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 && self.pos < self.src.len() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.bump_n(2);
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                self.bump();
+                self.cooked_str_body(b'"');
+                TokKind::Str
+            }
+            b'\'' => self.quote_or_lifetime(),
+            b'0'..=b'9' => {
+                self.number();
+                TokKind::Number
+            }
+            b if b == b'_' || b.is_ascii_alphabetic() => self.ident_or_prefixed_literal(),
+            b if b.is_ascii() && !b.is_ascii_alphanumeric() => {
+                self.bump();
+                TokKind::Punct
+            }
+            _ => {
+                // Non-ASCII: consume the full UTF-8 scalar so we never split
+                // a code point (identifiers with Unicode land here too; rules
+                // only care about ASCII names, so Unknown is fine).
+                self.bump();
+                while self.peek(0).is_some_and(|b| b & 0xC0 == 0x80) {
+                    self.bump();
+                }
+                TokKind::Unknown
+            }
+        }
+    }
+
+    /// Body of a non-raw string/char after the opening quote: consume until
+    /// the matching unescaped close quote (or EOF).
+    fn cooked_str_body(&mut self, close: u8) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2); // the backslash and whatever it escapes
+            } else if b == close {
+                self.bump();
+                return;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Raw string body after the `r`/`br`/`cr` prefix: `#…#"…"#…#`.
+    /// `self.pos` sits on the first `#` or the `"`.
+    fn raw_str_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string (e.g. `r#foo` handled by caller)
+        }
+        self.bump();
+        'scan: while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'"') {
+                for i in 0..hashes {
+                    if self.peek(1 + i) != Some(b'#') {
+                        self.bump();
+                        continue 'scan;
+                    }
+                }
+                self.bump_n(1 + hashes);
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// `'` starts either a char literal or a lifetime. Disambiguation matches
+    /// rustc: `'` followed by an identifier char is a lifetime *unless* the
+    /// character after the (single) identifier char is another `'`.
+    fn quote_or_lifetime(&mut self) -> TokKind {
+        let next = self.peek(1);
+        let is_ident_char = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+        match next {
+            Some(b'\\') => {
+                self.bump();
+                self.cooked_str_body(b'\'');
+                TokKind::Char
+            }
+            Some(b) if is_ident_char(b) => {
+                // `'a'` is a char; `'a` / `'abc` is a lifetime.
+                if self.peek(2) == Some(b'\'') {
+                    self.bump_n(3);
+                    TokKind::Char
+                } else {
+                    self.bump_n(2);
+                    while self.peek(0).is_some_and(is_ident_char) {
+                        self.bump();
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            Some(_) => {
+                // `'"'`, `'('`, `'∂'`… — a one-character char literal. This
+                // is exactly the case that flipped the old line-scanner's
+                // in-string state.
+                self.bump();
+                self.cooked_str_body(b'\'');
+                TokKind::Char
+            }
+            None => {
+                self.bump();
+                TokKind::Unknown
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, letters (hex/suffixes/exponents), and `.`
+        // only when followed by a digit (so `1.max(2)` splits correctly).
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// An identifier, or a literal-prefix (`r`, `b`, `br`, `c`, `cr`, `rb`
+    /// is invalid Rust and stays an ident) glued to a quote.
+    fn ident_or_prefixed_literal(&mut self) -> TokKind {
+        let start = self.pos;
+        let is_ident_char = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+        while self.peek(0).is_some_and(is_ident_char) {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        match (word, self.peek(0)) {
+            // b'x' byte-char literal.
+            (b"b", Some(b'\'')) => {
+                self.bump();
+                self.cooked_str_body(b'\'');
+                TokKind::Char
+            }
+            // "cooked" prefixed strings: b"…", c"…".
+            (b"b" | b"c", Some(b'"')) => {
+                self.bump();
+                self.cooked_str_body(b'"');
+                TokKind::Str
+            }
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr#"…"#.
+            (b"r" | b"br" | b"cr", Some(b'"')) => {
+                self.raw_str_body();
+                TokKind::Str
+            }
+            (b"r" | b"br" | b"cr", Some(b'#')) => {
+                // Either a raw string `r#"…"#` or a raw identifier `r#foo`.
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                if self.peek(i) == Some(b'"') {
+                    self.raw_str_body();
+                    TokKind::Str
+                } else if word == b"r" {
+                    // Raw identifier: consume `#ident`.
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_char) {
+                        self.bump();
+                    }
+                    TokKind::Ident
+                } else {
+                    TokKind::Ident
+                }
+            }
+            _ => TokKind::Ident,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<String> {
+        lex(src).iter().filter(|t| t.kind.is_code()).map(|t| t.text(src).to_string()).collect()
+    }
+
+    #[test]
+    fn lossless_concatenation() {
+        let src = "fn f() { let s = \"a//b\"; /* x /* y */ z */ let c = '\"'; } // tail";
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_poison_state() {
+        // The old split_comment blind spot: '"' flipped its in-string flag.
+        let src = "let c = '\"'; let t = Instant::now(); // HashMap in a comment";
+        let code = code_texts(src);
+        assert!(code.contains(&"Instant".to_string()), "code after '\"' must stay visible");
+        assert!(!code.contains(&"HashMap".to_string()), "comment text must not leak into code");
+    }
+
+    #[test]
+    fn byte_char_quote_does_not_poison_state() {
+        let src = "let c = b'\"'; foo(); // Instant::now mention";
+        let code = code_texts(src);
+        assert!(code.contains(&"foo".to_string()));
+        assert!(!code.iter().any(|t| t.contains("Instant")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* a /* b */ c */ id";
+        let k = kinds(src);
+        assert_eq!(k[0].0, TokKind::BlockComment);
+        assert_eq!(k[0].1, "/* a /* b */ c */");
+        assert_eq!(k.last().unwrap(), &(TokKind::Ident, "id".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"// not a comment "quote" "#; done()"###;
+        let code = code_texts(src);
+        assert!(code.contains(&"done".to_string()));
+        assert!(code.iter().any(|t| t.starts_with("r#\"")));
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let src = "let r#fn = 1;";
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let k = kinds(src);
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Lifetime && t == "'a"));
+        assert!(k.iter().any(|(kind, t)| *kind == TokKind::Lifetime && t == "'static"));
+        assert!(!k.iter().any(|(kind, _)| *kind == TokKind::Char));
+    }
+
+    #[test]
+    fn escaped_quote_in_char() {
+        let src = r"let q = '\''; let b = '\\'; after()";
+        assert!(code_texts(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nb\n  /* c\nd */ e";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text(src) == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 2);
+        assert_eq!(find("e"), 4);
+    }
+
+    #[test]
+    fn unterminated_string_and_comment_reach_eof() {
+        for src in ["\"unterminated", "/* unterminated", "r#\"unterminated"] {
+            let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+            assert_eq!(joined, src);
+        }
+    }
+
+    #[test]
+    fn string_with_line_comment_inside() {
+        let src = "let u = \"http://x\"; let t = Instant::now();";
+        let code = code_texts(src);
+        assert!(code.contains(&"Instant".to_string()));
+    }
+}

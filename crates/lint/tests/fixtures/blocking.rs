@@ -1,0 +1,18 @@
+//! Blocking-in-DES fixture. The cfg(test) module at the bottom may block
+//! freely — the test-mod mask excludes it.
+
+fn sleepy(rx: &Receiver<u32>) {
+    std::thread::sleep(Duration::from_millis(1)); // expect: blocking-in-des
+    std::thread::park(); // expect: blocking-in-des
+    let _v = rx.recv(); // expect: blocking-in-des
+    let _w = rx.recv_timeout(TIMEOUT); // expect: blocking-in-des
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_block() {
+        std::thread::sleep(Duration::from_millis(1));
+        let _ = rx.recv();
+    }
+}

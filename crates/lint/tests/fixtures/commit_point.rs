@@ -1,0 +1,35 @@
+//! Commit-point fixture: in an annotated function the journal append/flush
+//! token must exist and must precede the first ack/reply send token.
+
+// lint: commit-point
+fn good_path(j: &mut Journal, net: &mut Net) {
+    j.append(7);
+    net.send(Ack::new());
+}
+
+// lint: commit-point
+fn bad_path(j: &mut Journal, net: &mut Net) {
+    net.send(Ack::new()); // expect: commit-point-order
+    j.append(7);
+}
+
+// lint: commit-point
+fn missing_commit(net: &mut Net) { // expect: commit-point-order
+    net.send(Ack::new());
+}
+
+// lint: commit-point(commit=handle_put, ack=send)
+fn overridden(logic: &mut Logic, net: &mut Net) {
+    logic.handle_put(1);
+    net.send(Ack::new());
+}
+
+// lint: commit-point(commit=handle_put, ack=send)
+fn overridden_bad(logic: &mut Logic, net: &mut Net) {
+    net.send(Ack::new()); // expect: commit-point-order
+    logic.handle_put(1);
+}
+
+fn unannotated(net: &mut Net) {
+    net.send(Ack::new());
+}

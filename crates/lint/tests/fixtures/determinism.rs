@@ -1,0 +1,23 @@
+//! Determinism-family fixture. Mentions inside comments must never fire:
+//! SystemTime::now(), Instant::now(), env::var("HOME"), thread_rng(),
+//! HashMap — none of these are findings, because the lexer knows this is a
+//! comment.
+
+use std::collections::HashMap; // expect: hashmap
+
+fn ambient() -> u64 {
+    let _t = std::time::SystemTime::now(); // expect: ambient-time
+    let _i = std::time::Instant::now(); // expect: ambient-time
+    let _home = std::env::var("HOME"); // expect: ambient-env
+    let _rng = thread_rng(); // expect: rng
+    let _m: HashMap<u32, u32> = HashMap::new(); // expect: hashmap, hashmap
+    let _s = "SystemTime::now() inside a string literal is not a finding";
+    let _q = '"';
+    let _t2 = Instant::now(); // expect: ambient-time
+    0
+}
+
+fn waived() {
+    let _t = std::time::SystemTime::now(); // detlint: allow(ambient-time)
+    let _u = std::time::SystemTime::now(); // detlint: allow(wallclock) legacy alias
+}

@@ -1,0 +1,29 @@
+//! Lock-order fixture: two functions nesting the same pair of mutexes in
+//! opposite orders form a cycle; a re-entrant relock is immediate.
+
+fn forward(&self) {
+    let _a = self.alpha.lock();
+    let _b = self.beta.lock(); // expect: lock-order
+    drop(_b);
+}
+
+fn backward(&self) {
+    let _b = self.beta.lock();
+    let _a = self.alpha.lock(); // expect: lock-order
+    drop(_a);
+}
+
+fn reentrant(&self) {
+    let _a = self.gamma.lock();
+    let _again = self.gamma.lock(); // expect: lock-order
+}
+
+fn consistent(&self) {
+    let _a = self.delta.lock();
+    let _b = self.epsilon.lock();
+}
+
+fn temporaries(&self) {
+    self.epsilon.lock().push(1);
+    self.delta.lock().push(2);
+}

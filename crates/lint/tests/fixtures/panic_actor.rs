@@ -1,0 +1,26 @@
+//! Panic-in-actor fixture: unwrap/expect/panic! are findings only inside
+//! actor handler bodies (on_event / on_message / step).
+
+impl Actor for Server {
+    fn on_event(&mut self, ev: Event) {
+        let req = ev.payload.downcast::<Req>().unwrap(); // expect: panic-in-actor
+        let _cfg = self.cfg.as_ref().expect("configured"); // expect: panic-in-actor
+        if req.bad() {
+            panic!("bad request"); // expect: panic-in-actor
+        }
+        if req.worse() {
+            unreachable!(); // expect: panic-in-actor
+        }
+    }
+}
+
+fn helper() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+}
+
+impl Worker {
+    fn step(&mut self) {
+        let _job = self.queue.pop().unwrap(); // expect: panic-in-actor
+    }
+}

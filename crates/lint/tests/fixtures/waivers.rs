@@ -1,0 +1,10 @@
+//! Waiver-audit fixture: a used waiver is silent, an unused one is stale,
+//! and one naming an unknown rule is flagged.
+
+use std::collections::HashMap; // detlint: allow(hashmap)
+
+fn clean() {
+    // detlint: allow(ambient-time) nothing here to suppress -- expect: stale-waiver
+    let _x = 1;
+    let _y = 2; // detlint: allow(no-such-rule) -- expect: bad-waiver
+}

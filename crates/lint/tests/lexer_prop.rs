@@ -1,0 +1,66 @@
+//! Property test: the lexer is lossless on arbitrary concatenations of
+//! tricky Rust fragments. Every byte lands in exactly one token, tokens are
+//! contiguous and in order, and concatenating their texts reproduces the
+//! input — the invariant every rule's line attribution depends on.
+
+use proptest::prelude::*;
+
+/// Fragment alphabet chosen to produce the lexer's hard cases when
+/// juxtaposed: quote chars in char/byte literals, raw strings with hashes,
+/// nested block comments, lifetimes next to char literals, raw identifiers.
+const FRAGS: &[&str] = &[
+    "fn f",
+    "x",
+    "'\"'",
+    "b'\"'",
+    "'\\''",
+    "'x'",
+    "'a",
+    "\"str \\\" end\"",
+    "b\"bytes\"",
+    "r#\"raw \" body\"#",
+    "r\"plain raw\"",
+    "// line comment\n",
+    "/* outer /* inner */ still outer */",
+    "r#match",
+    "0x1f",
+    "1_000",
+    "::",
+    ".",
+    "{",
+    "}",
+    ";",
+    "(",
+    ")",
+    "let ",
+    "#",
+    "!",
+    "\n",
+    " ",
+    "SystemTime::now()",
+];
+
+fn build(tape: &[u8]) -> String {
+    tape.iter().map(|b| FRAGS[*b as usize % FRAGS.len()]).collect()
+}
+
+proptest! {
+    #[test]
+    fn lex_is_lossless(tape in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let src = build(&tape);
+        let toks = lint::lexer::lex(&src);
+        let mut pos = 0usize;
+        let mut rebuilt = String::new();
+        let mut last_line = 1u32;
+        for t in &toks {
+            prop_assert_eq!(t.start, pos, "gap or overlap at byte {} of {:?}", pos, src);
+            prop_assert!(t.end > t.start, "empty token at byte {} of {:?}", pos, src);
+            prop_assert!(t.line >= last_line, "line numbers went backwards in {:?}", src);
+            last_line = t.line;
+            rebuilt.push_str(t.text(&src));
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len(), "trailing bytes unlexed in {:?}", src);
+        prop_assert_eq!(rebuilt, src);
+    }
+}

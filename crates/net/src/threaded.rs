@@ -5,6 +5,10 @@
 //! race-condition tests exercise real interleavings. No time modeling is done
 //! here — wall-clock behaviour is whatever the machine provides.
 
+// detlint: skip-file — real-thread transport: blocking channel receives and
+// wall-clock timeouts are its nature; determinism is only required of the DES
+// path. Structural rules (lock-order, commit-point-order) still apply.
+
 pub use crossbeam::channel::RecvTimeoutError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use faultplane::{FaultDecision, FaultInjector, FaultPlan, FaultReport};

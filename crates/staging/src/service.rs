@@ -229,6 +229,7 @@ impl PlainBackend {
 }
 
 impl StoreBackend for PlainBackend {
+    // lint: commit-point
     fn put(&mut self, req: &PutRequest) -> (PutStatus, OpStats) {
         let bytes = req.payload.accounted_len();
         let freed = self.store.put(req.desc, req.payload.clone());

@@ -227,6 +227,7 @@ impl StoreJournal {
     /// Record one entry. The entry is encoded now (metadata into the shared
     /// scratch, payload bytes by refcount) and handed to the sink in a batch
     /// at the next boundary; control entries hand off and flush immediately.
+    // lint: commit-point
     pub fn record(&mut self, entry: &StoreJournalEntry) {
         self.entries_recorded += 1;
         let start = self.scratch.len();

@@ -70,6 +70,7 @@ pub fn spawn_server_traced<B: StoreBackend>(
 /// The server message loop shared by the traced and untraced spawns. With a
 /// disabled tracer every span call is a no-op and the returned trace is
 /// empty.
+// lint: commit-point(commit=handle_put, ack=send)
 fn serve_loop<B: StoreBackend>(
     endpoint: ThreadEndpoint,
     mut logic: ServerLogic<B>,

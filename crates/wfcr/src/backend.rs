@@ -395,6 +395,7 @@ impl LoggingBackend {
 }
 
 impl StoreBackend for LoggingBackend {
+    // lint: commit-point
     fn put(&mut self, req: &PutRequest) -> (PutStatus, OpStats) {
         let digest = req.payload.digest();
         match self.replay.on_put(req.app, &req.desc, digest) {
@@ -480,6 +481,7 @@ impl StoreBackend for LoggingBackend {
         }
     }
 
+    // lint: commit-point
     fn control(&mut self, req: CtlRequest) -> (CtlResponse, OpStats) {
         match req {
             CtlRequest::Checkpoint { app, upto_version } => {

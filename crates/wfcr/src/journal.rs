@@ -285,6 +285,7 @@ impl JournalHandle {
     /// scratch, payload bytes by refcount) and handed to the sink in a batch
     /// at the next boundary; commit-point entries hand off and flush
     /// immediately.
+    // lint: commit-point
     pub fn record(&mut self, entry: &JournalEntry) {
         self.entries_recorded += 1;
         let start = self.scratch.len();

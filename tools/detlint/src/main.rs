@@ -1,140 +1,77 @@
 #![forbid(unsafe_code)]
 
-//! detlint — determinism lint for the DES-deterministic crates.
+//! detlint — CLI over the `lint` crate (wflint).
 //!
-//! The model checker's guarantees (replayable schedules, byte-identical
-//! `.schedule` counterexamples, FNV state-hash pruning) rest on one premise:
-//! a run is a pure function of the configuration and the pick vector. Any
-//! wall-clock read, ambient RNG, or hash-order iteration inside the
-//! deterministic crates silently breaks that premise — the bug shows up later
-//! as a schedule that no longer replays. This lint rejects those constructs
-//! at CI time instead.
+//! With no path arguments the deterministic envelope is *inferred*: workspace
+//! members whose `Cargo.toml` carries `[package.metadata.detlint]
+//! envelope = true` are walked from their crate root through `mod`
+//! declarations (see `lint::envelope`). Explicit paths (files or directories,
+//! recursed) override inference.
 //!
-//! Rules (matched against comment-stripped source lines):
+//! ```text
+//! detlint [paths…] [--format=text|json|github] [--baseline FILE]
+//!         [--write-baseline FILE] [--out FILE] [--root DIR] [--list]
+//! ```
 //!
-//! * `wallclock` — `SystemTime::now`, `Instant::now`
-//! * `rng`       — `thread_rng`, `from_entropy`, `rand::random`
-//! * `hashmap`   — `HashMap` / `HashSet` (std hash containers: iteration
-//!   order varies run to run; use `BTreeMap` / `BTreeSet`, or waive with a
-//!   justification when a fixed-key hasher makes iteration deterministic)
+//! * `--format=github` emits `::error` workflow annotations (CI).
+//! * `--baseline FILE` suppresses findings recorded in the committed
+//!   baseline; entries that no longer match are reported (the ratchet).
+//! * `--write-baseline FILE` writes the current findings as the new baseline
+//!   and exits 0 (use after deliberately accepting a finding).
+//! * `--out FILE` additionally writes the JSON findings document (uploaded
+//!   as a CI artifact on failure).
+//! * `--list` prints the inferred envelope and exits (debugging).
 //!
-//! Waivers are per-site comments carrying the justification:
-//!
-//! * `// detlint: allow(<rule>) — <reason>` on the offending line or the
-//!   line directly above it;
-//! * `// detlint: skip-file — <reason>` anywhere in the file (for files
-//!   that are deliberately outside the deterministic envelope, e.g. a
-//!   real-thread transport).
-//!
-//! Usage: `detlint [path ...]` — paths are `.rs` files or directories
-//! (recursed). With no arguments, lints the default deterministic envelope:
-//! `crates/sim-core/src`, `crates/net/src/des.rs`, `crates/wfcr/src`,
-//! `crates/staging/src`, `crates/shardmap/src`, `crates/obs/src`,
-//! `crates/supervise/src`.
+//! Exit codes: 0 clean, 1 findings, 2 usage/I-O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// The deterministic envelope linted when no paths are given.
-const DEFAULT_TARGETS: &[&str] = &[
-    "crates/sim-core/src",
-    "crates/net/src/des.rs",
-    "crates/wfcr/src",
-    "crates/staging/src",
-    "crates/shardmap/src",
-    "crates/obs/src",
-    "crates/supervise/src",
-];
-
-/// One lint rule: a name (used in `allow(<name>)` waivers) and the
-/// substrings that trigger it.
-struct Rule {
-    name: &'static str,
-    needles: &'static [&'static str],
+struct Args {
+    paths: Vec<PathBuf>,
+    format: String,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    out: Option<PathBuf>,
+    root: Option<PathBuf>,
+    list: bool,
 }
 
-const RULES: &[Rule] = &[
-    Rule { name: "wallclock", needles: &["SystemTime::now", "Instant::now"] },
-    Rule { name: "rng", needles: &["thread_rng", "from_entropy", "rand::random"] },
-    Rule { name: "hashmap", needles: &["HashMap", "HashSet"] },
-];
-
-/// A single violation.
-#[derive(Debug, PartialEq, Eq)]
-struct Finding {
-    file: String,
-    line: usize,
-    rule: &'static str,
-    source: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: {}: {}", self.file, self.line, self.rule, self.source.trim())
-    }
-}
-
-/// Split a line into (code, comment) at the first `//` outside a string
-/// literal. Good enough for this codebase: raw strings and `//` inside
-/// normal strings are handled; block comments are not (none of the banned
-/// constructs hide in them).
-fn split_comment(line: &str) -> (&str, &str) {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1, // skip the escaped byte
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return (&line[..i], &line[i..]);
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        paths: Vec::new(),
+        format: "text".to_string(),
+        baseline: None,
+        write_baseline: None,
+        out: None,
+        root: None,
+        list: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<PathBuf, String> {
+            it.next().map(PathBuf::from).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--list" => args.list = true,
+            "--baseline" => args.baseline = Some(take("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(take("--write-baseline")?),
+            "--out" => args.out = Some(take("--out")?),
+            "--root" => args.root = Some(take("--root")?),
+            a if a.starts_with("--format=") => {
+                args.format = a["--format=".len()..].to_string();
+                if !matches!(args.format.as_str(), "text" | "json" | "github") {
+                    return Err(format!("unknown format `{}`", args.format));
+                }
             }
-            _ => {}
-        }
-        i += 1;
-    }
-    (line, "")
-}
-
-/// Does this comment waive `rule` (or carry a skip-file directive)?
-fn waives(comment: &str, rule: &str) -> bool {
-    comment.contains(&format!("detlint: allow({rule})"))
-}
-
-fn is_skip_file(src: &str) -> bool {
-    src.lines().any(|l| split_comment(l).1.contains("detlint: skip-file"))
-}
-
-/// Lint one source text. `file` is used only for reporting.
-fn lint_source(file: &str, src: &str) -> Vec<Finding> {
-    if is_skip_file(src) {
-        return Vec::new();
-    }
-    let lines: Vec<&str> = src.lines().collect();
-    let mut findings = Vec::new();
-    for (idx, raw) in lines.iter().enumerate() {
-        let (code, comment) = split_comment(raw);
-        let above = if idx > 0 { split_comment(lines[idx - 1]).1 } else { "" };
-        for rule in RULES {
-            if !rule.needles.iter().any(|n| code.contains(n)) {
-                continue;
-            }
-            if waives(comment, rule.name) || waives(above, rule.name) {
-                continue;
-            }
-            findings.push(Finding {
-                file: file.to_string(),
-                line: idx + 1,
-                rule: rule.name,
-                source: raw.to_string(),
-            });
+            a if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
+            path => args.paths.push(PathBuf::from(path)),
         }
     }
-    findings
+    Ok(args)
 }
 
-/// Collect `.rs` files under `path` (a file or a directory), sorted for
-/// stable output.
+/// Collect `.rs` files under `path` (file or directory, recursed), sorted.
 fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     if path.is_file() {
         if path.extension().is_some_and(|e| e == "rs") {
@@ -151,43 +88,100 @@ fn collect_rs(path: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let targets: Vec<PathBuf> = if args.is_empty() {
-        DEFAULT_TARGETS.iter().map(PathBuf::from).collect()
-    } else {
-        args.iter().map(PathBuf::from).collect()
+fn run() -> Result<ExitCode, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv)?;
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => lint::envelope::find_workspace_root(&cwd)
+            .ok_or("no workspace root found (run inside the workspace or pass --root)")?,
     };
 
-    let mut files = Vec::new();
-    for t in &targets {
-        if let Err(e) = collect_rs(t, &mut files) {
-            eprintln!("detlint: {}: {e}", t.display());
-            return ExitCode::from(2);
-        }
-    }
-
-    let mut findings = Vec::new();
-    for f in &files {
-        let src = match std::fs::read_to_string(f) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("detlint: {}: {e}", f.display());
-                return ExitCode::from(2);
-            }
-        };
-        findings.extend(lint_source(&f.display().to_string(), &src));
-    }
-
-    for f in &findings {
-        println!("{f}");
-    }
-    if findings.is_empty() {
-        eprintln!("detlint: {} files clean", files.len());
-        ExitCode::SUCCESS
+    // Target set: explicit paths, or the inferred envelope.
+    let files: Vec<PathBuf> = if args.paths.is_empty() {
+        lint::envelope::infer(&root).map_err(|e| format!("envelope inference: {e}"))?
     } else {
-        eprintln!("detlint: {} violation(s) in {} files", findings.len(), files.len());
-        ExitCode::FAILURE
+        let mut abs = Vec::new();
+        for p in &args.paths {
+            let full = if p.is_absolute() { p.clone() } else { cwd.join(p) };
+            collect_rs(&full, &mut abs).map_err(|e| format!("{}: {e}", p.display()))?;
+        }
+        abs.iter()
+            .map(|f| f.strip_prefix(&root).map(Path::to_path_buf).unwrap_or_else(|_| f.clone()))
+            .collect()
+    };
+
+    if args.list {
+        for f in &files {
+            println!("{}", f.display());
+        }
+        eprintln!("detlint: {} files in the envelope", files.len());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = lint::lint_files(&root, &files).map_err(|e| format!("lint: {e}"))?;
+
+    if let Some(path) = &args.write_baseline {
+        std::fs::write(path, lint::output::write_baseline(&report.findings))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        eprintln!(
+            "detlint: wrote baseline with {} finding(s) to {}",
+            report.findings.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let (findings, stale_baseline) = match &args.baseline {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+            lint::output::apply_baseline(report.findings, &text)
+                .map_err(|e| format!("baseline {}: {e}", path.display()))?
+        }
+        None => (report.findings, Vec::new()),
+    };
+
+    let rendered = match args.format.as_str() {
+        "json" => lint::output::findings_json(&findings, &stale_baseline, report.files_linted),
+        "github" => lint::output::findings_github(&findings, &stale_baseline),
+        _ => lint::output::findings_text(&findings, &stale_baseline),
+    };
+    print!("{rendered}");
+
+    if let Some(path) = &args.out {
+        std::fs::write(
+            path,
+            lint::output::findings_json(&findings, &stale_baseline, report.files_linted),
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    let dirty = !findings.is_empty() || !stale_baseline.is_empty();
+    if dirty {
+        eprintln!(
+            "detlint: {} finding(s), {} stale baseline entr{} in {} files",
+            findings.len(),
+            stale_baseline.len(),
+            if stale_baseline.len() == 1 { "y" } else { "ies" },
+            report.files_linted
+        );
+        Ok(ExitCode::FAILURE)
+    } else {
+        eprintln!("detlint: {} files clean", report.files_linted);
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            ExitCode::from(2)
+        }
     }
 }
 
@@ -195,67 +189,30 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    #[test]
-    fn flags_wallclock_and_rng() {
-        let src = "let t = Instant::now();\nlet r = thread_rng().gen();\n";
-        let f = lint_source("x.rs", src);
-        assert_eq!(f.len(), 2);
-        assert_eq!(f[0].rule, "wallclock");
-        assert_eq!(f[0].line, 1);
-        assert_eq!(f[1].rule, "rng");
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
-    fn flags_hash_containers() {
-        let src = "use std::collections::HashMap;\nlet s: HashSet<u32> = HashSet::new();\n";
-        let f = lint_source("x.rs", src);
-        assert_eq!(f.iter().filter(|f| f.rule == "hashmap").count(), 2);
+    fn parses_flags_and_paths() {
+        let a = parse_args(&argv(&[
+            "crates/staging/src",
+            "--format=json",
+            "--baseline",
+            "lint-baseline.json",
+            "--out",
+            "f.json",
+        ]))
+        .unwrap();
+        assert_eq!(a.paths, vec![PathBuf::from("crates/staging/src")]);
+        assert_eq!(a.format, "json");
+        assert_eq!(a.baseline, Some(PathBuf::from("lint-baseline.json")));
+        assert_eq!(a.out, Some(PathBuf::from("f.json")));
     }
 
     #[test]
-    fn comment_mentions_are_ignored() {
-        let src = "// BTreeMap, not HashMap: iteration order matters\nlet x = 1;\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn same_line_waiver() {
-        let src = "use std::collections::HashMap; // detlint: allow(hashmap) — fixed-key hasher\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn preceding_line_waiver() {
-        let src = "// detlint: allow(wallclock) — progress meter only\nlet t = Instant::now();\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn waiver_is_rule_specific() {
-        let src = "// detlint: allow(rng)\nlet t = Instant::now();\n";
-        let f = lint_source("x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "wallclock");
-    }
-
-    #[test]
-    fn skip_file_waives_everything() {
-        let src = "// detlint: skip-file — real-thread transport\nlet t = Instant::now();\nuse std::collections::HashMap;\n";
-        assert!(lint_source("x.rs", src).is_empty());
-    }
-
-    #[test]
-    fn string_literals_do_not_hide_code() {
-        // A `//` inside a string literal must not truncate the code part.
-        let src = "let u = \"http://x\"; let t = Instant::now();\n";
-        let f = lint_source("x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "wallclock");
-    }
-
-    #[test]
-    fn display_is_grep_friendly() {
-        let f = Finding { file: "a.rs".into(), line: 7, rule: "rng", source: "  x  ".into() };
-        assert_eq!(f.to_string(), "a.rs:7: rng: x");
+    fn rejects_unknown_flag_and_format() {
+        assert!(parse_args(&argv(&["--what"])).is_err());
+        assert!(parse_args(&argv(&["--format=yaml"])).is_err());
     }
 }
