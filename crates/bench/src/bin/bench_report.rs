@@ -1,0 +1,123 @@
+//! `bench_report` — distill deterministic runs into a canonical
+//! `BENCH_fig9.json` regression report.
+//!
+//! Runs the fig9-style smoke matrix (tiny workload: logging vs. coordinated
+//! protocol, fault-free and one mid-run failure) with telemetry enabled and
+//! writes one `telemetry::BenchReport` covering the metrics the paper's
+//! evaluation cares about: execution time, write-path p99, peak staging
+//! memory, and the determinism anchors (puts, events dispatched, scrape
+//! windows, digest mismatches — all bit-exact for a given seed).
+//!
+//! CI's `metrics-gate` job regenerates this file and gates it against the
+//! committed baseline in `crates/bench/baselines/` with
+//! `wf-metrics gate`; see that tool for the tolerance semantics.
+//!
+//! ```text
+//! bench_report                      # write ./BENCH_fig9.json
+//! bench_report --out target/bench   # write there instead
+//! bench_report --openmetrics om.txt # also export one run's series
+//! ```
+
+use sim_core::time::SimTime;
+use telemetry::{BenchReport, Direction};
+use wfcr::protocol::WorkflowProtocol;
+use workflow::config::{tiny, FailureSpec, WorkflowConfig};
+use workflow::runner::run;
+use workflow::TelemetryCfg;
+
+/// The benched matrix: fault-free logging and coordinated runs plus a
+/// mid-run component failure under logging (the fig9e "1 failure" shape).
+fn matrix() -> Vec<(String, WorkflowConfig)> {
+    let telemetry = TelemetryCfg::windowed(SimTime::from_millis(500));
+    let un = tiny(WorkflowProtocol::Uncoordinated).with_telemetry(telemetry.clone());
+    let co = tiny(WorkflowProtocol::Coordinated).with_telemetry(telemetry.clone());
+    let failing = tiny(WorkflowProtocol::Uncoordinated)
+        .with_failures(vec![FailureSpec::At { at: SimTime::from_millis(700), app: 1 }])
+        .with_telemetry(telemetry);
+    vec![("fig9/Un".into(), un), ("fig9/Co".into(), co), ("fig9/Un+fail".into(), failing)]
+}
+
+fn build_report() -> (BenchReport, String, String) {
+    let mut report = BenchReport::new("fig9");
+    let mut openmetrics = String::new();
+    let mut jsonl = String::new();
+    for (id, cfg) in matrix() {
+        let r = run(&cfg);
+        let row = report.push_row(&id);
+        // Deterministic virtual-time metrics: tolerances exist for the day
+        // a metric becomes wall-clock-derived, not because these drift.
+        row.metric("total_time_s", r.total_time_s, Direction::LargerWorse, 0.02);
+        row.metric("p99_put_response_s", r.p99_put_response_s, Direction::LargerWorse, 0.05);
+        row.metric(
+            "staging_peak_mib",
+            r.staging_peak_bytes as f64 / (1 << 20) as f64,
+            Direction::LargerWorse,
+            0.05,
+        );
+        row.metric("puts", r.puts as f64, Direction::Exact, 0.0);
+        row.metric("digest_mismatches", r.digest_mismatches as f64, Direction::Exact, 0.0);
+        row.metric("events_dispatched", r.events_dispatched as f64, Direction::Exact, 0.0);
+        let series = r.series.as_ref().expect("telemetry-on run attaches a series");
+        row.metric("scrape_windows", series.windows.len() as f64, Direction::Exact, 0.0);
+        // Keep the last (failure) row's series for the export flags — the
+        // one whose timeline has a recovery to show.
+        openmetrics = telemetry::export::to_openmetrics(series);
+        jsonl = telemetry::export::to_jsonl(series);
+        eprintln!("{}", r.summary());
+    }
+    (report, openmetrics, jsonl)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut out_dir = ".".to_string();
+    let mut om_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            "--openmetrics" => {
+                om_path = args.get(i + 1).cloned();
+                if om_path.is_none() {
+                    eprintln!("--openmetrics requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            "--series" => {
+                series_path = args.get(i + 1).cloned();
+                if series_path.is_none() {
+                    eprintln!("--series requires a path");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_report [--out DIR] [--openmetrics FILE] [--series FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (report, openmetrics, jsonl) = build_report();
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let path = format!("{out_dir}/{}", report.file_name());
+    std::fs::write(&path, report.to_json()).expect("write bench report");
+    eprintln!("wrote {path}");
+    if let Some(p) = om_path {
+        std::fs::write(&p, openmetrics).expect("write openmetrics export");
+        eprintln!("wrote {p}");
+    }
+    if let Some(p) = series_path {
+        std::fs::write(&p, jsonl).expect("write series export");
+        eprintln!("wrote {p}");
+    }
+}

@@ -16,6 +16,8 @@ use crate::quantile::P2Quantile;
 use crate::stats::StreamStats;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use telemetry::hist::{ns_to_secs, secs_to_ns};
+use telemetry::Histogram;
 
 /// Gauge state: current value plus high-water marks.
 ///
@@ -47,6 +49,11 @@ pub struct Metrics {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, Gauge>,
     streams: BTreeMap<String, StreamStats>,
+    /// Exact log-linear histograms for tail streams (nanosecond ticks):
+    /// the authoritative source for p50/p99/p999, mergeable without loss.
+    tails: BTreeMap<String, Histogram>,
+    /// Legacy P² estimators, kept as a cross-check oracle for the exact
+    /// histograms (five markers, unmergeable, no error bound).
     p99s: BTreeMap<String, P2Quantile>,
 }
 
@@ -105,17 +112,48 @@ impl Metrics {
         self.streams.get(name).cloned().unwrap_or_default()
     }
 
-    /// Record a sample into the stream `name` *and* its streaming p99
-    /// estimator — use for latency-style streams whose tail matters.
+    /// Record a sample into the stream `name` *and* its tail trackers — use
+    /// for latency-style streams whose tail matters. The sample (seconds)
+    /// lands in an exact log-linear [`Histogram`] (nanosecond ticks, the
+    /// authoritative quantile source) and in the legacy P² estimator kept
+    /// as a cross-check oracle.
     pub fn observe_tail(&mut self, name: &str, sample: f64) {
         self.observe(name, sample);
+        self.tails.entry(name.to_owned()).or_default().record(secs_to_ns(sample));
         self.p99s.entry(name.to_owned()).or_insert_with(|| P2Quantile::new(0.99)).push(sample);
     }
 
-    /// The p99 estimate for a stream recorded via
+    /// Exact quantile `q` (seconds) of a stream recorded via
+    /// [`Metrics::observe_tail`] — bucket-resolution exact, within the
+    /// histogram's `2^-g` relative error bound. `None` if never recorded
+    /// that way.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        self.tails.get(name).and_then(|h| h.quantile(q)).map(ns_to_secs)
+    }
+
+    /// The exact p99 (seconds) for a stream recorded via
     /// [`Metrics::observe_tail`] (`None` if never recorded that way).
     pub fn p99(&self, name: &str) -> Option<f64> {
+        self.quantile(name, 0.99)
+    }
+
+    /// The legacy P² p99 *estimate* for a stream — the cross-check oracle
+    /// the exact histogram replaced. Unmergeable and unbounded-error; kept
+    /// only so tests can assert the two sources agree.
+    pub fn p99_oracle(&self, name: &str) -> Option<f64> {
         self.p99s.get(name).and_then(P2Quantile::estimate)
+    }
+
+    /// The exact tail histogram for a stream (`None` if never recorded via
+    /// [`Metrics::observe_tail`]). Values are nanosecond ticks.
+    pub fn tail_hist(&self, name: &str) -> Option<&Histogram> {
+        self.tails.get(name)
+    }
+
+    /// Iterate tail histograms in name order (the windowed scraper feeds
+    /// these into the time series).
+    pub fn tails(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.tails.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Iterate counters in name order.
@@ -160,8 +198,19 @@ impl Metrics {
         for (k, s) in &other.streams {
             self.streams.entry(k.clone()).or_default().merge(s);
         }
+        // Exact histograms merge losslessly: bucket counts add, so the
+        // merged quantiles equal those of the concatenated sample set.
+        for (k, h) in &other.tails {
+            match self.tails.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.tails.insert(k.clone(), h.clone());
+                }
+            }
+        }
         // P² estimators cannot be merged exactly; keep whichever side saw
-        // more samples (diagnostic fidelity, not exact statistics).
+        // more samples (diagnostic fidelity only — the histogram above is
+        // the authoritative tail source).
         for (k, q) in &other.p99s {
             match self.p99s.get(k) {
                 Some(mine) if mine.count() >= q.count() => {}
@@ -177,6 +226,7 @@ impl Metrics {
         self.counters.clear();
         self.gauges.clear();
         self.streams.clear();
+        self.tails.clear();
         self.p99s.clear();
     }
 
@@ -207,7 +257,10 @@ impl Metrics {
                     mean: s.mean(),
                     min: s.min(),
                     max: s.max(),
+                    p50: self.quantile(k, 0.50),
                     p99: self.p99(k),
+                    p999: self.quantile(k, 0.999),
+                    p99_p2: self.p99_oracle(k),
                 })
                 .collect(),
         }
@@ -249,9 +302,20 @@ pub struct StreamEntry {
     pub min: f64,
     /// Largest sample.
     pub max: f64,
-    /// Streaming p99 estimate, when recorded via
+    /// Exact median (seconds), when recorded via
     /// [`Metrics::observe_tail`].
+    #[serde(default)]
+    pub p50: Option<f64>,
+    /// Exact p99 (seconds), when recorded via [`Metrics::observe_tail`].
+    /// Sourced from the log-linear histogram (bounded-error), not the old
+    /// P² markers.
     pub p99: Option<f64>,
+    /// Exact p999 (seconds), when recorded via [`Metrics::observe_tail`].
+    #[serde(default)]
+    pub p999: Option<f64>,
+    /// Legacy P² p99 estimate, kept as a cross-check oracle for `p99`.
+    #[serde(default)]
+    pub p99_p2: Option<f64>,
 }
 
 /// Serializable snapshot of a [`Metrics`] registry: what reports embed and
@@ -400,33 +464,51 @@ mod tests {
     }
 
     #[test]
-    fn observe_tail_tracks_p99() {
+    fn observe_tail_tracks_exact_quantiles() {
         let mut m = Metrics::new();
         for i in 1..=1_000 {
-            m.observe_tail("lat", i as f64);
+            m.observe_tail("lat", i as f64 * 1e-3); // 1ms .. 1s
         }
         assert_eq!(m.stream("lat").count(), 1_000);
         let p99 = m.p99("lat").unwrap();
-        assert!((900.0..=1_000.0).contains(&p99), "p99 {p99}");
+        let rel = (p99 - 0.990).abs() / 0.990;
+        assert!(rel < 0.01, "p99 {p99} must be within the histogram error bound");
+        let p50 = m.quantile("lat", 0.50).unwrap();
+        assert!((p50 - 0.500).abs() / 0.500 < 0.01, "p50 {p50}");
+        let p999 = m.quantile("lat", 0.999).unwrap();
+        assert!((p999 - 0.999).abs() / 0.999 < 0.01, "p999 {p999}");
+        // The P² oracle agrees with the exact histogram on this smooth
+        // stream (cross-check, not authority).
+        let oracle = m.p99_oracle("lat").unwrap();
+        assert!((oracle - p99).abs() / p99 < 0.05, "oracle {oracle} vs exact {p99}");
         assert_eq!(m.p99("missing"), None);
-        // Plain observe does not create an estimator.
+        // Plain observe creates neither histogram nor estimator.
         m.observe("plain", 1.0);
         assert_eq!(m.p99("plain"), None);
+        assert!(m.tail_hist("plain").is_none());
     }
 
     #[test]
-    fn merge_keeps_bigger_p99_estimator() {
+    fn merge_is_exact_for_tail_histograms() {
         let mut a = Metrics::new();
+        let mut whole = Metrics::new();
         for i in 0..10 {
             a.observe_tail("x", i as f64);
+            whole.observe_tail("x", i as f64);
         }
         let mut b = Metrics::new();
         for i in 0..100 {
             b.observe_tail("x", (i * 2) as f64);
+            whole.observe_tail("x", (i * 2) as f64);
         }
         a.merge(&b);
-        // b saw more samples; its estimator wins.
+        // The merged histogram equals the histogram of all samples — the
+        // old P² merge could only keep one side.
+        assert_eq!(a.tail_hist("x"), whole.tail_hist("x"));
+        assert_eq!(a.p99("x"), whole.p99("x"));
         assert!(a.p99("x").unwrap() > 100.0);
+        // The oracle keeps whichever side saw more samples (b).
+        assert!(a.p99_oracle("x").unwrap() > 100.0);
     }
 
     #[test]

@@ -340,6 +340,20 @@ impl<B: StoreBackend> StagingServerActor<B> {
         }
     }
 
+    /// Sample the queue-shaped gauges: parked blocking gets awaiting a
+    /// version, and live (not yet GC'd) events in the backend's log. The
+    /// CPU-queue depth gauge is set at enqueue time; these close out the
+    /// remaining uninstrumented hot paths for the windowed telemetry series.
+    fn sample_depth_gauges(&self, ctx: &mut Ctx<'_>) {
+        let parked: usize =
+            self.waiting.values().map(|bv| bv.values().map(Vec::len).sum::<usize>()).sum();
+        ctx.metrics().gauge_set(&format!("staging.server{}.get_waits", self.index), parked as i64);
+        ctx.metrics().gauge_set(
+            &format!("staging.server{}.log_events", self.index),
+            self.logic.backend().live_log_events() as i64,
+        );
+    }
+
     fn start_next(&mut self, ctx: &mut Ctx<'_>) {
         if self.in_service.is_some() || self.down || self.stalled {
             return;
@@ -410,6 +424,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
         let incarnation = self.incarnation;
         ctx.timer(cost, OpDone { incarnation });
         ctx.metrics().gauge_set(&self.mem_metric, self.logic.bytes_resident() as i64);
+        self.sample_depth_gauges(ctx);
     }
 
     /// Open the serve span for the request just dequeued (its state
@@ -737,6 +752,7 @@ impl<B: StoreBackend> StagingServerActor<B> {
         } else if full_rescan {
             self.rescan_waiting();
         }
+        self.sample_depth_gauges(ctx);
         self.start_next(ctx);
     }
 }

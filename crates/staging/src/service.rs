@@ -90,6 +90,14 @@ pub trait StoreBackend: Send + 'static {
     fn journal_records_batched(&self) -> u64 {
         0
     }
+
+    /// Log events currently live (appended, not yet garbage-collected) in
+    /// the backend's in-memory event log. Default 0: the backend keeps no
+    /// event log. Sampled into the `staging.server{i}.log_events` gauge so
+    /// the windowed telemetry series shows log growth and GC reclaim.
+    fn live_log_events(&self) -> u64 {
+        0
+    }
 }
 
 /// Server CPU cost parameters (per staging server process).

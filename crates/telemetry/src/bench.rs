@@ -1,0 +1,259 @@
+//! Canonical `BENCH_*.json` run reports and the regression gate.
+//!
+//! Benches and soak jobs distill each run into a [`BenchReport`]: a named
+//! set of rows, each row a named set of scalar metrics with an explicit
+//! *direction* (is larger worse?) and a tolerance band. A committed
+//! baseline lives in `bench/baselines/`; CI's `metrics-gate` job
+//! regenerates the report and calls [`compare`] — any metric that worsened
+//! beyond its tolerance fails the gate, listing exactly which row/metric
+//! regressed and by how much.
+//!
+//! Because the simulator is deterministic, regenerated virtual-time metrics
+//! match the committed baseline *bit for bit*; tolerances exist for the
+//! day a metric becomes wall-clock-derived, and to let intentional small
+//! shifts through without churn.
+
+use serde::{Deserialize, Serialize};
+
+/// Which direction of change is a regression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Direction {
+    /// Larger is worse (latency, memory, total time).
+    LargerWorse,
+    /// Smaller is worse (throughput).
+    SmallerWorse,
+    /// Any drift beyond tolerance is a regression (determinism anchors:
+    /// event counts, digests-as-numbers).
+    Exact,
+}
+
+/// One scalar metric in a bench row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchMetric {
+    /// Metric name (`total_time_s`, `p99_put_response_s`, ...).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Regression direction.
+    pub direction: Direction,
+    /// Allowed relative worsening before the gate fails, as a fraction
+    /// (0.05 = 5 %). Zero means bit-exact.
+    pub tolerance: f64,
+}
+
+/// One benched configuration (one workload × protocol, typically).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Row id (`fig9/Un`, `tiny/Co`, ...).
+    pub id: String,
+    /// Metrics, in insertion order.
+    pub metrics: Vec<BenchMetric>,
+}
+
+/// A whole `BENCH_*.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Report name (`fig9`); the file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Schema version for forward compatibility.
+    pub version: u32,
+    /// Rows, in generation order.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// New empty report.
+    pub fn new(name: &str) -> Self {
+        BenchReport { name: name.to_owned(), version: 1, rows: Vec::new() }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, id: &str) -> &mut BenchRow {
+        self.rows.push(BenchRow { id: id.to_owned(), metrics: Vec::new() });
+        self.rows.last_mut().expect("just pushed")
+    }
+
+    /// Canonical file name.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.name)
+    }
+
+    /// Serialize (single JSON document, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string(self).expect("bench report serializes");
+        s.push('\n');
+        s
+    }
+
+    /// Parse back.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        serde_json::from_str(text.trim()).map_err(|e| format!("bench report: {e}"))
+    }
+}
+
+impl BenchRow {
+    /// Append one metric.
+    pub fn metric(&mut self, name: &str, value: f64, direction: Direction, tolerance: f64) {
+        self.metrics.push(BenchMetric {
+            name: name.to_owned(),
+            value,
+            direction,
+            tolerance: tolerance.max(0.0),
+        });
+    }
+}
+
+/// One gate violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// Row id.
+    pub row: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value.
+    pub fresh: f64,
+    /// Relative worsening (positive fraction).
+    pub worsened: f64,
+    /// The tolerance that was exceeded.
+    pub tolerance: f64,
+}
+
+impl Regression {
+    /// Human line for CI logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} / {}: baseline {} -> fresh {} ({:+.2}% vs ±{:.2}% tolerance)",
+            self.row,
+            self.metric,
+            self.baseline,
+            self.fresh,
+            self.worsened * 100.0,
+            self.tolerance * 100.0
+        )
+    }
+}
+
+/// Relative worsening of `fresh` vs `base` under `direction` (0 when the
+/// change is an improvement).
+fn worsening(direction: Direction, base: f64, fresh: f64) -> f64 {
+    let denom = base.abs().max(f64::MIN_POSITIVE);
+    let drift = (fresh - base) / denom;
+    match direction {
+        Direction::LargerWorse => drift.max(0.0),
+        Direction::SmallerWorse => (-drift).max(0.0),
+        Direction::Exact => drift.abs(),
+    }
+}
+
+/// Gate `fresh` against `baseline`: every baseline metric must be present
+/// in `fresh` and must not have worsened beyond its tolerance (the
+/// *baseline's* direction and tolerance govern — the committed file is the
+/// contract). Returns the violations; empty means the gate passes. Rows or
+/// metrics that are new in `fresh` pass (they have no contract yet).
+pub fn compare(baseline: &BenchReport, fresh: &BenchReport) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for brow in &baseline.rows {
+        let Some(frow) = fresh.rows.iter().find(|r| r.id == brow.id) else {
+            out.push(Regression {
+                row: brow.id.clone(),
+                metric: "<row>".into(),
+                baseline: f64::NAN,
+                fresh: f64::NAN,
+                worsened: f64::INFINITY,
+                tolerance: 0.0,
+            });
+            continue;
+        };
+        for bm in &brow.metrics {
+            let Some(fm) = frow.metrics.iter().find(|m| m.name == bm.name) else {
+                out.push(Regression {
+                    row: brow.id.clone(),
+                    metric: bm.name.clone(),
+                    baseline: bm.value,
+                    fresh: f64::NAN,
+                    worsened: f64::INFINITY,
+                    tolerance: bm.tolerance,
+                });
+                continue;
+            };
+            let worsened = worsening(bm.direction, bm.value, fm.value);
+            if worsened > bm.tolerance {
+                out.push(Regression {
+                    row: brow.id.clone(),
+                    metric: bm.name.clone(),
+                    baseline: bm.value,
+                    fresh: fm.value,
+                    worsened,
+                    tolerance: bm.tolerance,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p99: f64, throughput: f64, events: f64) -> BenchReport {
+        let mut r = BenchReport::new("fig9");
+        let row = r.push_row("fig9/Un");
+        row.metric("p99_put_response_s", p99, Direction::LargerWorse, 0.05);
+        row.metric("puts_per_s", throughput, Direction::SmallerWorse, 0.05);
+        row.metric("events_dispatched", events, Direction::Exact, 0.0);
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(0.002, 1500.0, 90_000.0);
+        assert!(compare(&base, &base.clone()).is_empty());
+    }
+
+    #[test]
+    fn improvements_pass_the_gate() {
+        let base = report(0.002, 1500.0, 90_000.0);
+        let better = report(0.001, 2000.0, 90_000.0);
+        assert!(compare(&base, &better).is_empty());
+    }
+
+    #[test]
+    fn regressions_beyond_tolerance_fail() {
+        let base = report(0.002, 1500.0, 90_000.0);
+        // +50% latency, -20% throughput, drifted event count: three hits.
+        let worse = report(0.003, 1200.0, 90_001.0);
+        let regs = compare(&base, &worse);
+        assert_eq!(regs.len(), 3, "{regs:?}");
+        assert!(regs[0].describe().contains("p99_put_response_s"));
+        // Within-tolerance drift passes.
+        let slight = report(0.00205, 1480.0, 90_000.0);
+        assert!(compare(&base, &slight).is_empty());
+    }
+
+    #[test]
+    fn missing_rows_and_metrics_fail() {
+        let base = report(0.002, 1500.0, 90_000.0);
+        let mut missing_metric = base.clone();
+        missing_metric.rows[0].metrics.pop();
+        assert_eq!(compare(&base, &missing_metric).len(), 1);
+        let empty = BenchReport::new("fig9");
+        assert_eq!(compare(&base, &empty).len(), 1);
+        // New metrics in fresh don't fail against an older baseline.
+        let mut extra = base.clone();
+        extra.rows[0].metric("new_metric", 1.0, Direction::LargerWorse, 0.0);
+        assert!(compare(&base, &extra).is_empty());
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(0.002, 1500.0, 90_000.0);
+        let text = r.to_json();
+        assert!(text.ends_with('\n'));
+        let back = BenchReport::from_json(&text).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.file_name(), "BENCH_fig9.json");
+    }
+}

@@ -1,0 +1,167 @@
+//! Byte-deterministic exporters for the windowed series.
+//!
+//! * [`to_openmetrics`] — OpenMetrics text exposition: one labeled family
+//!   per metric (see [`crate::family`]), one sample per window, timestamps
+//!   in virtual seconds. Histogram streams export their per-window count,
+//!   sum, and the p50/p99/p999 quantiles as `_q50`/`_q99`/`_q999` gauges
+//!   (the bucket dump would drown scrapers; quantiles are what dashboards
+//!   plot). Ends with the spec's `# EOF` terminator.
+//! * [`to_jsonl`] — one JSON object per window, the lossless form
+//!   `wf-metrics` and the diff tooling read back.
+//!
+//! Both outputs are pure functions of the series: same seed → same series →
+//! same bytes, which is what the tier-1 determinism test asserts.
+
+use crate::family::parse;
+use crate::series::{Series, Window};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Nanoseconds → fixed-point seconds with microsecond precision, integer
+/// math only (output bytes must not depend on float formatting).
+fn fmt_ts(ns: u64) -> String {
+    format!("{}.{:06}", ns / 1_000_000_000, (ns % 1_000_000_000) / 1_000)
+}
+
+/// Quantile value (ns) → seconds with nanosecond precision, integer math.
+fn fmt_secs_ns(ns: u64) -> String {
+    format!("{}.{:09}", ns / 1_000_000_000, ns % 1_000_000_000)
+}
+
+/// One OpenMetrics line: `family{labels} value timestamp`.
+fn sample_line(out: &mut String, family: &str, selector: &str, value: &str, ts_ns: u64) {
+    let _ = writeln!(out, "{family}{selector} {value} {}", fmt_ts(ts_ns));
+}
+
+/// Render the series as OpenMetrics text exposition (see module docs).
+pub fn to_openmetrics(series: &Series) -> String {
+    // Group samples by family so each family is declared once. BTreeMap
+    // keys keep family order deterministic; per-family sample order is
+    // (selector, time).
+    #[derive(Default)]
+    struct Fam {
+        kind: &'static str,
+        samples: Vec<(String, u64, String)>, // (selector, ts, value)
+    }
+    let mut fams: BTreeMap<String, Fam> = BTreeMap::new();
+    let mut push = |name: &str, suffix: &str, kind: &'static str, ts: u64, value: String| {
+        let key = parse(name);
+        let fam = fams.entry(format!("{}{suffix}", key.family)).or_default();
+        fam.kind = kind;
+        fam.samples.push((key.label_selector(), ts, value));
+    };
+    for w in &series.windows {
+        for (name, delta) in &w.counters {
+            push(name, "_delta", "gauge", w.end_ns, delta.to_string());
+        }
+        for (name, value) in &w.gauges {
+            push(name, "", "gauge", w.end_ns, value.to_string());
+        }
+        for (name, h) in &w.hists {
+            push(name, "_count", "gauge", w.end_ns, h.count().to_string());
+            push(name, "_sum_s", "gauge", w.end_ns, fmt_secs_ns(h.sum()));
+            for (q, suffix) in [(0.50, "_q50"), (0.99, "_q99"), (0.999, "_q999")] {
+                if let Some(v) = h.quantile(q) {
+                    push(name, suffix, "gauge", w.end_ns, fmt_secs_ns(v));
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (family, mut fam) in fams {
+        let _ = writeln!(out, "# TYPE {family} {}", fam.kind);
+        fam.samples.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        for (selector, ts, value) in &fam.samples {
+            sample_line(&mut out, &family, selector, value, *ts);
+        }
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Render one window as a JSON object (helper for [`to_jsonl`]).
+fn window_json(w: &Window) -> String {
+    serde_json::to_string(w).expect("window serializes")
+}
+
+/// Render the series as JSON Lines: a header object carrying the window
+/// width, then one object per window.
+pub fn to_jsonl(series: &Series) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{\"window_ns\":{}}}", series.window_ns);
+    for w in &series.windows {
+        out.push_str(&window_json(w));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a series back from its [`to_jsonl`] form.
+pub fn from_jsonl(text: &str) -> Result<Series, String> {
+    #[derive(serde::Deserialize)]
+    struct Header {
+        window_ns: u64,
+    }
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty series file")?;
+    let Header { window_ns } =
+        serde_json::from_str(header).map_err(|e| format!("series header: {e}"))?;
+    let mut windows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        windows
+            .push(serde_json::from_str(line).map_err(|e| format!("series line {}: {e}", i + 2))?);
+    }
+    Ok(Series { window_ns, windows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::series::SeriesBuilder;
+
+    fn sample_series() -> Series {
+        let mut b = SeriesBuilder::new(1_000_000);
+        let mut h = Histogram::default();
+        for w in 0..3u64 {
+            h.record((w + 1) * 1_000);
+            b.begin_window((w + 1) * 1_000_000);
+            b.feed_counter("wf.puts", (w + 1) * 10);
+            b.feed_gauge("staging.server0.qdepth", w as i64);
+            b.feed_hist("wf.put_response_s", &h);
+            b.close_window();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn openmetrics_is_deterministic_and_labeled() {
+        let s = sample_series();
+        let a = to_openmetrics(&s);
+        let b = to_openmetrics(&s);
+        assert_eq!(a, b);
+        assert!(a.contains("# TYPE staging_server_qdepth gauge"), "{a}");
+        assert!(a.contains(r#"staging_server_qdepth{domain="staging",shard="0"} 1"#), "{a}");
+        assert!(a.contains("wf_puts_delta"), "{a}");
+        assert!(a.contains("wf_put_response_s_q99"), "{a}");
+        assert!(a.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn timestamps_are_integer_math() {
+        assert_eq!(fmt_ts(0), "0.000000");
+        assert_eq!(fmt_ts(1_500_000), "0.001500");
+        assert_eq!(fmt_ts(2_000_001_000), "2.000001");
+        assert_eq!(fmt_secs_ns(1_500_000), "0.001500000");
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let s = sample_series();
+        let text = to_jsonl(&s);
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, s);
+        assert!(from_jsonl("").is_err());
+        assert!(from_jsonl("{\"not_window_ns\":1}").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Labeled metric families over the registry's dotted-name convention.
+//!
+//! The metrics registry namespaces by convention: `staging.server3.bytes`,
+//! `wf.put_response_s`, `sup.outage_s`. Exporters want families with
+//! labels instead — one `staging_server_bytes` family with a `shard="3"`
+//! label per series, so downstream tooling can aggregate across shards.
+//! [`parse`] maps a raw registry name onto a [`MetricKey`]:
+//!
+//! * the first dotted segment becomes the `domain` label
+//!   (`staging`, `wf`, `net`, `sup`, ...);
+//! * a segment matching `server<N>` / `shard<N>` becomes a `shard="<N>"`
+//!   label, with the numeral dropped from the family name;
+//! * a segment matching `comp<N>` / `app<N>` becomes a `component="<N>"`
+//!   label, likewise dropped;
+//! * remaining segments join with `_` to form the OpenMetrics-safe family
+//!   name.
+//!
+//! The mapping is pure string processing — no registry changes — so every
+//! existing metric name keeps working and gains labels for free.
+
+use serde::{Deserialize, Serialize};
+
+/// A metric family name plus its extracted labels, both deterministic
+/// functions of the raw registry name.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricKey {
+    /// OpenMetrics-safe family name (`[a-z0-9_]`, dots → underscores,
+    /// numeric shard/component suffixes stripped into labels).
+    pub family: String,
+    /// `(label, value)` pairs, in fixed label order
+    /// (`component`, `domain`, `shard`).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Render the label set as an OpenMetrics selector, `{}`-free when
+    /// empty: `{domain="staging",shard="3"}`.
+    pub fn label_selector(&self) -> String {
+        if self.labels.is_empty() {
+            return String::new();
+        }
+        let inner: Vec<String> = self.labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", inner.join(","))
+    }
+}
+
+/// Split a segment like `server12` into `("server", "12")`; `None` when the
+/// segment has no trailing numerals or no alphabetic stem.
+fn split_numeric_suffix(seg: &str) -> Option<(&str, &str)> {
+    let digits = seg.len() - seg.chars().rev().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 || digits == seg.len() {
+        return None;
+    }
+    Some(seg.split_at(digits))
+}
+
+/// Parse a raw registry name into its labeled family (see module docs).
+pub fn parse(raw: &str) -> MetricKey {
+    let mut parts: Vec<String> = Vec::new();
+    let mut labels: Vec<(String, String)> = Vec::new();
+    for (i, seg) in raw.split('.').enumerate() {
+        if i == 0 {
+            labels.push(("domain".into(), seg.to_owned()));
+            parts.push(seg.to_owned());
+            continue;
+        }
+        match split_numeric_suffix(seg) {
+            Some((stem @ ("server" | "shard"), n)) => {
+                labels.push(("shard".into(), n.to_owned()));
+                parts.push(stem.to_owned());
+            }
+            Some((stem @ ("comp" | "app"), n)) => {
+                labels.push(("component".into(), n.to_owned()));
+                parts.push(stem.to_owned());
+            }
+            _ => parts.push(seg.to_owned()),
+        }
+    }
+    labels.sort();
+    let family: String = parts
+        .join("_")
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    MetricKey { family, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_suffix_becomes_label() {
+        let k = parse("staging.server3.bytes");
+        assert_eq!(k.family, "staging_server_bytes");
+        assert_eq!(
+            k.labels,
+            vec![("domain".into(), "staging".into()), ("shard".into(), "3".into())]
+        );
+        assert_eq!(k.label_selector(), r#"{domain="staging",shard="3"}"#);
+    }
+
+    #[test]
+    fn plain_names_get_domain_only() {
+        let k = parse("wf.put_response_s");
+        assert_eq!(k.family, "wf_put_response_s");
+        assert_eq!(k.labels, vec![("domain".into(), "wf".into())]);
+    }
+
+    #[test]
+    fn component_suffix_becomes_label() {
+        let k = parse("wf.app1.steps");
+        assert_eq!(k.family, "wf_app_steps");
+        assert_eq!(
+            k.labels,
+            vec![("component".into(), "1".into()), ("domain".into(), "wf".into())]
+        );
+    }
+
+    #[test]
+    fn non_suffix_numerals_stay_in_the_name() {
+        // `p99` has no alphabetic stem boundary we recognize — stays put.
+        let k = parse("wf.p99");
+        assert_eq!(k.family, "wf_p99");
+        // Pure-numeric or stemless segments stay put too.
+        assert_eq!(parse("a.7.b").family, "a_7_b");
+    }
+
+    #[test]
+    fn families_group_across_shards() {
+        let a = parse("staging.server0.bytes");
+        let b = parse("staging.server1.bytes");
+        assert_eq!(a.family, b.family);
+        assert_ne!(a.labels, b.labels);
+    }
+}

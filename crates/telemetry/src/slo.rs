@@ -1,0 +1,375 @@
+//! Windowed SLO objectives, error budgets, and burn-rate breach detection.
+//!
+//! An [`SloCfg`] declares objectives over the windowed series: "the
+//! in-window p99 of `wf.put_response_s` stays under 2 ms", "no supervised
+//! outage exceeds 5 s", "a queue depth never closes a window above 64".
+//! Each objective carries an **error budget**: the fraction of windows
+//! allowed to violate the target (the classic SRE formulation). The
+//! evaluator tracks, over a trailing evaluation window of `burn_windows`
+//! scrape windows, the **burn rate**
+//!
+//! ```text
+//! burn = violating_windows / (budget × trailing_windows)
+//! ```
+//!
+//! A burn rate ≥ 1 means the budget is being consumed faster than it
+//! accrues; the instant the rate *crosses* 1 is a **breach** — the scraper
+//! emits it into the obs trace at that virtual timestamp, so the breach
+//! sits causally among the puts/faults that caused it. The same evaluator
+//! replays offline over an exported series (`wf-metrics slo-check`), and
+//! both paths produce identical breach instants by construction.
+
+use crate::hist::ns_to_secs;
+use crate::series::{Series, Window};
+use serde::{Deserialize, Serialize};
+
+/// What an objective measures within each window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// Quantile `q` of the named per-window histogram must stay `<= max_s`
+    /// seconds (windows with no samples are compliant).
+    Quantile {
+        /// Histogram stream name (e.g. `wf.put_response_s`).
+        metric: String,
+        /// Quantile in [0, 1] (0.99 = p99; 1.0 = worst sample, the MTTR
+        /// form `recovery.mttr < Y s`).
+        q: f64,
+        /// Threshold, seconds.
+        max_s: f64,
+    },
+    /// The named counter must grow by at most `max` inside each window
+    /// (e.g. `wf.net_retries`, digest mismatches).
+    CounterDelta {
+        /// Counter name.
+        metric: String,
+        /// Largest compliant in-window delta.
+        max: u64,
+    },
+    /// The named gauge must close each window at or below `max`
+    /// (queue-depth style; windows without the gauge are compliant).
+    GaugeAtMost {
+        /// Gauge name.
+        metric: String,
+        /// Largest compliant close value.
+        max: i64,
+    },
+}
+
+impl Target {
+    /// Does `w` violate this target?
+    pub fn violated_by(&self, w: &Window) -> bool {
+        match self {
+            Target::Quantile { metric, q, max_s } => w
+                .hist(metric)
+                .and_then(|h| h.quantile(*q))
+                .is_some_and(|ns| ns_to_secs(ns) > *max_s),
+            Target::CounterDelta { metric, max } => w.counter(metric) > *max,
+            Target::GaugeAtMost { metric, max } => w.gauge(metric).is_some_and(|v| v > *max),
+        }
+    }
+
+    /// The metric name this target watches.
+    pub fn metric(&self) -> &str {
+        match self {
+            Target::Quantile { metric, .. }
+            | Target::CounterDelta { metric, .. }
+            | Target::GaugeAtMost { metric, .. } => metric,
+        }
+    }
+}
+
+/// One service-level objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    /// Short name for reports and trace instants (`put-p99`, `mttr`).
+    pub name: String,
+    /// The per-window compliance test.
+    pub target: Target,
+    /// Error budget: allowed violating fraction of windows, in (0, 1].
+    pub budget: f64,
+    /// Trailing evaluation window, in scrape windows (≥ 1).
+    pub burn_windows: u32,
+}
+
+/// A set of objectives evaluated together over one run's series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloCfg {
+    /// The objectives.
+    pub objectives: Vec<Objective>,
+}
+
+impl SloCfg {
+    /// Structural validation (budgets are fractions, windows nonzero).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, o) in self.objectives.iter().enumerate() {
+            if !(o.budget > 0.0 && o.budget <= 1.0) {
+                return Err(format!("objectives[{i}] ({}): budget must be in (0,1]", o.name));
+            }
+            if o.burn_windows == 0 {
+                return Err(format!("objectives[{i}] ({}): burn_windows must be >= 1", o.name));
+            }
+            if let Target::Quantile { q, .. } = &o.target {
+                if !(0.0..=1.0).contains(q) {
+                    return Err(format!("objectives[{i}] ({}): quantile out of [0,1]", o.name));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A burn-rate breach: the budget started burning faster than it accrues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Breach {
+    /// Objective name.
+    pub objective: String,
+    /// Virtual time of the window close that crossed the threshold, ns.
+    pub at_ns: u64,
+    /// Burn rate at the crossing (≥ 1).
+    pub burn_rate: f64,
+}
+
+/// Per-objective outcome over a full series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveReport {
+    /// Objective name.
+    pub objective: String,
+    /// Windows evaluated.
+    pub windows: u64,
+    /// Windows that violated the target.
+    pub violations: u64,
+    /// Peak trailing burn rate observed.
+    pub peak_burn: f64,
+    /// Burn-rate breaches, in time order.
+    pub breaches: Vec<Breach>,
+}
+
+impl ObjectiveReport {
+    /// Did the objective hold (no breach)?
+    pub fn ok(&self) -> bool {
+        self.breaches.is_empty()
+    }
+}
+
+/// Whole-config outcome: what `wf-metrics slo-check` prints and exits on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Per-objective outcomes, config order.
+    pub objectives: Vec<ObjectiveReport>,
+}
+
+impl SloReport {
+    /// Every objective held.
+    pub fn ok(&self) -> bool {
+        self.objectives.iter().all(ObjectiveReport::ok)
+    }
+
+    /// All breaches across objectives, time order.
+    pub fn breaches(&self) -> Vec<&Breach> {
+        let mut all: Vec<&Breach> =
+            self.objectives.iter().flat_map(|o| o.breaches.iter()).collect();
+        all.sort_by(|a, b| (a.at_ns, &a.objective).cmp(&(b.at_ns, &b.objective)));
+        all
+    }
+}
+
+/// Ring of recent violation flags for one objective.
+#[derive(Debug)]
+struct BurnState {
+    recent: Vec<bool>,
+    next: usize,
+    filled: usize,
+    report: ObjectiveReport,
+    /// Was the burn rate ≥ 1 after the previous window? Breaches fire on
+    /// the upward crossing only.
+    burning: bool,
+}
+
+/// Stateful evaluator: step one window at a time. The scraper drives it
+/// online (emitting breach instants into the trace as they happen); the
+/// CLI replays it offline over an exported series.
+#[derive(Debug)]
+pub struct SloEval {
+    cfg: SloCfg,
+    states: Vec<BurnState>,
+}
+
+impl SloEval {
+    /// Evaluator for `cfg`.
+    pub fn new(cfg: SloCfg) -> Self {
+        let states = cfg
+            .objectives
+            .iter()
+            .map(|o| BurnState {
+                recent: vec![false; o.burn_windows.max(1) as usize],
+                next: 0,
+                filled: 0,
+                report: ObjectiveReport {
+                    objective: o.name.clone(),
+                    windows: 0,
+                    violations: 0,
+                    peak_burn: 0.0,
+                    breaches: Vec::new(),
+                },
+                burning: false,
+            })
+            .collect();
+        SloEval { cfg, states }
+    }
+
+    /// Evaluate one closed window; returns breaches that fired at its close
+    /// (usually empty).
+    pub fn step(&mut self, w: &Window) -> Vec<Breach> {
+        let mut fired = Vec::new();
+        for (o, st) in self.cfg.objectives.iter().zip(&mut self.states) {
+            let violated = o.target.violated_by(w);
+            st.recent[st.next] = violated;
+            st.next = (st.next + 1) % st.recent.len();
+            st.filled = (st.filled + 1).min(st.recent.len());
+            st.report.windows += 1;
+            st.report.violations += u64::from(violated);
+            let violating = st.recent.iter().take(st.filled).filter(|&&v| v).count();
+            // Burn over the trailing window: violations / budget-allowance.
+            let burn = violating as f64 / (o.budget * st.filled as f64);
+            st.report.peak_burn = st.report.peak_burn.max(burn);
+            let now_burning = burn >= 1.0 && violating > 0;
+            if now_burning && !st.burning {
+                let b = Breach { objective: o.name.clone(), at_ns: w.end_ns, burn_rate: burn };
+                st.report.breaches.push(b.clone());
+                fired.push(b);
+            }
+            st.burning = now_burning;
+        }
+        fired
+    }
+
+    /// Finish and report.
+    pub fn finish(self) -> SloReport {
+        SloReport { objectives: self.states.into_iter().map(|s| s.report).collect() }
+    }
+
+    /// One-shot offline evaluation of a whole series.
+    pub fn evaluate(cfg: &SloCfg, series: &Series) -> SloReport {
+        let mut ev = SloEval::new(cfg.clone());
+        for w in &series.windows {
+            ev.step(w);
+        }
+        ev.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::{secs_to_ns, Histogram};
+
+    fn lat_window(start_ns: u64, end_ns: u64, lat_s: f64) -> Window {
+        let mut h = Histogram::default();
+        h.record(secs_to_ns(lat_s));
+        Window { start_ns, end_ns, hists: vec![("lat".into(), h)], ..Default::default() }
+    }
+
+    fn p99_objective(budget: f64, burn_windows: u32) -> SloCfg {
+        SloCfg {
+            objectives: vec![Objective {
+                name: "lat-p99".into(),
+                target: Target::Quantile { metric: "lat".into(), q: 0.99, max_s: 0.002 },
+                budget,
+                burn_windows,
+            }],
+        }
+    }
+
+    #[test]
+    fn compliant_series_has_no_breach() {
+        let cfg = p99_objective(0.1, 4);
+        let mut ev = SloEval::new(cfg);
+        for i in 0..10 {
+            assert!(ev.step(&lat_window(i * 100, (i + 1) * 100, 0.001)).is_empty());
+        }
+        let rep = ev.finish();
+        assert!(rep.ok());
+        assert_eq!(rep.objectives[0].windows, 10);
+        assert_eq!(rep.objectives[0].violations, 0);
+    }
+
+    #[test]
+    fn breach_fires_on_upward_crossing_only() {
+        // Budget 0.5 over 2 trailing windows → one violation in the pair
+        // burns the full budget (burn = 1.0).
+        let cfg = p99_objective(0.5, 2);
+        let mut ev = SloEval::new(cfg);
+        assert!(ev.step(&lat_window(0, 100, 0.001)).is_empty());
+        let fired = ev.step(&lat_window(100, 200, 0.010));
+        assert_eq!(fired.len(), 1, "crossing fires");
+        assert_eq!(fired[0].at_ns, 200);
+        assert!(fired[0].burn_rate >= 1.0);
+        // Still violating: burning persists, no re-fire.
+        assert!(ev.step(&lat_window(200, 300, 0.010)).is_empty());
+        // Recovers (two quiet windows flush the ring), then re-breaches.
+        assert!(ev.step(&lat_window(300, 400, 0.001)).is_empty());
+        assert!(ev.step(&lat_window(400, 500, 0.001)).is_empty());
+        let again = ev.step(&lat_window(500, 600, 0.010));
+        assert_eq!(again.len(), 1, "second crossing fires again");
+        let rep = ev.finish();
+        assert!(!rep.ok());
+        assert_eq!(rep.objectives[0].breaches.len(), 2);
+        assert_eq!(rep.breaches().len(), 2);
+    }
+
+    #[test]
+    fn empty_windows_are_compliant() {
+        let cfg = p99_objective(0.1, 2);
+        let rep = SloEval::evaluate(
+            &cfg,
+            &Series {
+                window_ns: 100,
+                windows: vec![Window { start_ns: 0, end_ns: 100, ..Default::default() }],
+            },
+        );
+        assert!(rep.ok());
+        assert_eq!(rep.objectives[0].windows, 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_targets() {
+        let cfg = SloCfg {
+            objectives: vec![
+                Objective {
+                    name: "retries".into(),
+                    target: Target::CounterDelta { metric: "retries".into(), max: 2 },
+                    budget: 0.25,
+                    burn_windows: 4,
+                },
+                Objective {
+                    name: "depth".into(),
+                    target: Target::GaugeAtMost { metric: "depth".into(), max: 10 },
+                    budget: 0.25,
+                    burn_windows: 4,
+                },
+            ],
+        };
+        assert!(cfg.validate().is_ok());
+        let w = Window {
+            start_ns: 0,
+            end_ns: 100,
+            counters: vec![("retries".into(), 5)],
+            gauges: vec![("depth".into(), 64)],
+            ..Default::default()
+        };
+        assert!(cfg.objectives[0].target.violated_by(&w));
+        assert!(cfg.objectives[1].target.violated_by(&w));
+        let quiet = Window { start_ns: 100, end_ns: 200, ..Default::default() };
+        assert!(!cfg.objectives[0].target.violated_by(&quiet));
+        assert!(!cfg.objectives[1].target.violated_by(&quiet));
+    }
+
+    #[test]
+    fn validate_rejects_bad_budgets() {
+        let mut cfg = p99_objective(0.0, 2);
+        assert!(cfg.validate().is_err());
+        cfg = p99_objective(0.5, 0);
+        assert!(cfg.validate().is_err());
+        assert!(p99_objective(1.0, 1).validate().is_ok());
+    }
+}

@@ -599,6 +599,10 @@ impl StoreBackend for LoggingBackend {
     fn journal_records_batched(&self) -> u64 {
         LoggingBackend::journal_records_batched(self)
     }
+
+    fn live_log_events(&self) -> u64 {
+        self.queues.values().map(|q| q.transport_len() as u64).sum()
+    }
 }
 
 #[cfg(test)]

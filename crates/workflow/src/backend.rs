@@ -198,6 +198,13 @@ impl StoreBackend for AnyBackend {
     fn journal_records_batched(&self) -> u64 {
         AnyBackend::journal_records_batched(self)
     }
+
+    fn live_log_events(&self) -> u64 {
+        match self {
+            AnyBackend::Plain(b) => b.live_log_events(),
+            AnyBackend::Logging(b) => b.live_log_events(),
+        }
+    }
 }
 
 #[cfg(test)]

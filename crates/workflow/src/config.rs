@@ -500,6 +500,46 @@ pub struct WorkflowConfig {
     /// consistency windows, rollback, and GC floors are tracked per shard.
     #[serde(default)]
     pub sharding: Option<ShardingCfg>,
+    /// Optional deterministic time-series telemetry (absent in the seed's
+    /// configs — `#[serde(default)]` keeps old documents readable). When
+    /// enabled, a virtual-time scraper actor samples the metrics registry
+    /// every window and the run report carries a byte-deterministic windowed
+    /// series (plus online SLO breach detection when objectives are set).
+    #[serde(default)]
+    pub telemetry: Option<TelemetryCfg>,
+}
+
+/// Deterministic time-series telemetry configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryCfg {
+    /// Scrape window width (virtual time). Every window boundary the
+    /// scraper turns the cumulative registry into per-window activity:
+    /// counter deltas, gauge closes, and exact per-window latency
+    /// histograms.
+    pub window: SimTime,
+    /// Optional SLO objectives evaluated online, window by window. Breach
+    /// instants are emitted into the obs trace as they fire.
+    #[serde(default)]
+    pub slo: Option<telemetry::SloCfg>,
+}
+
+impl Default for TelemetryCfg {
+    fn default() -> Self {
+        TelemetryCfg { window: SimTime::from_millis(1_000), slo: None }
+    }
+}
+
+impl TelemetryCfg {
+    /// Telemetry with `window`-wide scrape windows and no SLOs.
+    pub fn windowed(window: SimTime) -> TelemetryCfg {
+        TelemetryCfg { window, slo: None }
+    }
+
+    /// Attach SLO objectives on a copy.
+    pub fn with_slo(mut self, slo: telemetry::SloCfg) -> TelemetryCfg {
+        self.slo = Some(slo);
+        self
+    }
 }
 
 /// Causal-trace capture configuration.
@@ -605,6 +645,13 @@ impl WorkflowConfig {
     pub fn with_sharding(&self, sharding: ShardingCfg) -> WorkflowConfig {
         let mut c = self.clone();
         c.sharding = Some(sharding);
+        c
+    }
+
+    /// Enable deterministic time-series telemetry on a copy.
+    pub fn with_telemetry(&self, telemetry: TelemetryCfg) -> WorkflowConfig {
+        let mut c = self.clone();
+        c.telemetry = Some(telemetry);
         c
     }
 
@@ -799,6 +846,14 @@ impl WorkflowConfig {
                 }
             }
         }
+        if let Some(t) = &self.telemetry {
+            if t.window.0 == 0 {
+                return Err("telemetry scrape window must be nonzero".into());
+            }
+            if let Some(slo) = &t.slo {
+                slo.validate().map_err(|e| format!("telemetry SLO: {e}"))?;
+            }
+        }
         Ok(())
     }
 }
@@ -878,6 +933,7 @@ pub fn table2(protocol: WorkflowProtocol) -> WorkflowConfig {
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 
@@ -967,6 +1023,7 @@ pub fn table3(scale: usize, protocol: WorkflowProtocol, nfailures: usize) -> Wor
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 
@@ -1033,6 +1090,7 @@ pub fn dns_les(protocol: WorkflowProtocol) -> WorkflowConfig {
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 
@@ -1101,6 +1159,7 @@ pub fn fanout(protocol: WorkflowProtocol, nconsumers: usize) -> WorkflowConfig {
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 
@@ -1169,6 +1228,7 @@ pub fn tiny(protocol: WorkflowProtocol) -> WorkflowConfig {
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 
@@ -1242,6 +1302,7 @@ pub fn micro(protocol: WorkflowProtocol) -> WorkflowConfig {
         trace: None,
         supervision: None,
         sharding: None,
+        telemetry: None,
     }
 }
 

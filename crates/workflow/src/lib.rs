@@ -36,8 +36,9 @@ pub mod mcheck_mode;
 pub mod report;
 pub mod runner;
 pub mod supervisor_actor;
+pub mod telemetry_actor;
 
-pub use config::{ComponentConfig, DurabilityCfg, FailureSpec, Role, WorkflowConfig};
+pub use config::{ComponentConfig, DurabilityCfg, FailureSpec, Role, TelemetryCfg, WorkflowConfig};
 pub use mcheck_mode::{CrashChoice, McheckOptions, WorkflowModel};
 pub use report::RunReport;
 pub use runner::{build, harvest, run, BuiltWorkflow};

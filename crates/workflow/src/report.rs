@@ -28,8 +28,14 @@ pub struct RunReport {
     /// Streaming p99 of put response time, seconds (0 when no puts).
     pub p99_put_response_s: f64,
     /// Peak staging memory across servers (sum of per-server peaks), bytes —
-    /// Figure 9(c)/(d)'s "memory usage".
+    /// Figure 9(c)/(d)'s "memory usage". After merging threaded per-shard
+    /// registries this is the provable *lower* bound on the combined peak.
     pub staging_peak_bytes: u64,
+    /// Upper bound on the combined peak after merges (sum of part peaks);
+    /// equals [`RunReport::staging_peak_bytes`] for single-registry runs.
+    /// `summary()` prints `peak..peak_upper` when the bounds diverge.
+    #[serde(default)]
+    pub staging_peak_upper_bytes: u64,
     /// Staging memory at the end of the run.
     pub staging_final_bytes: u64,
     /// Checkpoints taken (component-level).
@@ -133,6 +139,14 @@ pub struct RunReport {
     /// in name order. `None` in reports deserialized from older runs.
     #[serde(default)]
     pub metrics: Option<MetricsSnapshot>,
+    /// Deterministic windowed time series (telemetry-on runs only): queue
+    /// depths, put latency histograms, journal flush bytes, MTTR — per
+    /// scrape window, byte-identical across same-seed runs.
+    #[serde(default)]
+    pub series: Option<telemetry::Series>,
+    /// SLO evaluation outcome (telemetry-on runs with objectives only).
+    #[serde(default)]
+    pub slo: Option<telemetry::SloReport>,
 }
 
 impl RunReport {
@@ -158,14 +172,25 @@ impl RunReport {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        // Merged gauges only bound the combined high-water mark; an honest
+        // summary shows the interval instead of silently picking a side.
+        let peak_mem = if self.staging_peak_upper_bytes > self.staging_peak_bytes {
+            format!(
+                "{:.1}..{:.1}MiB",
+                mib(self.staging_peak_bytes),
+                mib(self.staging_peak_upper_bytes)
+            )
+        } else {
+            format!("{:.1}MiB", mib(self.staging_peak_bytes))
+        };
         let mut s = format!(
-            "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={:.1}MiB ckpts={} rec={} replay(g={},p={}) mism={} retries={} stalls={} stale={}",
+            "{:<28} {:>4} total={:>9.2}s puts={} cumW={:.3}s peakMem={peak_mem} ckpts={} rec={} replay(g={},p={}) mism={} retries={} stalls={} stale={}",
             self.label,
             self.protocol.label(),
             self.total_time_s,
             self.puts,
             self.cumulative_put_response_s,
-            self.staging_peak_bytes as f64 / (1 << 20) as f64,
             self.ckpts,
             self.recoveries,
             self.replayed_gets,
@@ -189,6 +214,16 @@ impl RunReport {
         }
         if self.shards > 0 {
             s.push_str(&format!(" shards={} rebal={}", self.shards, self.rebalances));
+        }
+        if let Some(series) = &self.series {
+            s.push_str(&format!(" windows={}", series.windows.len()));
+        }
+        if let Some(slo) = &self.slo {
+            if slo.ok() {
+                s.push_str(" slo=ok");
+            } else {
+                s.push_str(&format!(" slo=BREACH({})", slo.breaches().len()));
+            }
         }
         s
     }
@@ -216,6 +251,7 @@ mod tests {
             mean_put_response_s: 0.0,
             p99_put_response_s: 0.0,
             staging_peak_bytes: mem,
+            staging_peak_upper_bytes: mem,
             staging_final_bytes: 0,
             ckpts: 0,
             recoveries: 0,
@@ -253,7 +289,19 @@ mod tests {
             schedules_explored: 0,
             states_pruned: 0,
             metrics: None,
+            series: None,
+            slo: None,
         }
+    }
+
+    #[test]
+    fn summary_prints_peak_interval_when_merge_bounds_diverge() {
+        let exact = report(1.0, 2 << 20, 1.0);
+        assert!(exact.summary().contains("peakMem=2.0MiB"), "{}", exact.summary());
+        let mut merged = report(1.0, 2 << 20, 1.0);
+        merged.staging_peak_upper_bytes = 3 << 20;
+        let s = merged.summary();
+        assert!(s.contains("peakMem=2.0..3.0MiB"), "diverged bounds surface: {s}");
     }
 
     #[test]

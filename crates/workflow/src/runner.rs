@@ -101,6 +101,9 @@ pub struct BuiltWorkflow {
     pub tracer: obs::Tracer,
     /// Supervisor actor id, when `cfg.supervision` enables supervision.
     pub sup_id: Option<usize>,
+    /// Telemetry scraper actor id, when `cfg.telemetry` enables the
+    /// windowed time series.
+    pub tel_id: Option<usize>,
 }
 
 /// Execute one workflow run and report.
@@ -435,17 +438,31 @@ pub fn build(cfg: &WorkflowConfig) -> BuiltWorkflow {
         }
     }
 
+    // 6b. Telemetry scraper (telemetry-on runs only). Registered last for
+    // the same reason as the supervisor: the component/server actor-id
+    // layout is load-bearing. The scraper is observational — it reads the
+    // registry, never the RNG — so enabling it cannot change the simulated
+    // outcome, only the dispatch count (its ticks are events).
+    let tel_id = cfg.telemetry.as_ref().map(|t| {
+        let mut tel = crate::telemetry_actor::TelemetryActor::new(t);
+        tel.set_tracer(tracer.clone());
+        let id = engine.add_actor(Box::new(tel));
+        engine.schedule_at(t.window, id, crate::telemetry_actor::Tick);
+        id
+    });
+
     // 7. Kick off.
     for &cid in &comp_ids {
         engine.schedule_now(cid, StartStep);
     }
-    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id, tracer, sup_id }
+    BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, net_id, tracer, sup_id, tel_id }
 }
 
 /// Distill a completed run into a [`RunReport`]. Asserts every component
 /// finished (a wedged run is a bug, not a result).
 pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
-    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, tracer, sup_id, .. } = built;
+    let BuiltWorkflow { engine, cfg, comp_ids, server_ids, dir_id, tracer, sup_id, tel_id, .. } =
+        built;
     // Journal counters need a flush pre-pass (mutable access) before the
     // read-only sweep: the graceful end of a run drains each server's
     // buffered journal tail so `bytes_flushed` reflects the whole history.
@@ -483,7 +500,23 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
     );
     let total_time_s = finish_times_s.iter().map(|&(_, t)| t).fold(0.0, f64::max);
 
+    // Telemetry: flush the final (partial) window against the end-of-run
+    // registry and detach the series + SLO outcome.
+    let telemetry_harvest = tel_id.map(|tid| {
+        let end_ns = engine.now().0;
+        let seq = engine.dispatched();
+        let tel = engine
+            .actor_as_mut::<crate::telemetry_actor::TelemetryActor>(tid)
+            .expect("telemetry actor");
+        tel.harvest(end_ns, seq, &m)
+    });
+    let (series, slo) = match telemetry_harvest {
+        Some((s, r)) => (Some(s), r),
+        None => (None, None),
+    };
+
     let mut staging_peak_bytes = 0u64;
+    let mut staging_peak_upper_bytes = 0u64;
     let mut staging_final_bytes = 0u64;
     let mut absorbed = 0u64;
     let mut replayed = 0u64;
@@ -498,6 +531,7 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
     for (i, &sid) in server_ids.iter().enumerate() {
         let g = m.gauge(&format!("staging.server{i}.bytes"));
         staging_peak_bytes += g.peak.max(0) as u64;
+        staging_peak_upper_bytes += g.peak_upper.max(0) as u64;
         let s = engine.actor_as::<StagingServerActor<AnyBackend>>(sid).expect("server actor");
         staging_final_bytes += s.logic().bytes_resident();
         staging_rebuilds += u64::from(s.rebuilds());
@@ -558,6 +592,7 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         mean_put_response_s: put_stream.mean(),
         p99_put_response_s: m.p99("wf.put_response_s").unwrap_or(0.0),
         staging_peak_bytes,
+        staging_peak_upper_bytes,
         staging_final_bytes,
         ckpts: m.counter("wf.ckpts"),
         recoveries,
@@ -599,6 +634,8 @@ pub fn harvest(built: &mut BuiltWorkflow) -> RunReport {
         schedules_explored: 0,
         states_pruned: 0,
         metrics: Some(m.snapshot()),
+        series,
+        slo,
     }
 }
 

@@ -91,6 +91,11 @@ pub struct SupervisorActor {
     track: obs::TrackId,
     /// Open outage span per domain.
     outage_spans: BTreeMap<DomainKey, TraceCtx>,
+    /// Outage start (virtual ns) per down domain — always on, unlike the
+    /// tracer spans, so the `sup.outage_s` tail histogram (MTTR for the
+    /// windowed telemetry series and SLO targets) exists in untraced runs.
+    /// Consecutive deaths extend the one open outage.
+    outage_since: BTreeMap<DomainKey, u64>,
 }
 
 impl SupervisorActor {
@@ -106,6 +111,7 @@ impl SupervisorActor {
             tracer: obs::Tracer::off(),
             track: obs::TrackId(0),
             outage_spans: BTreeMap::new(),
+            outage_since: BTreeMap::new(),
         }
     }
 
@@ -135,7 +141,8 @@ impl SupervisorActor {
         &self.sup
     }
 
-    fn open_outage(&mut self, ctx: &Ctx<'_>, key: DomainKey, cause: DeathCause) {
+    fn open_outage(&mut self, ctx: &mut Ctx<'_>, key: DomainKey, cause: DeathCause) {
+        self.outage_since.entry(key).or_insert_with(|| ctx.now().as_nanos());
         if !self.tracer.enabled() {
             return;
         }
@@ -162,7 +169,11 @@ impl SupervisorActor {
         }
     }
 
-    fn close_outage(&mut self, ctx: &Ctx<'_>, key: DomainKey) {
+    fn close_outage(&mut self, ctx: &mut Ctx<'_>, key: DomainKey) {
+        if let Some(since) = self.outage_since.remove(&key) {
+            let dur_s = (ctx.now().as_nanos().saturating_sub(since)) as f64 / 1e9;
+            ctx.metrics().observe_tail("sup.outage_s", dur_s);
+        }
         if let Some(span) = self.outage_spans.remove(&key) {
             if !span.is_none() {
                 self.tracer.end(span, self.track, ctx.now().as_nanos(), ctx.seq(), Vec::new());

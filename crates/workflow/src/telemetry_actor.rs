@@ -1,0 +1,136 @@
+//! Virtual-time telemetry scraper: turns the cumulative metrics registry
+//! into a byte-deterministic windowed time series.
+//!
+//! A [`TelemetryActor`] ticks itself every [`crate::config::TelemetryCfg`]
+//! window of *virtual* time. Each tick scrapes the engine's metrics
+//! registry — counters, gauges, and the exact tail histograms — into a
+//! [`telemetry::SeriesBuilder`], which diffs cumulative state into
+//! per-window activity. Because the tick instants, the registry contents,
+//! and the scrape order (name-ordered `BTreeMap` iteration) are all
+//! functions of the seed, the same seed always yields the same series,
+//! byte for byte.
+//!
+//! When the config carries SLO objectives, a [`telemetry::SloEval`] steps
+//! on every closed window; burn-rate breaches are emitted as `slo.breach`
+//! instants into the obs trace at the window-close timestamp, so a breach
+//! sits causally among the puts and faults that caused it.
+//!
+//! The actor is observational only: it never touches the RNG, sends
+//! nothing to other actors, and stops rescheduling once the engine is
+//! stopping, so a telemetry-on run produces the same simulated outcome as
+//! the same run without telemetry (only the dispatch count differs — the
+//! ticks themselves are events).
+
+use crate::config::TelemetryCfg;
+use sim_core::engine::{Actor, Ctx, Event};
+use sim_core::metrics::Metrics;
+use sim_core::time::SimTime;
+use telemetry::{Series, SeriesBuilder, SloEval, SloReport};
+
+/// The scraper's self-rescheduling tick.
+pub struct Tick;
+
+/// The scraper actor. Register it last so the component/server actor-id
+/// layout other subsystems depend on is untouched.
+pub struct TelemetryActor {
+    window: SimTime,
+    builder: Option<SeriesBuilder>,
+    slo: Option<SloEval>,
+    tracer: obs::Tracer,
+}
+
+impl TelemetryActor {
+    /// Scraper for `cfg` (validated upstream).
+    pub fn new(cfg: &TelemetryCfg) -> TelemetryActor {
+        TelemetryActor {
+            window: cfg.window,
+            builder: Some(SeriesBuilder::new(cfg.window.0.max(1))),
+            slo: cfg.slo.as_ref().map(|s| SloEval::new(s.clone())),
+            tracer: obs::Tracer::off(),
+        }
+    }
+
+    /// Attach the run's shared trace recorder.
+    pub fn set_tracer(&mut self, tracer: obs::Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Scrape the cumulative registry into one closed window ending at
+    /// `end_ns`.
+    fn scrape(builder: &mut SeriesBuilder, end_ns: u64, m: &Metrics) {
+        builder.begin_window(end_ns);
+        for (name, v) in m.counters() {
+            builder.feed_counter(name, v);
+        }
+        for (name, g) in m.gauges() {
+            builder.feed_gauge(name, g.value);
+        }
+        for (name, h) in m.tails() {
+            builder.feed_hist(name, h);
+        }
+        builder.close_window();
+    }
+
+    /// Step the SLO evaluator on the most recent window and emit any
+    /// burn-rate breaches as trace instants stamped `(t, seq)`.
+    fn step_slo(&mut self, t: u64, seq: u64) {
+        let (Some(ev), Some(w)) =
+            (&mut self.slo, self.builder.as_ref().and_then(|b| b.last_window()))
+        else {
+            return;
+        };
+        let fired = ev.step(w);
+        if fired.is_empty() || !self.tracer.enabled() {
+            return;
+        }
+        let track = self.tracer.track("telemetry");
+        for b in fired {
+            self.tracer.instant(
+                obs::TraceCtx::NONE,
+                track,
+                "slo.breach",
+                t,
+                seq,
+                vec![
+                    obs::arg("objective", &b.objective),
+                    obs::arg("burn", format!("{:.3}", b.burn_rate)),
+                ],
+            );
+        }
+    }
+
+    /// Flush the final (usually partial) window at `end_ns` and hand back
+    /// the finished series plus the SLO outcome. Called once from harvest.
+    pub fn harvest(&mut self, end_ns: u64, seq: u64, m: &Metrics) -> (Series, Option<SloReport>) {
+        let mut builder = self.builder.take().expect("telemetry harvested once");
+        let needs_final = builder.last_window().is_none_or(|w| w.end_ns < end_ns);
+        if needs_final {
+            Self::scrape(&mut builder, end_ns, m);
+            self.builder = Some(builder);
+            self.step_slo(end_ns, seq);
+            builder = self.builder.take().expect("builder restored");
+        }
+        (builder.finish(), self.slo.take().map(SloEval::finish))
+    }
+}
+
+impl Actor for TelemetryActor {
+    fn on_event(&mut self, ctx: &mut Ctx<'_>, ev: Event) {
+        if !ev.is::<Tick>() {
+            return;
+        }
+        let end_ns = ctx.now().0;
+        let seq = ctx.seq();
+        if let Some(builder) = self.builder.as_mut() {
+            Self::scrape(builder, end_ns, ctx.metrics());
+            self.step_slo(end_ns, seq);
+        }
+        if !ctx.stopping() {
+            ctx.timer(self.window, Tick);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "telemetry-scraper"
+    }
+}

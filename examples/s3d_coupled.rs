@@ -78,6 +78,7 @@ fn s3d_config(protocol: WorkflowProtocol) -> WorkflowConfig {
         supervision: None,
         sharding: None,
         trace: None,
+        telemetry: None,
     }
 }
 
